@@ -1,0 +1,22 @@
+//! # macedon-baselines
+//!
+//! Models of the external comparators the paper measures MACEDON against
+//! (we have no access to the original artifacts; DESIGN.md documents the
+//! substitutions):
+//!
+//! * [`lsd`] — MIT's `lsd` Chord distribution (Fig 10): our Chord core
+//!   configured with lsd's **dynamic fix-fingers timer adaptation**. The
+//!   figure's claim under study is about convergence *shape*: a static
+//!   1 s timer beats lsd's adaptive policy, which in turn beats a static
+//!   20 s timer.
+//! * [`freepastry`] — Rice's FreePastry over Java RMI (Fig 11): our
+//!   Pastry behind an **RMI cost model** (per-message processing queue
+//!   with a fixed marshal+dispatch delay, modelling RMI's reflective
+//!   serialization), plus the memory-footprint scaling cap that kept the
+//!   authors from running FreePastry past 100 nodes.
+
+pub mod freepastry;
+pub mod lsd;
+
+pub use freepastry::{FreePastry, RmiModel};
+pub use lsd::lsd_chord_config;

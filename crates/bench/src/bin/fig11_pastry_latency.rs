@@ -1,0 +1,29 @@
+//! Figure 11 — average latency of Pastry packets: MACEDON vs the
+//! FreePastry RMI model (which cannot host more than ~100 nodes).
+use macedon_bench::experiments::fig11;
+use macedon_bench::table::{maybe_write_csv, print_table};
+use macedon_bench::Scale;
+
+fn main() {
+    let rows = fig11(Scale::from_args());
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                format!("{:.4}", r.macedon_s),
+                r.freepastry_s
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_else(|| "OOM".to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 11: average packet latency (s) vs node count",
+        &["nodes", "MACEDON", "FreePastry"],
+        &cells,
+    );
+    maybe_write_csv(&["nodes", "MACEDON", "FreePastry"], &cells);
+    println!("\n'OOM' marks configurations beyond the modelled JVM memory cap,");
+    println!("matching the paper's inability to run FreePastry past 100 nodes.");
+}

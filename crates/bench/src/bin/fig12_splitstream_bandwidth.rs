@@ -1,0 +1,29 @@
+//! Figure 12 — SplitStream per-node bandwidth over time for two Pastry
+//! location-cache policies (no eviction vs 1 s lifetime).
+use macedon_bench::experiments::fig12;
+use macedon_bench::table::{f1, maybe_write_csv, print_table};
+use macedon_bench::Scale;
+
+fn main() {
+    let s = fig12(Scale::from_args());
+    let cells: Vec<Vec<String>> = s
+        .no_eviction
+        .iter()
+        .zip(&s.with_eviction)
+        .map(|(a, b)| vec![format!("{:.0}", a.0), f1(a.1), f1(b.1)])
+        .collect();
+    print_table(
+        "Figure 12: mean per-node goodput (Kbps) after convergence",
+        &["t(s)", "no eviction", "1s lifetime"],
+        &cells,
+    );
+    maybe_write_csv(&["t(s)", "no eviction", "1s lifetime"], &cells);
+    let avg = |v: &[(f64, f64)]| {
+        if v.is_empty() { 0.0 } else { v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64 }
+    };
+    println!(
+        "\nRun means: no-eviction={:.0} Kbps, 1s-lifetime={:.0} Kbps (paper: ~580 vs ~500)",
+        avg(&s.no_eviction),
+        avg(&s.with_eviction)
+    );
+}

@@ -1,0 +1,18 @@
+//! Figure 8 — NICE per-site stretch (64 members, 8 sites).
+use macedon_bench::experiments::fig8_9;
+use macedon_bench::table::{f2, maybe_write_csv, print_table};
+use macedon_bench::Scale;
+
+fn main() {
+    let rows = fig8_9(Scale::from_args());
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.site.to_string(), f2(r.mean_stretch), f2(r.paper_stretch)])
+        .collect();
+    print_table(
+        "Figure 8: NICE mean stretch per site (measured vs NICE SIGCOMM)",
+        &["site", "stretch", "paper"],
+        &cells,
+    );
+    maybe_write_csv(&["site", "stretch", "paper"], &cells);
+}

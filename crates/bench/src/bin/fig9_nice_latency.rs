@@ -1,0 +1,18 @@
+//! Figure 9 — NICE per-site end-to-end latency (same run as Figure 8).
+use macedon_bench::experiments::fig8_9;
+use macedon_bench::table::{f1, maybe_write_csv, print_table};
+use macedon_bench::Scale;
+
+fn main() {
+    let rows = fig8_9(Scale::from_args());
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.site.to_string(), f1(r.mean_latency_ms), f1(r.paper_latency_ms)])
+        .collect();
+    print_table(
+        "Figure 9: NICE mean end-to-end latency per site (ms; measured vs NICE SIGCOMM)",
+        &["site", "latency_ms", "paper_ms"],
+        &cells,
+    );
+    maybe_write_csv(&["site", "latency_ms", "paper_ms"], &cells);
+}

@@ -1,0 +1,271 @@
+//! The [`Agent`] trait — the interface MACEDON-generated code implements —
+//! and the [`Ctx`] handed to every transition.
+//!
+//! In the paper, `macedon` translates a `.mac` specification into a C++
+//! *agent* class whose methods are the protocol's transitions; the engine
+//! (thread pools, timer and transport subsystems) invokes them. Here the
+//! same contract is a Rust trait: native overlay implementations in
+//! `macedon-overlays` and the DSL interpreter in `macedon-lang` both
+//! implement it.
+//!
+//! Transitions never call other layers directly (that would be reentrant);
+//! instead they buffer [`Op`]s on the [`Ctx`], and the stack dispatcher
+//! drains the queue after the transition returns. This mirrors the
+//! serialization the paper's per-instance read/write locks provide, and
+//! gives deterministic cross-layer ordering.
+
+use crate::api::{DownCall, ForwardInfo, ProtocolId, UpCall};
+use crate::key::MacedonKey;
+use crate::trace::TraceLevel;
+use bytes::Bytes;
+use macedon_net::NodeId;
+use macedon_sim::{Duration, SimRng, Time};
+use macedon_transport::ChannelId;
+use std::any::Any;
+
+/// Transition locking class (§2.1.2): control transitions take the write
+/// lock; data transitions share a read lock. The DES is single-threaded,
+/// but the classification is tracked for the concurrency-ablation stats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Locking {
+    Read,
+    Write,
+}
+
+/// Buffered effect emitted by a transition.
+#[derive(Debug)]
+pub enum Op {
+    /// Invoke the layer below.
+    Down(DownCall),
+    /// Invoke the layer above (or the application at the top).
+    Up(UpCall),
+    /// Ask the layers above to vet a forwarding decision, then continue
+    /// in this layer's `forward_resolved`.
+    ForwardQuery(ForwardInfo),
+    /// Transmit bytes to a peer host (lowest layer only).
+    Send { dst: NodeId, channel: ChannelId, bytes: Bytes },
+    /// Arm (or re-arm) a named timer.
+    TimerSet { timer: u16, delay: Duration, periodic: bool },
+    /// Cancel a named timer.
+    TimerCancel { timer: u16 },
+    /// Start engine failure-detection of a peer.
+    Monitor { peer: NodeId },
+    /// Stop monitoring a peer.
+    Unmonitor { peer: NodeId },
+    /// Emit a trace record.
+    Trace { level: TraceLevel, msg: String },
+}
+
+/// Everything a transition may observe and request.
+pub struct Ctx<'a> {
+    /// Current virtual time.
+    pub now: Time,
+    /// This node's address.
+    pub me: NodeId,
+    /// This node's key under the world's addressing mode.
+    pub my_key: MacedonKey,
+    /// Index of the executing layer (0 = lowest).
+    pub layer: usize,
+    /// Per-node deterministic RNG.
+    pub rng: &'a mut SimRng,
+    pub(crate) ops: &'a mut Vec<(usize, Op)>,
+    pub(crate) locking: Locking,
+}
+
+impl<'a> Ctx<'a> {
+    /// Invoke the layer below with an API downcall.
+    pub fn down(&mut self, call: DownCall) {
+        self.ops.push((self.layer, Op::Down(call)));
+    }
+
+    /// Invoke the layer above (application at the top) with an upcall.
+    pub fn up(&mut self, up: UpCall) {
+        self.ops.push((self.layer, Op::Up(up)));
+    }
+
+    /// Route a forwarding decision past the layers above; the dispatcher
+    /// calls back `forward_resolved` on this layer with the (possibly
+    /// modified) result.
+    pub fn forward_query(&mut self, fwd: ForwardInfo) {
+        self.ops.push((self.layer, Op::ForwardQuery(fwd)));
+    }
+
+    /// Transmit raw protocol bytes to a peer over a named transport
+    /// instance. Only the lowest layer may use this (upper layers tunnel
+    /// through `down`).
+    pub fn send(&mut self, dst: NodeId, channel: ChannelId, bytes: Bytes) {
+        debug_assert_eq!(self.layer, 0, "only the lowest layer touches transports");
+        self.ops.push((self.layer, Op::Send { dst, channel, bytes }));
+    }
+
+    /// Arm a one-shot timer (the paper's `timer_resched`): any previous
+    /// pending expiration of the same timer id is superseded.
+    pub fn timer_set(&mut self, timer: u16, delay: Duration) {
+        self.ops.push((self.layer, Op::TimerSet { timer, delay, periodic: false }));
+    }
+
+    /// Arm a periodic timer that re-fires every `period` until cancelled.
+    pub fn timer_periodic(&mut self, timer: u16, period: Duration) {
+        self.ops.push((self.layer, Op::TimerSet { timer, delay: period, periodic: true }));
+    }
+
+    /// Cancel a pending timer.
+    pub fn timer_cancel(&mut self, timer: u16) {
+        self.ops.push((self.layer, Op::TimerCancel { timer }));
+    }
+
+    /// Register `peer` with the engine failure detector (`fail_detect`
+    /// neighbor lists); `neighbor_failed` fires if it goes silent.
+    pub fn monitor(&mut self, peer: NodeId) {
+        self.ops.push((self.layer, Op::Monitor { peer }));
+    }
+
+    pub fn unmonitor(&mut self, peer: NodeId) {
+        self.ops.push((self.layer, Op::Unmonitor { peer }));
+    }
+
+    /// Emit a trace record at the given level.
+    pub fn trace(&mut self, level: TraceLevel, msg: impl Into<String>) {
+        self.ops.push((self.layer, Op::Trace { level, msg: msg.into() }));
+    }
+
+    /// Declare this transition a data (read-locked) transition; the
+    /// default is control/write, matching the paper's default semantics.
+    pub fn locking_read(&mut self) {
+        self.locking = Locking::Read;
+    }
+
+    pub(crate) fn locking(&self) -> Locking {
+        self.locking
+    }
+}
+
+/// A protocol layer instance — what generated code implements.
+///
+/// All methods receive the [`Ctx`] for buffering effects. Default bodies
+/// make pass-through layering painless: an agent that doesn't understand
+/// an upcall forwards it up the stack.
+pub trait Agent: Any {
+    /// Well-known protocol value.
+    fn protocol_id(&self) -> ProtocolId;
+
+    /// Human-readable protocol name (tracing).
+    fn name(&self) -> &'static str;
+
+    /// The `init` API transition, fired when the node spawns.
+    fn init(&mut self, ctx: &mut Ctx);
+
+    /// An API downcall from the layer above (or the application).
+    fn downcall(&mut self, ctx: &mut Ctx, call: DownCall);
+
+    /// An upcall from the layer below. Default: pass it further up.
+    fn upcall(&mut self, ctx: &mut Ctx, up: UpCall) {
+        ctx.up(up);
+    }
+
+    /// The `forward` query from the layer below. Default: leave untouched.
+    fn on_forward(&mut self, _ctx: &mut Ctx, _fwd: &mut ForwardInfo) {}
+
+    /// Continuation after this layer's own [`Ctx::forward_query`] came
+    /// back from the layers above. Routers transmit here (unless quashed).
+    fn forward_resolved(&mut self, _ctx: &mut Ctx, _fwd: ForwardInfo) {}
+
+    /// A message of this layer's own protocol arrived. Only the lowest
+    /// layer receives from the transport; upper layers receive tunneled
+    /// payloads via their own decoding of `Deliver` upcalls.
+    fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes);
+
+    /// A named timer expired.
+    fn timer(&mut self, ctx: &mut Ctx, timer: u16);
+
+    /// The engine failure detector declared `peer` dead (the `error` API).
+    fn neighbor_failed(&mut self, _ctx: &mut Ctx, _peer: NodeId) {}
+
+    /// Downcast support so tests and experiment harnesses can inspect
+    /// protocol state (the paper's equivalent: debug dumps of routing
+    /// tables).
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The application atop a stack: registered handlers (Figure 3's
+/// `macedon_register_handlers`) plus timers for workload generation.
+pub trait AppHandler: Any {
+    /// Called once when the node spawns (after all layers' `init`).
+    fn start(&mut self, _ctx: &mut Ctx) {}
+
+    /// `macedon_deliver_handler`.
+    fn on_deliver(&mut self, _ctx: &mut Ctx, _src: MacedonKey, _from: NodeId, _payload: Bytes) {}
+
+    /// `macedon_notify_handler`.
+    fn on_notify(&mut self, _ctx: &mut Ctx, _nbr_type: u32, _neighbors: &[NodeId]) {}
+
+    /// `macedon_forward_handler`.
+    fn on_forward(&mut self, _ctx: &mut Ctx, _fwd: &mut ForwardInfo) {}
+
+    /// Generic extensible upcall.
+    fn on_upcall_ext(&mut self, _ctx: &mut Ctx, _op: u32, _payload: Bytes) {}
+
+    /// Application timer (workload ticks).
+    fn on_timer(&mut self, _ctx: &mut Ctx, _timer: u16) {}
+
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An application with no handlers — "having null handlers would be used
+/// when evaluating just the construction process of different overlays".
+pub struct NullApp;
+
+impl AppHandler for NullApp {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_ops_with_layer_tags() {
+        let mut ops = Vec::new();
+        let mut rng = SimRng::new(1);
+        let mut ctx = Ctx {
+            now: Time::ZERO,
+            me: NodeId(0),
+            my_key: MacedonKey(0),
+            layer: 2,
+            rng: &mut rng,
+            ops: &mut ops,
+            locking: Locking::Write,
+        };
+        ctx.down(DownCall::Join { group: MacedonKey(5) });
+        ctx.up(UpCall::Notify { nbr_type: 1, neighbors: vec![] });
+        ctx.timer_set(3, Duration::from_secs(1));
+        ctx.monitor(NodeId(8));
+        assert_eq!(ops.len(), 4);
+        assert!(ops.iter().all(|(l, _)| *l == 2));
+    }
+
+    #[test]
+    fn locking_defaults_to_write() {
+        let mut ops = Vec::new();
+        let mut rng = SimRng::new(1);
+        let mut ctx = Ctx {
+            now: Time::ZERO,
+            me: NodeId(0),
+            my_key: MacedonKey(0),
+            layer: 0,
+            rng: &mut rng,
+            ops: &mut ops,
+            locking: Locking::Write,
+        };
+        assert_eq!(ctx.locking(), Locking::Write);
+        ctx.locking_read();
+        assert_eq!(ctx.locking(), Locking::Read);
+    }
+}

@@ -1,0 +1,207 @@
+//! The MACEDON key: the paper's 32-bit hash address space.
+//!
+//! "our implementation of Chord only uses a 32-bit hash address space"
+//! (§4.2.2) — node identifiers, group ids and route destinations are all
+//! [`MacedonKey`]s. With IP addressing the key is the node id itself;
+//! with hash addressing it is `sha1(address)` truncated to 32 bits.
+
+use crate::sha1::sha1_u32;
+use macedon_net::NodeId;
+use std::fmt;
+
+/// A point on the 2^32 identifier ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacedonKey(pub u32);
+
+/// Ring size as u64 (2^32).
+pub const RING: u64 = 1u64 << 32;
+
+/// Key-derivation mode, per the `addressing` header of a mac file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Addressing {
+    /// Keys are SHA-1 hashes of addresses.
+    Hash,
+    /// Keys are the (zero-extended) IP/node ids themselves.
+    Ip,
+}
+
+impl MacedonKey {
+    /// Key of a node under the given addressing mode.
+    pub fn of_node(node: NodeId, mode: Addressing) -> MacedonKey {
+        match mode {
+            Addressing::Hash => MacedonKey(sha1_u32(&node.0.to_be_bytes())),
+            Addressing::Ip => MacedonKey(node.0),
+        }
+    }
+
+    /// Key of an arbitrary name (group names, object ids).
+    pub fn of_name(name: &str) -> MacedonKey {
+        MacedonKey(sha1_u32(name.as_bytes()))
+    }
+
+    /// Clockwise distance from `self` to `other` on the ring.
+    pub fn distance_to(self, other: MacedonKey) -> u64 {
+        (other.0 as u64 + RING - self.0 as u64) % RING
+    }
+
+    /// `self + 2^i (mod 2^32)` — Chord finger targets.
+    pub fn plus_pow2(self, i: u32) -> MacedonKey {
+        debug_assert!(i < 32);
+        MacedonKey(((self.0 as u64 + (1u64 << i)) % RING) as u32)
+    }
+
+    /// True if `self` lies in the open interval `(a, b)` going clockwise.
+    pub fn in_open(self, a: MacedonKey, b: MacedonKey) -> bool {
+        if a == b {
+            // Whole ring except the endpoint.
+            return self != a;
+        }
+        a.distance_to(self) > 0 && a.distance_to(self) < a.distance_to(b)
+    }
+
+    /// True if `self` lies in the half-open interval `(a, b]` clockwise.
+    pub fn in_open_closed(self, a: MacedonKey, b: MacedonKey) -> bool {
+        if a == b {
+            return true; // full ring
+        }
+        a.distance_to(self) > 0 && a.distance_to(self) <= a.distance_to(b)
+    }
+
+    /// Digit `i` (0 = most significant) of the key in base `2^bits`.
+    /// Pastry prefix routing uses `bits = 4` → 8 hex digits.
+    pub fn digit(self, i: u32, bits: u32) -> u32 {
+        debug_assert!(bits > 0 && 32 % bits == 0 && i < 32 / bits);
+        let shift = 32 - bits * (i + 1);
+        (self.0 >> shift) & ((1 << bits) - 1)
+    }
+
+    /// Length of the shared prefix with `other`, in digits of `2^bits`.
+    pub fn shared_prefix_len(self, other: MacedonKey, bits: u32) -> u32 {
+        let digits = 32 / bits;
+        for i in 0..digits {
+            if self.digit(i, bits) != other.digit(i, bits) {
+                return i;
+            }
+        }
+        digits
+    }
+
+    /// Absolute ring distance (min of clockwise and counter-clockwise) —
+    /// Pastry's leaf-set proximity.
+    pub fn ring_distance(self, other: MacedonKey) -> u64 {
+        let cw = self.distance_to(other);
+        cw.min(RING - cw)
+    }
+}
+
+impl fmt::Debug for MacedonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{:08x}", self.0)
+    }
+}
+
+impl fmt::Display for MacedonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_modes() {
+        let n = NodeId(42);
+        assert_eq!(MacedonKey::of_node(n, Addressing::Ip), MacedonKey(42));
+        let h = MacedonKey::of_node(n, Addressing::Hash);
+        assert_ne!(h, MacedonKey(42));
+        // Deterministic.
+        assert_eq!(h, MacedonKey::of_node(n, Addressing::Hash));
+    }
+
+    #[test]
+    fn distance_wraps() {
+        let a = MacedonKey(u32::MAX - 10);
+        let b = MacedonKey(10);
+        assert_eq!(a.distance_to(b), 21);
+        assert_eq!(b.distance_to(a), RING - 21);
+        assert_eq!(a.distance_to(a), 0);
+    }
+
+    #[test]
+    fn in_open_interval() {
+        let a = MacedonKey(100);
+        let b = MacedonKey(200);
+        assert!(MacedonKey(150).in_open(a, b));
+        assert!(!MacedonKey(100).in_open(a, b));
+        assert!(!MacedonKey(200).in_open(a, b));
+        assert!(!MacedonKey(250).in_open(a, b));
+        // Wrapping interval.
+        let w1 = MacedonKey(u32::MAX - 5);
+        let w2 = MacedonKey(5);
+        assert!(MacedonKey(0).in_open(w1, w2));
+        assert!(MacedonKey(u32::MAX).in_open(w1, w2));
+        assert!(!MacedonKey(100).in_open(w1, w2));
+    }
+
+    #[test]
+    fn in_open_closed_interval() {
+        let a = MacedonKey(100);
+        let b = MacedonKey(200);
+        assert!(MacedonKey(200).in_open_closed(a, b));
+        assert!(!MacedonKey(100).in_open_closed(a, b));
+        // Degenerate interval = full ring.
+        assert!(MacedonKey(7).in_open_closed(a, a));
+    }
+
+    #[test]
+    fn open_degenerate_excludes_endpoint() {
+        let a = MacedonKey(9);
+        assert!(!a.in_open(a, a));
+        assert!(MacedonKey(10).in_open(a, a));
+    }
+
+    #[test]
+    fn plus_pow2_wraps() {
+        let k = MacedonKey(u32::MAX);
+        assert_eq!(k.plus_pow2(0), MacedonKey(0));
+        assert_eq!(MacedonKey(0).plus_pow2(31), MacedonKey(1 << 31));
+    }
+
+    #[test]
+    fn digits() {
+        let k = MacedonKey(0x1234_ABCD);
+        assert_eq!(k.digit(0, 4), 0x1);
+        assert_eq!(k.digit(1, 4), 0x2);
+        assert_eq!(k.digit(7, 4), 0xD);
+        assert_eq!(k.digit(0, 8), 0x12);
+        assert_eq!(k.digit(3, 8), 0xCD);
+    }
+
+    #[test]
+    fn shared_prefix() {
+        let a = MacedonKey(0x1234_0000);
+        let b = MacedonKey(0x1235_0000);
+        assert_eq!(a.shared_prefix_len(b, 4), 3);
+        assert_eq!(a.shared_prefix_len(a, 4), 8);
+        let c = MacedonKey(0x9234_0000);
+        assert_eq!(a.shared_prefix_len(c, 4), 0);
+    }
+
+    #[test]
+    fn ring_distance_symmetric() {
+        let a = MacedonKey(10);
+        let b = MacedonKey(u32::MAX - 9);
+        assert_eq!(a.ring_distance(b), 20);
+        assert_eq!(b.ring_distance(a), 20);
+        assert_eq!(a.ring_distance(a), 0);
+    }
+
+    #[test]
+    fn name_keys_spread() {
+        let k1 = MacedonKey::of_name("group-1");
+        let k2 = MacedonKey::of_name("group-2");
+        assert_ne!(k1, k2);
+    }
+}

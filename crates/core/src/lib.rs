@@ -1,0 +1,52 @@
+//! # macedon-core
+//!
+//! The MACEDON engine: everything the paper's generated C++ agents link
+//! against, reimplemented as a deterministic Rust runtime.
+//!
+//! * [`key`] / [`sha1`] — the 32-bit hash address space and the SHA
+//!   hashing library.
+//! * [`wire`] — message (de)serialization, the "state serialization"
+//!   engine service.
+//! * [`api`] — the overlay-generic MACEDON API of Figure 3: downcalls
+//!   (`route`, `routeIP`, `multicast`, `anycast`, `collect`, group
+//!   management) and upcalls (`forward`, `deliver`, `notify`).
+//! * [`agent`] — the [`agent::Agent`] trait generated code implements,
+//!   the [`agent::AppHandler`] application interface, and the transition
+//!   [`agent::Ctx`].
+//! * [`stack`] — per-node protocol layering (Figure 2/5) with the effect
+//!   dispatcher.
+//! * [`neighbors`] — neighbor-list primitives (§3.3.2).
+//! * [`trace`] — the four-level tracing subsystem and locking-class
+//!   accounting.
+//! * [`app`] — reusable workload applications (streamers, collectors).
+//! * [`world`] — the combined event loop: timer subsystem, failure
+//!   detector (heartbeats, `g`/`f` thresholds), node lifecycle, metric
+//!   oracles.
+
+pub mod agent;
+pub mod api;
+pub mod app;
+pub mod key;
+pub mod neighbors;
+pub mod report;
+pub mod sha1;
+pub mod stack;
+pub mod trace;
+pub mod wire;
+pub mod world;
+
+pub use agent::{Agent, AppHandler, Ctx, Locking, NullApp};
+pub use api::{DownCall, ForwardInfo, ProtocolId, UpCall, DEFAULT_PRIORITY};
+pub use key::{Addressing, MacedonKey};
+pub use neighbors::NeighborList;
+pub use report::RunReport;
+pub use stack::{Stack, StackEffect};
+pub use trace::{TraceLevel, TraceSink};
+pub use wire::{DecodeError, WireReader, WireWriter};
+pub use world::{proto_header, World, WorldConfig, WorldEvent};
+
+// Re-export the identifiers agents constantly need.
+pub use bytes::Bytes;
+pub use macedon_net::NodeId;
+pub use macedon_sim::{Duration, SimRng, Time};
+pub use macedon_transport::{ChannelId, ChannelSpec, TransportKind};

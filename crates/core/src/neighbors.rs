@@ -1,0 +1,211 @@
+//! Neighbor list management (§3.3.2 of the paper).
+//!
+//! `neighbor_types` declarations become [`NeighborList`]s: bounded,
+//! ordered sets of peers with per-entry protocol fields (delay estimates,
+//! bandwidth measurements, sub-lists — anything `T` holds). The paper's
+//! primitives map directly:
+//!
+//! | paper                  | here                      |
+//! |------------------------|---------------------------|
+//! | `neighbor_add`         | [`NeighborList::add`]     |
+//! | `neighbor_clear`       | [`NeighborList::clear`]   |
+//! | `neighbor_size`        | [`NeighborList::len`]     |
+//! | `neighbor_query`       | [`NeighborList::contains`]|
+//! | `neighbor_entry`       | [`NeighborList::get`]     |
+//! | `neighbor_random`      | [`NeighborList::random`]  |
+
+use macedon_net::NodeId;
+use macedon_sim::SimRng;
+
+/// A bounded, insertion-ordered neighbor set with per-entry data.
+#[derive(Clone, Debug)]
+pub struct NeighborList<T> {
+    max: usize,
+    entries: Vec<(NodeId, T)>,
+}
+
+impl<T> NeighborList<T> {
+    /// Create a list bounded at `max` entries (the declared maximum
+    /// number, e.g. `ochildren MAX_CHILDREN`).
+    pub fn new(max: usize) -> NeighborList<T> {
+        assert!(max > 0, "neighbor list must allow at least one entry");
+        NeighborList { max, entries: Vec::new() }
+    }
+
+    /// Add or update a neighbor. Returns `false` (without inserting) when
+    /// the list is full and the node is new.
+    pub fn add(&mut self, node: NodeId, data: T) -> bool {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == node) {
+            slot.1 = data;
+            return true;
+        }
+        if self.entries.len() >= self.max {
+            return false;
+        }
+        self.entries.push((node, data));
+        true
+    }
+
+    /// Remove a neighbor; returns its data if present.
+    pub fn remove(&mut self, node: NodeId) -> Option<T> {
+        let idx = self.entries.iter().position(|(n, _)| *n == node)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.max
+    }
+
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|(n, _)| *n == node)
+    }
+
+    pub fn get(&self, node: NodeId) -> Option<&T> {
+        self.entries.iter().find(|(n, _)| *n == node).map(|(_, d)| d)
+    }
+
+    pub fn get_mut(&mut self, node: NodeId) -> Option<&mut T> {
+        self.entries.iter_mut().find(|(n, _)| *n == node).map(|(_, d)| d)
+    }
+
+    /// A uniformly random member (`neighbor_random`).
+    pub fn random(&self, rng: &mut SimRng) -> Option<NodeId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries[rng.index(self.entries.len())].0)
+        }
+    }
+
+    /// First entry in insertion order (common for singleton lists like a
+    /// parent pointer).
+    pub fn first(&self) -> Option<NodeId> {
+        self.entries.first().map(|(n, _)| *n)
+    }
+
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.entries.iter().map(|(n, d)| (*n, d))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut T)> {
+        self.entries.iter_mut().map(|(n, d)| (*n, d))
+    }
+
+    /// Retain entries satisfying the predicate.
+    pub fn retain(&mut self, mut f: impl FnMut(NodeId, &mut T) -> bool) {
+        self.entries.retain_mut(|(n, d)| f(*n, d));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Meta {
+        delay_ms: u32,
+    }
+
+    #[test]
+    fn add_query_remove() {
+        let mut l: NeighborList<Meta> = NeighborList::new(4);
+        assert!(l.add(NodeId(1), Meta { delay_ms: 10 }));
+        assert!(l.contains(NodeId(1)));
+        assert_eq!(l.get(NodeId(1)).unwrap().delay_ms, 10);
+        assert_eq!(l.remove(NodeId(1)).unwrap().delay_ms, 10);
+        assert!(!l.contains(NodeId(1)));
+        assert!(l.remove(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn add_existing_updates_in_place() {
+        let mut l = NeighborList::new(2);
+        l.add(NodeId(1), Meta { delay_ms: 10 });
+        l.add(NodeId(2), Meta { delay_ms: 20 });
+        // Full, but updating existing works.
+        assert!(l.add(NodeId(1), Meta { delay_ms: 99 }));
+        assert_eq!(l.get(NodeId(1)).unwrap().delay_ms, 99);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut l = NeighborList::new(2);
+        assert!(l.add(NodeId(1), ()));
+        assert!(l.add(NodeId(2), ()));
+        assert!(!l.add(NodeId(3), ()));
+        assert!(l.is_full());
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut l = NeighborList::new(8);
+        for i in [5u32, 3, 9] {
+            l.add(NodeId(i), ());
+        }
+        assert_eq!(l.nodes(), vec![NodeId(5), NodeId(3), NodeId(9)]);
+        assert_eq!(l.first(), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn random_selection_is_member() {
+        let mut l = NeighborList::new(8);
+        for i in 0..5u32 {
+            l.add(NodeId(i), ());
+        }
+        let mut rng = SimRng::new(3);
+        for _ in 0..50 {
+            let pick = l.random(&mut rng).unwrap();
+            assert!(l.contains(pick));
+        }
+        let empty: NeighborList<()> = NeighborList::new(1);
+        assert!(empty.random(&mut rng).is_none());
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut l = NeighborList::new(8);
+        for i in 0..6u32 {
+            l.add(NodeId(i), Meta { delay_ms: i * 10 });
+        }
+        l.retain(|_, m| m.delay_ms < 30);
+        assert_eq!(l.len(), 3);
+        assert!(l.contains(NodeId(2)));
+        assert!(!l.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn get_mut_updates_fields() {
+        let mut l = NeighborList::new(2);
+        l.add(NodeId(1), Meta { delay_ms: 1 });
+        l.get_mut(NodeId(1)).unwrap().delay_ms = 42;
+        assert_eq!(l.get(NodeId(1)).unwrap().delay_ms, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _: NeighborList<()> = NeighborList::new(0);
+    }
+}

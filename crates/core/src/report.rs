@@ -1,0 +1,208 @@
+//! Run reports — the paper's "evaluation tools [that] enable researchers
+//! to gain deeper understanding into the complex behavior of their
+//! algorithms" (§1), consolidated into one summary per run.
+//!
+//! A [`RunReport`] snapshots a [`World`](crate::World) after an
+//! experiment: per-node traffic and transition counts, aggregate
+//! transport behavior (retransmissions = congestion/loss pressure),
+//! network-level drops and link usage, and the locking-class split. The
+//! figure harness prints these; tests assert on them.
+
+use crate::world::World;
+use macedon_net::NodeId;
+use std::fmt;
+
+/// Per-node slice of a run.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    pub node: NodeId,
+    pub alive: bool,
+    /// Bytes this node's reliable transports pushed to the wire.
+    pub bytes_sent: u64,
+    pub segments_sent: u64,
+    pub retransmissions: u64,
+    /// Stack transition counts (read, write).
+    pub transitions: (u64, u64),
+}
+
+/// Whole-run summary.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub virtual_seconds: f64,
+    pub events_fired: u64,
+    pub nodes: Vec<NodeReport>,
+    /// Packets dropped inside the emulated network (queue overflow,
+    /// loss injection, dead links/nodes).
+    pub network_drops: u64,
+    /// Physical links that carried at least one packet.
+    pub links_used: usize,
+    /// Share of transitions that were read-locked (parallelism headroom).
+    pub read_share: f64,
+}
+
+impl RunReport {
+    /// Snapshot a world (cheap; does not advance the simulation).
+    pub fn capture(world: &World) -> RunReport {
+        let mut nodes = Vec::new();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let host_list: Vec<NodeId> = world.net().topology().hosts().to_vec();
+        for h in host_list {
+            let Some(stack) = world.stack(h) else { continue };
+            let (mut bytes, mut segs, mut retx) = (0, 0, 0);
+            if let Some(ep) = world.endpoint(h) {
+                bytes = ep.total_bytes_sent();
+                for i in 0..ep.channels().len() {
+                    let st = ep.channel_stats(macedon_transport::ChannelId(i as u16));
+                    segs += st.segments_sent;
+                    retx += st.retransmissions;
+                }
+            }
+            reads += stack.read_transitions;
+            writes += stack.write_transitions;
+            nodes.push(NodeReport {
+                node: h,
+                alive: world.is_alive(h),
+                bytes_sent: bytes,
+                segments_sent: segs,
+                retransmissions: retx,
+                transitions: (stack.read_transitions, stack.write_transitions),
+            });
+        }
+        let counters = world.net().link_counters();
+        let links_used = counters.iter().filter(|&&(p, _, _)| p > 0).count();
+        let total = reads + writes;
+        RunReport {
+            virtual_seconds: world.now().as_secs_f64(),
+            events_fired: world.sched.events_fired(),
+            nodes,
+            network_drops: world.net().total_drops(),
+            links_used,
+            read_share: if total == 0 { 0.0 } else { reads as f64 / total as f64 },
+        }
+    }
+
+    /// Total protocol bytes across all nodes (the communication-overhead
+    /// metric's numerator).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    pub fn total_retransmissions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retransmissions).sum()
+    }
+
+    /// Mean control overhead rate in bits/sec per node over the run.
+    pub fn mean_overhead_bps(&self) -> f64 {
+        if self.nodes.is_empty() || self.virtual_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes_sent() as f64 * 8.0 / self.virtual_seconds / self.nodes.len() as f64
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run: {:.1} virtual s, {} events", self.virtual_seconds, self.events_fired)?;
+        writeln!(
+            f,
+            "nodes: {} ({} alive), links used: {}, drops: {}",
+            self.nodes.len(),
+            self.nodes.iter().filter(|n| n.alive).count(),
+            self.links_used,
+            self.network_drops
+        )?;
+        writeln!(
+            f,
+            "traffic: {} B sent, {} segments, {} retransmissions ({:.1} bps/node overhead)",
+            self.total_bytes_sent(),
+            self.nodes.iter().map(|n| n.segments_sent).sum::<u64>(),
+            self.total_retransmissions(),
+            self.mean_overhead_bps()
+        )?;
+        write!(f, "transitions: {:.1}% read-locked", self.read_share * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, Ctx, NullApp};
+    use crate::api::DownCall;
+    use crate::key::MacedonKey;
+    use crate::world::{proto_header, WorldConfig};
+    use crate::{Bytes, ChannelId, Time};
+    use macedon_net::topology::{canned, LinkSpec};
+    use std::any::Any;
+
+    struct Chatter {
+        peer: Option<NodeId>,
+        n: u32,
+    }
+
+    impl Agent for Chatter {
+        fn protocol_id(&self) -> u16 {
+            90
+        }
+        fn name(&self) -> &'static str {
+            "chatter"
+        }
+        fn init(&mut self, ctx: &mut Ctx) {
+            ctx.timer_periodic(1, crate::Duration::from_millis(200));
+        }
+        fn downcall(&mut self, _ctx: &mut Ctx, _call: DownCall) {}
+        fn recv(&mut self, ctx: &mut Ctx, _from: NodeId, _msg: Bytes) {
+            ctx.locking_read();
+            self.n += 1;
+        }
+        fn timer(&mut self, ctx: &mut Ctx, _t: u16) {
+            if let Some(p) = self.peer {
+                let w = proto_header(90, 1);
+                ctx.send(p, ChannelId(1), w.finish());
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn report_captures_traffic_and_transitions() {
+        let topo = canned::two_hosts(LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let mut w = World::new(topo, WorldConfig::default());
+        w.spawn_at(Time::ZERO, hosts[0], vec![Box::new(Chatter { peer: Some(hosts[1]), n: 0 })], Box::new(NullApp));
+        w.spawn_at(Time::ZERO, hosts[1], vec![Box::new(Chatter { peer: None, n: 0 })], Box::new(NullApp));
+        w.run_until(Time::from_secs(10));
+        let r = RunReport::capture(&w);
+        assert_eq!(r.nodes.len(), 2);
+        assert!(r.total_bytes_sent() > 0, "chatter traffic accounted");
+        assert!(r.events_fired > 0);
+        assert!((r.virtual_seconds - 10.0).abs() < 1e-6);
+        assert!(r.read_share > 0.0, "recv transitions were read-locked");
+        assert!(r.links_used >= 2);
+        assert_eq!(r.network_drops, 0);
+        assert!(r.mean_overhead_bps() > 0.0);
+        // Display renders without panicking and mentions the essentials.
+        let text = r.to_string();
+        assert!(text.contains("virtual s"));
+        assert!(text.contains("read-locked"));
+    }
+
+    #[test]
+    fn report_reflects_crashes() {
+        let topo = canned::star(3, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let mut w = World::new(topo, WorldConfig::default());
+        for &h in &hosts {
+            w.spawn_at(Time::ZERO, h, vec![Box::new(Chatter { peer: None, n: 0 })], Box::new(NullApp));
+        }
+        w.crash_at(Time::from_secs(1), hosts[0]);
+        w.run_until(Time::from_secs(5));
+        let r = RunReport::capture(&w);
+        assert_eq!(r.nodes.iter().filter(|n| n.alive).count(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! The MACEDON tracing subsystem.
+//!
+//! The `trace_` header of a mac file selects one of four levels
+//! (off/low/med/high); the engine then logs transitions, messages and
+//! state changes automatically. Here the [`TraceSink`] collects records
+//! centrally (the world owns one), filtered by level at collection time,
+//! and also keeps the read/write transition counters used by the locking
+//! ablation experiment.
+
+use macedon_net::NodeId;
+use macedon_sim::Time;
+
+/// Automatic tracing level (paper: `trace_ off|low|med|high`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum TraceLevel {
+    #[default]
+    Off,
+    Low,
+    Med,
+    High,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    pub at: Time,
+    pub node: NodeId,
+    pub layer: usize,
+    pub level: TraceLevel,
+    pub msg: String,
+}
+
+/// Central trace collector with transition accounting.
+#[derive(Default)]
+pub struct TraceSink {
+    level: TraceLevel,
+    records: Vec<TraceRecord>,
+    /// (read-locked, write-locked) transitions executed.
+    pub read_transitions: u64,
+    pub write_transitions: u64,
+    /// Total stack transitions dispatched.
+    pub transitions: u64,
+}
+
+impl TraceSink {
+    pub fn new(level: TraceLevel) -> TraceSink {
+        TraceSink { level, ..Default::default() }
+    }
+
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// Record if `level` is within the configured verbosity.
+    pub fn record(&mut self, at: Time, node: NodeId, layer: usize, level: TraceLevel, msg: String) {
+        if level != TraceLevel::Off && level <= self.level {
+            self.records.push(TraceRecord { at, node, layer, level, msg });
+        }
+    }
+
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records emitted by one node (debug helper).
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.node == node)
+    }
+
+    /// Fraction of transitions that were read-locked — the parallelism
+    /// opportunity the paper's data/control split exposes.
+    pub fn read_share(&self) -> f64 {
+        let total = self.read_transitions + self.write_transitions;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_transitions as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering() {
+        assert!(TraceLevel::Off < TraceLevel::Low);
+        assert!(TraceLevel::Low < TraceLevel::Med);
+        assert!(TraceLevel::Med < TraceLevel::High);
+    }
+
+    #[test]
+    fn filtering_by_level() {
+        let mut t = TraceSink::new(TraceLevel::Low);
+        t.record(Time::ZERO, NodeId(0), 0, TraceLevel::Low, "kept".into());
+        t.record(Time::ZERO, NodeId(0), 0, TraceLevel::High, "dropped".into());
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].msg, "kept");
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let mut t = TraceSink::new(TraceLevel::Off);
+        t.record(Time::ZERO, NodeId(0), 0, TraceLevel::Low, "x".into());
+        // An explicit Off-level record is also never kept.
+        t.record(Time::ZERO, NodeId(0), 0, TraceLevel::Off, "y".into());
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn per_node_filter() {
+        let mut t = TraceSink::new(TraceLevel::High);
+        t.record(Time::ZERO, NodeId(1), 0, TraceLevel::Low, "a".into());
+        t.record(Time::ZERO, NodeId(2), 0, TraceLevel::Low, "b".into());
+        assert_eq!(t.for_node(NodeId(1)).count(), 1);
+    }
+
+    #[test]
+    fn read_share_math() {
+        let mut t = TraceSink::new(TraceLevel::Off);
+        assert_eq!(t.read_share(), 0.0);
+        t.read_transitions = 3;
+        t.write_transitions = 1;
+        assert_eq!(t.read_share(), 0.75);
+    }
+}

@@ -1,0 +1,251 @@
+//! Message serialization — the "state serialization" library of the
+//! MACEDON engine.
+//!
+//! Every protocol message crosses the emulated network as bytes so that
+//! transports charge realistic sizes and layering tunnels payloads
+//! opaquely. The codec is a simple big-endian TLV-free format: each
+//! message type knows its own field order, mirroring the generated
+//! marshaling code MACEDON emits for `messages { ... }` declarations.
+
+use crate::key::MacedonKey;
+use bytes::Bytes;
+use macedon_net::NodeId;
+use std::fmt;
+
+/// Decode failure: message truncated or malformed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    pub needed: usize,
+    pub remaining: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: needed {} bytes, {} remaining", self.needed, self.remaining)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only message writer.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn node(&mut self, n: NodeId) -> &mut Self {
+        self.u32(n.0)
+    }
+
+    pub fn key(&mut self, k: MacedonKey) -> &mut Self {
+        self.u32(k.0)
+    }
+
+    /// Length-prefixed byte blob.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Length-prefixed list of node ids.
+    pub fn nodes(&mut self, ns: &[NodeId]) -> &mut Self {
+        self.u16(ns.len() as u16);
+        for n in ns {
+            self.node(*n);
+        }
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Sequential message reader.
+pub struct WireReader {
+    buf: Bytes,
+    pos: usize,
+}
+
+impl WireReader {
+    pub fn new(buf: Bytes) -> WireReader {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        Ok(u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(i32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn node(&mut self) -> Result<NodeId, DecodeError> {
+        Ok(NodeId(self.u32()?))
+    }
+
+    pub fn key(&mut self) -> Result<MacedonKey, DecodeError> {
+        Ok(MacedonKey(self.u32()?))
+    }
+
+    /// Length-prefixed byte blob (zero-copy slice of the input).
+    pub fn bytes(&mut self) -> Result<Bytes, DecodeError> {
+        let n = self.u32()? as usize;
+        if self.remaining() < n {
+            return Err(DecodeError { needed: n, remaining: self.remaining() });
+        }
+        let b = self.buf.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(b)
+    }
+
+    pub fn nodes(&mut self) -> Result<Vec<NodeId>, DecodeError> {
+        let n = self.u16()? as usize;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(self.node()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = WireWriter::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).i32(-5);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i32().unwrap(), -5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_domain_types() {
+        let mut w = WireWriter::new();
+        w.node(NodeId(9)).key(MacedonKey(0xDEAD_BEEF));
+        w.nodes(&[NodeId(1), NodeId(2), NodeId(3)]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.node().unwrap(), NodeId(9));
+        assert_eq!(r.key().unwrap(), MacedonKey(0xDEAD_BEEF));
+        assert_eq!(r.nodes().unwrap(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn roundtrip_bytes_blob() {
+        let mut w = WireWriter::new();
+        w.bytes(b"payload").u8(0xFF);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(&r.bytes().unwrap()[..], b"payload");
+        assert_eq!(r.u8().unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = WireWriter::new();
+        w.u16(1);
+        let mut r = WireReader::new(w.finish());
+        assert!(r.u32().is_err());
+        let err = r.u64().unwrap_err();
+        assert_eq!(err.needed, 8);
+    }
+
+    #[test]
+    fn truncated_blob_errors() {
+        let mut w = WireWriter::new();
+        w.u32(100); // claims 100 bytes follow, none do
+        let mut r = WireReader::new(w.finish());
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn empty_collections() {
+        let mut w = WireWriter::new();
+        w.bytes(b"").nodes(&[]);
+        let mut r = WireReader::new(w.finish());
+        assert!(r.bytes().unwrap().is_empty());
+        assert!(r.nodes().unwrap().is_empty());
+    }
+
+    #[test]
+    fn writer_len_tracks() {
+        let mut w = WireWriter::new();
+        assert!(w.is_empty());
+        w.u32(1);
+        assert_eq!(w.len(), 4);
+    }
+}

@@ -1,0 +1,772 @@
+//! The world: one deterministic event loop that couples the network
+//! emulator, the transport subsystem and every node's protocol stack —
+//! the equivalent of the paper's "MACEDON code engine" plus the ModelNet
+//! harness around it.
+//!
+//! Responsibilities:
+//!
+//! * owning the global [`Scheduler`] and virtual clock,
+//! * delivering transport messages into stacks and stack effects back out,
+//! * the **timer subsystem** (named per-layer timers with cancellation and
+//!   periodic re-arming),
+//! * the **failure detector** (§3.1): a peer is presumed failed after `f`
+//!   seconds of silence; after `g < f` seconds a heartbeat
+//!   request/response is solicited first,
+//! * node lifecycle: staggered spawns, crashes,
+//! * world-level tracing and metric oracles.
+
+use crate::agent::{Agent, AppHandler};
+use crate::api::{DownCall, ProtocolId, ENGINE_PROTOCOL};
+use crate::key::{Addressing, MacedonKey};
+use crate::stack::{Stack, StackEffect};
+use crate::trace::{TraceLevel, TraceSink};
+use crate::wire::{WireReader, WireWriter};
+use bytes::Bytes;
+use macedon_net::{NetEvent, Network, NetworkConfig, NodeId, Sink, Topology};
+use macedon_sim::{Duration, Scheduler, SimRng, Time};
+use macedon_transport::{ChannelId, ChannelSpec, Endpoint, TimerKey, TransportKind, TransportSink, Segment};
+use std::collections::{HashMap, HashSet};
+
+/// Engine heartbeat message types.
+const HB_REQ: u16 = 1;
+const HB_RESP: u16 = 2;
+
+/// World-level configuration.
+#[derive(Clone)]
+pub struct WorldConfig {
+    pub seed: u64,
+    pub addressing: Addressing,
+    /// Named transport instances available to stacks (an engine-internal
+    /// UDP heartbeat channel is appended automatically).
+    pub channels: Vec<ChannelSpec>,
+    pub trace_level: TraceLevel,
+    /// Silence threshold before soliciting a heartbeat (`g`).
+    pub fd_g: Duration,
+    /// Silence threshold before declaring failure (`f`).
+    pub fd_f: Duration,
+    /// Failure-detector sweep period.
+    pub fd_tick: Duration,
+    pub net: NetworkConfig,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 42,
+            addressing: Addressing::Hash,
+            channels: ChannelSpec::default_table(),
+            trace_level: TraceLevel::Off,
+            fd_g: Duration::from_secs(5),
+            fd_f: Duration::from_secs(15),
+            fd_tick: Duration::from_secs(1),
+            net: NetworkConfig::default(),
+        }
+    }
+}
+
+/// Events of the combined world loop.
+pub enum WorldEvent {
+    Net(NetEvent<Segment>),
+    Rto(TimerKey),
+    AgentTimer { node: NodeId, layer: u16, timer: u16, gen: u32 },
+    FdTick { node: NodeId },
+    Spawn { node: NodeId },
+    Api { node: NodeId, call: DownCall },
+    Crash { node: NodeId },
+}
+
+struct TimerSlot {
+    gen: u32,
+    period: Option<Duration>,
+}
+
+#[derive(Clone, Copy)]
+struct MonitorState {
+    last_heard: Time,
+    hb_pending: bool,
+}
+
+/// The complete simulated deployment.
+pub struct World {
+    cfg: WorldConfig,
+    pub sched: Scheduler<WorldEvent>,
+    net: Network<Segment>,
+    endpoints: HashMap<NodeId, Endpoint>,
+    stacks: HashMap<NodeId, Stack>,
+    alive: HashSet<NodeId>,
+    timers: HashMap<(NodeId, u16, u16), TimerSlot>,
+    /// node → peer → (monitoring layers, state)
+    monitors: HashMap<NodeId, HashMap<NodeId, (Vec<usize>, MonitorState)>>,
+    trace: TraceSink,
+    rng: SimRng,
+    engine_ch: ChannelId,
+}
+
+impl World {
+    pub fn new(topo: Topology, cfg: WorldConfig) -> World {
+        let mut channels = cfg.channels.clone();
+        let engine_ch = ChannelId(channels.len() as u16);
+        channels.push(ChannelSpec::new("__ENGINE_HB", TransportKind::Udp));
+        let mut net_cfg = cfg.net.clone();
+        net_cfg.seed = cfg.seed ^ 0x6e65_7477;
+        let net = Network::new(topo, net_cfg);
+        let trace = TraceSink::new(cfg.trace_level);
+        let rng = SimRng::new(cfg.seed);
+        let mut w = World {
+            cfg,
+            sched: Scheduler::new(),
+            net,
+            endpoints: HashMap::new(),
+            stacks: HashMap::new(),
+            alive: HashSet::new(),
+            timers: HashMap::new(),
+            monitors: HashMap::new(),
+            trace,
+            rng,
+            engine_ch,
+        };
+        w.cfg.channels = channels;
+        w
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    /// Register a node's stack and schedule its `init` at `at`.
+    pub fn spawn_at(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        agents: Vec<Box<dyn Agent>>,
+        app: Box<dyn AppHandler>,
+    ) {
+        assert!(self.net.topology().is_host(node), "spawn on non-host {node:?}");
+        assert!(!self.stacks.contains_key(&node), "{node:?} already spawned");
+        let key = MacedonKey::of_node(node, self.cfg.addressing);
+        let rng = self.rng.fork(node.0 as u64);
+        let stack = Stack::new(node, key, agents, app, rng);
+        self.stacks.insert(node, stack);
+        self.endpoints
+            .insert(node, Endpoint::new(node, self.cfg.channels.clone()));
+        self.sched.schedule(at, WorldEvent::Spawn { node });
+    }
+
+    /// Schedule an application-level API call on a node.
+    pub fn api_at(&mut self, at: Time, node: NodeId, call: DownCall) {
+        self.sched.schedule(at, WorldEvent::Api { node, call });
+    }
+
+    /// Schedule a node crash (fail-stop).
+    pub fn crash_at(&mut self, at: Time, node: NodeId) {
+        self.sched.schedule(at, WorldEvent::Crash { node });
+    }
+
+    // ---- observation ------------------------------------------------------
+
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    pub fn net(&self) -> &Network<Segment> {
+        &self.net
+    }
+
+    pub fn net_mut(&mut self) -> &mut Network<Segment> {
+        &mut self.net
+    }
+
+    pub fn stack(&self, node: NodeId) -> Option<&Stack> {
+        self.stacks.get(&node)
+    }
+
+    pub fn stack_mut(&mut self, node: NodeId) -> Option<&mut Stack> {
+        self.stacks.get_mut(&node)
+    }
+
+    pub fn endpoint(&self, node: NodeId) -> Option<&Endpoint> {
+        self.endpoints.get(&node)
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.contains(&node)
+    }
+
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive.iter().copied()
+    }
+
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Key of a node under this world's addressing mode.
+    pub fn key_of(&self, node: NodeId) -> MacedonKey {
+        MacedonKey::of_node(node, self.cfg.addressing)
+    }
+
+    /// Resolve a named transport instance.
+    pub fn channel(&self, name: &str) -> Option<ChannelId> {
+        self.cfg
+            .channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId(i as u16))
+    }
+
+    /// Uncongested IP latency oracle (stretch / RDP computations).
+    pub fn oracle_latency(&mut self, a: NodeId, b: NodeId) -> Option<Duration> {
+        self.net.oracle_latency(a, b)
+    }
+
+    /// Aggregate read/write transition counts across stacks (locking
+    /// ablation data).
+    pub fn transition_counts(&self) -> (u64, u64) {
+        let mut r = 0;
+        let mut w = 0;
+        for s in self.stacks.values() {
+            r += s.read_transitions;
+            w += s.write_transitions;
+        }
+        (r, w)
+    }
+
+    // ---- running ----------------------------------------------------------
+
+    /// Process events until `deadline`; the clock lands exactly on it.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some((now, ev)) = self.sched.pop_before(deadline) {
+            self.handle(now, ev);
+        }
+        self.sched.fast_forward(deadline);
+    }
+
+    /// Process every remaining event (tests on quiescent protocols).
+    pub fn run_to_quiescence(&mut self) {
+        while let Some((now, ev)) = self.sched.pop() {
+            self.handle(now, ev);
+        }
+    }
+
+    fn handle(&mut self, now: Time, ev: WorldEvent) {
+        match ev {
+            WorldEvent::Net(nev) => {
+                let mut sink = Sink::new();
+                self.net.handle(now, nev, &mut sink);
+                self.absorb_net(now, sink);
+            }
+            WorldEvent::Rto(key) => {
+                if !self.alive.contains(&key.node) {
+                    return;
+                }
+                let mut tsink = TransportSink::new();
+                if let Some(ep) = self.endpoints.get_mut(&key.node) {
+                    ep.on_timer(now, key, &mut tsink);
+                }
+                self.absorb_transport(now, key.node, tsink);
+            }
+            WorldEvent::AgentTimer { node, layer, timer, gen } => {
+                if !self.alive.contains(&node) {
+                    return;
+                }
+                let slot_key = (node, layer, timer);
+                let Some(slot) = self.timers.get(&slot_key) else {
+                    return;
+                };
+                if slot.gen != gen {
+                    return; // superseded or cancelled
+                }
+                if let Some(period) = slot.period {
+                    self.sched.schedule(
+                        now + period,
+                        WorldEvent::AgentTimer { node, layer, timer, gen },
+                    );
+                }
+                let mut fx = Vec::new();
+                if let Some(stack) = self.stacks.get_mut(&node) {
+                    stack.timer(now, layer as usize, timer, &mut fx);
+                }
+                self.process_effects(now, node, fx);
+            }
+            WorldEvent::FdTick { node } => self.fd_sweep(now, node),
+            WorldEvent::Spawn { node } => {
+                self.alive.insert(node);
+                let mut fx = Vec::new();
+                if let Some(stack) = self.stacks.get_mut(&node) {
+                    stack.init(now, &mut fx);
+                }
+                self.process_effects(now, node, fx);
+                self.sched
+                    .schedule(now + self.cfg.fd_tick, WorldEvent::FdTick { node });
+            }
+            WorldEvent::Api { node, call } => {
+                if !self.alive.contains(&node) {
+                    return;
+                }
+                let mut fx = Vec::new();
+                if let Some(stack) = self.stacks.get_mut(&node) {
+                    stack.api(now, call, &mut fx);
+                }
+                self.process_effects(now, node, fx);
+            }
+            WorldEvent::Crash { node } => {
+                self.alive.remove(&node);
+                self.net.faults_mut().fail_node(node);
+                self.monitors.remove(&node);
+            }
+        }
+    }
+
+    // ---- plumbing ----------------------------------------------------------
+
+    fn absorb_net(&mut self, _now: Time, mut sink: Sink<Segment>) {
+        for (t, ev) in sink.schedule.drain(..) {
+            self.sched.schedule(t, WorldEvent::Net(ev));
+        }
+        for d in sink.delivered.drain(..) {
+            let to = d.pkt.dst;
+            let from = d.pkt.src;
+            if !self.alive.contains(&to) {
+                continue;
+            }
+            let mut tsink = TransportSink::new();
+            if let Some(ep) = self.endpoints.get_mut(&to) {
+                ep.on_packet(d.at, from, d.pkt.payload, &mut tsink);
+            }
+            self.absorb_transport(d.at, to, tsink);
+        }
+    }
+
+    fn absorb_transport(&mut self, now: Time, node: NodeId, mut tsink: TransportSink) {
+        let mut nsink = Sink::new();
+        for pkt in tsink.packets.drain(..) {
+            self.net.send(now, pkt, &mut nsink);
+        }
+        for (at, key) in tsink.timers.drain(..) {
+            self.sched.schedule(at, WorldEvent::Rto(key));
+        }
+        let delivered: Vec<_> = tsink.delivered.drain(..).collect();
+        self.absorb_net(now, nsink);
+        for (from, ch, msg) in delivered {
+            self.deliver_msg(now, node, from, ch, msg);
+        }
+    }
+
+    /// A complete message reached `to`'s stack (or the engine).
+    fn deliver_msg(&mut self, now: Time, to: NodeId, from: NodeId, _ch: ChannelId, msg: Bytes) {
+        // Any traffic from a peer counts as liveness evidence.
+        if let Some(mon) = self.monitors.get_mut(&to) {
+            if let Some((_, st)) = mon.get_mut(&from) {
+                st.last_heard = now;
+                st.hb_pending = false;
+            }
+        }
+        // Engine-internal messages.
+        let mut r = WireReader::new(msg.clone());
+        if let Ok(proto) = r.u16() {
+            if proto == ENGINE_PROTOCOL {
+                if let Ok(kind) = r.u16() {
+                    if kind == HB_REQ {
+                        self.send_engine(now, to, from, HB_RESP);
+                    }
+                }
+                return;
+            }
+        }
+        if !self.alive.contains(&to) {
+            return;
+        }
+        let mut fx = Vec::new();
+        if let Some(stack) = self.stacks.get_mut(&to) {
+            stack.recv(now, from, msg, &mut fx);
+        }
+        self.process_effects(now, to, fx);
+    }
+
+    fn process_effects(&mut self, now: Time, node: NodeId, fx: Vec<StackEffect>) {
+        for effect in fx {
+            match effect {
+                StackEffect::Send { dst, channel, bytes } => {
+                    let mut tsink = TransportSink::new();
+                    if let Some(ep) = self.endpoints.get_mut(&node) {
+                        ep.send(now, dst, channel, bytes, &mut tsink);
+                    }
+                    self.absorb_transport(now, node, tsink);
+                }
+                StackEffect::TimerSet { layer, timer, delay, periodic } => {
+                    let key = (node, layer as u16, timer);
+                    let slot = self.timers.entry(key).or_insert(TimerSlot { gen: 0, period: None });
+                    slot.gen += 1;
+                    slot.period = periodic.then_some(delay);
+                    let gen = slot.gen;
+                    self.sched.schedule(
+                        now + delay,
+                        WorldEvent::AgentTimer { node, layer: layer as u16, timer, gen },
+                    );
+                }
+                StackEffect::TimerCancel { layer, timer } => {
+                    if let Some(slot) = self.timers.get_mut(&(node, layer as u16, timer)) {
+                        slot.gen += 1;
+                        slot.period = None;
+                    }
+                }
+                StackEffect::Monitor { layer, peer } => {
+                    let mon = self.monitors.entry(node).or_default();
+                    let entry = mon.entry(peer).or_insert((
+                        Vec::new(),
+                        MonitorState { last_heard: now, hb_pending: false },
+                    ));
+                    if !entry.0.contains(&layer) {
+                        entry.0.push(layer);
+                    }
+                }
+                StackEffect::Unmonitor { layer, peer } => {
+                    if let Some(mon) = self.monitors.get_mut(&node) {
+                        if let Some(entry) = mon.get_mut(&peer) {
+                            entry.0.retain(|&l| l != layer);
+                            if entry.0.is_empty() {
+                                mon.remove(&peer);
+                            }
+                        }
+                    }
+                }
+                StackEffect::Trace { layer, level, msg } => {
+                    self.trace.record(now, node, layer, level, msg);
+                }
+            }
+        }
+    }
+
+    fn send_engine(&mut self, now: Time, from_node: NodeId, to: NodeId, kind: u16) {
+        let mut w = WireWriter::new();
+        w.u16(ENGINE_PROTOCOL).u16(kind);
+        let mut tsink = TransportSink::new();
+        let ch = self.engine_ch;
+        if let Some(ep) = self.endpoints.get_mut(&from_node) {
+            ep.send(now, to, ch, w.finish(), &mut tsink);
+        }
+        self.absorb_transport(now, from_node, tsink);
+    }
+
+    fn fd_sweep(&mut self, now: Time, node: NodeId) {
+        if !self.alive.contains(&node) {
+            return;
+        }
+        let mut failed: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        let mut probe: Vec<NodeId> = Vec::new();
+        if let Some(mon) = self.monitors.get_mut(&node) {
+            let mut dead: Vec<NodeId> = Vec::new();
+            for (&peer, (layers, st)) in mon.iter_mut() {
+                let silent = now.saturating_since(st.last_heard);
+                if silent >= self.cfg.fd_f {
+                    failed.push((peer, layers.clone()));
+                    dead.push(peer);
+                } else if silent >= self.cfg.fd_g && !st.hb_pending {
+                    st.hb_pending = true;
+                    probe.push(peer);
+                }
+            }
+            for peer in dead {
+                mon.remove(&peer);
+            }
+        }
+        for peer in probe {
+            self.send_engine(now, node, peer, HB_REQ);
+        }
+        for (peer, layers) in failed {
+            for layer in layers {
+                let mut fx = Vec::new();
+                if let Some(stack) = self.stacks.get_mut(&node) {
+                    stack.peer_failed(now, layer, peer, &mut fx);
+                }
+                self.process_effects(now, node, fx);
+            }
+        }
+        self.sched
+            .schedule(now + self.cfg.fd_tick, WorldEvent::FdTick { node });
+    }
+}
+
+/// Helper for protocol message encoding: prefix with protocol id and
+/// message type — the demultiplexing header the generated code emits.
+pub fn proto_header(proto: ProtocolId, msg_type: u16) -> WireWriter {
+    let mut w = WireWriter::new();
+    w.u16(proto).u16(msg_type);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Ctx, NullApp};
+    use macedon_net::topology::{canned, LinkSpec};
+    use std::any::Any;
+
+    /// Ping-pong agent: on init, the initiator sends PING; the peer
+    /// responds PONG; both count.
+    struct PingPong {
+        peer: Option<NodeId>,
+        ch: ChannelId,
+        pings: u32,
+        pongs: u32,
+    }
+
+    const PP: ProtocolId = 77;
+    const MSG_PING: u16 = 1;
+    const MSG_PONG: u16 = 2;
+
+    impl Agent for PingPong {
+        fn protocol_id(&self) -> ProtocolId {
+            PP
+        }
+        fn name(&self) -> &'static str {
+            "pingpong"
+        }
+        fn init(&mut self, ctx: &mut Ctx) {
+            if let Some(peer) = self.peer {
+                let w = proto_header(PP, MSG_PING);
+                ctx.send(peer, self.ch, w.finish());
+            }
+        }
+        fn downcall(&mut self, _ctx: &mut Ctx, _call: DownCall) {}
+        fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
+            let mut r = WireReader::new(msg);
+            let _proto = r.u16().unwrap();
+            match r.u16().unwrap() {
+                MSG_PING => {
+                    self.pings += 1;
+                    let w = proto_header(PP, MSG_PONG);
+                    ctx.send(from, self.ch, w.finish());
+                }
+                MSG_PONG => self.pongs += 1,
+                _ => unreachable!(),
+            }
+        }
+        fn timer(&mut self, _ctx: &mut Ctx, _timer: u16) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_host_world() -> (World, NodeId, NodeId) {
+        let topo = canned::two_hosts(LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let w = World::new(topo, WorldConfig::default());
+        (w, hosts[0], hosts[1])
+    }
+
+    fn pp(peer: Option<NodeId>) -> Box<dyn Agent> {
+        Box::new(PingPong { peer, ch: ChannelId(1), pings: 0, pongs: 0 })
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let (mut w, a, b) = two_host_world();
+        w.spawn_at(Time::ZERO, b, vec![pp(None)], Box::new(NullApp));
+        w.spawn_at(Time::from_millis(10), a, vec![pp(Some(b))], Box::new(NullApp));
+        w.run_until(Time::from_secs(2));
+        let pa: &PingPong = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let pb: &PingPong = w.stack(b).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        assert_eq!(pb.pings, 1);
+        assert_eq!(pa.pongs, 1);
+    }
+
+    #[test]
+    fn spawn_staggering_orders_inits() {
+        let (mut w, a, b) = two_host_world();
+        w.spawn_at(Time::from_secs(5), a, vec![pp(None)], Box::new(NullApp));
+        w.spawn_at(Time::from_secs(1), b, vec![pp(None)], Box::new(NullApp));
+        w.run_until(Time::from_secs(2));
+        assert!(w.is_alive(b));
+        assert!(!w.is_alive(a));
+        w.run_until(Time::from_secs(6));
+        assert!(w.is_alive(a));
+    }
+
+    /// Agent exercising one-shot, superseding and periodic timers.
+    struct TimerBox {
+        fired: Vec<u16>,
+    }
+
+    impl Agent for TimerBox {
+        fn protocol_id(&self) -> ProtocolId {
+            78
+        }
+        fn name(&self) -> &'static str {
+            "timerbox"
+        }
+        fn init(&mut self, ctx: &mut Ctx) {
+            ctx.timer_set(1, Duration::from_millis(100));
+            ctx.timer_set(2, Duration::from_millis(500));
+            ctx.timer_set(2, Duration::from_millis(900)); // supersedes
+            ctx.timer_periodic(3, Duration::from_millis(300));
+        }
+        fn downcall(&mut self, _ctx: &mut Ctx, _call: DownCall) {}
+        fn recv(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Bytes) {}
+        fn timer(&mut self, ctx: &mut Ctx, timer: u16) {
+            self.fired.push(timer);
+            if timer == 3 && self.fired.iter().filter(|&&t| t == 3).count() >= 3 {
+                ctx.timer_cancel(3);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timer_semantics() {
+        let (mut w, a, _) = two_host_world();
+        w.spawn_at(Time::ZERO, a, vec![Box::new(TimerBox { fired: vec![] })], Box::new(NullApp));
+        w.run_until(Time::from_secs(5));
+        let tb: &TimerBox = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        // Timer 1 once; timer 2 once (superseded schedule → one firing);
+        // timer 3 exactly three times then cancelled.
+        assert_eq!(tb.fired.iter().filter(|&&t| t == 1).count(), 1);
+        assert_eq!(tb.fired.iter().filter(|&&t| t == 2).count(), 1);
+        assert_eq!(tb.fired.iter().filter(|&&t| t == 3).count(), 3);
+    }
+
+    /// Agent that monitors a peer and records failure.
+    struct Watcher {
+        peer: NodeId,
+        ch: ChannelId,
+        failures: Vec<NodeId>,
+    }
+
+    impl Agent for Watcher {
+        fn protocol_id(&self) -> ProtocolId {
+            79
+        }
+        fn name(&self) -> &'static str {
+            "watcher"
+        }
+        fn init(&mut self, ctx: &mut Ctx) {
+            ctx.monitor(self.peer);
+            // Exchange one message so the peer knows us.
+            let w = proto_header(79, 9);
+            ctx.send(self.peer, self.ch, w.finish());
+        }
+        fn downcall(&mut self, _ctx: &mut Ctx, _call: DownCall) {}
+        fn recv(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Bytes) {}
+        fn timer(&mut self, _ctx: &mut Ctx, _timer: u16) {}
+        fn neighbor_failed(&mut self, _ctx: &mut Ctx, peer: NodeId) {
+            self.failures.push(peer);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn failure_detector_fires_on_crash() {
+        let (mut w, a, b) = two_host_world();
+        w.spawn_at(
+            Time::ZERO,
+            a,
+            vec![Box::new(Watcher { peer: b, ch: ChannelId(1), failures: vec![] })],
+            Box::new(NullApp),
+        );
+        w.spawn_at(
+            Time::ZERO,
+            b,
+            vec![Box::new(Watcher { peer: a, ch: ChannelId(1), failures: vec![] })],
+            Box::new(NullApp),
+        );
+        w.crash_at(Time::from_secs(2), b);
+        w.run_until(Time::from_secs(30));
+        let wa: &Watcher = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        assert_eq!(wa.failures, vec![b], "a detected b's crash");
+        assert!(!w.is_alive(b));
+    }
+
+    #[test]
+    fn heartbeats_keep_silent_peers_alive() {
+        // Nodes monitor each other but exchange no protocol traffic after
+        // init; heartbeats must prevent false failure declarations.
+        let (mut w, a, b) = two_host_world();
+        w.spawn_at(
+            Time::ZERO,
+            a,
+            vec![Box::new(Watcher { peer: b, ch: ChannelId(1), failures: vec![] })],
+            Box::new(NullApp),
+        );
+        w.spawn_at(
+            Time::ZERO,
+            b,
+            vec![Box::new(Watcher { peer: a, ch: ChannelId(1), failures: vec![] })],
+            Box::new(NullApp),
+        );
+        w.run_until(Time::from_secs(60));
+        let wa: &Watcher = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let wb: &Watcher = w.stack(b).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        assert!(wa.failures.is_empty(), "no false positives at a: {:?}", wa.failures);
+        assert!(wb.failures.is_empty(), "no false positives at b");
+    }
+
+    #[test]
+    fn api_injection_reaches_top_layer() {
+        struct ApiSpy {
+            calls: u32,
+        }
+        impl Agent for ApiSpy {
+            fn protocol_id(&self) -> ProtocolId {
+                80
+            }
+            fn name(&self) -> &'static str {
+                "apispy"
+            }
+            fn init(&mut self, _ctx: &mut Ctx) {}
+            fn downcall(&mut self, _ctx: &mut Ctx, call: DownCall) {
+                if matches!(call, DownCall::Join { .. }) {
+                    self.calls += 1;
+                }
+            }
+            fn recv(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Bytes) {}
+            fn timer(&mut self, _ctx: &mut Ctx, _timer: u16) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let (mut w, a, _) = two_host_world();
+        w.spawn_at(Time::ZERO, a, vec![Box::new(ApiSpy { calls: 0 })], Box::new(NullApp));
+        w.api_at(Time::from_millis(100), a, DownCall::Join { group: MacedonKey(1) });
+        w.run_until(Time::from_secs(1));
+        let spy: &ApiSpy = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        assert_eq!(spy.calls, 1);
+    }
+
+    #[test]
+    fn deterministic_end_state() {
+        let run = || {
+            let (mut w, a, b) = two_host_world();
+            w.spawn_at(Time::ZERO, b, vec![pp(None)], Box::new(NullApp));
+            w.spawn_at(Time::from_millis(3), a, vec![pp(Some(b))], Box::new(NullApp));
+            w.run_until(Time::from_secs(10));
+            w.sched.events_fired()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn channel_resolution() {
+        let (w, _, _) = two_host_world();
+        assert!(w.channel("HIGH").is_some());
+        assert!(w.channel("__ENGINE_HB").is_some());
+        assert!(w.channel("NONE").is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on keys, SHA-1 and the wire codec.
+
+use macedon_core::key::RING;
+use macedon_core::sha1::sha1;
+use macedon_core::{MacedonKey, NodeId, WireReader, WireWriter};
+use proptest::prelude::*;
+
+proptest! {
+    /// Clockwise distances around the ring sum to the full circle.
+    #[test]
+    fn distances_sum_to_ring(a in any::<u32>(), b in any::<u32>()) {
+        let (ka, kb) = (MacedonKey(a), MacedonKey(b));
+        if a != b {
+            prop_assert_eq!(ka.distance_to(kb) + kb.distance_to(ka), RING);
+        } else {
+            prop_assert_eq!(ka.distance_to(kb), 0);
+        }
+    }
+
+    /// x ∈ (a, b) iff x ∉ [b, a] going the other way (for distinct points).
+    #[test]
+    fn open_interval_partition(a in any::<u32>(), b in any::<u32>(), x in any::<u32>()) {
+        let (ka, kb, kx) = (MacedonKey(a), MacedonKey(b), MacedonKey(x));
+        prop_assume!(a != b && x != a && x != b);
+        let cw = kx.in_open(ka, kb);
+        let ccw = kx.in_open(kb, ka);
+        prop_assert!(cw ^ ccw, "each point is on exactly one side");
+    }
+
+    /// in_open_closed contains the endpoint, in_open doesn't.
+    #[test]
+    fn interval_endpoints(a in any::<u32>(), b in any::<u32>()) {
+        let (ka, kb) = (MacedonKey(a), MacedonKey(b));
+        prop_assume!(a != b);
+        prop_assert!(kb.in_open_closed(ka, kb));
+        prop_assert!(!kb.in_open(ka, kb));
+        prop_assert!(!ka.in_open_closed(ka, kb));
+    }
+
+    /// Digits reassemble to the key.
+    #[test]
+    fn digits_reassemble(k in any::<u32>()) {
+        let key = MacedonKey(k);
+        let mut v = 0u32;
+        for i in 0..8 {
+            v = (v << 4) | key.digit(i, 4);
+        }
+        prop_assert_eq!(v, k);
+    }
+
+    /// shared_prefix_len is symmetric and maximal for equal keys.
+    #[test]
+    fn prefix_symmetry(a in any::<u32>(), b in any::<u32>()) {
+        let (ka, kb) = (MacedonKey(a), MacedonKey(b));
+        prop_assert_eq!(ka.shared_prefix_len(kb, 4), kb.shared_prefix_len(ka, 4));
+        prop_assert_eq!(ka.shared_prefix_len(ka, 4), 8);
+    }
+
+    /// ring_distance is a metric-ish: symmetric, zero iff equal, ≤ half.
+    #[test]
+    fn ring_distance_properties(a in any::<u32>(), b in any::<u32>()) {
+        let (ka, kb) = (MacedonKey(a), MacedonKey(b));
+        prop_assert_eq!(ka.ring_distance(kb), kb.ring_distance(ka));
+        prop_assert_eq!(ka.ring_distance(kb) == 0, a == b);
+        prop_assert!(ka.ring_distance(kb) <= RING / 2);
+    }
+
+    /// SHA-1 is deterministic and length-sensitive.
+    #[test]
+    fn sha1_deterministic(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(sha1(&data), sha1(&data));
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(sha1(&data), sha1(&extended));
+    }
+
+    /// Wire codec roundtrips arbitrary field sequences.
+    #[test]
+    fn wire_roundtrip(
+        ints in proptest::collection::vec(any::<u64>(), 0..20),
+        nodes in proptest::collection::vec(any::<u32>(), 0..20),
+        blob in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut w = WireWriter::new();
+        for &v in &ints { w.u64(v); }
+        let node_ids: Vec<NodeId> = nodes.iter().map(|&n| NodeId(n)).collect();
+        w.nodes(&node_ids);
+        w.bytes(&blob);
+        let mut r = WireReader::new(w.finish());
+        for &v in &ints {
+            prop_assert_eq!(r.u64().unwrap(), v);
+        }
+        prop_assert_eq!(r.nodes().unwrap(), node_ids);
+        prop_assert_eq!(&r.bytes().unwrap()[..], &blob[..]);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Truncating any wire buffer yields an error, never a panic.
+    #[test]
+    fn wire_truncation_safe(blob in proptest::collection::vec(any::<u8>(), 0..64), cut in 0usize..64) {
+        let mut w = WireWriter::new();
+        w.bytes(&blob).u32(7);
+        let full = w.finish();
+        let cut = cut.min(full.len());
+        let mut r = WireReader::new(full.slice(..cut));
+        // Must not panic; may error.
+        let _ = r.bytes().and_then(|_| r.u32());
+    }
+}

@@ -1,0 +1,271 @@
+//! Abstract syntax of a MACEDON protocol specification (Figure 4).
+
+/// A complete `PROTOCOL SPECIFICATION`.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// `protocol <name>`.
+    pub name: String,
+    /// `uses <base>` — the layering declaration ("protocol scribe uses
+    /// pastry").
+    pub uses: Option<String>,
+    /// `addressing hash|ip`.
+    pub addressing: AddressingMode,
+    /// `trace_ off|low|med|high`.
+    pub trace: TraceMode,
+    pub constants: Vec<(String, i64)>,
+    /// FSM states; `init` is implicit and always present.
+    pub states: Vec<String>,
+    pub neighbor_types: Vec<NeighborType>,
+    pub transports: Vec<TransportDecl>,
+    pub messages: Vec<MessageDecl>,
+    pub state_vars: Vec<StateVar>,
+    pub transitions: Vec<Transition>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AddressingMode {
+    Hash,
+    Ip,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceMode {
+    Off,
+    Low,
+    Med,
+    High,
+}
+
+/// `neighbor_types { <name> <max>? { fields } ... }`.
+#[derive(Clone, Debug)]
+pub struct NeighborType {
+    pub name: String,
+    /// Maximum entries (`MAX_CHILDREN` style); default 1.
+    pub max: usize,
+    pub fields: Vec<Field>,
+}
+
+/// One typed field of a message or neighbor entry.
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub ty: TypeName,
+    pub name: String,
+}
+
+/// Surface types of the language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeName {
+    Int,
+    Bool,
+    Node,
+    Key,
+    /// Opaque tunneled application data (the paper's buffaddr/buffsize
+    /// transmission arguments).
+    Payload,
+    /// A declared neighbor type (sets of neighbors may ride in messages).
+    Neighbor(String),
+}
+
+/// `transports { TCP HIGH; ... }`.
+#[derive(Clone, Debug)]
+pub struct TransportDecl {
+    pub kind: TransportKindDecl,
+    pub name: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKindDecl {
+    Tcp,
+    Udp,
+    Swp,
+}
+
+/// `messages { <transport>? <name> { fields } ... }`.
+#[derive(Clone, Debug)]
+pub struct MessageDecl {
+    /// Named transport instance carrying this message (lowest layer), or
+    /// `None` for a default-priority message in a layered protocol.
+    pub transport: Option<String>,
+    pub name: String,
+    pub fields: Vec<Field>,
+}
+
+/// One entry of `state_variables { ... }` / `auxiliary_data { ... }`.
+#[derive(Clone, Debug)]
+pub enum StateVar {
+    /// `fail_detect? <neighbor-type> <name>;`
+    Neighbor { ty: String, name: String, fail_detect: bool },
+    /// `timer <name> <period>?;` (period in milliseconds).
+    Timer { name: String, period_ms: Option<i64> },
+    /// `int <name>;` etc.
+    Scalar { ty: TypeName, name: String },
+}
+
+/// FSM-state scope expression for a transition (`!(joining|init)`).
+#[derive(Clone, Debug)]
+pub enum StateExpr {
+    Any,
+    Is(String),
+    Not(Box<StateExpr>),
+    Or(Box<StateExpr>, Box<StateExpr>),
+}
+
+impl StateExpr {
+    /// Does this scope admit the given current state?
+    pub fn matches(&self, state: &str) -> bool {
+        match self {
+            StateExpr::Any => true,
+            StateExpr::Is(s) => s == state,
+            StateExpr::Not(e) => !e.matches(state),
+            StateExpr::Or(a, b) => a.matches(state) || b.matches(state),
+        }
+    }
+
+    /// All state names referenced (for semantic checking).
+    pub fn names(&self, out: &mut Vec<String>) {
+        match self {
+            StateExpr::Any => {}
+            StateExpr::Is(s) => out.push(s.clone()),
+            StateExpr::Not(e) => e.names(out),
+            StateExpr::Or(a, b) => {
+                a.names(out);
+                b.names(out);
+            }
+        }
+    }
+}
+
+/// What triggers a transition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Trigger {
+    /// `API init`, `API route`, `API multicast`, ...
+    Api(String),
+    /// `timer <name>`.
+    Timer(String),
+    /// `recv <message>` — message delivered to this node.
+    Recv(String),
+    /// `forward <message>` — message passing through (upper layers).
+    Forward(String),
+    /// `error` — the failure-detection API.
+    Error,
+}
+
+/// Locking class annotation (`[locking read;]`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LockingOpt {
+    Read,
+    #[default]
+    Write,
+}
+
+/// One transition: scope, trigger, options, body.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    pub scope: StateExpr,
+    pub trigger: Trigger,
+    pub locking: LockingOpt,
+    pub body: Vec<Stmt>,
+}
+
+/// Statements of the action language (§3.3).
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `if (cond) { .. } else { .. }`.
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    /// `state_change(joined);`
+    StateChange(String),
+    /// `timer_resched(name, expr_ms);`
+    TimerResched(String, Expr),
+    /// `timer_cancel(name);`
+    TimerCancel(String),
+    /// `neighbor_add(list, expr);`
+    NeighborAdd(String, Expr),
+    /// `neighbor_remove(list, expr);`
+    NeighborRemove(String, Expr),
+    /// `neighbor_clear(list);`
+    NeighborClear(String),
+    /// `<message>(dest, field-args...);` — the transmission primitive.
+    Send { message: String, dest: Expr, args: Vec<Expr> },
+    /// `upcall_notify(list, type);`
+    UpcallNotify(String, Expr),
+    /// `deliver(src, payload);` — hand data to the layer above.
+    Deliver { src: Expr, payload: Expr },
+    /// `monitor(expr);` / `unmonitor(expr);` — failure detection.
+    Monitor(Expr),
+    Unmonitor(Expr),
+    /// `foreach (x in list) { ... }` — iterate a neighbor list.
+    ForEach { var: String, list: String, body: Vec<Stmt> },
+    /// `x = expr;`
+    Assign(String, Expr),
+    /// `trace("..."-less): trace(expr);` — numeric trace records.
+    Trace(Expr),
+    /// `return;` — leave the transition early.
+    Return,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    Int(i64),
+    /// State variable, constant, or builtin (`from`, `me`, `my_key`,
+    /// `payload`).
+    Var(String),
+    /// `field(name)` — field of the triggering message.
+    Field(String),
+    /// `neighbor_size(list)`.
+    NeighborSize(String),
+    /// `neighbor_query(list, expr)` — membership test.
+    NeighborQuery(String, Box<Expr>),
+    /// `neighbor_random(list)`.
+    NeighborRandom(String),
+    /// Unary ops.
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    /// Binary ops.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_expr_matching() {
+        let e = StateExpr::Not(Box::new(StateExpr::Or(
+            Box::new(StateExpr::Is("joining".into())),
+            Box::new(StateExpr::Is("init".into())),
+        )));
+        assert!(!e.matches("joining"));
+        assert!(!e.matches("init"));
+        assert!(e.matches("joined"));
+        assert!(StateExpr::Any.matches("anything"));
+    }
+
+    #[test]
+    fn state_expr_name_collection() {
+        let e = StateExpr::Or(
+            Box::new(StateExpr::Is("a".into())),
+            Box::new(StateExpr::Not(Box::new(StateExpr::Is("b".into())))),
+        );
+        let mut names = Vec::new();
+        e.names(&mut names);
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,863 @@
+//! The specification interpreter: runs a compiled [`Spec`] as a live
+//! [`macedon_core::Agent`].
+//!
+//! The paper's `macedon` tool translates specs to C++ compiled against
+//! the engine. This interpreter is the equivalent executable semantics —
+//! the same FSM dispatch (transition = (event, state-scope) → actions),
+//! the same primitives (§3.3), over the same engine — without a compile
+//! step, which lets the test suite cross-validate the bundled specs
+//! against the hand-written agents in `macedon-overlays`.
+//!
+//! Interpretation currently covers lowest-layer protocols (a spec with a
+//! `uses` clause parses and code-gens, but layered interpretation is
+//! future work, as §6 of the paper frames extensions).
+
+use crate::ast::*;
+use macedon_core::{
+    Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, MacedonKey, NodeId,
+    ProtocolId, TraceLevel, TransportKind, UpCall, WireReader, WireWriter,
+};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Runtime values of the action language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Bool(bool),
+    Node(NodeId),
+    Key(MacedonKey),
+    Bytes(Bytes),
+    List(Vec<NodeId>),
+    Null,
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Bool(b) => *b,
+            Value::Node(_) | Value::Key(_) | Value::List(_) => true,
+            Value::Bytes(b) => !b.is_empty(),
+            Value::Null => false,
+        }
+    }
+
+    fn as_int(&self) -> Result<i64, String> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(format!("expected int, got {other:?}")),
+        }
+    }
+
+    fn as_node(&self) -> Result<NodeId, String> {
+        match self {
+            Value::Node(n) => Ok(*n),
+            other => Err(format!("expected node, got {other:?}")),
+        }
+    }
+}
+
+/// Per-transition bindings (decoded message fields, `from`, `payload`).
+#[derive(Default)]
+struct Frame {
+    fields: HashMap<String, Value>,
+    from: Option<NodeId>,
+    payload: Option<Bytes>,
+    api_args: HashMap<&'static str, Value>,
+}
+
+enum Flow {
+    Continue,
+    Return,
+}
+
+/// Derive the channel table a world must be built with to host this spec.
+pub fn channel_table(spec: &Spec) -> Vec<ChannelSpec> {
+    spec.transports
+        .iter()
+        .map(|t| {
+            let kind = match t.kind {
+                TransportKindDecl::Tcp => TransportKind::Tcp,
+                TransportKindDecl::Udp => TransportKind::Udp,
+                TransportKindDecl::Swp => TransportKind::Swp { window: 16 },
+            };
+            ChannelSpec::new(t.name.clone(), kind)
+        })
+        .collect()
+}
+
+/// Well-known protocol id derived from the protocol name.
+pub fn protocol_id_of(name: &str) -> ProtocolId {
+    let h = macedon_core::sha1::sha1_u32(name.as_bytes()) as u16;
+    // Stay clear of reserved values.
+    match h {
+        0xFFFE | 0xFFFF => 0x7FFF,
+        v => v,
+    }
+}
+
+/// An interpreted protocol instance.
+pub struct InterpretedAgent {
+    spec: Arc<Spec>,
+    proto: ProtocolId,
+    bootstrap: Option<NodeId>,
+    state: String,
+    vars: HashMap<String, Value>,
+    lists: HashMap<String, Vec<NodeId>>,
+    list_max: HashMap<String, usize>,
+    fail_detect: HashSet<String>,
+    timer_ids: HashMap<String, u16>,
+    timer_names: Vec<String>,
+    msg_ids: HashMap<String, u16>,
+    msg_channel: HashMap<String, ChannelId>,
+    /// Transitions fired, per trigger kind (observability / tests).
+    pub transitions_fired: u64,
+}
+
+impl InterpretedAgent {
+    /// Instantiate a compiled spec. `bootstrap` is bound to the variable
+    /// `bootstrap` inside transitions (`Null` for the designated root).
+    pub fn new(spec: Arc<Spec>, bootstrap: Option<NodeId>) -> InterpretedAgent {
+        assert!(
+            spec.uses.is_none(),
+            "interpreter runs lowest-layer specs; '{}' uses '{}'",
+            spec.name,
+            spec.uses.as_deref().unwrap_or_default()
+        );
+        let mut vars = HashMap::new();
+        for (name, v) in &spec.constants {
+            vars.insert(name.clone(), Value::Int(*v));
+        }
+        let mut lists = HashMap::new();
+        let mut list_max = HashMap::new();
+        let mut fail_detect = HashSet::new();
+        let mut timer_ids = HashMap::new();
+        let mut timer_names = Vec::new();
+        for v in &spec.state_vars {
+            match v {
+                StateVar::Neighbor { ty, name, fail_detect: fd } => {
+                    let max = spec
+                        .neighbor_types
+                        .iter()
+                        .find(|n| &n.name == ty)
+                        .map(|n| n.max)
+                        .unwrap_or(1);
+                    lists.insert(name.clone(), Vec::new());
+                    list_max.insert(name.clone(), max);
+                    if *fd {
+                        fail_detect.insert(name.clone());
+                    }
+                }
+                StateVar::Timer { name, .. } => {
+                    let id = timer_names.len() as u16;
+                    timer_ids.insert(name.clone(), id);
+                    timer_names.push(name.clone());
+                }
+                StateVar::Scalar { ty, name } => {
+                    let init = match ty {
+                        TypeName::Int => Value::Int(0),
+                        TypeName::Bool => Value::Bool(false),
+                        TypeName::Node => Value::Null,
+                        TypeName::Key => Value::Key(MacedonKey(0)),
+                        TypeName::Payload => Value::Null,
+                        TypeName::Neighbor(_) => Value::Null,
+                    };
+                    vars.insert(name.clone(), init);
+                }
+            }
+        }
+        let mut msg_ids = HashMap::new();
+        let mut msg_channel = HashMap::new();
+        for (i, m) in spec.messages.iter().enumerate() {
+            msg_ids.insert(m.name.clone(), i as u16);
+            let ch = m
+                .transport
+                .as_ref()
+                .and_then(|t| spec.transports.iter().position(|d| &d.name == t))
+                .unwrap_or(0);
+            msg_channel.insert(m.name.clone(), ChannelId(ch as u16));
+        }
+        let proto = protocol_id_of(&spec.name);
+        InterpretedAgent {
+            spec,
+            proto,
+            bootstrap,
+            state: "init".to_string(),
+            vars,
+            lists,
+            list_max,
+            fail_detect,
+            timer_ids,
+            timer_names,
+            msg_ids,
+            msg_channel,
+            transitions_fired: 0,
+        }
+    }
+
+    pub fn state(&self) -> &str {
+        &self.state
+    }
+
+    pub fn list(&self, name: &str) -> Option<&Vec<NodeId>> {
+        self.lists.get(name)
+    }
+
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    // ---- dispatch --------------------------------------------------------
+
+    fn fire(&mut self, ctx: &mut Ctx, trigger: &Trigger, mut frame: Frame) {
+        let spec = self.spec.clone();
+        let Some(t) = spec
+            .transitions
+            .iter()
+            .find(|t| &t.trigger == trigger && t.scope.matches(&self.state))
+        else {
+            ctx.trace(
+                TraceLevel::High,
+                format!("{}: no transition for {trigger:?} in state {}", spec.name, self.state),
+            );
+            return;
+        };
+        if t.locking == LockingOpt::Read {
+            ctx.locking_read();
+        }
+        self.transitions_fired += 1;
+        if let Err(e) = self.exec_block(ctx, &mut frame, &t.body) {
+            ctx.trace(TraceLevel::Low, format!("{}: runtime error: {e}", spec.name));
+            debug_assert!(false, "interpreter runtime error: {e}");
+        }
+    }
+
+    fn exec_block(&mut self, ctx: &mut Ctx, frame: &mut Frame, stmts: &[Stmt]) -> Result<Flow, String> {
+        for s in stmts {
+            match self.exec(ctx, frame, s)? {
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Continue => {}
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, String> {
+        match stmt {
+            Stmt::If { cond, then, els } => {
+                if self.eval(ctx, frame, cond)?.truthy() {
+                    self.exec_block(ctx, frame, then)
+                } else {
+                    self.exec_block(ctx, frame, els)
+                }
+            }
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::StateChange(s) => {
+                ctx.trace(
+                    TraceLevel::High,
+                    format!("{}: {} -> {s}", self.spec.name, self.state),
+                );
+                self.state = s.clone();
+                Ok(Flow::Continue)
+            }
+            Stmt::TimerResched(name, e) => {
+                let ms = self.eval(ctx, frame, e)?.as_int()?;
+                let id = *self.timer_ids.get(name).ok_or_else(|| format!("timer {name}?"))?;
+                ctx.timer_set(id, Duration::from_millis(ms.max(0) as u64));
+                Ok(Flow::Continue)
+            }
+            Stmt::TimerCancel(name) => {
+                let id = *self.timer_ids.get(name).ok_or_else(|| format!("timer {name}?"))?;
+                ctx.timer_cancel(id);
+                Ok(Flow::Continue)
+            }
+            Stmt::NeighborAdd(list, e) => {
+                let node = self.eval(ctx, frame, e)?.as_node()?;
+                let max = *self.list_max.get(list).unwrap_or(&usize::MAX);
+                let fd = self.fail_detect.contains(list);
+                let l = self.lists.get_mut(list).ok_or_else(|| format!("list {list}?"))?;
+                if !l.contains(&node) && l.len() < max {
+                    l.push(node);
+                    if fd {
+                        ctx.monitor(node);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::NeighborRemove(list, e) => {
+                let node = self.eval(ctx, frame, e)?.as_node()?;
+                let fd = self.fail_detect.contains(list);
+                let l = self.lists.get_mut(list).ok_or_else(|| format!("list {list}?"))?;
+                l.retain(|&n| n != node);
+                if fd {
+                    ctx.unmonitor(node);
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::NeighborClear(list) => {
+                let fd = self.fail_detect.contains(list);
+                let l = self.lists.get_mut(list).ok_or_else(|| format!("list {list}?"))?;
+                for n in l.drain(..) {
+                    if fd {
+                        ctx.unmonitor(n);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::Send { message, dest, args } => {
+                let dest = self.eval(ctx, frame, dest)?;
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(ctx, frame, a)?);
+                }
+                self.send_message(ctx, message, dest, values)?;
+                Ok(Flow::Continue)
+            }
+            Stmt::UpcallNotify(list, e) => {
+                let ty = self.eval(ctx, frame, e)?.as_int()? as u32;
+                let l = self.lists.get(list).ok_or_else(|| format!("list {list}?"))?;
+                ctx.up(UpCall::Notify { nbr_type: ty, neighbors: l.clone() });
+                Ok(Flow::Continue)
+            }
+            Stmt::Deliver { src, payload } => {
+                let src = match self.eval(ctx, frame, src)? {
+                    Value::Key(k) => k,
+                    Value::Node(n) => MacedonKey(n.0),
+                    other => return Err(format!("deliver src must be key/node, got {other:?}")),
+                };
+                let payload = match self.eval(ctx, frame, payload)? {
+                    Value::Bytes(b) => b,
+                    Value::Null => Bytes::new(),
+                    other => return Err(format!("deliver payload must be bytes, got {other:?}")),
+                };
+                let from = frame.from.unwrap_or(ctx.me);
+                ctx.up(UpCall::Deliver { src, from, payload });
+                Ok(Flow::Continue)
+            }
+            Stmt::Monitor(e) => {
+                let n = self.eval(ctx, frame, e)?.as_node()?;
+                ctx.monitor(n);
+                Ok(Flow::Continue)
+            }
+            Stmt::Unmonitor(e) => {
+                let n = self.eval(ctx, frame, e)?.as_node()?;
+                ctx.unmonitor(n);
+                Ok(Flow::Continue)
+            }
+            Stmt::ForEach { var, list, body } => {
+                let snapshot = self
+                    .lists
+                    .get(list)
+                    .ok_or_else(|| format!("list {list}?"))?
+                    .clone();
+                let saved = self.vars.get(var).cloned();
+                for n in snapshot {
+                    self.vars.insert(var.clone(), Value::Node(n));
+                    if let Flow::Return = self.exec_block(ctx, frame, body)? {
+                        // restore before propagating
+                        match &saved {
+                            Some(v) => self.vars.insert(var.clone(), v.clone()),
+                            None => self.vars.remove(var),
+                        };
+                        return Ok(Flow::Return);
+                    }
+                }
+                match saved {
+                    Some(v) => self.vars.insert(var.clone(), v),
+                    None => self.vars.remove(var),
+                };
+                Ok(Flow::Continue)
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.eval(ctx, frame, e)?;
+                if self.lists.contains_key(name) {
+                    // Whole-list assignment (e.g. `brothers = field(sibs);`)
+                    // replaces contents; own id is filtered out.
+                    let Value::List(mut ns) = v else {
+                        return Err(format!("assigning non-list to neighbor list '{name}'"));
+                    };
+                    ns.retain(|&n| n != ctx.me);
+                    let max = *self.list_max.get(name).unwrap_or(&usize::MAX);
+                    ns.truncate(max);
+                    let fd = self.fail_detect.contains(name);
+                    let l = self.lists.get_mut(name).expect("checked");
+                    if fd {
+                        for n in l.iter() {
+                            ctx.unmonitor(*n);
+                        }
+                        for n in &ns {
+                            ctx.monitor(*n);
+                        }
+                    }
+                    *l = ns;
+                } else {
+                    self.vars.insert(name.clone(), v);
+                }
+                Ok(Flow::Continue)
+            }
+            Stmt::Trace(e) => {
+                let v = self.eval(ctx, frame, e)?;
+                ctx.trace(TraceLevel::Med, format!("{}: trace {v:?}", self.spec.name));
+                Ok(Flow::Continue)
+            }
+        }
+    }
+
+    fn send_message(
+        &mut self,
+        ctx: &mut Ctx,
+        message: &str,
+        dest: Value,
+        values: Vec<Value>,
+    ) -> Result<(), String> {
+        let dest = match dest {
+            Value::Node(n) => n,
+            Value::Null => return Ok(()), // sending to nobody is a no-op
+            other => return Err(format!("message dest must be a node, got {other:?}")),
+        };
+        let id = *self.msg_ids.get(message).ok_or_else(|| format!("message {message}?"))?;
+        let decl = self.spec.messages[id as usize].clone();
+        if values.len() != decl.fields.len() {
+            return Err(format!(
+                "message {message} takes {} fields, got {}",
+                decl.fields.len(),
+                values.len()
+            ));
+        }
+        let mut w = WireWriter::new();
+        w.u16(self.proto).u16(id);
+        for (f, v) in decl.fields.iter().zip(&values) {
+            match (&f.ty, v) {
+                (TypeName::Int, v) => {
+                    w.u64(v.as_int()? as u64);
+                }
+                (TypeName::Bool, v) => {
+                    w.u8(v.truthy() as u8);
+                }
+                (TypeName::Node, Value::Node(n)) => {
+                    w.node(*n);
+                }
+                (TypeName::Node, Value::Null) => {
+                    w.node(NodeId(u32::MAX));
+                }
+                (TypeName::Key, Value::Key(k)) => {
+                    w.key(*k);
+                }
+                (TypeName::Key, Value::Node(n)) => {
+                    w.key(MacedonKey(n.0));
+                }
+                (TypeName::Payload, Value::Bytes(b)) => {
+                    w.bytes(b);
+                }
+                (TypeName::Payload, Value::Null) => {
+                    w.bytes(&[]);
+                }
+                (TypeName::Neighbor(_), Value::List(ns)) => {
+                    w.nodes(ns);
+                }
+                (ty, v) => return Err(format!("field {}: cannot encode {v:?} as {ty:?}", f.name)),
+            }
+        }
+        let ch = self.msg_channel[message];
+        ctx.send(dest, ch, w.finish());
+        Ok(())
+    }
+
+    fn decode(&self, msg_id: u16, r: &mut WireReader) -> Result<HashMap<String, Value>, String> {
+        let decl = &self.spec.messages[msg_id as usize];
+        let mut out = HashMap::new();
+        for f in &decl.fields {
+            let v = match &f.ty {
+                TypeName::Int => Value::Int(r.u64().map_err(|e| e.to_string())? as i64),
+                TypeName::Bool => Value::Bool(r.u8().map_err(|e| e.to_string())? != 0),
+                TypeName::Node => {
+                    let n = r.node().map_err(|e| e.to_string())?;
+                    if n == NodeId(u32::MAX) {
+                        Value::Null
+                    } else {
+                        Value::Node(n)
+                    }
+                }
+                TypeName::Key => Value::Key(r.key().map_err(|e| e.to_string())?),
+                TypeName::Payload => Value::Bytes(r.bytes().map_err(|e| e.to_string())?),
+                TypeName::Neighbor(_) => Value::List(r.nodes().map_err(|e| e.to_string())?),
+            };
+            out.insert(f.name.clone(), v);
+        }
+        Ok(out)
+    }
+
+    fn eval(&self, ctx: &mut Ctx, frame: &Frame, e: &Expr) -> Result<Value, String> {
+        Ok(match e {
+            Expr::Int(v) => Value::Int(*v),
+            Expr::Var(name) => match name.as_str() {
+                "from" => frame.from.map(Value::Node).unwrap_or(Value::Null),
+                "me" => Value::Node(ctx.me),
+                "my_key" => Value::Key(ctx.my_key),
+                "bootstrap" => self.bootstrap.map(Value::Node).unwrap_or(Value::Null),
+                "payload" => frame
+                    .payload
+                    .clone()
+                    .map(Value::Bytes)
+                    .unwrap_or(Value::Null),
+                "null" => Value::Null,
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                "dest" | "group" => frame
+                    .api_args
+                    .get(name.as_str())
+                    .cloned()
+                    .or_else(|| self.vars.get(name).cloned())
+                    .unwrap_or(Value::Null),
+                other => {
+                    if let Some(v) = self.vars.get(other) {
+                        v.clone()
+                    } else if let Some(l) = self.lists.get(other) {
+                        Value::List(l.clone())
+                    } else {
+                        return Err(format!("unknown variable '{other}'"));
+                    }
+                }
+            },
+            Expr::Field(name) => frame
+                .fields
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("unknown message field '{name}'"))?,
+            Expr::NeighborSize(list) => Value::Int(
+                self.lists
+                    .get(list)
+                    .ok_or_else(|| format!("list {list}?"))?
+                    .len() as i64,
+            ),
+            Expr::NeighborQuery(list, e) => {
+                let n = self.eval(ctx, frame, e)?;
+                let l = self.lists.get(list).ok_or_else(|| format!("list {list}?"))?;
+                match n {
+                    Value::Node(n) => Value::Bool(l.contains(&n)),
+                    Value::Null => Value::Bool(false),
+                    other => return Err(format!("neighbor_query needs node, got {other:?}")),
+                }
+            }
+            Expr::NeighborRandom(list) => {
+                let l = self.lists.get(list).ok_or_else(|| format!("list {list}?"))?;
+                if l.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Node(l[ctx.rng.index(l.len())])
+                }
+            }
+            Expr::Not(e) => Value::Bool(!self.eval(ctx, frame, e)?.truthy()),
+            Expr::Neg(e) => Value::Int(-self.eval(ctx, frame, e)?.as_int()?),
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(ctx, frame, a)?;
+                let b = self.eval(ctx, frame, b)?;
+                match op {
+                    BinOp::And => Value::Bool(a.truthy() && b.truthy()),
+                    BinOp::Or => Value::Bool(a.truthy() || b.truthy()),
+                    BinOp::Eq => Value::Bool(values_eq(&a, &b)),
+                    BinOp::Ne => Value::Bool(!values_eq(&a, &b)),
+                    BinOp::Lt => Value::Bool(a.as_int()? < b.as_int()?),
+                    BinOp::Gt => Value::Bool(a.as_int()? > b.as_int()?),
+                    BinOp::Le => Value::Bool(a.as_int()? <= b.as_int()?),
+                    BinOp::Ge => Value::Bool(a.as_int()? >= b.as_int()?),
+                    BinOp::Add => Value::Int(a.as_int()? + b.as_int()?),
+                    BinOp::Sub => Value::Int(a.as_int()? - b.as_int()?),
+                    BinOp::Mul => Value::Int(a.as_int()? * b.as_int()?),
+                    BinOp::Div => {
+                        let d = b.as_int()?;
+                        if d == 0 {
+                            return Err("division by zero".into());
+                        }
+                        Value::Int(a.as_int()? / d)
+                    }
+                    BinOp::Mod => {
+                        let d = b.as_int()?;
+                        if d == 0 {
+                            return Err("modulo by zero".into());
+                        }
+                        Value::Int(a.as_int()? % d)
+                    }
+                }
+            }
+        })
+    }
+}
+
+fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Bool(y)) => (*x != 0) == *y,
+        (Value::Bool(x), Value::Int(y)) => *x == (*y != 0),
+        (Value::Node(n), Value::Key(k)) | (Value::Key(k), Value::Node(n)) => n.0 == k.0,
+        _ => a == b,
+    }
+}
+
+impl Agent for InterpretedAgent {
+    fn protocol_id(&self) -> ProtocolId {
+        self.proto
+    }
+
+    fn name(&self) -> &'static str {
+        "interpreted"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        // Auto-arm timers that declare a period.
+        let spec = self.spec.clone();
+        for v in &spec.state_vars {
+            if let StateVar::Timer { name, period_ms: Some(ms) } = v {
+                let id = self.timer_ids[name];
+                ctx.timer_periodic(id, Duration::from_millis(*ms as u64));
+            }
+        }
+        self.fire(ctx, &Trigger::Api("init".to_string()), Frame::default());
+    }
+
+    fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
+        let (api, frame) = match call {
+            DownCall::Route { dest, payload, .. } => {
+                let mut f = Frame::default();
+                f.api_args.insert("dest", Value::Key(dest));
+                f.payload = Some(payload);
+                ("route", f)
+            }
+            DownCall::RouteIp { dest, payload, .. } => {
+                let mut f = Frame::default();
+                f.api_args.insert("dest", Value::Node(dest));
+                f.payload = Some(payload);
+                ("routeIP", f)
+            }
+            DownCall::Multicast { group, payload, .. } => {
+                let mut f = Frame::default();
+                f.api_args.insert("group", Value::Key(group));
+                f.payload = Some(payload);
+                ("multicast", f)
+            }
+            DownCall::Anycast { group, payload, .. } => {
+                let mut f = Frame::default();
+                f.api_args.insert("group", Value::Key(group));
+                f.payload = Some(payload);
+                ("anycast", f)
+            }
+            DownCall::Collect { group, payload, .. } => {
+                let mut f = Frame::default();
+                f.api_args.insert("group", Value::Key(group));
+                f.payload = Some(payload);
+                ("collect", f)
+            }
+            DownCall::CreateGroup { group } => {
+                let mut f = Frame::default();
+                f.api_args.insert("group", Value::Key(group));
+                ("create_group", f)
+            }
+            DownCall::Join { group } => {
+                let mut f = Frame::default();
+                f.api_args.insert("group", Value::Key(group));
+                ("join", f)
+            }
+            DownCall::Leave { group } => {
+                let mut f = Frame::default();
+                f.api_args.insert("group", Value::Key(group));
+                ("leave", f)
+            }
+            DownCall::Ext { .. } => ("downcall_ext", Frame::default()),
+        };
+        self.fire(ctx, &Trigger::Api(api.to_string()), frame);
+    }
+
+    fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
+        let mut r = WireReader::new(msg);
+        let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else { return };
+        if proto != self.proto || id as usize >= self.spec.messages.len() {
+            return;
+        }
+        let fields = match self.decode(id, &mut r) {
+            Ok(f) => f,
+            Err(e) => {
+                ctx.trace(TraceLevel::Low, format!("{}: decode error: {e}", self.spec.name));
+                return;
+            }
+        };
+        let name = self.spec.messages[id as usize].name.clone();
+        let frame = Frame { fields, from: Some(from), payload: None, api_args: HashMap::new() };
+        self.fire(ctx, &Trigger::Recv(name), frame);
+    }
+
+    fn timer(&mut self, ctx: &mut Ctx, timer: u16) {
+        let Some(name) = self.timer_names.get(timer as usize).cloned() else {
+            return;
+        };
+        self.fire(ctx, &Trigger::Timer(name), Frame::default());
+    }
+
+    fn neighbor_failed(&mut self, ctx: &mut Ctx, peer: NodeId) {
+        // Engine convention: drop the peer from fail_detect lists, then
+        // fire the error transition.
+        for name in self.fail_detect.clone() {
+            if let Some(l) = self.lists.get_mut(&name) {
+                l.retain(|&n| n != peer);
+            }
+        }
+        let frame = Frame { from: Some(peer), ..Default::default() };
+        self.fire(ctx, &Trigger::Error, frame);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use macedon_core::{NullApp, Time, World, WorldConfig};
+    use macedon_net::topology::{canned, LinkSpec};
+
+    /// A toy protocol: everyone joins a star around the bootstrap.
+    const STAR: &str = r#"
+        protocol star;
+        addressing hash;
+        states { joined; }
+        neighbor_types { member 64 { } }
+        transports { TCP CTRL; }
+        messages {
+            CTRL hello { node who; }
+            CTRL welcome { }
+        }
+        state_variables {
+            fail_detect member members;
+            int hellos;
+        }
+        transitions {
+            init API init {
+                if (bootstrap != null) {
+                    hello(bootstrap, me);
+                } else {
+                    state_change(joined);
+                }
+            }
+            any recv hello {
+                hellos = hellos + 1;
+                neighbor_add(members, field(who));
+                welcome(from);
+            }
+            init recv welcome {
+                neighbor_add(members, from);
+                state_change(joined);
+            }
+        }
+    "#;
+
+    fn star_world(n: usize) -> (World, Vec<NodeId>, Arc<Spec>) {
+        let spec = Arc::new(compile(STAR).unwrap());
+        let topo = canned::star(n, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let mut cfg = WorldConfig { seed: 5, ..Default::default() };
+        cfg.channels = channel_table(&spec);
+        let mut w = World::new(topo, cfg);
+        for (i, &h) in hosts.iter().enumerate() {
+            let agent = InterpretedAgent::new(spec.clone(), (i > 0).then(|| hosts[0]));
+            w.spawn_at(Time::from_millis(i as u64 * 10), h, vec![Box::new(agent)], Box::new(NullApp));
+        }
+        (w, hosts, spec)
+    }
+
+    fn agent_of<'a>(w: &'a World, n: NodeId) -> &'a InterpretedAgent {
+        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+    }
+
+    #[test]
+    fn interpreted_protocol_runs_end_to_end() {
+        let (mut w, hosts, _) = star_world(6);
+        w.run_until(Time::from_secs(10));
+        for &h in &hosts {
+            assert_eq!(agent_of(&w, h).state(), "joined", "{h:?}");
+        }
+        // The bootstrap heard from everyone.
+        let boot = agent_of(&w, hosts[0]);
+        assert_eq!(boot.var("hellos"), Some(&Value::Int(5)));
+        assert_eq!(boot.list("members").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn transitions_scoped_by_state() {
+        // `init recv welcome` must not fire once joined.
+        let (mut w, hosts, _) = star_world(3);
+        w.run_until(Time::from_secs(10));
+        let a = agent_of(&w, hosts[1]);
+        assert_eq!(a.state(), "joined");
+        // Joined members got exactly one welcome each (scoped transition
+        // consumed it once).
+        assert_eq!(a.list("members").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn protocol_id_is_stable_and_safe() {
+        let a = protocol_id_of("overcast");
+        let b = protocol_id_of("overcast");
+        assert_eq!(a, b);
+        assert_ne!(protocol_id_of("x"), 0xFFFF);
+        assert_ne!(protocol_id_of("x"), 0xFFFE);
+    }
+
+    #[test]
+    fn channel_table_mirrors_transports() {
+        let spec = compile(STAR).unwrap();
+        let table = channel_table(&spec);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].name, "CTRL");
+        assert_eq!(table[0].kind, TransportKind::Tcp);
+    }
+
+    #[test]
+    fn value_semantics() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(values_eq(&Value::Int(1), &Value::Bool(true)));
+        assert!(values_eq(&Value::Node(NodeId(5)), &Value::Key(MacedonKey(5))));
+        assert!(!values_eq(&Value::Int(2), &Value::Int(3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn layered_spec_rejected_by_interpreter() {
+        let spec = Arc::new(
+            compile("protocol s uses base; addressing hash;").unwrap(),
+        );
+        let _ = InterpretedAgent::new(spec, None);
+    }
+
+    #[test]
+    fn periodic_timer_autoarms() {
+        const TICKER: &str = r#"
+            protocol ticker;
+            addressing ip;
+            transports { UDP U; }
+            messages { U noop { } }
+            state_variables { timer tick 100; int n; }
+            transitions {
+                any timer tick { n = n + 1; }
+            }
+        "#;
+        let spec = Arc::new(compile(TICKER).unwrap());
+        let topo = canned::star(1, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let mut cfg = WorldConfig::default();
+        cfg.channels = channel_table(&spec);
+        let mut w = World::new(topo, cfg);
+        w.spawn_at(Time::ZERO, hosts[0], vec![Box::new(InterpretedAgent::new(spec, None))], Box::new(NullApp));
+        w.run_until(Time::from_secs(1));
+        let a = agent_of(&w, hosts[0]);
+        let Some(&Value::Int(n)) = a.var("n") else { panic!() };
+        assert!((8..=10).contains(&n), "ticked ~10 times in 1s, got {n}");
+    }
+}

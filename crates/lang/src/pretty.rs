@@ -1,0 +1,294 @@
+//! Pretty-printer: render a parsed [`Spec`] back to canonical `.mac`
+//! source. `parse(pretty(parse(src)))` is structurally identical to
+//! `parse(src)` — the round-trip property the `prop` tests pin down —
+//! which makes the printer usable as a formatter for spec files.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a specification as canonical source text.
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = write!(w, "protocol {}", spec.name);
+    if let Some(u) = &spec.uses {
+        let _ = write!(w, " uses {u}");
+    }
+    let _ = writeln!(w, ";");
+    let _ = writeln!(
+        w,
+        "addressing {};",
+        match spec.addressing {
+            AddressingMode::Hash => "hash",
+            AddressingMode::Ip => "ip",
+        }
+    );
+    if spec.trace != TraceMode::Off {
+        let _ = writeln!(
+            w,
+            "trace_ {};",
+            match spec.trace {
+                TraceMode::Off => "off",
+                TraceMode::Low => "low",
+                TraceMode::Med => "med",
+                TraceMode::High => "high",
+            }
+        );
+    }
+    if !spec.constants.is_empty() {
+        let _ = writeln!(w, "\nconstants {{");
+        for (n, v) in &spec.constants {
+            let _ = writeln!(w, "    {n} = {v};");
+        }
+        let _ = writeln!(w, "}}");
+    }
+    if !spec.states.is_empty() {
+        let _ = write!(w, "\nstates {{ ");
+        for s in &spec.states {
+            let _ = write!(w, "{s}; ");
+        }
+        let _ = writeln!(w, "}}");
+    }
+    if !spec.neighbor_types.is_empty() {
+        let _ = writeln!(w, "\nneighbor_types {{");
+        for n in &spec.neighbor_types {
+            let _ = write!(w, "    {} {} {{ ", n.name, n.max);
+            for f in &n.fields {
+                let _ = write!(w, "{} {}; ", type_name(&f.ty), f.name);
+            }
+            let _ = writeln!(w, "}}");
+        }
+        let _ = writeln!(w, "}}");
+    }
+    if !spec.transports.is_empty() {
+        let _ = writeln!(w, "\ntransports {{");
+        for t in &spec.transports {
+            let kind = match t.kind {
+                TransportKindDecl::Tcp => "TCP",
+                TransportKindDecl::Udp => "UDP",
+                TransportKindDecl::Swp => "SWP",
+            };
+            let _ = writeln!(w, "    {kind} {};", t.name);
+        }
+        let _ = writeln!(w, "}}");
+    }
+    if !spec.messages.is_empty() {
+        let _ = writeln!(w, "\nmessages {{");
+        for m in &spec.messages {
+            let _ = write!(w, "    ");
+            if let Some(t) = &m.transport {
+                let _ = write!(w, "{t} ");
+            }
+            let _ = write!(w, "{} {{ ", m.name);
+            for f in &m.fields {
+                let _ = write!(w, "{} {}; ", type_name(&f.ty), f.name);
+            }
+            let _ = writeln!(w, "}}");
+        }
+        let _ = writeln!(w, "}}");
+    }
+    if !spec.state_vars.is_empty() {
+        let _ = writeln!(w, "\nstate_variables {{");
+        for v in &spec.state_vars {
+            match v {
+                StateVar::Neighbor { ty, name, fail_detect } => {
+                    let fd = if *fail_detect { "fail_detect " } else { "" };
+                    let _ = writeln!(w, "    {fd}{ty} {name};");
+                }
+                StateVar::Timer { name, period_ms } => match period_ms {
+                    Some(p) => {
+                        let _ = writeln!(w, "    timer {name} {p};");
+                    }
+                    None => {
+                        let _ = writeln!(w, "    timer {name};");
+                    }
+                },
+                StateVar::Scalar { ty, name } => {
+                    let _ = writeln!(w, "    {} {name};", type_name(ty));
+                }
+            }
+        }
+        let _ = writeln!(w, "}}");
+    }
+    if !spec.transitions.is_empty() {
+        let _ = writeln!(w, "\ntransitions {{");
+        for t in &spec.transitions {
+            let _ = write!(w, "    {} {}", scope(&t.scope), trigger(&t.trigger));
+            if t.locking == LockingOpt::Read {
+                let _ = write!(w, " [locking read;]");
+            }
+            let _ = writeln!(w, " {{");
+            stmts(w, &t.body, 8);
+            let _ = writeln!(w, "    }}");
+        }
+        let _ = writeln!(w, "}}");
+    }
+    out
+}
+
+fn type_name(t: &TypeName) -> String {
+    match t {
+        TypeName::Int => "int".into(),
+        TypeName::Bool => "bool".into(),
+        TypeName::Node => "node".into(),
+        TypeName::Key => "key".into(),
+        TypeName::Payload => "payload".into(),
+        TypeName::Neighbor(n) => n.clone(),
+    }
+}
+
+fn scope(s: &StateExpr) -> String {
+    match s {
+        StateExpr::Any => "any".into(),
+        StateExpr::Is(n) => n.clone(),
+        StateExpr::Not(e) => format!("!({})", scope(e)),
+        StateExpr::Or(a, b) => format!("({}|{})", scope(a), scope(b)),
+    }
+}
+
+fn trigger(t: &Trigger) -> String {
+    match t {
+        Trigger::Api(a) => format!("API {a}"),
+        Trigger::Timer(n) => format!("timer {n}"),
+        Trigger::Recv(m) => format!("recv {m}"),
+        Trigger::Forward(m) => format!("forward {m}"),
+        Trigger::Error => "error".into(),
+    }
+}
+
+fn stmts(w: &mut String, body: &[Stmt], indent: usize) {
+    let pad = " ".repeat(indent);
+    for s in body {
+        match s {
+            Stmt::If { cond, then, els } => {
+                let _ = writeln!(w, "{pad}if ({}) {{", expr(cond));
+                stmts(w, then, indent + 4);
+                if els.is_empty() {
+                    let _ = writeln!(w, "{pad}}}");
+                } else {
+                    let _ = writeln!(w, "{pad}}} else {{");
+                    stmts(w, els, indent + 4);
+                    let _ = writeln!(w, "{pad}}}");
+                }
+            }
+            Stmt::ForEach { var, list, body } => {
+                let _ = writeln!(w, "{pad}foreach ({var} in {list}) {{");
+                stmts(w, body, indent + 4);
+                let _ = writeln!(w, "{pad}}}");
+            }
+            Stmt::StateChange(st) => {
+                let _ = writeln!(w, "{pad}state_change({st});");
+            }
+            Stmt::TimerResched(t, e) => {
+                let _ = writeln!(w, "{pad}timer_resched({t}, {});", expr(e));
+            }
+            Stmt::TimerCancel(t) => {
+                let _ = writeln!(w, "{pad}timer_cancel({t});");
+            }
+            Stmt::NeighborAdd(l, e) => {
+                let _ = writeln!(w, "{pad}neighbor_add({l}, {});", expr(e));
+            }
+            Stmt::NeighborRemove(l, e) => {
+                let _ = writeln!(w, "{pad}neighbor_remove({l}, {});", expr(e));
+            }
+            Stmt::NeighborClear(l) => {
+                let _ = writeln!(w, "{pad}neighbor_clear({l});");
+            }
+            Stmt::Send { message, dest, args } => {
+                let mut parts = vec![expr(dest)];
+                parts.extend(args.iter().map(expr));
+                let _ = writeln!(w, "{pad}{message}({});", parts.join(", "));
+            }
+            Stmt::UpcallNotify(l, e) => {
+                let _ = writeln!(w, "{pad}upcall_notify({l}, {});", expr(e));
+            }
+            Stmt::Deliver { src, payload } => {
+                let _ = writeln!(w, "{pad}deliver({}, {});", expr(src), expr(payload));
+            }
+            Stmt::Monitor(e) => {
+                let _ = writeln!(w, "{pad}monitor({});", expr(e));
+            }
+            Stmt::Unmonitor(e) => {
+                let _ = writeln!(w, "{pad}unmonitor({});", expr(e));
+            }
+            Stmt::Assign(n, e) => {
+                let _ = writeln!(w, "{pad}{n} = {};", expr(e));
+            }
+            Stmt::Trace(e) => {
+                let _ = writeln!(w, "{pad}trace({});", expr(e));
+            }
+            Stmt::Return => {
+                let _ = writeln!(w, "{pad}return;");
+            }
+        }
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Field(f) => format!("field({f})"),
+        Expr::NeighborSize(l) => format!("neighbor_size({l})"),
+        Expr::NeighborQuery(l, e) => format!("neighbor_query({l}, {})", expr(e)),
+        Expr::NeighborRandom(l) => format!("neighbor_random({l})"),
+        Expr::Not(e) => format!("!({})", expr(e)),
+        Expr::Neg(e) => format!("-({})", expr(e)),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {sym} {})", expr(a), expr(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Structural equality through a second parse.
+    fn roundtrips(src: &str) {
+        let once = parse(src).unwrap();
+        let printed = pretty(&once);
+        let twice = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // Compare the debug views of the two ASTs.
+        assert_eq!(format!("{once:?}"), format!("{twice:?}"), "pretty output:\n{printed}");
+    }
+
+    #[test]
+    fn bundled_specs_roundtrip() {
+        for (name, src) in crate::bundled_specs() {
+            let _ = name;
+            roundtrips(src);
+        }
+    }
+
+    #[test]
+    fn minimal_spec_roundtrips() {
+        roundtrips("protocol p; addressing ip;");
+    }
+
+    #[test]
+    fn printing_is_idempotent() {
+        for (_, src) in crate::bundled_specs() {
+            let spec = parse(src).unwrap();
+            let p1 = pretty(&spec);
+            let p2 = pretty(&parse(&p1).unwrap());
+            assert_eq!(p1, p2);
+        }
+    }
+}

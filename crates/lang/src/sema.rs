@@ -1,0 +1,273 @@
+//! Semantic analysis: name resolution and well-formedness checks before
+//! interpretation or code generation.
+
+use crate::ast::*;
+use crate::lexer::ParseError;
+use std::collections::HashSet;
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError { line: 0, col: 0, msg: msg.into() }
+}
+
+/// Validate a parsed specification. Checks:
+///
+/// * duplicate declarations (states, neighbor types, transports,
+///   messages, state variables, constants),
+/// * transition scopes reference declared states (`init` is implicit),
+/// * `recv`/`forward` transitions reference declared messages,
+/// * `timer` transitions reference declared timer variables,
+/// * message transports reference declared transport instances (lowest
+///   layer only — layered protocols may omit transports entirely),
+/// * statements reference declared timers/neighbor lists/messages.
+pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
+    let mut seen = HashSet::new();
+    for s in &spec.states {
+        if s == "init" {
+            return Err(err("the 'init' state is implicit; do not redeclare it"));
+        }
+        if !seen.insert(s.clone()) {
+            return Err(err(format!("duplicate state '{s}'")));
+        }
+    }
+
+    let mut nbr_names = HashSet::new();
+    for n in &spec.neighbor_types {
+        if !nbr_names.insert(n.name.clone()) {
+            return Err(err(format!("duplicate neighbor type '{}'", n.name)));
+        }
+    }
+
+    let mut transport_names = HashSet::new();
+    for t in &spec.transports {
+        if !transport_names.insert(t.name.clone()) {
+            return Err(err(format!("duplicate transport '{}'", t.name)));
+        }
+    }
+
+    let mut msg_names = HashSet::new();
+    for m in &spec.messages {
+        if !msg_names.insert(m.name.clone()) {
+            return Err(err(format!("duplicate message '{}'", m.name)));
+        }
+        if let Some(tr) = &m.transport {
+            if spec.uses.is_none() && !transport_names.contains(tr) {
+                return Err(err(format!(
+                    "message '{}' uses undeclared transport '{tr}'",
+                    m.name
+                )));
+            }
+        }
+        for f in &m.fields {
+            if let TypeName::Neighbor(t) = &f.ty {
+                if !nbr_names.contains(t) {
+                    return Err(err(format!(
+                        "message '{}' field '{}' has unknown type '{t}'",
+                        m.name, f.name
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut timers = HashSet::new();
+    let mut lists = HashSet::new();
+    let mut scalars = HashSet::new();
+    for v in &spec.state_vars {
+        match v {
+            StateVar::Timer { name, .. } => {
+                if !timers.insert(name.clone()) {
+                    return Err(err(format!("duplicate timer '{name}'")));
+                }
+            }
+            StateVar::Neighbor { ty, name, .. } => {
+                if !nbr_names.contains(ty) {
+                    return Err(err(format!(
+                        "state variable '{name}' has undeclared neighbor type '{ty}'"
+                    )));
+                }
+                if !lists.insert(name.clone()) {
+                    return Err(err(format!("duplicate neighbor list '{name}'")));
+                }
+            }
+            StateVar::Scalar { name, .. } => {
+                if !scalars.insert(name.clone()) {
+                    return Err(err(format!("duplicate variable '{name}'")));
+                }
+            }
+        }
+    }
+
+    let states: HashSet<&str> = spec
+        .states
+        .iter()
+        .map(|s| s.as_str())
+        .chain(std::iter::once("init"))
+        .collect();
+
+    for (i, t) in spec.transitions.iter().enumerate() {
+        let mut names = Vec::new();
+        t.scope.names(&mut names);
+        for n in &names {
+            if !states.contains(n.as_str()) {
+                return Err(err(format!("transition {i}: unknown state '{n}' in scope")));
+            }
+        }
+        match &t.trigger {
+            Trigger::Recv(m) | Trigger::Forward(m) => {
+                if !msg_names.contains(m) {
+                    return Err(err(format!("transition {i}: unknown message '{m}'")));
+                }
+            }
+            Trigger::Timer(name) => {
+                if !timers.contains(name) {
+                    return Err(err(format!("transition {i}: unknown timer '{name}'")));
+                }
+            }
+            Trigger::Api(_) | Trigger::Error => {}
+        }
+        check_stmts(spec, &t.body, &timers, &lists, &msg_names, &states, i)?;
+    }
+    Ok(())
+}
+
+fn check_stmts(
+    spec: &Spec,
+    stmts: &[Stmt],
+    timers: &HashSet<String>,
+    lists: &HashSet<String>,
+    msgs: &HashSet<String>,
+    states: &HashSet<&str>,
+    tidx: usize,
+) -> Result<(), ParseError> {
+    for s in stmts {
+        match s {
+            Stmt::If { then, els, .. } => {
+                check_stmts(spec, then, timers, lists, msgs, states, tidx)?;
+                check_stmts(spec, els, timers, lists, msgs, states, tidx)?;
+            }
+            Stmt::ForEach { list, body, .. } => {
+                if !lists.contains(list) {
+                    return Err(err(format!("transition {tidx}: foreach over unknown list '{list}'")));
+                }
+                check_stmts(spec, body, timers, lists, msgs, states, tidx)?;
+            }
+            Stmt::StateChange(st) => {
+                if !states.contains(st.as_str()) {
+                    return Err(err(format!("transition {tidx}: state_change to unknown '{st}'")));
+                }
+            }
+            Stmt::TimerResched(name, _) | Stmt::TimerCancel(name) => {
+                if !timers.contains(name) {
+                    return Err(err(format!("transition {tidx}: unknown timer '{name}'")));
+                }
+            }
+            Stmt::NeighborAdd(l, _)
+            | Stmt::NeighborRemove(l, _)
+            | Stmt::NeighborClear(l)
+            | Stmt::UpcallNotify(l, _) => {
+                if !lists.contains(l) {
+                    return Err(err(format!("transition {tidx}: unknown neighbor list '{l}'")));
+                }
+            }
+            Stmt::Send { message, .. } => {
+                if !msgs.contains(message) {
+                    return Err(err(format!("transition {tidx}: send of unknown message '{message}'")));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), ParseError> {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn duplicate_state_rejected() {
+        let e = check("protocol p; addressing ip; states { a; a; }").unwrap_err();
+        assert!(e.msg.contains("duplicate state"));
+    }
+
+    #[test]
+    fn init_redeclaration_rejected() {
+        let e = check("protocol p; addressing ip; states { init; }").unwrap_err();
+        assert!(e.msg.contains("implicit"));
+    }
+
+    #[test]
+    fn unknown_scope_state_rejected() {
+        let e = check(
+            "protocol p; addressing ip; states { a; } transitions { b API init { } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown state 'b'"));
+    }
+
+    #[test]
+    fn unknown_message_in_recv_rejected() {
+        let e = check("protocol p; addressing ip; transitions { any recv nope { } }").unwrap_err();
+        assert!(e.msg.contains("unknown message"));
+    }
+
+    #[test]
+    fn undeclared_transport_rejected() {
+        let e = check("protocol p; addressing ip; messages { FAST x { } }").unwrap_err();
+        assert!(e.msg.contains("undeclared transport"));
+    }
+
+    #[test]
+    fn layered_protocol_may_skip_transports() {
+        // With `uses`, message transports refer to the base's classes.
+        check("protocol s uses base; addressing hash; messages { HIGH x { } }").unwrap();
+    }
+
+    #[test]
+    fn timer_transition_must_reference_declared_timer() {
+        let e = check("protocol p; addressing ip; transitions { any timer t { } }").unwrap_err();
+        assert!(e.msg.contains("unknown timer"));
+    }
+
+    #[test]
+    fn state_change_target_checked() {
+        let e = check(
+            "protocol p; addressing ip; states { a; }
+             transitions { any API init { state_change(zzz); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("state_change to unknown"));
+    }
+
+    #[test]
+    fn fail_detect_requires_known_neighbor_type() {
+        let e = check(
+            "protocol p; addressing ip; state_variables { fail_detect ghosts g; }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("undeclared neighbor type"));
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        check(
+            "protocol p; addressing hash;
+             states { joined; }
+             neighbor_types { kid 4 { } }
+             transports { TCP C; }
+             messages { C hello { node who; } }
+             state_variables { kid kids; timer t 100; int n; }
+             transitions {
+                any API init { timer_resched(t, 100); }
+                any timer t { n = n + 1; hello(me, me); }
+                any recv hello { neighbor_add(kids, from); state_change(joined); }
+             }",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests on the DSL front end.
+
+use macedon_lang::ast::StateExpr;
+use macedon_lang::{parse, Lexer};
+use proptest::prelude::*;
+
+/// Random state-scope expressions as source text plus the oracle AST.
+fn state_expr_strategy() -> impl Strategy<Value = (String, StateExpr)> {
+    let leaf = prop_oneof![
+        Just(("any".to_string(), StateExpr::Any)),
+        proptest::sample::select(vec!["alpha", "beta", "gamma", "delta"])
+            .prop_map(|s| (s.to_string(), StateExpr::Is(s.to_string()))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|(s, e)| (format!("!({s})"), StateExpr::Not(Box::new(e)))),
+            (inner.clone(), inner).prop_map(|((s1, e1), (s2, e2))| {
+                (format!("({s1}|{s2})"), StateExpr::Or(Box::new(e1), Box::new(e2)))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Parsing a rendered scope expression evaluates identically to the
+    /// oracle on all states.
+    #[test]
+    fn state_scope_roundtrip((src, oracle) in state_expr_strategy()) {
+        let program = format!(
+            "protocol p; addressing ip; states {{ alpha; beta; gamma; delta; }}\
+             transitions {{ {src} API init {{ }} }}"
+        );
+        let spec = parse(&program).unwrap();
+        let parsed = &spec.transitions[0].scope;
+        for st in ["alpha", "beta", "gamma", "delta", "init"] {
+            prop_assert_eq!(parsed.matches(st), oracle.matches(st), "state {}", st);
+        }
+    }
+
+    /// The lexer never panics on arbitrary printable input.
+    #[test]
+    fn lexer_total_on_ascii(s in "[ -~]{0,200}") {
+        let _ = Lexer::new(&s).tokenize();
+    }
+
+    /// Integer literals roundtrip through the lexer.
+    #[test]
+    fn int_literals_roundtrip(v in 0i64..i64::MAX / 2) {
+        let toks = Lexer::new(&v.to_string()).tokenize().unwrap();
+        prop_assert!(matches!(toks[0].kind, macedon_lang::TokenKind::Int(x) if x == v));
+    }
+
+    /// spec_loc never exceeds physical lines; semicolons never exceeds
+    /// byte count.
+    #[test]
+    fn loc_bounds(s in "[ -~\n]{0,500}") {
+        prop_assert!(macedon_lang::loc::spec_loc(&s) <= s.lines().count());
+        prop_assert!(macedon_lang::loc::semicolons(&s) <= s.len());
+    }
+}

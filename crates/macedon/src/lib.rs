@@ -1,0 +1,37 @@
+//! # macedon
+//!
+//! Facade crate for the MACEDON reproduction: re-exports the full public
+//! API so applications depend on one crate, and hosts the workspace's
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! ```no_run
+//! use macedon::prelude::*;
+//!
+//! // Build a small emulated network, run Chord on it, route a message.
+//! let topo = macedon::net::topology::canned::star(8, macedon::net::topology::LinkSpec::lan());
+//! let mut world = World::new(topo, WorldConfig::default());
+//! ```
+
+pub use macedon_baselines as baselines;
+pub use macedon_core as core;
+pub use macedon_lang as lang;
+pub use macedon_net as net;
+pub use macedon_overlays as overlays;
+pub use macedon_sim as sim;
+pub use macedon_transport as transport;
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use macedon_core::{
+        Addressing, Agent, AppHandler, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration,
+        ForwardInfo, MacedonKey, NodeId, NullApp, ProtocolId, Time, TraceLevel, UpCall, World,
+        WorldConfig,
+    };
+    pub use macedon_core::app::{shared_deliveries, CollectorApp, StreamKind, StreamerApp};
+    pub use macedon_overlays::{
+        Ammo, AmmoConfig, Bullet, BulletConfig, Chord, ChordConfig, Nice, NiceConfig, Overcast,
+        OvercastConfig, Pastry, PastryConfig, RandTree, RandTreeConfig, Scribe, ScribeConfig,
+        SplitStream, SplitStreamConfig,
+    };
+}

@@ -1,0 +1,113 @@
+//! Fault injection: random loss, link failure, node failure, partitions.
+//!
+//! ModelNet topologies are static during a run, but the MACEDON engine's
+//! failure detector (§3.1 of the paper) and our failure-injection tests
+//! need links and nodes to die mid-experiment; this module is the switch
+//! board for that.
+
+use crate::topology::NodeId;
+use macedon_sim::SimRng;
+use std::collections::HashSet;
+
+/// Mutable fault state consulted by the packet pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct Faults {
+    drop_probability: f64,
+    links_down: HashSet<u32>,
+    nodes_down: HashSet<NodeId>,
+}
+
+impl Faults {
+    /// Probability that any individual hop drops a packet (applied
+    /// independently per link traversal, like smoltcp's `--drop-chance`).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+    }
+
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Take down a physical link (both directions).
+    pub fn fail_link(&mut self, phys: u32) {
+        self.links_down.insert(phys);
+    }
+
+    pub fn heal_link(&mut self, phys: u32) {
+        self.links_down.remove(&phys);
+    }
+
+    pub fn link_is_down(&self, phys: u32) -> bool {
+        self.links_down.contains(&phys)
+    }
+
+    /// Crash a node: all packets to, from or through it are dropped.
+    pub fn fail_node(&mut self, n: NodeId) {
+        self.nodes_down.insert(n);
+    }
+
+    pub fn heal_node(&mut self, n: NodeId) {
+        self.nodes_down.remove(&n);
+    }
+
+    pub fn node_is_down(&self, n: NodeId) -> bool {
+        self.nodes_down.contains(&n)
+    }
+
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes_down.iter().copied()
+    }
+
+    /// Loss coin-flip for one hop.
+    pub fn should_drop(&self, rng: &mut SimRng) -> bool {
+        self.drop_probability > 0.0 && rng.chance(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_lifecycle() {
+        let mut f = Faults::default();
+        assert!(!f.link_is_down(3));
+        f.fail_link(3);
+        assert!(f.link_is_down(3));
+        f.heal_link(3);
+        assert!(!f.link_is_down(3));
+    }
+
+    #[test]
+    fn node_lifecycle() {
+        let mut f = Faults::default();
+        let n = NodeId(7);
+        f.fail_node(n);
+        assert!(f.node_is_down(n));
+        assert_eq!(f.failed_nodes().count(), 1);
+        f.heal_node(n);
+        assert!(!f.node_is_down(n));
+    }
+
+    #[test]
+    fn drop_probability_zero_never_drops() {
+        let f = Faults::default();
+        let mut rng = SimRng::new(1);
+        assert!(!(0..1000).any(|_| f.should_drop(&mut rng)));
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let mut f = Faults::default();
+        f.set_drop_probability(1.0);
+        let mut rng = SimRng::new(1);
+        assert!((0..1000).all(|_| f.should_drop(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        Faults::default().set_drop_probability(1.5);
+    }
+}

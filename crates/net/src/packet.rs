@@ -1,0 +1,51 @@
+//! The unit of transmission on the emulated network.
+
+use crate::topology::NodeId;
+
+/// Fixed per-packet header overhead charged on the wire, approximating
+/// IP + transport headers (ModelNet emulates real IP packets, which carry
+/// this cost implicitly).
+pub const HEADER_BYTES: u32 = 40;
+
+/// Maximum transmission unit enforced by the emulator; transports segment
+/// larger messages (see `macedon-transport`).
+pub const MTU: u32 = 1_500;
+
+/// A packet in flight. `P` is the payload type supplied by the layer above
+/// (the transport crate uses its segment type).
+#[derive(Clone, Debug)]
+pub struct Packet<P> {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Payload size in bytes, excluding [`HEADER_BYTES`].
+    pub size: u32,
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    pub fn new(src: NodeId, dst: NodeId, size: u32, payload: P) -> Packet<P> {
+        Packet { src, dst, size, payload }
+    }
+
+    /// Bytes this packet occupies on the wire (payload + header).
+    pub fn wire_size(&self) -> u32 {
+        self.size + HEADER_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = Packet::new(NodeId(0), NodeId(1), 1000, ());
+        assert_eq!(p.wire_size(), 1040);
+    }
+
+    #[test]
+    fn zero_payload_still_costs_header() {
+        let p = Packet::new(NodeId(0), NodeId(1), 0, "ctl");
+        assert_eq!(p.wire_size(), HEADER_BYTES);
+    }
+}

@@ -1,0 +1,486 @@
+//! The packet pipeline: per-link FIFO queues with bandwidth serialization,
+//! propagation delay and drop-tail loss — the core of the ModelNet
+//! substitute.
+//!
+//! Each directed half-link is a single-server FIFO: a packet occupies
+//! `queue_bytes` worth of buffer from the moment it is enqueued until its
+//! serialization completes, transmits for `wire_size * 8 / bandwidth`
+//! seconds, then propagates for `delay`. Congestion (queue growth, loss)
+//! therefore emerges hop-by-hop exactly as in ModelNet's pipe model.
+//!
+//! The [`Network`] is deliberately scheduler-agnostic: methods take the
+//! current time and emit `(Time, NetEvent)` pairs plus deliveries into a
+//! [`Sink`]; the caller owns the event loop. This keeps the crate testable
+//! stand-alone (see `run_until` in the tests) and lets `macedon-core`
+//! embed network events inside its own world-event enum.
+
+use crate::fault::Faults;
+use crate::packet::Packet;
+use crate::routing::Router;
+use crate::topology::{LinkId, NodeId, Topology};
+use macedon_sim::{Duration, SimRng, Time};
+
+/// Events the network schedules for itself.
+#[derive(Debug)]
+pub enum NetEvent<P> {
+    /// A packet reached `node` (either its destination or a forwarding hop).
+    Arrive { node: NodeId, pkt: Packet<P>, sent_at: Time },
+    /// A packet finished serializing onto `link` and leaves its queue.
+    Depart { link: LinkId, wire: u32, pkt: Packet<P>, sent_at: Time },
+}
+
+/// A packet handed up to the layer above at its destination host.
+#[derive(Debug)]
+pub struct Delivery<P> {
+    pub pkt: Packet<P>,
+    /// When the original `send` happened (for latency accounting).
+    pub sent_at: Time,
+    /// When it arrived.
+    pub at: Time,
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    QueueFull,
+    RandomLoss,
+    LinkDown,
+    NodeDown,
+    NoRoute,
+}
+
+/// Output buffer filled by [`Network`] methods.
+pub struct Sink<P> {
+    /// Events to insert into the caller's scheduler.
+    pub schedule: Vec<(Time, NetEvent<P>)>,
+    /// Packets delivered to destination hosts.
+    pub delivered: Vec<Delivery<P>>,
+    /// Packets dropped, with reasons (observability / tests).
+    pub dropped: Vec<(DropReason, NodeId)>,
+}
+
+impl<P> Sink<P> {
+    pub fn new() -> Sink<P> {
+        Sink { schedule: Vec::new(), delivered: Vec::new(), dropped: Vec::new() }
+    }
+
+    pub fn clear(&mut self) {
+        self.schedule.clear();
+        self.delivered.clear();
+        self.dropped.clear();
+    }
+}
+
+impl<P> Default for Sink<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tunables for the emulator.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Latency charged on a host-to-itself send (kernel loopback).
+    pub loopback_delay: Duration,
+    /// RNG seed for loss decisions.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { loopback_delay: Duration::from_micros(50), seed: 0x6d61_6365 }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct LinkState {
+    busy_until: Time,
+    queued_bytes: u32,
+    // Counters for link-stress metrics.
+    pkts: u64,
+    bytes: u64,
+    drops: u64,
+}
+
+/// The emulated network.
+pub struct Network<P> {
+    topo: Topology,
+    router: Router,
+    links: Vec<LinkState>,
+    faults: Faults,
+    rng: SimRng,
+    _marker: std::marker::PhantomData<P>,
+}
+
+impl<P> Network<P> {
+    pub fn new(topo: Topology, cfg: NetworkConfig) -> Network<P> {
+        let links = vec![LinkState::default(); topo.num_links()];
+        Network {
+            topo,
+            router: Router::new(),
+            links,
+            faults: Faults::default(),
+            rng: SimRng::new(cfg.seed),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn faults_mut(&mut self) -> &mut Faults {
+        &mut self.faults
+    }
+
+    /// Uncongested one-way IP latency between two nodes (the latency
+    /// oracle used for stretch / RDP metrics).
+    pub fn oracle_latency(&mut self, a: NodeId, b: NodeId) -> Option<Duration> {
+        self.router.dist(&self.topo, a, b)
+    }
+
+    /// IP hop count between two nodes.
+    pub fn oracle_hops(&mut self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.router.hop_count(&self.topo, a, b)
+    }
+
+    /// Per-physical-link (packets, bytes, drops) counters, for stress
+    /// metrics. Indexed by physical link id; both directions accumulate
+    /// into the same slot.
+    pub fn link_counters(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = vec![(0u64, 0u64, 0u64); self.topo.num_phys_links()];
+        for (i, st) in self.links.iter().enumerate() {
+            let phys = self.topo.link(LinkId(i as u32)).phys as usize;
+            out[phys].0 += st.pkts;
+            out[phys].1 += st.bytes;
+            out[phys].2 += st.drops;
+        }
+        out
+    }
+
+    /// Total packets dropped anywhere in the network.
+    pub fn total_drops(&self) -> u64 {
+        self.links.iter().map(|l| l.drops).sum()
+    }
+
+    /// Inject a packet at its source host.
+    pub fn send(&mut self, now: Time, pkt: Packet<P>, out: &mut Sink<P>) {
+        debug_assert!(self.topo.is_host(pkt.src), "send from non-host {:?}", pkt.src);
+        if self.faults.node_is_down(pkt.src) || self.faults.node_is_down(pkt.dst) {
+            out.dropped.push((DropReason::NodeDown, pkt.src));
+            return;
+        }
+        if pkt.src == pkt.dst {
+            // Loopback: deliver after a small constant delay.
+            let cfg_delay = Duration::from_micros(50);
+            out.schedule.push((
+                now + cfg_delay,
+                NetEvent::Arrive { node: pkt.dst, pkt, sent_at: now },
+            ));
+            return;
+        }
+        self.forward(now, pkt.src, pkt, now, out);
+    }
+
+    /// Process one of our own events.
+    pub fn handle(&mut self, now: Time, ev: NetEvent<P>, out: &mut Sink<P>) {
+        match ev {
+            NetEvent::Arrive { node, pkt, sent_at } => {
+                if self.faults.node_is_down(node) {
+                    out.dropped.push((DropReason::NodeDown, node));
+                    return;
+                }
+                if node == pkt.dst {
+                    out.delivered.push(Delivery { pkt, sent_at, at: now });
+                } else {
+                    self.forward(now, node, pkt, sent_at, out);
+                }
+            }
+            NetEvent::Depart { link, wire, pkt, sent_at } => {
+                let st = &mut self.links[link.index()];
+                st.queued_bytes = st.queued_bytes.saturating_sub(wire);
+                let l = self.topo.link(link);
+                out.schedule.push((
+                    now + l.delay,
+                    NetEvent::Arrive { node: l.to, pkt, sent_at },
+                ));
+            }
+        }
+    }
+
+    fn forward(&mut self, now: Time, at: NodeId, pkt: Packet<P>, sent_at: Time, out: &mut Sink<P>) {
+        let Some(lid) = self.router.next_hop(&self.topo, at, pkt.dst) else {
+            out.dropped.push((DropReason::NoRoute, at));
+            return;
+        };
+        let link = *self.topo.link(lid);
+        if self.faults.link_is_down(link.phys) {
+            self.links[lid.index()].drops += 1;
+            out.dropped.push((DropReason::LinkDown, at));
+            return;
+        }
+        if self.faults.should_drop(&mut self.rng) {
+            self.links[lid.index()].drops += 1;
+            out.dropped.push((DropReason::RandomLoss, at));
+            return;
+        }
+        let wire = pkt.wire_size();
+        let st = &mut self.links[lid.index()];
+        if st.queued_bytes.saturating_add(wire) > link.queue_bytes {
+            st.drops += 1;
+            out.dropped.push((DropReason::QueueFull, at));
+            return;
+        }
+        st.queued_bytes += wire;
+        st.pkts += 1;
+        st.bytes += wire as u64;
+        let ser = serialization_time(wire, link.bandwidth_bps);
+        let start = st.busy_until.max(now);
+        let finish = start + ser;
+        st.busy_until = finish;
+        out.schedule.push((finish, NetEvent::Depart { link: lid, wire, pkt, sent_at }));
+    }
+}
+
+/// Time to clock `wire` bytes onto a link of the given capacity.
+pub fn serialization_time(wire: u32, bandwidth_bps: u64) -> Duration {
+    debug_assert!(bandwidth_bps > 0);
+    let bits = wire as u128 * 8;
+    let us = (bits * 1_000_000).div_ceil(bandwidth_bps as u128);
+    Duration::from_micros(us as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{canned, LinkSpec};
+    use macedon_sim::Scheduler;
+
+    /// Drive a network's own events until quiescent or the deadline.
+    fn run_until<P>(
+        net: &mut Network<P>,
+        sched: &mut Scheduler<NetEvent<P>>,
+        out: &mut Sink<P>,
+        deadline: Time,
+    ) {
+        loop {
+            let mut progressed = false;
+            // First drain any freshly scheduled events into the scheduler.
+            for (t, ev) in out.schedule.drain(..) {
+                sched.schedule(t, ev);
+                progressed = true;
+            }
+            if let Some((now, ev)) = sched.pop_before(deadline) {
+                net.handle(now, ev, out);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn delivery_latency_propagation_plus_serialization() {
+        // host -1ms- router -1ms- host at 100 Mbps.
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(a, b, 1000, 7), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(10));
+        assert_eq!(out.delivered.len(), 1);
+        let d = &out.delivered[0];
+        assert_eq!(d.pkt.payload, 7);
+        // 2 hops: each 1 ms prop + 83.2 µs serialization of 1040 B at 100 Mbps
+        let ser = serialization_time(1040, 100_000_000);
+        let expect = ms(2) + ser + ser;
+        assert_eq!(d.at - d.sent_at, expect);
+    }
+
+    #[test]
+    fn loopback_delivers_fast() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let a = t.hosts()[0];
+        let mut net: Network<&str> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(a, a, 100, "self"), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert_eq!(out.delivered.len(), 1);
+        assert!(out.delivered[0].at < Time::from_millis(1));
+    }
+
+    #[test]
+    fn fifo_per_link() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        for i in 0..20 {
+            net.send(Time::ZERO, Packet::new(a, b, 1000, i), &mut out);
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(10));
+        let got: Vec<u32> = out.delivered.iter().map(|d| d.pkt.payload).collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_packets() {
+        // On a slow 1 Mbps access link, 10 packets of 1000 B take ~8.3 ms each.
+        let t = canned::two_hosts(LinkSpec::access(1_000_000));
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        for i in 0..10 {
+            net.send(Time::ZERO, Packet::new(a, b, 1000, i), &mut out);
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(10));
+        assert_eq!(out.delivered.len(), 10);
+        let ser = serialization_time(1040, 1_000_000);
+        // Last packet waits behind 9 others on the first link.
+        let last = out.delivered.last().unwrap();
+        assert!(last.at.as_micros() >= 10 * ser.as_micros());
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        // Queue of 32 KiB holds ~31 packets of 1040 B.
+        let t = canned::two_hosts(LinkSpec::access(1_000_000));
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        for i in 0..100 {
+            net.send(Time::ZERO, Packet::new(a, b, 1000, i), &mut out);
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(60));
+        assert!(out.delivered.len() < 100, "some packets must drop");
+        assert!(!out.dropped.is_empty());
+        assert!(out
+            .dropped
+            .iter()
+            .all(|(r, _)| *r == DropReason::QueueFull));
+        assert_eq!(out.delivered.len() + out.dropped.len(), 100);
+        assert_eq!(net.total_drops() as usize, out.dropped.len());
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_p() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        net.faults_mut().set_drop_probability(0.2);
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        // Spread sends out so queues don't overflow: drain the pipeline up
+        // to each send instant before injecting the next packet.
+        for i in 0..1000 {
+            let at = Time::from_millis(i as u64);
+            run_until(&mut net, &mut sched, &mut out, at);
+            net.send(at.max(sched.now()), Packet::new(a, b, 100, i), &mut out);
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(100));
+        let lost = 1000 - out.delivered.len();
+        // Two hops, each with 20% loss → ~36% total loss. Allow slack.
+        assert!((250..=450).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn link_down_blocks_traffic() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let phys0 = t.link(t.outgoing(a)[0]).phys;
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        net.faults_mut().fail_link(phys0);
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(a, b, 100, 1), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.dropped[0].0, DropReason::LinkDown);
+        // Heal and retry.
+        net.faults_mut().heal_link(phys0);
+        net.send(Time::from_secs(1), Packet::new(a, b, 100, 2), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(2));
+        assert_eq!(out.delivered.len(), 1);
+    }
+
+    #[test]
+    fn node_down_blocks_traffic() {
+        let t = canned::star(3, LinkSpec::lan());
+        let hs = t.hosts().to_vec();
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        net.faults_mut().fail_node(hs[1]);
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(hs[0], hs[1], 100, 1), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert!(out.delivered.is_empty());
+        // Unrelated pair still works.
+        net.send(Time::ZERO, Packet::new(hs[0], hs[2], 100, 2), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert_eq!(out.delivered.len(), 1);
+    }
+
+    #[test]
+    fn link_counters_accumulate() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        for i in 0..5 {
+            net.send(Time::ZERO, Packet::new(a, b, 1000, i), &mut out);
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(10));
+        let counters = net.link_counters();
+        // Both physical links saw 5 packets each (one direction used).
+        assert_eq!(counters.len(), 2);
+        assert!(counters.iter().all(|&(p, by, _)| p == 5 && by == 5 * 1040));
+    }
+
+    #[test]
+    fn serialization_time_math() {
+        // 1250 bytes at 10 Mbps = 1 ms.
+        assert_eq!(serialization_time(1250, 10_000_000), ms(1));
+        // Rounds up.
+        assert_eq!(serialization_time(1, 8_000_000), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn congestion_on_dumbbell_bottleneck() {
+        // Many flows share a 1 Mbps bottleneck: aggregate goodput must be
+        // capped by it.
+        let t = canned::dumbbell(4, LinkSpec::lan(), LinkSpec::new(ms(5), 1_000_000, 16 * 1024));
+        let hosts = t.hosts().to_vec();
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        // Left hosts 0..4, right hosts 4..8. Each left host sends 50 pkts
+        // of 1000 B over one virtual second.
+        let mut sent = 0;
+        for i in 0..4usize {
+            for k in 0..50u64 {
+                net.send(
+                    Time::from_millis(k * 20),
+                    Packet::new(hosts[i], hosts[4 + i], 1000, sent),
+                    &mut out,
+                );
+                sent += 1;
+            }
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(30));
+        let last = out.delivered.iter().map(|d| d.at).max().unwrap();
+        let bytes: u64 = out.delivered.iter().map(|d| d.pkt.wire_size() as u64).sum();
+        let rate_bps = bytes as f64 * 8.0 / last.as_secs_f64();
+        assert!(rate_bps <= 1_100_000.0, "rate {rate_bps} exceeds bottleneck");
+    }
+}

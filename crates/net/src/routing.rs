@@ -1,0 +1,286 @@
+//! Shortest-path routing over the topology.
+//!
+//! Packets are forwarded hop-by-hop: at each node the router consults a
+//! per-destination next-hop table. Tables are computed lazily by running
+//! Dijkstra *from the destination* over reversed edges (link delays are
+//! symmetric here, so forward and reverse trees coincide), then cached —
+//! the paper's experiments involve at most ~1000 distinct overlay hosts on
+//! a 20k-router graph, so per-destination trees are the right trade-off.
+//!
+//! The same machinery doubles as the **latency oracle** used by the
+//! evaluation framework to compute stretch and RDP: `dist(src, dst)` is
+//! the uncongested one-way propagation latency of the best IP path.
+
+use crate::topology::{LinkId, NodeId, Topology};
+use macedon_sim::Duration;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Per-destination routing state: for every node, the outgoing link on the
+/// shortest path toward `dst`, and the total path latency.
+struct DestTree {
+    next_hop: Vec<Option<LinkId>>,
+    dist_us: Vec<u64>,
+}
+
+/// Hop-by-hop router with lazy per-destination caches.
+pub struct Router {
+    trees: HashMap<NodeId, DestTree>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router { trees: HashMap::new() }
+    }
+
+    /// Next outgoing link from `at` toward `dst`, or `None` if unreachable
+    /// (or already there).
+    pub fn next_hop(&mut self, topo: &Topology, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        if at == dst {
+            return None;
+        }
+        self.tree(topo, dst).next_hop[at.index()]
+    }
+
+    /// Uncongested one-way latency of the IP shortest path, or `None` if
+    /// unreachable.
+    pub fn dist(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Duration> {
+        if src == dst {
+            return Some(Duration::ZERO);
+        }
+        let d = self.tree(topo, dst).dist_us[src.index()];
+        if d == u64::MAX {
+            None
+        } else {
+            Some(Duration::from_micros(d))
+        }
+    }
+
+    /// The full IP path from `src` to `dst` as a sequence of links.
+    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut cur = src;
+        // Path length is bounded by node count on a shortest-path tree.
+        for _ in 0..topo.num_nodes() {
+            let hop = self.next_hop(topo, cur, dst)?;
+            out.push(hop);
+            cur = topo.link(hop).to;
+            if cur == dst {
+                return Some(out);
+            }
+        }
+        None // cycle would indicate a bug; report unreachable
+    }
+
+    /// Number of router hops on the IP path.
+    pub fn hop_count(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<usize> {
+        self.path(topo, src, dst).map(|p| p.len())
+    }
+
+    /// Drop all cached trees (call after topology faults change routing).
+    pub fn invalidate(&mut self) {
+        self.trees.clear();
+    }
+
+    pub fn cached_destinations(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn tree(&mut self, topo: &Topology, dst: NodeId) -> &DestTree {
+        self.trees
+            .entry(dst)
+            .or_insert_with(|| dijkstra_to(topo, dst))
+    }
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Dijkstra rooted at `dst`: because every link is materialized in both
+/// directions with equal delay, relaxing over *outgoing* links from `dst`
+/// yields distances valid in both directions; the next hop at node `v` is
+/// the reverse half-link of the tree edge that relaxed `v`.
+fn dijkstra_to(topo: &Topology, dst: NodeId) -> DestTree {
+    let n = topo.num_nodes();
+    let mut dist_us = vec![u64::MAX; n];
+    let mut next_hop: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, u32)> = BinaryHeap::new();
+    dist_us[dst.index()] = 0;
+    heap.push((std::cmp::Reverse(0), dst.0));
+
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        let u = NodeId(u);
+        if d > dist_us[u.index()] {
+            continue;
+        }
+        for &lid in topo.outgoing(u) {
+            let link = topo.link(lid);
+            let v = link.to;
+            let nd = d + link.delay.as_micros();
+            if nd < dist_us[v.index()] {
+                dist_us[v.index()] = nd;
+                // The next hop from v toward dst is the reverse of `lid`:
+                // the half-link from v to u. Find it on v's adjacency.
+                next_hop[v.index()] = topo
+                    .outgoing(v)
+                    .iter()
+                    .copied()
+                    .find(|&back| {
+                        let bl = topo.link(back);
+                        bl.to == u && bl.phys == link.phys
+                    });
+                debug_assert!(next_hop[v.index()].is_some(), "missing reverse half-link");
+                heap.push((std::cmp::Reverse(nd), v.0));
+            }
+        }
+    }
+
+    DestTree { next_hop, dist_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{canned, LinkSpec, TopologyBuilder};
+    use macedon_sim::SimRng;
+
+    #[test]
+    fn two_hosts_route_through_router() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut r = Router::new();
+        let p = r.path(&t, a, b).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(t.link(p[0]).from, a);
+        assert_eq!(t.link(p[1]).to, b);
+        assert_eq!(r.dist(&t, a, b).unwrap(), macedon_sim::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let t = canned::star(3, LinkSpec::lan());
+        let mut r = Router::new();
+        let h = t.hosts()[0];
+        assert_eq!(r.dist(&t, h, h).unwrap(), Duration::ZERO);
+        assert!(r.next_hop(&t, h, h).is_none());
+    }
+
+    #[test]
+    fn line_distances_accumulate() {
+        let t = canned::line(4, LinkSpec::lan()); // 4 routers, 2 end hosts
+        let (a, z) = (t.hosts()[0], t.hosts()[1]);
+        let mut r = Router::new();
+        // host-r0, r0-r1, r1-r2, r2-r3, r3-host = 5 hops of 1ms
+        assert_eq!(r.hop_count(&t, a, z).unwrap(), 5);
+        assert_eq!(r.dist(&t, a, z).unwrap(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn picks_lower_latency_path() {
+        // Diamond: a -r1- b (fast) and a -r2- b (slow)
+        let mut b = TopologyBuilder::new();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let fast = b.add_router();
+        let slow = b.add_router();
+        b.add_link(h1, fast, LinkSpec::new(Duration::from_millis(1), 1_000_000, 32_000));
+        b.add_link(fast, h2, LinkSpec::new(Duration::from_millis(1), 1_000_000, 32_000));
+        b.add_link(h1, slow, LinkSpec::new(Duration::from_millis(50), 1_000_000, 32_000));
+        b.add_link(slow, h2, LinkSpec::new(Duration::from_millis(50), 1_000_000, 32_000));
+        let t = b.build();
+        let mut r = Router::new();
+        let path = r.path(&t, h1, h2).unwrap();
+        assert_eq!(t.link(path[0]).to, fast);
+        assert_eq!(r.dist(&t, h1, h2).unwrap(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn unreachable_reports_none() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let r1 = b.add_router();
+        b.add_link(h1, r1, LinkSpec::lan());
+        // h2 has no links
+        let _ = h2;
+        let t = b.build();
+        let mut r = Router::new();
+        assert!(r.dist(&t, h1, h2).is_none());
+        assert!(r.path(&t, h1, h2).is_none());
+    }
+
+    #[test]
+    fn symmetric_distances() {
+        let mut rng = SimRng::new(11);
+        let t = crate::topology::inet(&crate::topology::InetParams::test_scale(10), &mut rng);
+        let mut r = Router::new();
+        let hs = t.hosts().to_vec();
+        for i in 0..hs.len() {
+            for j in (i + 1)..hs.len() {
+                assert_eq!(r.dist(&t, hs[i], hs[j]), r.dist(&t, hs[j], hs[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_grows_lazily_and_invalidates() {
+        let t = canned::star(4, LinkSpec::lan());
+        let mut r = Router::new();
+        assert_eq!(r.cached_destinations(), 0);
+        let hs = t.hosts().to_vec();
+        r.dist(&t, hs[0], hs[1]);
+        assert_eq!(r.cached_destinations(), 1);
+        r.dist(&t, hs[0], hs[2]);
+        assert_eq!(r.cached_destinations(), 2);
+        r.invalidate();
+        assert_eq!(r.cached_destinations(), 0);
+    }
+
+    /// Cross-check Dijkstra against Floyd-Warshall on small random graphs.
+    #[test]
+    fn matches_floyd_warshall() {
+        for seed in 0..5u64 {
+            let mut rng = SimRng::new(seed);
+            let t = crate::topology::inet(
+                &crate::topology::InetParams {
+                    routers: 30,
+                    clients: 6,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let n = t.num_nodes();
+            let mut fw = vec![vec![u64::MAX / 4; n]; n];
+            for (i, row) in fw.iter_mut().enumerate() {
+                row[i] = 0;
+            }
+            for l in t.links() {
+                let (a, b) = (l.from.index(), l.to.index());
+                fw[a][b] = fw[a][b].min(l.delay.as_micros());
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        let via = fw[i][k] + fw[k][j];
+                        if via < fw[i][j] {
+                            fw[i][j] = via;
+                        }
+                    }
+                }
+            }
+            let mut r = Router::new();
+            let hosts = t.hosts().to_vec();
+            for &a in &hosts {
+                for &b in &hosts {
+                    let d = r.dist(&t, a, b).unwrap().as_micros();
+                    assert_eq!(d, fw[a.index()][b.index()], "seed={seed} {a:?}->{b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests on the network substrate.
+
+use macedon_net::pipeline::serialization_time;
+use macedon_net::topology::{inet, InetParams};
+use macedon_net::{Network, NetworkConfig, Packet, Router, Sink};
+use macedon_sim::{Scheduler, SimRng, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Serialization time scales monotonically with size and inversely
+    /// with bandwidth.
+    #[test]
+    fn serialization_monotonic(wire in 1u32..100_000, bw in 1_000u64..10_000_000_000) {
+        let t = serialization_time(wire, bw);
+        prop_assert!(t.as_micros() >= 1);
+        prop_assert!(serialization_time(wire + 1, bw) >= t);
+        prop_assert!(serialization_time(wire, bw * 2) <= t);
+    }
+
+    /// On any generated INET topology, every host pair is mutually
+    /// reachable with symmetric distances and triangle-bounded paths.
+    #[test]
+    fn inet_is_connected_and_symmetric(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let topo = inet(&InetParams { routers: 40, clients: 6, ..Default::default() }, &mut rng);
+        let hosts = topo.hosts().to_vec();
+        let mut r = Router::new();
+        for i in 0..hosts.len() {
+            for j in (i + 1)..hosts.len() {
+                let d1 = r.dist(&topo, hosts[i], hosts[j]);
+                let d2 = r.dist(&topo, hosts[j], hosts[i]);
+                prop_assert!(d1.is_some(), "connected");
+                prop_assert_eq!(d1, d2, "symmetric");
+            }
+        }
+    }
+
+    /// Next-hop routing follows shortest-path distances exactly: walking
+    /// hop by hop accumulates the Dijkstra distance.
+    #[test]
+    fn hop_by_hop_matches_dijkstra(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let topo = inet(&InetParams { routers: 30, clients: 4, ..Default::default() }, &mut rng);
+        let hosts = topo.hosts().to_vec();
+        let mut r = Router::new();
+        let (a, b) = (hosts[0], hosts[1]);
+        let total = r.dist(&topo, a, b).unwrap();
+        let path = r.path(&topo, a, b).unwrap();
+        let sum: u64 = path.iter().map(|&l| topo.link(l).delay.as_micros()).sum();
+        prop_assert_eq!(sum, total.as_micros());
+    }
+
+    /// Every injected packet is either delivered or dropped — none lost
+    /// in the machinery — under arbitrary loss probability.
+    #[test]
+    fn conservation_of_packets(seed in any::<u64>(), p_loss in 0.0f64..1.0, n in 1usize..50) {
+        let mut rng = SimRng::new(seed);
+        let topo = inet(&InetParams { routers: 25, clients: 4, ..Default::default() }, &mut rng);
+        let hosts = topo.hosts().to_vec();
+        let mut net: Network<u32> = Network::new(topo, NetworkConfig { seed, ..Default::default() });
+        net.faults_mut().set_drop_probability(p_loss);
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        for i in 0..n {
+            net.send(
+                Time::from_millis(i as u64),
+                Packet::new(hosts[0], hosts[1], 100, i as u32),
+                &mut out,
+            );
+        }
+        loop {
+            let mut progressed = false;
+            for (t, ev) in out.schedule.drain(..) {
+                sched.schedule(t, ev);
+                progressed = true;
+            }
+            if let Some((now, ev)) = sched.pop() {
+                net.handle(now, ev, &mut out);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        prop_assert_eq!(out.delivered.len() + out.dropped.len(), n);
+    }
+}

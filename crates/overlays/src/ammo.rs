@@ -1,0 +1,527 @@
+//! AMMO — Adaptive Multi-Metric Overlays (Rodriguez, Kostić, Vahdat,
+//! ICDCS'04) as a MACEDON agent.
+//!
+//! AMMO builds a distribution tree that adapts to an
+//! application-specified *cost function* over multiple network metrics —
+//! here a weighted combination of round-trip latency and estimated
+//! per-path bandwidth. Nodes periodically probe a random sample of known
+//! peers and relocate when a candidate parent improves the weighted cost
+//! by more than a damping factor (the paper's §4.1 notes MACEDON was
+//! used to guide AMMO's design). Loop avoidance uses root paths carried
+//! in probe replies.
+
+use crate::common::proto;
+use macedon_core::api::{NBR_TYPE_CHILDREN, NBR_TYPE_PARENT};
+use macedon_core::{
+    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId,
+    ProtocolId, Time, TraceLevel, UpCall, WireReader,
+};
+use std::any::Any;
+use std::collections::HashMap;
+
+const MSG_JOIN: u16 = 1;
+const MSG_JOIN_OK: u16 = 2;
+const MSG_REMOVE: u16 = 3;
+const MSG_PROBE: u16 = 4;
+const MSG_PROBE_ACK: u16 = 5;
+const MSG_DATA: u16 = 6;
+const MSG_GOSSIP: u16 = 7;
+const MSG_PATH: u16 = 8;
+
+const TIMER_ADAPT: u16 = 1;
+const TIMER_RETRY_JOIN: u16 = 2;
+const TIMER_GOSSIP: u16 = 3;
+
+/// Weighted cost: `alpha * rtt_ms + beta * (1000 / bandwidth_mbps)`.
+#[derive(Clone, Copy, Debug)]
+pub struct CostWeights {
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights { alpha: 1.0, beta: 1.0 }
+    }
+}
+
+/// Configuration of one AMMO instance.
+#[derive(Clone, Debug)]
+pub struct AmmoConfig {
+    pub root: Option<NodeId>,
+    pub weights: CostWeights,
+    /// Probe-and-adapt epoch.
+    pub adapt_period: Duration,
+    /// Candidates probed per epoch.
+    pub probes_per_epoch: usize,
+    /// Relative improvement required before relocating (damping).
+    pub improvement: f64,
+    pub max_children: usize,
+    pub control_ch: ChannelId,
+    pub data_ch: ChannelId,
+}
+
+impl Default for AmmoConfig {
+    fn default() -> Self {
+        AmmoConfig {
+            root: None,
+            weights: CostWeights::default(),
+            adapt_period: Duration::from_secs(5),
+            probes_per_epoch: 3,
+            improvement: 0.8, // candidate cost must be < 80% of current
+            max_children: 4,
+            control_ch: ChannelId(1),
+            data_ch: ChannelId(2),
+        }
+    }
+}
+
+/// The AMMO agent.
+pub struct Ammo {
+    cfg: AmmoConfig,
+    parent: Option<NodeId>,
+    /// Cost via the current parent (measured at adoption and refreshed by
+    /// probes).
+    parent_cost: f64,
+    children: Vec<NodeId>,
+    /// Known population (gossiped).
+    known: Vec<NodeId>,
+    /// My path to the root (loop avoidance), nearest-first.
+    root_path: Vec<NodeId>,
+    /// Outstanding probes: peer → send time.
+    outstanding: HashMap<NodeId, Time>,
+    /// Relocation in progress: the candidate we asked to adopt us while
+    /// still attached to the old parent (hitless switch).
+    pending_parent: Option<NodeId>,
+    joined: bool,
+    pub relocations: u32,
+    pub relayed: u64,
+}
+
+impl Ammo {
+    pub fn new(cfg: AmmoConfig) -> Ammo {
+        Ammo {
+            cfg,
+            parent: None,
+            parent_cost: f64::INFINITY,
+            children: Vec::new(),
+            known: Vec::new(),
+            root_path: Vec::new(),
+            outstanding: HashMap::new(),
+            pending_parent: None,
+            joined: false,
+            relocations: 0,
+            relayed: 0,
+        }
+    }
+
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.cfg.root.is_none()
+    }
+
+    fn cost_from(&self, rtt: Duration, child_count: usize) -> f64 {
+        // RTT term plus a load term: the more children a candidate has,
+        // the less residual bandwidth it offers (paper's multi-metric
+        // trade-off, with fan-out as the bandwidth proxy).
+        let rtt_ms = rtt.as_secs_f64() * 1_000.0;
+        let load = (child_count as f64 + 1.0) / self.cfg.max_children as f64;
+        self.cfg.weights.alpha * rtt_ms + self.cfg.weights.beta * 10.0 * load
+    }
+
+    fn learn(&mut self, me: NodeId, n: NodeId) {
+        if n != me && !self.known.contains(&n) {
+            self.known.push(n);
+        }
+    }
+
+    fn start_join(&mut self, ctx: &mut Ctx, via: Option<NodeId>) {
+        match self.cfg.root {
+            None => {
+                self.joined = true;
+                self.root_path = vec![ctx.me];
+            }
+            Some(root) => {
+                let target = via.unwrap_or(root);
+                let mut w = proto_header(proto::AMMO, MSG_JOIN);
+                w.node(ctx.me);
+                ctx.send(target, self.cfg.control_ch, w.finish());
+                ctx.timer_set(TIMER_RETRY_JOIN, Duration::from_secs(5));
+            }
+        }
+    }
+
+    /// Push my (possibly new) root path to all children so their loop
+    /// checks stay fresh; they re-propagate recursively.
+    fn propagate_path(&mut self, ctx: &mut Ctx) {
+        for &c in &self.children.clone() {
+            let mut w = proto_header(proto::AMMO, MSG_PATH);
+            w.nodes(&self.root_path);
+            ctx.send(c, self.cfg.control_ch, w.finish());
+        }
+    }
+
+    fn flood_down(&mut self, ctx: &mut Ctx, src: MacedonKey, payload: &Bytes, exclude: Option<NodeId>) {
+        for &c in &self.children.clone() {
+            if Some(c) == exclude {
+                continue;
+            }
+            let mut w = proto_header(proto::AMMO, MSG_DATA);
+            w.key(src);
+            w.bytes(payload);
+            ctx.send(c, self.cfg.data_ch, w.finish());
+            self.relayed += 1;
+        }
+    }
+}
+
+impl Agent for Ammo {
+    fn protocol_id(&self) -> ProtocolId {
+        proto::AMMO
+    }
+
+    fn name(&self) -> &'static str {
+        "ammo"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        ctx.timer_periodic(TIMER_ADAPT, self.cfg.adapt_period);
+        ctx.timer_periodic(TIMER_GOSSIP, Duration::from_secs(2));
+        self.start_join(ctx, None);
+    }
+
+    fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
+        match call {
+            DownCall::Multicast { payload, .. } => {
+                let src = ctx.my_key;
+                if self.is_root() {
+                    self.flood_down(ctx, src, &payload, None);
+                } else if let Some(p) = self.parent {
+                    let mut w = proto_header(proto::AMMO, MSG_DATA);
+                    w.key(src);
+                    w.bytes(&payload);
+                    ctx.send(p, self.cfg.data_ch, w.finish());
+                }
+            }
+            other => {
+                ctx.trace(TraceLevel::Low, format!("ammo: unsupported {other:?}"));
+            }
+        }
+    }
+
+    fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
+        let mut r = WireReader::new(msg);
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        self.learn(ctx.me, from);
+        match ty {
+            MSG_JOIN => {
+                let Ok(joiner) = r.node() else { return };
+                if joiner == ctx.me {
+                    return;
+                }
+                if self.children.len() >= self.cfg.max_children {
+                    // Redirect toward a random child.
+                    let c = self.children[ctx.rng.index(self.children.len())];
+                    let mut w = proto_header(proto::AMMO, MSG_JOIN);
+                    w.node(joiner);
+                    ctx.send(c, self.cfg.control_ch, w.finish());
+                    return;
+                }
+                if !self.children.contains(&joiner) {
+                    self.children.push(joiner);
+                    ctx.monitor(joiner);
+                }
+                let mut w = proto_header(proto::AMMO, MSG_JOIN_OK);
+                w.nodes(&self.root_path);
+                ctx.send(joiner, self.cfg.control_ch, w.finish());
+                ctx.up(UpCall::Notify {
+                    nbr_type: NBR_TYPE_CHILDREN,
+                    neighbors: self.children.clone(),
+                });
+            }
+            MSG_JOIN_OK => {
+                let Ok(parent_path) = r.nodes() else { return };
+                if parent_path.contains(&ctx.me) {
+                    // Would form a loop: refuse and retry at the root.
+                    self.pending_parent = None;
+                    if self.parent.is_none() {
+                        self.start_join(ctx, None);
+                    }
+                    return;
+                }
+                if self.pending_parent == Some(from) {
+                    // Complete the hitless switch.
+                    self.pending_parent = None;
+                    self.relocations += 1;
+                    if let Some(old) = self.parent.take() {
+                        if old != from {
+                            let w = proto_header(proto::AMMO, MSG_REMOVE);
+                            ctx.send(old, self.cfg.control_ch, w.finish());
+                            ctx.unmonitor(old);
+                        }
+                    }
+                }
+                self.parent = Some(from);
+                self.parent_cost = f64::INFINITY; // refreshed by probes
+                self.joined = true;
+                self.root_path = std::iter::once(ctx.me).chain(parent_path).collect();
+                self.propagate_path(ctx);
+                ctx.monitor(from);
+                ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_PARENT, neighbors: vec![from] });
+            }
+            MSG_REMOVE => {
+                self.children.retain(|&c| c != from);
+                ctx.unmonitor(from);
+            }
+            MSG_PROBE => {
+                let Ok(ts) = r.u64() else { return };
+                let mut w = proto_header(proto::AMMO, MSG_PROBE_ACK);
+                w.u64(ts).u16(self.children.len() as u16);
+                w.nodes(&self.root_path);
+                ctx.send(from, self.cfg.control_ch, w.finish());
+            }
+            MSG_PROBE_ACK => {
+                let (Ok(ts), Ok(kids)) = (r.u64(), r.u16()) else { return };
+                let Ok(path) = r.nodes() else { return };
+                self.outstanding.remove(&from);
+                let rtt = Duration::from_micros(ctx.now.as_micros().saturating_sub(ts));
+                let cost = self.cost_from(rtt, kids as usize);
+                if Some(from) == self.parent {
+                    self.parent_cost = cost;
+                    return;
+                }
+                // Candidate evaluation: relocate on clear improvement,
+                // never to our own descendants.
+                if self.joined
+                    && !self.is_root()
+                    && self.pending_parent.is_none()
+                    && !path.contains(&ctx.me)
+                    && kids < self.cfg.max_children as u16
+                    && cost < self.parent_cost * self.cfg.improvement
+                {
+                    // Hitless relocation: stay attached to the old parent
+                    // until the candidate confirms adoption.
+                    self.pending_parent = Some(from);
+                    let mut w = proto_header(proto::AMMO, MSG_JOIN);
+                    w.node(ctx.me);
+                    ctx.send(from, self.cfg.control_ch, w.finish());
+                }
+            }
+            MSG_DATA => {
+                let Ok(src) = r.key() else { return };
+                let Ok(payload) = r.bytes() else { return };
+                if self.is_root() || Some(from) != self.parent {
+                    // Data climbing up: the root turns it around; interior
+                    // nodes pass it along toward the root and down.
+                    if let (false, Some(p)) = (self.is_root(), self.parent) {
+                        let mut w = proto_header(proto::AMMO, MSG_DATA);
+                        w.key(src);
+                        w.bytes(&payload);
+                        ctx.send(p, self.cfg.data_ch, w.finish());
+                    }
+                }
+                self.flood_down(ctx, src, &payload, Some(from));
+                ctx.up(UpCall::Deliver { src, from, payload });
+            }
+            MSG_PATH => {
+                let Ok(parent_path) = r.nodes() else { return };
+                if Some(from) != self.parent {
+                    return; // stale: we moved on
+                }
+                if parent_path.contains(&ctx.me) {
+                    // Our ancestor chain passes through us: a relocation
+                    // race created a cycle. Detach and rejoin at the root.
+                    let w = proto_header(proto::AMMO, MSG_REMOVE);
+                    ctx.send(from, self.cfg.control_ch, w.finish());
+                    ctx.unmonitor(from);
+                    self.parent = None;
+                    self.pending_parent = None;
+                    self.joined = false;
+                    self.start_join(ctx, None);
+                    return;
+                }
+                self.root_path = std::iter::once(ctx.me).chain(parent_path).collect();
+                self.propagate_path(ctx);
+            }
+            MSG_GOSSIP => {
+                if let Ok(sample) = r.nodes() {
+                    for n in sample {
+                        self.learn(ctx.me, n);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut Ctx, timer: u16) {
+        match timer {
+            TIMER_ADAPT => {
+                if !self.joined || self.is_root() {
+                    return;
+                }
+                // Refresh the parent's cost and probe a few candidates.
+                let mut targets: Vec<NodeId> = Vec::new();
+                if let Some(p) = self.parent {
+                    targets.push(p);
+                }
+                let mut sample = self.known.clone();
+                sample.retain(|&n| Some(n) != self.parent && n != ctx.me);
+                ctx.rng.shuffle(&mut sample);
+                sample.truncate(self.cfg.probes_per_epoch);
+                targets.extend(sample);
+                for t in targets {
+                    self.outstanding.insert(t, ctx.now);
+                    let mut w = proto_header(proto::AMMO, MSG_PROBE);
+                    w.u64(ctx.now.as_micros());
+                    ctx.send(t, self.cfg.control_ch, w.finish());
+                }
+            }
+            TIMER_GOSSIP => {
+                ctx.locking_read();
+                if self.known.is_empty() {
+                    return;
+                }
+                let to = self.known[ctx.rng.index(self.known.len())];
+                let mut sample = self.known.clone();
+                ctx.rng.shuffle(&mut sample);
+                sample.truncate(8);
+                let mut w = proto_header(proto::AMMO, MSG_GOSSIP);
+                w.nodes(&sample);
+                ctx.send(to, self.cfg.control_ch, w.finish());
+            }
+            TIMER_RETRY_JOIN => {
+                if !self.joined {
+                    self.start_join(ctx, None);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn neighbor_failed(&mut self, ctx: &mut Ctx, peer: NodeId) {
+        self.children.retain(|&c| c != peer);
+        self.known.retain(|&n| n != peer);
+        if self.parent == Some(peer) {
+            self.parent = None;
+            self.joined = false;
+            self.start_join(ctx, None);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macedon_core::app::{shared_deliveries, CollectorApp, SharedDeliveries};
+    use macedon_core::{Time, World, WorldConfig};
+
+    fn ammo_world(n: usize, seed: u64) -> (World, Vec<NodeId>, SharedDeliveries) {
+        let topo = crate::testutil::star_topology(n);
+        let hosts = topo.hosts().to_vec();
+        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let sink = shared_deliveries();
+        for (i, &h) in hosts.iter().enumerate() {
+            let cfg = AmmoConfig {
+                root: (i > 0).then(|| hosts[0]),
+                max_children: 3,
+                ..Default::default()
+            };
+            w.spawn_at(
+                Time::from_millis(i as u64 * 100),
+                h,
+                vec![Box::new(Ammo::new(cfg))],
+                Box::new(CollectorApp::new(sink.clone())),
+            );
+        }
+        (w, hosts, sink)
+    }
+
+    fn am<'a>(w: &'a World, n: NodeId) -> &'a Ammo {
+        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+    }
+
+    #[test]
+    fn tree_forms() {
+        let (mut w, hosts, _s) = ammo_world(12, 1);
+        w.run_until(Time::from_secs(60));
+        for &h in &hosts {
+            assert!(am(&w, h).is_joined(), "{h:?}");
+            assert!(am(&w, h).children().len() <= 3);
+        }
+        for &h in &hosts[1..] {
+            let mut cur = h;
+            let mut steps = 0;
+            while cur != hosts[0] {
+                cur = am(&w, cur).parent().expect("parent");
+                steps += 1;
+                assert!(steps <= hosts.len(), "cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_reaches_all() {
+        let (mut w, hosts, sink) = ammo_world(10, 3);
+        w.run_until(Time::from_secs(60));
+        let mut payload = vec![0u8; 32];
+        payload[..8].copy_from_slice(&9u64.to_be_bytes());
+        w.api_at(
+            Time::from_secs(60),
+            hosts[0],
+            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+        );
+        w.run_until(Time::from_secs(70));
+        let log = sink.lock();
+        let got: std::collections::HashSet<NodeId> =
+            log.iter().filter(|r| r.seqno == Some(9)).map(|r| r.node).collect();
+        assert_eq!(got.len(), hosts.len() - 1);
+    }
+
+    #[test]
+    fn no_loops_after_adaptation() {
+        let (mut w, hosts, _s) = ammo_world(16, 7);
+        w.run_until(Time::from_secs(300));
+        // After many adapt epochs, parent pointers must still be acyclic.
+        for &h in &hosts[1..] {
+            let mut cur = h;
+            let mut steps = 0;
+            while cur != hosts[0] {
+                match am(&w, cur).parent() {
+                    Some(p) => cur = p,
+                    None => break, // mid-rejoin: acceptable
+                }
+                steps += 1;
+                assert!(steps <= hosts.len() * 2, "cycle after adaptation at {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_function_prefers_low_rtt_low_load() {
+        let a = Ammo::new(AmmoConfig::default());
+        let fast_idle = a.cost_from(Duration::from_millis(5), 0);
+        let fast_busy = a.cost_from(Duration::from_millis(5), 3);
+        let slow_idle = a.cost_from(Duration::from_millis(100), 0);
+        assert!(fast_idle < fast_busy);
+        assert!(fast_idle < slow_idle);
+    }
+}

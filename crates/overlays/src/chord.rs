@@ -1,0 +1,756 @@
+//! Chord (Stoica et al., SIGCOMM'01) as a MACEDON agent.
+//!
+//! The paper validates its Chord against MIT's `lsd` (Fig 10) by counting
+//! correct finger-table entries over time; the knob under study is the
+//! **fix-fingers timer period** — "our current MACEDON implementation
+//! only supports static periods (1 and 20 seconds in this experiment)".
+//! [`ChordConfig::fix_fingers_period`] is that static period;
+//! `macedon-baselines` layers lsd's dynamic adaptation on the same core.
+//!
+//! Implemented: ring join through a bootstrap node, successor lists,
+//! periodic stabilization with notify, static-period finger repair,
+//! greedy closest-preceding-finger routing with `forward`/`deliver`
+//! upcalls, failure handling via the engine detector, and `routeIP`.
+
+use crate::common::proto;
+use macedon_core::{
+    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, ForwardInfo, MacedonKey,
+    NodeId, ProtocolId, TraceLevel, UpCall, WireReader, WireWriter,
+};
+use std::any::Any;
+
+const MSG_FIND_SUCC: u16 = 1;
+const MSG_FOUND: u16 = 2;
+const MSG_GET_PRED: u16 = 3;
+const MSG_PRED_REPLY: u16 = 4;
+const MSG_NOTIFY: u16 = 5;
+const MSG_DATA: u16 = 6;
+const MSG_DATA_IP: u16 = 7;
+
+const PURPOSE_JOIN: u8 = 0;
+const PURPOSE_FINGER: u8 = 1;
+
+const TIMER_STABILIZE: u16 = 1;
+const TIMER_FIX_FINGERS: u16 = 2;
+const TIMER_RETRY_JOIN: u16 = 3;
+
+/// Number of finger-table entries (32-bit hash space).
+pub const FINGERS: usize = 32;
+
+/// Configuration of one Chord instance.
+#[derive(Clone, Debug)]
+pub struct ChordConfig {
+    /// Node to join through; `None` for the ring's first node.
+    pub bootstrap: Option<NodeId>,
+    /// The paper's experiment knob: static fix-fingers period.
+    pub fix_fingers_period: Duration,
+    /// MIT lsd's behavior: "the lsd code dynamically adjusts the period
+    /// of the fix fingers timer" — when set, the period halves after an
+    /// epoch that repaired a stale finger and doubles after a quiet one,
+    /// clamped to `(min, max)`. `macedon-baselines` uses this.
+    pub fix_fingers_dynamic: Option<(Duration, Duration)>,
+    pub stabilize_period: Duration,
+    /// Successor-list length (failure resilience).
+    pub succ_list_len: usize,
+    /// Channel for control traffic.
+    pub control_ch: ChannelId,
+    /// Channel for routed data.
+    pub data_ch: ChannelId,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            bootstrap: None,
+            fix_fingers_period: Duration::from_secs(1),
+            fix_fingers_dynamic: None,
+            stabilize_period: Duration::from_millis(500),
+            succ_list_len: 4,
+            control_ch: ChannelId(1),
+            data_ch: ChannelId(2),
+        }
+    }
+}
+
+/// The Chord agent.
+pub struct Chord {
+    cfg: ChordConfig,
+    /// Successor list: `succs[0]` is the immediate successor.
+    succs: Vec<(NodeId, MacedonKey)>,
+    pred: Option<(NodeId, MacedonKey)>,
+    fingers: [Option<(NodeId, MacedonKey)>; FINGERS],
+    joined: bool,
+    /// Data the application routed before the ring was joined.
+    pending: Vec<(MacedonKey, Bytes)>,
+    /// Messages routed through this node (observability).
+    pub forwarded: u64,
+    /// Carries the "next hop is the owner" flag from `handle_data` into
+    /// `forward_resolved` (the dispatcher calls them back-to-back).
+    next_is_final: bool,
+    /// Dynamic fix-fingers state (lsd mode): current period and whether
+    /// the last epoch changed any finger.
+    ff_period: Duration,
+    ff_changed: bool,
+}
+
+impl Chord {
+    pub fn new(cfg: ChordConfig) -> Chord {
+        let cfg_period = cfg.fix_fingers_period;
+        Chord {
+            cfg,
+            succs: Vec::new(),
+            pred: None,
+            fingers: [None; FINGERS],
+            joined: false,
+            pending: Vec::new(),
+            forwarded: 0,
+            next_is_final: false,
+            ff_period: cfg_period,
+            ff_changed: false,
+        }
+    }
+
+    // ---- state inspection (the paper dumps routing tables for Fig 10) ----
+
+    pub fn fingers(&self) -> &[Option<(NodeId, MacedonKey)>; FINGERS] {
+        &self.fingers
+    }
+
+    pub fn successor(&self) -> Option<(NodeId, MacedonKey)> {
+        self.succs.first().copied()
+    }
+
+    pub fn successors(&self) -> &[(NodeId, MacedonKey)] {
+        &self.succs
+    }
+
+    pub fn predecessor(&self) -> Option<(NodeId, MacedonKey)> {
+        self.pred
+    }
+
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn succ_key(&self) -> Option<MacedonKey> {
+        self.succs.first().map(|&(_, k)| k)
+    }
+
+    /// Owner test during routing: does my immediate successor own `k`?
+    fn succ_owns(&self, me: MacedonKey, k: MacedonKey) -> bool {
+        match self.succ_key() {
+            Some(sk) => k.in_open_closed(me, sk),
+            None => true, // singleton ring: I own everything
+        }
+    }
+
+    /// Highest-preceding known node for `target` (fingers ∪ successors).
+    fn closest_preceding(&self, me: MacedonKey, target: MacedonKey) -> Option<(NodeId, MacedonKey)> {
+        let mut best: Option<(NodeId, MacedonKey)> = None;
+        let consider = |best: &mut Option<(NodeId, MacedonKey)>, cand: (NodeId, MacedonKey)| {
+            if cand.1.in_open(me, target) {
+                match best {
+                    Some((_, bk)) if me.distance_to(*bk) >= me.distance_to(cand.1) => {}
+                    _ => *best = Some(cand),
+                }
+            }
+        };
+        for f in self.fingers.iter().flatten() {
+            consider(&mut best, *f);
+        }
+        for s in &self.succs {
+            consider(&mut best, *s);
+        }
+        best
+    }
+
+    fn send_msg(&self, ctx: &mut Ctx, to: NodeId, ch: ChannelId, w: WireWriter) {
+        ctx.send(to, ch, w.finish());
+    }
+
+    /// Route or answer a FIND_SUCC query currently at this node.
+    fn handle_find_succ(
+        &mut self,
+        ctx: &mut Ctx,
+        origin: NodeId,
+        target: MacedonKey,
+        purpose: u8,
+        idx: u8,
+    ) {
+        let me = ctx.my_key;
+        if self.succs.is_empty() || self.succ_owns(me, target) {
+            let (snode, skey) = self
+                .succs
+                .first()
+                .copied()
+                .unwrap_or((ctx.me, me));
+            let mut w = proto_header(proto::CHORD, MSG_FOUND);
+            w.key(target).u8(purpose).u8(idx).node(snode).key(skey);
+            self.send_msg(ctx, origin, self.cfg.control_ch, w);
+            return;
+        }
+        let next = self
+            .closest_preceding(me, target)
+            .or_else(|| self.succs.first().copied());
+        if let Some((n, _)) = next {
+            if n == ctx.me {
+                // Defensive: answer with our successor rather than loop.
+                let (snode, skey) = self.succs[0];
+                let mut w = proto_header(proto::CHORD, MSG_FOUND);
+                w.key(target).u8(purpose).u8(idx).node(snode).key(skey);
+                self.send_msg(ctx, origin, self.cfg.control_ch, w);
+                return;
+            }
+            let mut w = proto_header(proto::CHORD, MSG_FIND_SUCC);
+            w.node(origin).key(target).u8(purpose).u8(idx);
+            self.send_msg(ctx, n, self.cfg.control_ch, w);
+        }
+    }
+
+    /// One routing step for application data currently at this node.
+    fn handle_data(
+        &mut self,
+        ctx: &mut Ctx,
+        src: MacedonKey,
+        dest: MacedonKey,
+        prev_hop: NodeId,
+        is_final: bool,
+        payload: Bytes,
+    ) {
+        let me = ctx.my_key;
+        let i_own = is_final
+            || dest == me
+            || self.succs.is_empty()
+            || match self.pred {
+                Some((_, pk)) => dest.in_open_closed(pk, me),
+                None => false,
+            };
+        if i_own {
+            ctx.up(UpCall::Deliver { src, from: prev_hop, payload });
+            return;
+        }
+        let (next, final_hop) = if self.succ_owns(me, dest) {
+            (self.succs[0].0, true)
+        } else {
+            match self.closest_preceding(me, dest) {
+                Some((n, _)) => (n, false),
+                None => (self.succs[0].0, true),
+            }
+        };
+        // The forward upcall: layers above may modify or quash.
+        ctx.forward_query(ForwardInfo {
+            src,
+            dest,
+            prev_hop,
+            next_hop: next,
+            payload,
+            quash: false,
+        });
+        // The final-hop flag survives via dest ownership check at the
+        // receiver; mark by re-deriving there. We encode final explicitly:
+        // store in pendingFinal set keyed by (dest) — instead we encode the
+        // flag in the message when transmitting in forward_resolved, so we
+        // remember it here.
+        self.next_is_final = final_hop;
+        self.forwarded += 1;
+    }
+}
+
+// A small field needed across forward_query → forward_resolved.
+impl Chord {
+    fn start_join(&mut self, ctx: &mut Ctx) {
+        if let Some(b) = self.cfg.bootstrap.filter(|&b| b != ctx.me) {
+            let mut w = proto_header(proto::CHORD, MSG_FIND_SUCC);
+            w.node(ctx.me).key(ctx.my_key).u8(PURPOSE_JOIN).u8(0);
+            self.send_msg(ctx, b, self.cfg.control_ch, w);
+            ctx.timer_set(TIMER_RETRY_JOIN, Duration::from_secs(5));
+        } else {
+            // First node: own the whole ring.
+            self.succs = vec![(ctx.me, ctx.my_key)];
+            self.joined = true;
+        }
+    }
+}
+
+impl Agent for Chord {
+    fn protocol_id(&self) -> ProtocolId {
+        proto::CHORD
+    }
+
+    fn name(&self) -> &'static str {
+        "chord"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        ctx.timer_periodic(TIMER_STABILIZE, self.cfg.stabilize_period);
+        match self.cfg.fix_fingers_dynamic {
+            // lsd mode: one-shot re-armed with an adapted period.
+            Some(_) => ctx.timer_set(TIMER_FIX_FINGERS, self.ff_period),
+            None => ctx.timer_periodic(TIMER_FIX_FINGERS, self.cfg.fix_fingers_period),
+        }
+        self.start_join(ctx);
+    }
+
+    fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
+        match call {
+            DownCall::Route { dest, payload, .. } => {
+                if self.joined {
+                    self.handle_data(ctx, ctx.my_key, dest, ctx.me, false, payload);
+                } else {
+                    self.pending.push((dest, payload));
+                }
+            }
+            DownCall::RouteIp { dest, payload, .. } => {
+                let mut w = proto_header(proto::CHORD, MSG_DATA_IP);
+                w.key(ctx.my_key);
+                w.bytes(&payload);
+                self.send_msg(ctx, dest, self.cfg.data_ch, w);
+            }
+            other => {
+                ctx.trace(
+                    TraceLevel::Low,
+                    format!("chord: unsupported downcall {other:?} (use Scribe above)"),
+                );
+            }
+        }
+    }
+
+    fn forward_resolved(&mut self, ctx: &mut Ctx, fwd: ForwardInfo) {
+        if fwd.quash {
+            return;
+        }
+        let mut w = proto_header(proto::CHORD, MSG_DATA);
+        w.key(fwd.src).key(fwd.dest).u8(self.next_is_final as u8);
+        w.bytes(&fwd.payload);
+        self.send_msg(ctx, fwd.next_hop, self.cfg.data_ch, w);
+    }
+
+    fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
+        let mut r = WireReader::new(msg);
+        let Ok(_proto) = r.u16() else { return };
+        let Ok(ty) = r.u16() else { return };
+        match ty {
+            MSG_FIND_SUCC => {
+                let (Ok(origin), Ok(target), Ok(purpose), Ok(idx)) =
+                    (r.node(), r.key(), r.u8(), r.u8())
+                else {
+                    return;
+                };
+                ctx.locking_read();
+                self.handle_find_succ(ctx, origin, target, purpose, idx);
+            }
+            MSG_FOUND => {
+                let (Ok(target), Ok(purpose), Ok(idx), Ok(node), Ok(key)) =
+                    (r.key(), r.u8(), r.u8(), r.node(), r.key())
+                else {
+                    return;
+                };
+                match purpose {
+                    PURPOSE_JOIN => {
+                        if !self.joined {
+                            self.joined = true;
+                            self.succs = vec![(node, key)];
+                            ctx.monitor(node);
+                            // Flush data queued while joining.
+                            for (dest, payload) in std::mem::take(&mut self.pending) {
+                                self.handle_data(ctx, ctx.my_key, dest, ctx.me, false, payload);
+                            }
+                            let mut w = proto_header(proto::CHORD, MSG_NOTIFY);
+                            w.key(ctx.my_key);
+                            self.send_msg(ctx, node, self.cfg.control_ch, w);
+                        }
+                    }
+                    PURPOSE_FINGER => {
+                        let i = idx as usize;
+                        if i < FINGERS {
+                            if self.fingers[i] != Some((node, key)) {
+                                self.ff_changed = true;
+                            }
+                            self.fingers[i] = Some((node, key));
+                            // Finger entries are fail_detect state: the
+                            // engine detector prunes dead route entries
+                            // so lookups stop black-holing into them.
+                            if node != ctx.me {
+                                ctx.monitor(node);
+                            }
+                        }
+                        let _ = target;
+                    }
+                    _ => {}
+                }
+            }
+            MSG_GET_PRED => {
+                ctx.locking_read();
+                let mut w = proto_header(proto::CHORD, MSG_PRED_REPLY);
+                match self.pred {
+                    Some((pn, pk)) => {
+                        w.u8(1).node(pn).key(pk);
+                    }
+                    None => {
+                        w.u8(0).node(NodeId(0)).key(MacedonKey(0));
+                    }
+                }
+                let succ_nodes: Vec<NodeId> = self.succs.iter().map(|&(n, _)| n).collect();
+                w.nodes(&succ_nodes);
+                for &(_, k) in &self.succs {
+                    w.key(k);
+                }
+                self.send_msg(ctx, from, self.cfg.control_ch, w);
+            }
+            MSG_PRED_REPLY => {
+                let (Ok(has), Ok(pn), Ok(pk)) = (r.u8(), r.node(), r.key()) else {
+                    return;
+                };
+                let Ok(nodes) = r.nodes() else { return };
+                let mut keys = Vec::with_capacity(nodes.len());
+                for _ in 0..nodes.len() {
+                    let Ok(k) = r.key() else { return };
+                    keys.push(k);
+                }
+                let me = ctx.my_key;
+                if has == 1 && pn != ctx.me {
+                    if let Some(&(_, sk)) = self.succs.first() {
+                        if pk.in_open(me, sk) {
+                            self.succs.insert(0, (pn, pk));
+                            ctx.monitor(pn);
+                        }
+                    }
+                }
+                // Rebuild successor list: succ[0] + its successors.
+                if let Some(&head) = self.succs.first() {
+                    let mut list = vec![head];
+                    for (n, k) in nodes.into_iter().zip(keys) {
+                        if n != ctx.me && !list.iter().any(|&(ln, _)| ln == n) {
+                            list.push((n, k));
+                        }
+                        if list.len() >= self.cfg.succ_list_len {
+                            break;
+                        }
+                    }
+                    self.succs = list;
+                }
+                if let Some(&(sn, _)) = self.succs.first() {
+                    let mut w = proto_header(proto::CHORD, MSG_NOTIFY);
+                    w.key(ctx.my_key);
+                    self.send_msg(ctx, sn, self.cfg.control_ch, w);
+                }
+            }
+            MSG_NOTIFY => {
+                let Ok(k) = r.key() else { return };
+                let me = ctx.my_key;
+                if from == ctx.me {
+                    return;
+                }
+                let accept = match self.pred {
+                    None => true,
+                    Some((_, pk)) => k.in_open(pk, me),
+                };
+                if accept {
+                    self.pred = Some((from, k));
+                    ctx.monitor(from);
+                }
+                // A singleton ring (or a stale self-successor) adopts the
+                // notifier as its successor so the ring can close; a
+                // notifier strictly between us and our successor is also
+                // a better successor.
+                match self.succs.first().copied() {
+                    None => self.succs = vec![(from, k)],
+                    Some((sn, sk)) => {
+                        if sn == ctx.me || k.in_open(me, sk) {
+                            self.succs.insert(0, (from, k));
+                            self.succs.truncate(self.cfg.succ_list_len);
+                            ctx.monitor(from);
+                        }
+                    }
+                }
+            }
+            MSG_DATA => {
+                let (Ok(src), Ok(dest), Ok(fin)) = (r.key(), r.key(), r.u8()) else {
+                    return;
+                };
+                let Ok(payload) = r.bytes() else { return };
+                self.handle_data(ctx, src, dest, from, fin == 1, payload);
+            }
+            MSG_DATA_IP => {
+                let Ok(src) = r.key() else { return };
+                let Ok(payload) = r.bytes() else { return };
+                ctx.up(UpCall::Deliver { src, from, payload });
+            }
+            _ => {}
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut Ctx, timer: u16) {
+        match timer {
+            TIMER_STABILIZE => {
+                if let Some(&(sn, _)) = self.succs.first() {
+                    if sn != ctx.me {
+                        let w = proto_header(proto::CHORD, MSG_GET_PRED);
+                        self.send_msg(ctx, sn, self.cfg.control_ch, w);
+                    }
+                }
+            }
+            TIMER_FIX_FINGERS => {
+                if let Some((min, max)) = self.cfg.fix_fingers_dynamic {
+                    // lsd adaptation: churny epochs probe faster.
+                    self.ff_period = if std::mem::take(&mut self.ff_changed) {
+                        Duration(self.ff_period.0 / 2).max(min)
+                    } else {
+                        Duration(self.ff_period.0 * 2).min(max)
+                    };
+                    ctx.timer_set(TIMER_FIX_FINGERS, self.ff_period);
+                }
+                if !self.joined {
+                    return;
+                }
+                // "route a repair request message to a random finger table
+                // entry" — repair one random index per firing.
+                let i = ctx.rng.index(FINGERS) as u8;
+                let target = ctx.my_key.plus_pow2(i as u32);
+                let me_node = ctx.me;
+                self.handle_find_succ(ctx, me_node, target, PURPOSE_FINGER, i);
+            }
+            TIMER_RETRY_JOIN => {
+                if !self.joined {
+                    self.start_join(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn neighbor_failed(&mut self, ctx: &mut Ctx, peer: NodeId) {
+        if let Some((pn, _)) = self.pred {
+            if pn == peer {
+                self.pred = None;
+            }
+        }
+        let head_was = self.succs.first().map(|&(n, _)| n);
+        self.succs.retain(|&(n, _)| n != peer);
+        for f in self.fingers.iter_mut() {
+            if matches!(f, Some((n, _)) if *n == peer) {
+                *f = None;
+            }
+        }
+        if head_was == Some(peer) {
+            if let Some(&(sn, _)) = self.succs.first() {
+                ctx.monitor(sn);
+                let mut w = proto_header(proto::CHORD, MSG_NOTIFY);
+                w.key(ctx.my_key);
+                self.send_msg(ctx, sn, self.cfg.control_ch, w);
+            } else if self.joined {
+                // Lost everyone: try to rejoin through the bootstrap.
+                self.joined = false;
+                self.start_join(ctx);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// The `next_is_final` carry between handle_data and forward_resolved is a
+// plain field; declared here to keep the struct definition focused above.
+impl Chord {
+    #[allow(dead_code)]
+    fn _doc() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{chord_ring, collect_ring};
+    use macedon_core::{app, Time, World};
+
+    #[test]
+    fn singleton_ring_owns_everything() {
+        let (mut w, hosts, sink) = chord_ring(1, 42, Duration::from_secs(1));
+        w.run_until(Time::from_secs(5));
+        let c = chord_of(&w, hosts[0]);
+        assert!(c.is_joined());
+        assert_eq!(c.successor().unwrap().0, hosts[0]);
+        drop(sink);
+    }
+
+    fn chord_of(w: &World, n: NodeId) -> &Chord {
+        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+    }
+
+    #[test]
+    fn ring_forms_correctly() {
+        let n = 16;
+        let (mut w, hosts, _sink) = chord_ring(n, 7, Duration::from_secs(1));
+        w.run_until(Time::from_secs(60));
+        // Sort hosts by key; each node's successor must be the next key.
+        let ring = collect_ring(&w, &hosts);
+        for (i, &(node, _)) in ring.iter().enumerate() {
+            let expect_succ = ring[(i + 1) % ring.len()].0;
+            let c = chord_of(&w, node);
+            assert!(c.is_joined(), "{node:?} joined");
+            assert_eq!(
+                c.successor().unwrap().0,
+                expect_succ,
+                "successor of ring position {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn predecessors_converge_too() {
+        let n = 10;
+        let (mut w, hosts, _sink) = chord_ring(n, 9, Duration::from_secs(1));
+        w.run_until(Time::from_secs(60));
+        let ring = collect_ring(&w, &hosts);
+        for (i, &(node, _)) in ring.iter().enumerate() {
+            let expect_pred = ring[(i + ring.len() - 1) % ring.len()].0;
+            let c = chord_of(&w, node);
+            assert_eq!(c.predecessor().unwrap().0, expect_pred, "pred at {i}");
+        }
+    }
+
+    #[test]
+    fn route_delivers_to_key_owner() {
+        let n = 12;
+        let (mut w, hosts, sink) = chord_ring(n, 21, Duration::from_secs(1));
+        w.run_until(Time::from_secs(60));
+        let ring = collect_ring(&w, &hosts);
+        // Route 20 payloads from a fixed source to assorted keys.
+        let src = hosts[0];
+        for i in 0..20u64 {
+            let dest = MacedonKey((i as u32).wrapping_mul(0x9E37_79B9));
+            let mut payload = vec![0u8; 16];
+            payload[..8].copy_from_slice(&i.to_be_bytes());
+            w.api_at(
+                Time::from_secs(60) + Duration::from_millis(i * 10),
+                src,
+                DownCall::Route { dest, payload: Bytes::from(payload), priority: -1 },
+            );
+        }
+        w.run_until(Time::from_secs(90));
+        let log = sink.lock();
+        assert_eq!(log.len(), 20, "all routed packets delivered");
+        for rec in log.iter() {
+            // Delivered node must own the destination key per the global ring.
+            let seq = rec.seqno.unwrap();
+            let dest = MacedonKey((seq as u32).wrapping_mul(0x9E37_79B9));
+            let owner = ring
+                .iter()
+                .copied()
+                .min_by_key(|&(_, k)| dest.distance_to(k))
+                .unwrap()
+                .0;
+            assert_eq!(rec.node, owner, "packet {seq} delivered at owner");
+        }
+    }
+
+    #[test]
+    fn lookup_hops_logarithmic() {
+        let n = 32;
+        let (mut w, hosts, sink) = chord_ring(n, 3, Duration::from_millis(500));
+        w.run_until(Time::from_secs(120)); // long convergence for fingers
+        let before: u64 = hosts.iter().map(|&h| chord_of(&w, h).forwarded).sum();
+        for i in 0..50u64 {
+            let mut payload = vec![0u8; 16];
+            payload[..8].copy_from_slice(&i.to_be_bytes());
+            w.api_at(
+                Time::from_secs(120) + Duration::from_millis(i * 20),
+                hosts[(i as usize) % hosts.len()],
+                DownCall::Route {
+                    dest: MacedonKey((i as u32).wrapping_mul(0x85EB_CA6B)),
+                    payload: Bytes::from(payload),
+                    priority: -1,
+                },
+            );
+        }
+        w.run_until(Time::from_secs(150));
+        assert_eq!(sink.lock().len(), 50);
+        let after: u64 = hosts.iter().map(|&h| chord_of(&w, h).forwarded).sum();
+        let avg_hops = (after - before) as f64 / 50.0;
+        // log2(32) = 5; converged fingers should do much better than n/2.
+        assert!(avg_hops <= 6.0, "avg hops {avg_hops}");
+    }
+
+    #[test]
+    fn ring_heals_after_crash() {
+        let n = 8;
+        let (mut w, hosts, _sink) = chord_ring(n, 13, Duration::from_secs(1));
+        w.run_until(Time::from_secs(60));
+        let ring = collect_ring(&w, &hosts);
+        // Crash one non-bootstrap node.
+        let victim = ring[3].0;
+        assert_ne!(victim, hosts[0]);
+        w.crash_at(Time::from_secs(61), victim);
+        w.run_until(Time::from_secs(140));
+        // Remaining nodes re-close the ring.
+        let alive: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != victim).collect();
+        let ring2 = collect_ring(&w, &alive);
+        for (i, &(node, _)) in ring2.iter().enumerate() {
+            let expect = ring2[(i + 1) % ring2.len()].0;
+            let c = chord_of(&w, node);
+            assert_eq!(c.successor().unwrap().0, expect, "healed ring at {i}");
+        }
+    }
+
+    #[test]
+    fn fingers_converge_toward_correct_entries() {
+        let n = 16;
+        let (mut w, hosts, _sink) = chord_ring(n, 5, Duration::from_millis(500));
+        w.run_until(Time::from_secs(120));
+        let ring = collect_ring(&w, &hosts);
+        let correct = |owner_of: MacedonKey| {
+            ring.iter()
+                .copied()
+                .min_by_key(|&(_, k)| owner_of.distance_to(k))
+                .unwrap()
+                .0
+        };
+        let mut good = 0usize;
+        let mut total = 0usize;
+        for &h in &hosts {
+            let c = chord_of(&w, h);
+            let my_key = w.key_of(h);
+            for (i, f) in c.fingers().iter().enumerate() {
+                if let Some((n, _)) = f {
+                    total += 1;
+                    if *n == correct(my_key.plus_pow2(i as u32)) {
+                        good += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = good as f64 / total as f64;
+        assert!(frac > 0.9, "correct finger fraction {frac} ({good}/{total})");
+    }
+
+    #[test]
+    fn route_ip_bypasses_overlay() {
+        let (mut w, hosts, sink) = chord_ring(4, 17, Duration::from_secs(1));
+        w.run_until(Time::from_secs(30));
+        let mut payload = vec![0u8; 16];
+        payload[..8].copy_from_slice(&99u64.to_be_bytes());
+        w.api_at(
+            Time::from_secs(30),
+            hosts[0],
+            DownCall::RouteIp { dest: hosts[3], payload: Bytes::from(payload), priority: -1 },
+        );
+        w.run_until(Time::from_secs(31));
+        let log = sink.lock();
+        let rec = log.iter().find(|r| r.seqno == Some(99)).unwrap();
+        assert_eq!(rec.node, hosts[3]);
+    }
+
+    #[test]
+    fn deliveries_reach_app_sink() {
+        // Covered implicitly above; explicit smoke for the collector app.
+        let sink = app::shared_deliveries();
+        assert!(sink.lock().is_empty());
+    }
+}

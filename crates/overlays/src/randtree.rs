@@ -1,0 +1,338 @@
+//! RandTree — the "simple randomly constructed tree" the paper's Bullet
+//! uses for baseline data distribution (Figure 2 lists it as its own
+//! layer in the MACEDON stack).
+//!
+//! Joins walk down from the root: a node with spare child capacity adopts
+//! the joiner; a full node delegates to a uniformly random child. Data is
+//! flooded parent → children.
+
+use crate::common::proto;
+use macedon_core::api::{NBR_TYPE_CHILDREN, NBR_TYPE_PARENT};
+use macedon_core::{
+    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NeighborList,
+    NodeId, ProtocolId, TraceLevel, UpCall, WireReader,
+};
+use std::any::Any;
+
+const MSG_JOIN: u16 = 1;
+const MSG_JOIN_OK: u16 = 2;
+const MSG_DATA: u16 = 3;
+
+const TIMER_RETRY_JOIN: u16 = 1;
+
+/// Configuration of one RandTree instance.
+#[derive(Clone, Debug)]
+pub struct RandTreeConfig {
+    /// The tree root; `None` designates this node as root.
+    pub root: Option<NodeId>,
+    /// Maximum children per node.
+    pub max_children: usize,
+    pub control_ch: ChannelId,
+    pub data_ch: ChannelId,
+}
+
+impl Default for RandTreeConfig {
+    fn default() -> Self {
+        RandTreeConfig {
+            root: None,
+            max_children: 4,
+            control_ch: ChannelId(1),
+            data_ch: ChannelId(2),
+        }
+    }
+}
+
+/// The RandTree agent.
+pub struct RandTree {
+    cfg: RandTreeConfig,
+    parent: Option<NodeId>,
+    children: NeighborList<()>,
+    joined: bool,
+    /// Data packets this node relayed (link-stress analysis).
+    pub relayed: u64,
+}
+
+impl RandTree {
+    pub fn new(cfg: RandTreeConfig) -> RandTree {
+        let max = cfg.max_children;
+        RandTree {
+            cfg,
+            parent: None,
+            children: NeighborList::new(max),
+            joined: false,
+            relayed: 0,
+        }
+    }
+
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    pub fn children(&self) -> Vec<NodeId> {
+        self.children.nodes()
+    }
+
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.cfg.root.is_none()
+    }
+
+    fn start_join(&mut self, ctx: &mut Ctx) {
+        match self.cfg.root {
+            None => {
+                self.joined = true;
+            }
+            Some(root) if root == ctx.me => {
+                self.joined = true;
+            }
+            Some(root) => {
+                let mut w = proto_header(proto::RANDTREE, MSG_JOIN);
+                w.node(ctx.me);
+                ctx.send(root, self.cfg.control_ch, w.finish());
+                ctx.timer_set(TIMER_RETRY_JOIN, Duration::from_secs(5));
+            }
+        }
+    }
+
+    fn flood(&mut self, ctx: &mut Ctx, src: MacedonKey, payload: &Bytes, exclude: Option<NodeId>) {
+        for child in self.children.nodes() {
+            if Some(child) == exclude {
+                continue;
+            }
+            let mut w = proto_header(proto::RANDTREE, MSG_DATA);
+            w.key(src);
+            w.bytes(payload);
+            ctx.send(child, self.cfg.data_ch, w.finish());
+            self.relayed += 1;
+        }
+        if let (Some(p), true) = (self.parent, exclude != self.parent) {
+            // Data from below also flows up so the whole tree sees it.
+            let mut w = proto_header(proto::RANDTREE, MSG_DATA);
+            w.key(src);
+            w.bytes(payload);
+            ctx.send(p, self.cfg.data_ch, w.finish());
+            self.relayed += 1;
+        }
+    }
+}
+
+impl Agent for RandTree {
+    fn protocol_id(&self) -> ProtocolId {
+        proto::RANDTREE
+    }
+
+    fn name(&self) -> &'static str {
+        "randtree"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        self.start_join(ctx);
+    }
+
+    fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
+        match call {
+            DownCall::Multicast { payload, .. } => {
+                let src = ctx.my_key;
+                // Deliver locally too: the source is a member.
+                self.flood(ctx, src, &payload, None);
+            }
+            DownCall::RouteIp { dest, payload, priority } => {
+                let _ = priority;
+                let mut w = proto_header(proto::RANDTREE, MSG_DATA);
+                w.key(ctx.my_key);
+                w.bytes(&payload);
+                ctx.send(dest, self.cfg.data_ch, w.finish());
+            }
+            DownCall::Join { .. } | DownCall::CreateGroup { .. } => {
+                // Single-session tree: joining happened at init.
+            }
+            other => {
+                ctx.trace(TraceLevel::Low, format!("randtree: unsupported {other:?}"));
+            }
+        }
+    }
+
+    fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
+        let mut r = WireReader::new(msg);
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        match ty {
+            MSG_JOIN => {
+                let Ok(joiner) = r.node() else { return };
+                if joiner == ctx.me {
+                    return;
+                }
+                if !self.children.is_full() {
+                    self.children.add(joiner, ());
+                    ctx.monitor(joiner);
+                    let w = proto_header(proto::RANDTREE, MSG_JOIN_OK);
+                    ctx.send(joiner, self.cfg.control_ch, w.finish());
+                    ctx.up(UpCall::Notify {
+                        nbr_type: NBR_TYPE_CHILDREN,
+                        neighbors: self.children.nodes(),
+                    });
+                } else {
+                    // Delegate down a uniformly random branch.
+                    let child = self.children.random(ctx.rng).expect("full list non-empty");
+                    let mut w = proto_header(proto::RANDTREE, MSG_JOIN);
+                    w.node(joiner);
+                    ctx.send(child, self.cfg.control_ch, w.finish());
+                }
+            }
+            MSG_JOIN_OK => {
+                self.parent = Some(from);
+                self.joined = true;
+                ctx.monitor(from);
+                ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_PARENT, neighbors: vec![from] });
+            }
+            MSG_DATA => {
+                let Ok(src) = r.key() else { return };
+                let Ok(payload) = r.bytes() else { return };
+                self.flood(ctx, src, &payload, Some(from));
+                ctx.up(UpCall::Deliver { src, from, payload });
+            }
+            _ => {}
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut Ctx, timer: u16) {
+        if timer == TIMER_RETRY_JOIN && !self.joined {
+            self.start_join(ctx);
+        }
+    }
+
+    fn neighbor_failed(&mut self, ctx: &mut Ctx, peer: NodeId) {
+        self.children.remove(peer);
+        if self.parent == Some(peer) {
+            self.parent = None;
+            self.joined = false;
+            self.start_join(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macedon_core::app::{shared_deliveries, CollectorApp};
+    use macedon_core::{Time, World, WorldConfig};
+
+    fn tree_world(n: usize, max_children: usize, seed: u64) -> (World, Vec<NodeId>, macedon_core::app::SharedDeliveries) {
+        let topo = crate::testutil::star_topology(n);
+        let hosts = topo.hosts().to_vec();
+        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let sink = shared_deliveries();
+        for (i, &h) in hosts.iter().enumerate() {
+            let cfg = RandTreeConfig {
+                root: (i > 0).then(|| hosts[0]),
+                max_children,
+                ..Default::default()
+            };
+            w.spawn_at(
+                Time::from_millis(i as u64 * 50),
+                h,
+                vec![Box::new(RandTree::new(cfg))],
+                Box::new(CollectorApp::new(sink.clone())),
+            );
+        }
+        (w, hosts, sink)
+    }
+
+    fn rt<'a>(w: &'a World, n: NodeId) -> &'a RandTree {
+        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+    }
+
+    #[test]
+    fn everyone_joins_a_single_tree() {
+        let (mut w, hosts, _sink) = tree_world(20, 3, 1);
+        w.run_until(Time::from_secs(30));
+        for &h in &hosts {
+            assert!(rt(&w, h).is_joined(), "{h:?}");
+        }
+        // Parent pointers must form a tree rooted at hosts[0]: every node
+        // reaches the root.
+        for &h in &hosts[1..] {
+            let mut cur = h;
+            let mut steps = 0;
+            while cur != hosts[0] {
+                cur = rt(&w, cur).parent().expect("joined node has parent");
+                steps += 1;
+                assert!(steps <= hosts.len(), "cycle detected");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_respected() {
+        let (mut w, hosts, _sink) = tree_world(30, 2, 3);
+        w.run_until(Time::from_secs(30));
+        for &h in &hosts {
+            assert!(rt(&w, h).children().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn multicast_reaches_every_member() {
+        let (mut w, hosts, sink) = tree_world(15, 3, 5);
+        w.run_until(Time::from_secs(30));
+        let mut payload = vec![0u8; 64];
+        payload[..8].copy_from_slice(&42u64.to_be_bytes());
+        w.api_at(
+            Time::from_secs(30),
+            hosts[0],
+            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+        );
+        w.run_until(Time::from_secs(35));
+        let log = sink.lock();
+        let got: std::collections::HashSet<NodeId> =
+            log.iter().filter(|r| r.seqno == Some(42)).map(|r| r.node).collect();
+        // Every node except the source delivers.
+        assert_eq!(got.len(), hosts.len() - 1);
+    }
+
+    #[test]
+    fn multicast_from_leaf_reaches_all() {
+        let (mut w, hosts, sink) = tree_world(12, 3, 7);
+        w.run_until(Time::from_secs(30));
+        let leaf = *hosts.last().unwrap();
+        let mut payload = vec![0u8; 64];
+        payload[..8].copy_from_slice(&77u64.to_be_bytes());
+        w.api_at(
+            Time::from_secs(30),
+            leaf,
+            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+        );
+        w.run_until(Time::from_secs(35));
+        let log = sink.lock();
+        let got: std::collections::HashSet<NodeId> =
+            log.iter().filter(|r| r.seqno == Some(77)).map(|r| r.node).collect();
+        assert_eq!(got.len(), hosts.len() - 1, "all but the leaf source deliver");
+    }
+
+    #[test]
+    fn orphan_rejoins_after_parent_crash() {
+        let (mut w, hosts, _sink) = tree_world(10, 2, 9);
+        w.run_until(Time::from_secs(30));
+        // Find an interior node (has children, isn't root).
+        let interior = hosts[1..]
+            .iter()
+            .copied()
+            .find(|&h| !rt(&w, h).children().is_empty())
+            .expect("tree of 10 with fanout 2 has interior nodes");
+        let orphan = rt(&w, interior).children()[0];
+        w.crash_at(Time::from_secs(31), interior);
+        w.run_until(Time::from_secs(120));
+        let o = rt(&w, orphan);
+        assert!(o.is_joined(), "orphan rejoined");
+        assert_ne!(o.parent(), Some(interior), "orphan found a live parent");
+    }
+}

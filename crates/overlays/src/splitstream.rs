@@ -1,0 +1,163 @@
+//! SplitStream (Castro et al., SOSP'03) as a layered MACEDON agent.
+//!
+//! SplitStream stripes content across `k` Scribe trees whose group keys
+//! differ in their most significant routing digit, so (with Pastry's
+//! prefix routing) the trees are interior-node-disjoint and every node's
+//! forwarding load is bounded. The paper's §4.1: "SplitStream's MACEDON
+//! specification is under 200 lines of code, primarily because
+//! SplitStream, being layered on top of Scribe and Pastry, exploits
+//! functionality provided by those systems" — the same layering happens
+//! here: this agent only issues group-management and multicast downcalls
+//! to the Scribe layer beneath it.
+//!
+//! Fig 12 (per-node bandwidth under two location-cache policies) runs a
+//! 300-node SplitStream forest built from this agent over Scribe over
+//! Pastry with `cache_lifetime` toggled.
+
+use crate::common::proto;
+use macedon_core::{
+    Agent, Bytes, Ctx, DownCall, MacedonKey, NodeId, ProtocolId, TraceLevel, UpCall,
+};
+use std::any::Any;
+
+/// Derive the group key of stripe `i`: replace the top hex digit so each
+/// stripe roots at a different Pastry subtree.
+pub fn stripe_key(base: MacedonKey, i: u32, stripes: u32) -> MacedonKey {
+    debug_assert!(i < stripes && stripes <= 16);
+    MacedonKey((base.0 & 0x0FFF_FFFF) | (i << 28))
+}
+
+/// Configuration of one SplitStream instance.
+#[derive(Clone, Debug)]
+pub struct SplitStreamConfig {
+    /// Stripe count (the paper's SplitStream uses 16; Fig 12 uses the
+    /// default forest).
+    pub stripes: u32,
+}
+
+impl Default for SplitStreamConfig {
+    fn default() -> Self {
+        SplitStreamConfig { stripes: 16 }
+    }
+}
+
+/// The SplitStream agent (sits above Scribe).
+pub struct SplitStream {
+    cfg: SplitStreamConfig,
+    /// Round-robin stripe cursor for outgoing packets.
+    next_stripe: u32,
+    /// Packets sent per stripe (observability).
+    pub sent_per_stripe: Vec<u64>,
+}
+
+impl SplitStream {
+    pub fn new(cfg: SplitStreamConfig) -> SplitStream {
+        let k = cfg.stripes as usize;
+        assert!(k >= 1 && k <= 16, "1..=16 stripes supported");
+        SplitStream { cfg, next_stripe: 0, sent_per_stripe: vec![0; k] }
+    }
+
+    pub fn stripes(&self) -> u32 {
+        self.cfg.stripes
+    }
+}
+
+impl Agent for SplitStream {
+    fn protocol_id(&self) -> ProtocolId {
+        proto::SPLITSTREAM
+    }
+
+    fn name(&self) -> &'static str {
+        "splitstream"
+    }
+
+    fn init(&mut self, _ctx: &mut Ctx) {}
+
+    fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
+        match call {
+            DownCall::CreateGroup { group } => {
+                for i in 0..self.cfg.stripes {
+                    ctx.down(DownCall::CreateGroup { group: stripe_key(group, i, self.cfg.stripes) });
+                }
+            }
+            DownCall::Join { group } => {
+                // Join every stripe: receivers take the full forest.
+                for i in 0..self.cfg.stripes {
+                    ctx.down(DownCall::Join { group: stripe_key(group, i, self.cfg.stripes) });
+                }
+            }
+            DownCall::Leave { group } => {
+                for i in 0..self.cfg.stripes {
+                    ctx.down(DownCall::Leave { group: stripe_key(group, i, self.cfg.stripes) });
+                }
+            }
+            DownCall::Multicast { group, payload, priority } => {
+                let i = self.next_stripe;
+                self.next_stripe = (self.next_stripe + 1) % self.cfg.stripes;
+                self.sent_per_stripe[i as usize] += 1;
+                ctx.down(DownCall::Multicast {
+                    group: stripe_key(group, i, self.cfg.stripes),
+                    payload,
+                    priority,
+                });
+            }
+            other => {
+                ctx.trace(TraceLevel::Med, format!("splitstream passthrough: {other:?}"));
+                ctx.down(other);
+            }
+        }
+    }
+
+    fn upcall(&mut self, ctx: &mut Ctx, up: UpCall) {
+        // Stripe deliveries are app data; pass straight up.
+        ctx.up(up);
+    }
+
+    fn recv(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Bytes) {
+        debug_assert!(false, "splitstream is never the lowest layer");
+    }
+
+    fn timer(&mut self, _ctx: &mut Ctx, _timer: u16) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_keys_differ_in_top_digit() {
+        let base = MacedonKey(0x0ABC_DEF0);
+        let keys: Vec<MacedonKey> = (0..16).map(|i| stripe_key(base, i, 16)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k.digit(0, 4), i as u32, "top digit selects the stripe");
+            assert_eq!(k.0 & 0x0FFF_FFFF, 0x0ABC_DEF0 & 0x0FFF_FFFF);
+        }
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn round_robin_striping() {
+        let mut s = SplitStream::new(SplitStreamConfig { stripes: 4 });
+        // Simulate the cursor without a world: call the internal fields.
+        for _ in 0..8 {
+            let i = s.next_stripe;
+            s.next_stripe = (s.next_stripe + 1) % s.cfg.stripes;
+            s.sent_per_stripe[i as usize] += 1;
+        }
+        assert_eq!(s.sent_per_stripe, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_stripes_rejected() {
+        let _ = SplitStream::new(SplitStreamConfig { stripes: 17 });
+    }
+}

@@ -1,0 +1,289 @@
+//! Cancellable discrete-event scheduler.
+//!
+//! The scheduler is a binary heap of `(time, sequence)`-ordered entries.
+//! Ties at the same instant fire in insertion order, which gives the
+//! deterministic FIFO semantics the MACEDON engine's timer subsystem
+//! relies on. Cancellation is lazy: a cancelled [`EventId`] is recorded in
+//! a tombstone set and skipped when popped (the classic approach for timer
+//! wheels backed by heaps; see the Tokio timer design).
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A virtual-time event queue generic over the event payload type.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    now: Time,
+    next_seq: u64,
+    fired: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the most recently popped
+    /// event (or zero before any event fires).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events that have fired.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; it panics in debug builds
+    /// and clamps to `now` in release builds.
+    pub fn schedule(&mut self, at: Time, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedule `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: crate::time::Duration, payload: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule(at, payload)
+    }
+
+    /// Cancel a scheduled event. Returns `true` if the event had not yet
+    /// fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot tell "already fired" from "never existed" cheaply, so
+        // insert and let pop-time filtering handle it. To keep the
+        // tombstone set bounded we only count it as cancelled if the heap
+        // can still contain it.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        self.cancelled.remove(&entry.seq);
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.fired += 1;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Pop the next event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advance the clock to `t` without firing anything (used when a run
+    /// ends before the queue drains). Panics if events earlier than `t`
+    /// are still pending in debug builds.
+    pub fn fast_forward(&mut self, t: Time) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(t(30), "c");
+        s.schedule(t(10), "a");
+        s.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule(t(10), ());
+        s.schedule(t(25), ());
+        assert_eq!(s.now(), Time::ZERO);
+        s.pop();
+        assert_eq!(s.now(), t(10));
+        s.pop();
+        assert_eq!(s.now(), t(25));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(10), "a");
+        s.schedule(t(20), "b");
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double cancel reports false");
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn pending_accounts_for_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(1), ());
+        s.schedule(t(2), ());
+        assert_eq!(s.pending(), 2);
+        s.cancel(a);
+        assert_eq!(s.pending(), 1);
+        assert!(!s.is_empty());
+        s.pop();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule(t(100), "base");
+        s.pop();
+        s.schedule_in(Duration::from_millis(50), "later");
+        let (at, _) = s.pop().unwrap();
+        assert_eq!(at, t(150));
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut s = Scheduler::new();
+        s.schedule(t(10), "a");
+        s.schedule(t(30), "b");
+        assert!(s.pop_before(t(20)).is_some());
+        assert!(s.pop_before(t(20)).is_none());
+        assert!(s.pop_before(t(30)).is_some());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(5), "a");
+        s.schedule(t(9), "b");
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn events_fired_counter() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(t(i), i);
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.events_fired(), 10);
+    }
+
+    #[test]
+    fn fast_forward_moves_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.fast_forward(t(500));
+        assert_eq!(s.now(), t(500));
+        // fast-forward backwards is a no-op
+        s.fast_forward(t(100));
+        assert_eq!(s.now(), t(500));
+    }
+}

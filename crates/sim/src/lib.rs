@@ -1,0 +1,24 @@
+//! # macedon-sim
+//!
+//! Deterministic discrete-event simulation kernel used by the MACEDON
+//! reproduction.
+//!
+//! The paper evaluated MACEDON on the ModelNet cluster emulator; this crate
+//! provides the substrate for our laptop-scale substitute: a virtual clock,
+//! a cancellable priority event queue, a seedable from-scratch PRNG and the
+//! statistics containers the evaluation harness records into.
+//!
+//! Everything here is intentionally runtime-agnostic: higher layers
+//! (network emulation, transports, the MACEDON engine) define their own
+//! event payload types and drive a [`Scheduler`] in a plain loop, which
+//! keeps every experiment bit-reproducible for a given seed.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventId, Scheduler};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, TimeSeries};
+pub use time::{Duration, Time};

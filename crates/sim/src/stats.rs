@@ -1,0 +1,290 @@
+//! Statistics containers for the evaluation harness.
+//!
+//! The paper's §4.3 argues MACEDON should report "a variety of popular
+//! evaluation metrics"; these containers are what every experiment records
+//! into: monotonic [`Counter`]s, value [`Histogram`]s with quantiles, and
+//! time-binned [`TimeSeries`] (e.g. the per-node bandwidth curves of
+//! Fig. 12).
+
+use crate::time::{Duration, Time};
+
+/// A monotonically increasing counter (packets sent, bytes delivered, ...).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A streaming histogram over f64 samples.
+///
+/// Stores every sample (experiments here are small enough) which lets us
+/// report exact quantiles rather than sketch approximations.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Exact q-quantile (q in [0,1]) by nearest-rank; 0 on empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Values accumulated into fixed-width time bins, reported as per-bin
+/// sums or means. Used for bandwidth-over-time plots.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bin: Duration,
+    /// (sum, count) per bin.
+    bins: Vec<(f64, u64)>,
+}
+
+impl TimeSeries {
+    /// Create a series with the given bin width.
+    pub fn new(bin: Duration) -> TimeSeries {
+        assert!(bin.as_micros() > 0, "zero bin width");
+        TimeSeries { bin, bins: Vec::new() }
+    }
+
+    pub fn bin_width(&self) -> Duration {
+        self.bin
+    }
+
+    fn bin_index(&self, at: Time) -> usize {
+        (at.as_micros() / self.bin.as_micros()) as usize
+    }
+
+    /// Record a sample value at an instant.
+    pub fn record(&mut self, at: Time, v: f64) {
+        let idx = self.bin_index(at);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, (0.0, 0));
+        }
+        let slot = &mut self.bins[idx];
+        slot.0 += v;
+        slot.1 += 1;
+    }
+
+    /// Per-bin sums as (bin_start_seconds, sum).
+    pub fn sums(&self) -> Vec<(f64, f64)> {
+        self.iter_bins().map(|(t, s, _)| (t, s)).collect()
+    }
+
+    /// Per-bin means as (bin_start_seconds, mean); empty bins report 0.
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        self.iter_bins()
+            .map(|(t, s, c)| (t, if c == 0 { 0.0 } else { s / c as f64 }))
+            .collect()
+    }
+
+    /// Per-bin sums converted to a rate per second, e.g. bytes recorded
+    /// per bin → bytes/sec.
+    pub fn rates(&self) -> Vec<(f64, f64)> {
+        let w = self.bin.as_secs_f64();
+        self.iter_bins().map(|(t, s, _)| (t, s / w)).collect()
+    }
+
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn iter_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let w = self.bin.as_secs_f64();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &(s, c))| (i as f64 * w, s, c))
+    }
+}
+
+/// Convenience: mean of an iterator of f64 (0.0 on empty).
+pub fn mean_of(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.median(), 3.0);
+        assert!((h.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 0..100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 99.0);
+        assert_eq!(h.quantile(0.5), 50.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_after_interleaved_record() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        h.record(1.0);
+        // nearest-rank on sorted [1,5]: idx = ((2-1)*0.5).round() = 1 -> 5.0
+        assert_eq!(h.median(), 5.0);
+        h.record(3.0);
+        assert_eq!(h.median(), 3.0);
+    }
+
+    #[test]
+    fn timeseries_binning() {
+        let mut ts = TimeSeries::new(Duration::from_secs(1));
+        ts.record(Time::from_millis(100), 10.0);
+        ts.record(Time::from_millis(900), 20.0);
+        ts.record(Time::from_millis(1500), 5.0);
+        let sums = ts.sums();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0], (0.0, 30.0));
+        assert_eq!(sums[1], (1.0, 5.0));
+        let means = ts.means();
+        assert_eq!(means[0].1, 15.0);
+    }
+
+    #[test]
+    fn timeseries_rates() {
+        let mut ts = TimeSeries::new(Duration::from_millis(500));
+        ts.record(Time::from_millis(100), 1000.0);
+        let rates = ts.rates();
+        assert_eq!(rates[0].1, 2000.0); // 1000 per half-second = 2000/s
+    }
+
+    #[test]
+    fn timeseries_gap_bins_are_zero() {
+        let mut ts = TimeSeries::new(Duration::from_secs(1));
+        ts.record(Time::from_secs(0), 1.0);
+        ts.record(Time::from_secs(3), 1.0);
+        assert_eq!(ts.num_bins(), 4);
+        assert_eq!(ts.sums()[1].1, 0.0);
+        assert_eq!(ts.sums()[2].1, 0.0);
+    }
+
+    #[test]
+    fn mean_of_iterator() {
+        assert_eq!(mean_of([2.0, 4.0]), 3.0);
+        assert_eq!(mean_of(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Per-host transport endpoint: the mux that owns one connection per
+//! (peer, named transport instance) pair.
+//!
+//! The paper's engine gives each declared transport instance its own
+//! blocking channel so that, e.g., `TCP LOW` being congestion-limited
+//! never delays `SWP HIGHEST` — here each `(peer, channel)` pair maps to
+//! an independent [`ReliableConn`] or [`UdpConn`].
+
+use crate::reliable::{ConnOut, ConnStats, ReliableConn, WindowPolicy};
+use crate::segment::{SegKind, Segment};
+use crate::udp::UdpConn;
+use bytes::Bytes;
+use macedon_net::{NodeId, Packet};
+use macedon_sim::Time;
+use std::collections::HashMap;
+
+pub use crate::segment::ChannelId;
+
+/// Kind of a named transport instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// Reliable, congestion-friendly.
+    Tcp,
+    /// Unreliable, congestion-unfriendly.
+    Udp,
+    /// Reliable, congestion-unfriendly fixed window.
+    Swp { window: u32 },
+}
+
+/// A named transport instance declared by the lowest protocol layer.
+#[derive(Clone, Debug)]
+pub struct ChannelSpec {
+    pub name: String,
+    pub kind: TransportKind,
+}
+
+impl ChannelSpec {
+    pub fn new(name: impl Into<String>, kind: TransportKind) -> ChannelSpec {
+        ChannelSpec { name: name.into(), kind }
+    }
+
+    /// The default channel table most overlays in this repo use, mirroring
+    /// the Overcast example in the paper.
+    pub fn default_table() -> Vec<ChannelSpec> {
+        vec![
+            ChannelSpec::new("HIGHEST", TransportKind::Swp { window: 16 }),
+            ChannelSpec::new("HIGH", TransportKind::Tcp),
+            ChannelSpec::new("MED", TransportKind::Tcp),
+            ChannelSpec::new("LOW", TransportKind::Tcp),
+            ChannelSpec::new("BEST_EFFORT", TransportKind::Udp),
+        ]
+    }
+}
+
+/// Identifies a pending RTO for one connection; carried through the
+/// caller's scheduler and handed back to [`Endpoint::on_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerKey {
+    pub node: NodeId,
+    pub peer: NodeId,
+    pub channel: ChannelId,
+    pub gen: u64,
+}
+
+/// Output buffer of endpoint operations.
+#[derive(Default)]
+pub struct TransportSink {
+    /// Packets to inject into the emulated network.
+    pub packets: Vec<Packet<Segment>>,
+    /// RTO timers to schedule.
+    pub timers: Vec<(Time, TimerKey)>,
+    /// Fully reassembled messages handed to the layer above:
+    /// (source host, channel, message bytes).
+    pub delivered: Vec<(NodeId, ChannelId, Bytes)>,
+}
+
+impl TransportSink {
+    pub fn new() -> TransportSink {
+        TransportSink::default()
+    }
+}
+
+enum Conn {
+    Reliable(ReliableConn),
+    Udp(UdpConn),
+}
+
+/// Per-host transport state.
+pub struct Endpoint {
+    node: NodeId,
+    channels: Vec<ChannelSpec>,
+    conns: HashMap<(NodeId, ChannelId), Conn>,
+}
+
+impl Endpoint {
+    pub fn new(node: NodeId, channels: Vec<ChannelSpec>) -> Endpoint {
+        assert!(!channels.is_empty(), "at least one transport instance required");
+        Endpoint { node, channels, conns: HashMap::new() }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// Resolve a channel by name (spec files reference transports by name).
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId(i as u16))
+    }
+
+    /// Send one message to `dst` on the given channel.
+    pub fn send(&mut self, now: Time, dst: NodeId, ch: ChannelId, msg: Bytes, out: &mut TransportSink) {
+        let kind = self.kind_of(ch);
+        let conn = self.conn(dst, ch, kind);
+        match conn {
+            Conn::Udp(u) => {
+                let mut tx = Vec::new();
+                u.send(msg, &mut tx);
+                self.flush_tx(dst, ch, tx, out);
+            }
+            Conn::Reliable(r) => {
+                let mut co = ConnOut::default();
+                r.send(now, msg, &mut co);
+                self.flush_conn_out(dst, ch, co, out);
+            }
+        }
+    }
+
+    /// Handle a segment delivered by the network from `from`.
+    pub fn on_packet(&mut self, now: Time, from: NodeId, seg: Segment, out: &mut TransportSink) {
+        let ch = seg.channel;
+        if ch.0 as usize >= self.channels.len() {
+            return; // unknown channel: drop
+        }
+        let kind = self.kind_of(ch);
+        match (seg.kind, self.conn(from, ch, kind)) {
+            (SegKind::Datagram { msg, frag, frags, bytes }, Conn::Udp(u)) => {
+                if let Some(full) = u.on_datagram(msg, frag, frags, bytes) {
+                    out.delivered.push((from, ch, full));
+                }
+            }
+            (SegKind::Data { seq, msg, frag, frags, bytes }, Conn::Reliable(r)) => {
+                let mut co = ConnOut::default();
+                r.on_data(seq, msg, frag, frags, bytes, &mut co);
+                self.flush_conn_out(from, ch, co, out);
+            }
+            (SegKind::Ack { cum }, Conn::Reliable(r)) => {
+                let mut co = ConnOut::default();
+                r.on_ack(now, cum, &mut co);
+                self.flush_conn_out(from, ch, co, out);
+            }
+            _ => {
+                // Segment kind mismatched with channel kind: drop.
+            }
+        }
+    }
+
+    /// Handle an RTO timer previously emitted via [`TransportSink::timers`].
+    pub fn on_timer(&mut self, now: Time, key: TimerKey, out: &mut TransportSink) {
+        debug_assert_eq!(key.node, self.node);
+        if let Some(Conn::Reliable(r)) = self.conns.get_mut(&(key.peer, key.channel)) {
+            let mut co = ConnOut::default();
+            r.on_rto(now, key.gen, &mut co);
+            self.flush_conn_out(key.peer, key.channel, co, out);
+        }
+    }
+
+    /// Aggregate reliable-connection stats across peers of one channel.
+    pub fn channel_stats(&self, ch: ChannelId) -> ConnStats {
+        let mut total = ConnStats::default();
+        for ((_, c), conn) in &self.conns {
+            if *c == ch {
+                if let Conn::Reliable(r) = conn {
+                    let s = r.stats;
+                    total.segments_sent += s.segments_sent;
+                    total.retransmissions += s.retransmissions;
+                    total.acks_sent += s.acks_sent;
+                    total.messages_delivered += s.messages_delivered;
+                    total.bytes_sent += s.bytes_sent;
+                }
+            }
+        }
+        total
+    }
+
+    /// Total bytes handed to the network across all connections
+    /// (the "communication overhead" input).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.conns
+            .values()
+            .map(|c| match c {
+                Conn::Reliable(r) => r.stats.bytes_sent,
+                Conn::Udp(_) => 0, // accounted at send time by callers
+            })
+            .sum()
+    }
+
+    fn kind_of(&self, ch: ChannelId) -> TransportKind {
+        self.channels[ch.0 as usize].kind
+    }
+
+    fn conn(&mut self, peer: NodeId, ch: ChannelId, kind: TransportKind) -> &mut Conn {
+        self.conns.entry((peer, ch)).or_insert_with(|| match kind {
+            TransportKind::Udp => Conn::Udp(UdpConn::new()),
+            TransportKind::Tcp => Conn::Reliable(ReliableConn::new(WindowPolicy::Tcp)),
+            TransportKind::Swp { window } => {
+                Conn::Reliable(ReliableConn::new(WindowPolicy::Swp { window }))
+            }
+        })
+    }
+
+    fn flush_conn_out(&mut self, peer: NodeId, ch: ChannelId, co: ConnOut, out: &mut TransportSink) {
+        self.flush_tx(peer, ch, co.tx, out);
+        for msg in co.delivered {
+            out.delivered.push((peer, ch, msg));
+        }
+        if let Some((at, gen)) = co.arm_timer {
+            out.timers.push((at, TimerKey { node: self.node, peer, channel: ch, gen }));
+        }
+    }
+
+    fn flush_tx(&self, peer: NodeId, ch: ChannelId, tx: Vec<Segment>, out: &mut TransportSink) {
+        for mut seg in tx {
+            seg.channel = ch;
+            let size = seg.size();
+            out.packets.push(Packet::new(self.node, peer, size, seg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(node: u32) -> Endpoint {
+        Endpoint::new(NodeId(node), ChannelSpec::default_table())
+    }
+
+    #[test]
+    fn channel_lookup_by_name() {
+        let e = ep(0);
+        assert_eq!(e.channel_by_name("HIGHEST"), Some(ChannelId(0)));
+        assert_eq!(e.channel_by_name("BEST_EFFORT"), Some(ChannelId(4)));
+        assert_eq!(e.channel_by_name("NOPE"), None);
+    }
+
+    #[test]
+    fn udp_send_produces_datagram_packet() {
+        let mut e = ep(0);
+        let mut out = TransportSink::new();
+        let ch = e.channel_by_name("BEST_EFFORT").unwrap();
+        e.send(Time::ZERO, NodeId(1), ch, Bytes::from_static(b"hi"), &mut out);
+        assert_eq!(out.packets.len(), 1);
+        assert!(matches!(out.packets[0].payload.kind, SegKind::Datagram { .. }));
+        assert!(out.timers.is_empty(), "UDP never arms timers");
+    }
+
+    #[test]
+    fn tcp_send_arms_rto() {
+        let mut e = ep(0);
+        let mut out = TransportSink::new();
+        let ch = e.channel_by_name("HIGH").unwrap();
+        e.send(Time::ZERO, NodeId(1), ch, Bytes::from_static(b"hi"), &mut out);
+        assert_eq!(out.packets.len(), 1);
+        assert_eq!(out.timers.len(), 1);
+        let key = out.timers[0].1;
+        assert_eq!(key.peer, NodeId(1));
+        assert_eq!(key.channel, ch);
+    }
+
+    #[test]
+    fn end_to_end_between_two_endpoints() {
+        let mut a = ep(0);
+        let mut b = ep(1);
+        let ch = a.channel_by_name("HIGH").unwrap();
+        let mut out_a = TransportSink::new();
+        a.send(Time::ZERO, NodeId(1), ch, Bytes::from_static(b"payload"), &mut out_a);
+        // Hand a's packets to b.
+        let mut out_b = TransportSink::new();
+        for pkt in out_a.packets.drain(..) {
+            b.on_packet(Time::from_millis(5), pkt.src, pkt.payload, &mut out_b);
+        }
+        assert_eq!(out_b.delivered.len(), 1);
+        assert_eq!(&out_b.delivered[0].2[..], b"payload");
+        // b's ACK back to a clears the backlog.
+        let mut out_a2 = TransportSink::new();
+        for pkt in out_b.packets.drain(..) {
+            a.on_packet(Time::from_millis(10), pkt.src, pkt.payload, &mut out_a2);
+        }
+        assert_eq!(a.channel_stats(ch).segments_sent, 1);
+        assert_eq!(a.channel_stats(ch).retransmissions, 0);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut a = ep(0);
+        let hi = a.channel_by_name("HIGH").unwrap();
+        let lo = a.channel_by_name("LOW").unwrap();
+        let mut out = TransportSink::new();
+        a.send(Time::ZERO, NodeId(1), hi, Bytes::from_static(b"h"), &mut out);
+        a.send(Time::ZERO, NodeId(1), lo, Bytes::from_static(b"l"), &mut out);
+        assert_eq!(a.channel_stats(hi).segments_sent, 1);
+        assert_eq!(a.channel_stats(lo).segments_sent, 1);
+        // Independent sequence spaces (both start at 0): fine because they
+        // are distinct connections.
+        assert_eq!(out.packets.len(), 2);
+    }
+
+    #[test]
+    fn unknown_channel_segment_dropped() {
+        let mut a = ep(0);
+        let mut out = TransportSink::new();
+        let seg = Segment { channel: ChannelId(99), kind: SegKind::Ack { cum: 0 } };
+        a.on_packet(Time::ZERO, NodeId(1), seg, &mut out);
+        assert!(out.delivered.is_empty());
+        assert!(out.packets.is_empty());
+    }
+
+    #[test]
+    fn mismatched_segment_kind_dropped() {
+        let mut a = ep(0);
+        let mut out = TransportSink::new();
+        let udp = a.channel_by_name("BEST_EFFORT").unwrap();
+        // Reliable data on a UDP channel: dropped.
+        let seg = Segment {
+            channel: udp,
+            kind: SegKind::Data { seq: 0, msg: 0, frag: 0, frags: 1, bytes: Bytes::new() },
+        };
+        a.on_packet(Time::ZERO, NodeId(1), seg, &mut out);
+        assert!(out.delivered.is_empty());
+    }
+}

