@@ -59,7 +59,13 @@ pub struct FreePastry {
 
 impl FreePastry {
     pub fn new(cfg: PastryConfig, model: RmiModel) -> FreePastry {
-        FreePastry { inner: Pastry::new(cfg), model, queue: VecDeque::new(), busy: false, dispatched: 0 }
+        FreePastry {
+            inner: Pastry::new(cfg),
+            model,
+            queue: VecDeque::new(),
+            busy: false,
+            dispatched: 0,
+        }
     }
 
     pub fn inner(&self) -> &Pastry {
@@ -151,10 +157,19 @@ mod tests {
     fn mesh(n: usize, rmi: bool, seed: u64) -> (World, Vec<NodeId>, SharedDeliveries) {
         let topo = star_topology(n);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
-            let cfg = PastryConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+            let cfg = PastryConfig {
+                bootstrap: (i > 0).then(|| hosts[0]),
+                ..Default::default()
+            };
             let agent: Box<dyn Agent> = if rmi {
                 Box::new(FreePastry::new(cfg, RmiModel::default()))
             } else {

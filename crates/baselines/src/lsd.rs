@@ -45,7 +45,13 @@ mod tests {
     fn lsd_ring_converges() {
         let topo = star_topology(12);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed: 3, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let sink = app::shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = lsd_chord_config((i > 0).then(|| hosts[0]));
@@ -59,9 +65,19 @@ mod tests {
         w.run_until(Time::from_secs(90));
         let ring = collect_ring(&w, &hosts);
         for (i, &(node, _)) in ring.iter().enumerate() {
-            let c: &Chord = w.stack(node).unwrap().agent(0).as_any().downcast_ref().unwrap();
+            let c: &Chord = w
+                .stack(node)
+                .unwrap()
+                .agent(0)
+                .as_any()
+                .downcast_ref()
+                .unwrap();
             assert!(c.is_joined());
-            assert_eq!(c.successor().unwrap().0, ring[(i + 1) % ring.len()].0, "ring at {i}");
+            assert_eq!(
+                c.successor().unwrap().0,
+                ring[(i + 1) % ring.len()].0,
+                "ring at {i}"
+            );
         }
     }
 
@@ -72,7 +88,13 @@ mod tests {
         let count_correct = |dynamic: bool| -> usize {
             let topo = star_topology(16);
             let hosts = topo.hosts().to_vec();
-            let mut w = World::new(topo, WorldConfig { seed: 11, ..Default::default() });
+            let mut w = World::new(
+                topo,
+                WorldConfig {
+                    seed: 11,
+                    ..Default::default()
+                },
+            );
             let sink = app::shared_deliveries();
             for (i, &h) in hosts.iter().enumerate() {
                 let cfg = if dynamic {
@@ -94,11 +116,21 @@ mod tests {
             w.run_until(Time::from_secs(30));
             let ring = collect_ring(&w, &hosts);
             let correct_owner = |k: macedon_core::MacedonKey| {
-                ring.iter().copied().min_by_key(|&(_, rk)| k.distance_to(rk)).unwrap().0
+                ring.iter()
+                    .copied()
+                    .min_by_key(|&(_, rk)| k.distance_to(rk))
+                    .unwrap()
+                    .0
             };
             let mut good = 0;
             for &h in &hosts {
-                let c: &Chord = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                let c: &Chord = w
+                    .stack(h)
+                    .unwrap()
+                    .agent(0)
+                    .as_any()
+                    .downcast_ref()
+                    .unwrap();
                 let me = w.key_of(h);
                 for (i, f) in c.fingers().iter().enumerate() {
                     if let Some((n, _)) = f {

@@ -11,8 +11,8 @@
 //! ablation's effect is visible in the bench log.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use macedon_core::Bytes;
 use macedon_core::app::{shared_deliveries, CollectorApp};
+use macedon_core::Bytes;
 use macedon_core::{DownCall, Duration, MacedonKey, NodeId, Time, World, WorldConfig};
 use macedon_overlays::chord::{Chord, ChordConfig};
 use macedon_overlays::overcast::{Overcast, OvercastConfig};
@@ -21,12 +21,22 @@ use macedon_overlays::testutil::{collect_ring, star_topology};
 /// 1. Chord fix-fingers timer ablation: correct entries at t=40 s.
 fn ablation_chord_timer(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/chord-fix-fingers");
-    for (label, period_s, dynamic) in [("static-1s", 1u64, false), ("static-20s", 20, false), ("lsd-dynamic", 4, true)] {
+    for (label, period_s, dynamic) in [
+        ("static-1s", 1u64, false),
+        ("static-20s", 20, false),
+        ("lsd-dynamic", 4, true),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let topo = star_topology(12);
                 let hosts = topo.hosts().to_vec();
-                let mut w = World::new(topo, WorldConfig { seed: 5, ..Default::default() });
+                let mut w = World::new(
+                    topo,
+                    WorldConfig {
+                        seed: 5,
+                        ..Default::default()
+                    },
+                );
                 let sink = shared_deliveries();
                 for (i, &h) in hosts.iter().enumerate() {
                     let cfg = ChordConfig {
@@ -46,11 +56,21 @@ fn ablation_chord_timer(c: &mut Criterion) {
                 w.run_until(Time::from_secs(40));
                 let ring = collect_ring(&w, &hosts);
                 let owner = |k: MacedonKey| {
-                    ring.iter().copied().min_by_key(|&(_, rk)| k.distance_to(rk)).unwrap().0
+                    ring.iter()
+                        .copied()
+                        .min_by_key(|&(_, rk)| k.distance_to(rk))
+                        .unwrap()
+                        .0
                 };
                 let mut good = 0usize;
                 for &h in &hosts {
-                    let ch: &Chord = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                    let ch: &Chord = w
+                        .stack(h)
+                        .unwrap()
+                        .agent(0)
+                        .as_any()
+                        .downcast_ref()
+                        .unwrap();
                     let me = w.key_of(h);
                     for (i, f) in ch.fingers().iter().enumerate() {
                         if matches!(f, Some((n, _)) if *n == owner(me.plus_pow2(i as u32))) {
@@ -74,7 +94,13 @@ fn ablation_transport_classes(c: &mut Criterion) {
             b.iter(|| {
                 let topo = star_topology(8);
                 let hosts = topo.hosts().to_vec();
-                let mut w = World::new(topo, WorldConfig { seed: 6, ..Default::default() });
+                let mut w = World::new(
+                    topo,
+                    WorldConfig {
+                        seed: 6,
+                        ..Default::default()
+                    },
+                );
                 let sink = shared_deliveries();
                 for (i, &h) in hosts.iter().enumerate() {
                     let mut cfg = OvercastConfig {
@@ -108,8 +134,13 @@ fn ablation_transport_classes(c: &mut Criterion) {
                 let joined = hosts
                     .iter()
                     .filter(|&&h| {
-                        let o: &Overcast =
-                            w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                        let o: &Overcast = w
+                            .stack(h)
+                            .unwrap()
+                            .agent(0)
+                            .as_any()
+                            .downcast_ref()
+                            .unwrap();
                         o.parent().is_some() || o.is_root()
                     })
                     .count();
@@ -127,10 +158,19 @@ fn ablation_locking_classes(c: &mut Criterion) {
         b.iter(|| {
             let topo = star_topology(10);
             let hosts = topo.hosts().to_vec();
-            let mut w = World::new(topo, WorldConfig { seed: 7, ..Default::default() });
+            let mut w = World::new(
+                topo,
+                WorldConfig {
+                    seed: 7,
+                    ..Default::default()
+                },
+            );
             let sink = shared_deliveries();
             for (i, &h) in hosts.iter().enumerate() {
-                let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+                let cfg = ChordConfig {
+                    bootstrap: (i > 0).then(|| hosts[0]),
+                    ..Default::default()
+                };
                 w.spawn_at(
                     Time::from_millis(i as u64 * 100),
                     h,
@@ -150,18 +190,28 @@ fn ablation_locking_classes(c: &mut Criterion) {
 /// 5. Failure-detector thresholds: detection latency under g/f choices.
 fn ablation_fd_thresholds(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/failure-detector");
-    for (label, g_s, f_s) in [("aggressive-2s-6s", 2u64, 6u64), ("paper-5s-15s", 5, 15), ("lazy-10s-30s", 10, 30)] {
+    for (label, g_s, f_s) in [
+        ("aggressive-2s-6s", 2u64, 6u64),
+        ("paper-5s-15s", 5, 15),
+        ("lazy-10s-30s", 10, 30),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let topo = star_topology(6);
                 let hosts = topo.hosts().to_vec();
-                let mut cfg = WorldConfig { seed: 8, ..Default::default() };
+                let mut cfg = WorldConfig {
+                    seed: 8,
+                    ..Default::default()
+                };
                 cfg.fd_g = Duration::from_secs(g_s);
                 cfg.fd_f = Duration::from_secs(f_s);
                 let mut w = World::new(topo, cfg);
                 let sink = shared_deliveries();
                 for (i, &h) in hosts.iter().enumerate() {
-                    let ccfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+                    let ccfg = ChordConfig {
+                        bootstrap: (i > 0).then(|| hosts[0]),
+                        ..Default::default()
+                    };
                     w.spawn_at(
                         Time::from_millis(i as u64 * 100),
                         h,
@@ -174,12 +224,16 @@ fn ablation_fd_thresholds(c: &mut Criterion) {
                 w.crash_at(Time::from_secs(30), victim);
                 // Run until the ring heals; shorter f heals sooner.
                 w.run_until(Time::from_secs(30 + 4 * f_s + 20));
-                let alive: Vec<NodeId> =
-                    hosts.iter().copied().filter(|&h| h != victim).collect();
+                let alive: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != victim).collect();
                 let ring = collect_ring(&w, &alive);
                 let healed = ring.iter().enumerate().all(|(i, &(node, _))| {
-                    let ch: &Chord =
-                        w.stack(node).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                    let ch: &Chord = w
+                        .stack(node)
+                        .unwrap()
+                        .agent(0)
+                        .as_any()
+                        .downcast_ref()
+                        .unwrap();
                     ch.successor().map(|(n, _)| n) == Some(ring[(i + 1) % ring.len()].0)
                 });
                 assert!(healed, "{label}: ring healed");

@@ -5,7 +5,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use macedon_lang::{analyze, bundled_specs, codegen, compile, parse};
 
 fn overcast_src() -> &'static str {
-    bundled_specs().into_iter().find(|(n, _)| *n == "overcast").unwrap().1
+    bundled_specs()
+        .into_iter()
+        .find(|(n, _)| *n == "overcast")
+        .unwrap()
+        .1
 }
 
 fn bench_parse(c: &mut Criterion) {
@@ -15,12 +19,16 @@ fn bench_parse(c: &mut Criterion) {
 
 fn bench_analyze(c: &mut Criterion) {
     let spec = parse(overcast_src()).unwrap();
-    c.bench_function("dsl/analyze overcast.mac", |b| b.iter(|| analyze(&spec).unwrap()));
+    c.bench_function("dsl/analyze overcast.mac", |b| {
+        b.iter(|| analyze(&spec).unwrap())
+    });
 }
 
 fn bench_codegen(c: &mut Criterion) {
     let spec = compile(overcast_src()).unwrap();
-    c.bench_function("dsl/codegen overcast.mac", |b| b.iter(|| codegen::generate(&spec).len()));
+    c.bench_function("dsl/codegen overcast.mac", |b| {
+        b.iter(|| codegen::generate(&spec).len())
+    });
 }
 
 fn bench_compile_all(c: &mut Criterion) {
@@ -33,5 +41,11 @@ fn bench_compile_all(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_analyze, bench_codegen, bench_compile_all);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_analyze,
+    bench_codegen,
+    bench_compile_all
+);
 criterion_main!(benches);

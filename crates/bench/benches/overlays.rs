@@ -13,10 +13,19 @@ fn bench_chord_convergence(c: &mut Criterion) {
         b.iter(|| {
             let topo = star_topology(16);
             let hosts = topo.hosts().to_vec();
-            let mut w = World::new(topo, WorldConfig { seed: 1, ..Default::default() });
+            let mut w = World::new(
+                topo,
+                WorldConfig {
+                    seed: 1,
+                    ..Default::default()
+                },
+            );
             let sink = shared_deliveries();
             for (i, &h) in hosts.iter().enumerate() {
-                let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+                let cfg = ChordConfig {
+                    bootstrap: (i > 0).then(|| hosts[0]),
+                    ..Default::default()
+                };
                 w.spawn_at(
                     Time::from_millis(i as u64 * 100),
                     h,
@@ -35,10 +44,19 @@ fn bench_pastry_lookups(c: &mut Criterion) {
     c.bench_function("overlay/pastry 20 lookups on converged 16-mesh", |b| {
         let topo = star_topology(16);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed: 2, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
-            let cfg = PastryConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+            let cfg = PastryConfig {
+                bootstrap: (i > 0).then(|| hosts[0]),
+                ..Default::default()
+            };
             w.spawn_at(
                 Time::from_millis(i as u64 * 100),
                 h,
@@ -56,7 +74,11 @@ fn bench_pastry_lookups(c: &mut Criterion) {
                     Time::from_secs(epoch) + Duration::from_millis(i),
                     hosts[(i % 16) as usize],
                     DownCall::Route {
-                        dest: MacedonKey((i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(epoch as u32)),
+                        dest: MacedonKey(
+                            (i as u32)
+                                .wrapping_mul(0x9E37_79B9)
+                                .wrapping_add(epoch as u32),
+                        ),
                         payload: Bytes::from(p),
                         priority: -1,
                     },

@@ -3,21 +3,23 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use macedon_core::sha1::sha1;
+use macedon_core::Bytes;
 use macedon_core::{WireReader, WireWriter};
+use macedon_net::topology::{canned, LinkSpec};
 use macedon_net::topology::{inet, InetParams};
 use macedon_net::Router;
 use macedon_sim::{Scheduler, SimRng, Time};
 use macedon_transport::harness::TransportWorld;
 use macedon_transport::ChannelSpec;
-use macedon_net::topology::{canned, LinkSpec};
-use macedon_core::Bytes;
 
 fn bench_scheduler(c: &mut Criterion) {
     c.bench_function("scheduler/schedule+pop 10k", |b| {
         b.iter_batched(
             || {
                 let mut rng = SimRng::new(1);
-                (0..10_000u64).map(|_| rng.gen_range(1_000_000)).collect::<Vec<_>>()
+                (0..10_000u64)
+                    .map(|_| rng.gen_range(1_000_000))
+                    .collect::<Vec<_>>()
             },
             |times| {
                 let mut s = Scheduler::new();
@@ -54,7 +56,10 @@ fn bench_wire(c: &mut Criterion) {
         let blob = vec![3u8; 1000];
         b.iter(|| {
             let mut w = WireWriter::new();
-            w.u16(3).u16(6).key(macedon_core::MacedonKey(5)).bytes(&blob);
+            w.u16(3)
+                .u16(6)
+                .key(macedon_core::MacedonKey(5))
+                .bytes(&blob);
             let buf = w.finish();
             let mut r = WireReader::new(buf);
             let _ = r.u16();
@@ -67,7 +72,14 @@ fn bench_wire(c: &mut Criterion) {
 
 fn bench_routing(c: &mut Criterion) {
     let mut rng = SimRng::new(3);
-    let topo = inet(&InetParams { routers: 2_000, clients: 100, ..Default::default() }, &mut rng);
+    let topo = inet(
+        &InetParams {
+            routers: 2_000,
+            clients: 100,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let hosts = topo.hosts().to_vec();
     c.bench_function("routing/dijkstra tree on 2k-router INET", |b| {
         let mut i = 0usize;

@@ -20,8 +20,10 @@ fn main() {
     );
     maybe_write_csv(&["t(s)", "MACEDON 1s", "MIT lsd", "MACEDON 20s"], &cells);
     let last = cells.last().cloned().unwrap_or_default();
-    println!("\nFinal: 1s={} lsd={} 20s={} (expected order: 1s >= lsd >= 20s)",
+    println!(
+        "\nFinal: 1s={} lsd={} 20s={} (expected order: 1s >= lsd >= 20s)",
         last.get(1).cloned().unwrap_or_default(),
         last.get(2).cloned().unwrap_or_default(),
-        last.get(3).cloned().unwrap_or_default());
+        last.get(3).cloned().unwrap_or_default()
+    );
 }

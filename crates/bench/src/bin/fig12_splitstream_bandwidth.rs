@@ -19,7 +19,11 @@ fn main() {
     );
     maybe_write_csv(&["t(s)", "no eviction", "1s lifetime"], &cells);
     let avg = |v: &[(f64, f64)]| {
-        if v.is_empty() { 0.0 } else { v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64 }
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64
+        }
     };
     println!(
         "\nRun means: no-eviction={:.0} Kbps, 1s-lifetime={:.0} Kbps (paper: ~580 vs ~500)",

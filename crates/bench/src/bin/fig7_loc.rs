@@ -18,10 +18,25 @@ fn main() {
         .collect();
     print_table(
         "Figure 7: specification size (this repo vs paper-reported)",
-        &["protocol", "spec LoC", "semicolons", "generated LoC", "paper LoC"],
+        &[
+            "protocol",
+            "spec LoC",
+            "semicolons",
+            "generated LoC",
+            "paper LoC",
+        ],
         &cells,
     );
-    maybe_write_csv(&["protocol", "spec LoC", "semicolons", "generated LoC", "paper LoC"], &cells);
+    maybe_write_csv(
+        &[
+            "protocol",
+            "spec LoC",
+            "semicolons",
+            "generated LoC",
+            "paper LoC",
+        ],
+        &cells,
+    );
     println!("\nNote: our specs are deliberately unpadded; the paper's shape");
     println!("(layered protocols smallest, NICE/AMMO largest) is what matters.");
 }

@@ -7,7 +7,13 @@ fn main() {
     let rows = fig8_9(Scale::from_args());
     let cells: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.site.to_string(), f1(r.mean_latency_ms), f1(r.paper_latency_ms)])
+        .map(|r| {
+            vec![
+                r.site.to_string(),
+                f1(r.mean_latency_ms),
+                f1(r.paper_latency_ms),
+            ]
+        })
         .collect();
     print_table(
         "Figure 9: NICE mean end-to-end latency per site (ms; measured vs NICE SIGCOMM)",

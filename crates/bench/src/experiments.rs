@@ -4,16 +4,16 @@
 //! rows/series to print; EXPERIMENTS.md records paper-vs-measured.
 
 use crate::Scale;
+use macedon_baselines::{lsd_chord_config, FreePastry, RmiModel};
 use macedon_core::app::{shared_deliveries, CollectorApp, StreamKind, StreamerApp};
 use macedon_core::{Agent, Bytes, DownCall, Duration, MacedonKey, Time, World, WorldConfig};
-use macedon_baselines::{lsd_chord_config, FreePastry, RmiModel};
+use macedon_net::topology::{canned, inet, InetParams, LinkSpec};
 use macedon_overlays::chord::{Chord, ChordConfig};
 use macedon_overlays::nice::{Nice, NiceConfig};
 use macedon_overlays::pastry::{Pastry, PastryConfig};
 use macedon_overlays::scribe::{DataPath, Scribe, ScribeConfig};
 use macedon_overlays::splitstream::{SplitStream, SplitStreamConfig};
 use macedon_overlays::testutil::collect_ring;
-use macedon_net::topology::{canned, inet, InetParams, LinkSpec};
 use macedon_sim::SimRng;
 
 // ---------------------------------------------------------------------------
@@ -51,7 +51,11 @@ pub fn fig7() -> Vec<Fig7Row> {
                 loc: macedon_lang::loc::spec_loc(src),
                 semicolons: macedon_lang::loc::semicolons(src),
                 generated_loc: macedon_lang::codegen::generated_loc(&spec),
-                paper_loc: paper.iter().find(|(n, _)| *n == name).map(|&(_, l)| l).unwrap_or(0),
+                paper_loc: paper
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, l)| l)
+                    .unwrap_or(0),
             }
         })
         .collect()
@@ -100,7 +104,13 @@ pub fn fig8_9(scale: Scale) -> Vec<NiceSiteRow> {
     let sites = lat.len();
     let topo = canned::sites(&lat, members_per_site, LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 8, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 8,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let cfg = NiceConfig {
@@ -125,7 +135,11 @@ pub fn fig8_9(scale: Scale) -> Vec<NiceSiteRow> {
         w.api_at(
             base + Duration::from_millis(i * 100),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(p), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     w.run_until(base + Duration::from_secs(60));
@@ -199,9 +213,22 @@ pub fn fig10(scale: Scale) -> Fig10Series {
     };
     let run = |flavor: ChordFlavor| -> Vec<(f64, f64)> {
         let mut rng = SimRng::new(10);
-        let topo = inet(&InetParams { routers, clients, ..Default::default() }, &mut rng);
+        let topo = inet(
+            &InetParams {
+                routers,
+                clients,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed: 10, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 10,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         // Staggered joins across the first third of the run, as in the
         // paper ("routing tables converge steadily as nodes join").
@@ -216,11 +243,20 @@ pub fn fig10(scale: Scale) -> Fig10Series {
                 ChordFlavor::Lsd => lsd_chord_config((i > 0).then(|| hosts[0])),
             };
             let at = Time::from_millis(i as u64 * join_window_ms / hosts.len() as u64);
-            w.spawn_at(at, h, vec![Box::new(Chord::new(cfg))], Box::new(CollectorApp::new(sink.clone())));
+            w.spawn_at(
+                at,
+                h,
+                vec![Box::new(Chord::new(cfg))],
+                Box::new(CollectorApp::new(sink.clone())),
+            );
         }
         let ring = collect_ring(&w, &hosts);
         let correct_owner = |k: MacedonKey| {
-            ring.iter().copied().min_by_key(|&(_, rk)| k.distance_to(rk)).unwrap().0
+            ring.iter()
+                .copied()
+                .min_by_key(|&(_, rk)| k.distance_to(rk))
+                .unwrap()
+                .0
         };
         // Dump "routing tables every two seconds" and count correct
         // entries against global knowledge.
@@ -235,7 +271,13 @@ pub fn fig10(scale: Scale) -> Fig10Series {
                     continue;
                 }
                 alive += 1;
-                let c: &Chord = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                let c: &Chord = w
+                    .stack(h)
+                    .unwrap()
+                    .agent(0)
+                    .as_any()
+                    .downcast_ref()
+                    .unwrap();
                 let me = w.key_of(h);
                 for (i, f) in c.fingers().iter().enumerate() {
                     if let Some((n, _)) = f {
@@ -245,7 +287,11 @@ pub fn fig10(scale: Scale) -> Fig10Series {
                     }
                 }
             }
-            let avg = if alive == 0 { 0.0 } else { total as f64 / hosts.len() as f64 };
+            let avg = if alive == 0 {
+                0.0
+            } else {
+                total as f64 / hosts.len() as f64
+            };
             series.push((t as f64, avg));
             t += 2;
         }
@@ -253,15 +299,24 @@ pub fn fig10(scale: Scale) -> Fig10Series {
     };
     // The three flavors are independent worlds: sweep them in parallel
     // (the harness equivalent of the paper farming runs across machines).
-    let mut out: Vec<(usize, Vec<(f64, f64)>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = [ChordFlavor::Static(1), ChordFlavor::Lsd, ChordFlavor::Static(20)]
+    let mut out: Vec<(usize, Vec<(f64, f64)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = [
+            ChordFlavor::Static(1),
+            ChordFlavor::Lsd,
+            ChordFlavor::Static(20),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, flavor)| {
+            let run = &run;
+            scope.spawn(move || (i, run(flavor)))
+        })
+        .collect();
+        handles
             .into_iter()
-            .enumerate()
-            .map(|(i, flavor)| { let run = &run; scope.spawn(move |_| (i, run(flavor))) })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("flavor run")).collect()
-    })
-    .expect("sweep scope");
+            .map(|h| h.join().expect("flavor run"))
+            .collect()
+    });
     out.sort_by_key(|&(i, _)| i);
     let mut it = out.into_iter().map(|(_, v)| v);
     Fig10Series {
@@ -293,20 +348,41 @@ pub fn fig11(scale: Scale) -> Vec<Fig11Row> {
         .into_iter()
         .map(|n| {
             let macedon_s = fig11_run(routers, n, converge_s, stream_s, false);
-            let freepastry_s = (n <= cap).then(|| fig11_run(routers, n, converge_s, stream_s, true));
-            Fig11Row { nodes: n, macedon_s, freepastry_s }
+            let freepastry_s =
+                (n <= cap).then(|| fig11_run(routers, n, converge_s, stream_s, true));
+            Fig11Row {
+                nodes: n,
+                macedon_s,
+                freepastry_s,
+            }
         })
         .collect()
 }
 
 fn fig11_run(routers: usize, n: usize, converge_s: u64, stream_s: u64, rmi: bool) -> f64 {
     let mut rng = SimRng::new(11);
-    let topo = inet(&InetParams { routers, clients: n, ..Default::default() }, &mut rng);
+    let topo = inet(
+        &InetParams {
+            routers,
+            clients: n,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 11, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 11,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = PastryConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+        let cfg = PastryConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
         let agent: Box<dyn Agent> = if rmi {
             Box::new(FreePastry::new(cfg, RmiModel::default()))
         } else {
@@ -322,7 +398,12 @@ fn fig11_run(routers: usize, n: usize, converge_s: u64, stream_s: u64, rmi: bool
             Time::from_secs(converge_s + stream_s),
             sink.clone(),
         );
-        w.spawn_at(Time::from_millis(i as u64 * 50), h, vec![agent], Box::new(app));
+        w.spawn_at(
+            Time::from_millis(i as u64 * 50),
+            h,
+            vec![agent],
+            Box::new(app),
+        );
     }
     w.run_until(Time::from_secs(converge_s + stream_s + 10));
     // Average per-packet delay. Send times are reconstructed from each
@@ -360,9 +441,18 @@ pub fn fig12(scale: Scale) -> Fig12Series {
         // Paper-era constrained access links: the stream plus forwarding
         // load runs close to capacity, so the extra bandwidth consumed
         // re-establishing evicted cache entries costs real goodput.
-        let topo = canned::star(nodes, LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024));
+        let topo = canned::star(
+            nodes,
+            LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+        );
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed: 12, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 12,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         let group = MacedonKey::of_name("fig12-stream");
         for (i, &h) in hosts.iter().enumerate() {
@@ -399,9 +489,17 @@ pub fn fig12(scale: Scale) -> Fig12Series {
             }
         }
         // "all other nodes join the multicast session as receivers".
-        w.api_at(Time::from_secs(5), hosts[0], DownCall::CreateGroup { group });
+        w.api_at(
+            Time::from_secs(5),
+            hosts[0],
+            DownCall::CreateGroup { group },
+        );
         for (i, &h) in hosts.iter().enumerate().skip(1) {
-            w.api_at(Time::from_secs(6) + Duration::from_millis(i as u64 * 100), h, DownCall::Join { group });
+            w.api_at(
+                Time::from_secs(6) + Duration::from_millis(i as u64 * 100),
+                h,
+                DownCall::Join { group },
+            );
         }
         w.run_until(Time::from_secs(converge_s + stream_s + 10));
 

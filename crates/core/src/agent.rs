@@ -43,9 +43,17 @@ pub enum Op {
     /// in this layer's `forward_resolved`.
     ForwardQuery(ForwardInfo),
     /// Transmit bytes to a peer host (lowest layer only).
-    Send { dst: NodeId, channel: ChannelId, bytes: Bytes },
+    Send {
+        dst: NodeId,
+        channel: ChannelId,
+        bytes: Bytes,
+    },
     /// Arm (or re-arm) a named timer.
-    TimerSet { timer: u16, delay: Duration, periodic: bool },
+    TimerSet {
+        timer: u16,
+        delay: Duration,
+        periodic: bool,
+    },
     /// Cancel a named timer.
     TimerCancel { timer: u16 },
     /// Start engine failure-detection of a peer.
@@ -95,18 +103,39 @@ impl<'a> Ctx<'a> {
     /// through `down`).
     pub fn send(&mut self, dst: NodeId, channel: ChannelId, bytes: Bytes) {
         debug_assert_eq!(self.layer, 0, "only the lowest layer touches transports");
-        self.ops.push((self.layer, Op::Send { dst, channel, bytes }));
+        self.ops.push((
+            self.layer,
+            Op::Send {
+                dst,
+                channel,
+                bytes,
+            },
+        ));
     }
 
     /// Arm a one-shot timer (the paper's `timer_resched`): any previous
     /// pending expiration of the same timer id is superseded.
     pub fn timer_set(&mut self, timer: u16, delay: Duration) {
-        self.ops.push((self.layer, Op::TimerSet { timer, delay, periodic: false }));
+        self.ops.push((
+            self.layer,
+            Op::TimerSet {
+                timer,
+                delay,
+                periodic: false,
+            },
+        ));
     }
 
     /// Arm a periodic timer that re-fires every `period` until cancelled.
     pub fn timer_periodic(&mut self, timer: u16, period: Duration) {
-        self.ops.push((self.layer, Op::TimerSet { timer, delay: period, periodic: true }));
+        self.ops.push((
+            self.layer,
+            Op::TimerSet {
+                timer,
+                delay: period,
+                periodic: true,
+            },
+        ));
     }
 
     /// Cancel a pending timer.
@@ -126,7 +155,13 @@ impl<'a> Ctx<'a> {
 
     /// Emit a trace record at the given level.
     pub fn trace(&mut self, level: TraceLevel, msg: impl Into<String>) {
-        self.ops.push((self.layer, Op::Trace { level, msg: msg.into() }));
+        self.ops.push((
+            self.layer,
+            Op::Trace {
+                level,
+                msg: msg.into(),
+            },
+        ));
     }
 
     /// Declare this transition a data (read-locked) transition; the
@@ -243,8 +278,13 @@ mod tests {
             ops: &mut ops,
             locking: Locking::Write,
         };
-        ctx.down(DownCall::Join { group: MacedonKey(5) });
-        ctx.up(UpCall::Notify { nbr_type: 1, neighbors: vec![] });
+        ctx.down(DownCall::Join {
+            group: MacedonKey(5),
+        });
+        ctx.up(UpCall::Notify {
+            nbr_type: 1,
+            neighbors: vec![],
+        });
         ctx.timer_set(3, Duration::from_secs(1));
         ctx.monitor(NodeId(8));
         assert_eq!(ops.len(), 4);

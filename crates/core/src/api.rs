@@ -34,16 +34,36 @@ pub const DEFAULT_PRIORITY: i8 = -1;
 pub enum DownCall {
     /// Route `payload` through the overlay toward the key `dest`
     /// (`macedon_route`).
-    Route { dest: MacedonKey, payload: Bytes, priority: i8 },
+    Route {
+        dest: MacedonKey,
+        payload: Bytes,
+        priority: i8,
+    },
     /// Send directly to an IP host (`macedon_routeIP`).
-    RouteIp { dest: NodeId, payload: Bytes, priority: i8 },
+    RouteIp {
+        dest: NodeId,
+        payload: Bytes,
+        priority: i8,
+    },
     /// Disseminate to all members of `group` (`macedon_multicast`).
-    Multicast { group: MacedonKey, payload: Bytes, priority: i8 },
+    Multicast {
+        group: MacedonKey,
+        payload: Bytes,
+        priority: i8,
+    },
     /// Deliver to exactly one member of `group` (`macedon_anycast`).
-    Anycast { group: MacedonKey, payload: Bytes, priority: i8 },
+    Anycast {
+        group: MacedonKey,
+        payload: Bytes,
+        priority: i8,
+    },
     /// Reverse-multicast: aggregate `payload` up the tree toward the root
     /// (`macedon_collect`, the paper's new primitive).
-    Collect { group: MacedonKey, payload: Bytes, priority: i8 },
+    Collect {
+        group: MacedonKey,
+        payload: Bytes,
+        priority: i8,
+    },
     /// Create a multicast session (`macedon_create_group`).
     CreateGroup { group: MacedonKey },
     /// Join a session (`macedon_join`).
@@ -59,10 +79,17 @@ pub enum DownCall {
 pub enum UpCall {
     /// Message reached this node as final destination
     /// (`macedon_deliver_handler`).
-    Deliver { src: MacedonKey, from: NodeId, payload: Bytes },
+    Deliver {
+        src: MacedonKey,
+        from: NodeId,
+        payload: Bytes,
+    },
     /// Neighbor set changed (`macedon_notify_handler`); `nbr_type` is
     /// protocol-defined (e.g. [`NBR_TYPE_PARENT`]).
-    Notify { nbr_type: u32, neighbors: Vec<NodeId> },
+    Notify {
+        nbr_type: u32,
+        neighbors: Vec<NodeId>,
+    },
     /// Protocol-specific extension (`upcall_ext`).
     Ext { op: u32, payload: Bytes },
 }
@@ -115,7 +142,9 @@ mod tests {
 
     #[test]
     fn downcall_is_cloneable_for_relays() {
-        let c = DownCall::Join { group: MacedonKey(7) };
+        let c = DownCall::Join {
+            group: MacedonKey(7),
+        };
         let c2 = c.clone();
         assert!(matches!(c2, DownCall::Join { group } if group == MacedonKey(7)));
     }

@@ -51,7 +51,9 @@ impl CollectorApp {
 
 fn record(sink: &SharedDeliveries, ctx: &Ctx, src: MacedonKey, from: NodeId, payload: &Bytes) {
     let seqno = if payload.len() >= 8 {
-        Some(u64::from_be_bytes(payload[..8].try_into().expect("len checked")))
+        Some(u64::from_be_bytes(
+            payload[..8].try_into().expect("len checked"),
+        ))
     } else {
         None
     };
@@ -113,7 +115,15 @@ impl StreamerApp {
         sink: SharedDeliveries,
     ) -> StreamerApp {
         assert!(rate_bps > 0 && packet_bytes >= 8);
-        StreamerApp { kind, rate_bps, packet_bytes, start, stop, sink, seq: 0 }
+        StreamerApp {
+            kind,
+            rate_bps,
+            packet_bytes,
+            start,
+            stop,
+            sink,
+            seq: 0,
+        }
     }
 
     fn interval(&self) -> Duration {
@@ -180,7 +190,11 @@ pub struct ScriptedApp {
 
 impl ScriptedApp {
     pub fn new(script: Vec<(Duration, DownCall)>, sink: SharedDeliveries) -> ScriptedApp {
-        ScriptedApp { script, sink, next: 0 }
+        ScriptedApp {
+            script,
+            sink,
+            next: 0,
+        }
     }
 }
 
@@ -196,7 +210,10 @@ impl AppHandler for ScriptedApp {
             ctx.down(call);
             self.next += 1;
             if let Some((next_at, _)) = self.script.get(self.next) {
-                ctx.timer_set(TICK, next_at.saturating_sub(at).max(Duration::from_micros(1)));
+                ctx.timer_set(
+                    TICK,
+                    next_at.saturating_sub(at).max(Duration::from_micros(1)),
+                );
             }
         }
     }

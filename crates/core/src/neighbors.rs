@@ -29,7 +29,10 @@ impl<T> NeighborList<T> {
     /// number, e.g. `ochildren MAX_CHILDREN`).
     pub fn new(max: usize) -> NeighborList<T> {
         assert!(max > 0, "neighbor list must allow at least one entry");
-        NeighborList { max, entries: Vec::new() }
+        NeighborList {
+            max,
+            entries: Vec::new(),
+        }
     }
 
     /// Add or update a neighbor. Returns `false` (without inserting) when
@@ -77,11 +80,17 @@ impl<T> NeighborList<T> {
     }
 
     pub fn get(&self, node: NodeId) -> Option<&T> {
-        self.entries.iter().find(|(n, _)| *n == node).map(|(_, d)| d)
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, d)| d)
     }
 
     pub fn get_mut(&mut self, node: NodeId) -> Option<&mut T> {
-        self.entries.iter_mut().find(|(n, _)| *n == node).map(|(_, d)| d)
+        self.entries
+            .iter_mut()
+            .find(|(n, _)| *n == node)
+            .map(|(_, d)| d)
     }
 
     /// A uniformly random member (`neighbor_random`).

@@ -1,8 +1,8 @@
-//! Run reports — the paper's "evaluation tools [that] enable researchers
+//! Run reports — the paper's "evaluation tools \[that\] enable researchers
 //! to gain deeper understanding into the complex behavior of their
 //! algorithms" (§1), consolidated into one summary per run.
 //!
-//! A [`RunReport`] snapshots a [`World`](crate::World) after an
+//! A [`RunReport`] snapshots a [`World`] after an
 //! experiment: per-node traffic and transition counts, aggregate
 //! transport behavior (retransmissions = congestion/loss pressure),
 //! network-level drops and link usage, and the locking-class split. The
@@ -48,7 +48,9 @@ impl RunReport {
         let mut writes = 0u64;
         let host_list: Vec<NodeId> = world.net().topology().hosts().to_vec();
         for h in host_list {
-            let Some(stack) = world.stack(h) else { continue };
+            let Some(stack) = world.stack(h) else {
+                continue;
+            };
             let (mut bytes, mut segs, mut retx) = (0, 0, 0);
             if let Some(ep) = world.endpoint(h) {
                 bytes = ep.total_bytes_sent();
@@ -78,7 +80,11 @@ impl RunReport {
             nodes,
             network_drops: world.net().total_drops(),
             links_used,
-            read_share: if total == 0 { 0.0 } else { reads as f64 / total as f64 },
+            read_share: if total == 0 {
+                0.0
+            } else {
+                reads as f64 / total as f64
+            },
         }
     }
 
@@ -103,7 +109,11 @@ impl RunReport {
 
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "run: {:.1} virtual s, {} events", self.virtual_seconds, self.events_fired)?;
+        writeln!(
+            f,
+            "run: {:.1} virtual s, {} events",
+            self.virtual_seconds, self.events_fired
+        )?;
         writeln!(
             f,
             "nodes: {} ({} alive), links used: {}, drops: {}",
@@ -120,7 +130,11 @@ impl fmt::Display for RunReport {
             self.total_retransmissions(),
             self.mean_overhead_bps()
         )?;
-        write!(f, "transitions: {:.1}% read-locked", self.read_share * 100.0)
+        write!(
+            f,
+            "transitions: {:.1}% read-locked",
+            self.read_share * 100.0
+        )
     }
 }
 
@@ -174,8 +188,21 @@ mod tests {
         let topo = canned::two_hosts(LinkSpec::lan());
         let hosts = topo.hosts().to_vec();
         let mut w = World::new(topo, WorldConfig::default());
-        w.spawn_at(Time::ZERO, hosts[0], vec![Box::new(Chatter { peer: Some(hosts[1]), n: 0 })], Box::new(NullApp));
-        w.spawn_at(Time::ZERO, hosts[1], vec![Box::new(Chatter { peer: None, n: 0 })], Box::new(NullApp));
+        w.spawn_at(
+            Time::ZERO,
+            hosts[0],
+            vec![Box::new(Chatter {
+                peer: Some(hosts[1]),
+                n: 0,
+            })],
+            Box::new(NullApp),
+        );
+        w.spawn_at(
+            Time::ZERO,
+            hosts[1],
+            vec![Box::new(Chatter { peer: None, n: 0 })],
+            Box::new(NullApp),
+        );
         w.run_until(Time::from_secs(10));
         let r = RunReport::capture(&w);
         assert_eq!(r.nodes.len(), 2);
@@ -198,7 +225,12 @@ mod tests {
         let hosts = topo.hosts().to_vec();
         let mut w = World::new(topo, WorldConfig::default());
         for &h in &hosts {
-            w.spawn_at(Time::ZERO, h, vec![Box::new(Chatter { peer: None, n: 0 })], Box::new(NullApp));
+            w.spawn_at(
+                Time::ZERO,
+                h,
+                vec![Box::new(Chatter { peer: None, n: 0 })],
+                Box::new(NullApp),
+            );
         }
         w.crash_at(Time::from_secs(1), hosts[0]);
         w.run_until(Time::from_secs(5));

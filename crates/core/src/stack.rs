@@ -25,12 +25,34 @@ const OP_BUDGET: usize = 100_000;
 /// An effect escaping the stack, handled by the world.
 #[derive(Debug)]
 pub enum StackEffect {
-    Send { dst: NodeId, channel: ChannelId, bytes: Bytes },
-    TimerSet { layer: usize, timer: u16, delay: Duration, periodic: bool },
-    TimerCancel { layer: usize, timer: u16 },
-    Monitor { layer: usize, peer: NodeId },
-    Unmonitor { layer: usize, peer: NodeId },
-    Trace { layer: usize, level: TraceLevel, msg: String },
+    Send {
+        dst: NodeId,
+        channel: ChannelId,
+        bytes: Bytes,
+    },
+    TimerSet {
+        layer: usize,
+        timer: u16,
+        delay: Duration,
+        periodic: bool,
+    },
+    TimerCancel {
+        layer: usize,
+        timer: u16,
+    },
+    Monitor {
+        layer: usize,
+        peer: NodeId,
+    },
+    Unmonitor {
+        layer: usize,
+        peer: NodeId,
+    },
+    Trace {
+        layer: usize,
+        level: TraceLevel,
+        msg: String,
+    },
 }
 
 /// One node's protocol stack.
@@ -54,8 +76,19 @@ impl Stack {
         app: Box<dyn AppHandler>,
         rng: SimRng,
     ) -> Stack {
-        assert!(!agents.is_empty(), "a stack needs at least one protocol layer");
-        Stack { node, key, agents, app, rng, read_transitions: 0, write_transitions: 0 }
+        assert!(
+            !agents.is_empty(),
+            "a stack needs at least one protocol layer"
+        );
+        Stack {
+            node,
+            key,
+            agents,
+            app,
+            rng,
+            read_transitions: 0,
+            write_transitions: 0,
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -124,10 +157,18 @@ impl Stack {
     }
 
     /// The engine failure detector declared `peer` dead for `layer`.
-    pub fn peer_failed(&mut self, now: Time, layer: usize, peer: NodeId, fx: &mut Vec<StackEffect>) {
+    pub fn peer_failed(
+        &mut self,
+        now: Time,
+        layer: usize,
+        peer: NodeId,
+        fx: &mut Vec<StackEffect>,
+    ) {
         let mut queue = VecDeque::new();
         if layer < self.agents.len() {
-            self.step_agent(now, layer, &mut queue, fx, |a, ctx| a.neighbor_failed(ctx, peer));
+            self.step_agent(now, layer, &mut queue, fx, |a, ctx| {
+                a.neighbor_failed(ctx, peer)
+            });
         }
         self.drain(now, &mut queue, fx);
     }
@@ -138,7 +179,10 @@ impl Stack {
         let mut budget = OP_BUDGET;
         while let Some((origin, op)) = queue.pop_front() {
             budget = budget.checked_sub(1).unwrap_or_else(|| {
-                panic!("op budget exhausted on node {:?}: cyclic up/down calls?", self.node)
+                panic!(
+                    "op budget exhausted on node {:?}: cyclic up/down calls?",
+                    self.node
+                )
             });
             match op {
                 Op::Down(call) => {
@@ -164,9 +208,10 @@ impl Stack {
                             UpCall::Deliver { src, from, payload } => {
                                 app.on_deliver(ctx, src, from, payload)
                             }
-                            UpCall::Notify { nbr_type, neighbors } => {
-                                app.on_notify(ctx, nbr_type, &neighbors)
-                            }
+                            UpCall::Notify {
+                                nbr_type,
+                                neighbors,
+                            } => app.on_notify(ctx, nbr_type, &neighbors),
                             UpCall::Ext { op, payload } => app.on_upcall_ext(ctx, op, payload),
                         });
                     } else {
@@ -176,24 +221,58 @@ impl Stack {
                 Op::ForwardQuery(mut fwd) => {
                     // Walk every layer above the origin, ending at the app.
                     for layer in (origin + 1)..self.agents.len() {
-                        self.step_agent(now, layer, queue, fx, |a, ctx| a.on_forward(ctx, &mut fwd));
+                        self.step_agent(now, layer, queue, fx, |a, ctx| {
+                            a.on_forward(ctx, &mut fwd)
+                        });
                     }
                     self.step_app(now, queue, fx, |app, ctx| app.on_forward(ctx, &mut fwd));
-                    self.step_agent(now, origin, queue, fx, |a, ctx| a.forward_resolved(ctx, fwd));
+                    self.step_agent(now, origin, queue, fx, |a, ctx| {
+                        a.forward_resolved(ctx, fwd)
+                    });
                 }
-                Op::Send { dst, channel, bytes } => {
+                Op::Send {
+                    dst,
+                    channel,
+                    bytes,
+                } => {
                     debug_assert_eq!(origin, 0, "non-lowest layer tried a raw send");
-                    fx.push(StackEffect::Send { dst, channel, bytes });
+                    fx.push(StackEffect::Send {
+                        dst,
+                        channel,
+                        bytes,
+                    });
                 }
-                Op::TimerSet { timer, delay, periodic } => {
-                    fx.push(StackEffect::TimerSet { layer: origin, timer, delay, periodic });
+                Op::TimerSet {
+                    timer,
+                    delay,
+                    periodic,
+                } => {
+                    fx.push(StackEffect::TimerSet {
+                        layer: origin,
+                        timer,
+                        delay,
+                        periodic,
+                    });
                 }
                 Op::TimerCancel { timer } => {
-                    fx.push(StackEffect::TimerCancel { layer: origin, timer });
+                    fx.push(StackEffect::TimerCancel {
+                        layer: origin,
+                        timer,
+                    });
                 }
-                Op::Monitor { peer } => fx.push(StackEffect::Monitor { layer: origin, peer }),
-                Op::Unmonitor { peer } => fx.push(StackEffect::Unmonitor { layer: origin, peer }),
-                Op::Trace { level, msg } => fx.push(StackEffect::Trace { layer: origin, level, msg }),
+                Op::Monitor { peer } => fx.push(StackEffect::Monitor {
+                    layer: origin,
+                    peer,
+                }),
+                Op::Unmonitor { peer } => fx.push(StackEffect::Unmonitor {
+                    layer: origin,
+                    peer,
+                }),
+                Op::Trace { level, msg } => fx.push(StackEffect::Trace {
+                    layer: origin,
+                    level,
+                    msg,
+                }),
             }
         }
     }
@@ -279,7 +358,11 @@ mod tests {
             }
         }
         fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
-            ctx.up(UpCall::Deliver { src: MacedonKey(from.0), from, payload: msg });
+            ctx.up(UpCall::Deliver {
+                src: MacedonKey(from.0),
+                from,
+                payload: msg,
+            });
         }
         fn timer(&mut self, _ctx: &mut Ctx, _timer: u16) {}
         fn as_any(&self) -> &dyn Any {
@@ -429,11 +512,18 @@ mod tests {
         s.init(Time::ZERO, &mut fx);
         assert!(matches!(
             &fx[..],
-            [StackEffect::TimerSet { layer: 0, timer: 3, .. }]
+            [StackEffect::TimerSet {
+                layer: 0,
+                timer: 3,
+                ..
+            }]
         ));
         fx.clear();
         s.timer(Time::from_secs(1), 0, 3, &mut fx);
-        assert!(matches!(&fx[..], [StackEffect::TimerCancel { layer: 0, timer: 3 }]));
+        assert!(matches!(
+            &fx[..],
+            [StackEffect::TimerCancel { layer: 0, timer: 3 }]
+        ));
     }
 
     #[test]
@@ -505,14 +595,21 @@ mod tests {
         let mut s = Stack::new(
             NodeId(0),
             MacedonKey(0),
-            vec![Box::new(QueryRouter { resolved: None }), Box::new(Redirector)],
+            vec![
+                Box::new(QueryRouter { resolved: None }),
+                Box::new(Redirector),
+            ],
             Box::new(crate::agent::NullApp),
             SimRng::new(1),
         );
         let mut fx = Vec::new();
         s.api(
             Time::ZERO,
-            DownCall::Route { dest: MacedonKey(1), payload: Bytes::from_static(b"m"), priority: -1 },
+            DownCall::Route {
+                dest: MacedonKey(1),
+                payload: Bytes::from_static(b"m"),
+                priority: -1,
+            },
             &mut fx,
         );
         // Upper layer redirected the hop; router then sent there.
@@ -592,7 +689,11 @@ mod tests {
         let mut fx = Vec::new();
         s.api(
             Time::ZERO,
-            DownCall::Route { dest: MacedonKey(1), payload: Bytes::new(), priority: -1 },
+            DownCall::Route {
+                dest: MacedonKey(1),
+                payload: Bytes::new(),
+                priority: -1,
+            },
             &mut fx,
         );
         assert!(fx.iter().all(|e| !matches!(e, StackEffect::Send { .. })));

@@ -44,7 +44,10 @@ pub struct TraceSink {
 
 impl TraceSink {
     pub fn new(level: TraceLevel) -> TraceSink {
-        TraceSink { level, ..Default::default() }
+        TraceSink {
+            level,
+            ..Default::default()
+        }
     }
 
     pub fn level(&self) -> TraceLevel {
@@ -58,7 +61,13 @@ impl TraceSink {
     /// Record if `level` is within the configured verbosity.
     pub fn record(&mut self, at: Time, node: NodeId, layer: usize, level: TraceLevel, msg: String) {
         if level != TraceLevel::Off && level <= self.level {
-            self.records.push(TraceRecord { at, node, layer, level, msg });
+            self.records.push(TraceRecord {
+                at,
+                node,
+                layer,
+                level,
+                msg,
+            });
         }
     }
 

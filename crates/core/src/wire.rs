@@ -21,7 +21,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "decode error: needed {} bytes, {} remaining", self.needed, self.remaining)
+        write!(
+            f,
+            "decode error: needed {} bytes, {} remaining",
+            self.needed, self.remaining
+        )
     }
 }
 
@@ -117,7 +121,10 @@ impl WireReader {
 
     fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
         if self.remaining() < n {
-            return Err(DecodeError { needed: n, remaining: self.remaining() });
+            return Err(DecodeError {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -140,7 +147,9 @@ impl WireReader {
 
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
         let s = self.take(8)?;
-        Ok(u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+        Ok(u64::from_be_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
     }
 
     pub fn i32(&mut self) -> Result<i32, DecodeError> {
@@ -160,7 +169,10 @@ impl WireReader {
     pub fn bytes(&mut self) -> Result<Bytes, DecodeError> {
         let n = self.u32()? as usize;
         if self.remaining() < n {
-            return Err(DecodeError { needed: n, remaining: self.remaining() });
+            return Err(DecodeError {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let b = self.buf.slice(self.pos..self.pos + n);
         self.pos += n;

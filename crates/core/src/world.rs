@@ -24,7 +24,9 @@ use crate::wire::{WireReader, WireWriter};
 use bytes::Bytes;
 use macedon_net::{NetEvent, Network, NetworkConfig, NodeId, Sink, Topology};
 use macedon_sim::{Duration, Scheduler, SimRng, Time};
-use macedon_transport::{ChannelId, ChannelSpec, Endpoint, TimerKey, TransportKind, TransportSink, Segment};
+use macedon_transport::{
+    ChannelId, ChannelSpec, Endpoint, Segment, TimerKey, TransportKind, TransportSink,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Engine heartbeat message types.
@@ -68,11 +70,25 @@ impl Default for WorldConfig {
 pub enum WorldEvent {
     Net(NetEvent<Segment>),
     Rto(TimerKey),
-    AgentTimer { node: NodeId, layer: u16, timer: u16, gen: u32 },
-    FdTick { node: NodeId },
-    Spawn { node: NodeId },
-    Api { node: NodeId, call: DownCall },
-    Crash { node: NodeId },
+    AgentTimer {
+        node: NodeId,
+        layer: u16,
+        timer: u16,
+        gen: u32,
+    },
+    FdTick {
+        node: NodeId,
+    },
+    Spawn {
+        node: NodeId,
+    },
+    Api {
+        node: NodeId,
+        call: DownCall,
+    },
+    Crash {
+        node: NodeId,
+    },
 }
 
 struct TimerSlot {
@@ -139,7 +155,10 @@ impl World {
         agents: Vec<Box<dyn Agent>>,
         app: Box<dyn AppHandler>,
     ) {
-        assert!(self.net.topology().is_host(node), "spawn on non-host {node:?}");
+        assert!(
+            self.net.topology().is_host(node),
+            "spawn on non-host {node:?}"
+        );
         assert!(!self.stacks.contains_key(&node), "{node:?} already spawned");
         let key = MacedonKey::of_node(node, self.cfg.addressing);
         let rng = self.rng.fork(node.0 as u64);
@@ -267,7 +286,12 @@ impl World {
                 }
                 self.absorb_transport(now, key.node, tsink);
             }
-            WorldEvent::AgentTimer { node, layer, timer, gen } => {
+            WorldEvent::AgentTimer {
+                node,
+                layer,
+                timer,
+                gen,
+            } => {
                 if !self.alive.contains(&node) {
                     return;
                 }
@@ -281,7 +305,12 @@ impl World {
                 if let Some(period) = slot.period {
                     self.sched.schedule(
                         now + period,
-                        WorldEvent::AgentTimer { node, layer, timer, gen },
+                        WorldEvent::AgentTimer {
+                            node,
+                            layer,
+                            timer,
+                            gen,
+                        },
                     );
                 }
                 let mut fx = Vec::new();
@@ -388,22 +417,39 @@ impl World {
     fn process_effects(&mut self, now: Time, node: NodeId, fx: Vec<StackEffect>) {
         for effect in fx {
             match effect {
-                StackEffect::Send { dst, channel, bytes } => {
+                StackEffect::Send {
+                    dst,
+                    channel,
+                    bytes,
+                } => {
                     let mut tsink = TransportSink::new();
                     if let Some(ep) = self.endpoints.get_mut(&node) {
                         ep.send(now, dst, channel, bytes, &mut tsink);
                     }
                     self.absorb_transport(now, node, tsink);
                 }
-                StackEffect::TimerSet { layer, timer, delay, periodic } => {
+                StackEffect::TimerSet {
+                    layer,
+                    timer,
+                    delay,
+                    periodic,
+                } => {
                     let key = (node, layer as u16, timer);
-                    let slot = self.timers.entry(key).or_insert(TimerSlot { gen: 0, period: None });
+                    let slot = self.timers.entry(key).or_insert(TimerSlot {
+                        gen: 0,
+                        period: None,
+                    });
                     slot.gen += 1;
                     slot.period = periodic.then_some(delay);
                     let gen = slot.gen;
                     self.sched.schedule(
                         now + delay,
-                        WorldEvent::AgentTimer { node, layer: layer as u16, timer, gen },
+                        WorldEvent::AgentTimer {
+                            node,
+                            layer: layer as u16,
+                            timer,
+                            gen,
+                        },
                     );
                 }
                 StackEffect::TimerCancel { layer, timer } => {
@@ -416,7 +462,10 @@ impl World {
                     let mon = self.monitors.entry(node).or_default();
                     let entry = mon.entry(peer).or_insert((
                         Vec::new(),
-                        MonitorState { last_heard: now, hb_pending: false },
+                        MonitorState {
+                            last_heard: now,
+                            hb_pending: false,
+                        },
                     ));
                     if !entry.0.contains(&layer) {
                         entry.0.push(layer);
@@ -561,17 +610,39 @@ mod tests {
     }
 
     fn pp(peer: Option<NodeId>) -> Box<dyn Agent> {
-        Box::new(PingPong { peer, ch: ChannelId(1), pings: 0, pongs: 0 })
+        Box::new(PingPong {
+            peer,
+            ch: ChannelId(1),
+            pings: 0,
+            pongs: 0,
+        })
     }
 
     #[test]
     fn ping_pong_roundtrip() {
         let (mut w, a, b) = two_host_world();
         w.spawn_at(Time::ZERO, b, vec![pp(None)], Box::new(NullApp));
-        w.spawn_at(Time::from_millis(10), a, vec![pp(Some(b))], Box::new(NullApp));
+        w.spawn_at(
+            Time::from_millis(10),
+            a,
+            vec![pp(Some(b))],
+            Box::new(NullApp),
+        );
         w.run_until(Time::from_secs(2));
-        let pa: &PingPong = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
-        let pb: &PingPong = w.stack(b).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let pa: &PingPong = w
+            .stack(a)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        let pb: &PingPong = w
+            .stack(b)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(pb.pings, 1);
         assert_eq!(pa.pongs, 1);
     }
@@ -625,9 +696,20 @@ mod tests {
     #[test]
     fn timer_semantics() {
         let (mut w, a, _) = two_host_world();
-        w.spawn_at(Time::ZERO, a, vec![Box::new(TimerBox { fired: vec![] })], Box::new(NullApp));
+        w.spawn_at(
+            Time::ZERO,
+            a,
+            vec![Box::new(TimerBox { fired: vec![] })],
+            Box::new(NullApp),
+        );
         w.run_until(Time::from_secs(5));
-        let tb: &TimerBox = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let tb: &TimerBox = w
+            .stack(a)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         // Timer 1 once; timer 2 once (superseded schedule → one firing);
         // timer 3 exactly three times then cancelled.
         assert_eq!(tb.fired.iter().filter(|&&t| t == 1).count(), 1);
@@ -675,18 +757,32 @@ mod tests {
         w.spawn_at(
             Time::ZERO,
             a,
-            vec![Box::new(Watcher { peer: b, ch: ChannelId(1), failures: vec![] })],
+            vec![Box::new(Watcher {
+                peer: b,
+                ch: ChannelId(1),
+                failures: vec![],
+            })],
             Box::new(NullApp),
         );
         w.spawn_at(
             Time::ZERO,
             b,
-            vec![Box::new(Watcher { peer: a, ch: ChannelId(1), failures: vec![] })],
+            vec![Box::new(Watcher {
+                peer: a,
+                ch: ChannelId(1),
+                failures: vec![],
+            })],
             Box::new(NullApp),
         );
         w.crash_at(Time::from_secs(2), b);
         w.run_until(Time::from_secs(30));
-        let wa: &Watcher = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let wa: &Watcher = w
+            .stack(a)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(wa.failures, vec![b], "a detected b's crash");
         assert!(!w.is_alive(b));
     }
@@ -699,19 +795,43 @@ mod tests {
         w.spawn_at(
             Time::ZERO,
             a,
-            vec![Box::new(Watcher { peer: b, ch: ChannelId(1), failures: vec![] })],
+            vec![Box::new(Watcher {
+                peer: b,
+                ch: ChannelId(1),
+                failures: vec![],
+            })],
             Box::new(NullApp),
         );
         w.spawn_at(
             Time::ZERO,
             b,
-            vec![Box::new(Watcher { peer: a, ch: ChannelId(1), failures: vec![] })],
+            vec![Box::new(Watcher {
+                peer: a,
+                ch: ChannelId(1),
+                failures: vec![],
+            })],
             Box::new(NullApp),
         );
         w.run_until(Time::from_secs(60));
-        let wa: &Watcher = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
-        let wb: &Watcher = w.stack(b).unwrap().agent(0).as_any().downcast_ref().unwrap();
-        assert!(wa.failures.is_empty(), "no false positives at a: {:?}", wa.failures);
+        let wa: &Watcher = w
+            .stack(a)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        let wb: &Watcher = w
+            .stack(b)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        assert!(
+            wa.failures.is_empty(),
+            "no false positives at a: {:?}",
+            wa.failures
+        );
         assert!(wb.failures.is_empty(), "no false positives at b");
     }
 
@@ -743,10 +863,27 @@ mod tests {
             }
         }
         let (mut w, a, _) = two_host_world();
-        w.spawn_at(Time::ZERO, a, vec![Box::new(ApiSpy { calls: 0 })], Box::new(NullApp));
-        w.api_at(Time::from_millis(100), a, DownCall::Join { group: MacedonKey(1) });
+        w.spawn_at(
+            Time::ZERO,
+            a,
+            vec![Box::new(ApiSpy { calls: 0 })],
+            Box::new(NullApp),
+        );
+        w.api_at(
+            Time::from_millis(100),
+            a,
+            DownCall::Join {
+                group: MacedonKey(1),
+            },
+        );
         w.run_until(Time::from_secs(1));
-        let spy: &ApiSpy = w.stack(a).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let spy: &ApiSpy = w
+            .stack(a)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(spy.calls, 1);
     }
 
@@ -755,7 +892,12 @@ mod tests {
         let run = || {
             let (mut w, a, b) = two_host_world();
             w.spawn_at(Time::ZERO, b, vec![pp(None)], Box::new(NullApp));
-            w.spawn_at(Time::from_millis(3), a, vec![pp(Some(b))], Box::new(NullApp));
+            w.spawn_at(
+                Time::from_millis(3),
+                a,
+                vec![pp(Some(b))],
+                Box::new(NullApp),
+            );
             w.run_until(Time::from_secs(10));
             w.sched.events_fired()
         };

@@ -94,9 +94,16 @@ pub struct MessageDecl {
 #[derive(Clone, Debug)]
 pub enum StateVar {
     /// `fail_detect? <neighbor-type> <name>;`
-    Neighbor { ty: String, name: String, fail_detect: bool },
+    Neighbor {
+        ty: String,
+        name: String,
+        fail_detect: bool,
+    },
     /// `timer <name> <period>?;` (period in milliseconds).
-    Timer { name: String, period_ms: Option<i64> },
+    Timer {
+        name: String,
+        period_ms: Option<i64>,
+    },
     /// `int <name>;` etc.
     Scalar { ty: TypeName, name: String },
 }
@@ -171,7 +178,11 @@ pub struct Transition {
 #[derive(Clone, Debug)]
 pub enum Stmt {
     /// `if (cond) { .. } else { .. }`.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// `state_change(joined);`
     StateChange(String),
     /// `timer_resched(name, expr_ms);`
@@ -185,16 +196,27 @@ pub enum Stmt {
     /// `neighbor_clear(list);`
     NeighborClear(String),
     /// `<message>(dest, field-args...);` — the transmission primitive.
-    Send { message: String, dest: Expr, args: Vec<Expr> },
+    Send {
+        message: String,
+        dest: Expr,
+        args: Vec<Expr>,
+    },
     /// `upcall_notify(list, type);`
     UpcallNotify(String, Expr),
     /// `deliver(src, payload);` — hand data to the layer above.
-    Deliver { src: Expr, payload: Expr },
+    Deliver {
+        src: Expr,
+        payload: Expr,
+    },
     /// `monitor(expr);` / `unmonitor(expr);` — failure detection.
     Monitor(Expr),
     Unmonitor(Expr),
     /// `foreach (x in list) { ... }` — iterate a neighbor list.
-    ForEach { var: String, list: String, body: Vec<Stmt> },
+    ForEach {
+        var: String,
+        list: String,
+        body: Vec<Stmt>,
+    },
     /// `x = expr;`
     Assign(String, Expr),
     /// `trace("..."-less): trace(expr);` — numeric trace records.

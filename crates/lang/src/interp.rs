@@ -14,8 +14,8 @@
 
 use crate::ast::*;
 use macedon_core::{
-    Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, MacedonKey, NodeId,
-    ProtocolId, TraceLevel, TransportKind, UpCall, WireReader, WireWriter,
+    Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, MacedonKey, NodeId, ProtocolId,
+    TraceLevel, TransportKind, UpCall, WireReader, WireWriter,
 };
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -138,7 +138,11 @@ impl InterpretedAgent {
         let mut timer_names = Vec::new();
         for v in &spec.state_vars {
             match v {
-                StateVar::Neighbor { ty, name, fail_detect: fd } => {
+                StateVar::Neighbor {
+                    ty,
+                    name,
+                    fail_detect: fd,
+                } => {
                     let max = spec
                         .neighbor_types
                         .iter()
@@ -221,7 +225,10 @@ impl InterpretedAgent {
         else {
             ctx.trace(
                 TraceLevel::High,
-                format!("{}: no transition for {trigger:?} in state {}", spec.name, self.state),
+                format!(
+                    "{}: no transition for {trigger:?} in state {}",
+                    spec.name, self.state
+                ),
             );
             return;
         };
@@ -230,12 +237,20 @@ impl InterpretedAgent {
         }
         self.transitions_fired += 1;
         if let Err(e) = self.exec_block(ctx, &mut frame, &t.body) {
-            ctx.trace(TraceLevel::Low, format!("{}: runtime error: {e}", spec.name));
+            ctx.trace(
+                TraceLevel::Low,
+                format!("{}: runtime error: {e}", spec.name),
+            );
             debug_assert!(false, "interpreter runtime error: {e}");
         }
     }
 
-    fn exec_block(&mut self, ctx: &mut Ctx, frame: &mut Frame, stmts: &[Stmt]) -> Result<Flow, String> {
+    fn exec_block(
+        &mut self,
+        ctx: &mut Ctx,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+    ) -> Result<Flow, String> {
         for s in stmts {
             match self.exec(ctx, frame, s)? {
                 Flow::Return => return Ok(Flow::Return),
@@ -265,12 +280,18 @@ impl InterpretedAgent {
             }
             Stmt::TimerResched(name, e) => {
                 let ms = self.eval(ctx, frame, e)?.as_int()?;
-                let id = *self.timer_ids.get(name).ok_or_else(|| format!("timer {name}?"))?;
+                let id = *self
+                    .timer_ids
+                    .get(name)
+                    .ok_or_else(|| format!("timer {name}?"))?;
                 ctx.timer_set(id, Duration::from_millis(ms.max(0) as u64));
                 Ok(Flow::Continue)
             }
             Stmt::TimerCancel(name) => {
-                let id = *self.timer_ids.get(name).ok_or_else(|| format!("timer {name}?"))?;
+                let id = *self
+                    .timer_ids
+                    .get(name)
+                    .ok_or_else(|| format!("timer {name}?"))?;
                 ctx.timer_cancel(id);
                 Ok(Flow::Continue)
             }
@@ -278,7 +299,10 @@ impl InterpretedAgent {
                 let node = self.eval(ctx, frame, e)?.as_node()?;
                 let max = *self.list_max.get(list).unwrap_or(&usize::MAX);
                 let fd = self.fail_detect.contains(list);
-                let l = self.lists.get_mut(list).ok_or_else(|| format!("list {list}?"))?;
+                let l = self
+                    .lists
+                    .get_mut(list)
+                    .ok_or_else(|| format!("list {list}?"))?;
                 if !l.contains(&node) && l.len() < max {
                     l.push(node);
                     if fd {
@@ -290,7 +314,10 @@ impl InterpretedAgent {
             Stmt::NeighborRemove(list, e) => {
                 let node = self.eval(ctx, frame, e)?.as_node()?;
                 let fd = self.fail_detect.contains(list);
-                let l = self.lists.get_mut(list).ok_or_else(|| format!("list {list}?"))?;
+                let l = self
+                    .lists
+                    .get_mut(list)
+                    .ok_or_else(|| format!("list {list}?"))?;
                 l.retain(|&n| n != node);
                 if fd {
                     ctx.unmonitor(node);
@@ -299,7 +326,10 @@ impl InterpretedAgent {
             }
             Stmt::NeighborClear(list) => {
                 let fd = self.fail_detect.contains(list);
-                let l = self.lists.get_mut(list).ok_or_else(|| format!("list {list}?"))?;
+                let l = self
+                    .lists
+                    .get_mut(list)
+                    .ok_or_else(|| format!("list {list}?"))?;
                 for n in l.drain(..) {
                     if fd {
                         ctx.unmonitor(n);
@@ -307,7 +337,11 @@ impl InterpretedAgent {
                 }
                 Ok(Flow::Continue)
             }
-            Stmt::Send { message, dest, args } => {
+            Stmt::Send {
+                message,
+                dest,
+                args,
+            } => {
                 let dest = self.eval(ctx, frame, dest)?;
                 let mut values = Vec::with_capacity(args.len());
                 for a in args {
@@ -318,8 +352,14 @@ impl InterpretedAgent {
             }
             Stmt::UpcallNotify(list, e) => {
                 let ty = self.eval(ctx, frame, e)?.as_int()? as u32;
-                let l = self.lists.get(list).ok_or_else(|| format!("list {list}?"))?;
-                ctx.up(UpCall::Notify { nbr_type: ty, neighbors: l.clone() });
+                let l = self
+                    .lists
+                    .get(list)
+                    .ok_or_else(|| format!("list {list}?"))?;
+                ctx.up(UpCall::Notify {
+                    nbr_type: ty,
+                    neighbors: l.clone(),
+                });
                 Ok(Flow::Continue)
             }
             Stmt::Deliver { src, payload } => {
@@ -418,7 +458,10 @@ impl InterpretedAgent {
             Value::Null => return Ok(()), // sending to nobody is a no-op
             other => return Err(format!("message dest must be a node, got {other:?}")),
         };
-        let id = *self.msg_ids.get(message).ok_or_else(|| format!("message {message}?"))?;
+        let id = *self
+            .msg_ids
+            .get(message)
+            .ok_or_else(|| format!("message {message}?"))?;
         let decl = self.spec.messages[id as usize].clone();
         if values.len() != decl.fields.len() {
             return Err(format!(
@@ -535,7 +578,10 @@ impl InterpretedAgent {
             ),
             Expr::NeighborQuery(list, e) => {
                 let n = self.eval(ctx, frame, e)?;
-                let l = self.lists.get(list).ok_or_else(|| format!("list {list}?"))?;
+                let l = self
+                    .lists
+                    .get(list)
+                    .ok_or_else(|| format!("list {list}?"))?;
                 match n {
                     Value::Node(n) => Value::Bool(l.contains(&n)),
                     Value::Null => Value::Bool(false),
@@ -543,7 +589,10 @@ impl InterpretedAgent {
                 }
             }
             Expr::NeighborRandom(list) => {
-                let l = self.lists.get(list).ok_or_else(|| format!("list {list}?"))?;
+                let l = self
+                    .lists
+                    .get(list)
+                    .ok_or_else(|| format!("list {list}?"))?;
                 if l.is_empty() {
                     Value::Null
                 } else {
@@ -609,7 +658,11 @@ impl Agent for InterpretedAgent {
         // Auto-arm timers that declare a period.
         let spec = self.spec.clone();
         for v in &spec.state_vars {
-            if let StateVar::Timer { name, period_ms: Some(ms) } = v {
+            if let StateVar::Timer {
+                name,
+                period_ms: Some(ms),
+            } = v
+            {
                 let id = self.timer_ids[name];
                 ctx.timer_periodic(id, Duration::from_millis(*ms as u64));
             }
@@ -671,19 +724,29 @@ impl Agent for InterpretedAgent {
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
         let mut r = WireReader::new(msg);
-        let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else { return };
+        let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else {
+            return;
+        };
         if proto != self.proto || id as usize >= self.spec.messages.len() {
             return;
         }
         let fields = match self.decode(id, &mut r) {
             Ok(f) => f,
             Err(e) => {
-                ctx.trace(TraceLevel::Low, format!("{}: decode error: {e}", self.spec.name));
+                ctx.trace(
+                    TraceLevel::Low,
+                    format!("{}: decode error: {e}", self.spec.name),
+                );
                 return;
             }
         };
         let name = self.spec.messages[id as usize].name.clone();
-        let frame = Frame { fields, from: Some(from), payload: None, api_args: HashMap::new() };
+        let frame = Frame {
+            fields,
+            from: Some(from),
+            payload: None,
+            api_args: HashMap::new(),
+        };
         self.fire(ctx, &Trigger::Recv(name), frame);
     }
 
@@ -702,7 +765,10 @@ impl Agent for InterpretedAgent {
                 l.retain(|&n| n != peer);
             }
         }
-        let frame = Frame { from: Some(peer), ..Default::default() };
+        let frame = Frame {
+            from: Some(peer),
+            ..Default::default()
+        };
         self.fire(ctx, &Trigger::Error, frame);
     }
 
@@ -760,18 +826,31 @@ mod tests {
         let spec = Arc::new(compile(STAR).unwrap());
         let topo = canned::star(n, LinkSpec::lan());
         let hosts = topo.hosts().to_vec();
-        let mut cfg = WorldConfig { seed: 5, ..Default::default() };
+        let mut cfg = WorldConfig {
+            seed: 5,
+            ..Default::default()
+        };
         cfg.channels = channel_table(&spec);
         let mut w = World::new(topo, cfg);
         for (i, &h) in hosts.iter().enumerate() {
             let agent = InterpretedAgent::new(spec.clone(), (i > 0).then(|| hosts[0]));
-            w.spawn_at(Time::from_millis(i as u64 * 10), h, vec![Box::new(agent)], Box::new(NullApp));
+            w.spawn_at(
+                Time::from_millis(i as u64 * 10),
+                h,
+                vec![Box::new(agent)],
+                Box::new(NullApp),
+            );
         }
         (w, hosts, spec)
     }
 
     fn agent_of<'a>(w: &'a World, n: NodeId) -> &'a InterpretedAgent {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     #[test]
@@ -823,16 +902,17 @@ mod tests {
         assert!(!Value::Int(0).truthy());
         assert!(!Value::Null.truthy());
         assert!(values_eq(&Value::Int(1), &Value::Bool(true)));
-        assert!(values_eq(&Value::Node(NodeId(5)), &Value::Key(MacedonKey(5))));
+        assert!(values_eq(
+            &Value::Node(NodeId(5)),
+            &Value::Key(MacedonKey(5))
+        ));
         assert!(!values_eq(&Value::Int(2), &Value::Int(3)));
     }
 
     #[test]
     #[should_panic]
     fn layered_spec_rejected_by_interpreter() {
-        let spec = Arc::new(
-            compile("protocol s uses base; addressing hash;").unwrap(),
-        );
+        let spec = Arc::new(compile("protocol s uses base; addressing hash;").unwrap());
         let _ = InterpretedAgent::new(spec, None);
     }
 
@@ -854,10 +934,17 @@ mod tests {
         let mut cfg = WorldConfig::default();
         cfg.channels = channel_table(&spec);
         let mut w = World::new(topo, cfg);
-        w.spawn_at(Time::ZERO, hosts[0], vec![Box::new(InterpretedAgent::new(spec, None))], Box::new(NullApp));
+        w.spawn_at(
+            Time::ZERO,
+            hosts[0],
+            vec![Box::new(InterpretedAgent::new(spec, None))],
+            Box::new(NullApp),
+        );
         w.run_until(Time::from_secs(1));
         let a = agent_of(&w, hosts[0]);
-        let Some(&Value::Int(n)) = a.var("n") else { panic!() };
+        let Some(&Value::Int(n)) = a.var("n") else {
+            panic!()
+        };
         assert!((8..=10).contains(&n), "ticked ~10 times in 1s, got {n}");
     }
 }

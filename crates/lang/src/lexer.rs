@@ -37,17 +37,17 @@ pub enum TokenKind {
     RBracket,
     Semi,
     Comma,
-    Assign,  // =
-    EqEq,    // ==
-    Ne,      // !=
+    Assign, // =
+    EqEq,   // ==
+    Ne,     // !=
     Lt,
     Gt,
     Le,
     Ge,
-    Bang,    // !
-    AndAnd,  // &&
-    OrOr,    // ||
-    Pipe,    // |
+    Bang,   // !
+    AndAnd, // &&
+    OrOr,   // ||
+    Pipe,   // |
     Plus,
     Minus,
     Star,
@@ -75,7 +75,12 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Tokenize the whole input.
@@ -92,7 +97,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, msg: msg.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -187,7 +196,9 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-            let v: i64 = text.parse().map_err(|_| self.err(format!("bad integer {text}")))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad integer {text}")))?;
             return Ok(mk(TokenKind::Int(v)));
         }
         self.bump();
@@ -246,7 +257,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn scribe_uses_pastry_by_default() {
-        let (_, src) = bundled_specs().into_iter().find(|(n, _)| *n == "scribe").unwrap();
+        let (_, src) = bundled_specs()
+            .into_iter()
+            .find(|(n, _)| *n == "scribe")
+            .unwrap();
         let spec = compile(src).unwrap();
         assert_eq!(spec.uses.as_deref(), Some("pastry"));
     }

@@ -22,7 +22,11 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
         let t = self.peek();
-        ParseError { line: t.line, col: t.col, msg: msg.into() }
+        ParseError {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        }
     }
 
     fn bump(&mut self) -> Token {
@@ -97,7 +101,11 @@ impl Parser {
     fn spec(&mut self) -> Result<Spec, ParseError> {
         self.expect_word("protocol")?;
         let name = self.ident()?;
-        let uses = if self.eat_word("uses") { Some(self.ident()?) } else { None };
+        let uses = if self.eat_word("uses") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         self.eat(&TokenKind::Semi);
 
         self.expect_word("addressing")?;
@@ -244,7 +252,11 @@ impl Parser {
                 (None, first)
             };
             let fields = self.fields()?;
-            spec.messages.push(MessageDecl { transport, name, fields });
+            spec.messages.push(MessageDecl {
+                transport,
+                name,
+                fields,
+            });
         }
         Ok(())
     }
@@ -269,9 +281,11 @@ impl Parser {
             let name = self.ident()?;
             self.expect(TokenKind::Semi)?;
             match ty {
-                TypeName::Neighbor(t) => {
-                    spec.state_vars.push(StateVar::Neighbor { ty: t, name, fail_detect })
-                }
+                TypeName::Neighbor(t) => spec.state_vars.push(StateVar::Neighbor {
+                    ty: t,
+                    name,
+                    fail_detect,
+                }),
                 scalar => {
                     if fail_detect {
                         return Err(self.err("fail_detect applies to neighbor lists only"));
@@ -315,7 +329,12 @@ impl Parser {
                 }
             }
             let body = self.block()?;
-            spec.transitions.push(Transition { scope, trigger, locking, body });
+            spec.transitions.push(Transition {
+                scope,
+                trigger,
+                locking,
+                body,
+            });
         }
         Ok(())
     }
@@ -498,7 +517,11 @@ impl Parser {
                 return Err(self.err(format!("message send '{name}' needs a destination")));
             }
             let dest = args.remove(0);
-            return Ok(Stmt::Send { message: name, dest, args });
+            return Ok(Stmt::Send {
+                message: name,
+                dest,
+                args,
+            });
         }
         Err(self.err(format!("unexpected statement starting with '{name}'")))
     }
@@ -715,7 +738,10 @@ mod tests {
         let s = parse(MINI).unwrap();
         assert!(matches!(
             &s.state_vars[2],
-            StateVar::Timer { period_ms: Some(1000), .. }
+            StateVar::Timer {
+                period_ms: Some(1000),
+                ..
+            }
         ));
     }
 
@@ -725,10 +751,16 @@ mod tests {
             "protocol p; addressing ip; transitions { any API init { x = 1 + 2 * 3 == 7; } }",
         )
         .unwrap();
-        let Stmt::Assign(_, e) = &s.transitions[0].body[0] else { panic!() };
+        let Stmt::Assign(_, e) = &s.transitions[0].body[0] else {
+            panic!()
+        };
         // (1 + (2*3)) == 7
-        let Expr::Bin(BinOp::Eq, lhs, _) = e else { panic!("top is ==") };
-        let Expr::Bin(BinOp::Add, _, rhs) = &**lhs else { panic!("lhs is +") };
+        let Expr::Bin(BinOp::Eq, lhs, _) = e else {
+            panic!("top is ==")
+        };
+        let Expr::Bin(BinOp::Add, _, rhs) = &**lhs else {
+            panic!("lhs is +")
+        };
         assert!(matches!(&**rhs, Expr::Bin(BinOp::Mul, _, _)));
     }
 
@@ -753,7 +785,9 @@ mod tests {
             } }",
         )
         .unwrap();
-        let Stmt::If { els, .. } = &s.transitions[0].body[0] else { panic!() };
+        let Stmt::If { els, .. } = &s.transitions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(&els[0], Stmt::If { .. }));
     }
 

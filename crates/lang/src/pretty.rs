@@ -91,7 +91,11 @@ pub fn pretty(spec: &Spec) -> String {
         let _ = writeln!(w, "\nstate_variables {{");
         for v in &spec.state_vars {
             match v {
-                StateVar::Neighbor { ty, name, fail_detect } => {
+                StateVar::Neighbor {
+                    ty,
+                    name,
+                    fail_detect,
+                } => {
                     let fd = if *fail_detect { "fail_detect " } else { "" };
                     let _ = writeln!(w, "    {fd}{ty} {name};");
                 }
@@ -194,7 +198,11 @@ fn stmts(w: &mut String, body: &[Stmt], indent: usize) {
             Stmt::NeighborClear(l) => {
                 let _ = writeln!(w, "{pad}neighbor_clear({l});");
             }
-            Stmt::Send { message, dest, args } => {
+            Stmt::Send {
+                message,
+                dest,
+                args,
+            } => {
                 let mut parts = vec![expr(dest)];
                 parts.extend(args.iter().map(expr));
                 let _ = writeln!(w, "{pad}{message}({});", parts.join(", "));
@@ -266,7 +274,11 @@ mod tests {
         let printed = pretty(&once);
         let twice = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         // Compare the debug views of the two ASTs.
-        assert_eq!(format!("{once:?}"), format!("{twice:?}"), "pretty output:\n{printed}");
+        assert_eq!(
+            format!("{once:?}"),
+            format!("{twice:?}"),
+            "pretty output:\n{printed}"
+        );
     }
 
     #[test]

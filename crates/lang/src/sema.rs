@@ -6,7 +6,11 @@ use crate::lexer::ParseError;
 use std::collections::HashSet;
 
 fn err(msg: impl Into<String>) -> ParseError {
-    ParseError { line: 0, col: 0, msg: msg.into() }
+    ParseError {
+        line: 0,
+        col: 0,
+        msg: msg.into(),
+    }
 }
 
 /// Validate a parsed specification. Checks:
@@ -147,13 +151,17 @@ fn check_stmts(
             }
             Stmt::ForEach { list, body, .. } => {
                 if !lists.contains(list) {
-                    return Err(err(format!("transition {tidx}: foreach over unknown list '{list}'")));
+                    return Err(err(format!(
+                        "transition {tidx}: foreach over unknown list '{list}'"
+                    )));
                 }
                 check_stmts(spec, body, timers, lists, msgs, states, tidx)?;
             }
             Stmt::StateChange(st) => {
                 if !states.contains(st.as_str()) {
-                    return Err(err(format!("transition {tidx}: state_change to unknown '{st}'")));
+                    return Err(err(format!(
+                        "transition {tidx}: state_change to unknown '{st}'"
+                    )));
                 }
             }
             Stmt::TimerResched(name, _) | Stmt::TimerCancel(name) => {
@@ -166,12 +174,16 @@ fn check_stmts(
             | Stmt::NeighborClear(l)
             | Stmt::UpcallNotify(l, _) => {
                 if !lists.contains(l) {
-                    return Err(err(format!("transition {tidx}: unknown neighbor list '{l}'")));
+                    return Err(err(format!(
+                        "transition {tidx}: unknown neighbor list '{l}'"
+                    )));
                 }
             }
             Stmt::Send { message, .. } => {
                 if !msgs.contains(message) {
-                    return Err(err(format!("transition {tidx}: send of unknown message '{message}'")));
+                    return Err(err(format!(
+                        "transition {tidx}: send of unknown message '{message}'"
+                    )));
                 }
             }
             _ => {}
@@ -203,10 +215,8 @@ mod tests {
 
     #[test]
     fn unknown_scope_state_rejected() {
-        let e = check(
-            "protocol p; addressing ip; states { a; } transitions { b API init { } }",
-        )
-        .unwrap_err();
+        let e = check("protocol p; addressing ip; states { a; } transitions { b API init { } }")
+            .unwrap_err();
         assert!(e.msg.contains("unknown state 'b'"));
     }
 
@@ -246,10 +256,8 @@ mod tests {
 
     #[test]
     fn fail_detect_requires_known_neighbor_type() {
-        let e = check(
-            "protocol p; addressing ip; state_variables { fail_detect ghosts g; }",
-        )
-        .unwrap_err();
+        let e = check("protocol p; addressing ip; state_variables { fail_detect ghosts g; }")
+            .unwrap_err();
         assert!(e.msg.contains("undeclared neighbor type"));
     }
 

@@ -13,9 +13,14 @@ fn state_expr_strategy() -> impl Strategy<Value = (String, StateExpr)> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|(s, e)| (format!("!({s})"), StateExpr::Not(Box::new(e)))),
+            inner
+                .clone()
+                .prop_map(|(s, e)| (format!("!({s})"), StateExpr::Not(Box::new(e)))),
             (inner.clone(), inner).prop_map(|((s1, e1), (s2, e2))| {
-                (format!("({s1}|{s2})"), StateExpr::Or(Box::new(e1), Box::new(e2)))
+                (
+                    format!("({s1}|{s2})"),
+                    StateExpr::Or(Box::new(e1), Box::new(e2)),
+                )
             }),
         ]
     })

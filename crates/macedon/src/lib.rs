@@ -5,12 +5,24 @@
 //! runnable examples (`examples/`) and cross-crate integration tests
 //! (`tests/`).
 //!
-//! ```no_run
+//! ```
 //! use macedon::prelude::*;
 //!
-//! // Build a small emulated network, run Chord on it, route a message.
+//! // Build a small emulated network and run a Chord ring on it.
 //! let topo = macedon::net::topology::canned::star(8, macedon::net::topology::LinkSpec::lan());
+//! let hosts = topo.hosts().to_vec();
 //! let mut world = World::new(topo, WorldConfig::default());
+//! for (i, &h) in hosts.iter().enumerate() {
+//!     let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+//!     world.spawn_at(
+//!         Time::from_millis(i as u64 * 100),
+//!         h,
+//!         vec![Box::new(Chord::new(cfg))],
+//!         Box::new(NullApp),
+//!     );
+//! }
+//! world.run_until(Time::from_secs(30));
+//! assert!(hosts.iter().all(|&h| world.stack(h).is_some()));
 //! ```
 
 pub use macedon_baselines as baselines;
@@ -22,13 +34,28 @@ pub use macedon_sim as sim;
 pub use macedon_transport as transport;
 
 /// The names most programs want in scope.
+///
+/// ```
+/// use macedon::prelude::*;
+///
+/// // Keys live on a 32-bit ring.
+/// let (a, b) = (MacedonKey(10), MacedonKey(20));
+/// assert!(MacedonKey(15).in_open(a, b));
+/// assert_eq!(a.distance_to(b), 10);
+///
+/// // Worlds are deterministic discrete-event simulations; an empty
+/// // two-host world runs to its horizon immediately.
+/// let topo = macedon::net::topology::canned::star(2, macedon::net::topology::LinkSpec::lan());
+/// let mut world = World::new(topo, WorldConfig::default());
+/// world.run_until(Time::from_secs(1));
+/// ```
 pub mod prelude {
+    pub use macedon_core::app::{shared_deliveries, CollectorApp, StreamKind, StreamerApp};
     pub use macedon_core::{
         Addressing, Agent, AppHandler, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration,
         ForwardInfo, MacedonKey, NodeId, NullApp, ProtocolId, Time, TraceLevel, UpCall, World,
         WorldConfig,
     };
-    pub use macedon_core::app::{shared_deliveries, CollectorApp, StreamKind, StreamerApp};
     pub use macedon_overlays::{
         Ammo, AmmoConfig, Bullet, BulletConfig, Chord, ChordConfig, Nice, NiceConfig, Overcast,
         OvercastConfig, Pastry, PastryConfig, RandTree, RandTreeConfig, Scribe, ScribeConfig,

@@ -103,7 +103,11 @@ pub fn link_stress<P>(net: &Network<P>, baseline: &[(u64, u64, u64)]) -> StressS
     }
     StressSummary {
         max,
-        mean: if used == 0 { 0.0 } else { sum as f64 / used as f64 },
+        mean: if used == 0 {
+            0.0
+        } else {
+            sum as f64 / used as f64
+        },
         links_used: used,
     }
 }
@@ -136,8 +140,7 @@ mod tests {
         let hs = t.hosts().to_vec();
         let mut net: Network<()> = Network::new(t, NetworkConfig::default());
         // Star overlay == star IP topology: all stretch 1.0.
-        let parents: HashMap<NodeId, NodeId> =
-            hs[1..].iter().map(|&h| (h, hs[0])).collect();
+        let parents: HashMap<NodeId, NodeId> = hs[1..].iter().map(|&h| (h, hs[0])).collect();
         let s = tree_stretch(&mut net, hs[0], &parents);
         assert_eq!(s.len(), 3);
         for (_, v) in s {

@@ -24,7 +24,12 @@ pub struct Packet<P> {
 
 impl<P> Packet<P> {
     pub fn new(src: NodeId, dst: NodeId, size: u32, payload: P) -> Packet<P> {
-        Packet { src, dst, size, payload }
+        Packet {
+            src,
+            dst,
+            size,
+            payload,
+        }
     }
 
     /// Bytes this packet occupies on the wire (payload + header).

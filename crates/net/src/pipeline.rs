@@ -24,9 +24,18 @@ use macedon_sim::{Duration, SimRng, Time};
 #[derive(Debug)]
 pub enum NetEvent<P> {
     /// A packet reached `node` (either its destination or a forwarding hop).
-    Arrive { node: NodeId, pkt: Packet<P>, sent_at: Time },
+    Arrive {
+        node: NodeId,
+        pkt: Packet<P>,
+        sent_at: Time,
+    },
     /// A packet finished serializing onto `link` and leaves its queue.
-    Depart { link: LinkId, wire: u32, pkt: Packet<P>, sent_at: Time },
+    Depart {
+        link: LinkId,
+        wire: u32,
+        pkt: Packet<P>,
+        sent_at: Time,
+    },
 }
 
 /// A packet handed up to the layer above at its destination host.
@@ -61,7 +70,11 @@ pub struct Sink<P> {
 
 impl<P> Sink<P> {
     pub fn new() -> Sink<P> {
-        Sink { schedule: Vec::new(), delivered: Vec::new(), dropped: Vec::new() }
+        Sink {
+            schedule: Vec::new(),
+            delivered: Vec::new(),
+            dropped: Vec::new(),
+        }
     }
 
     pub fn clear(&mut self) {
@@ -88,7 +101,10 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig { loopback_delay: Duration::from_micros(50), seed: 0x6d61_6365 }
+        NetworkConfig {
+            loopback_delay: Duration::from_micros(50),
+            seed: 0x6d61_6365,
+        }
     }
 }
 
@@ -165,7 +181,11 @@ impl<P> Network<P> {
 
     /// Inject a packet at its source host.
     pub fn send(&mut self, now: Time, pkt: Packet<P>, out: &mut Sink<P>) {
-        debug_assert!(self.topo.is_host(pkt.src), "send from non-host {:?}", pkt.src);
+        debug_assert!(
+            self.topo.is_host(pkt.src),
+            "send from non-host {:?}",
+            pkt.src
+        );
         if self.faults.node_is_down(pkt.src) || self.faults.node_is_down(pkt.dst) {
             out.dropped.push((DropReason::NodeDown, pkt.src));
             return;
@@ -175,7 +195,11 @@ impl<P> Network<P> {
             let cfg_delay = Duration::from_micros(50);
             out.schedule.push((
                 now + cfg_delay,
-                NetEvent::Arrive { node: pkt.dst, pkt, sent_at: now },
+                NetEvent::Arrive {
+                    node: pkt.dst,
+                    pkt,
+                    sent_at: now,
+                },
             ));
             return;
         }
@@ -191,18 +215,31 @@ impl<P> Network<P> {
                     return;
                 }
                 if node == pkt.dst {
-                    out.delivered.push(Delivery { pkt, sent_at, at: now });
+                    out.delivered.push(Delivery {
+                        pkt,
+                        sent_at,
+                        at: now,
+                    });
                 } else {
                     self.forward(now, node, pkt, sent_at, out);
                 }
             }
-            NetEvent::Depart { link, wire, pkt, sent_at } => {
+            NetEvent::Depart {
+                link,
+                wire,
+                pkt,
+                sent_at,
+            } => {
                 let st = &mut self.links[link.index()];
                 st.queued_bytes = st.queued_bytes.saturating_sub(wire);
                 let l = self.topo.link(link);
                 out.schedule.push((
                     now + l.delay,
-                    NetEvent::Arrive { node: l.to, pkt, sent_at },
+                    NetEvent::Arrive {
+                        node: l.to,
+                        pkt,
+                        sent_at,
+                    },
                 ));
             }
         }
@@ -238,7 +275,15 @@ impl<P> Network<P> {
         let start = st.busy_until.max(now);
         let finish = start + ser;
         st.busy_until = finish;
-        out.schedule.push((finish, NetEvent::Depart { link: lid, wire, pkt, sent_at }));
+        out.schedule.push((
+            finish,
+            NetEvent::Depart {
+                link: lid,
+                wire,
+                pkt,
+                sent_at,
+            },
+        ));
     }
 }
 
@@ -364,10 +409,7 @@ mod tests {
         run_until(&mut net, &mut sched, &mut out, Time::from_secs(60));
         assert!(out.delivered.len() < 100, "some packets must drop");
         assert!(!out.dropped.is_empty());
-        assert!(out
-            .dropped
-            .iter()
-            .all(|(r, _)| *r == DropReason::QueueFull));
+        assert!(out.dropped.iter().all(|(r, _)| *r == DropReason::QueueFull));
         assert_eq!(out.delivered.len() + out.dropped.len(), 100);
         assert_eq!(net.total_drops() as usize, out.dropped.len());
     }
@@ -459,7 +501,11 @@ mod tests {
     fn congestion_on_dumbbell_bottleneck() {
         // Many flows share a 1 Mbps bottleneck: aggregate goodput must be
         // capped by it.
-        let t = canned::dumbbell(4, LinkSpec::lan(), LinkSpec::new(ms(5), 1_000_000, 16 * 1024));
+        let t = canned::dumbbell(
+            4,
+            LinkSpec::lan(),
+            LinkSpec::new(ms(5), 1_000_000, 16 * 1024),
+        );
         let hosts = t.hosts().to_vec();
         let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
         let mut sched = Scheduler::new();
@@ -481,6 +527,9 @@ mod tests {
         let last = out.delivered.iter().map(|d| d.at).max().unwrap();
         let bytes: u64 = out.delivered.iter().map(|d| d.pkt.wire_size() as u64).sum();
         let rate_bps = bytes as f64 * 8.0 / last.as_secs_f64();
-        assert!(rate_bps <= 1_100_000.0, "rate {rate_bps} exceeds bottleneck");
+        assert!(
+            rate_bps <= 1_100_000.0,
+            "rate {rate_bps} exceeds bottleneck"
+        );
     }
 }

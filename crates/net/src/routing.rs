@@ -29,7 +29,9 @@ pub struct Router {
 
 impl Router {
     pub fn new() -> Router {
-        Router { trees: HashMap::new() }
+        Router {
+            trees: HashMap::new(),
+        }
     }
 
     /// Next outgoing link from `at` toward `dst`, or `None` if unreachable
@@ -126,14 +128,10 @@ fn dijkstra_to(topo: &Topology, dst: NodeId) -> DestTree {
                 dist_us[v.index()] = nd;
                 // The next hop from v toward dst is the reverse of `lid`:
                 // the half-link from v to u. Find it on v's adjacency.
-                next_hop[v.index()] = topo
-                    .outgoing(v)
-                    .iter()
-                    .copied()
-                    .find(|&back| {
-                        let bl = topo.link(back);
-                        bl.to == u && bl.phys == link.phys
-                    });
+                next_hop[v.index()] = topo.outgoing(v).iter().copied().find(|&back| {
+                    let bl = topo.link(back);
+                    bl.to == u && bl.phys == link.phys
+                });
                 debug_assert!(next_hop[v.index()].is_some(), "missing reverse half-link");
                 heap.push((std::cmp::Reverse(nd), v.0));
             }
@@ -158,7 +156,10 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(t.link(p[0]).from, a);
         assert_eq!(t.link(p[1]).to, b);
-        assert_eq!(r.dist(&t, a, b).unwrap(), macedon_sim::Duration::from_millis(2));
+        assert_eq!(
+            r.dist(&t, a, b).unwrap(),
+            macedon_sim::Duration::from_millis(2)
+        );
     }
 
     #[test]
@@ -188,10 +189,26 @@ mod tests {
         let h2 = b.add_host();
         let fast = b.add_router();
         let slow = b.add_router();
-        b.add_link(h1, fast, LinkSpec::new(Duration::from_millis(1), 1_000_000, 32_000));
-        b.add_link(fast, h2, LinkSpec::new(Duration::from_millis(1), 1_000_000, 32_000));
-        b.add_link(h1, slow, LinkSpec::new(Duration::from_millis(50), 1_000_000, 32_000));
-        b.add_link(slow, h2, LinkSpec::new(Duration::from_millis(50), 1_000_000, 32_000));
+        b.add_link(
+            h1,
+            fast,
+            LinkSpec::new(Duration::from_millis(1), 1_000_000, 32_000),
+        );
+        b.add_link(
+            fast,
+            h2,
+            LinkSpec::new(Duration::from_millis(1), 1_000_000, 32_000),
+        );
+        b.add_link(
+            h1,
+            slow,
+            LinkSpec::new(Duration::from_millis(50), 1_000_000, 32_000),
+        );
+        b.add_link(
+            slow,
+            h2,
+            LinkSpec::new(Duration::from_millis(50), 1_000_000, 32_000),
+        );
         let t = b.build();
         let mut r = Router::new();
         let path = r.path(&t, h1, h2).unwrap();

@@ -127,7 +127,11 @@ pub struct LinkSpec {
 
 impl LinkSpec {
     pub fn new(delay: Duration, bandwidth_bps: u64, queue_bytes: u32) -> LinkSpec {
-        LinkSpec { delay, bandwidth_bps, queue_bytes }
+        LinkSpec {
+            delay,
+            bandwidth_bps,
+            queue_bytes,
+        }
     }
 
     /// A LAN-ish link: 1 ms, 100 Mbps, 64 KiB queue.
@@ -248,12 +252,20 @@ impl Default for InetParams {
 impl InetParams {
     /// The paper's full-scale configuration: 20,000 routers.
     pub fn paper_scale(clients: usize) -> InetParams {
-        InetParams { routers: 20_000, clients, ..Default::default() }
+        InetParams {
+            routers: 20_000,
+            clients,
+            ..Default::default()
+        }
     }
 
     /// A smaller configuration for unit and integration tests.
     pub fn test_scale(clients: usize) -> InetParams {
-        InetParams { routers: 200, clients, ..Default::default() }
+        InetParams {
+            routers: 200,
+            clients,
+            ..Default::default()
+        }
     }
 }
 
@@ -362,7 +374,11 @@ pub fn transit_stub(p: &TransitStubParams, rng: &mut SimRng) -> Topology {
             }
         }
         if rs.len() > 3 {
-            b.add_link(rs[0], rs[rs.len() / 2], LinkSpec::wan(Duration::from_millis(5)));
+            b.add_link(
+                rs[0],
+                rs[rs.len() / 2],
+                LinkSpec::wan(Duration::from_millis(5)),
+            );
         }
         transit_routers.push(rs);
     }
@@ -385,7 +401,11 @@ pub fn transit_stub(p: &TransitStubParams, rng: &mut SimRng) -> Topology {
                 for w in stub.windows(2) {
                     b.add_link(w[0], w[1], LinkSpec::lan());
                 }
-                b.add_link(stub[0], tr, LinkSpec::wan(Duration::from_millis(2 + rng.gen_range(8))));
+                b.add_link(
+                    stub[0],
+                    tr,
+                    LinkSpec::wan(Duration::from_millis(2 + rng.gen_range(8))),
+                );
                 for i in 0..p.hosts_per_stub {
                     let h = b.add_host();
                     let attach = stub[i % stub.len()];
@@ -579,7 +599,11 @@ mod tests {
     #[test]
     fn inet_shape() {
         let mut rng = SimRng::new(1);
-        let p = InetParams { routers: 100, clients: 20, ..Default::default() };
+        let p = InetParams {
+            routers: 100,
+            clients: 20,
+            ..Default::default()
+        };
         let t = inet(&p, &mut rng);
         assert_eq!(t.hosts().len(), 20);
         assert_eq!(t.num_nodes(), 120);
@@ -605,7 +629,11 @@ mod tests {
     #[test]
     fn inet_degree_distribution_is_skewed() {
         let mut rng = SimRng::new(3);
-        let p = InetParams { routers: 500, clients: 0, ..Default::default() };
+        let p = InetParams {
+            routers: 500,
+            clients: 0,
+            ..Default::default()
+        };
         let t = inet(&p, &mut rng);
         let mut degrees: Vec<usize> = (0..t.num_nodes())
             .map(|i| t.degree(NodeId(i as u32)))
@@ -625,8 +653,10 @@ mod tests {
         let mut rng = SimRng::new(5);
         let p = TransitStubParams::default();
         let t = transit_stub(&p, &mut rng);
-        let expected_hosts =
-            p.transit_domains * p.routers_per_transit * p.stubs_per_transit_router * p.hosts_per_stub;
+        let expected_hosts = p.transit_domains
+            * p.routers_per_transit
+            * p.stubs_per_transit_router
+            * p.hosts_per_stub;
         assert_eq!(t.hosts().len(), expected_hosts);
         for i in 0..t.num_nodes() {
             assert!(t.degree(NodeId(i as u32)) >= 1);
@@ -684,11 +714,7 @@ mod tests {
 
     #[test]
     fn sites_topology() {
-        let lat = vec![
-            vec![0, 30, 60],
-            vec![30, 0, 45],
-            vec![60, 45, 0],
-        ];
+        let lat = vec![vec![0, 30, 60], vec![30, 0, 45], vec![60, 45, 0]];
         let t = canned::sites(&lat, 4, LinkSpec::lan());
         assert_eq!(t.hosts().len(), 12);
         // 3 site routers fully meshed: 3 phys links + 12 access links

@@ -13,8 +13,8 @@
 use crate::common::proto;
 use macedon_core::api::{NBR_TYPE_CHILDREN, NBR_TYPE_PARENT};
 use macedon_core::{
-    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId,
-    ProtocolId, Time, TraceLevel, UpCall, WireReader,
+    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId, ProtocolId,
+    Time, TraceLevel, UpCall, WireReader,
 };
 use std::any::Any;
 use std::collections::HashMap;
@@ -41,7 +41,10 @@ pub struct CostWeights {
 
 impl Default for CostWeights {
     fn default() -> Self {
-        CostWeights { alpha: 1.0, beta: 1.0 }
+        CostWeights {
+            alpha: 1.0,
+            beta: 1.0,
+        }
     }
 }
 
@@ -172,7 +175,13 @@ impl Ammo {
         }
     }
 
-    fn flood_down(&mut self, ctx: &mut Ctx, src: MacedonKey, payload: &Bytes, exclude: Option<NodeId>) {
+    fn flood_down(
+        &mut self,
+        ctx: &mut Ctx,
+        src: MacedonKey,
+        payload: &Bytes,
+        exclude: Option<NodeId>,
+    ) {
         for &c in &self.children.clone() {
             if Some(c) == exclude {
                 continue;
@@ -222,7 +231,9 @@ impl Agent for Ammo {
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
         let mut r = WireReader::new(msg);
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         self.learn(ctx.me, from);
         match ty {
             MSG_JOIN => {
@@ -278,7 +289,10 @@ impl Agent for Ammo {
                 self.root_path = std::iter::once(ctx.me).chain(parent_path).collect();
                 self.propagate_path(ctx);
                 ctx.monitor(from);
-                ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_PARENT, neighbors: vec![from] });
+                ctx.up(UpCall::Notify {
+                    nbr_type: NBR_TYPE_PARENT,
+                    neighbors: vec![from],
+                });
             }
             MSG_REMOVE => {
                 self.children.retain(|&c| c != from);
@@ -292,7 +306,9 @@ impl Agent for Ammo {
                 ctx.send(from, self.cfg.control_ch, w.finish());
             }
             MSG_PROBE_ACK => {
-                let (Ok(ts), Ok(kids)) = (r.u64(), r.u16()) else { return };
+                let (Ok(ts), Ok(kids)) = (r.u64(), r.u16()) else {
+                    return;
+                };
                 let Ok(path) = r.nodes() else { return };
                 self.outstanding.remove(&from);
                 let rtt = Duration::from_micros(ctx.now.as_micros().saturating_sub(ts));
@@ -437,7 +453,13 @@ mod tests {
     fn ammo_world(n: usize, seed: u64) -> (World, Vec<NodeId>, SharedDeliveries) {
         let topo = crate::testutil::star_topology(n);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = AmmoConfig {
@@ -456,7 +478,12 @@ mod tests {
     }
 
     fn am<'a>(w: &'a World, n: NodeId) -> &'a Ammo {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     #[test]
@@ -487,12 +514,19 @@ mod tests {
         w.api_at(
             Time::from_secs(60),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(70));
         let log = sink.lock();
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(9)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(9))
+            .map(|r| r.node)
+            .collect();
         assert_eq!(got.len(), hosts.len() - 1);
     }
 

@@ -116,11 +116,17 @@ impl Bullet {
         if payload.len() < 8 {
             return None;
         }
-        Some(u64::from_be_bytes(payload[..8].try_into().expect("len checked")))
+        Some(u64::from_be_bytes(
+            payload[..8].try_into().expect("len checked"),
+        ))
     }
 
     fn send_direct(&self, ctx: &mut Ctx, to: NodeId, w: WireWriter) {
-        ctx.down(DownCall::RouteIp { dest: to, payload: w.finish(), priority: DEFAULT_PRIORITY });
+        ctx.down(DownCall::RouteIp {
+            dest: to,
+            payload: w.finish(),
+            priority: DEFAULT_PRIORITY,
+        });
     }
 
     fn ticket(&self, ctx: &mut Ctx) -> WireWriter {
@@ -156,12 +162,20 @@ impl Agent for Bullet {
 
     fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
         match call {
-            DownCall::Multicast { group, payload, priority } => {
+            DownCall::Multicast {
+                group,
+                payload,
+                priority,
+            } => {
                 // Source: remember own packets for recovery service.
                 if let Some(id) = Self::packet_id(&payload) {
                     self.stash(id, ctx.my_key, payload.clone());
                 }
-                ctx.down(DownCall::Multicast { group, payload, priority });
+                ctx.down(DownCall::Multicast {
+                    group,
+                    payload,
+                    priority,
+                });
             }
             other => ctx.down(other),
         }
@@ -186,11 +200,17 @@ impl Agent for Bullet {
                     ctx.up(UpCall::Deliver { src, from, payload });
                 }
             }
-            UpCall::Notify { nbr_type, neighbors } => {
+            UpCall::Notify {
+                nbr_type,
+                neighbors,
+            } => {
                 for &n in &neighbors {
                     self.learn(ctx.me, n);
                 }
-                ctx.up(UpCall::Notify { nbr_type, neighbors });
+                ctx.up(UpCall::Notify {
+                    nbr_type,
+                    neighbors,
+                });
             }
             other => ctx.up(other),
         }
@@ -229,7 +249,9 @@ impl Agent for Bullet {
 impl Bullet {
     fn handle_msg(&mut self, ctx: &mut Ctx, from: NodeId, payload: Bytes) {
         let mut r = WireReader::new(payload);
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         self.learn(ctx.me, from);
         match ty {
             MSG_TICKET => {
@@ -275,12 +297,18 @@ impl Bullet {
                 }
             }
             MSG_RECOVER => {
-                let (Ok(id), Ok(src)) = (r.u64(), r.key()) else { return };
+                let (Ok(id), Ok(src)) = (r.u64(), r.key()) else {
+                    return;
+                };
                 let Ok(data) = r.bytes() else { return };
                 if self.stash(id, src, data.clone()) {
                     self.recovered += 1;
                     ctx.trace(TraceLevel::High, format!("bullet: recovered packet {id}"));
-                    ctx.up(UpCall::Deliver { src, from, payload: data });
+                    ctx.up(UpCall::Deliver {
+                        src,
+                        from,
+                        payload: data,
+                    });
                 }
             }
             _ => {}
@@ -310,7 +338,10 @@ mod tests {
 
     #[test]
     fn store_cap_evicts_but_remembers() {
-        let mut b = Bullet::new(BulletConfig { store_cap: 2, ..Default::default() });
+        let mut b = Bullet::new(BulletConfig {
+            store_cap: 2,
+            ..Default::default()
+        });
         b.stash(1, MacedonKey(0), Bytes::from_static(b"a"));
         b.stash(2, MacedonKey(0), Bytes::from_static(b"b"));
         b.stash(3, MacedonKey(0), Bytes::from_static(b"c"));

@@ -147,7 +147,11 @@ impl Chord {
     }
 
     /// Highest-preceding known node for `target` (fingers ∪ successors).
-    fn closest_preceding(&self, me: MacedonKey, target: MacedonKey) -> Option<(NodeId, MacedonKey)> {
+    fn closest_preceding(
+        &self,
+        me: MacedonKey,
+        target: MacedonKey,
+    ) -> Option<(NodeId, MacedonKey)> {
         let mut best: Option<(NodeId, MacedonKey)> = None;
         let consider = |best: &mut Option<(NodeId, MacedonKey)>, cand: (NodeId, MacedonKey)| {
             if cand.1.in_open(me, target) {
@@ -181,11 +185,7 @@ impl Chord {
     ) {
         let me = ctx.my_key;
         if self.succs.is_empty() || self.succ_owns(me, target) {
-            let (snode, skey) = self
-                .succs
-                .first()
-                .copied()
-                .unwrap_or((ctx.me, me));
+            let (snode, skey) = self.succs.first().copied().unwrap_or((ctx.me, me));
             let mut w = proto_header(proto::CHORD, MSG_FOUND);
             w.key(target).u8(purpose).u8(idx).node(snode).key(skey);
             self.send_msg(ctx, origin, self.cfg.control_ch, w);
@@ -228,7 +228,11 @@ impl Chord {
                 None => false,
             };
         if i_own {
-            ctx.up(UpCall::Deliver { src, from: prev_hop, payload });
+            ctx.up(UpCall::Deliver {
+                src,
+                from: prev_hop,
+                payload,
+            });
             return;
         }
         let (next, final_hop) = if self.succ_owns(me, dest) {
@@ -580,7 +584,12 @@ mod tests {
     }
 
     fn chord_of(w: &World, n: NodeId) -> &Chord {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     #[test]
@@ -630,7 +639,11 @@ mod tests {
             w.api_at(
                 Time::from_secs(60) + Duration::from_millis(i * 10),
                 src,
-                DownCall::Route { dest, payload: Bytes::from(payload), priority: -1 },
+                DownCall::Route {
+                    dest,
+                    payload: Bytes::from(payload),
+                    priority: -1,
+                },
             );
         }
         w.run_until(Time::from_secs(90));
@@ -727,7 +740,10 @@ mod tests {
         }
         assert!(total > 0);
         let frac = good as f64 / total as f64;
-        assert!(frac > 0.9, "correct finger fraction {frac} ({good}/{total})");
+        assert!(
+            frac > 0.9,
+            "correct finger fraction {frac} ({good}/{total})"
+        );
     }
 
     #[test]
@@ -739,7 +755,11 @@ mod tests {
         w.api_at(
             Time::from_secs(30),
             hosts[0],
-            DownCall::RouteIp { dest: hosts[3], payload: Bytes::from(payload), priority: -1 },
+            DownCall::RouteIp {
+                dest: hosts[3],
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(31));
         let log = sink.lock();

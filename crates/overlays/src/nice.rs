@@ -26,8 +26,8 @@
 use crate::common::proto;
 use macedon_core::api::NBR_TYPE_PEERS;
 use macedon_core::{
-    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId,
-    ProtocolId, TraceLevel, UpCall, WireReader, WireWriter,
+    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId, ProtocolId,
+    TraceLevel, UpCall, WireReader, WireWriter,
 };
 use std::any::Any;
 use std::collections::HashMap;
@@ -90,7 +90,10 @@ struct Cluster {
 
 impl Default for Cluster {
     fn default() -> Self {
-        Cluster { members: Vec::new(), leader: NodeId(u32::MAX) }
+        Cluster {
+            members: Vec::new(),
+            leader: NodeId(u32::MAX),
+        }
     }
 }
 
@@ -140,7 +143,10 @@ impl Nice {
     }
 
     pub fn cluster_members(&self, layer: usize) -> Vec<NodeId> {
-        self.clusters.get(layer).map(|c| c.members.clone()).unwrap_or_default()
+        self.clusters
+            .get(layer)
+            .map(|c| c.members.clone())
+            .unwrap_or_default()
     }
 
     pub fn cluster_leader(&self, layer: usize) -> Option<NodeId> {
@@ -167,7 +173,10 @@ impl Nice {
         match self.cfg.rendezvous {
             None => {
                 // The RP seeds the hierarchy as a singleton L0 cluster.
-                self.clusters = vec![Cluster { members: vec![ctx.me], leader: ctx.me }];
+                self.clusters = vec![Cluster {
+                    members: vec![ctx.me],
+                    leader: ctx.me,
+                }];
                 self.joined = true;
             }
             Some(rp) => {
@@ -181,7 +190,9 @@ impl Nice {
 
     /// Leader broadcast of one cluster's membership.
     fn broadcast_update(&mut self, ctx: &mut Ctx, layer: usize) {
-        let Some(c) = self.clusters.get(layer) else { return };
+        let Some(c) = self.clusters.get(layer) else {
+            return;
+        };
         let (members, leader) = (c.members.clone(), c.leader);
         for &m in &members {
             if m == ctx.me {
@@ -194,7 +205,13 @@ impl Nice {
     }
 
     /// Install (or replace) my view of the cluster at `layer`.
-    fn install_cluster(&mut self, ctx: &mut Ctx, layer: usize, leader: NodeId, members: Vec<NodeId>) {
+    fn install_cluster(
+        &mut self,
+        ctx: &mut Ctx,
+        layer: usize,
+        leader: NodeId,
+        members: Vec<NodeId>,
+    ) {
         if !members.contains(&ctx.me) {
             // We were dropped from this cluster (merge/split elsewhere).
             if layer < self.clusters.len() && !self.i_lead(layer, ctx.me) {
@@ -205,7 +222,10 @@ impl Nice {
         while self.clusters.len() <= layer {
             self.clusters.push(Cluster::default());
         }
-        self.clusters[layer] = Cluster { members: members.clone(), leader };
+        self.clusters[layer] = Cluster {
+            members: members.clone(),
+            leader,
+        };
         self.joined = true;
         // If I'm not the leader, I must not be in any layer above this one.
         if leader != ctx.me {
@@ -216,11 +236,17 @@ impl Nice {
                 ctx.monitor(m);
             }
         }
-        ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_PEERS, neighbors: members });
+        ctx.up(UpCall::Notify {
+            nbr_type: NBR_TYPE_PEERS,
+            neighbors: members,
+        });
     }
 
     fn i_lead(&self, layer: usize, me: NodeId) -> bool {
-        self.clusters.get(layer).map(|c| c.leader == me).unwrap_or(false)
+        self.clusters
+            .get(layer)
+            .map(|c| c.leader == me)
+            .unwrap_or(false)
     }
 
     /// Leader maintenance for one layer: re-center, split, merge.
@@ -243,7 +269,10 @@ impl Nice {
             } else {
                 (b.clone(), a, la)
             };
-            self.clusters[layer] = Cluster { members: mine, leader: me };
+            self.clusters[layer] = Cluster {
+                members: mine,
+                leader: me,
+            };
             self.broadcast_update(ctx, layer);
             // Hand the other half to its center.
             let mut w = proto_header(proto::NICE, MSG_LEADER_TRANSFER);
@@ -322,7 +351,9 @@ impl Nice {
     }
 
     fn broadcast_update_with_leader(&mut self, ctx: &mut Ctx, layer: usize, leader: NodeId) {
-        let Some(c) = self.clusters.get(layer) else { return };
+        let Some(c) = self.clusters.get(layer) else {
+            return;
+        };
         let members = c.members.clone();
         for &m in &members {
             if m == ctx.me {
@@ -351,7 +382,10 @@ impl Nice {
         } else {
             // I was the top: create a new top layer for the two of us.
             let me = ctx.me;
-            self.clusters.push(Cluster { members: vec![me, node], leader: me });
+            self.clusters.push(Cluster {
+                members: vec![me, node],
+                leader: me,
+            });
             self.broadcast_update(ctx, upper);
         }
     }
@@ -423,7 +457,9 @@ impl Nice {
             u64::from_be_bytes(payload[..8].try_into().expect("len checked"))
         } else {
             // Small control-ish payloads: hash the bytes.
-            payload.iter().fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(b as u64))
+            payload
+                .iter()
+                .fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(b as u64))
         };
         self.seen.insert((src.0, seq))
     }
@@ -431,7 +467,14 @@ impl Nice {
     /// The NICE forwarding rule: forward to every cluster-mate at every
     /// layer except where the packet came from; per-packet dedup makes
     /// over-forwarding under stale views harmless.
-    fn forward_data(&mut self, ctx: &mut Ctx, src: MacedonKey, payload: &Bytes, from: NodeId, from_layer: Option<usize>) {
+    fn forward_data(
+        &mut self,
+        ctx: &mut Ctx,
+        src: MacedonKey,
+        payload: &Bytes,
+        from: NodeId,
+        from_layer: Option<usize>,
+    ) {
         let _ = from_layer;
         let mut sent: Vec<NodeId> = vec![from, ctx.me];
         for c in self.clusters.clone() {
@@ -490,13 +533,17 @@ impl Agent for Nice {
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
         let mut r = WireReader::new(msg);
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         match ty {
             MSG_QUERY => {
                 let Ok(level) = r.u32() else { return };
                 // Answer with my cluster at min(level, my top layer).
                 let layer = (level as usize).min(self.top_layer());
-                let Some(c) = self.clusters.get(layer) else { return };
+                let Some(c) = self.clusters.get(layer) else {
+                    return;
+                };
                 let mut w = proto_header(proto::NICE, MSG_QUERY_RESP);
                 w.u32(layer as u32).node(c.leader).nodes(&c.members);
                 self.send(ctx, from, self.cfg.control_ch, w);
@@ -521,7 +568,9 @@ impl Agent for Nice {
                 ctx.timer_set(TIMER_JOIN_RETRY, Duration::from_millis(500));
             }
             MSG_JOIN_REQ => {
-                let (Ok(layer), Ok(who)) = (r.u32(), r.node()) else { return };
+                let (Ok(layer), Ok(who)) = (r.u32(), r.node()) else {
+                    return;
+                };
                 let layer = layer as usize;
                 if !self.i_lead(layer, ctx.me) {
                     // Redirect to the real leader if known.
@@ -560,24 +609,33 @@ impl Agent for Nice {
                 let Ok(count) = r.u16() else { return };
                 let mut map = HashMap::new();
                 for _ in 0..count {
-                    let (Ok(n), Ok(v)) = (r.node(), r.u64()) else { return };
+                    let (Ok(n), Ok(v)) = (r.node(), r.u64()) else {
+                        return;
+                    };
                     map.insert(n, v);
                 }
                 self.reports.insert(from, map);
             }
             MSG_LEADER_TRANSFER => {
-                let (Ok(layer), Ok(members)) = (r.u32(), r.nodes()) else { return };
+                let (Ok(layer), Ok(members)) = (r.u32(), r.nodes()) else {
+                    return;
+                };
                 let layer = layer as usize;
                 let me = ctx.me;
                 while self.clusters.len() <= layer {
                     self.clusters.push(Cluster::default());
                 }
-                self.clusters[layer] = Cluster { members, leader: me };
+                self.clusters[layer] = Cluster {
+                    members,
+                    leader: me,
+                };
                 self.joined = true;
                 self.broadcast_update(ctx, layer);
             }
             MSG_LEAVE_LAYER => {
-                let (Ok(layer), Ok(who)) = (r.u32(), r.node()) else { return };
+                let (Ok(layer), Ok(who)) = (r.u32(), r.node()) else {
+                    return;
+                };
                 let layer = layer as usize;
                 if self.i_lead(layer, ctx.me) {
                     self.clusters[layer].members.retain(|&m| m != who);
@@ -585,7 +643,9 @@ impl Agent for Nice {
                 }
             }
             MSG_DATA => {
-                let (Ok(src), Ok(_hint)) = (r.key(), r.u32()) else { return };
+                let (Ok(src), Ok(_hint)) = (r.key(), r.u32()) else {
+                    return;
+                };
                 let Ok(payload) = r.bytes() else { return };
                 if !self.mark_seen(src, &payload) {
                     return; // duplicate
@@ -727,13 +787,33 @@ mod tests {
     use macedon_core::{Time, World, WorldConfig};
     use macedon_net::topology::{canned, LinkSpec};
 
-    fn nice_world(sites: usize, per_site: usize, seed: u64) -> (World, Vec<NodeId>, SharedDeliveries) {
+    fn nice_world(
+        sites: usize,
+        per_site: usize,
+        seed: u64,
+    ) -> (World, Vec<NodeId>, SharedDeliveries) {
         let lat: Vec<Vec<u64>> = (0..sites)
-            .map(|i| (0..sites).map(|j| if i == j { 0 } else { 20 + 10 * ((i + j) as u64 % 4) }).collect())
+            .map(|i| {
+                (0..sites)
+                    .map(|j| {
+                        if i == j {
+                            0
+                        } else {
+                            20 + 10 * ((i + j) as u64 % 4)
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         let topo = canned::sites(&lat, per_site, LinkSpec::lan());
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = NiceConfig {
@@ -751,7 +831,12 @@ mod tests {
     }
 
     fn nice_of<'a>(w: &'a World, n: NodeId) -> &'a Nice {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     #[test]
@@ -773,7 +858,10 @@ mod tests {
         for &h in &hosts {
             let n = nice_of(&w, h);
             let size = n.cluster_members(0).len();
-            assert!(size <= 3 * k + 2, "{h:?} cluster size {size} way out of bounds");
+            assert!(
+                size <= 3 * k + 2,
+                "{h:?} cluster size {size} way out of bounds"
+            );
         }
         // At least one split must have happened with 15 members and k=3.
         let total_splits: u32 = hosts.iter().map(|&h| nice_of(&w, h).splits).sum();
@@ -789,12 +877,19 @@ mod tests {
         w.api_at(
             Time::from_secs(180),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(200));
         let log = sink.lock();
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(5)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(5))
+            .map(|r| r.node)
+            .collect();
         // NICE under churnless convergence should reach everyone; allow
         // one straggler for mid-maintenance windows.
         assert!(
@@ -807,7 +902,10 @@ mod tests {
 
     #[test]
     fn rtt_binning_rounds_down() {
-        let mut n = Nice::new(NiceConfig { probe_binning: true, ..Default::default() });
+        let mut n = Nice::new(NiceConfig {
+            probe_binning: true,
+            ..Default::default()
+        });
         n.rtt.insert(NodeId(1), 44_000); // 44 ms → 30 ms bin
         assert_eq!(n.rtt_of(NodeId(1)), 30_000);
         let mut n2 = Nice::new(NiceConfig::default());
@@ -821,18 +919,30 @@ mod tests {
         // Two latency islands: {1,2,3} and {4,5,6}.
         for a in 1..=3u32 {
             for b in 1..=3u32 {
-                n.reports.entry(NodeId(a)).or_default().insert(NodeId(b), 1_000);
+                n.reports
+                    .entry(NodeId(a))
+                    .or_default()
+                    .insert(NodeId(b), 1_000);
             }
         }
         for a in 4..=6u32 {
             for b in 4..=6u32 {
-                n.reports.entry(NodeId(a)).or_default().insert(NodeId(b), 1_000);
+                n.reports
+                    .entry(NodeId(a))
+                    .or_default()
+                    .insert(NodeId(b), 1_000);
             }
         }
         for a in 1..=3u32 {
             for b in 4..=6u32 {
-                n.reports.entry(NodeId(a)).or_default().insert(NodeId(b), 80_000);
-                n.reports.entry(NodeId(b)).or_default().insert(NodeId(a), 80_000);
+                n.reports
+                    .entry(NodeId(a))
+                    .or_default()
+                    .insert(NodeId(b), 80_000);
+                n.reports
+                    .entry(NodeId(b))
+                    .or_default()
+                    .insert(NodeId(a), 80_000);
             }
         }
         let members: Vec<NodeId> = (1..=6).map(NodeId).collect();

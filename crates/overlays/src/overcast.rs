@@ -16,8 +16,8 @@
 use crate::common::proto;
 use macedon_core::api::{NBR_TYPE_CHILDREN, NBR_TYPE_PARENT};
 use macedon_core::{
-    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId,
-    ProtocolId, Time, TraceLevel, UpCall, WireReader,
+    proto_header, Agent, Bytes, ChannelId, Ctx, DownCall, Duration, MacedonKey, NodeId, ProtocolId,
+    Time, TraceLevel, UpCall, WireReader,
 };
 use std::any::Any;
 use std::collections::HashMap;
@@ -158,7 +158,10 @@ impl Overcast {
     }
 
     fn change_state(&mut self, ctx: &mut Ctx, to: OvercastState) {
-        ctx.trace(TraceLevel::High, format!("overcast: {:?} -> {to:?}", self.state));
+        ctx.trace(
+            TraceLevel::High,
+            format!("overcast: {:?} -> {to:?}", self.state),
+        );
         self.state = to;
     }
 
@@ -218,7 +221,13 @@ impl Overcast {
         }
     }
 
-    fn flood_down(&mut self, ctx: &mut Ctx, src: MacedonKey, payload: &Bytes, exclude: Option<NodeId>) {
+    fn flood_down(
+        &mut self,
+        ctx: &mut Ctx,
+        src: MacedonKey,
+        payload: &Bytes,
+        exclude: Option<NodeId>,
+    ) {
         for &c in &self.children {
             if Some(c) == exclude {
                 continue;
@@ -282,7 +291,9 @@ impl Agent for Overcast {
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
         let mut r = WireReader::new(msg);
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         match (self.state, ty) {
             // "!(joining|init) recv join" — figure scoping.
             (OvercastState::Joined | OvercastState::Probing | OvercastState::Probed, MSG_JOIN) => {
@@ -305,10 +316,16 @@ impl Agent for Overcast {
                 // response=1; grandparent-for-child = me's parent is not
                 // needed — the *child's* grandparent is my parent; its
                 // siblings are my other children.
-                let siblings: Vec<NodeId> =
-                    self.children.iter().copied().filter(|&c| c != joiner).collect();
+                let siblings: Vec<NodeId> = self
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != joiner)
+                    .collect();
                 let mut w = proto_header(proto::OVERCAST, MSG_JOIN_REPLY);
-                w.i32(1).node(self.parent.unwrap_or(ctx.me)).nodes(&siblings);
+                w.i32(1)
+                    .node(self.parent.unwrap_or(ctx.me))
+                    .nodes(&siblings);
                 ctx.send(joiner, self.cfg.control_ch, w.finish());
                 ctx.up(UpCall::Notify {
                     nbr_type: NBR_TYPE_CHILDREN,
@@ -328,7 +345,10 @@ impl Agent for Overcast {
                     self.rejoin_to = None;
                     ctx.monitor(from);
                     self.change_state(ctx, OvercastState::Joined);
-                    ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_PARENT, neighbors: vec![from] });
+                    ctx.up(UpCall::Notify {
+                        nbr_type: NBR_TYPE_PARENT,
+                        neighbors: vec![from],
+                    });
                 } else {
                     // Deflected: retry through the suggested node.
                     self.send_join(ctx, aux);
@@ -372,7 +392,9 @@ impl Agent for Overcast {
                 }
             }
             (_, MSG_DATA_UP) => {
-                let (Ok(src), Ok(payload)) = (r.key(), r.bytes()) else { return };
+                let (Ok(src), Ok(payload)) = (r.key(), r.bytes()) else {
+                    return;
+                };
                 if self.is_root() {
                     self.flood_down(ctx, src, &payload, None);
                     if src != ctx.my_key {
@@ -423,7 +445,9 @@ impl Agent for Overcast {
             }
             // "Timer Z expires, # probes > 0": emit the next probe.
             (_, TIMER_Z) => {
-                let Some(target) = self.probe_target else { return };
+                let Some(target) = self.probe_target else {
+                    return;
+                };
                 if self.probes_to_send > 0 {
                     self.probes_to_send -= 1;
                     let mut w = proto_header(proto::OVERCAST, MSG_PROBE);
@@ -485,13 +509,24 @@ mod tests {
     use macedon_net::topology::{LinkSpec, TopologyBuilder};
 
     fn oc<'a>(w: &'a World, n: NodeId) -> &'a Overcast {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     fn star_world(n: usize, seed: u64) -> (World, Vec<NodeId>, SharedDeliveries) {
         let topo = crate::testutil::star_topology(n);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = OvercastConfig {
@@ -524,7 +559,10 @@ mod tests {
         for &h in &hosts {
             let o = oc(&w, h);
             assert!(
-                matches!(o.state(), OvercastState::Joined | OvercastState::Probed | OvercastState::Probing),
+                matches!(
+                    o.state(),
+                    OvercastState::Joined | OvercastState::Probed | OvercastState::Probing
+                ),
                 "{h:?} in {:?}",
                 o.state()
             );
@@ -554,12 +592,19 @@ mod tests {
         w.api_at(
             Time::from_secs(60),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(70));
         let log = sink.lock();
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(11)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(11))
+            .map(|r| r.node)
+            .collect();
         assert_eq!(got.len(), hosts.len() - 1);
     }
 
@@ -573,12 +618,19 @@ mod tests {
         w.api_at(
             Time::from_secs(60),
             leaf,
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(70));
         let log = sink.lock();
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(22)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(22))
+            .map(|r| r.node)
+            .collect();
         // Everyone (including the root, excluding the source) delivers.
         assert!(got.contains(&hosts[0]));
         assert_eq!(got.len(), hosts.len() - 1);
@@ -598,7 +650,13 @@ mod tests {
         b.add_link(s, hub, LinkSpec::access(100_000_000)); // fast sibling
         b.add_link(x, hub, LinkSpec::access(100_000_000));
         let topo = b.build();
-        let mut w = World::new(topo, WorldConfig { seed: 11, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 11,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         let fast_probe = |boot: Option<NodeId>| OvercastConfig {
             bootstrap: boot,
@@ -608,9 +666,24 @@ mod tests {
             relocate_factor: 1.25,
             ..Default::default()
         };
-        w.spawn_at(Time::ZERO, root, vec![Box::new(Overcast::new(fast_probe(None)))], Box::new(CollectorApp::new(sink.clone())));
-        w.spawn_at(Time::from_millis(100), s, vec![Box::new(Overcast::new(fast_probe(Some(root))))], Box::new(CollectorApp::new(sink.clone())));
-        w.spawn_at(Time::from_millis(200), x, vec![Box::new(Overcast::new(fast_probe(Some(root))))], Box::new(CollectorApp::new(sink.clone())));
+        w.spawn_at(
+            Time::ZERO,
+            root,
+            vec![Box::new(Overcast::new(fast_probe(None)))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
+        w.spawn_at(
+            Time::from_millis(100),
+            s,
+            vec![Box::new(Overcast::new(fast_probe(Some(root))))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
+        w.spawn_at(
+            Time::from_millis(200),
+            x,
+            vec![Box::new(Overcast::new(fast_probe(Some(root))))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
         w.run_until(Time::from_secs(120));
         let ox = oc(&w, x);
         assert!(ox.relocations >= 1, "x relocated at least once");
@@ -622,13 +695,10 @@ mod tests {
         let (mut w, hosts, _s) = star_world(8, 13);
         w.run_until(Time::from_secs(60));
         // Find a depth-2 node (parent != root).
-        let deep = hosts[1..]
-            .iter()
-            .copied()
-            .find(|&h| {
-                let p = oc(&w, h).parent();
-                p.is_some() && p != Some(hosts[0])
-            });
+        let deep = hosts[1..].iter().copied().find(|&h| {
+            let p = oc(&w, h).parent();
+            p.is_some() && p != Some(hosts[0])
+        });
         let Some(victim_child) = deep else {
             // Tree may be flat with small n; acceptable.
             return;

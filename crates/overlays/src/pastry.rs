@@ -152,7 +152,10 @@ impl Pastry {
         }
         let me = ctx.my_key;
         // Leaf sets: keep the closest `leaf_half` on each side.
-        let insert = |list: &mut Vec<(NodeId, MacedonKey)>, dist: fn(MacedonKey, MacedonKey) -> u64, me: MacedonKey, half: usize| {
+        let insert = |list: &mut Vec<(NodeId, MacedonKey)>,
+                      dist: fn(MacedonKey, MacedonKey) -> u64,
+                      me: MacedonKey,
+                      half: usize| {
             if list.iter().any(|&(n, _)| n == node) {
                 return false;
             }
@@ -163,8 +166,18 @@ impl Pastry {
             list.truncate(half);
             grew
         };
-        let cw_new = insert(&mut self.leaf_cw, |me, k| me.distance_to(k), me, self.cfg.leaf_half);
-        let ccw_new = insert(&mut self.leaf_ccw, |me, k| k.distance_to(me), me, self.cfg.leaf_half);
+        let cw_new = insert(
+            &mut self.leaf_cw,
+            |me, k| me.distance_to(k),
+            me,
+            self.cfg.leaf_half,
+        );
+        let ccw_new = insert(
+            &mut self.leaf_ccw,
+            |me, k| k.distance_to(me),
+            me,
+            self.cfg.leaf_half,
+        );
         if cw_new || ccw_new {
             ctx.monitor(node);
         }
@@ -195,8 +208,7 @@ impl Pastry {
     /// Is `dest` within the span of my leaf set (so the numerically
     /// closest leaf is the true owner)?
     fn in_leaf_range(&self, dest: MacedonKey) -> bool {
-        let (Some(&(_, cw_far)), Some(&(_, ccw_far))) =
-            (self.leaf_cw.last(), self.leaf_ccw.last())
+        let (Some(&(_, cw_far)), Some(&(_, ccw_far))) = (self.leaf_cw.last(), self.leaf_ccw.last())
         else {
             // No leaves at all: we are (as far as we know) alone.
             return true;
@@ -263,7 +275,11 @@ impl Pastry {
                 // The wants_location owner case is intercepted by
                 // route_data_full before reaching here.
                 debug_assert!(!wants_location);
-                ctx.up(UpCall::Deliver { src, from: prev_hop, payload });
+                ctx.up(UpCall::Deliver {
+                    src,
+                    from: prev_hop,
+                    payload,
+                });
             }
             Some((n, _)) => {
                 self.forwarded += 1;
@@ -297,7 +313,11 @@ impl Pastry {
             let mut w = proto_header(proto::PASTRY, MSG_LOCATION);
             w.key(dest).key(me);
             ctx.send(origin, self.cfg.control_ch, w.finish());
-            ctx.up(UpCall::Deliver { src, from: prev_hop, payload });
+            ctx.up(UpCall::Deliver {
+                src,
+                from: prev_hop,
+                payload,
+            });
             return;
         }
         // Stash origin by tunneling it in the wire format (see recv).
@@ -307,15 +327,13 @@ impl Pastry {
 
     fn cache_lookup(&mut self, key: MacedonKey, now: Time) -> Option<NodeId> {
         match self.location_cache.get(&key) {
-            Some(&(node, inserted)) => {
-                match self.cfg.cache_lifetime {
-                    Some(ttl) if now.saturating_since(inserted) > ttl => {
-                        self.location_cache.remove(&key);
-                        None
-                    }
-                    _ => Some(node),
+            Some(&(node, inserted)) => match self.cfg.cache_lifetime {
+                Some(ttl) if now.saturating_since(inserted) > ttl => {
+                    self.location_cache.remove(&key);
+                    None
                 }
-            }
+                _ => Some(node),
+            },
             None => None,
         }
     }
@@ -403,9 +421,14 @@ impl Agent for Pastry {
                 w.bytes(&payload);
                 ctx.send(dest, self.cfg.data_ch, w.finish());
             }
-            DownCall::Ext { op: EXT_ROUTE_DIRECT, payload } => {
+            DownCall::Ext {
+                op: EXT_ROUTE_DIRECT,
+                payload,
+            } => {
                 let mut r = WireReader::new(payload);
-                let (Ok(dest), Ok(inner)) = (r.key(), r.bytes()) else { return };
+                let (Ok(dest), Ok(inner)) = (r.key(), r.bytes()) else {
+                    return;
+                };
                 if self.joined {
                     self.handle_route_direct(ctx, dest, inner);
                 } else {
@@ -440,7 +463,9 @@ impl Agent for Pastry {
         let Ok(ty) = r.u16() else { return };
         match ty {
             MSG_JOIN => {
-                let (Ok(joiner), Ok(jkey)) = (r.node(), r.key()) else { return };
+                let (Ok(joiner), Ok(jkey)) = (r.node(), r.key()) else {
+                    return;
+                };
                 if joiner == ctx.me {
                     return;
                 }
@@ -467,19 +492,22 @@ impl Agent for Pastry {
                 }
             }
             MSG_STATE => {
-                let (Ok(fin), Ok(fkey)) = (r.u8(), r.key()) else { return };
+                let (Ok(fin), Ok(fkey)) = (r.u8(), r.key()) else {
+                    return;
+                };
                 let Ok(count) = r.u16() else { return };
                 self.add_node(ctx, from, fkey);
                 for _ in 0..count {
-                    let (Ok(n), Ok(k)) = (r.node(), r.key()) else { return };
+                    let (Ok(n), Ok(k)) = (r.node(), r.key()) else {
+                        return;
+                    };
                     self.add_node(ctx, n, k);
                 }
                 if fin == 1 && !self.joined {
                     self.joined = true;
                     self.announce(ctx);
                     self.flush_pending(ctx);
-                    let neighbors: Vec<NodeId> =
-                        self.leaf_set().iter().map(|&(n, _)| n).collect();
+                    let neighbors: Vec<NodeId> = self.leaf_set().iter().map(|&(n, _)| n).collect();
                     ctx.up(UpCall::Notify {
                         nbr_type: macedon_core::api::NBR_TYPE_PEERS,
                         neighbors,
@@ -491,8 +519,7 @@ impl Agent for Pastry {
                 self.add_node(ctx, from, k);
             }
             MSG_DATA => {
-                let (Ok(src), Ok(origin), Ok(dest), Ok(wl)) =
-                    (r.key(), r.node(), r.key(), r.u8())
+                let (Ok(src), Ok(origin), Ok(dest), Ok(wl)) = (r.key(), r.node(), r.key(), r.u8())
                 else {
                     return;
                 };
@@ -507,12 +534,16 @@ impl Agent for Pastry {
             MSG_LEAFSET => {
                 let Ok(count) = r.u16() else { return };
                 for _ in 0..count {
-                    let (Ok(n), Ok(k)) = (r.node(), r.key()) else { return };
+                    let (Ok(n), Ok(k)) = (r.node(), r.key()) else {
+                        return;
+                    };
                     self.add_node(ctx, n, k);
                 }
             }
             MSG_LOCATION => {
-                let (Ok(dest), Ok(_owner_key)) = (r.key(), r.key()) else { return };
+                let (Ok(dest), Ok(_owner_key)) = (r.key(), r.key()) else {
+                    return;
+                };
                 self.location_cache.insert(dest, (from, ctx.now));
             }
             _ => {}
@@ -564,7 +595,12 @@ mod tests {
     use macedon_core::{Time, WireWriter, World};
 
     fn pastry_of(w: &World, n: NodeId) -> &Pastry {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     /// Globally closest node to a key by ring distance (Pastry ownership).
@@ -621,7 +657,11 @@ mod tests {
             w.api_at(
                 Time::from_secs(60) + Duration::from_millis(i * 10),
                 hosts[(i % 16) as usize],
-                DownCall::Route { dest, payload: Bytes::from(payload), priority: -1 },
+                DownCall::Route {
+                    dest,
+                    payload: Bytes::from(payload),
+                    priority: -1,
+                },
             );
         }
         w.run_until(Time::from_secs(90));
@@ -675,7 +715,10 @@ mod tests {
             w.api_at(
                 at,
                 hosts[0],
-                DownCall::Ext { op: EXT_ROUTE_DIRECT, payload: pw.finish() },
+                DownCall::Ext {
+                    op: EXT_ROUTE_DIRECT,
+                    payload: pw.finish(),
+                },
             );
         };
         send_direct(&mut w, Time::from_secs(30), 1);
@@ -687,7 +730,10 @@ mod tests {
         assert_eq!(p.cache_hits, 1, "second send hits");
         // Both payloads reached the key owner = hosts[5] itself.
         let log = sink.lock();
-        let mine: Vec<_> = log.iter().filter(|r| r.seqno == Some(1) || r.seqno == Some(2)).collect();
+        let mine: Vec<_> = log
+            .iter()
+            .filter(|r| r.seqno == Some(1) || r.seqno == Some(2))
+            .collect();
         assert_eq!(mine.len(), 2);
         assert!(mine.iter().all(|r| r.node == hosts[5]));
     }
@@ -696,7 +742,13 @@ mod tests {
     fn cache_lifetime_evicts() {
         let topo = crate::testutil::star_topology(6);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, macedon_core::WorldConfig { seed: 77, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            macedon_core::WorldConfig {
+                seed: 77,
+                ..Default::default()
+            },
+        );
         let sink = macedon_core::app::shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = PastryConfig {
@@ -717,12 +769,32 @@ mod tests {
         pw.key(target_key);
         pw.bytes(&vec![0u8; 16]);
         let payload = pw.finish();
-        w.api_at(Time::from_secs(20), hosts[0], DownCall::Ext { op: EXT_ROUTE_DIRECT, payload: payload.clone() });
+        w.api_at(
+            Time::from_secs(20),
+            hosts[0],
+            DownCall::Ext {
+                op: EXT_ROUTE_DIRECT,
+                payload: payload.clone(),
+            },
+        );
         w.run_until(Time::from_secs(21));
         // Wait past the lifetime: next send must miss again.
-        w.api_at(Time::from_secs(25), hosts[0], DownCall::Ext { op: EXT_ROUTE_DIRECT, payload });
+        w.api_at(
+            Time::from_secs(25),
+            hosts[0],
+            DownCall::Ext {
+                op: EXT_ROUTE_DIRECT,
+                payload,
+            },
+        );
         w.run_until(Time::from_secs(26));
-        let p: &Pastry = w.stack(hosts[0]).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let p: &Pastry = w
+            .stack(hosts[0])
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(p.cache_misses, 2, "expired entry forces re-resolution");
     }
 

@@ -139,7 +139,11 @@ impl Agent for RandTree {
                 // Deliver locally too: the source is a member.
                 self.flood(ctx, src, &payload, None);
             }
-            DownCall::RouteIp { dest, payload, priority } => {
+            DownCall::RouteIp {
+                dest,
+                payload,
+                priority,
+            } => {
                 let _ = priority;
                 let mut w = proto_header(proto::RANDTREE, MSG_DATA);
                 w.key(ctx.my_key);
@@ -157,7 +161,9 @@ impl Agent for RandTree {
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
         let mut r = WireReader::new(msg);
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         match ty {
             MSG_JOIN => {
                 let Ok(joiner) = r.node() else { return };
@@ -185,7 +191,10 @@ impl Agent for RandTree {
                 self.parent = Some(from);
                 self.joined = true;
                 ctx.monitor(from);
-                ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_PARENT, neighbors: vec![from] });
+                ctx.up(UpCall::Notify {
+                    nbr_type: NBR_TYPE_PARENT,
+                    neighbors: vec![from],
+                });
             }
             MSG_DATA => {
                 let Ok(src) = r.key() else { return };
@@ -226,10 +235,20 @@ mod tests {
     use macedon_core::app::{shared_deliveries, CollectorApp};
     use macedon_core::{Time, World, WorldConfig};
 
-    fn tree_world(n: usize, max_children: usize, seed: u64) -> (World, Vec<NodeId>, macedon_core::app::SharedDeliveries) {
+    fn tree_world(
+        n: usize,
+        max_children: usize,
+        seed: u64,
+    ) -> (World, Vec<NodeId>, macedon_core::app::SharedDeliveries) {
         let topo = crate::testutil::star_topology(n);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let sink = shared_deliveries();
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = RandTreeConfig {
@@ -248,7 +267,12 @@ mod tests {
     }
 
     fn rt<'a>(w: &'a World, n: NodeId) -> &'a RandTree {
-        w.stack(n).unwrap().agent(0).as_any().downcast_ref().unwrap()
+        w.stack(n)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap()
     }
 
     #[test]
@@ -289,12 +313,19 @@ mod tests {
         w.api_at(
             Time::from_secs(30),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(35));
         let log = sink.lock();
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(42)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(42))
+            .map(|r| r.node)
+            .collect();
         // Every node except the source delivers.
         assert_eq!(got.len(), hosts.len() - 1);
     }
@@ -309,13 +340,24 @@ mod tests {
         w.api_at(
             Time::from_secs(30),
             leaf,
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(payload), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(payload),
+                priority: -1,
+            },
         );
         w.run_until(Time::from_secs(35));
         let log = sink.lock();
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(77)).map(|r| r.node).collect();
-        assert_eq!(got.len(), hosts.len() - 1, "all but the leaf source deliver");
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(77))
+            .map(|r| r.node)
+            .collect();
+        assert_eq!(
+            got.len(),
+            hosts.len() - 1,
+            "all but the leaf source deliver"
+        );
     }
 
     #[test]

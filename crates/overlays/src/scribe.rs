@@ -68,7 +68,10 @@ pub struct ScribeConfig {
 
 impl Default for ScribeConfig {
     fn default() -> Self {
-        ScribeConfig { data_path: DataPath::RouteIp, max_children: None }
+        ScribeConfig {
+            data_path: DataPath::RouteIp,
+            max_children: None,
+        }
     }
 }
 
@@ -94,7 +97,11 @@ pub struct Scribe {
 
 impl Scribe {
     pub fn new(cfg: ScribeConfig) -> Scribe {
-        Scribe { cfg, groups: HashMap::new(), relayed: 0 }
+        Scribe {
+            cfg,
+            groups: HashMap::new(),
+            relayed: 0,
+        }
     }
 
     pub fn group_children(&self, group: MacedonKey) -> Vec<NodeId> {
@@ -122,7 +129,11 @@ impl Scribe {
 
     fn join_payload(group: MacedonKey, me: NodeId, my_key: MacedonKey) -> Bytes {
         let mut w = WireWriter::new();
-        w.u16(proto::SCRIBE).u16(MSG_JOIN).key(group).node(me).key(my_key);
+        w.u16(proto::SCRIBE)
+            .u16(MSG_JOIN)
+            .key(group)
+            .node(me)
+            .key(my_key);
         w.finish()
     }
 
@@ -133,7 +144,11 @@ impl Scribe {
         }
         st.joining = true;
         let payload = Self::join_payload(group, ctx.me, ctx.my_key);
-        ctx.down(DownCall::Route { dest: group, payload, priority: DEFAULT_PRIORITY });
+        ctx.down(DownCall::Route {
+            dest: group,
+            payload,
+            priority: DEFAULT_PRIORITY,
+        });
     }
 
     /// Adopt (or push down) a join from `(node, key)` for `group`.
@@ -151,7 +166,11 @@ impl Scribe {
                 // Pushdown: delegate the joiner to one of our children.
                 let victim = st.children[ctx.rng.index(st.children.len())].0;
                 let mut w = WireWriter::new();
-                w.u16(proto::SCRIBE).u16(MSG_JOIN).key(group).node(node).key(key);
+                w.u16(proto::SCRIBE)
+                    .u16(MSG_JOIN)
+                    .key(group)
+                    .node(node)
+                    .key(key);
                 ctx.down(DownCall::RouteIp {
                     dest: victim,
                     payload: w.finish(),
@@ -163,32 +182,55 @@ impl Scribe {
         st.children.push((node, key));
         ctx.monitor(node);
         let children: Vec<NodeId> = st.children.iter().map(|&(n, _)| n).collect();
-        ctx.up(UpCall::Notify { nbr_type: NBR_TYPE_CHILDREN, neighbors: children });
+        ctx.up(UpCall::Notify {
+            nbr_type: NBR_TYPE_CHILDREN,
+            neighbors: children,
+        });
         // Confirm parenthood to the new child (it cannot learn it from the
         // quashed join).
         let mut w = WireWriter::new();
         w.u16(proto::SCRIBE).u16(MSG_JOIN_OK).key(group);
-        ctx.down(DownCall::RouteIp { dest: node, payload: w.finish(), priority: DEFAULT_PRIORITY });
+        ctx.down(DownCall::RouteIp {
+            dest: node,
+            payload: w.finish(),
+            priority: DEFAULT_PRIORITY,
+        });
     }
 
     /// Send a Scribe message to a tree neighbor over the configured path.
     fn send_to(&self, ctx: &mut Ctx, node: NodeId, key: MacedonKey, payload: Bytes) {
         match self.cfg.data_path {
             DataPath::RouteIp => {
-                ctx.down(DownCall::RouteIp { dest: node, payload, priority: DEFAULT_PRIORITY });
+                ctx.down(DownCall::RouteIp {
+                    dest: node,
+                    payload,
+                    priority: DEFAULT_PRIORITY,
+                });
             }
             DataPath::LocationCache => {
                 let mut w = WireWriter::new();
                 w.key(key);
                 w.bytes(&payload);
-                ctx.down(DownCall::Ext { op: EXT_ROUTE_DIRECT, payload: w.finish() });
+                ctx.down(DownCall::Ext {
+                    op: EXT_ROUTE_DIRECT,
+                    payload: w.finish(),
+                });
             }
         }
     }
 
     /// Disseminate data to all children and deliver locally if a member.
-    fn disseminate(&mut self, ctx: &mut Ctx, group: MacedonKey, src: MacedonKey, payload: Bytes, exclude: Option<NodeId>) {
-        let Some(st) = self.groups.get(&group) else { return };
+    fn disseminate(
+        &mut self,
+        ctx: &mut Ctx,
+        group: MacedonKey,
+        src: MacedonKey,
+        payload: Bytes,
+        exclude: Option<NodeId>,
+    ) {
+        let Some(st) = self.groups.get(&group) else {
+            return;
+        };
         let member = st.member;
         let children = st.children.clone();
         for (n, k) in children {
@@ -202,12 +244,18 @@ impl Scribe {
             self.relayed += 1;
         }
         if member {
-            ctx.up(UpCall::Deliver { src, from: ctx.me, payload });
+            ctx.up(UpCall::Deliver {
+                src,
+                from: ctx.me,
+                payload,
+            });
         }
     }
 
     fn maybe_prune(&mut self, ctx: &mut Ctx, group: MacedonKey) {
-        let Some(st) = self.groups.get(&group) else { return };
+        let Some(st) = self.groups.get(&group) else {
+            return;
+        };
         if st.children.is_empty() && !st.member && !st.root {
             if let Some(parent) = st.parent {
                 let mut w = WireWriter::new();
@@ -225,7 +273,9 @@ impl Scribe {
     /// Process a Scribe protocol message that reached this node.
     fn handle_msg(&mut self, ctx: &mut Ctx, from: NodeId, payload: Bytes) {
         let mut r = WireReader::new(payload);
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         match ty {
             MSG_JOIN => {
                 // Delivered at the group root (or pushed down directly).
@@ -250,13 +300,17 @@ impl Scribe {
                 st.root = true;
             }
             MSG_DATA => {
-                let (Ok(group), Ok(src)) = (r.key(), r.key()) else { return };
+                let (Ok(group), Ok(src)) = (r.key(), r.key()) else {
+                    return;
+                };
                 let Ok(data) = r.bytes() else { return };
                 self.relay_down(ctx, group, src, data, from);
             }
             MSG_DATA_UP => {
                 // Reached the root: push down the tree.
-                let (Ok(group), Ok(src)) = (r.key(), r.key()) else { return };
+                let (Ok(group), Ok(src)) = (r.key(), r.key()) else {
+                    return;
+                };
                 let Ok(data) = r.bytes() else { return };
                 let st = self.groups.entry(group).or_default();
                 if st.parent.is_none() && !st.joining {
@@ -278,7 +332,9 @@ impl Scribe {
                 }
             }
             MSG_LEAVE => {
-                let (Ok(group), Ok(node)) = (r.key(), r.node()) else { return };
+                let (Ok(group), Ok(node)) = (r.key(), r.node()) else {
+                    return;
+                };
                 if let Some(st) = self.groups.get_mut(&group) {
                     st.children.retain(|&(n, _)| n != node);
                     ctx.unmonitor(node);
@@ -286,12 +342,16 @@ impl Scribe {
                 self.maybe_prune(ctx, group);
             }
             MSG_ANYCAST => {
-                let (Ok(group), Ok(src)) = (r.key(), r.key()) else { return };
+                let (Ok(group), Ok(src)) = (r.key(), r.key()) else {
+                    return;
+                };
                 let Ok(data) = r.bytes() else { return };
                 self.handle_anycast(ctx, group, src, data);
             }
             MSG_COLLECT => {
-                let (Ok(group), Ok(src)) = (r.key(), r.key()) else { return };
+                let (Ok(group), Ok(src)) = (r.key(), r.key()) else {
+                    return;
+                };
                 let Ok(data) = r.bytes() else { return };
                 self.handle_collect(ctx, group, src, data);
             }
@@ -299,14 +359,27 @@ impl Scribe {
         }
     }
 
-    fn relay_down(&mut self, ctx: &mut Ctx, group: MacedonKey, src: MacedonKey, data: Bytes, from: NodeId) {
+    fn relay_down(
+        &mut self,
+        ctx: &mut Ctx,
+        group: MacedonKey,
+        src: MacedonKey,
+        data: Bytes,
+        from: NodeId,
+    ) {
         self.disseminate(ctx, group, src, data, Some(from));
     }
 
     fn handle_anycast(&mut self, ctx: &mut Ctx, group: MacedonKey, src: MacedonKey, data: Bytes) {
-        let Some(st) = self.groups.get(&group) else { return };
+        let Some(st) = self.groups.get(&group) else {
+            return;
+        };
         if st.member {
-            ctx.up(UpCall::Deliver { src, from: ctx.me, payload: data });
+            ctx.up(UpCall::Deliver {
+                src,
+                from: ctx.me,
+                payload: data,
+            });
         } else if !st.children.is_empty() {
             let (n, k) = st.children[ctx.rng.index(st.children.len())];
             let mut w = WireWriter::new();
@@ -324,7 +397,10 @@ impl Scribe {
         let mut w = WireWriter::new();
         w.key(group).key(src);
         w.bytes(&data);
-        ctx.up(UpCall::Ext { op: EXT_COLLECT, payload: w.finish() });
+        ctx.up(UpCall::Ext {
+            op: EXT_COLLECT,
+            payload: w.finish(),
+        });
         if !is_root {
             if let Some(p) = parent {
                 let mut m = WireWriter::new();
@@ -383,7 +459,10 @@ impl Agent for Scribe {
                 } else {
                     // Route up to the root, which disseminates.
                     let mut w = WireWriter::new();
-                    w.u16(proto::SCRIBE).u16(MSG_DATA_UP).key(group).key(ctx.my_key);
+                    w.u16(proto::SCRIBE)
+                        .u16(MSG_DATA_UP)
+                        .key(group)
+                        .key(ctx.my_key);
                     w.bytes(&payload);
                     ctx.down(DownCall::Route {
                         dest: group,
@@ -394,7 +473,10 @@ impl Agent for Scribe {
             }
             DownCall::Anycast { group, payload, .. } => {
                 let mut w = WireWriter::new();
-                w.u16(proto::SCRIBE).u16(MSG_ANYCAST).key(group).key(ctx.my_key);
+                w.u16(proto::SCRIBE)
+                    .u16(MSG_ANYCAST)
+                    .key(group)
+                    .key(ctx.my_key);
                 w.bytes(&payload);
                 ctx.down(DownCall::Route {
                     dest: group,
@@ -406,10 +488,18 @@ impl Agent for Scribe {
                 let src = ctx.my_key;
                 self.handle_collect(ctx, group, src, payload);
             }
-            DownCall::Route { dest, payload, priority } => {
+            DownCall::Route {
+                dest,
+                payload,
+                priority,
+            } => {
                 // Opaque app data: wrap so the receiving Scribe can tell
                 // it apart from its own control messages.
-                ctx.down(DownCall::Route { dest, payload: wrap_app(&payload), priority });
+                ctx.down(DownCall::Route {
+                    dest,
+                    payload: wrap_app(&payload),
+                    priority,
+                });
             }
             other => ctx.down(other),
         }
@@ -421,7 +511,11 @@ impl Agent for Scribe {
                 Some(p) if p == proto::SCRIBE => self.handle_msg(ctx, from, payload),
                 Some(APP_PROTOCOL) => {
                     if let Some(inner) = unwrap_app(&payload) {
-                        ctx.up(UpCall::Deliver { src, from, payload: inner });
+                        ctx.up(UpCall::Deliver {
+                            src,
+                            from,
+                            payload: inner,
+                        });
                     }
                 }
                 _ => ctx.up(UpCall::Deliver { src, from, payload }),
@@ -436,7 +530,9 @@ impl Agent for Scribe {
             return;
         }
         let mut r = WireReader::new(fwd.payload.clone());
-        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else { return };
+        let (Ok(_p), Ok(ty)) = (r.u16(), r.u16()) else {
+            return;
+        };
         if ty != MSG_JOIN {
             return;
         }
@@ -456,7 +552,10 @@ impl Agent for Scribe {
         if !in_tree {
             self.send_join(ctx, group);
         }
-        ctx.trace(TraceLevel::Med, format!("scribe: intercepted join for {group} from {node:?}"));
+        ctx.trace(
+            TraceLevel::Med,
+            format!("scribe: intercepted join for {group} from {node:?}"),
+        );
     }
 
     fn recv(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Bytes) {

@@ -54,7 +54,11 @@ impl SplitStream {
     pub fn new(cfg: SplitStreamConfig) -> SplitStream {
         let k = cfg.stripes as usize;
         assert!(k >= 1 && k <= 16, "1..=16 stripes supported");
-        SplitStream { cfg, next_stripe: 0, sent_per_stripe: vec![0; k] }
+        SplitStream {
+            cfg,
+            next_stripe: 0,
+            sent_per_stripe: vec![0; k],
+        }
     }
 
     pub fn stripes(&self) -> u32 {
@@ -77,21 +81,31 @@ impl Agent for SplitStream {
         match call {
             DownCall::CreateGroup { group } => {
                 for i in 0..self.cfg.stripes {
-                    ctx.down(DownCall::CreateGroup { group: stripe_key(group, i, self.cfg.stripes) });
+                    ctx.down(DownCall::CreateGroup {
+                        group: stripe_key(group, i, self.cfg.stripes),
+                    });
                 }
             }
             DownCall::Join { group } => {
                 // Join every stripe: receivers take the full forest.
                 for i in 0..self.cfg.stripes {
-                    ctx.down(DownCall::Join { group: stripe_key(group, i, self.cfg.stripes) });
+                    ctx.down(DownCall::Join {
+                        group: stripe_key(group, i, self.cfg.stripes),
+                    });
                 }
             }
             DownCall::Leave { group } => {
                 for i in 0..self.cfg.stripes {
-                    ctx.down(DownCall::Leave { group: stripe_key(group, i, self.cfg.stripes) });
+                    ctx.down(DownCall::Leave {
+                        group: stripe_key(group, i, self.cfg.stripes),
+                    });
                 }
             }
-            DownCall::Multicast { group, payload, priority } => {
+            DownCall::Multicast {
+                group,
+                payload,
+                priority,
+            } => {
                 let i = self.next_stripe;
                 self.next_stripe = (self.next_stripe + 1) % self.cfg.stripes;
                 self.sent_per_stripe[i as usize] += 1;
@@ -102,7 +116,10 @@ impl Agent for SplitStream {
                 });
             }
             other => {
-                ctx.trace(TraceLevel::Med, format!("splitstream passthrough: {other:?}"));
+                ctx.trace(
+                    TraceLevel::Med,
+                    format!("splitstream passthrough: {other:?}"),
+                );
                 ctx.down(other);
             }
         }

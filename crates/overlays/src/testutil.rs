@@ -17,7 +17,14 @@ pub fn star_topology(n: usize) -> Topology {
 /// An INET-like topology with `clients` hosts for realism-sensitive tests.
 pub fn inet_topology(routers: usize, clients: usize, seed: u64) -> Topology {
     let mut rng = SimRng::new(seed);
-    inet(&InetParams { routers, clients, ..Default::default() }, &mut rng)
+    inet(
+        &InetParams {
+            routers,
+            clients,
+            ..Default::default()
+        },
+        &mut rng,
+    )
 }
 
 /// Spawn a Chord ring of `n` nodes on a star LAN, joins staggered 100 ms
@@ -30,7 +37,13 @@ pub fn chord_ring(
 ) -> (World, Vec<NodeId>, SharedDeliveries) {
     let topo = star_topology(n);
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let cfg = ChordConfig {
@@ -52,7 +65,13 @@ pub fn chord_ring(
 pub fn pastry_mesh(n: usize, seed: u64) -> (World, Vec<NodeId>, SharedDeliveries) {
     let topo = star_topology(n);
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let cfg = PastryConfig {

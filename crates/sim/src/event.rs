@@ -94,7 +94,11 @@ impl<E> Scheduler<E> {
     /// Scheduling in the past is a logic error; it panics in debug builds
     /// and clamps to `now` in release builds.
     pub fn schedule(&mut self, at: Time, payload: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

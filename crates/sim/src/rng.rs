@@ -94,7 +94,7 @@ impl SimRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Bernoulli trial with probability `p` (clamped to [0,1]).
+    /// Bernoulli trial with probability `p` (clamped to \[0,1\]).
     pub fn chance(&mut self, p: f64) -> bool {
         self.f64() < p
     }

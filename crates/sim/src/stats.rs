@@ -73,7 +73,7 @@ impl Histogram {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Exact q-quantile (q in [0,1]) by nearest-rank; 0 on empty.
+    /// Exact q-quantile (q in \[0,1\]) by nearest-rank; 0 on empty.
     pub fn quantile(&mut self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -98,12 +98,8 @@ impl Histogram {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - m) * (x - m))
-            .sum::<f64>()
-            / self.samples.len() as f64;
+        let var =
+            self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64;
         var.sqrt()
     }
 
@@ -125,7 +121,10 @@ impl TimeSeries {
     /// Create a series with the given bin width.
     pub fn new(bin: Duration) -> TimeSeries {
         assert!(bin.as_micros() > 0, "zero bin width");
-        TimeSeries { bin, bins: Vec::new() }
+        TimeSeries {
+            bin,
+            bins: Vec::new(),
+        }
     }
 
     pub fn bin_width(&self) -> Duration {

@@ -36,7 +36,10 @@ pub struct ChannelSpec {
 
 impl ChannelSpec {
     pub fn new(name: impl Into<String>, kind: TransportKind) -> ChannelSpec {
-        ChannelSpec { name: name.into(), kind }
+        ChannelSpec {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// The default channel table most overlays in this repo use, mirroring
@@ -94,8 +97,15 @@ pub struct Endpoint {
 
 impl Endpoint {
     pub fn new(node: NodeId, channels: Vec<ChannelSpec>) -> Endpoint {
-        assert!(!channels.is_empty(), "at least one transport instance required");
-        Endpoint { node, channels, conns: HashMap::new() }
+        assert!(
+            !channels.is_empty(),
+            "at least one transport instance required"
+        );
+        Endpoint {
+            node,
+            channels,
+            conns: HashMap::new(),
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -115,7 +125,14 @@ impl Endpoint {
     }
 
     /// Send one message to `dst` on the given channel.
-    pub fn send(&mut self, now: Time, dst: NodeId, ch: ChannelId, msg: Bytes, out: &mut TransportSink) {
+    pub fn send(
+        &mut self,
+        now: Time,
+        dst: NodeId,
+        ch: ChannelId,
+        msg: Bytes,
+        out: &mut TransportSink,
+    ) {
         let kind = self.kind_of(ch);
         let conn = self.conn(dst, ch, kind);
         match conn {
@@ -140,12 +157,29 @@ impl Endpoint {
         }
         let kind = self.kind_of(ch);
         match (seg.kind, self.conn(from, ch, kind)) {
-            (SegKind::Datagram { msg, frag, frags, bytes }, Conn::Udp(u)) => {
+            (
+                SegKind::Datagram {
+                    msg,
+                    frag,
+                    frags,
+                    bytes,
+                },
+                Conn::Udp(u),
+            ) => {
                 if let Some(full) = u.on_datagram(msg, frag, frags, bytes) {
                     out.delivered.push((from, ch, full));
                 }
             }
-            (SegKind::Data { seq, msg, frag, frags, bytes }, Conn::Reliable(r)) => {
+            (
+                SegKind::Data {
+                    seq,
+                    msg,
+                    frag,
+                    frags,
+                    bytes,
+                },
+                Conn::Reliable(r),
+            ) => {
                 let mut co = ConnOut::default();
                 r.on_data(seq, msg, frag, frags, bytes, &mut co);
                 self.flush_conn_out(from, ch, co, out);
@@ -215,13 +249,27 @@ impl Endpoint {
         })
     }
 
-    fn flush_conn_out(&mut self, peer: NodeId, ch: ChannelId, co: ConnOut, out: &mut TransportSink) {
+    fn flush_conn_out(
+        &mut self,
+        peer: NodeId,
+        ch: ChannelId,
+        co: ConnOut,
+        out: &mut TransportSink,
+    ) {
         self.flush_tx(peer, ch, co.tx, out);
         for msg in co.delivered {
             out.delivered.push((peer, ch, msg));
         }
         if let Some((at, gen)) = co.arm_timer {
-            out.timers.push((at, TimerKey { node: self.node, peer, channel: ch, gen }));
+            out.timers.push((
+                at,
+                TimerKey {
+                    node: self.node,
+                    peer,
+                    channel: ch,
+                    gen,
+                },
+            ));
         }
     }
 
@@ -255,9 +303,18 @@ mod tests {
         let mut e = ep(0);
         let mut out = TransportSink::new();
         let ch = e.channel_by_name("BEST_EFFORT").unwrap();
-        e.send(Time::ZERO, NodeId(1), ch, Bytes::from_static(b"hi"), &mut out);
+        e.send(
+            Time::ZERO,
+            NodeId(1),
+            ch,
+            Bytes::from_static(b"hi"),
+            &mut out,
+        );
         assert_eq!(out.packets.len(), 1);
-        assert!(matches!(out.packets[0].payload.kind, SegKind::Datagram { .. }));
+        assert!(matches!(
+            out.packets[0].payload.kind,
+            SegKind::Datagram { .. }
+        ));
         assert!(out.timers.is_empty(), "UDP never arms timers");
     }
 
@@ -266,7 +323,13 @@ mod tests {
         let mut e = ep(0);
         let mut out = TransportSink::new();
         let ch = e.channel_by_name("HIGH").unwrap();
-        e.send(Time::ZERO, NodeId(1), ch, Bytes::from_static(b"hi"), &mut out);
+        e.send(
+            Time::ZERO,
+            NodeId(1),
+            ch,
+            Bytes::from_static(b"hi"),
+            &mut out,
+        );
         assert_eq!(out.packets.len(), 1);
         assert_eq!(out.timers.len(), 1);
         let key = out.timers[0].1;
@@ -280,7 +343,13 @@ mod tests {
         let mut b = ep(1);
         let ch = a.channel_by_name("HIGH").unwrap();
         let mut out_a = TransportSink::new();
-        a.send(Time::ZERO, NodeId(1), ch, Bytes::from_static(b"payload"), &mut out_a);
+        a.send(
+            Time::ZERO,
+            NodeId(1),
+            ch,
+            Bytes::from_static(b"payload"),
+            &mut out_a,
+        );
         // Hand a's packets to b.
         let mut out_b = TransportSink::new();
         for pkt in out_a.packets.drain(..) {
@@ -303,8 +372,20 @@ mod tests {
         let hi = a.channel_by_name("HIGH").unwrap();
         let lo = a.channel_by_name("LOW").unwrap();
         let mut out = TransportSink::new();
-        a.send(Time::ZERO, NodeId(1), hi, Bytes::from_static(b"h"), &mut out);
-        a.send(Time::ZERO, NodeId(1), lo, Bytes::from_static(b"l"), &mut out);
+        a.send(
+            Time::ZERO,
+            NodeId(1),
+            hi,
+            Bytes::from_static(b"h"),
+            &mut out,
+        );
+        a.send(
+            Time::ZERO,
+            NodeId(1),
+            lo,
+            Bytes::from_static(b"l"),
+            &mut out,
+        );
         assert_eq!(a.channel_stats(hi).segments_sent, 1);
         assert_eq!(a.channel_stats(lo).segments_sent, 1);
         // Independent sequence spaces (both start at 0): fine because they
@@ -316,7 +397,10 @@ mod tests {
     fn unknown_channel_segment_dropped() {
         let mut a = ep(0);
         let mut out = TransportSink::new();
-        let seg = Segment { channel: ChannelId(99), kind: SegKind::Ack { cum: 0 } };
+        let seg = Segment {
+            channel: ChannelId(99),
+            kind: SegKind::Ack { cum: 0 },
+        };
         a.on_packet(Time::ZERO, NodeId(1), seg, &mut out);
         assert!(out.delivered.is_empty());
         assert!(out.packets.is_empty());
@@ -330,7 +414,13 @@ mod tests {
         // Reliable data on a UDP channel: dropped.
         let seg = Segment {
             channel: udp,
-            kind: SegKind::Data { seq: 0, msg: 0, frag: 0, frags: 1, bytes: Bytes::new() },
+            kind: SegKind::Data {
+                seq: 0,
+                msg: 0,
+                frag: 0,
+                frags: 1,
+                bytes: Bytes::new(),
+            },
         };
         a.on_packet(Time::ZERO, NodeId(1), seg, &mut out);
         assert!(out.delivered.is_empty());

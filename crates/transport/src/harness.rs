@@ -131,7 +131,10 @@ mod tests {
     use macedon_sim::Duration;
 
     fn world() -> TransportWorld {
-        TransportWorld::new(canned::two_hosts(LinkSpec::lan()), ChannelSpec::default_table())
+        TransportWorld::new(
+            canned::two_hosts(LinkSpec::lan()),
+            ChannelSpec::default_table(),
+        )
     }
 
     fn hosts(w: &TransportWorld) -> (NodeId, NodeId) {
@@ -171,7 +174,10 @@ mod tests {
             .collect();
         assert_eq!(got, (0..50).collect::<Vec<_>>());
         let stats = w.endpoints[&a].channel_stats(ch);
-        assert!(stats.retransmissions > 0, "loss must have caused retransmits");
+        assert!(
+            stats.retransmissions > 0,
+            "loss must have caused retransmits"
+        );
     }
 
     #[test]

@@ -144,7 +144,14 @@ impl ReliableConn {
             self.next_assign += 1;
             self.segs.insert(
                 seq,
-                SegBuf { msg: msg_id, frag: i as u16, frags, bytes, sent_at: None, retransmitted: false },
+                SegBuf {
+                    msg: msg_id,
+                    frag: i as u16,
+                    frags,
+                    bytes,
+                    sent_at: None,
+                    retransmitted: false,
+                },
             );
         }
         self.pump(now, out);
@@ -152,7 +159,15 @@ impl ReliableConn {
 
     /// Handle an inbound data segment; emits ACKs and any completed
     /// messages.
-    pub fn on_data(&mut self, seq: u64, msg: u64, frag: u16, frags: u16, bytes: Bytes, out: &mut ConnOut) {
+    pub fn on_data(
+        &mut self,
+        seq: u64,
+        msg: u64,
+        frag: u16,
+        frags: u16,
+        bytes: Bytes,
+        out: &mut ConnOut,
+    ) {
         if seq >= self.rcv_nxt && self.ooo.len() < OOO_CAP {
             self.ooo.entry(seq).or_insert(SegBuf {
                 msg,
@@ -365,9 +380,13 @@ mod tests {
 
     fn data_fields(seg: &Segment) -> (u64, u64, u16, u16, Bytes) {
         match &seg.kind {
-            SegKind::Data { seq, msg, frag, frags, bytes } => {
-                (*seq, *msg, *frag, *frags, bytes.clone())
-            }
+            SegKind::Data {
+                seq,
+                msg,
+                frag,
+                frags,
+                bytes,
+            } => (*seq, *msg, *frag, *frags, bytes.clone()),
             other => panic!("expected data, got {other:?}"),
         }
     }
@@ -385,7 +404,9 @@ mod tests {
         assert_eq!(out_b.delivered.len(), 1);
         assert_eq!(&out_b.delivered[0][..], b"hello");
         // ACK flows back.
-        let SegKind::Ack { cum } = out_b.tx[0].kind else { panic!() };
+        let SegKind::Ack { cum } = out_b.tx[0].kind else {
+            panic!()
+        };
         assert_eq!(cum, 1);
         let mut out_a = ConnOut::default();
         a.on_ack(t(10), cum, &mut out_a);
@@ -425,7 +446,10 @@ mod tests {
             b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
         }
         let got: Vec<&[u8]> = out_b.delivered.iter().map(|b| &b[..]).collect();
-        assert_eq!(got, vec![b"one".as_ref(), b"two".as_ref(), b"three".as_ref()]);
+        assert_eq!(
+            got,
+            vec![b"one".as_ref(), b"two".as_ref(), b"three".as_ref()]
+        );
     }
 
     #[test]

@@ -108,10 +108,19 @@ mod tests {
     fn segment_sizes() {
         let data = Segment {
             channel: ChannelId(0),
-            kind: SegKind::Data { seq: 0, msg: 0, frag: 0, frags: 1, bytes: Bytes::from(vec![0; 100]) },
+            kind: SegKind::Data {
+                seq: 0,
+                msg: 0,
+                frag: 0,
+                frags: 1,
+                bytes: Bytes::from(vec![0; 100]),
+            },
         };
         assert_eq!(data.size(), 112);
-        let ack = Segment { channel: ChannelId(0), kind: SegKind::Ack { cum: 5 } };
+        let ack = Segment {
+            channel: ChannelId(0),
+            kind: SegKind::Ack { cum: 5 },
+        };
         assert_eq!(ack.size(), 12);
     }
 

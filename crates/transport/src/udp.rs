@@ -44,7 +44,12 @@ impl UdpConn {
             self.frags_sent += 1;
             tx.push(Segment {
                 channel: ChannelId(0), // endpoint rewrites
-                kind: SegKind::Datagram { msg: id, frag: i as u16, frags, bytes },
+                kind: SegKind::Datagram {
+                    msg: id,
+                    frag: i as u16,
+                    frags,
+                    bytes,
+                },
             });
         }
     }
@@ -56,8 +61,9 @@ impl UdpConn {
             self.messages_delivered += 1;
             return Some(bytes);
         }
-        let entry = self.partial.entry(msg).or_insert_with(|| {
-            PartialMsg { frags, parts: HashMap::new() }
+        let entry = self.partial.entry(msg).or_insert_with(|| PartialMsg {
+            frags,
+            parts: HashMap::new(),
         });
         if self.insertion.last() != Some(&msg) && !self.insertion.contains(&msg) {
             self.insertion.push(msg);
@@ -89,7 +95,12 @@ mod tests {
 
     fn dg(seg: &Segment) -> (u64, u16, u16, Bytes) {
         match &seg.kind {
-            SegKind::Datagram { msg, frag, frags, bytes } => (*msg, *frag, *frags, bytes.clone()),
+            SegKind::Datagram {
+                msg,
+                frag,
+                frags,
+                bytes,
+            } => (*msg, *frag, *frags, bytes.clone()),
             other => panic!("expected datagram, got {other:?}"),
         }
     }
@@ -108,7 +119,9 @@ mod tests {
 
     #[test]
     fn large_datagram_reassembles() {
-        let payload: Vec<u8> = (0..(MSS as usize * 3 + 5)).map(|i| (i % 256) as u8).collect();
+        let payload: Vec<u8> = (0..(MSS as usize * 3 + 5))
+            .map(|i| (i % 256) as u8)
+            .collect();
         let mut a = UdpConn::new();
         let mut tx = Vec::new();
         a.send(Bytes::from(payload.clone()), &mut tx);

@@ -3,13 +3,16 @@
 
 use bytes::Bytes;
 use macedon_net::topology::{canned, LinkSpec};
+use macedon_sim::Time;
 use macedon_transport::harness::TransportWorld;
 use macedon_transport::ChannelSpec;
-use macedon_sim::Time;
 use proptest::prelude::*;
 
 fn world_with_loss(seed: u64, p: f64) -> TransportWorld {
-    let mut w = TransportWorld::new(canned::two_hosts(LinkSpec::lan()), ChannelSpec::default_table());
+    let mut w = TransportWorld::new(
+        canned::two_hosts(LinkSpec::lan()),
+        ChannelSpec::default_table(),
+    );
     let _ = seed;
     w.net.faults_mut().set_drop_probability(p);
     w

@@ -31,7 +31,9 @@ impl AppHandler for Aggregator {
         }
         // Payload: [group key][src key][inner bytes = reading u64].
         let mut r = macedon::core::WireReader::new(payload);
-        let (Ok(_group), Ok(_src)) = (r.key(), r.key()) else { return };
+        let (Ok(_group), Ok(_src)) = (r.key(), r.key()) else {
+            return;
+        };
         let Ok(inner) = r.bytes() else { return };
         if inner.len() >= 8 {
             let reading = u64::from_be_bytes(inner[..8].try_into().expect("len"));
@@ -47,12 +49,15 @@ impl AppHandler for Aggregator {
 }
 
 fn main() {
-    let topo = macedon::net::topology::canned::star(
-        10,
-        macedon::net::topology::LinkSpec::lan(),
-    );
+    let topo = macedon::net::topology::canned::star(10, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut world = World::new(topo, WorldConfig { seed: 3, ..Default::default() });
+    let mut world = World::new(
+        topo,
+        WorldConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     let group = MacedonKey::of_name("sensors");
     let observed = Arc::new(Mutex::new(Vec::new()));
 
@@ -66,7 +71,9 @@ fn main() {
             Time::from_millis(i as u64 * 100),
             h,
             vec![Box::new(pastry), Box::new(scribe)],
-            Box::new(Aggregator { observed: observed.clone() }),
+            Box::new(Aggregator {
+                observed: observed.clone(),
+            }),
         );
     }
 
@@ -94,5 +101,9 @@ fn main() {
     let max = log.iter().map(|&(_, v)| v).max().unwrap_or(0);
     println!("collect() observations at tree hops: {}", log.len());
     println!("global maximum aggregated toward the root: {max}");
-    assert_eq!(max, hosts.len() as u64 * 10, "every reading visible somewhere on the tree");
+    assert_eq!(
+        max,
+        hosts.len() as u64 * 10,
+        "every reading visible somewhere on the tree"
+    );
 }

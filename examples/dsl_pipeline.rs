@@ -35,12 +35,12 @@ fn main() {
     );
 
     // 3. Interpretation: run the very same spec as live agents.
-    let topo = macedon::net::topology::canned::star(
-        10,
-        macedon::net::topology::LinkSpec::lan(),
-    );
+    let topo = macedon::net::topology::canned::star(10, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut cfg = WorldConfig { seed: 5, ..Default::default() };
+    let mut cfg = WorldConfig {
+        seed: 5,
+        ..Default::default()
+    };
     cfg.channels = channel_table(&spec);
     let mut world = World::new(topo, cfg);
     for (i, &h) in hosts.iter().enumerate() {
@@ -56,13 +56,20 @@ fn main() {
 
     println!("\nOvercast FSM state after 60 virtual seconds:");
     for &h in &hosts {
-        let a: &InterpretedAgent =
-            world.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let a: &InterpretedAgent = world
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         println!(
             "  {:?}: state={:<8} parent={:?} children={:?}",
             h,
             a.state(),
-            a.list("papa").map(|l| l.as_slice().to_vec()).unwrap_or_default(),
+            a.list("papa")
+                .map(|l| l.as_slice().to_vec())
+                .unwrap_or_default(),
             a.list("kids").map(|l| l.len()).unwrap_or(0),
         );
     }

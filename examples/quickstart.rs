@@ -14,7 +14,14 @@ use macedon::sim::SimRng;
 fn main() {
     // 1. An INET-like topology: 200 routers, 16 overlay hosts.
     let mut rng = SimRng::new(1);
-    let topo = inet(&InetParams { routers: 200, clients: 16, ..Default::default() }, &mut rng);
+    let topo = inet(
+        &InetParams {
+            routers: 200,
+            clients: 16,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let hosts = topo.hosts().to_vec();
 
     // 2. A world: deterministic event loop + transports + engine.
@@ -54,7 +61,11 @@ fn main() {
     world.run_until(Time::from_secs(90));
 
     // 5. Inspect results: who owns what, in how many virtual seconds.
-    println!("virtual time: {}s, events: {}", world.now(), world.sched.events_fired());
+    println!(
+        "virtual time: {}s, events: {}",
+        world.now(),
+        world.sched.events_fired()
+    );
     for rec in sink.lock().iter() {
         println!(
             "packet {:>2} delivered at node {:?} (key {}) at t={}",

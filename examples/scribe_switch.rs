@@ -21,12 +21,15 @@ enum Dht {
 }
 
 fn run(dht: Dht) -> usize {
-    let topo = macedon::net::topology::canned::star(
-        12,
-        macedon::net::topology::LinkSpec::lan(),
-    );
+    let topo = macedon::net::topology::canned::star(12, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut world = World::new(topo, WorldConfig { seed: 7, ..Default::default() });
+    let mut world = World::new(
+        topo,
+        WorldConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     let group = MacedonKey::of_name("demo-group");
 
@@ -34,8 +37,14 @@ fn run(dht: Dht) -> usize {
         let bootstrap = (i > 0).then(|| hosts[0]);
         // protocol scribe uses pastry;   |   protocol scribe uses chord;
         let lower: Box<dyn Agent> = match dht {
-            Dht::Pastry => Box::new(Pastry::new(PastryConfig { bootstrap, ..Default::default() })),
-            Dht::Chord => Box::new(Chord::new(ChordConfig { bootstrap, ..Default::default() })),
+            Dht::Pastry => Box::new(Pastry::new(PastryConfig {
+                bootstrap,
+                ..Default::default()
+            })),
+            Dht::Chord => Box::new(Chord::new(ChordConfig {
+                bootstrap,
+                ..Default::default()
+            })),
         };
         let scribe = Box::new(Scribe::new(ScribeConfig::default()));
         world.spawn_at(
@@ -58,12 +67,19 @@ fn run(dht: Dht) -> usize {
         world.api_at(
             Time::from_secs(70) + Duration::from_millis(i * 200),
             hosts[1],
-            DownCall::Multicast { group, payload: Bytes::from(p), priority: -1 },
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     world.run_until(Time::from_secs(90));
     let n = sink.lock().len();
-    println!("Scribe over {dht:?}: {n} deliveries across {} receivers", hosts.len() - 1);
+    println!(
+        "Scribe over {dht:?}: {n} deliveries across {} receivers",
+        hosts.len() - 1
+    );
     n
 }
 

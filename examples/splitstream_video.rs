@@ -18,7 +18,13 @@ fn run(cache_lifetime: Option<Duration>) -> f64 {
         macedon::net::topology::LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
     );
     let hosts = topo.hosts().to_vec();
-    let mut world = World::new(topo, WorldConfig { seed: 12, ..Default::default() });
+    let mut world = World::new(
+        topo,
+        WorldConfig {
+            seed: 12,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     let group = MacedonKey::of_name("video");
 
@@ -54,9 +60,17 @@ fn run(cache_lifetime: Option<Duration>) -> f64 {
             );
         }
     }
-    world.api_at(Time::from_secs(5), hosts[0], DownCall::CreateGroup { group });
+    world.api_at(
+        Time::from_secs(5),
+        hosts[0],
+        DownCall::CreateGroup { group },
+    );
     for (i, &h) in hosts.iter().enumerate().skip(1) {
-        world.api_at(Time::from_secs(6) + Duration::from_millis(i as u64 * 100), h, DownCall::Join { group });
+        world.api_at(
+            Time::from_secs(6) + Duration::from_millis(i as u64 * 100),
+            h,
+            DownCall::Join { group },
+        );
     }
     world.run_until(Time::from_secs(110));
 

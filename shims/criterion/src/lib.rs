@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and type surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `black_box`) on top of a
+//! simple wall-clock sampler. It is not a statistics engine: each bench
+//! runs `sample_size` timed iterations and reports min/mean to stdout.
+//!
+//! Unless invoked with `--bench` (which only `cargo bench` passes to
+//! `harness = false` bench targets), every bench body runs exactly once
+//! so the tier-1 `cargo test` suite stays fast while still executing
+//! bench code.
+
+use std::time::{Duration, Instant};
+
+/// Returns `value` while hindering the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times every routine
+/// call individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch many per allocation.
+    SmallInput,
+    /// Large inputs; batch few.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit iterations per batch.
+    NumIterations(u64),
+}
+
+/// Passed to bench closures; times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.effective_samples();
+        for _ in 0..n {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = self.effective_samples();
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Like `iter_batched`, but the routine takes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let n = self.effective_samples();
+        for _ in 0..n {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.samples
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror real criterion's mode detection: `cargo bench` invokes
+        // harness = false bench binaries with `--bench`; any other
+        // invocation (notably `cargo test`) is test mode, where each
+        // bench body runs exactly once so the suite stays quick.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Configures measurement time. Accepted for API compatibility; the
+    /// shim's sampling is iteration-count based, so this is a no-op.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Configures warm-up time. No-op in the shim (see `measurement_time`).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.test_mode,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.timings);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benches in this group. Scoped to
+    /// the group, like real criterion: the parent `Criterion` keeps its
+    /// own sample size once the group is finished.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.criterion.sample_size),
+            test_mode: self.criterion.test_mode,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.timings);
+        self
+    }
+
+    /// Ends the group. (Consumes it; reporting already happened inline.)
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("bench {name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    let min = timings.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {name:<48} samples={:<3} min={min:>12.3?} mean={mean:>12.3?}",
+        timings.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// accepted forms (positional, and `name =`/`config =`/`targets =`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` that runs each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_prefixes_and_batched_setup() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
+        let mut g = c.benchmark_group("g");
+        let mut seen = Vec::new();
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 7u32, |v| seen.push(v), BatchSize::SmallInput)
+        });
+        g.finish();
+        // test_mode caps each bench at one sample
+        assert_eq!(seen, vec![7]);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_parent() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut in_group = 0;
+        g.bench_function("inner", |b| b.iter(|| in_group += 1));
+        g.finish();
+        assert_eq!(in_group, 5);
+
+        let mut after = 0;
+        c.bench_function("outer", |b| b.iter(|| after += 1));
+        assert_eq!(after, 2, "group override must not leak past finish()");
+    }
+}

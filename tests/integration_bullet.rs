@@ -13,7 +13,13 @@ fn run(with_bullet: bool, loss: f64, seed: u64) -> f64 {
     let n = 14usize;
     let topo = macedon::net::topology::canned::star(n, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let tree = RandTree::new(RandTreeConfig {
@@ -47,7 +53,11 @@ fn run(with_bullet: bool, loss: f64, seed: u64) -> f64 {
         w.api_at(
             Time::from_secs(20) + Duration::from_millis(i * 200),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(p), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     // Heal the network at the end so the mesh can finish recovering.
@@ -65,7 +75,10 @@ fn run(with_bullet: bool, loss: f64, seed: u64) -> f64 {
         }
     }
     let receivers = (hosts.len() - 1) as f64;
-    let total: f64 = per_node.values().map(|s| s.len() as f64 / n_pkts as f64).sum();
+    let total: f64 = per_node
+        .values()
+        .map(|s| s.len() as f64 / n_pkts as f64)
+        .sum();
     total / receivers
 }
 
@@ -89,7 +102,13 @@ fn bullet_mesh_actually_exchanges_data() {
     let n = 10usize;
     let topo = macedon::net::topology::canned::star(n, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 9, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 9,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let tree = RandTree::new(RandTreeConfig {
@@ -114,7 +133,11 @@ fn bullet_mesh_actually_exchanges_data() {
         w.api_at(
             Time::from_secs(15) + Duration::from_millis(i * 150),
             hosts[0],
-            DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(p), priority: -1 },
+            DownCall::Multicast {
+                group: MacedonKey(0),
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     // Loss active while the stream flows, then healed for recovery.
@@ -124,7 +147,13 @@ fn bullet_mesh_actually_exchanges_data() {
     let recovered: u64 = hosts
         .iter()
         .map(|&h| {
-            let b: &Bullet = w.stack(h).unwrap().agent(1).as_any().downcast_ref().unwrap();
+            let b: &Bullet = w
+                .stack(h)
+                .unwrap()
+                .agent(1)
+                .as_any()
+                .downcast_ref()
+                .unwrap();
             b.recovered
         })
         .sum();

@@ -8,14 +8,33 @@ use macedon::overlays::testutil::{collect_ring, correct_owner};
 use macedon::prelude::*;
 use macedon::sim::SimRng;
 
-fn chord_world(clients: usize, seed: u64) -> (World, Vec<NodeId>, macedon::core::app::SharedDeliveries) {
+fn chord_world(
+    clients: usize,
+    seed: u64,
+) -> (World, Vec<NodeId>, macedon::core::app::SharedDeliveries) {
     let mut rng = SimRng::new(seed);
-    let topo = inet(&InetParams { routers: 150, clients, ..Default::default() }, &mut rng);
+    let topo = inet(
+        &InetParams {
+            routers: 150,
+            clients,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
+        let cfg = ChordConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
         w.spawn_at(
             Time::from_millis(i as u64 * 200),
             h,
@@ -27,7 +46,12 @@ fn chord_world(clients: usize, seed: u64) -> (World, Vec<NodeId>, macedon::core:
 }
 
 fn chord_of(w: &World, h: NodeId) -> &Chord {
-    w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap()
+    w.stack(h)
+        .unwrap()
+        .agent(0)
+        .as_any()
+        .downcast_ref()
+        .unwrap()
 }
 
 #[test]
@@ -104,7 +128,11 @@ fn rdp_of_overlay_routing_bounded() {
     w.api_at(
         Time::from_secs(150),
         src,
-        DownCall::Route { dest, payload: Bytes::from(p), priority: -1 },
+        DownCall::Route {
+            dest,
+            payload: Bytes::from(p),
+            priority: -1,
+        },
     );
     w.run_until(Time::from_secs(160));
     let log = sink.lock();

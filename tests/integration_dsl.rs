@@ -10,7 +10,10 @@ use macedon::prelude::*;
 use std::sync::Arc;
 
 fn spec(name: &str) -> Arc<macedon::lang::Spec> {
-    let (_, src) = bundled_specs().into_iter().find(|(n, _)| *n == name).unwrap();
+    let (_, src) = bundled_specs()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap();
     Arc::new(compile(src).unwrap())
 }
 
@@ -23,21 +26,41 @@ fn interpreted_randtree_forms_a_tree() {
     let spec = spec("randtree");
     let topo = star_hosts(12);
     let hosts = topo.hosts().to_vec();
-    let mut cfg = WorldConfig { seed: 1, ..Default::default() };
+    let mut cfg = WorldConfig {
+        seed: 1,
+        ..Default::default()
+    };
     cfg.channels = channel_table(&spec);
     let mut w = World::new(topo, cfg);
     for (i, &h) in hosts.iter().enumerate() {
         let a = InterpretedAgent::new(spec.clone(), (i > 0).then(|| hosts[0]));
-        w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(a)], Box::new(NullApp));
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            vec![Box::new(a)],
+            Box::new(NullApp),
+        );
     }
     w.run_until(Time::from_secs(60));
     // Everyone joined; parent pointers reach the root without cycles.
     let parent_of = |w: &World, h: NodeId| -> Option<NodeId> {
-        let a: &InterpretedAgent = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let a: &InterpretedAgent = w
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         a.list("papa").and_then(|l| l.first().copied())
     };
     for &h in &hosts {
-        let a: &InterpretedAgent = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let a: &InterpretedAgent = w
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(a.state(), "joined", "{h:?}");
         assert!(
             a.list("kids").map(|l| l.len() <= 4).unwrap_or(true),
@@ -63,20 +86,37 @@ fn interpreted_matches_native_randtree_structure() {
     let run_native = || {
         let topo = star_hosts(10);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed: 2, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = RandTreeConfig {
                 root: (i > 0).then(|| hosts[0]),
                 max_children: 4,
                 ..Default::default()
             };
-            w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(RandTree::new(cfg))], Box::new(NullApp));
+            w.spawn_at(
+                Time::from_millis(i as u64 * 100),
+                h,
+                vec![Box::new(RandTree::new(cfg))],
+                Box::new(NullApp),
+            );
         }
         w.run_until(Time::from_secs(60));
         hosts
             .iter()
             .map(|&h| {
-                let a: &RandTree = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+                let a: &RandTree = w
+                    .stack(h)
+                    .unwrap()
+                    .agent(0)
+                    .as_any()
+                    .downcast_ref()
+                    .unwrap();
                 (a.is_joined(), a.children().len())
             })
             .collect::<Vec<_>>()
@@ -85,20 +125,36 @@ fn interpreted_matches_native_randtree_structure() {
         let spec = spec("randtree");
         let topo = star_hosts(10);
         let hosts = topo.hosts().to_vec();
-        let mut cfg = WorldConfig { seed: 2, ..Default::default() };
+        let mut cfg = WorldConfig {
+            seed: 2,
+            ..Default::default()
+        };
         cfg.channels = channel_table(&spec);
         let mut w = World::new(topo, cfg);
         for (i, &h) in hosts.iter().enumerate() {
             let a = InterpretedAgent::new(spec.clone(), (i > 0).then(|| hosts[0]));
-            w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(a)], Box::new(NullApp));
+            w.spawn_at(
+                Time::from_millis(i as u64 * 100),
+                h,
+                vec![Box::new(a)],
+                Box::new(NullApp),
+            );
         }
         w.run_until(Time::from_secs(60));
         hosts
             .iter()
             .map(|&h| {
-                let a: &InterpretedAgent =
-                    w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
-                (a.state() == "joined", a.list("kids").map(|l| l.len()).unwrap_or(0))
+                let a: &InterpretedAgent = w
+                    .stack(h)
+                    .unwrap()
+                    .agent(0)
+                    .as_any()
+                    .downcast_ref()
+                    .unwrap();
+                (
+                    a.state() == "joined",
+                    a.list("kids").map(|l| l.len()).unwrap_or(0),
+                )
             })
             .collect::<Vec<_>>()
     };
@@ -117,19 +173,33 @@ fn interpreted_overcast_follows_the_figure_1_fsm() {
     let spec = spec("overcast");
     let topo = star_hosts(8);
     let hosts = topo.hosts().to_vec();
-    let mut cfg = WorldConfig { seed: 3, ..Default::default() };
+    let mut cfg = WorldConfig {
+        seed: 3,
+        ..Default::default()
+    };
     cfg.channels = channel_table(&spec);
     let mut w = World::new(topo, cfg);
     for (i, &h) in hosts.iter().enumerate() {
         let a = InterpretedAgent::new(spec.clone(), (i > 0).then(|| hosts[0]));
-        w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(a)], Box::new(NullApp));
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            vec![Box::new(a)],
+            Box::new(NullApp),
+        );
     }
     w.run_until(Time::from_secs(90));
     // All nodes cycle back to joined (probe epochs pass through
     // probed/probing); tree edges total n-1.
     let mut edges = 0usize;
     for &h in &hosts {
-        let a: &InterpretedAgent = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let a: &InterpretedAgent = w
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert!(
             ["joined", "probed", "probing"].contains(&a.state()),
             "{h:?} in FSM state {}",
@@ -146,19 +216,36 @@ fn interpreted_overcast_matches_native_tree_shape() {
     let native = {
         let topo = star_hosts(8);
         let hosts = topo.hosts().to_vec();
-        let mut w = World::new(topo, WorldConfig { seed: 4, ..Default::default() });
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                seed: 4,
+                ..Default::default()
+            },
+        );
         for (i, &h) in hosts.iter().enumerate() {
             let cfg = OvercastConfig {
                 bootstrap: (i > 0).then(|| hosts[0]),
                 max_children: 6,
                 ..Default::default()
             };
-            w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(Overcast::new(cfg))], Box::new(NullApp));
+            w.spawn_at(
+                Time::from_millis(i as u64 * 100),
+                h,
+                vec![Box::new(Overcast::new(cfg))],
+                Box::new(NullApp),
+            );
         }
         w.run_until(Time::from_secs(90));
         let mut edges = 0;
         for &h in &hosts {
-            let a: &Overcast = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+            let a: &Overcast = w
+                .stack(h)
+                .unwrap()
+                .agent(0)
+                .as_any()
+                .downcast_ref()
+                .unwrap();
             edges += a.children().len();
         }
         edges
@@ -171,7 +258,10 @@ fn codegen_emits_compilable_shape_for_all_specs() {
     for (name, src) in bundled_specs() {
         let spec = compile(src).unwrap();
         let code = codegen::generate(&spec);
-        assert!(code.contains("impl Agent for"), "{name} generates an Agent impl");
+        assert!(
+            code.contains("impl Agent for"),
+            "{name} generates an Agent impl"
+        );
         assert!(code.contains("fn recv"), "{name} has the demux function");
         // Balanced braces — a cheap structural sanity check.
         let open = code.matches('{').count();

@@ -16,11 +16,25 @@ fn star(n: usize) -> macedon::net::Topology {
 fn chord_survives_cascading_crashes() {
     let topo = star(12);
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 1, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
-        w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(Chord::new(cfg))], Box::new(CollectorApp::new(sink.clone())));
+        let cfg = ChordConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            vec![Box::new(Chord::new(cfg))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
     }
     w.run_until(Time::from_secs(60));
     // Crash three non-bootstrap nodes, staggered.
@@ -29,10 +43,20 @@ fn chord_survives_cascading_crashes() {
     w.crash_at(Time::from_secs(75), victims[1]);
     w.crash_at(Time::from_secs(90), victims[2]);
     w.run_until(Time::from_secs(200));
-    let alive: Vec<NodeId> = hosts.iter().copied().filter(|h| !victims.contains(h)).collect();
+    let alive: Vec<NodeId> = hosts
+        .iter()
+        .copied()
+        .filter(|h| !victims.contains(h))
+        .collect();
     let ring = collect_ring(&w, &alive);
     for (i, &(node, _)) in ring.iter().enumerate() {
-        let c: &Chord = w.stack(node).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let c: &Chord = w
+            .stack(node)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(
             c.successor().unwrap().0,
             ring[(i + 1) % ring.len()].0,
@@ -46,11 +70,25 @@ fn chord_survives_cascading_crashes() {
 fn chord_routes_correctly_after_heal() {
     let topo = star(10);
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 3, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
-        w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(Chord::new(cfg))], Box::new(CollectorApp::new(sink.clone())));
+        let cfg = ChordConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            vec![Box::new(Chord::new(cfg))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
     }
     w.run_until(Time::from_secs(60));
     let victim = hosts[5];
@@ -73,7 +111,10 @@ fn chord_routes_correctly_after_heal() {
     }
     w.run_until(Time::from_secs(200));
     let log = sink.lock();
-    let delivered: Vec<_> = log.iter().filter(|r| r.seqno.is_some() && r.at > Time::from_secs(150)).collect();
+    let delivered: Vec<_> = log
+        .iter()
+        .filter(|r| r.seqno.is_some() && r.at > Time::from_secs(150))
+        .collect();
     assert_eq!(delivered.len(), 15, "all post-heal lookups delivered");
     for rec in &delivered {
         assert_ne!(rec.node, victim, "nothing delivered at the dead node");
@@ -87,10 +128,19 @@ fn chord_routes_correctly_after_heal() {
 fn scribe_tree_repairs_after_forwarder_crash() {
     let topo = star(12);
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 5, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let pastry = Pastry::new(PastryConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() });
+        let pastry = Pastry::new(PastryConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        });
         let scribe = Scribe::new(ScribeConfig::default());
         w.spawn_at(
             Time::from_millis(i as u64 * 100),
@@ -106,13 +156,16 @@ fn scribe_tree_repairs_after_forwarder_crash() {
     }
     w.run_until(Time::from_secs(80));
     // Crash a node that forwards for the group (has children).
-    let victim = hosts[1..]
-        .iter()
-        .copied()
-        .find(|&h| {
-            let s: &Scribe = w.stack(h).unwrap().agent(1).as_any().downcast_ref().unwrap();
-            !s.group_children(group).is_empty()
-        });
+    let victim = hosts[1..].iter().copied().find(|&h| {
+        let s: &Scribe = w
+            .stack(h)
+            .unwrap()
+            .agent(1)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        !s.group_children(group).is_empty()
+    });
     let Some(victim) = victim else {
         return; // flat tree: nothing to crash meaningfully
     };
@@ -121,12 +174,27 @@ fn scribe_tree_repairs_after_forwarder_crash() {
     w.run_until(Time::from_secs(160));
     let mut p = vec![0u8; 128];
     p[..8].copy_from_slice(&42u64.to_be_bytes());
-    let sender = hosts.iter().copied().find(|&h| h != victim && h != hosts[0]).unwrap();
-    w.api_at(Time::from_secs(160), sender, DownCall::Multicast { group, payload: Bytes::from(p), priority: -1 });
+    let sender = hosts
+        .iter()
+        .copied()
+        .find(|&h| h != victim && h != hosts[0])
+        .unwrap();
+    w.api_at(
+        Time::from_secs(160),
+        sender,
+        DownCall::Multicast {
+            group,
+            payload: Bytes::from(p),
+            priority: -1,
+        },
+    );
     w.run_until(Time::from_secs(190));
     let log = sink.lock();
-    let got: std::collections::HashSet<NodeId> =
-        log.iter().filter(|r| r.seqno == Some(42)).map(|r| r.node).collect();
+    let got: std::collections::HashSet<NodeId> = log
+        .iter()
+        .filter(|r| r.seqno == Some(42))
+        .map(|r| r.node)
+        .collect();
     // All surviving members (n-2: minus bootstrap non-member? bootstrap
     // never joined; minus the victim) modulo one straggler mid-rejoin.
     let members = hosts.len() - 2; // hosts[1..] joined, one crashed
@@ -141,18 +209,38 @@ fn scribe_tree_repairs_after_forwarder_crash() {
 fn random_loss_does_not_break_chord_maintenance() {
     let topo = star(8);
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 7, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    );
     w.net_mut().faults_mut().set_drop_probability(0.05);
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
-        w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(Chord::new(cfg))], Box::new(CollectorApp::new(sink.clone())));
+        let cfg = ChordConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            vec![Box::new(Chord::new(cfg))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
     }
     w.run_until(Time::from_secs(180));
     let ring = collect_ring(&w, &hosts);
     let mut correct = 0;
     for (i, &(node, _)) in ring.iter().enumerate() {
-        let c: &Chord = w.stack(node).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let c: &Chord = w
+            .stack(node)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         if c.successor().map(|(n, _)| n) == Some(ring[(i + 1) % ring.len()].0) {
             correct += 1;
         }
@@ -172,11 +260,25 @@ fn link_failure_and_heal_recovers_traffic() {
         let h = hosts[1];
         topo.link(topo.outgoing(h)[0]).phys
     };
-    let mut w = World::new(topo, WorldConfig { seed: 9, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 9,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = ChordConfig { bootstrap: (i > 0).then(|| hosts[0]), ..Default::default() };
-        w.spawn_at(Time::from_millis(i as u64 * 100), h, vec![Box::new(Chord::new(cfg))], Box::new(CollectorApp::new(sink.clone())));
+        let cfg = ChordConfig {
+            bootstrap: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            vec![Box::new(Chord::new(cfg))],
+            Box::new(CollectorApp::new(sink.clone())),
+        );
     }
     w.run_until(Time::from_secs(40));
     // Take hosts[1]'s access link down briefly; TCP retransmission and
@@ -187,7 +289,13 @@ fn link_failure_and_heal_recovers_traffic() {
     w.run_until(Time::from_secs(120));
     let ring = collect_ring(&w, &hosts);
     for (i, &(node, _)) in ring.iter().enumerate() {
-        let c: &Chord = w.stack(node).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let c: &Chord = w
+            .stack(node)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         assert_eq!(c.successor().unwrap().0, ring[(i + 1) % ring.len()].0);
     }
 }

@@ -12,16 +12,32 @@ enum Dht {
     Chord,
 }
 
-fn scribe_world(n: usize, dht: Dht, seed: u64) -> (World, Vec<NodeId>, macedon::core::app::SharedDeliveries) {
+fn scribe_world(
+    n: usize,
+    dht: Dht,
+    seed: u64,
+) -> (World, Vec<NodeId>, macedon::core::app::SharedDeliveries) {
     let topo = macedon::net::topology::canned::star(n, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let bootstrap = (i > 0).then(|| hosts[0]);
         let lower: Box<dyn Agent> = match dht {
-            Dht::Pastry => Box::new(Pastry::new(PastryConfig { bootstrap, ..Default::default() })),
-            Dht::Chord => Box::new(Chord::new(ChordConfig { bootstrap, ..Default::default() })),
+            Dht::Pastry => Box::new(Pastry::new(PastryConfig {
+                bootstrap,
+                ..Default::default()
+            })),
+            Dht::Chord => Box::new(Chord::new(ChordConfig {
+                bootstrap,
+                ..Default::default()
+            })),
         };
         w.spawn_at(
             Time::from_millis(i as u64 * 100),
@@ -45,7 +61,11 @@ fn run_multicast(w: &mut World, hosts: &[NodeId], group: MacedonKey, n_pkts: u64
         w.api_at(
             Time::from_secs(80) + Duration::from_millis(i * 100),
             hosts[1],
-            DownCall::Multicast { group, payload: Bytes::from(p), priority: -1 },
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     w.run_until(Time::from_secs(110));
@@ -58,8 +78,11 @@ fn scribe_over_pastry_reaches_all_members() {
     run_multicast(&mut w, &hosts, group, 5);
     let log = sink.lock();
     for i in 0..5u64 {
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(i)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(i))
+            .map(|r| r.node)
+            .collect();
         // All receivers (hosts[1..]) except... the sender hosts[1] is a
         // member and delivers its own multicast through the tree root.
         assert!(
@@ -78,8 +101,11 @@ fn scribe_over_chord_reaches_all_members() {
     run_multicast(&mut w, &hosts, group, 5);
     let log = sink.lock();
     for i in 0..5u64 {
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(i)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(i))
+            .map(|r| r.node)
+            .collect();
         assert!(
             got.len() >= hosts.len() - 2,
             "packet {i} reached {}/{} members over chord",
@@ -105,7 +131,13 @@ fn scribe_trees_are_rooted_at_group_owner() {
         .unwrap();
     let mut roots = 0;
     for &h in &hosts {
-        let s: &Scribe = w.stack(h).unwrap().agent(1).as_any().downcast_ref().unwrap();
+        let s: &Scribe = w
+            .stack(h)
+            .unwrap()
+            .agent(1)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         if s.is_root(group) {
             roots += 1;
             assert_eq!(h, owner, "root is the key owner");
@@ -118,7 +150,13 @@ fn scribe_trees_are_rooted_at_group_owner() {
 fn splitstream_stripes_spread_over_distinct_trees() {
     let topo = macedon::net::topology::canned::star(16, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 4, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 4,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let pastry = Pastry::new(PastryConfig {
@@ -150,15 +188,22 @@ fn splitstream_stripes_spread_over_distinct_trees() {
         w.api_at(
             Time::from_secs(100) + Duration::from_millis(i * 50),
             hosts[1],
-            DownCall::Multicast { group, payload: Bytes::from(p), priority: -1 },
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     w.run_until(Time::from_secs(130));
     let log = sink.lock();
     // Every packet reaches (almost) every member despite striping.
     for i in 0..16u64 {
-        let got: std::collections::HashSet<NodeId> =
-            log.iter().filter(|r| r.seqno == Some(i)).map(|r| r.node).collect();
+        let got: std::collections::HashSet<NodeId> = log
+            .iter()
+            .filter(|r| r.seqno == Some(i))
+            .map(|r| r.node)
+            .collect();
         assert!(
             got.len() >= hosts.len() - 3,
             "stripe packet {i} reached {}/{}",
@@ -182,7 +227,10 @@ fn splitstream_stripes_spread_over_distinct_trees() {
                 .unwrap()
         })
         .collect();
-    assert!(roots.len() >= 3, "stripes root at distinct nodes: {roots:?}");
+    assert!(
+        roots.len() >= 3,
+        "stripes root at distinct nodes: {roots:?}"
+    );
 }
 
 #[test]
@@ -200,7 +248,11 @@ fn anycast_reaches_exactly_one_member() {
         w.api_at(
             Time::from_secs(80) + Duration::from_millis(i * 100),
             hosts[1],
-            DownCall::Anycast { group, payload: Bytes::from(p), priority: -1 },
+            DownCall::Anycast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
         );
     }
     w.run_until(Time::from_secs(100));
@@ -228,15 +280,29 @@ fn leave_prunes_the_tree() {
     w.run_until(Time::from_secs(120));
     let mut p = vec![0u8; 64];
     p[..8].copy_from_slice(&777u64.to_be_bytes());
-    w.api_at(Time::from_secs(120), hosts[1], DownCall::Multicast { group, payload: Bytes::from(p), priority: -1 });
+    w.api_at(
+        Time::from_secs(120),
+        hosts[1],
+        DownCall::Multicast {
+            group,
+            payload: Bytes::from(p),
+            priority: -1,
+        },
+    );
     w.run_until(Time::from_secs(140));
     let log = sink.lock();
-    let got: std::collections::HashSet<NodeId> =
-        log.iter().filter(|r| r.seqno == Some(777)).map(|r| r.node).collect();
+    let got: std::collections::HashSet<NodeId> = log
+        .iter()
+        .filter(|r| r.seqno == Some(777))
+        .map(|r| r.node)
+        .collect();
     for &l in &leavers {
         // A leaver may still relay as a forwarder, but must not deliver to
         // its application once `member = false`.
         assert!(!got.contains(&l), "leaver {l:?} must not deliver");
     }
-    assert!(got.len() >= hosts.len() - 1 - 2 - 1, "remaining members still served: {got:?}");
+    assert!(
+        got.len() >= hosts.len() - 1 - 2 - 1,
+        "remaining members still served: {got:?}"
+    );
 }

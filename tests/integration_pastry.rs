@@ -13,9 +13,22 @@ fn pastry_world(
     cache_lifetime: Option<Duration>,
 ) -> (World, Vec<NodeId>, macedon::core::app::SharedDeliveries) {
     let mut rng = SimRng::new(seed);
-    let topo = inet(&InetParams { routers: 150, clients, ..Default::default() }, &mut rng);
+    let topo = inet(
+        &InetParams {
+            routers: 150,
+            clients,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
         let cfg = PastryConfig {
@@ -34,7 +47,12 @@ fn pastry_world(
 }
 
 fn pastry_of(w: &World, h: NodeId) -> &Pastry {
-    w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap()
+    w.stack(h)
+        .unwrap()
+        .agent(0)
+        .as_any()
+        .downcast_ref()
+        .unwrap()
 }
 
 /// Pastry ownership: globally closest key by ring distance.
@@ -87,7 +105,14 @@ fn location_cache_cuts_repeat_latency() {
         let mut pw = WireWriter::new();
         pw.key(target);
         pw.bytes(&inner);
-        w.api_at(at, hosts[0], DownCall::Ext { op: EXT_ROUTE_DIRECT, payload: pw.finish() });
+        w.api_at(
+            at,
+            hosts[0],
+            DownCall::Ext {
+                op: EXT_ROUTE_DIRECT,
+                payload: pw.finish(),
+            },
+        );
     };
     send(&mut w, Time::from_secs(120), 1);
     w.run_until(Time::from_secs(125));
@@ -120,7 +145,10 @@ fn leaf_sets_match_global_neighbors() {
             .min_by_key(|&o| me.distance_to(w.key_of(o)))
             .unwrap();
         assert!(
-            pastry_of(&w, h).leaf_set().iter().any(|&(n, _)| n == nearest_cw),
+            pastry_of(&w, h)
+                .leaf_set()
+                .iter()
+                .any(|&(n, _)| n == nearest_cw),
             "{h:?} knows its clockwise neighbor"
         );
     }

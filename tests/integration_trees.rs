@@ -14,9 +14,22 @@ use std::collections::HashMap;
 
 fn inet_world(clients: usize, seed: u64) -> (World, Vec<NodeId>) {
     let mut rng = SimRng::new(seed);
-    let topo = inet(&InetParams { routers: 120, clients, ..Default::default() }, &mut rng);
+    let topo = inet(
+        &InetParams {
+            routers: 120,
+            clients,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let hosts = topo.hosts().to_vec();
-    let w = World::new(topo, WorldConfig { seed, ..Default::default() });
+    let w = World::new(
+        topo,
+        WorldConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     (w, hosts)
 }
 
@@ -41,7 +54,13 @@ fn overcast_tree_on_inet_with_stretch_metric() {
     // Extract the overlay tree and compute stretch via the oracle.
     let mut parents: HashMap<NodeId, NodeId> = HashMap::new();
     for &h in &hosts[1..] {
-        let o: &Overcast = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let o: &Overcast = w
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         if let Some(p) = o.parent() {
             parents.insert(h, p);
         }
@@ -79,7 +98,11 @@ fn randtree_multicast_link_stress_bounded_by_fanout() {
     w.api_at(
         Time::from_secs(60),
         hosts[0],
-        DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(p), priority: -1 },
+        DownCall::Multicast {
+            group: MacedonKey(0),
+            payload: Bytes::from(p),
+            priority: -1,
+        },
     );
     // A narrow measurement window keeps engine heartbeats out of the
     // stress accounting (a LAN flood completes in tens of ms).
@@ -124,7 +147,11 @@ fn ammo_adapts_without_partition_on_inet() {
     w.api_at(
         Time::from_secs(180),
         hosts[0],
-        DownCall::Multicast { group: MacedonKey(0), payload: Bytes::from(p), priority: -1 },
+        DownCall::Multicast {
+            group: MacedonKey(0),
+            payload: Bytes::from(p),
+            priority: -1,
+        },
     );
     w.run_until(Time::from_secs(200));
     let log = sink.lock();
@@ -138,11 +165,20 @@ fn ammo_adapts_without_partition_on_inet() {
     let reloc: u32 = hosts
         .iter()
         .map(|&h| {
-            let a: &Ammo = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+            let a: &Ammo = w
+                .stack(h)
+                .unwrap()
+                .agent(0)
+                .as_any()
+                .downcast_ref()
+                .unwrap();
             a.relocations
         })
         .sum();
-    assert!(reloc > 0, "AMMO actually adapted on a heterogeneous topology");
+    assert!(
+        reloc > 0,
+        "AMMO actually adapted on a heterogeneous topology"
+    );
 }
 
 #[test]
@@ -154,16 +190,22 @@ fn nice_clusters_respect_latency_locality() {
         vec![80, 80, 0, 5],
         vec![80, 80, 5, 0],
     ];
-    let topo = macedon::net::topology::canned::sites(
-        &lat,
-        3,
-        macedon::net::topology::LinkSpec::lan(),
-    );
+    let topo =
+        macedon::net::topology::canned::sites(&lat, 3, macedon::net::topology::LinkSpec::lan());
     let hosts = topo.hosts().to_vec();
-    let mut w = World::new(topo, WorldConfig { seed: 7, ..Default::default() });
+    let mut w = World::new(
+        topo,
+        WorldConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let sink = shared_deliveries();
     for (i, &h) in hosts.iter().enumerate() {
-        let cfg = NiceConfig { rendezvous: (i > 0).then(|| hosts[0]), ..Default::default() };
+        let cfg = NiceConfig {
+            rendezvous: (i > 0).then(|| hosts[0]),
+            ..Default::default()
+        };
         w.spawn_at(
             Time::from_millis(i as u64 * 400),
             h,
@@ -177,7 +219,13 @@ fn nice_clusters_respect_latency_locality() {
     let mut local = 0usize;
     let mut cross = 0usize;
     for &h in &hosts {
-        let nice: &Nice = w.stack(h).unwrap().agent(0).as_any().downcast_ref().unwrap();
+        let nice: &Nice = w
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
         for m in nice.cluster_members(0) {
             if m == h {
                 continue;
