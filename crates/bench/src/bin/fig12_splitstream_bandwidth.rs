@@ -1,11 +1,15 @@
 //! Figure 12 — SplitStream per-node bandwidth over time for two Pastry
-//! location-cache policies (no eviction vs 1 s lifetime).
-use macedon_bench::experiments::fig12;
+//! location-cache policies (no eviction vs 1 s lifetime). With
+//! `--from-spec`, the same streaming scenario additionally runs over
+//! the fully interpreted `splitstream.mac` → `scribe.mac` →
+//! `pastry.mac` stack.
+use macedon_bench::experiments::{fig12, fig12_from_spec};
 use macedon_bench::table::{f1, maybe_write_csv, print_table};
 use macedon_bench::Scale;
 
 fn main() {
-    let s = fig12(Scale::from_args());
+    let scale = Scale::from_args();
+    let s = fig12(scale);
     let cells: Vec<Vec<String>> = s
         .no_eviction
         .iter()
@@ -30,4 +34,21 @@ fn main() {
         avg(&s.no_eviction),
         avg(&s.with_eviction)
     );
+
+    if std::env::args().any(|a| a == "--from-spec") {
+        let spec = fig12_from_spec(scale);
+        let cells: Vec<Vec<String>> = spec
+            .iter()
+            .map(|(t, kbps)| vec![format!("{t:.0}"), f1(*kbps)])
+            .collect();
+        print_table(
+            "From-spec mode: interpreted splitstream/scribe/pastry stack",
+            &["t(s)", "goodput (Kbps)"],
+            &cells,
+        );
+        println!(
+            "\nFrom-spec run mean: {:.0} Kbps (flooding dissemination; see scribe.mac)",
+            avg(&spec)
+        );
+    }
 }

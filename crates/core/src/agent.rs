@@ -74,6 +74,10 @@ pub struct Ctx<'a> {
     pub my_key: MacedonKey,
     /// Index of the executing layer (0 = lowest).
     pub layer: usize,
+    /// Total protocol layers in this stack (the application sits at
+    /// index `layers`). Lets an agent tell whether anything is stacked
+    /// above it — e.g. whether a forward query would reach anyone.
+    pub layers: usize,
     /// Per-node deterministic RNG.
     pub rng: &'a mut SimRng,
     pub(crate) ops: &'a mut Vec<(usize, Op)>,
@@ -162,6 +166,11 @@ impl<'a> Ctx<'a> {
                 msg: msg.into(),
             },
         ));
+    }
+
+    /// Is this the topmost protocol layer (only the application above)?
+    pub fn is_top_layer(&self) -> bool {
+        self.layer + 1 >= self.layers
     }
 
     /// Declare this transition a data (read-locked) transition; the
@@ -274,6 +283,7 @@ mod tests {
             me: NodeId(0),
             my_key: MacedonKey(0),
             layer: 2,
+            layers: 3,
             rng: &mut rng,
             ops: &mut ops,
             locking: Locking::Write,
@@ -300,6 +310,7 @@ mod tests {
             me: NodeId(0),
             my_key: MacedonKey(0),
             layer: 0,
+            layers: 1,
             rng: &mut rng,
             ops: &mut ops,
             locking: Locking::Write,

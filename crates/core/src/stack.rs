@@ -291,6 +291,7 @@ impl Stack {
             me: self.node,
             my_key: self.key,
             layer,
+            layers: self.agents.len(),
             rng: &mut self.rng,
             ops: &mut ops,
             locking: Locking::Write,
@@ -317,6 +318,7 @@ impl Stack {
             me: self.node,
             my_key: self.key,
             layer,
+            layers: self.agents.len(),
             rng: &mut self.rng,
             ops: &mut ops,
             locking: Locking::Write,

@@ -99,7 +99,9 @@ pub enum StateVar {
         name: String,
         fail_detect: bool,
     },
-    /// `timer <name> <period>?;` (period in milliseconds).
+    /// `timer <name> <period>?;` — period in milliseconds, given either
+    /// as an integer literal or as the name of a previously declared
+    /// constant (the parser resolves the name).
     Timer {
         name: String,
         period_ms: Option<i64>,
@@ -223,6 +225,28 @@ pub enum Stmt {
     Trace(Expr),
     /// `return;` — leave the transition early.
     Return,
+    /// `quash();` — inside a `forward` transition, swallow the in-transit
+    /// message instead of letting the layer below transmit it (the
+    /// paper's mutable forward() query).
+    Quash,
+    /// `downcall(<api>, args...);` — issue a MACEDON API call to the
+    /// layer below (`downcall(join, group)`, `downcall(route, dest,
+    /// payload)`). Only meaningful in layered (`uses`) specifications.
+    DownCallApi {
+        api: String,
+        args: Vec<Expr>,
+    },
+}
+
+/// Argument count of a `downcall(<api>, args...)` statement, or `None`
+/// for an unknown API name. Single source of truth for the semantic
+/// checker and the interpreter's call builder.
+pub fn downcall_arity(api: &str) -> Option<usize> {
+    match api {
+        "join" | "leave" | "create_group" => Some(1),
+        "multicast" | "anycast" | "collect" | "route" | "routeIP" => Some(2),
+        _ => None,
+    }
 }
 
 /// Expressions.

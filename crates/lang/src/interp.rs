@@ -8,18 +8,45 @@
 //! step, which lets the test suite cross-validate the bundled specs
 //! against the hand-written agents in `macedon-overlays`.
 //!
-//! Interpretation currently covers lowest-layer protocols (a spec with a
-//! `uses` clause parses and code-gens, but layered interpretation is
-//! future work, as §6 of the paper frames extensions).
+//! Interpretation covers the whole roster, layered specs included. An
+//! [`InterpretedAgent`] is a first-class citizen of the engine's
+//! multi-layer [`macedon_core::Stack`]:
+//!
+//! * A **lowest-layer** spec (no `uses`) owns the transports: message
+//!   sends go straight to the wire, `routeIP` downcalls from layers
+//!   above are served natively by tunneling the payload to the target
+//!   host, and sends that carry tunneled upper-layer data are vetted
+//!   through the engine's `forward` query so the layers above may
+//!   redirect or quash them — exactly what native routers do.
+//! * A **layered** spec (`uses base`) never touches the wire: message
+//!   sends become `route`/`routeIP` downcalls on the layer below
+//!   (destination `null` routes toward the message's first key field),
+//!   incoming messages arrive as `deliver` upcalls demultiplexed by
+//!   protocol id, `forward <msg>` transitions fire from the layer
+//!   below's forward queries (with `quash();` available to swallow the
+//!   message), and `downcall(<api>, ..)` statements invoke the base
+//!   layer's API. API calls the spec declares no transition for are
+//!   relayed down the stack unchanged.
+//!
+//! Interpreted and native agents compose freely in one stack (e.g. a
+//! native Pastry under an interpreted `scribe.mac`), because both speak
+//! the same [`macedon_core::DownCall`]/[`macedon_core::UpCall`] API.
+//! Use [`crate::registry::SpecRegistry`] to resolve a spec's `uses`
+//! chain and assemble the ready-to-run stack.
 
 use crate::ast::*;
 use macedon_core::{
-    Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, MacedonKey, NodeId, ProtocolId,
-    TraceLevel, TransportKind, UpCall, WireReader, WireWriter,
+    Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, ForwardInfo, MacedonKey, NodeId,
+    ProtocolId, TraceLevel, TransportKind, UpCall, WireReader, WireWriter, DEFAULT_PRIORITY,
 };
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+
+/// Pseudo protocol id framing payloads an interpreted lowest layer
+/// tunnels on behalf of the layers above (the native engine's
+/// `macedon_routeIP` service).
+pub const TUNNEL_PROTOCOL: ProtocolId = 0xFFFD;
 
 /// Runtime values of the action language.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +94,8 @@ struct Frame {
     from: Option<NodeId>,
     payload: Option<Bytes>,
     api_args: HashMap<&'static str, Value>,
+    /// Set by `quash();` inside a `forward` transition.
+    quash: bool,
 }
 
 enum Flow {
@@ -92,9 +121,10 @@ pub fn channel_table(spec: &Spec) -> Vec<ChannelSpec> {
 /// Well-known protocol id derived from the protocol name.
 pub fn protocol_id_of(name: &str) -> ProtocolId {
     let h = macedon_core::sha1::sha1_u32(name.as_bytes()) as u16;
-    // Stay clear of reserved values.
+    // Stay clear of reserved values (engine heartbeat, app wrapper,
+    // interpreter tunnel).
     match h {
-        0xFFFE | 0xFFFF => 0x7FFF,
+        0xFFFD | 0xFFFE | 0xFFFF => 0x7FFF,
         v => v,
     }
 }
@@ -104,6 +134,9 @@ pub struct InterpretedAgent {
     spec: Arc<Spec>,
     proto: ProtocolId,
     bootstrap: Option<NodeId>,
+    /// Has a `uses` base: sends become downcalls, receives come as
+    /// `deliver` upcalls, and the wire is never touched directly.
+    layered: bool,
     state: String,
     vars: HashMap<String, Value>,
     lists: HashMap<String, Vec<NodeId>>,
@@ -113,20 +146,22 @@ pub struct InterpretedAgent {
     timer_names: Vec<String>,
     msg_ids: HashMap<String, u16>,
     msg_channel: HashMap<String, ChannelId>,
+    /// Encoded sends awaiting their forward-query verdict, FIFO (the
+    /// dispatcher resolves queries in emission order).
+    pending_fwd: VecDeque<(NodeId, ChannelId, Bytes)>,
     /// Transitions fired, per trigger kind (observability / tests).
     pub transitions_fired: u64,
 }
 
 impl InterpretedAgent {
-    /// Instantiate a compiled spec. `bootstrap` is bound to the variable
-    /// `bootstrap` inside transitions (`Null` for the designated root).
+    /// Instantiate a compiled spec as one layer of a stack. `bootstrap`
+    /// is bound to the variable `bootstrap` inside transitions (`Null`
+    /// for the designated root). Specs with a `uses` clause must be
+    /// stacked above an agent serving their base protocol's API —
+    /// interpreted or native; [`crate::registry::SpecRegistry`] builds
+    /// whole chains.
     pub fn new(spec: Arc<Spec>, bootstrap: Option<NodeId>) -> InterpretedAgent {
-        assert!(
-            spec.uses.is_none(),
-            "interpreter runs lowest-layer specs; '{}' uses '{}'",
-            spec.name,
-            spec.uses.as_deref().unwrap_or_default()
-        );
+        let layered = spec.uses.is_some();
         let mut vars = HashMap::new();
         for (name, v) in &spec.constants {
             vars.insert(name.clone(), Value::Int(*v));
@@ -189,6 +224,7 @@ impl InterpretedAgent {
             spec,
             proto,
             bootstrap,
+            layered,
             state: "init".to_string(),
             vars,
             lists,
@@ -198,6 +234,7 @@ impl InterpretedAgent {
             timer_names,
             msg_ids,
             msg_channel,
+            pending_fwd: VecDeque::new(),
             transitions_fired: 0,
         }
     }
@@ -216,7 +253,15 @@ impl InterpretedAgent {
 
     // ---- dispatch --------------------------------------------------------
 
-    fn fire(&mut self, ctx: &mut Ctx, trigger: &Trigger, mut frame: Frame) {
+    /// Does any transition (in any state scope) answer this trigger?
+    fn has_transition(&self, trigger: &Trigger) -> bool {
+        self.spec.transitions.iter().any(|t| &t.trigger == trigger)
+    }
+
+    /// Fire the transition matching `trigger` in the current state, if
+    /// any; returns the frame's quash flag (only `forward` transitions
+    /// set it).
+    fn fire(&mut self, ctx: &mut Ctx, trigger: &Trigger, mut frame: Frame) -> bool {
         let spec = self.spec.clone();
         let Some(t) = spec
             .transitions
@@ -230,7 +275,7 @@ impl InterpretedAgent {
                     spec.name, self.state
                 ),
             );
-            return;
+            return false;
         };
         if t.locking == LockingOpt::Read {
             ctx.locking_read();
@@ -243,6 +288,7 @@ impl InterpretedAgent {
             );
             debug_assert!(false, "interpreter runtime error: {e}");
         }
+        frame.quash
     }
 
     fn exec_block(
@@ -347,7 +393,20 @@ impl InterpretedAgent {
                 for a in args {
                     values.push(self.eval(ctx, frame, a)?);
                 }
-                self.send_message(ctx, message, dest, values)?;
+                self.send_message(ctx, frame.from, message, dest, values)?;
+                Ok(Flow::Continue)
+            }
+            Stmt::Quash => {
+                frame.quash = true;
+                Ok(Flow::Continue)
+            }
+            Stmt::DownCallApi { api, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(ctx, frame, a)?);
+                }
+                let call = build_downcall(api, values)?;
+                ctx.down(call);
                 Ok(Flow::Continue)
             }
             Stmt::UpcallNotify(list, e) => {
@@ -449,15 +508,11 @@ impl InterpretedAgent {
     fn send_message(
         &mut self,
         ctx: &mut Ctx,
+        from: Option<NodeId>,
         message: &str,
         dest: Value,
         values: Vec<Value>,
     ) -> Result<(), String> {
-        let dest = match dest {
-            Value::Node(n) => n,
-            Value::Null => return Ok(()), // sending to nobody is a no-op
-            other => return Err(format!("message dest must be a node, got {other:?}")),
-        };
         let id = *self
             .msg_ids
             .get(message)
@@ -504,9 +559,121 @@ impl InterpretedAgent {
                 (ty, v) => return Err(format!("field {}: cannot encode {v:?} as {ty:?}", f.name)),
             }
         }
+        let bytes = w.finish();
+
+        // First key field, if any: the routing destination when the
+        // message addresses a key rather than a host.
+        let key_of = |fields: &[Field], values: &[Value]| {
+            fields
+                .iter()
+                .zip(values)
+                .find_map(|(f, v)| match (&f.ty, v) {
+                    (TypeName::Key, Value::Key(k)) => Some(*k),
+                    (TypeName::Key, Value::Node(n)) => Some(MacedonKey(n.0)),
+                    _ => None,
+                })
+        };
+
+        if self.layered {
+            // Layered specs never touch the wire: sends tunnel through
+            // the base layer's API. A node destination is a direct
+            // `routeIP`; `null` routes toward the message's first key
+            // field (Scribe's `subscribe(null, group, me)` idiom).
+            let call = match dest {
+                Value::Node(n) => DownCall::RouteIp {
+                    dest: n,
+                    payload: bytes,
+                    priority: DEFAULT_PRIORITY,
+                },
+                Value::Key(k) => DownCall::Route {
+                    dest: k,
+                    payload: bytes,
+                    priority: DEFAULT_PRIORITY,
+                },
+                Value::Null => {
+                    let Some(k) = key_of(&decl.fields, &values) else {
+                        return Err(format!(
+                            "message {message}: null destination needs a key field to route toward"
+                        ));
+                    };
+                    DownCall::Route {
+                        dest: k,
+                        payload: bytes,
+                        priority: DEFAULT_PRIORITY,
+                    }
+                }
+                other => return Err(format!("message dest must be node/key, got {other:?}")),
+            };
+            ctx.down(call);
+            return Ok(());
+        }
+
+        let dest = match dest {
+            Value::Node(n) => n,
+            Value::Null => return Ok(()), // sending to nobody is a no-op
+            other => return Err(format!("message dest must be a node, got {other:?}")),
+        };
         let ch = self.msg_channel[message];
-        ctx.send(dest, ch, w.finish());
+        // A send carrying tunneled upper-layer data is an in-transit
+        // forwarding decision: when layers are stacked above, vet it
+        // through the engine's forward query (they may redirect or
+        // quash) and transmit in `forward_resolved`, as native routers
+        // do. Single-layer stacks transmit directly.
+        let tunneled = decl
+            .fields
+            .iter()
+            .zip(&values)
+            .find_map(|(f, v)| match (&f.ty, v) {
+                (TypeName::Payload, Value::Bytes(b)) if !b.is_empty() => Some(b.clone()),
+                _ => None,
+            });
+        match tunneled {
+            Some(payload) if !ctx.is_top_layer() => {
+                let dest_key = key_of(&decl.fields, &values).unwrap_or(ctx.my_key);
+                self.pending_fwd.push_back((dest, ch, bytes));
+                ctx.forward_query(ForwardInfo {
+                    src: ctx.my_key,
+                    dest: dest_key,
+                    prev_hop: from.unwrap_or(ctx.me),
+                    next_hop: dest,
+                    payload,
+                    quash: false,
+                });
+            }
+            _ => ctx.send(dest, ch, bytes),
+        }
         Ok(())
+    }
+
+    /// Serve a `routeIP` downcall from the layers above natively: frame
+    /// the payload and transmit it straight to the target host (the
+    /// engine service the paper's `macedon_routeIP` provides).
+    ///
+    /// The frame rides the spec's first declared transport (channel 0 —
+    /// reliable in every bundled spec), because a `RouteIp` call carries
+    /// no transport class; this mirrors the native agents, which also
+    /// pin `routeIP` traffic to one configured channel and send layered
+    /// messages at `DEFAULT_PRIORITY`. Mapping an upper layer's declared
+    /// message classes onto base-layer channels is future work (see
+    /// ROADMAP).
+    fn tunnel_send(&mut self, ctx: &mut Ctx, dest: NodeId, payload: Bytes) {
+        let mut w = WireWriter::new();
+        w.u16(TUNNEL_PROTOCOL).u16(0).key(ctx.my_key);
+        w.bytes(&payload);
+        ctx.send(dest, ChannelId(0), w.finish());
+    }
+
+    /// If `bytes` is one of this protocol's messages, decode it;
+    /// otherwise (foreign protocol, malformed, truncated) `None`.
+    fn decode_own(&self, bytes: &Bytes) -> Option<(u16, HashMap<String, Value>)> {
+        let mut r = WireReader::new(bytes.clone());
+        let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else {
+            return None;
+        };
+        if proto != self.proto || id as usize >= self.spec.messages.len() {
+            return None;
+        }
+        self.decode(id, &mut r).ok().map(|fields| (id, fields))
     }
 
     fn decode(&self, msg_id: u16, r: &mut WireReader) -> Result<HashMap<String, Value>, String> {
@@ -636,6 +803,79 @@ impl InterpretedAgent {
     }
 }
 
+/// Translate a `downcall(<api>, args...)` statement into the engine API
+/// call it names. The name/arity contract is [`crate::ast::downcall_arity`]
+/// (shared with sema, which rejects violations at compile time); value
+/// shapes are checked here.
+fn build_downcall(api: &str, mut values: Vec<Value>) -> Result<DownCall, String> {
+    match crate::ast::downcall_arity(api) {
+        Some(arity) if arity == values.len() => {}
+        Some(arity) => {
+            return Err(format!(
+                "downcall({api}, ..): takes {arity} argument(s), got {}",
+                values.len()
+            ))
+        }
+        None => return Err(format!("unknown downcall API '{api}'")),
+    }
+    let as_key = |v: &Value| match v {
+        Value::Key(k) => Ok(*k),
+        Value::Node(n) => Ok(MacedonKey(n.0)),
+        other => Err(format!("downcall({api}, ..): expected key, got {other:?}")),
+    };
+    let as_payload = |v: Value| match v {
+        Value::Bytes(b) => Ok(b),
+        Value::Null => Ok(Bytes::new()),
+        other => Err(format!(
+            "downcall({api}, ..): expected payload, got {other:?}"
+        )),
+    };
+    Ok(match api {
+        "join" => DownCall::Join {
+            group: as_key(&values[0])?,
+        },
+        "leave" => DownCall::Leave {
+            group: as_key(&values[0])?,
+        },
+        "create_group" => DownCall::CreateGroup {
+            group: as_key(&values[0])?,
+        },
+        "multicast" => DownCall::Multicast {
+            group: as_key(&values[0])?,
+            payload: as_payload(values.remove(1))?,
+            priority: DEFAULT_PRIORITY,
+        },
+        "anycast" => DownCall::Anycast {
+            group: as_key(&values[0])?,
+            payload: as_payload(values.remove(1))?,
+            priority: DEFAULT_PRIORITY,
+        },
+        "collect" => DownCall::Collect {
+            group: as_key(&values[0])?,
+            payload: as_payload(values.remove(1))?,
+            priority: DEFAULT_PRIORITY,
+        },
+        "route" => DownCall::Route {
+            dest: as_key(&values[0])?,
+            payload: as_payload(values.remove(1))?,
+            priority: DEFAULT_PRIORITY,
+        },
+        "routeIP" => match &values[0] {
+            Value::Node(n) => DownCall::RouteIp {
+                dest: *n,
+                payload: as_payload(values.remove(1))?,
+                priority: DEFAULT_PRIORITY,
+            },
+            other => {
+                return Err(format!(
+                    "downcall(routeIP, ..): expected node, got {other:?}"
+                ))
+            }
+        },
+        other => return Err(format!("unknown downcall API '{other}'")),
+    })
+}
+
 fn values_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::Int(x), Value::Bool(y)) => (*x != 0) == *y,
@@ -655,6 +895,15 @@ impl Agent for InterpretedAgent {
     }
 
     fn init(&mut self, ctx: &mut Ctx) {
+        // A layered spec at the bottom of a stack has nobody to tunnel
+        // its sends through — every message would be silently dropped.
+        debug_assert!(
+            !self.layered || ctx.layer > 0,
+            "'{}' uses '{}' and must be stacked above an agent serving that protocol \
+             (see macedon_lang::registry::SpecRegistry)",
+            self.spec.name,
+            self.spec.uses.as_deref().unwrap_or_default()
+        );
         // Auto-arm timers that declare a period.
         let spec = self.spec.clone();
         for v in &spec.state_vars {
@@ -671,62 +920,131 @@ impl Agent for InterpretedAgent {
     }
 
     fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
-        let (api, frame) = match call {
-            DownCall::Route { dest, payload, .. } => {
-                let mut f = Frame::default();
-                f.api_args.insert("dest", Value::Key(dest));
-                f.payload = Some(payload);
-                ("route", f)
-            }
-            DownCall::RouteIp { dest, payload, .. } => {
-                let mut f = Frame::default();
-                f.api_args.insert("dest", Value::Node(dest));
-                f.payload = Some(payload);
-                ("routeIP", f)
-            }
-            DownCall::Multicast { group, payload, .. } => {
-                let mut f = Frame::default();
-                f.api_args.insert("group", Value::Key(group));
-                f.payload = Some(payload);
-                ("multicast", f)
-            }
-            DownCall::Anycast { group, payload, .. } => {
-                let mut f = Frame::default();
-                f.api_args.insert("group", Value::Key(group));
-                f.payload = Some(payload);
-                ("anycast", f)
-            }
-            DownCall::Collect { group, payload, .. } => {
-                let mut f = Frame::default();
-                f.api_args.insert("group", Value::Key(group));
-                f.payload = Some(payload);
-                ("collect", f)
-            }
-            DownCall::CreateGroup { group } => {
-                let mut f = Frame::default();
-                f.api_args.insert("group", Value::Key(group));
-                ("create_group", f)
-            }
-            DownCall::Join { group } => {
-                let mut f = Frame::default();
-                f.api_args.insert("group", Value::Key(group));
-                ("join", f)
-            }
-            DownCall::Leave { group } => {
-                let mut f = Frame::default();
-                f.api_args.insert("group", Value::Key(group));
-                ("leave", f)
-            }
-            DownCall::Ext { .. } => ("downcall_ext", Frame::default()),
+        let api = match &call {
+            DownCall::Route { .. } => "route",
+            DownCall::RouteIp { .. } => "routeIP",
+            DownCall::Multicast { .. } => "multicast",
+            DownCall::Anycast { .. } => "anycast",
+            DownCall::Collect { .. } => "collect",
+            DownCall::CreateGroup { .. } => "create_group",
+            DownCall::Join { .. } => "join",
+            DownCall::Leave { .. } => "leave",
+            DownCall::Ext { .. } => "downcall_ext",
         };
-        self.fire(ctx, &Trigger::Api(api.to_string()), frame);
+        if self.has_transition(&Trigger::Api(api.to_string())) {
+            let mut f = Frame::default();
+            match call {
+                DownCall::Route { dest, payload, .. } => {
+                    f.api_args.insert("dest", Value::Key(dest));
+                    f.payload = Some(payload);
+                }
+                DownCall::RouteIp { dest, payload, .. } => {
+                    f.api_args.insert("dest", Value::Node(dest));
+                    f.payload = Some(payload);
+                }
+                DownCall::Multicast { group, payload, .. }
+                | DownCall::Anycast { group, payload, .. }
+                | DownCall::Collect { group, payload, .. } => {
+                    f.api_args.insert("group", Value::Key(group));
+                    f.payload = Some(payload);
+                }
+                DownCall::CreateGroup { group }
+                | DownCall::Join { group }
+                | DownCall::Leave { group } => {
+                    f.api_args.insert("group", Value::Key(group));
+                }
+                DownCall::Ext { .. } => {}
+            }
+            self.fire(ctx, &Trigger::Api(api.to_string()), f);
+            return;
+        }
+        if self.layered {
+            // Unhandled API calls fall through to the base layer — the
+            // stack relaying every pass-through agent performs.
+            ctx.down(call);
+            return;
+        }
+        // Lowest layer: `routeIP` is an engine service (direct
+        // transmission); everything else the spec chose not to handle.
+        match call {
+            DownCall::RouteIp { dest, payload, .. } => self.tunnel_send(ctx, dest, payload),
+            other => ctx.trace(
+                TraceLevel::Low,
+                format!("{}: unhandled API call {other:?}", self.spec.name),
+            ),
+        }
+    }
+
+    fn upcall(&mut self, ctx: &mut Ctx, up: UpCall) {
+        match up {
+            UpCall::Deliver { src, from, payload } => {
+                // Demultiplex by protocol id: our own tunneled messages
+                // fire `recv` transitions, anything else continues up.
+                if let Some((id, fields)) = self.decode_own(&payload) {
+                    let name = self.spec.messages[id as usize].name.clone();
+                    let frame = Frame {
+                        fields,
+                        from: Some(from),
+                        ..Default::default()
+                    };
+                    self.fire(ctx, &Trigger::Recv(name), frame);
+                } else {
+                    ctx.up(UpCall::Deliver { src, from, payload });
+                }
+            }
+            other => ctx.up(other),
+        }
+    }
+
+    fn on_forward(&mut self, ctx: &mut Ctx, fwd: &mut ForwardInfo) {
+        // An in-transit message of ours passing through the layer below:
+        // fire the spec's `forward` transition, which may `quash();` it.
+        let Some((id, fields)) = self.decode_own(&fwd.payload) else {
+            return;
+        };
+        let name = self.spec.messages[id as usize].name.clone();
+        if !self.has_transition(&Trigger::Forward(name.clone())) {
+            return;
+        }
+        let frame = Frame {
+            fields,
+            from: Some(fwd.prev_hop),
+            ..Default::default()
+        };
+        if self.fire(ctx, &Trigger::Forward(name), frame) {
+            fwd.quash = true;
+        }
+    }
+
+    fn forward_resolved(&mut self, ctx: &mut Ctx, fwd: ForwardInfo) {
+        let Some((_dest, ch, bytes)) = self.pending_fwd.pop_front() else {
+            debug_assert!(false, "forward_resolved without a pending send");
+            return;
+        };
+        if !fwd.quash {
+            // The layers above may have redirected the hop.
+            ctx.send(fwd.next_hop, ch, bytes);
+        }
     }
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
+        debug_assert!(
+            !self.layered,
+            "layered interpreted agents never touch the wire"
+        );
         let mut r = WireReader::new(msg);
         let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else {
             return;
         };
+        if proto == TUNNEL_PROTOCOL {
+            // A `routeIP` frame tunneled on behalf of the layers above:
+            // unwrap and deliver up.
+            let (Ok(src), Ok(payload)) = (r.key(), r.bytes()) else {
+                return;
+            };
+            ctx.up(UpCall::Deliver { src, from, payload });
+            return;
+        }
         if proto != self.proto || id as usize >= self.spec.messages.len() {
             return;
         }
@@ -744,8 +1062,7 @@ impl Agent for InterpretedAgent {
         let frame = Frame {
             fields,
             from: Some(from),
-            payload: None,
-            api_args: HashMap::new(),
+            ..Default::default()
         };
         self.fire(ctx, &Trigger::Recv(name), frame);
     }
@@ -909,11 +1226,93 @@ mod tests {
         assert!(!values_eq(&Value::Int(2), &Value::Int(3)));
     }
 
+    /// A trivial lowest layer owning one transport; it serves `routeIP`
+    /// natively and has no behavior of its own.
+    const BASE: &str = r#"
+        protocol base;
+        addressing hash;
+        transports { TCP CTRL; }
+    "#;
+
+    /// The STAR protocol re-expressed as a layer above `base`: sends
+    /// tunnel through the base's API instead of touching the wire.
+    const STAR_OVER_BASE: &str = r#"
+        protocol starup uses base;
+        addressing hash;
+        states { joined; }
+        neighbor_types { member 64 { } }
+        messages {
+            hello { node who; }
+            welcome { }
+        }
+        state_variables {
+            member members;
+            int hellos;
+        }
+        transitions {
+            init API init {
+                if (bootstrap != null) {
+                    hello(bootstrap, me);
+                } else {
+                    state_change(joined);
+                }
+            }
+            any recv hello {
+                hellos = hellos + 1;
+                neighbor_add(members, field(who));
+                welcome(from);
+            }
+            init recv welcome {
+                neighbor_add(members, from);
+                state_change(joined);
+            }
+        }
+    "#;
+
     #[test]
-    #[should_panic]
-    fn layered_spec_rejected_by_interpreter() {
-        let spec = Arc::new(compile("protocol s uses base; addressing hash;").unwrap());
-        let _ = InterpretedAgent::new(spec, None);
+    fn layered_spec_runs_above_interpreted_base() {
+        let base = Arc::new(compile(BASE).unwrap());
+        let upper = Arc::new(compile(STAR_OVER_BASE).unwrap());
+        let topo = canned::star(5, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let mut cfg = WorldConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        cfg.channels = channel_table(&base);
+        let mut w = World::new(topo, cfg);
+        for (i, &h) in hosts.iter().enumerate() {
+            let boot = (i > 0).then(|| hosts[0]);
+            w.spawn_at(
+                Time::from_millis(i as u64 * 10),
+                h,
+                vec![
+                    Box::new(InterpretedAgent::new(base.clone(), boot)),
+                    Box::new(InterpretedAgent::new(upper.clone(), boot)),
+                ],
+                Box::new(NullApp),
+            );
+        }
+        w.run_until(Time::from_secs(10));
+        for &h in &hosts {
+            let a: &InterpretedAgent = w
+                .stack(h)
+                .unwrap()
+                .agent(1)
+                .as_any()
+                .downcast_ref()
+                .unwrap();
+            assert_eq!(a.state(), "joined", "{h:?}");
+        }
+        let boot: &InterpretedAgent = w
+            .stack(hosts[0])
+            .unwrap()
+            .agent(1)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        assert_eq!(boot.var("hellos"), Some(&Value::Int(4)));
+        assert_eq!(boot.list("members").unwrap().len(), 4);
     }
 
     #[test]

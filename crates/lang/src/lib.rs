@@ -34,9 +34,12 @@
 //! ```
 //!
 //! The `specs/` directory ships specifications for all eight overlays the
-//! paper implements; they drive the Figure 7 line-count experiment, and
-//! `overcast.mac` / `randtree.mac` additionally run under the interpreter
-//! (cross-validated against the native agents in the integration tests).
+//! paper implements (plus RandTree, Bullet's base). Every spec — layered
+//! ones included — runs under the interpreter: [`registry::SpecRegistry`]
+//! resolves a spec's `uses` chain (splitstream → scribe → pastry) and
+//! assembles the interpreted layers into a ready-to-run stack, and the
+//! integration suite cross-validates interpreted overlays against the
+//! native agents.
 
 pub mod ast;
 pub mod codegen;
@@ -45,12 +48,14 @@ pub mod lexer;
 pub mod loc;
 pub mod parser;
 pub mod pretty;
+pub mod registry;
 pub mod sema;
 
 pub use ast::Spec;
 pub use interp::InterpretedAgent;
 pub use lexer::{Lexer, ParseError, Token, TokenKind};
 pub use parser::parse;
+pub use registry::{ChainError, SpecRegistry};
 pub use sema::analyze;
 
 /// Parse + semantically check a specification in one call.

@@ -266,11 +266,26 @@ impl Parser {
         while !self.eat(&TokenKind::RBrace) {
             if self.eat_word("timer") {
                 let name = self.ident()?;
-                let period_ms = if let TokenKind::Int(v) = self.peek().kind {
-                    self.bump();
-                    Some(v)
-                } else {
-                    None
+                let period_ms = match self.peek().kind.clone() {
+                    TokenKind::Int(v) => {
+                        self.bump();
+                        Some(v)
+                    }
+                    // A constant name in declaration position: resolve it
+                    // against the constants declared so far.
+                    TokenKind::Ident(c) => {
+                        self.bump();
+                        match spec.constants.iter().find(|(n, _)| *n == c) {
+                            Some(&(_, v)) => Some(v),
+                            None => {
+                                return Err(self.err(format!(
+                                    "timer '{name}' period references unknown constant '{c}' \
+                                     (constants must be declared before use)"
+                                )))
+                            }
+                        }
+                    }
+                    _ => None,
                 };
                 self.expect(TokenKind::Semi)?;
                 spec.state_vars.push(StateVar::Timer { name, period_ms });
@@ -493,6 +508,23 @@ impl Parser {
             self.expect(TokenKind::RParen)?;
             self.expect(TokenKind::Semi)?;
             return Ok(Stmt::Trace(e));
+        }
+        if self.eat_word("quash") {
+            self.expect(TokenKind::LParen)?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::Quash);
+        }
+        if self.eat_word("downcall") {
+            self.expect(TokenKind::LParen)?;
+            let api = self.ident()?;
+            let mut args = Vec::new();
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::DownCallApi { api, args });
         }
         // Either `ident = expr;` (assignment) or `msg(dest, args...);`.
         let name = self.ident()?;
@@ -789,6 +821,51 @@ mod tests {
             panic!()
         };
         assert!(matches!(&els[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn timer_period_resolves_constant_name() {
+        let s = parse(
+            "protocol p; addressing ip;
+             constants { BEAT_MS = 750; }
+             state_variables { timer t BEAT_MS; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            &s.state_vars[0],
+            StateVar::Timer {
+                period_ms: Some(750),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn timer_period_unknown_constant_rejected() {
+        let e = parse("protocol p; addressing ip; state_variables { timer t NOPE; }").unwrap_err();
+        assert!(e.msg.contains("unknown constant 'NOPE'"), "{e}");
+    }
+
+    #[test]
+    fn quash_and_downcall_statements() {
+        let s = parse(
+            "protocol s uses base; addressing hash;
+             messages { ping { node who; } }
+             transitions {
+                any forward ping { quash(); }
+                any API join { downcall(join, group); downcall(multicast, group, payload); }
+             }",
+        )
+        .unwrap();
+        assert!(matches!(&s.transitions[0].body[0], Stmt::Quash));
+        assert!(matches!(
+            &s.transitions[1].body[0],
+            Stmt::DownCallApi { api, args } if api == "join" && args.len() == 1
+        ));
+        assert!(matches!(
+            &s.transitions[1].body[1],
+            Stmt::DownCallApi { api, args } if api == "multicast" && args.len() == 2
+        ));
     }
 
     #[test]

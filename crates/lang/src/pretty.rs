@@ -228,6 +228,14 @@ fn stmts(w: &mut String, body: &[Stmt], indent: usize) {
             Stmt::Return => {
                 let _ = writeln!(w, "{pad}return;");
             }
+            Stmt::Quash => {
+                let _ = writeln!(w, "{pad}quash();");
+            }
+            Stmt::DownCallApi { api, args } => {
+                let mut parts = vec![api.clone()];
+                parts.extend(args.iter().map(expr));
+                let _ = writeln!(w, "{pad}downcall({});", parts.join(", "));
+            }
         }
     }
 }

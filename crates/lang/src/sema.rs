@@ -22,8 +22,19 @@ fn err(msg: impl Into<String>) -> ParseError {
 /// * `timer` transitions reference declared timer variables,
 /// * message transports reference declared transport instances (lowest
 ///   layer only — layered protocols may omit transports entirely),
-/// * statements reference declared timers/neighbor lists/messages.
+/// * statements reference declared timers/neighbor lists/messages,
+/// * `uses` does not name the protocol itself (the degenerate layering
+///   cycle; cross-spec chains are validated by
+///   [`crate::registry::SpecRegistry::resolve_chain`]),
+/// * `quash()` appears only inside `forward` transitions, and
+///   `downcall(..)` only in layered specs with a known API name/arity.
 pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
+    if spec.uses.as_deref() == Some(spec.name.as_str()) {
+        return Err(err(format!(
+            "protocol '{}' cannot use itself as its base layer",
+            spec.name
+        )));
+    }
     let mut seen = HashSet::new();
     for s in &spec.states {
         if s == "init" {
@@ -129,11 +140,15 @@ pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
             }
             Trigger::Api(_) | Trigger::Error => {}
         }
-        check_stmts(spec, &t.body, &timers, &lists, &msg_names, &states, i)?;
+        let in_forward = matches!(&t.trigger, Trigger::Forward(_));
+        check_stmts(
+            spec, &t.body, &timers, &lists, &msg_names, &states, i, in_forward,
+        )?;
     }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_stmts(
     spec: &Spec,
     stmts: &[Stmt],
@@ -142,12 +157,13 @@ fn check_stmts(
     msgs: &HashSet<String>,
     states: &HashSet<&str>,
     tidx: usize,
+    in_forward: bool,
 ) -> Result<(), ParseError> {
     for s in stmts {
         match s {
             Stmt::If { then, els, .. } => {
-                check_stmts(spec, then, timers, lists, msgs, states, tidx)?;
-                check_stmts(spec, els, timers, lists, msgs, states, tidx)?;
+                check_stmts(spec, then, timers, lists, msgs, states, tidx, in_forward)?;
+                check_stmts(spec, els, timers, lists, msgs, states, tidx, in_forward)?;
             }
             Stmt::ForEach { list, body, .. } => {
                 if !lists.contains(list) {
@@ -155,7 +171,7 @@ fn check_stmts(
                         "transition {tidx}: foreach over unknown list '{list}'"
                     )));
                 }
-                check_stmts(spec, body, timers, lists, msgs, states, tidx)?;
+                check_stmts(spec, body, timers, lists, msgs, states, tidx, in_forward)?;
             }
             Stmt::StateChange(st) => {
                 if !states.contains(st.as_str()) {
@@ -183,6 +199,32 @@ fn check_stmts(
                 if !msgs.contains(message) {
                     return Err(err(format!(
                         "transition {tidx}: send of unknown message '{message}'"
+                    )));
+                }
+            }
+            Stmt::Quash => {
+                if !in_forward {
+                    return Err(err(format!(
+                        "transition {tidx}: quash() is only valid in a 'forward' transition"
+                    )));
+                }
+            }
+            Stmt::DownCallApi { api, args } => {
+                if spec.uses.is_none() {
+                    return Err(err(format!(
+                        "transition {tidx}: downcall({api}, ..) requires a 'uses' base layer"
+                    )));
+                }
+                let Some(arity) = downcall_arity(api) else {
+                    return Err(err(format!(
+                        "transition {tidx}: unknown downcall API '{api}'"
+                    )));
+                };
+                if args.len() != arity {
+                    return Err(err(format!(
+                        "transition {tidx}: downcall({api}, ..) takes {arity} argument(s), \
+                         got {}",
+                        args.len()
                     )));
                 }
             }
@@ -259,6 +301,59 @@ mod tests {
         let e = check("protocol p; addressing ip; state_variables { fail_detect ghosts g; }")
             .unwrap_err();
         assert!(e.msg.contains("undeclared neighbor type"));
+    }
+
+    #[test]
+    fn self_uses_rejected() {
+        let e = check("protocol p uses p; addressing hash;").unwrap_err();
+        assert!(e.msg.contains("cannot use itself"));
+    }
+
+    #[test]
+    fn quash_outside_forward_rejected() {
+        let e = check(
+            "protocol s uses base; addressing hash;
+             messages { m { } }
+             transitions { any recv m { quash(); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("only valid in a 'forward'"));
+    }
+
+    #[test]
+    fn quash_in_forward_accepted() {
+        check(
+            "protocol s uses base; addressing hash;
+             messages { m { } }
+             transitions { any forward m { quash(); } }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn downcall_requires_layering() {
+        let e = check(
+            "protocol p; addressing hash;
+             transitions { any API join { downcall(join, group); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("requires a 'uses'"));
+    }
+
+    #[test]
+    fn downcall_arity_checked() {
+        let e = check(
+            "protocol s uses base; addressing hash;
+             transitions { any API join { downcall(multicast, group); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("takes 2 argument"));
+        let e = check(
+            "protocol s uses base; addressing hash;
+             transitions { any API init { downcall(frobnicate, group); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown downcall API"));
     }
 
     #[test]

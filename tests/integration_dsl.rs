@@ -1,6 +1,8 @@
-//! Cross-validation of the DSL pipeline: the bundled interpreter-ready
-//! specs (`overcast.mac`, `randtree.mac`) must produce the same overlay
-//! structure as the hand-written native agents.
+//! Cross-validation of the DSL pipeline: interpreted lowest-layer specs
+//! (`overcast.mac`, `randtree.mac`) must produce the same overlay
+//! structure as the hand-written native agents. The layered roster
+//! (scribe, splitstream, bullet) is cross-validated in
+//! `integration_layered.rs`.
 
 use macedon::lang::interp::{channel_table, InterpretedAgent};
 use macedon::lang::{bundled_specs, codegen, compile};
