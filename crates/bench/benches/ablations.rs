@@ -86,7 +86,7 @@ fn ablation_chord_timer(c: &mut Criterion) {
 }
 
 /// 2. Transport-class ablation: Overcast joins while a bulk transfer
-/// hogs the shared (or separate) transport.
+///    hogs the shared (or separate) transport.
 fn ablation_transport_classes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/transport-classes");
     for (label, shared) in [("separate-priorities", false), ("single-shared-tcp", true)] {
@@ -152,7 +152,7 @@ fn ablation_transport_classes(c: &mut Criterion) {
 }
 
 /// 3. Locking classification: measure the read-share the data/control
-/// split exposes on a routing-heavy workload.
+///    split exposes on a routing-heavy workload.
 fn ablation_locking_classes(c: &mut Criterion) {
     c.bench_function("ablation/locking read-share", |b| {
         b.iter(|| {

@@ -27,7 +27,7 @@ fn bench_analyze(c: &mut Criterion) {
 fn bench_codegen(c: &mut Criterion) {
     let spec = compile(overcast_src()).unwrap();
     c.bench_function("dsl/codegen overcast.mac", |b| {
-        b.iter(|| codegen::generate(&spec).len())
+        b.iter(|| codegen::generate(&spec).unwrap().len())
     });
 }
 

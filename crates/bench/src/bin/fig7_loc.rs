@@ -39,4 +39,14 @@ fn main() {
     println!("(layered protocols smallest, NICE/AMMO largest) is what matters.");
     println!("Every spec in the roster runs under the interpreter — layered");
     println!("ones (scribe, splitstream, bullet) as multi-layer stacks.");
+    println!("\n'generated LoC' counts the full compilable agent the translator");
+    println!("emits (checked in under crates/generated and cross-validated");
+    println!("against the interpreter on seeded runs) — the paper's 'over 2500");
+    println!(
+        "lines' of generated C++ compares to ~{} lines of generated Rust",
+        rows.iter().map(|r| r.generated_loc).max().unwrap_or(0)
+    );
+    println!("for the largest spec; Rust against this engine is denser than");
+    println!("C++ against the paper's, but the ~4-6x spec-to-code expansion");
+    println!("the translator buys is the same.");
 }

@@ -647,10 +647,10 @@ mod tests {
     #[test]
     fn nice_matrix_is_symmetric() {
         let m = nice_site_latencies();
-        for i in 0..8 {
-            assert_eq!(m[i][i], 0);
-            for j in 0..8 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, m[j][i]);
             }
         }
     }

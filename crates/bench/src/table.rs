@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn formats_cells() {
         assert_eq!(f2(1.005), "1.00");
-        assert_eq!(f1(3.14), "3.1");
+        assert_eq!(f1(3.15), "3.1");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod wire;
 pub mod world;
 
 pub use agent::{Agent, AppHandler, Ctx, Locking, NullApp};
-pub use api::{DownCall, ForwardInfo, ProtocolId, UpCall, DEFAULT_PRIORITY};
+pub use api::{DownCall, ForwardInfo, ProtocolId, UpCall, DEFAULT_PRIORITY, TUNNEL_PROTOCOL};
 pub use key::{Addressing, MacedonKey};
 pub use neighbors::NeighborList;
 pub use report::RunReport;

@@ -143,7 +143,6 @@ mod tests {
     use super::*;
     use crate::agent::{Agent, Ctx, NullApp};
     use crate::api::DownCall;
-    use crate::key::MacedonKey;
     use crate::world::{proto_header, WorldConfig};
     use crate::{Bytes, ChannelId, Time};
     use macedon_net::topology::{canned, LinkSpec};

@@ -12,6 +12,27 @@ use bytes::Bytes;
 use macedon_net::NodeId;
 use std::fmt;
 
+/// Frame a payload for direct host-to-host tunneling on behalf of the
+/// layers above (the engine service behind `macedon_routeIP`): protocol
+/// header [`crate::api::TUNNEL_PROTOCOL`], message type 0, the sender's
+/// key, then the length-prefixed payload. The interpreter and the
+/// generated agents both emit and parse this frame, which is what lets
+/// them tunnel for each other inside one mixed stack.
+pub fn tunnel_frame(src: MacedonKey, payload: &[u8]) -> Bytes {
+    let mut w = WireWriter::new();
+    w.u16(crate::api::TUNNEL_PROTOCOL).u16(0).key(src);
+    w.bytes(payload);
+    w.finish()
+}
+
+/// Parse the body of a [`tunnel_frame`]; the reader must be positioned
+/// just past the 4-byte protocol header. Returns `(source key, payload)`.
+pub fn read_tunnel(r: &mut WireReader) -> Result<(MacedonKey, Bytes), DecodeError> {
+    let src = r.key()?;
+    let payload = r.bytes()?;
+    Ok((src, payload))
+}
+
 /// Decode failure: message truncated or malformed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DecodeError {
@@ -251,6 +272,18 @@ mod tests {
         let mut r = WireReader::new(w.finish());
         assert!(r.bytes().unwrap().is_empty());
         assert!(r.nodes().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tunnel_frame_roundtrip() {
+        let frame = tunnel_frame(MacedonKey(42), b"inner");
+        let mut r = WireReader::new(frame);
+        assert_eq!(r.u16().unwrap(), crate::api::TUNNEL_PROTOCOL);
+        assert_eq!(r.u16().unwrap(), 0);
+        let (src, payload) = read_tunnel(&mut r).unwrap();
+        assert_eq!(src, MacedonKey(42));
+        assert_eq!(&payload[..], b"inner");
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]

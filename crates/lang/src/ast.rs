@@ -271,6 +271,53 @@ pub enum Expr {
     Bin(BinOp, Box<Expr>, Box<Expr>),
 }
 
+impl Expr {
+    /// Visit this expression and every subexpression, preorder. Shared
+    /// by the semantic checker and the code generator so both resolve
+    /// names over the same traversal.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::NeighborQuery(_, e) | Expr::Not(e) | Expr::Neg(e) => e.walk(f),
+            Expr::Bin(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Int(_)
+            | Expr::Var(_)
+            | Expr::Field(_)
+            | Expr::NeighborSize(_)
+            | Expr::NeighborRandom(_) => {}
+        }
+    }
+}
+
+impl Spec {
+    /// Message declaration by name.
+    pub fn message(&self, name: &str) -> Option<&MessageDecl> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Declared maximum size of a neighbor list state variable (the
+    /// neighbor type's `max`), defaulting to 1 as the interpreter does.
+    pub fn list_max(&self, ty: &str) -> usize {
+        self.neighbor_types
+            .iter()
+            .find(|n| n.name == ty)
+            .map(|n| n.max)
+            .unwrap_or(1)
+    }
+
+    /// Timers in declaration order — the order that assigns their
+    /// dispatch ids in both the interpreter and the generated code.
+    pub fn timer_decls(&self) -> impl Iterator<Item = (&str, Option<i64>)> {
+        self.state_vars.iter().filter_map(|v| match v {
+            StateVar::Timer { name, period_ms } => Some((name.as_str(), *period_ms)),
+            _ => None,
+        })
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BinOp {
     Add,

@@ -43,10 +43,12 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-/// Pseudo protocol id framing payloads an interpreted lowest layer
-/// tunnels on behalf of the layers above (the native engine's
-/// `macedon_routeIP` service).
-pub const TUNNEL_PROTOCOL: ProtocolId = 0xFFFD;
+/// Pseudo protocol id framing payloads a lowest layer tunnels on behalf
+/// of the layers above (the native engine's `macedon_routeIP` service).
+/// Re-exported from the engine: the interpreter and the generated agents
+/// share one frame format ([`macedon_core::wire::tunnel_frame`]) so they
+/// can tunnel for each other inside mixed stacks.
+pub use macedon_core::TUNNEL_PROTOCOL;
 
 /// Runtime values of the action language.
 #[derive(Clone, Debug, PartialEq)]
@@ -124,7 +126,7 @@ pub fn protocol_id_of(name: &str) -> ProtocolId {
     // Stay clear of reserved values (engine heartbeat, app wrapper,
     // interpreter tunnel).
     match h {
-        0xFFFD | 0xFFFE | 0xFFFF => 0x7FFF,
+        0xFFFD..=0xFFFF => 0x7FFF,
         v => v,
     }
 }
@@ -657,10 +659,8 @@ impl InterpretedAgent {
     /// message classes onto base-layer channels is future work (see
     /// ROADMAP).
     fn tunnel_send(&mut self, ctx: &mut Ctx, dest: NodeId, payload: Bytes) {
-        let mut w = WireWriter::new();
-        w.u16(TUNNEL_PROTOCOL).u16(0).key(ctx.my_key);
-        w.bytes(&payload);
-        ctx.send(dest, ChannelId(0), w.finish());
+        let frame = macedon_core::wire::tunnel_frame(ctx.my_key, &payload);
+        ctx.send(dest, ChannelId(0), frame);
     }
 
     /// If `bytes` is one of this protocol's messages, decode it;
@@ -1039,7 +1039,7 @@ impl Agent for InterpretedAgent {
         if proto == TUNNEL_PROTOCOL {
             // A `routeIP` frame tunneled on behalf of the layers above:
             // unwrap and deliver up.
-            let (Ok(src), Ok(payload)) = (r.key(), r.bytes()) else {
+            let Ok((src, payload)) = macedon_core::wire::read_tunnel(&mut r) else {
                 return;
             };
             ctx.up(UpCall::Deliver { src, from, payload });
@@ -1161,7 +1161,7 @@ mod tests {
         (w, hosts, spec)
     }
 
-    fn agent_of<'a>(w: &'a World, n: NodeId) -> &'a InterpretedAgent {
+    fn agent_of(w: &World, n: NodeId) -> &InterpretedAgent {
         w.stack(n)
             .unwrap()
             .agent(0)
@@ -1330,8 +1330,10 @@ mod tests {
         let spec = Arc::new(compile(TICKER).unwrap());
         let topo = canned::star(1, LinkSpec::lan());
         let hosts = topo.hosts().to_vec();
-        let mut cfg = WorldConfig::default();
-        cfg.channels = channel_table(&spec);
+        let cfg = WorldConfig {
+            channels: channel_table(&spec),
+            ..Default::default()
+        };
         let mut w = World::new(topo, cfg);
         w.spawn_at(
             Time::ZERO,

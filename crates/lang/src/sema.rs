@@ -23,11 +23,25 @@ fn err(msg: impl Into<String>) -> ParseError {
 /// * message transports reference declared transport instances (lowest
 ///   layer only — layered protocols may omit transports entirely),
 /// * statements reference declared timers/neighbor lists/messages,
+/// * sends supply exactly as many arguments as the message has fields,
+/// * assignment targets are declared state variables (not constants,
+///   timers, or `foreach` iteration variables),
+/// * every variable reference resolves — to a builtin (`from`, `me`,
+///   `my_key`, `bootstrap`, `payload`, `null`, `true`, `false`, the API
+///   arguments `dest`/`group`), a constant, a state variable, a neighbor
+///   list, or an enclosing `foreach` variable,
+/// * `field(..)` appears only in `recv`/`forward` transitions and names
+///   a field of the triggering message,
 /// * `uses` does not name the protocol itself (the degenerate layering
 ///   cycle; cross-spec chains are validated by
 ///   [`crate::registry::SpecRegistry::resolve_chain`]),
 /// * `quash()` appears only inside `forward` transitions, and
 ///   `downcall(..)` only in layered specs with a known API name/arity.
+///
+/// These checks are exactly what lets both back ends trust the spec: the
+/// interpreter turns violations it would otherwise hit at runtime into
+/// compile-time diagnostics, and the code generator can emit typed Rust
+/// without silently skipping anything it cannot express.
 pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
     if spec.uses.as_deref() == Some(spec.name.as_str()) {
         return Err(err(format!(
@@ -119,6 +133,13 @@ pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
         .chain(std::iter::once("init"))
         .collect();
 
+    let checker = Checker {
+        spec,
+        timers: &timers,
+        lists: &lists,
+        scalars: &scalars,
+        states: &states,
+    };
     for (i, t) in spec.transitions.iter().enumerate() {
         let mut names = Vec::new();
         t.scope.names(&mut names);
@@ -127,11 +148,13 @@ pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
                 return Err(err(format!("transition {i}: unknown state '{n}' in scope")));
             }
         }
+        let mut trigger_msg = None;
         match &t.trigger {
             Trigger::Recv(m) | Trigger::Forward(m) => {
                 if !msg_names.contains(m) {
                     return Err(err(format!("transition {i}: unknown message '{m}'")));
                 }
+                trigger_msg = spec.message(m);
             }
             Trigger::Timer(name) => {
                 if !timers.contains(name) {
@@ -141,97 +164,233 @@ pub fn analyze(spec: &Spec) -> Result<(), ParseError> {
             Trigger::Api(_) | Trigger::Error => {}
         }
         let in_forward = matches!(&t.trigger, Trigger::Forward(_));
-        check_stmts(
-            spec, &t.body, &timers, &lists, &msg_names, &states, i, in_forward,
-        )?;
+        let mut fe_vars = Vec::new();
+        checker.stmts(&t.body, i, trigger_msg, in_forward, &mut fe_vars)?;
     }
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn check_stmts(
-    spec: &Spec,
-    stmts: &[Stmt],
-    timers: &HashSet<String>,
-    lists: &HashSet<String>,
-    msgs: &HashSet<String>,
-    states: &HashSet<&str>,
-    tidx: usize,
-    in_forward: bool,
-) -> Result<(), ParseError> {
-    for s in stmts {
-        match s {
-            Stmt::If { then, els, .. } => {
-                check_stmts(spec, then, timers, lists, msgs, states, tidx, in_forward)?;
-                check_stmts(spec, els, timers, lists, msgs, states, tidx, in_forward)?;
-            }
-            Stmt::ForEach { list, body, .. } => {
-                if !lists.contains(list) {
-                    return Err(err(format!(
-                        "transition {tidx}: foreach over unknown list '{list}'"
-                    )));
+/// Builtin value names every transition may reference. `dest` and
+/// `group` are the API-transition argument bindings; outside an API
+/// transition they fall back to a state variable of that name, or null.
+const BUILTINS: &[&str] = &[
+    "from",
+    "me",
+    "my_key",
+    "bootstrap",
+    "payload",
+    "null",
+    "true",
+    "false",
+    "dest",
+    "group",
+];
+
+/// Name-resolution context for a transition body walk.
+struct Checker<'a> {
+    spec: &'a Spec,
+    timers: &'a HashSet<String>,
+    lists: &'a HashSet<String>,
+    scalars: &'a HashSet<String>,
+    states: &'a HashSet<&'a str>,
+}
+
+impl Checker<'_> {
+    fn stmts(
+        &self,
+        stmts: &[Stmt],
+        tidx: usize,
+        msg: Option<&MessageDecl>,
+        in_forward: bool,
+        fe_vars: &mut Vec<String>,
+    ) -> Result<(), ParseError> {
+        for s in stmts {
+            match s {
+                Stmt::If { cond, then, els } => {
+                    self.expr(cond, tidx, msg, fe_vars)?;
+                    self.stmts(then, tidx, msg, in_forward, fe_vars)?;
+                    self.stmts(els, tidx, msg, in_forward, fe_vars)?;
                 }
-                check_stmts(spec, body, timers, lists, msgs, states, tidx, in_forward)?;
+                Stmt::ForEach { var, list, body } => {
+                    if !self.lists.contains(list) {
+                        return Err(err(format!(
+                            "transition {tidx}: foreach over unknown list '{list}'"
+                        )));
+                    }
+                    fe_vars.push(var.clone());
+                    self.stmts(body, tidx, msg, in_forward, fe_vars)?;
+                    fe_vars.pop();
+                }
+                Stmt::StateChange(st) => {
+                    if !self.states.contains(st.as_str()) {
+                        return Err(err(format!(
+                            "transition {tidx}: state_change to unknown '{st}'"
+                        )));
+                    }
+                }
+                Stmt::TimerResched(name, e) => {
+                    if !self.timers.contains(name) {
+                        return Err(err(format!("transition {tidx}: unknown timer '{name}'")));
+                    }
+                    self.expr(e, tidx, msg, fe_vars)?;
+                }
+                Stmt::TimerCancel(name) => {
+                    if !self.timers.contains(name) {
+                        return Err(err(format!("transition {tidx}: unknown timer '{name}'")));
+                    }
+                }
+                Stmt::NeighborAdd(l, e) | Stmt::NeighborRemove(l, e) | Stmt::UpcallNotify(l, e) => {
+                    if !self.lists.contains(l) {
+                        return Err(err(format!(
+                            "transition {tidx}: unknown neighbor list '{l}'"
+                        )));
+                    }
+                    self.expr(e, tidx, msg, fe_vars)?;
+                }
+                Stmt::NeighborClear(l) => {
+                    if !self.lists.contains(l) {
+                        return Err(err(format!(
+                            "transition {tidx}: unknown neighbor list '{l}'"
+                        )));
+                    }
+                }
+                Stmt::Send {
+                    message,
+                    dest,
+                    args,
+                } => {
+                    let Some(decl) = self.spec.message(message) else {
+                        return Err(err(format!(
+                            "transition {tidx}: send of unknown message '{message}'"
+                        )));
+                    };
+                    if args.len() != decl.fields.len() {
+                        return Err(err(format!(
+                            "transition {tidx}: message '{message}' takes {} argument(s), \
+                             got {}",
+                            decl.fields.len(),
+                            args.len()
+                        )));
+                    }
+                    self.expr(dest, tidx, msg, fe_vars)?;
+                    for a in args {
+                        self.expr(a, tidx, msg, fe_vars)?;
+                    }
+                }
+                Stmt::Assign(name, e) => {
+                    if fe_vars.iter().any(|v| v == name) {
+                        return Err(err(format!(
+                            "transition {tidx}: cannot assign to foreach variable '{name}'"
+                        )));
+                    }
+                    if !self.scalars.contains(name) && !self.lists.contains(name) {
+                        return Err(err(format!(
+                            "transition {tidx}: assignment to undeclared variable '{name}'"
+                        )));
+                    }
+                    self.expr(e, tidx, msg, fe_vars)?;
+                }
+                Stmt::Deliver { src, payload } => {
+                    self.expr(src, tidx, msg, fe_vars)?;
+                    self.expr(payload, tidx, msg, fe_vars)?;
+                }
+                Stmt::Monitor(e) | Stmt::Unmonitor(e) | Stmt::Trace(e) => {
+                    self.expr(e, tidx, msg, fe_vars)?;
+                }
+                Stmt::Quash => {
+                    if !in_forward {
+                        return Err(err(format!(
+                            "transition {tidx}: quash() is only valid in a 'forward' transition"
+                        )));
+                    }
+                }
+                Stmt::DownCallApi { api, args } => {
+                    if self.spec.uses.is_none() {
+                        return Err(err(format!(
+                            "transition {tidx}: downcall({api}, ..) requires a 'uses' base layer"
+                        )));
+                    }
+                    let Some(arity) = downcall_arity(api) else {
+                        return Err(err(format!(
+                            "transition {tidx}: unknown downcall API '{api}'"
+                        )));
+                    };
+                    if args.len() != arity {
+                        return Err(err(format!(
+                            "transition {tidx}: downcall({api}, ..) takes {arity} argument(s), \
+                             got {}",
+                            args.len()
+                        )));
+                    }
+                    for a in args {
+                        self.expr(a, tidx, msg, fe_vars)?;
+                    }
+                }
+                Stmt::Return => {}
             }
-            Stmt::StateChange(st) => {
-                if !states.contains(st.as_str()) {
-                    return Err(err(format!(
-                        "transition {tidx}: state_change to unknown '{st}'"
-                    )));
+        }
+        Ok(())
+    }
+
+    fn expr(
+        &self,
+        e: &Expr,
+        tidx: usize,
+        msg: Option<&MessageDecl>,
+        fe_vars: &[String],
+    ) -> Result<(), ParseError> {
+        let mut result = Ok(());
+        e.walk(&mut |sub| {
+            if result.is_err() {
+                return;
+            }
+            result = self.check_one(sub, tidx, msg, fe_vars);
+        });
+        result
+    }
+
+    fn check_one(
+        &self,
+        e: &Expr,
+        tidx: usize,
+        msg: Option<&MessageDecl>,
+        fe_vars: &[String],
+    ) -> Result<(), ParseError> {
+        match e {
+            Expr::Var(name) => {
+                let known = BUILTINS.contains(&name.as_str())
+                    || fe_vars.iter().any(|v| v == name)
+                    || self.spec.constants.iter().any(|(n, _)| n == name)
+                    || self.scalars.contains(name)
+                    || self.lists.contains(name);
+                if !known {
+                    return Err(err(format!("transition {tidx}: unknown variable '{name}'")));
                 }
             }
-            Stmt::TimerResched(name, _) | Stmt::TimerCancel(name) => {
-                if !timers.contains(name) {
-                    return Err(err(format!("transition {tidx}: unknown timer '{name}'")));
-                }
-            }
-            Stmt::NeighborAdd(l, _)
-            | Stmt::NeighborRemove(l, _)
-            | Stmt::NeighborClear(l)
-            | Stmt::UpcallNotify(l, _) => {
-                if !lists.contains(l) {
+            Expr::Field(name) => {
+                let Some(decl) = msg else {
                     return Err(err(format!(
-                        "transition {tidx}: unknown neighbor list '{l}'"
-                    )));
-                }
-            }
-            Stmt::Send { message, .. } => {
-                if !msgs.contains(message) {
-                    return Err(err(format!(
-                        "transition {tidx}: send of unknown message '{message}'"
-                    )));
-                }
-            }
-            Stmt::Quash => {
-                if !in_forward {
-                    return Err(err(format!(
-                        "transition {tidx}: quash() is only valid in a 'forward' transition"
-                    )));
-                }
-            }
-            Stmt::DownCallApi { api, args } => {
-                if spec.uses.is_none() {
-                    return Err(err(format!(
-                        "transition {tidx}: downcall({api}, ..) requires a 'uses' base layer"
-                    )));
-                }
-                let Some(arity) = downcall_arity(api) else {
-                    return Err(err(format!(
-                        "transition {tidx}: unknown downcall API '{api}'"
+                        "transition {tidx}: field({name}) outside a recv/forward transition"
                     )));
                 };
-                if args.len() != arity {
+                if !decl.fields.iter().any(|f| f.name == *name) {
                     return Err(err(format!(
-                        "transition {tidx}: downcall({api}, ..) takes {arity} argument(s), \
-                         got {}",
-                        args.len()
+                        "transition {tidx}: message '{}' has no field '{name}'",
+                        decl.name
                     )));
                 }
+            }
+            Expr::NeighborSize(l) | Expr::NeighborQuery(l, _) | Expr::NeighborRandom(l)
+                if !self.lists.contains(l) =>
+            {
+                return Err(err(format!(
+                    "transition {tidx}: unknown neighbor list '{l}'"
+                )));
             }
             _ => {}
         }
+        Ok(())
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -354,6 +513,85 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.msg.contains("unknown downcall API"));
+    }
+
+    #[test]
+    fn send_arity_checked() {
+        let e = check(
+            "protocol p; addressing ip; transports { TCP C; }
+             messages { C hello { node who; int n; } }
+             transitions { any API init { hello(me, me); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("takes 2 argument"));
+    }
+
+    #[test]
+    fn assignment_to_undeclared_variable_rejected() {
+        let e = check(
+            "protocol p; addressing ip;
+             transitions { any API init { ghost = 1; } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("undeclared variable 'ghost'"));
+    }
+
+    #[test]
+    fn assignment_to_foreach_variable_rejected() {
+        let e = check(
+            "protocol p; addressing ip;
+             neighbor_types { kid 4 { } }
+             state_variables { kid kids; }
+             transitions { any API init { foreach (k in kids) { k = 1; } } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("foreach variable 'k'"));
+    }
+
+    #[test]
+    fn unknown_variable_reference_rejected() {
+        let e = check(
+            "protocol p; addressing ip;
+             state_variables { int n; }
+             transitions { any API init { n = n + phantom; } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown variable 'phantom'"));
+    }
+
+    #[test]
+    fn field_outside_recv_rejected() {
+        let e = check(
+            "protocol p; addressing ip;
+             state_variables { int n; }
+             transitions { any API init { n = field(who); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("outside a recv/forward"));
+    }
+
+    #[test]
+    fn field_must_exist_on_triggering_message() {
+        let e = check(
+            "protocol p; addressing ip; transports { TCP C; }
+             messages { C hello { node who; } }
+             state_variables { int n; }
+             transitions { any recv hello { n = field(nope); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("no field 'nope'"));
+    }
+
+    #[test]
+    fn foreach_variable_resolves_inside_body() {
+        check(
+            "protocol p; addressing ip; transports { TCP C; }
+             neighbor_types { kid 4 { } }
+             messages { C ping { } }
+             state_variables { kid kids; }
+             transitions { any API init { foreach (k in kids) { ping(k); } } }",
+        )
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Golden-file snapshots of the generated code for all nine bundled
+//! specs. A codegen change that alters output shows up here as a
+//! readable diff instead of an opaque downstream failure; the checked-in
+//! `crates/generated` sources are the same text (its `lib.rs` aside).
+//!
+//! To refresh after an intentional codegen or spec change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p macedon-lang --test golden
+//! cargo run -p macedon-bench --bin regen
+//! ```
+
+use macedon_lang::{bundled_specs, codegen, compile};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}.rs.golden"))
+}
+
+/// First differing line, for a readable failure message.
+fn first_diff(want: &str, got: &str) -> String {
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        if w != g {
+            return format!("line {}:\n  golden:    {w}\n  generated: {g}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs generated {}",
+        want.lines().count(),
+        got.lines().count()
+    )
+}
+
+#[test]
+fn generated_code_matches_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, src) in bundled_specs() {
+        let spec = compile(src).expect("bundled spec compiles");
+        let got = codegen::generate(&spec).expect("bundled spec generates");
+        let path = golden_path(name);
+        if update {
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden file {}; run UPDATE_GOLDEN=1 cargo test -p macedon-lang \
+                 --test golden",
+                path.display()
+            )
+        });
+        assert!(
+            want == got,
+            "{name}.mac codegen drifted from its golden snapshot.\n{}\n\
+             If intentional: UPDATE_GOLDEN=1 cargo test -p macedon-lang --test golden \
+             && cargo run -p macedon-bench --bin regen",
+            first_diff(&want, &got)
+        );
+    }
+}
+
+#[test]
+fn golden_snapshots_cover_exactly_the_bundled_roster() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("golden dir exists")
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .strip_suffix(".rs.golden")
+                .map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = bundled_specs()
+        .into_iter()
+        .map(|(n, _)| n.to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(on_disk, expected, "stale or missing golden files");
+}

@@ -417,10 +417,8 @@ impl Agent for Ammo {
                 w.nodes(&sample);
                 ctx.send(to, self.cfg.control_ch, w.finish());
             }
-            TIMER_RETRY_JOIN => {
-                if !self.joined {
-                    self.start_join(ctx, None);
-                }
+            TIMER_RETRY_JOIN if !self.joined => {
+                self.start_join(ctx, None);
             }
             _ => {}
         }
@@ -477,7 +475,7 @@ mod tests {
         (w, hosts, sink)
     }
 
-    fn am<'a>(w: &'a World, n: NodeId) -> &'a Ammo {
+    fn am(w: &World, n: NodeId) -> &Ammo {
         w.stack(n)
             .unwrap()
             .agent(0)

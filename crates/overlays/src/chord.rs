@@ -352,19 +352,17 @@ impl Agent for Chord {
                     return;
                 };
                 match purpose {
-                    PURPOSE_JOIN => {
-                        if !self.joined {
-                            self.joined = true;
-                            self.succs = vec![(node, key)];
-                            ctx.monitor(node);
-                            // Flush data queued while joining.
-                            for (dest, payload) in std::mem::take(&mut self.pending) {
-                                self.handle_data(ctx, ctx.my_key, dest, ctx.me, false, payload);
-                            }
-                            let mut w = proto_header(proto::CHORD, MSG_NOTIFY);
-                            w.key(ctx.my_key);
-                            self.send_msg(ctx, node, self.cfg.control_ch, w);
+                    PURPOSE_JOIN if !self.joined => {
+                        self.joined = true;
+                        self.succs = vec![(node, key)];
+                        ctx.monitor(node);
+                        // Flush data queued while joining.
+                        for (dest, payload) in std::mem::take(&mut self.pending) {
+                            self.handle_data(ctx, ctx.my_key, dest, ctx.me, false, payload);
                         }
+                        let mut w = proto_header(proto::CHORD, MSG_NOTIFY);
+                        w.key(ctx.my_key);
+                        self.send_msg(ctx, node, self.cfg.control_ch, w);
                     }
                     PURPOSE_FINGER => {
                         let i = idx as usize;
@@ -516,10 +514,8 @@ impl Agent for Chord {
                 let me_node = ctx.me;
                 self.handle_find_succ(ctx, me_node, target, PURPOSE_FINGER, i);
             }
-            TIMER_RETRY_JOIN => {
-                if !self.joined {
-                    self.start_join(ctx);
-                }
+            TIMER_RETRY_JOIN if !self.joined => {
+                self.start_join(ctx);
             }
             _ => {}
         }

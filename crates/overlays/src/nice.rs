@@ -830,7 +830,7 @@ mod tests {
         (w, hosts, sink)
     }
 
-    fn nice_of<'a>(w: &'a World, n: NodeId) -> &'a Nice {
+    fn nice_of(w: &World, n: NodeId) -> &Nice {
         w.stack(n)
             .unwrap()
             .agent(0)

@@ -508,7 +508,7 @@ mod tests {
     use macedon_core::{Time, World, WorldConfig};
     use macedon_net::topology::{LinkSpec, TopologyBuilder};
 
-    fn oc<'a>(w: &'a World, n: NodeId) -> &'a Overcast {
+    fn oc(w: &World, n: NodeId) -> &Overcast {
         w.stack(n)
             .unwrap()
             .agent(0)

@@ -297,7 +297,9 @@ impl Pastry {
     }
 
     /// Data routing where the origin's IP rides along so the final owner
-    /// can push a LOCATION reply (cache fill).
+    /// can push a LOCATION reply (cache fill). The parameter list mirrors
+    /// the DATA_FULL wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
     fn route_data_full(
         &mut self,
         ctx: &mut Ctx,
@@ -566,10 +568,8 @@ impl Agent for Pastry {
                     ctx.send(n, self.cfg.control_ch, w.finish());
                 }
             }
-            TIMER_RETRY_JOIN => {
-                if !self.joined {
-                    self.start_join(ctx);
-                }
+            TIMER_RETRY_JOIN if !self.joined => {
+                self.start_join(ctx);
             }
             _ => {}
         }
@@ -767,7 +767,7 @@ mod tests {
         let target_key = w.key_of(hosts[3]);
         let mut pw = WireWriter::new();
         pw.key(target_key);
-        pw.bytes(&vec![0u8; 16]);
+        pw.bytes(&[0u8; 16]);
         let payload = pw.finish();
         w.api_at(
             Time::from_secs(20),

@@ -266,7 +266,7 @@ mod tests {
         (w, hosts, sink)
     }
 
-    fn rt<'a>(w: &'a World, n: NodeId) -> &'a RandTree {
+    fn rt(w: &World, n: NodeId) -> &RandTree {
         w.stack(n)
             .unwrap()
             .agent(0)

@@ -53,7 +53,7 @@ pub struct SplitStream {
 impl SplitStream {
     pub fn new(cfg: SplitStreamConfig) -> SplitStream {
         let k = cfg.stripes as usize;
-        assert!(k >= 1 && k <= 16, "1..=16 stripes supported");
+        assert!((1..=16).contains(&k), "1..=16 stripes supported");
         SplitStream {
             cfg,
             next_stripe: 0,

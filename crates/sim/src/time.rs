@@ -96,11 +96,6 @@ impl Duration {
         Duration((self.0 as f64 * k).round() as u64)
     }
 
-    /// Integer division (e.g. splitting a period into equal probe slots).
-    pub fn div(self, n: u64) -> Duration {
-        Duration(self.0 / n.max(1))
-    }
-
     pub fn saturating_sub(self, other: Duration) -> Duration {
         Duration(self.0.saturating_sub(other.0))
     }
@@ -111,6 +106,16 @@ impl Duration {
 
     pub fn max(self, other: Duration) -> Duration {
         Duration(self.0.max(other.0))
+    }
+}
+
+/// Integer division (e.g. splitting a period into equal probe slots);
+/// division by zero is clamped to 1, preserving the semantics of the old
+/// `Duration::div` method this trait impl replaces.
+impl std::ops::Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, n: u64) -> Duration {
+        Duration(self.0 / n.max(1))
     }
 }
 
@@ -205,9 +210,9 @@ mod tests {
     fn mul_and_div() {
         let d = Duration::from_secs(10);
         assert_eq!(d.mul_f64(0.5).as_secs_f64(), 5.0);
-        assert_eq!(d.div(4).as_millis(), 2_500);
+        assert_eq!((d / 4).as_millis(), 2_500);
         // division by zero clamps to 1
-        assert_eq!(d.div(0).as_secs_f64(), 10.0);
+        assert_eq!((d / 0).as_secs_f64(), 10.0);
     }
 
     #[test]

@@ -175,8 +175,9 @@ mod tests {
         for m in 0..(REASSEMBLY_CAP as u64 + 10) {
             assert!(b.on_datagram(m, 0, 2, Bytes::from_static(b"a")).is_none());
         }
-        // Completing an evicted early message yields nothing...
-        assert!(b.on_datagram(0, 1, 2, Bytes::from_static(b"b")).is_none() || true);
+        // Completing an evicted early message must not complete (its
+        // first fragment was dropped by the cap) and must not panic.
+        assert!(b.on_datagram(0, 1, 2, Bytes::from_static(b"b")).is_none());
         // ...but a recent one completes.
         let recent = REASSEMBLY_CAP as u64 + 9;
         let got = b.on_datagram(recent, 1, 2, Bytes::from_static(b"b"));

@@ -27,8 +27,9 @@ fn main() {
         loc::spec_loc(src),
     );
 
-    // 2. Code generation: what the paper's translator would emit.
-    let generated = codegen::generate(&spec);
+    // 2. Code generation: what the paper's translator emits — the same
+    //    text checked in (and compiled) under crates/generated.
+    let generated = codegen::generate(&spec).expect("overcast.mac generates");
     println!(
         "generated agent source: {} lines (spec expands ~{:.1}x)",
         generated.lines().count(),

@@ -67,11 +67,13 @@ fn run(with_bullet: bool, loss: f64, seed: u64) -> f64 {
     let log = sink.lock();
     let mut per_node = std::collections::HashMap::new();
     for rec in log.iter() {
-        if rec.node != hosts[0] && rec.seqno.is_some() {
-            per_node
-                .entry(rec.node)
-                .or_insert_with(std::collections::HashSet::new)
-                .insert(rec.seqno.unwrap());
+        if let (node, Some(seq)) = (rec.node, rec.seqno) {
+            if node != hosts[0] {
+                per_node
+                    .entry(node)
+                    .or_insert_with(std::collections::HashSet::new)
+                    .insert(seq);
+            }
         }
     }
     let receivers = (hosts.len() - 1) as f64;

@@ -1,0 +1,271 @@
+//! Cross-validation of the translator's output: the Rust agents
+//! `macedon_lang::codegen` emits (checked in under `crates/generated`)
+//! run side-by-side with their interpreted twins on identically seeded
+//! worlds. Generated code is supposed to be *behaviorally identical* to
+//! interpretation — same RNG draws, byte-identical wire messages, same
+//! engine op order — so the assertions here are exact: equal delivery
+//! logs (timestamps included), equal FSM states, equal neighbor lists.
+//! This is the cross-validation loop the paper's translator had, closed
+//! end to end (specs → generated agents → running protocol).
+
+use macedon::lang::interp::InterpretedAgent;
+use macedon::lang::SpecRegistry;
+use macedon::prelude::*;
+use macedon_generated as gen;
+
+fn star_topo(n: usize) -> macedon::net::Topology {
+    macedon::net::topology::canned::star(n, macedon::net::topology::LinkSpec::lan())
+}
+
+/// A delivery log reduced to comparable tuples (time, node, src, from,
+/// size, seqno) in arrival order.
+type Log = Vec<(Time, NodeId, u32, NodeId, usize, Option<u64>)>;
+
+fn log_of(sink: &macedon::core::app::SharedDeliveries) -> Log {
+    sink.lock()
+        .iter()
+        .map(|r| (r.at, r.node, r.src.0, r.from, r.bytes, r.seqno))
+        .collect()
+}
+
+enum Kind {
+    Interpreted,
+    Generated,
+}
+
+/// Build a world running `proto` as an all-interpreted or all-generated
+/// stack — everything else (topology, seed, channels, spawn schedule,
+/// app) identical.
+fn world_of(
+    kind: &Kind,
+    proto: &str,
+    n: usize,
+    seed: u64,
+) -> (World, Vec<NodeId>, macedon::core::app::SharedDeliveries) {
+    let topo = star_topo(n);
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = WorldConfig {
+        seed,
+        ..Default::default()
+    };
+    cfg.channels = match kind {
+        Kind::Interpreted => SpecRegistry::bundled()
+            .channel_table_for(proto)
+            .expect("chain resolves"),
+        Kind::Generated => gen::channel_table(proto).expect("generated table"),
+    };
+    let mut w = World::new(topo, cfg);
+    let sink = shared_deliveries();
+    let reg = SpecRegistry::bundled();
+    for (i, &h) in hosts.iter().enumerate() {
+        let bootstrap = (i > 0).then(|| hosts[0]);
+        let stack = match kind {
+            Kind::Interpreted => reg.build_stack(proto, bootstrap).expect("stack builds"),
+            Kind::Generated => gen::build_stack(proto, bootstrap).expect("generated stack"),
+        };
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            stack,
+            Box::new(CollectorApp::new(sink.clone())),
+        );
+    }
+    (w, hosts, sink)
+}
+
+/// Stream `n_pkts` multicast packets from `hosts[1]` after a join+settle
+/// phase (the schedule the layered integration suite uses).
+fn drive_multicast(w: &mut World, hosts: &[NodeId], group: MacedonKey, n_pkts: u64, join: bool) {
+    w.run_until(Time::from_secs(40));
+    if join {
+        for &h in &hosts[1..] {
+            w.api_at(Time::from_secs(40), h, DownCall::Join { group });
+        }
+    }
+    w.run_until(Time::from_secs(80));
+    for i in 0..n_pkts {
+        let mut p = vec![0u8; 128];
+        p[..8].copy_from_slice(&i.to_be_bytes());
+        w.api_at(
+            Time::from_secs(80) + Duration::from_millis(i * 200),
+            hosts[1],
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
+        );
+    }
+    w.run_until(Time::from_secs(120));
+}
+
+/// Run both twins of `proto` under the same schedule and return their
+/// logs plus the finished worlds for state inspection.
+fn run_twins(proto: &str, n: usize, seed: u64, join: bool) -> ((World, Log), (World, Log)) {
+    let group = MacedonKey::of_name("xval");
+    let (mut iw, ihosts, isink) = world_of(&Kind::Interpreted, proto, n, seed);
+    drive_multicast(&mut iw, &ihosts, group, 5, join);
+    let ilog = log_of(&isink);
+    let (mut gw, ghosts, gsink) = world_of(&Kind::Generated, proto, n, seed);
+    assert_eq!(ihosts, ghosts);
+    drive_multicast(&mut gw, &ghosts, group, 5, join);
+    let glog = log_of(&gsink);
+    ((iw, ilog), (gw, glog))
+}
+
+/// Assert identical FSM state and neighbor lists on every node's layer 0.
+fn assert_layer0_state_eq(iw: &World, gw: &World, hosts: &[NodeId], lists: &[&str]) {
+    for &h in hosts {
+        let ia: &InterpretedAgent = iw
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        let ga = gw.stack(h).unwrap().agent(0);
+        // Downcast per concrete generated type via the introspection
+        // surface every generated agent carries; extend the type list as
+        // more protocols join the state-equality assertions.
+        macro_rules! introspect {
+            ($($ty:ty),+) => {
+                'found: {
+                    $(if let Some(a) = ga.as_any().downcast_ref::<$ty>() {
+                        break 'found (
+                            a.state_name(),
+                            lists
+                                .iter()
+                                .map(|l| a.neighbor_list(l).unwrap().to_vec())
+                                .collect(),
+                        );
+                    })+
+                    panic!("unexpected generated agent type at layer 0 of {h:?}");
+                }
+            };
+        }
+        let (gstate, glists): (&str, Vec<Vec<NodeId>>) =
+            introspect!(gen::overcast::Overcast, gen::randtree::Randtree);
+        assert_eq!(ia.state(), gstate, "FSM state diverged on {h:?}");
+        for (l, gl) in lists.iter().zip(glists) {
+            assert_eq!(
+                ia.list(l).unwrap(),
+                &gl,
+                "neighbor list '{l}' diverged on {h:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_overcast_matches_interpreted_exactly() {
+    let ((iw, ilog), (gw, glog)) = run_twins("overcast", 10, 11, false);
+    assert!(!ilog.is_empty(), "interpreted overcast delivered packets");
+    assert_eq!(ilog, glog, "delivery logs diverged (overcast)");
+    let hosts: Vec<NodeId> = star_topo(10).hosts().to_vec();
+    assert_layer0_state_eq(&iw, &gw, &hosts, &["papa", "kids", "brothers"]);
+}
+
+#[test]
+fn generated_randtree_matches_interpreted_exactly() {
+    let ((iw, ilog), (gw, glog)) = run_twins("randtree", 10, 12, false);
+    assert!(!ilog.is_empty(), "interpreted randtree delivered packets");
+    assert_eq!(ilog, glog, "delivery logs diverged (randtree)");
+    let hosts: Vec<NodeId> = star_topo(10).hosts().to_vec();
+    assert_layer0_state_eq(&iw, &gw, &hosts, &["papa", "kids"]);
+}
+
+#[test]
+fn generated_splitstream_stack_matches_interpreted_exactly() {
+    // The acceptance scenario: splitstream → scribe → pastry, all three
+    // layers generated, versus the same stack interpreted — identical
+    // seeded runs must produce identical delivery logs.
+    let ((_iw, ilog), (_gw, glog)) = run_twins("splitstream", 12, 13, true);
+    assert!(
+        !ilog.is_empty(),
+        "interpreted splitstream stack delivered packets"
+    );
+    assert_eq!(ilog, glog, "delivery logs diverged (splitstream stack)");
+}
+
+#[test]
+fn generated_scribe_stack_matches_interpreted_exactly() {
+    let ((_iw, ilog), (_gw, glog)) = run_twins("scribe", 12, 14, true);
+    assert!(
+        !ilog.is_empty(),
+        "interpreted scribe stack delivered packets"
+    );
+    assert_eq!(ilog, glog, "delivery logs diverged (scribe stack)");
+}
+
+#[test]
+fn generated_pastry_interoperates_under_interpreted_scribe() {
+    // Mixed-artifact stack: a *generated* Pastry under an *interpreted*
+    // scribe.mac behaves identically to the all-interpreted stack —
+    // the two back ends speak one wire format and one API.
+    let reg = SpecRegistry::bundled();
+    let scribe_spec = reg.resolve_chain("scribe").expect("chain")[1].clone();
+    let n = 12;
+    let seed = 15;
+    let group = MacedonKey::of_name("xval");
+
+    let mut logs = Vec::new();
+    for mixed in [false, true] {
+        let topo = star_topo(n);
+        let hosts = topo.hosts().to_vec();
+        let mut cfg = WorldConfig {
+            seed,
+            ..Default::default()
+        };
+        cfg.channels = reg.channel_table_for("scribe").expect("chain resolves");
+        let mut w = World::new(topo, cfg);
+        let sink = shared_deliveries();
+        for (i, &h) in hosts.iter().enumerate() {
+            let bootstrap = (i > 0).then(|| hosts[0]);
+            let lowest: Box<dyn Agent> = if mixed {
+                Box::new(gen::pastry::Pastry::new(bootstrap))
+            } else {
+                Box::new(InterpretedAgent::new(
+                    reg.resolve_chain("scribe").unwrap()[0].clone(),
+                    bootstrap,
+                ))
+            };
+            w.spawn_at(
+                Time::from_millis(i as u64 * 100),
+                h,
+                vec![
+                    lowest,
+                    Box::new(InterpretedAgent::new(scribe_spec.clone(), bootstrap)),
+                ],
+                Box::new(CollectorApp::new(sink.clone())),
+            );
+        }
+        drive_multicast(&mut w, &hosts, group, 5, true);
+        logs.push(log_of(&sink));
+    }
+    assert!(!logs[0].is_empty(), "baseline stack delivered packets");
+    assert_eq!(logs[0], logs[1], "mixed stack diverged from baseline");
+}
+
+#[test]
+fn all_nine_generated_stacks_instantiate_and_run() {
+    // Roster smoke: every bundled spec's generated stack spins up and
+    // fires transitions without wedging the world (the spec_roster.rs
+    // analogue for the generated artifact).
+    for proto in gen::PROTOCOLS {
+        let (mut w, hosts, _sink) = world_of(&Kind::Generated, proto, 6, 21);
+        w.run_until(Time::from_secs(30));
+        for &h in &hosts {
+            let stack = w.stack(h).unwrap();
+            assert!(stack.num_layers() >= 1, "{proto}: stack missing");
+        }
+        drop(w);
+        // And the channel table matches what the interpreter derives.
+        let want = SpecRegistry::bundled().channel_table_for(proto).unwrap();
+        let got = gen::channel_table(proto).unwrap();
+        assert_eq!(want.len(), got.len(), "{proto}: channel table size");
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.name, b.name, "{proto}: channel name");
+            assert_eq!(a.kind, b.kind, "{proto}: channel kind");
+        }
+    }
+}

@@ -63,8 +63,10 @@ fn every_spec_stack_spawns_in_a_world() {
     for &(name, _) in ROSTER {
         let topo = macedon::net::topology::canned::star(2, macedon::net::topology::LinkSpec::lan());
         let hosts = topo.hosts().to_vec();
-        let mut cfg = WorldConfig::default();
-        cfg.channels = reg.channel_table_for(name).unwrap();
+        let cfg = WorldConfig {
+            channels: reg.channel_table_for(name).unwrap(),
+            ..Default::default()
+        };
         let mut w = World::new(topo, cfg);
         for (i, &h) in hosts.iter().enumerate() {
             let stack = reg.build_stack(name, (i > 0).then(|| hosts[0])).unwrap();
