@@ -1,0 +1,51 @@
+//! Interpreted-agent dispatch benchmarks: the per-event hot path of
+//! `macedon_lang::interp` — wire decode, transition lookup, and action
+//! execution — driven through a real `macedon_core::Stack` exactly the
+//! way the world's event loop drives it.
+//!
+//! The companion macro benchmark (`cargo run -p macedon-bench --bin
+//! bench_interp`) runs a whole from-spec splitstream world and records
+//! the trajectory in `BENCH_interp.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macedon_bench::experiments::{dispatch_frames, dispatch_stack, DISPATCH_SPEC};
+use macedon_core::Time;
+
+fn bench_recv_dispatch(c: &mut Criterion) {
+    let frames = dispatch_frames();
+    let mut stack = dispatch_stack();
+    let mut fx = Vec::new();
+    c.bench_function("interp/recv dispatch (3 msgs)", |b| {
+        b.iter(|| {
+            for (from, frame) in &frames {
+                stack.recv(Time::ZERO, *from, frame.clone(), &mut fx);
+            }
+            fx.clear();
+        })
+    });
+}
+
+fn bench_timer_dispatch(c: &mut Criterion) {
+    let mut stack = dispatch_stack();
+    let mut fx = Vec::new();
+    c.bench_function("interp/timer dispatch", |b| {
+        b.iter(|| {
+            stack.timer(Time::ZERO, 0, 0, &mut fx);
+            fx.clear();
+        })
+    });
+}
+
+fn bench_compile_to_runnable(c: &mut Criterion) {
+    c.bench_function("interp/compile dispatch spec", |b| {
+        b.iter(|| macedon_lang::compile(DISPATCH_SPEC).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_recv_dispatch,
+    bench_timer_dispatch,
+    bench_compile_to_runnable
+);
+criterion_main!(benches);

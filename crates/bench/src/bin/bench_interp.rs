@@ -1,0 +1,98 @@
+//! Interpreter performance trajectory: measures the spec-interpreter's
+//! per-event dispatch cost (messages + timers through a compiled spec)
+//! and the wall-clock of a seeded 200-node from-spec splitstream run,
+//! then writes both to `BENCH_interp.json` so CI accumulates one data
+//! point per PR.
+//!
+//! The macro run is reported as the minimum of three executions — the
+//! run is deterministic (same seed, same event sequence every time), so
+//! the minimum is the least-noise estimate of its true cost.
+//!
+//! Usage: `cargo run --release -p macedon-bench --bin bench_interp`
+//! (`--nodes N` overrides the macro-run size, `--out PATH` the output
+//! file).
+
+use macedon_bench::experiments::{dispatch_frames, dispatch_stack, interp_macro_run};
+use macedon_core::Time;
+use std::time::Instant;
+
+/// Pre-IR baseline: the AST-walking interpreter at commit 563bfbb with
+/// the same harness (same spec, frames, and schedule), measured
+/// interleaved with the IR build on the same machine. Kept in the
+/// output so every future data point carries its origin.
+const BASELINE_DISPATCH_NS: f64 = 411.3;
+const BASELINE_MACRO_MS: f64 = 807.0;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let nodes: usize = arg_value("--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_interp.json".to_string());
+
+    // -- micro: per-event dispatch through a compiled spec ------------------
+    let frames = dispatch_frames();
+    let mut stack = dispatch_stack();
+    let mut fx = Vec::new();
+    // Warm up, then time ROUNDS passes of 3 recvs + 1 timer each.
+    const ROUNDS: u64 = 200_000;
+    for _ in 0..1_000 {
+        for (from, frame) in &frames {
+            stack.recv(Time::ZERO, *from, frame.clone(), &mut fx);
+        }
+        stack.timer(Time::ZERO, 0, 0, &mut fx);
+        fx.clear();
+    }
+    let events = ROUNDS * (frames.len() as u64 + 1);
+    let mut dispatch_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            for (from, frame) in &frames {
+                stack.recv(Time::ZERO, *from, frame.clone(), &mut fx);
+            }
+            stack.timer(Time::ZERO, 0, 0, &mut fx);
+            fx.clear();
+        }
+        dispatch_ns = dispatch_ns.min(start.elapsed().as_nanos() as f64 / events as f64);
+    }
+    println!("dispatch: {events} events, {dispatch_ns:.1} ns/event (min of 3)");
+
+    // -- macro: seeded from-spec splitstream world ---------------------------
+    let mut macro_ms = f64::INFINITY;
+    let mut delivered = 0;
+    let mut transitions = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (d, t) = interp_macro_run(nodes, 30, 30);
+        macro_ms = macro_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        (delivered, transitions) = (d, t);
+    }
+    println!(
+        "macro: {nodes}-node from-spec splitstream, {delivered} deliveries, \
+         {transitions} transitions, {macro_ms:.0} ms wall (min of 3)"
+    );
+    assert!(delivered > 0, "macro run must do real work");
+
+    let json = format!(
+        "{{\n  \"bench\": \"interp\",\n  \"dispatch\": {{ \"events\": {events}, \
+         \"ns_per_event\": {dispatch_ns:.1} }},\n  \"macro_splitstream\": {{ \
+         \"nodes\": {nodes}, \"sim_seconds\": 70, \"deliveries\": {delivered}, \
+         \"transitions\": {transitions}, \"wall_ms\": {macro_ms:.0} }},\n  \
+         \"baseline_pre_ir\": {{ \"ns_per_event\": {BASELINE_DISPATCH_NS:.1}, \
+         \"wall_ms\": {BASELINE_MACRO_MS:.0} }}\n}}\n"
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(wrote {out})"),
+        Err(e) => eprintln!("{out}: {e}"),
+    }
+}

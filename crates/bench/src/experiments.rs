@@ -6,7 +6,9 @@
 use crate::Scale;
 use macedon_baselines::{lsd_chord_config, FreePastry, RmiModel};
 use macedon_core::app::{shared_deliveries, CollectorApp, StreamKind, StreamerApp};
-use macedon_core::{Agent, Bytes, DownCall, Duration, MacedonKey, Time, World, WorldConfig};
+use macedon_core::{
+    Agent, Bytes, DownCall, Duration, MacedonKey, NodeId, Time, World, WorldConfig,
+};
 use macedon_net::topology::{canned, inet, InetParams, LinkSpec};
 use macedon_overlays::chord::{Chord, ChordConfig};
 use macedon_overlays::nice::{Nice, NiceConfig};
@@ -617,6 +619,158 @@ pub fn fig12_from_spec(scale: Scale) -> Vec<(f64, f64)> {
     }
     w.run_until(Time::from_secs(converge_s + stream_s + 10));
     bin_goodput(&sink, hosts[0], converge_s, stream_s, nodes - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter dispatch harness (benches/interp.rs and bin/bench_interp)
+// ---------------------------------------------------------------------------
+
+/// A compact protocol exercising the interpreter's per-event hot path
+/// with roster-representative message shapes (pastry's `join_req` /
+/// `state_push` / `route_msg`): wire decode of every field shape,
+/// neighbor-list and scalar updates, state-scoped dispatch, and a
+/// periodic timer.
+pub const DISPATCH_SPEC: &str = r#"
+    protocol dispatch;
+    addressing hash;
+    states { joined; }
+    neighbor_types { member 32 { } }
+    transports { TCP CTRL; UDP DATA; }
+    messages {
+        CTRL hello { node who; int round; }
+        CTRL roster { member sibs; member others; }
+        DATA chunk { key group; node origin; int seqno; payload data; }
+    }
+    state_variables {
+        member members;
+        member backups;
+        timer tick 1000;
+        node origin;
+        int rounds;
+        int seen;
+    }
+    transitions {
+        init API init { state_change(joined); }
+        any recv hello {
+            rounds = rounds + field(round);
+            neighbor_add(members, field(who));
+        }
+        any recv roster { members = field(sibs); backups = field(others); }
+        joined recv chunk {
+            if (field(seqno) > seen) { seen = field(seqno); origin = field(origin); }
+        }
+        any timer tick { rounds = rounds + 1; }
+    }
+"#;
+
+/// One-node stack running [`DISPATCH_SPEC`] interpreted, ready for
+/// direct `Stack::recv`/`Stack::timer` event injection.
+pub fn dispatch_stack() -> macedon_core::Stack {
+    let spec =
+        std::sync::Arc::new(macedon_lang::compile(DISPATCH_SPEC).expect("dispatch spec compiles"));
+    let agent = macedon_lang::InterpretedAgent::new(spec, Some(NodeId(1)));
+    let mut stack = macedon_core::Stack::new(
+        NodeId(7),
+        MacedonKey(7),
+        vec![Box::new(agent)],
+        Box::new(macedon_core::NullApp),
+        SimRng::new(42),
+    );
+    // Measure under the world's default trace configuration (Off), not
+    // the bare-stack default of emit-everything.
+    stack.set_trace_level(macedon_core::TraceLevel::Off);
+    // Fire init transitions (state joined) so every injected event
+    // dispatches — the steady-state hot path.
+    let mut fx = Vec::new();
+    stack.init(Time::ZERO, &mut fx);
+    stack
+}
+
+/// Pre-encoded wire frames for the three [`DISPATCH_SPEC`] messages
+/// (hello, roster, chunk), paired with their sender.
+pub fn dispatch_frames() -> Vec<(NodeId, Bytes)> {
+    use macedon_core::WireWriter;
+    let proto = macedon_lang::interp::protocol_id_of("dispatch");
+    let mut frames = Vec::new();
+    let mut w = WireWriter::new();
+    w.u16(proto).u16(0).node(NodeId(3)).u64(2);
+    frames.push((NodeId(3), w.finish()));
+    let mut w = WireWriter::new();
+    w.u16(proto).u16(1);
+    w.nodes(&[NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+    w.nodes(&[NodeId(6), NodeId(8), NodeId(9)]);
+    frames.push((NodeId(2), w.finish()));
+    let mut w = WireWriter::new();
+    w.u16(proto)
+        .u16(2)
+        .key(MacedonKey(0xBEEF))
+        .node(NodeId(9))
+        .u64(9);
+    w.bytes(&[0u8; 64]);
+    frames.push((NodeId(4), w.finish()));
+    frames
+}
+
+/// The macro benchmark behind `bin/bench_interp`: a seeded `nodes`-node
+/// from-spec splitstream world — interpreted splitstream → scribe →
+/// pastry on every node — joined at t≈6s and streamed from `converge_s`
+/// for `stream_s` seconds. Returns (packets delivered, transitions
+/// fired) so callers can sanity-check the run did real work; wall-clock
+/// is the caller's to measure.
+pub fn interp_macro_run(nodes: usize, converge_s: u64, stream_s: u64) -> (usize, u64) {
+    let registry = macedon_lang::SpecRegistry::bundled();
+    let topo = canned::star(
+        nodes,
+        LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+    );
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = WorldConfig {
+        seed: 12,
+        ..Default::default()
+    };
+    cfg.channels = registry
+        .channel_table_for("splitstream")
+        .expect("bundled chain resolves");
+    let mut w = World::new(topo, cfg);
+    let sink = shared_deliveries();
+    let group = MacedonKey::of_name("bench-interp-stream");
+    for (i, &h) in hosts.iter().enumerate() {
+        let stack = registry
+            .build_stack("splitstream", (i > 0).then(|| hosts[0]))
+            .expect("bundled stack builds");
+        if i == 0 {
+            let app = StreamerApp::new(
+                StreamKind::Multicast { group },
+                200_000,
+                1_000,
+                Time::from_secs(converge_s),
+                Time::from_secs(converge_s + stream_s),
+                sink.clone(),
+            );
+            w.spawn_at(Time::ZERO, h, stack, Box::new(app));
+        } else {
+            w.spawn_at(
+                Time::from_millis(i as u64 * 50),
+                h,
+                stack,
+                Box::new(CollectorApp::new(sink.clone())),
+            );
+        }
+    }
+    for (i, &h) in hosts.iter().enumerate() {
+        w.api_at(
+            Time::from_secs(6) + Duration::from_millis(i as u64 * 50),
+            h,
+            DownCall::Join { group },
+        );
+    }
+    w.run_until(Time::from_secs(converge_s + stream_s + 10));
+    let delivered = sink.lock().len();
+    let transitions = {
+        let (r, wr) = w.transition_counts();
+        r + wr
+    };
+    (delivered, transitions)
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ use macedon_net::NodeId;
 use macedon_sim::{Duration, SimRng, Time};
 use macedon_transport::ChannelId;
 use std::any::Any;
+use std::collections::VecDeque;
 
 /// Transition locking class (§2.1.2): control transitions take the write
 /// lock; data transitions share a read lock. The DES is single-threaded,
@@ -80,26 +81,29 @@ pub struct Ctx<'a> {
     pub layers: usize,
     /// Per-node deterministic RNG.
     pub rng: &'a mut SimRng,
-    pub(crate) ops: &'a mut Vec<(usize, Op)>,
+    pub(crate) ops: &'a mut VecDeque<(usize, Op)>,
     pub(crate) locking: Locking,
+    /// Verbosity threshold traces are collected at (the world's
+    /// configured level; see [`Ctx::trace_on`]).
+    pub(crate) trace_level: TraceLevel,
 }
 
 impl<'a> Ctx<'a> {
     /// Invoke the layer below with an API downcall.
     pub fn down(&mut self, call: DownCall) {
-        self.ops.push((self.layer, Op::Down(call)));
+        self.ops.push_back((self.layer, Op::Down(call)));
     }
 
     /// Invoke the layer above (application at the top) with an upcall.
     pub fn up(&mut self, up: UpCall) {
-        self.ops.push((self.layer, Op::Up(up)));
+        self.ops.push_back((self.layer, Op::Up(up)));
     }
 
     /// Route a forwarding decision past the layers above; the dispatcher
     /// calls back `forward_resolved` on this layer with the (possibly
     /// modified) result.
     pub fn forward_query(&mut self, fwd: ForwardInfo) {
-        self.ops.push((self.layer, Op::ForwardQuery(fwd)));
+        self.ops.push_back((self.layer, Op::ForwardQuery(fwd)));
     }
 
     /// Transmit raw protocol bytes to a peer over a named transport
@@ -107,7 +111,7 @@ impl<'a> Ctx<'a> {
     /// through `down`).
     pub fn send(&mut self, dst: NodeId, channel: ChannelId, bytes: Bytes) {
         debug_assert_eq!(self.layer, 0, "only the lowest layer touches transports");
-        self.ops.push((
+        self.ops.push_back((
             self.layer,
             Op::Send {
                 dst,
@@ -120,7 +124,7 @@ impl<'a> Ctx<'a> {
     /// Arm a one-shot timer (the paper's `timer_resched`): any previous
     /// pending expiration of the same timer id is superseded.
     pub fn timer_set(&mut self, timer: u16, delay: Duration) {
-        self.ops.push((
+        self.ops.push_back((
             self.layer,
             Op::TimerSet {
                 timer,
@@ -132,7 +136,7 @@ impl<'a> Ctx<'a> {
 
     /// Arm a periodic timer that re-fires every `period` until cancelled.
     pub fn timer_periodic(&mut self, timer: u16, period: Duration) {
-        self.ops.push((
+        self.ops.push_back((
             self.layer,
             Op::TimerSet {
                 timer,
@@ -144,22 +148,31 @@ impl<'a> Ctx<'a> {
 
     /// Cancel a pending timer.
     pub fn timer_cancel(&mut self, timer: u16) {
-        self.ops.push((self.layer, Op::TimerCancel { timer }));
+        self.ops.push_back((self.layer, Op::TimerCancel { timer }));
     }
 
     /// Register `peer` with the engine failure detector (`fail_detect`
     /// neighbor lists); `neighbor_failed` fires if it goes silent.
     pub fn monitor(&mut self, peer: NodeId) {
-        self.ops.push((self.layer, Op::Monitor { peer }));
+        self.ops.push_back((self.layer, Op::Monitor { peer }));
     }
 
     pub fn unmonitor(&mut self, peer: NodeId) {
-        self.ops.push((self.layer, Op::Unmonitor { peer }));
+        self.ops.push_back((self.layer, Op::Unmonitor { peer }));
+    }
+
+    /// Would a trace record at `level` survive the sink's verbosity
+    /// filter? Hot paths use this to skip building the message string
+    /// entirely (the sink drops filtered records unread, so skipping
+    /// emission is unobservable); the check mirrors
+    /// [`crate::trace::TraceSink::record`].
+    pub fn trace_on(&self, level: TraceLevel) -> bool {
+        level != TraceLevel::Off && level <= self.trace_level
     }
 
     /// Emit a trace record at the given level.
     pub fn trace(&mut self, level: TraceLevel, msg: impl Into<String>) {
-        self.ops.push((
+        self.ops.push_back((
             self.layer,
             Op::Trace {
                 level,
@@ -276,7 +289,7 @@ mod tests {
 
     #[test]
     fn ctx_buffers_ops_with_layer_tags() {
-        let mut ops = Vec::new();
+        let mut ops = VecDeque::new();
         let mut rng = SimRng::new(1);
         let mut ctx = Ctx {
             now: Time::ZERO,
@@ -287,6 +300,7 @@ mod tests {
             rng: &mut rng,
             ops: &mut ops,
             locking: Locking::Write,
+            trace_level: TraceLevel::High,
         };
         ctx.down(DownCall::Join {
             group: MacedonKey(5),
@@ -303,7 +317,7 @@ mod tests {
 
     #[test]
     fn locking_defaults_to_write() {
-        let mut ops = Vec::new();
+        let mut ops = VecDeque::new();
         let mut rng = SimRng::new(1);
         let mut ctx = Ctx {
             now: Time::ZERO,
@@ -314,6 +328,7 @@ mod tests {
             rng: &mut rng,
             ops: &mut ops,
             locking: Locking::Write,
+            trace_level: TraceLevel::High,
         };
         assert_eq!(ctx.locking(), Locking::Write);
         ctx.locking_read();

@@ -42,7 +42,7 @@ pub use neighbors::NeighborList;
 pub use report::RunReport;
 pub use stack::{Stack, StackEffect};
 pub use trace::{TraceLevel, TraceSink};
-pub use wire::{DecodeError, WireReader, WireWriter};
+pub use wire::{DecodeError, WireReader, WireRef, WireWriter};
 pub use world::{proto_header, World, WorldConfig, WorldEvent};
 
 // Re-export the identifiers agents constantly need.

@@ -62,6 +62,16 @@ pub struct Stack {
     agents: Vec<Box<dyn Agent>>,
     app: Box<dyn AppHandler>,
     rng: SimRng,
+    /// Trace verbosity threshold handed to every [`Ctx`] (see
+    /// [`Ctx::trace_on`]). Defaults to `High` — emit everything — so
+    /// bare stacks behave as before; the world lowers it to its
+    /// configured collection level, letting agents skip building
+    /// records the sink would drop.
+    trace_level: TraceLevel,
+    /// Scratch op queue reused across events (drained empty between
+    /// dispatches; kept for its capacity). Transitions push into it
+    /// directly through [`Ctx`].
+    queue: VecDeque<(usize, Op)>,
     /// Read/write transition counters (locking ablation).
     pub read_transitions: u64,
     pub write_transitions: u64,
@@ -86,9 +96,17 @@ impl Stack {
             agents,
             app,
             rng,
+            trace_level: TraceLevel::High,
+            queue: VecDeque::new(),
             read_transitions: 0,
             write_transitions: 0,
         }
+    }
+
+    /// Set the trace verbosity threshold transitions observe through
+    /// [`Ctx::trace_on`] (the world sets its configured level here).
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace_level = level;
     }
 
     pub fn node(&self) -> NodeId {
@@ -122,38 +140,42 @@ impl Stack {
 
     /// Fire all `init` transitions bottom-up, then the app's `start`.
     pub fn init(&mut self, now: Time, fx: &mut Vec<StackEffect>) {
-        let mut queue = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.queue);
         for layer in 0..self.agents.len() {
             self.step_agent(now, layer, &mut queue, fx, |a, ctx| a.init(ctx));
         }
         self.step_app(now, &mut queue, fx, |app, ctx| app.start(ctx));
         self.drain(now, &mut queue, fx);
+        self.queue = queue;
     }
 
     /// A transport message arrived for the lowest layer.
     pub fn recv(&mut self, now: Time, from: NodeId, msg: Bytes, fx: &mut Vec<StackEffect>) {
-        let mut queue = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.queue);
         self.step_agent(now, 0, &mut queue, fx, |a, ctx| a.recv(ctx, from, msg));
         self.drain(now, &mut queue, fx);
+        self.queue = queue;
     }
 
     /// A named timer fired for `layer` (or the app when
     /// `layer == num_layers()`).
     pub fn timer(&mut self, now: Time, layer: usize, timer: u16, fx: &mut Vec<StackEffect>) {
-        let mut queue = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.queue);
         if layer == self.agents.len() {
             self.step_app(now, &mut queue, fx, |app, ctx| app.on_timer(ctx, timer));
         } else {
             self.step_agent(now, layer, &mut queue, fx, |a, ctx| a.timer(ctx, timer));
         }
         self.drain(now, &mut queue, fx);
+        self.queue = queue;
     }
 
     /// The application invokes the top layer's API.
     pub fn api(&mut self, now: Time, call: DownCall, fx: &mut Vec<StackEffect>) {
-        let mut queue = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.queue);
         queue.push_back((self.agents.len(), Op::Down(call)));
         self.drain(now, &mut queue, fx);
+        self.queue = queue;
     }
 
     /// The engine failure detector declared `peer` dead for `layer`.
@@ -164,13 +186,14 @@ impl Stack {
         peer: NodeId,
         fx: &mut Vec<StackEffect>,
     ) {
-        let mut queue = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.queue);
         if layer < self.agents.len() {
             self.step_agent(now, layer, &mut queue, fx, |a, ctx| {
                 a.neighbor_failed(ctx, peer)
             });
         }
         self.drain(now, &mut queue, fx);
+        self.queue = queue;
     }
 
     // -- dispatcher internals ------------------------------------------------
@@ -285,7 +308,6 @@ impl Stack {
         _fx: &mut Vec<StackEffect>,
         f: impl FnOnce(&mut dyn Agent, &mut Ctx),
     ) {
-        let mut ops = Vec::new();
         let mut ctx = Ctx {
             now,
             me: self.node,
@@ -293,15 +315,15 @@ impl Stack {
             layer,
             layers: self.agents.len(),
             rng: &mut self.rng,
-            ops: &mut ops,
+            ops: queue,
             locking: Locking::Write,
+            trace_level: self.trace_level,
         };
         f(self.agents[layer].as_mut(), &mut ctx);
         match ctx.locking() {
             Locking::Read => self.read_transitions += 1,
             Locking::Write => self.write_transitions += 1,
         }
-        queue.extend(ops);
     }
 
     fn step_app(
@@ -312,7 +334,6 @@ impl Stack {
         f: impl FnOnce(&mut dyn AppHandler, &mut Ctx),
     ) {
         let layer = self.agents.len();
-        let mut ops = Vec::new();
         let mut ctx = Ctx {
             now,
             me: self.node,
@@ -320,15 +341,15 @@ impl Stack {
             layer,
             layers: self.agents.len(),
             rng: &mut self.rng,
-            ops: &mut ops,
+            ops: queue,
             locking: Locking::Write,
+            trace_level: self.trace_level,
         };
         f(self.app.as_mut(), &mut ctx);
         match ctx.locking() {
             Locking::Read => self.read_transitions += 1,
             Locking::Write => self.write_transitions += 1,
         }
-        queue.extend(ops);
     }
 }
 

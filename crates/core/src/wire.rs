@@ -33,6 +33,14 @@ pub fn read_tunnel(r: &mut WireReader) -> Result<(MacedonKey, Bytes), DecodeErro
     Ok((src, payload))
 }
 
+/// [`read_tunnel`] over the borrowing reader — the interpreter's decode
+/// path, which never clones the incoming buffer handle.
+pub fn read_tunnel_ref(r: &mut WireRef<'_>) -> Result<(MacedonKey, Bytes), DecodeError> {
+    let src = r.key()?;
+    let payload = r.bytes()?;
+    Ok((src, payload))
+}
+
 /// Decode failure: message truncated or malformed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DecodeError {
@@ -53,14 +61,23 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Append-only message writer.
-#[derive(Default)]
 pub struct WireWriter {
     buf: Vec<u8>,
 }
 
+impl Default for WireWriter {
+    fn default() -> Self {
+        WireWriter::new()
+    }
+}
+
 impl WireWriter {
     pub fn new() -> WireWriter {
-        WireWriter::default()
+        WireWriter {
+            // Most protocol messages fit a cache line or two; one
+            // up-front allocation beats the doubling crawl from empty.
+            buf: Vec::with_capacity(128),
+        }
     }
 
     pub fn u8(&mut self, v: u8) -> &mut Self {
@@ -98,6 +115,7 @@ impl WireWriter {
 
     /// Length-prefixed byte blob.
     pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.reserve(4 + b.len());
         self.u32(b.len() as u32);
         self.buf.extend_from_slice(b);
         self
@@ -125,10 +143,26 @@ impl WireWriter {
     }
 }
 
-/// Sequential message reader.
+/// Sequential message reader owning its buffer. Every accessor
+/// delegates to [`WireRef`] — one decode implementation serves both
+/// readers, so the wire format cannot drift between them.
 pub struct WireReader {
     buf: Bytes,
     pos: usize,
+}
+
+/// Generate `WireReader` accessors that delegate to the borrowing
+/// reader and carry the cursor back.
+macro_rules! delegate_reads {
+    ($($(#[$doc:meta])* $name:ident -> $ty:ty),* $(,)?) => {
+        $($(#[$doc])*
+        pub fn $name(&mut self) -> Result<$ty, DecodeError> {
+            let mut r = self.reref();
+            let v = r.$name();
+            self.pos = r.pos;
+            v
+        })*
+    };
 }
 
 impl WireReader {
@@ -140,7 +174,73 @@ impl WireReader {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+    /// The borrowing reader positioned at this reader's cursor.
+    fn reref(&self) -> WireRef<'_> {
+        WireRef {
+            src: &self.buf,
+            buf: &self.buf,
+            pos: self.pos,
+        }
+    }
+
+    delegate_reads! {
+        u8 -> u8,
+        u16 -> u16,
+        u32 -> u32,
+        u64 -> u64,
+        i32 -> i32,
+        node -> NodeId,
+        key -> MacedonKey,
+        /// Length-prefixed byte blob (zero-copy slice of the input).
+        bytes -> Bytes,
+        nodes -> Vec<NodeId>,
+    }
+
+    /// Length-prefixed byte blob as a borrowed slice — no `Bytes`
+    /// handle, no refcount traffic. (Hand-rolled: the returned borrow
+    /// of `self.buf` cannot outlive a delegating `WireRef`.)
+    pub fn bytes_slice(&mut self) -> Result<&[u8], DecodeError> {
+        let n = self.u32()? as usize;
+        if self.remaining() < n {
+            return Err(DecodeError {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let start = self.pos;
+        self.pos += n;
+        Ok(&self.buf[start..start + n])
+    }
+}
+
+/// Borrowing message reader: the zero-clone counterpart of
+/// [`WireReader`]. Where `WireReader::new` takes ownership of a `Bytes`
+/// handle (forcing callers that only hold a reference to clone it
+/// first), `WireRef` reads straight out of a `&Bytes`. [`WireRef::bytes`]
+/// still returns a zero-copy sub-`Bytes` sharing the underlying
+/// allocation; [`WireRef::bytes_slice`] borrows outright.
+pub struct WireRef<'a> {
+    src: &'a Bytes,
+    /// The buffer contents, dereferenced once at construction — every
+    /// scalar read works on this plain slice.
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireRef<'a> {
+    pub fn new(buf: &'a Bytes) -> WireRef<'a> {
+        WireRef {
+            src: buf,
+            buf,
+            pos: 0,
+        }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
             return Err(DecodeError {
                 needed: n,
@@ -186,7 +286,7 @@ impl WireReader {
         Ok(MacedonKey(self.u32()?))
     }
 
-    /// Length-prefixed byte blob (zero-copy slice of the input).
+    /// Length-prefixed byte blob (zero-copy slice of the shared buffer).
     pub fn bytes(&mut self) -> Result<Bytes, DecodeError> {
         let n = self.u32()? as usize;
         if self.remaining() < n {
@@ -195,9 +295,15 @@ impl WireReader {
                 remaining: self.remaining(),
             });
         }
-        let b = self.buf.slice(self.pos..self.pos + n);
+        let b = self.src.slice(self.pos..self.pos + n);
         self.pos += n;
         Ok(b)
+    }
+
+    /// Length-prefixed byte blob as a borrowed slice.
+    pub fn bytes_slice(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()? as usize;
+        self.take(n)
     }
 
     pub fn nodes(&mut self) -> Result<Vec<NodeId>, DecodeError> {
@@ -207,6 +313,17 @@ impl WireReader {
             out.push(self.node()?);
         }
         Ok(out)
+    }
+
+    /// Length-prefixed node list into a caller-provided (pooled) buffer.
+    pub fn nodes_into(&mut self, out: &mut Vec<NodeId>) -> Result<(), DecodeError> {
+        debug_assert!(out.is_empty());
+        let n = self.u16()? as usize;
+        out.reserve(n.min(1024));
+        for _ in 0..n {
+            out.push(self.node()?);
+        }
+        Ok(())
     }
 }
 
@@ -284,6 +401,62 @@ mod tests {
         assert_eq!(src, MacedonKey(42));
         assert_eq!(&payload[..], b"inner");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn wire_ref_matches_owning_reader() {
+        let mut w = WireWriter::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).i32(-5);
+        w.node(NodeId(9)).key(MacedonKey(3));
+        w.bytes(b"payload");
+        w.nodes(&[NodeId(1), NodeId(2)]);
+        let buf = w.finish();
+        let mut r = WireRef::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i32().unwrap(), -5);
+        assert_eq!(r.node().unwrap(), NodeId(9));
+        assert_eq!(r.key().unwrap(), MacedonKey(3));
+        assert_eq!(&r.bytes().unwrap()[..], b"payload");
+        assert_eq!(r.nodes().unwrap(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.u8().is_err(), "exhausted reader errors");
+    }
+
+    #[test]
+    fn bytes_slice_borrows() {
+        let mut w = WireWriter::new();
+        w.bytes(b"abc").u8(9);
+        let buf = w.finish();
+        let mut r = WireRef::new(&buf);
+        assert_eq!(r.bytes_slice().unwrap(), b"abc");
+        assert_eq!(r.u8().unwrap(), 9);
+        let mut own = WireReader::new(buf.clone());
+        assert_eq!(own.bytes_slice().unwrap(), b"abc");
+        assert_eq!(own.u8().unwrap(), 9);
+    }
+
+    #[test]
+    fn tunnel_frame_roundtrip_borrowed() {
+        let frame = tunnel_frame(MacedonKey(42), b"inner");
+        let mut r = WireRef::new(&frame);
+        assert_eq!(r.u16().unwrap(), crate::api::TUNNEL_PROTOCOL);
+        assert_eq!(r.u16().unwrap(), 0);
+        let (src, payload) = read_tunnel_ref(&mut r).unwrap();
+        assert_eq!(src, MacedonKey(42));
+        assert_eq!(&payload[..], b"inner");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_ref_blob_errors() {
+        let mut w = WireWriter::new();
+        w.u32(100);
+        let buf = w.finish();
+        let mut r = WireRef::new(&buf);
+        assert!(r.bytes().is_err());
     }
 
     #[test]

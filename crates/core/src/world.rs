@@ -20,14 +20,13 @@ use crate::api::{DownCall, ProtocolId, ENGINE_PROTOCOL};
 use crate::key::{Addressing, MacedonKey};
 use crate::stack::{Stack, StackEffect};
 use crate::trace::{TraceLevel, TraceSink};
-use crate::wire::{WireReader, WireWriter};
+use crate::wire::{WireRef, WireWriter};
 use bytes::Bytes;
 use macedon_net::{NetEvent, Network, NetworkConfig, NodeId, Sink, Topology};
-use macedon_sim::{Duration, Scheduler, SimRng, Time};
+use macedon_sim::{Duration, FxHashMap, FxHashSet, Scheduler, SimRng, Time};
 use macedon_transport::{
     ChannelId, ChannelSpec, Endpoint, Segment, TimerKey, TransportKind, TransportSink,
 };
-use std::collections::{HashMap, HashSet};
 
 /// Engine heartbeat message types.
 const HB_REQ: u16 = 1;
@@ -107,15 +106,22 @@ pub struct World {
     cfg: WorldConfig,
     pub sched: Scheduler<WorldEvent>,
     net: Network<Segment>,
-    endpoints: HashMap<NodeId, Endpoint>,
-    stacks: HashMap<NodeId, Stack>,
-    alive: HashSet<NodeId>,
-    timers: HashMap<(NodeId, u16, u16), TimerSlot>,
+    endpoints: FxHashMap<NodeId, Endpoint>,
+    stacks: FxHashMap<NodeId, Stack>,
+    alive: FxHashSet<NodeId>,
+    timers: FxHashMap<(NodeId, u16, u16), TimerSlot>,
     /// node → peer → (monitoring layers, state)
-    monitors: HashMap<NodeId, HashMap<NodeId, (Vec<usize>, MonitorState)>>,
+    monitors: FxHashMap<NodeId, FxHashMap<NodeId, (Vec<usize>, MonitorState)>>,
     trace: TraceSink,
     rng: SimRng,
     engine_ch: ChannelId,
+    /// Reusable network-sink buffers (the absorb chain nests, so more
+    /// than one can be live at once; each level takes its own).
+    nsink_pool: Vec<Sink<Segment>>,
+    /// Reusable transport-sink buffers.
+    tsink_pool: Vec<TransportSink>,
+    /// Reusable stack-effect buffers.
+    fx_pool: Vec<Vec<StackEffect>>,
 }
 
 impl World {
@@ -132,14 +138,17 @@ impl World {
             cfg,
             sched: Scheduler::new(),
             net,
-            endpoints: HashMap::new(),
-            stacks: HashMap::new(),
-            alive: HashSet::new(),
-            timers: HashMap::new(),
-            monitors: HashMap::new(),
+            endpoints: FxHashMap::default(),
+            stacks: FxHashMap::default(),
+            alive: FxHashSet::default(),
+            timers: FxHashMap::default(),
+            monitors: FxHashMap::default(),
             trace,
             rng,
             engine_ch,
+            nsink_pool: Vec::new(),
+            tsink_pool: Vec::new(),
+            fx_pool: Vec::new(),
         };
         w.cfg.channels = channels;
         w
@@ -162,7 +171,10 @@ impl World {
         assert!(!self.stacks.contains_key(&node), "{node:?} already spawned");
         let key = MacedonKey::of_node(node, self.cfg.addressing);
         let rng = self.rng.fork(node.0 as u64);
-        let stack = Stack::new(node, key, agents, app, rng);
+        let mut stack = Stack::new(node, key, agents, app, rng);
+        // Agents may skip building trace records the sink would filter
+        // out anyway (Ctx::trace_on).
+        stack.set_trace_level(self.cfg.trace_level);
         self.stacks.insert(node, stack);
         self.endpoints
             .insert(node, Endpoint::new(node, self.cfg.channels.clone()));
@@ -272,7 +284,7 @@ impl World {
     fn handle(&mut self, now: Time, ev: WorldEvent) {
         match ev {
             WorldEvent::Net(nev) => {
-                let mut sink = Sink::new();
+                let mut sink = self.take_nsink();
                 self.net.handle(now, nev, &mut sink);
                 self.absorb_net(now, sink);
             }
@@ -280,7 +292,7 @@ impl World {
                 if !self.alive.contains(&key.node) {
                     return;
                 }
-                let mut tsink = TransportSink::new();
+                let mut tsink = self.take_tsink();
                 if let Some(ep) = self.endpoints.get_mut(&key.node) {
                     ep.on_timer(now, key, &mut tsink);
                 }
@@ -313,7 +325,7 @@ impl World {
                         },
                     );
                 }
-                let mut fx = Vec::new();
+                let mut fx = self.take_fx();
                 if let Some(stack) = self.stacks.get_mut(&node) {
                     stack.timer(now, layer as usize, timer, &mut fx);
                 }
@@ -322,7 +334,7 @@ impl World {
             WorldEvent::FdTick { node } => self.fd_sweep(now, node),
             WorldEvent::Spawn { node } => {
                 self.alive.insert(node);
-                let mut fx = Vec::new();
+                let mut fx = self.take_fx();
                 if let Some(stack) = self.stacks.get_mut(&node) {
                     stack.init(now, &mut fx);
                 }
@@ -334,7 +346,7 @@ impl World {
                 if !self.alive.contains(&node) {
                     return;
                 }
-                let mut fx = Vec::new();
+                let mut fx = self.take_fx();
                 if let Some(stack) = self.stacks.get_mut(&node) {
                     stack.api(now, call, &mut fx);
                 }
@@ -350,6 +362,35 @@ impl World {
 
     // ---- plumbing ----------------------------------------------------------
 
+    fn take_nsink(&mut self) -> Sink<Segment> {
+        self.nsink_pool.pop().unwrap_or_default()
+    }
+
+    fn put_nsink(&mut self, mut sink: Sink<Segment>) {
+        sink.clear();
+        self.nsink_pool.push(sink);
+    }
+
+    fn take_tsink(&mut self) -> TransportSink {
+        self.tsink_pool.pop().unwrap_or_default()
+    }
+
+    fn put_tsink(&mut self, mut sink: TransportSink) {
+        sink.packets.clear();
+        sink.timers.clear();
+        sink.delivered.clear();
+        self.tsink_pool.push(sink);
+    }
+
+    fn take_fx(&mut self) -> Vec<StackEffect> {
+        self.fx_pool.pop().unwrap_or_default()
+    }
+
+    fn put_fx(&mut self, mut fx: Vec<StackEffect>) {
+        fx.clear();
+        self.fx_pool.push(fx);
+    }
+
     fn absorb_net(&mut self, _now: Time, mut sink: Sink<Segment>) {
         for (t, ev) in sink.schedule.drain(..) {
             self.sched.schedule(t, WorldEvent::Net(ev));
@@ -360,27 +401,30 @@ impl World {
             if !self.alive.contains(&to) {
                 continue;
             }
-            let mut tsink = TransportSink::new();
+            let mut tsink = self.take_tsink();
             if let Some(ep) = self.endpoints.get_mut(&to) {
                 ep.on_packet(d.at, from, d.pkt.payload, &mut tsink);
             }
             self.absorb_transport(d.at, to, tsink);
         }
+        self.put_nsink(sink);
     }
 
     fn absorb_transport(&mut self, now: Time, node: NodeId, mut tsink: TransportSink) {
-        let mut nsink = Sink::new();
+        let mut nsink = self.take_nsink();
         for pkt in tsink.packets.drain(..) {
             self.net.send(now, pkt, &mut nsink);
         }
         for (at, key) in tsink.timers.drain(..) {
             self.sched.schedule(at, WorldEvent::Rto(key));
         }
-        let delivered: Vec<_> = tsink.delivered.drain(..).collect();
+        // Net absorption precedes message delivery (event-order contract
+        // of the original non-pooled implementation).
         self.absorb_net(now, nsink);
-        for (from, ch, msg) in delivered {
+        for (from, ch, msg) in tsink.delivered.drain(..) {
             self.deliver_msg(now, node, from, ch, msg);
         }
+        self.put_tsink(tsink);
     }
 
     /// A complete message reached `to`'s stack (or the engine).
@@ -392,8 +436,8 @@ impl World {
                 st.hb_pending = false;
             }
         }
-        // Engine-internal messages.
-        let mut r = WireReader::new(msg.clone());
+        // Engine-internal messages (header peeked in place, no clone).
+        let mut r = WireRef::new(&msg);
         if let Ok(proto) = r.u16() {
             if proto == ENGINE_PROTOCOL {
                 if let Ok(kind) = r.u16() {
@@ -407,22 +451,22 @@ impl World {
         if !self.alive.contains(&to) {
             return;
         }
-        let mut fx = Vec::new();
+        let mut fx = self.take_fx();
         if let Some(stack) = self.stacks.get_mut(&to) {
             stack.recv(now, from, msg, &mut fx);
         }
         self.process_effects(now, to, fx);
     }
 
-    fn process_effects(&mut self, now: Time, node: NodeId, fx: Vec<StackEffect>) {
-        for effect in fx {
+    fn process_effects(&mut self, now: Time, node: NodeId, mut fx: Vec<StackEffect>) {
+        for effect in fx.drain(..) {
             match effect {
                 StackEffect::Send {
                     dst,
                     channel,
                     bytes,
                 } => {
-                    let mut tsink = TransportSink::new();
+                    let mut tsink = self.take_tsink();
                     if let Some(ep) = self.endpoints.get_mut(&node) {
                         ep.send(now, dst, channel, bytes, &mut tsink);
                     }
@@ -486,12 +530,13 @@ impl World {
                 }
             }
         }
+        self.put_fx(fx);
     }
 
     fn send_engine(&mut self, now: Time, from_node: NodeId, to: NodeId, kind: u16) {
         let mut w = WireWriter::new();
         w.u16(ENGINE_PROTOCOL).u16(kind);
-        let mut tsink = TransportSink::new();
+        let mut tsink = self.take_tsink();
         let ch = self.engine_ch;
         if let Some(ep) = self.endpoints.get_mut(&from_node) {
             ep.send(now, to, ch, w.finish(), &mut tsink);
@@ -506,8 +551,14 @@ impl World {
         let mut failed: Vec<(NodeId, Vec<usize>)> = Vec::new();
         let mut probe: Vec<NodeId> = Vec::new();
         if let Some(mon) = self.monitors.get_mut(&node) {
+            // Walk peers in id order, not map order: probe and failure
+            // events must not depend on hasher state, or seeded runs
+            // stop being reproducible across builds.
+            let mut peers: Vec<NodeId> = mon.keys().copied().collect();
+            peers.sort_unstable_by_key(|p| p.0);
             let mut dead: Vec<NodeId> = Vec::new();
-            for (&peer, (layers, st)) in mon.iter_mut() {
+            for peer in peers {
+                let (layers, st) = mon.get_mut(&peer).expect("collected above");
                 let silent = now.saturating_since(st.last_heard);
                 if silent >= self.cfg.fd_f {
                     failed.push((peer, layers.clone()));
@@ -526,7 +577,7 @@ impl World {
         }
         for (peer, layers) in failed {
             for layer in layers {
-                let mut fx = Vec::new();
+                let mut fx = self.take_fx();
                 if let Some(stack) = self.stacks.get_mut(&node) {
                     stack.peer_failed(now, layer, peer, &mut fx);
                 }
@@ -550,6 +601,7 @@ pub fn proto_header(proto: ProtocolId, msg_type: u16) -> WireWriter {
 mod tests {
     use super::*;
     use crate::agent::{Ctx, NullApp};
+    use crate::wire::WireReader;
     use macedon_net::topology::{canned, LinkSpec};
     use std::any::Any;
 

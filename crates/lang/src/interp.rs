@@ -8,6 +8,18 @@
 //! step, which lets the test suite cross-validate the bundled specs
 //! against the hand-written agents in `macedon-overlays`.
 //!
+//! The interpreter does not walk the AST. [`InterpretedAgent`] executes
+//! the slot-indexed IR of [`crate::ir`]: every variable, neighbor list,
+//! timer, FSM state, message, and message field was resolved to a dense
+//! index when the spec was lowered (once, shared as an `Arc<IrSpec>`
+//! across all nodes and layers interpreting it), so the per-event path
+//! is jump-table dispatch plus `Vec` slot access — no string hashing,
+//! no per-message declaration clones, and no `HashMap` frames. The IR
+//! is purely a faster representation: execution order, RNG draw points,
+//! wire bytes, and engine op order are identical to AST semantics, so
+//! interpreted agents stay bit-for-bit cross-validatable against the
+//! generated ones (`tests/integration_generated.rs`).
+//!
 //! Interpretation covers the whole roster, layered specs included. An
 //! [`InterpretedAgent`] is a first-class citizen of the engine's
 //! multi-layer [`macedon_core::Stack`]:
@@ -32,16 +44,21 @@
 //! native Pastry under an interpreted `scribe.mac`), because both speak
 //! the same [`macedon_core::DownCall`]/[`macedon_core::UpCall`] API.
 //! Use [`crate::registry::SpecRegistry`] to resolve a spec's `uses`
-//! chain and assemble the ready-to-run stack.
+//! chain and assemble the ready-to-run stack (sharing one lowered
+//! `IrSpec` per protocol).
 
-use crate::ast::*;
+use crate::ast::{Spec, TransportKindDecl};
+use crate::ir::{ApiArgKind, ApiKind, FieldKind, IrDown, IrExpr, IrMessage, IrSpec, IrStmt, Table};
+use macedon_core::wire::{read_tunnel_ref, WireRef};
 use macedon_core::{
     Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, ForwardInfo, MacedonKey, NodeId,
-    ProtocolId, TraceLevel, TransportKind, UpCall, WireReader, WireWriter, DEFAULT_PRIORITY,
+    ProtocolId, TraceLevel, TransportKind, UpCall, WireWriter, DEFAULT_PRIORITY,
 };
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+use crate::ast::BinOp;
 
 /// Pseudo protocol id framing payloads a lowest layer tunnels on behalf
 /// of the layers above (the native engine's `macedon_routeIP` service).
@@ -89,13 +106,15 @@ impl Value {
     }
 }
 
-/// Per-transition bindings (decoded message fields, `from`, `payload`).
+/// Per-transition bindings (decoded message fields by slot, `from`,
+/// `payload`, API arguments).
 #[derive(Default)]
 struct Frame {
-    fields: HashMap<String, Value>,
+    fields: Vec<Value>,
     from: Option<NodeId>,
     payload: Option<Bytes>,
-    api_args: HashMap<&'static str, Value>,
+    api_dest: Option<Value>,
+    api_group: Option<Value>,
     /// Set by `quash();` inside a `forward` transition.
     quash: bool,
 }
@@ -103,6 +122,38 @@ struct Frame {
 enum Flow {
     Continue,
     Return,
+}
+
+/// A dispatch point: which jump table, which slot.
+#[derive(Clone, Copy)]
+enum At {
+    Api(ApiKind),
+    Timer(u16),
+    Recv(u16),
+    Forward(u16),
+    Error,
+}
+
+fn table_of(ir: &IrSpec, at: At) -> &Table {
+    match at {
+        At::Api(k) => &ir.tables.api[k as usize],
+        At::Timer(i) => &ir.tables.timer[i as usize],
+        At::Recv(i) => &ir.tables.recv[i as usize],
+        At::Forward(i) => &ir.tables.forward[i as usize],
+        At::Error => &ir.tables.error,
+    }
+}
+
+/// Render the trigger the way `Trigger`'s `Debug` did, for the
+/// no-transition trace record.
+fn trigger_label(ir: &IrSpec, at: At) -> String {
+    match at {
+        At::Api(k) => format!("Api({:?})", k.name()),
+        At::Timer(i) => format!("Timer({:?})", ir.timers[i as usize].name),
+        At::Recv(i) => format!("Recv({:?})", ir.messages[i as usize].name),
+        At::Forward(i) => format!("Forward({:?})", ir.messages[i as usize].name),
+        At::Error => "Error".to_string(),
+    }
 }
 
 /// Derive the channel table a world must be built with to host this spec.
@@ -131,176 +182,182 @@ pub fn protocol_id_of(name: &str) -> ProtocolId {
     }
 }
 
-/// An interpreted protocol instance.
+/// An interpreted protocol instance executing a shared [`IrSpec`].
+///
+/// The mutable runtime lives in `Core`, a separate field from the
+/// shared `Arc<IrSpec>`, so the executor borrows the program and the
+/// state disjointly — no per-event `Arc` refcount traffic.
 pub struct InterpretedAgent {
-    spec: Arc<Spec>,
+    ir: Arc<IrSpec>,
+    core: Core,
+    /// Transitions fired, per trigger kind (observability / tests).
+    pub transitions_fired: u64,
+}
+
+/// The mutable interpreter runtime (everything a transition touches).
+struct Core {
     proto: ProtocolId,
     bootstrap: Option<NodeId>,
     /// Has a `uses` base: sends become downcalls, receives come as
     /// `deliver` upcalls, and the wire is never touched directly.
     layered: bool,
-    state: String,
-    vars: HashMap<String, Value>,
-    lists: HashMap<String, Vec<NodeId>>,
-    list_max: HashMap<String, usize>,
-    fail_detect: HashSet<String>,
-    timer_ids: HashMap<String, u16>,
-    timer_names: Vec<String>,
-    msg_ids: HashMap<String, u16>,
-    msg_channel: HashMap<String, ChannelId>,
+    /// Index into `ir.states`.
+    state: u16,
+    /// Scalar slots (constants, declared scalars, `foreach` bindings).
+    vars: Vec<Value>,
+    /// Neighbor-list slots.
+    lists: Vec<Vec<NodeId>>,
     /// Encoded sends awaiting their forward-query verdict, FIFO (the
     /// dispatcher resolves queries in emission order).
     pending_fwd: VecDeque<(NodeId, ChannelId, Bytes)>,
-    /// Transitions fired, per trigger kind (observability / tests).
-    pub transitions_fired: u64,
+    /// Recycled field buffer: decoded message values live here between
+    /// events instead of a fresh allocation per decode.
+    fields_pool: Vec<Value>,
+    /// Recycled node-list buffers for decoded `Value::List` fields and
+    /// replaced neighbor lists (bounded; see [`NODE_POOL_MAX`]).
+    node_pool: Vec<Vec<NodeId>>,
 }
 
+/// Cap on pooled node-list buffers per agent.
+const NODE_POOL_MAX: usize = 8;
+
 impl InterpretedAgent {
-    /// Instantiate a compiled spec as one layer of a stack. `bootstrap`
-    /// is bound to the variable `bootstrap` inside transitions (`Null`
-    /// for the designated root). Specs with a `uses` clause must be
-    /// stacked above an agent serving their base protocol's API —
-    /// interpreted or native; [`crate::registry::SpecRegistry`] builds
-    /// whole chains.
+    /// Instantiate a compiled spec as one layer of a stack, lowering it
+    /// to IR on the spot. `bootstrap` is bound to the variable
+    /// `bootstrap` inside transitions (`Null` for the designated root).
+    /// Specs with a `uses` clause must be stacked above an agent serving
+    /// their base protocol's API — interpreted or native;
+    /// [`crate::registry::SpecRegistry`] builds whole chains **and
+    /// shares one lowered `Arc<IrSpec>` across every node**, which this
+    /// convenience constructor cannot.
+    ///
+    /// Panics if the spec fails IR lowering — only possible when it
+    /// never passed [`crate::sema::analyze`] (use [`crate::compile`]).
     pub fn new(spec: Arc<Spec>, bootstrap: Option<NodeId>) -> InterpretedAgent {
-        let layered = spec.uses.is_some();
-        let mut vars = HashMap::new();
-        for (name, v) in &spec.constants {
-            vars.insert(name.clone(), Value::Int(*v));
-        }
-        let mut lists = HashMap::new();
-        let mut list_max = HashMap::new();
-        let mut fail_detect = HashSet::new();
-        let mut timer_ids = HashMap::new();
-        let mut timer_names = Vec::new();
-        for v in &spec.state_vars {
-            match v {
-                StateVar::Neighbor {
-                    ty,
-                    name,
-                    fail_detect: fd,
-                } => {
-                    let max = spec
-                        .neighbor_types
-                        .iter()
-                        .find(|n| &n.name == ty)
-                        .map(|n| n.max)
-                        .unwrap_or(1);
-                    lists.insert(name.clone(), Vec::new());
-                    list_max.insert(name.clone(), max);
-                    if *fd {
-                        fail_detect.insert(name.clone());
-                    }
-                }
-                StateVar::Timer { name, .. } => {
-                    let id = timer_names.len() as u16;
-                    timer_ids.insert(name.clone(), id);
-                    timer_names.push(name.clone());
-                }
-                StateVar::Scalar { ty, name } => {
-                    let init = match ty {
-                        TypeName::Int => Value::Int(0),
-                        TypeName::Bool => Value::Bool(false),
-                        TypeName::Node => Value::Null,
-                        TypeName::Key => Value::Key(MacedonKey(0)),
-                        TypeName::Payload => Value::Null,
-                        TypeName::Neighbor(_) => Value::Null,
-                    };
-                    vars.insert(name.clone(), init);
-                }
-            }
-        }
-        let mut msg_ids = HashMap::new();
-        let mut msg_channel = HashMap::new();
-        for (i, m) in spec.messages.iter().enumerate() {
-            msg_ids.insert(m.name.clone(), i as u16);
-            let ch = m
-                .transport
-                .as_ref()
-                .and_then(|t| spec.transports.iter().position(|d| &d.name == t))
-                .unwrap_or(0);
-            msg_channel.insert(m.name.clone(), ChannelId(ch as u16));
-        }
-        let proto = protocol_id_of(&spec.name);
+        let ir = IrSpec::lower(&spec).unwrap_or_else(|e| {
+            panic!(
+                "spec '{}' cannot be interpreted: {e} (was it sema-analyzed?)",
+                spec.name
+            )
+        });
+        InterpretedAgent::from_ir(Arc::new(ir), bootstrap)
+    }
+
+    /// Instantiate from an already-lowered spec, sharing the `IrSpec`
+    /// with every other node interpreting the same protocol.
+    pub fn from_ir(ir: Arc<IrSpec>, bootstrap: Option<NodeId>) -> InterpretedAgent {
+        let vars = ir.vars.iter().map(|v| v.init.clone()).collect();
+        let lists = vec![Vec::new(); ir.lists.len()];
         InterpretedAgent {
-            spec,
-            proto,
-            bootstrap,
-            layered,
-            state: "init".to_string(),
-            vars,
-            lists,
-            list_max,
-            fail_detect,
-            timer_ids,
-            timer_names,
-            msg_ids,
-            msg_channel,
-            pending_fwd: VecDeque::new(),
+            core: Core {
+                proto: ir.proto,
+                layered: ir.layered,
+                bootstrap,
+                state: 0,
+                vars,
+                lists,
+                pending_fwd: VecDeque::new(),
+                fields_pool: Vec::new(),
+                node_pool: Vec::new(),
+            },
             transitions_fired: 0,
+            ir,
         }
+    }
+
+    /// The shared lowered spec this agent executes.
+    pub fn ir(&self) -> &Arc<IrSpec> {
+        &self.ir
     }
 
     pub fn state(&self) -> &str {
-        &self.state
+        &self.ir.states[self.core.state as usize]
     }
 
     pub fn list(&self, name: &str) -> Option<&Vec<NodeId>> {
-        self.lists.get(name)
+        self.ir
+            .list_slot(name)
+            .map(|s| &self.core.lists[s as usize])
     }
 
     pub fn var(&self, name: &str) -> Option<&Value> {
-        self.vars.get(name)
+        self.ir.var_slot(name).map(|s| &self.core.vars[s as usize])
     }
 
     // ---- dispatch --------------------------------------------------------
 
-    /// Does any transition (in any state scope) answer this trigger?
-    fn has_transition(&self, trigger: &Trigger) -> bool {
-        self.spec.transitions.iter().any(|t| &t.trigger == trigger)
-    }
-
-    /// Fire the transition matching `trigger` in the current state, if
-    /// any; returns the frame's quash flag (only `forward` transitions
-    /// set it).
-    fn fire(&mut self, ctx: &mut Ctx, trigger: &Trigger, mut frame: Frame) -> bool {
-        let spec = self.spec.clone();
-        let Some(t) = spec
-            .transitions
+    /// Fire the transition matching the dispatch point in the current
+    /// state, if any; returns the frame's quash flag (only `forward`
+    /// transitions set it).
+    fn fire(&mut self, ctx: &mut Ctx, at: At, mut frame: Frame) -> bool {
+        let ir = &*self.ir;
+        let core = &mut self.core;
+        let hit = table_of(ir, at)
             .iter()
-            .find(|t| &t.trigger == trigger && t.scope.matches(&self.state))
-        else {
-            ctx.trace(
-                TraceLevel::High,
-                format!(
-                    "{}: no transition for {trigger:?} in state {}",
-                    spec.name, self.state
-                ),
-            );
+            .find(|(mask, _)| mask.contains(core.state));
+        let Some(&(_, tidx)) = hit else {
+            if ctx.trace_on(TraceLevel::High) {
+                ctx.trace(
+                    TraceLevel::High,
+                    format!(
+                        "{}: no transition for {} in state {}",
+                        ir.name,
+                        trigger_label(ir, at),
+                        ir.states[core.state as usize]
+                    ),
+                );
+            }
+            core.recycle(frame);
             return false;
         };
-        if t.locking == LockingOpt::Read {
+        let t = &ir.transitions[tidx as usize];
+        if t.read_locked {
             ctx.locking_read();
         }
         self.transitions_fired += 1;
-        if let Err(e) = self.exec_block(ctx, &mut frame, &t.body) {
-            ctx.trace(
-                TraceLevel::Low,
-                format!("{}: runtime error: {e}", spec.name),
-            );
+        if let Err(e) = core.exec_block(ir, ctx, &mut frame, &t.body) {
+            if ctx.trace_on(TraceLevel::Low) {
+                ctx.trace(TraceLevel::Low, format!("{}: runtime error: {e}", ir.name));
+            }
             debug_assert!(false, "interpreter runtime error: {e}");
         }
-        frame.quash
+        let quash = frame.quash;
+        core.recycle(frame);
+        quash
+    }
+}
+
+impl Core {
+    /// Return a frame's field buffer (and any node-list values still in
+    /// it) to the pools so the next decode reuses the allocations.
+    fn recycle(&mut self, frame: Frame) {
+        let mut fields = frame.fields;
+        for v in fields.drain(..) {
+            if let Value::List(l) = v {
+                self.pool_nodes(l);
+            }
+        }
+        if fields.capacity() > self.fields_pool.capacity() {
+            self.fields_pool = fields;
+        }
+    }
+
+    fn pool_nodes(&mut self, mut l: Vec<NodeId>) {
+        if self.node_pool.len() < NODE_POOL_MAX && l.capacity() > 0 {
+            l.clear();
+            self.node_pool.push(l);
+        }
     }
 
     fn exec_block(
         &mut self,
+        ir: &IrSpec,
         ctx: &mut Ctx,
         frame: &mut Frame,
-        stmts: &[Stmt],
+        stmts: &[IrStmt],
     ) -> Result<Flow, String> {
         for s in stmts {
-            match self.exec(ctx, frame, s)? {
+            match self.exec(ir, ctx, frame, s)? {
                 Flow::Return => return Ok(Flow::Return),
                 Flow::Continue => {}
             }
@@ -308,122 +365,100 @@ impl InterpretedAgent {
         Ok(Flow::Continue)
     }
 
-    fn exec(&mut self, ctx: &mut Ctx, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, String> {
+    fn exec(
+        &mut self,
+        ir: &IrSpec,
+        ctx: &mut Ctx,
+        frame: &mut Frame,
+        stmt: &IrStmt,
+    ) -> Result<Flow, String> {
         match stmt {
-            Stmt::If { cond, then, els } => {
+            IrStmt::If { cond, then, els } => {
                 if self.eval(ctx, frame, cond)?.truthy() {
-                    self.exec_block(ctx, frame, then)
+                    self.exec_block(ir, ctx, frame, then)
                 } else {
-                    self.exec_block(ctx, frame, els)
+                    self.exec_block(ir, ctx, frame, els)
                 }
             }
-            Stmt::Return => Ok(Flow::Return),
-            Stmt::StateChange(s) => {
-                ctx.trace(
-                    TraceLevel::High,
-                    format!("{}: {} -> {s}", self.spec.name, self.state),
-                );
-                self.state = s.clone();
+            IrStmt::Return => Ok(Flow::Return),
+            IrStmt::StateChange(s) => {
+                if ctx.trace_on(TraceLevel::High) {
+                    ctx.trace(
+                        TraceLevel::High,
+                        format!(
+                            "{}: {} -> {}",
+                            ir.name, ir.states[self.state as usize], ir.states[*s as usize]
+                        ),
+                    );
+                }
+                self.state = *s;
                 Ok(Flow::Continue)
             }
-            Stmt::TimerResched(name, e) => {
+            IrStmt::TimerResched(id, e) => {
                 let ms = self.eval(ctx, frame, e)?.as_int()?;
-                let id = *self
-                    .timer_ids
-                    .get(name)
-                    .ok_or_else(|| format!("timer {name}?"))?;
-                ctx.timer_set(id, Duration::from_millis(ms.max(0) as u64));
+                ctx.timer_set(*id, Duration::from_millis(ms.max(0) as u64));
                 Ok(Flow::Continue)
             }
-            Stmt::TimerCancel(name) => {
-                let id = *self
-                    .timer_ids
-                    .get(name)
-                    .ok_or_else(|| format!("timer {name}?"))?;
-                ctx.timer_cancel(id);
+            IrStmt::TimerCancel(id) => {
+                ctx.timer_cancel(*id);
                 Ok(Flow::Continue)
             }
-            Stmt::NeighborAdd(list, e) => {
+            IrStmt::NeighborAdd(slot, e) => {
                 let node = self.eval(ctx, frame, e)?.as_node()?;
-                let max = *self.list_max.get(list).unwrap_or(&usize::MAX);
-                let fd = self.fail_detect.contains(list);
-                let l = self
-                    .lists
-                    .get_mut(list)
-                    .ok_or_else(|| format!("list {list}?"))?;
-                if !l.contains(&node) && l.len() < max {
+                let decl = &ir.lists[*slot as usize];
+                let l = &mut self.lists[*slot as usize];
+                if !l.contains(&node) && l.len() < decl.max {
                     l.push(node);
-                    if fd {
+                    if decl.fail_detect {
                         ctx.monitor(node);
                     }
                 }
                 Ok(Flow::Continue)
             }
-            Stmt::NeighborRemove(list, e) => {
+            IrStmt::NeighborRemove(slot, e) => {
                 let node = self.eval(ctx, frame, e)?.as_node()?;
-                let fd = self.fail_detect.contains(list);
-                let l = self
-                    .lists
-                    .get_mut(list)
-                    .ok_or_else(|| format!("list {list}?"))?;
-                l.retain(|&n| n != node);
-                if fd {
+                self.lists[*slot as usize].retain(|&n| n != node);
+                if ir.lists[*slot as usize].fail_detect {
                     ctx.unmonitor(node);
                 }
                 Ok(Flow::Continue)
             }
-            Stmt::NeighborClear(list) => {
-                let fd = self.fail_detect.contains(list);
-                let l = self
-                    .lists
-                    .get_mut(list)
-                    .ok_or_else(|| format!("list {list}?"))?;
-                for n in l.drain(..) {
+            IrStmt::NeighborClear(slot) => {
+                let fd = ir.lists[*slot as usize].fail_detect;
+                for n in self.lists[*slot as usize].drain(..) {
                     if fd {
                         ctx.unmonitor(n);
                     }
                 }
                 Ok(Flow::Continue)
             }
-            Stmt::Send {
-                message,
-                dest,
-                args,
-            } => {
+            IrStmt::Send { msg, dest, args } => {
                 let dest = self.eval(ctx, frame, dest)?;
                 let mut values = Vec::with_capacity(args.len());
                 for a in args {
                     values.push(self.eval(ctx, frame, a)?);
                 }
-                self.send_message(ctx, frame.from, message, dest, values)?;
+                self.send_message(ir, ctx, frame.from, *msg, dest, values)?;
                 Ok(Flow::Continue)
             }
-            Stmt::Quash => {
+            IrStmt::Quash => {
                 frame.quash = true;
                 Ok(Flow::Continue)
             }
-            Stmt::DownCallApi { api, args } => {
-                let mut values = Vec::with_capacity(args.len());
-                for a in args {
-                    values.push(self.eval(ctx, frame, a)?);
-                }
-                let call = build_downcall(api, values)?;
+            IrStmt::DownCall(down) => {
+                let call = self.build_downcall(ctx, frame, down)?;
                 ctx.down(call);
                 Ok(Flow::Continue)
             }
-            Stmt::UpcallNotify(list, e) => {
+            IrStmt::UpcallNotify(slot, e) => {
                 let ty = self.eval(ctx, frame, e)?.as_int()? as u32;
-                let l = self
-                    .lists
-                    .get(list)
-                    .ok_or_else(|| format!("list {list}?"))?;
                 ctx.up(UpCall::Notify {
                     nbr_type: ty,
-                    neighbors: l.clone(),
+                    neighbors: self.lists[*slot as usize].clone(),
                 });
                 Ok(Flow::Continue)
             }
-            Stmt::Deliver { src, payload } => {
+            IrStmt::Deliver { src, payload } => {
                 let src = match self.eval(ctx, frame, src)? {
                     Value::Key(k) => k,
                     Value::Node(n) => MacedonKey(n.0),
@@ -438,140 +473,223 @@ impl InterpretedAgent {
                 ctx.up(UpCall::Deliver { src, from, payload });
                 Ok(Flow::Continue)
             }
-            Stmt::Monitor(e) => {
+            IrStmt::Monitor(e) => {
                 let n = self.eval(ctx, frame, e)?.as_node()?;
                 ctx.monitor(n);
                 Ok(Flow::Continue)
             }
-            Stmt::Unmonitor(e) => {
+            IrStmt::Unmonitor(e) => {
                 let n = self.eval(ctx, frame, e)?.as_node()?;
                 ctx.unmonitor(n);
                 Ok(Flow::Continue)
             }
-            Stmt::ForEach { var, list, body } => {
-                let snapshot = self
-                    .lists
-                    .get(list)
-                    .ok_or_else(|| format!("list {list}?"))?
-                    .clone();
-                let saved = self.vars.get(var).cloned();
-                for n in snapshot {
-                    self.vars.insert(var.clone(), Value::Node(n));
-                    if let Flow::Return = self.exec_block(ctx, frame, body)? {
-                        // restore before propagating
-                        match &saved {
-                            Some(v) => self.vars.insert(var.clone(), v.clone()),
-                            None => self.vars.remove(var),
-                        };
+            IrStmt::ForEach { var, list, body } => {
+                // Snapshot (into a pooled buffer) so the body may mutate
+                // the list; the loop variable owns a dedicated slot, so
+                // no save/restore.
+                let mut snapshot = self.node_pool.pop().unwrap_or_default();
+                snapshot.extend_from_slice(&self.lists[*list as usize]);
+                let mut i = 0;
+                while i < snapshot.len() {
+                    self.vars[*var as usize] = Value::Node(snapshot[i]);
+                    i += 1;
+                    if let Flow::Return = self.exec_block(ir, ctx, frame, body)? {
+                        self.pool_nodes(snapshot);
                         return Ok(Flow::Return);
                     }
                 }
-                match saved {
-                    Some(v) => self.vars.insert(var.clone(), v),
-                    None => self.vars.remove(var),
-                };
+                self.pool_nodes(snapshot);
                 Ok(Flow::Continue)
             }
-            Stmt::Assign(name, e) => {
+            IrStmt::AssignVar(slot, e) => {
                 let v = self.eval(ctx, frame, e)?;
-                if self.lists.contains_key(name) {
-                    // Whole-list assignment (e.g. `brothers = field(sibs);`)
-                    // replaces contents; own id is filtered out.
-                    let Value::List(mut ns) = v else {
-                        return Err(format!("assigning non-list to neighbor list '{name}'"));
-                    };
-                    ns.retain(|&n| n != ctx.me);
-                    let max = *self.list_max.get(name).unwrap_or(&usize::MAX);
-                    ns.truncate(max);
-                    let fd = self.fail_detect.contains(name);
-                    let l = self.lists.get_mut(name).expect("checked");
-                    if fd {
-                        for n in l.iter() {
-                            ctx.unmonitor(*n);
-                        }
-                        for n in &ns {
-                            ctx.monitor(*n);
-                        }
-                    }
-                    *l = ns;
-                } else {
-                    self.vars.insert(name.clone(), v);
+                self.vars[*slot as usize] = v;
+                Ok(Flow::Continue)
+            }
+            IrStmt::AssignList(slot, e) => {
+                let v = self.eval(ctx, frame, e)?;
+                self.assign_list(ir, ctx, *slot, v)?;
+                Ok(Flow::Continue)
+            }
+            IrStmt::AssignVarTakeField(slot, i) => {
+                self.vars[*slot as usize] = take_field(frame, *i)?;
+                Ok(Flow::Continue)
+            }
+            IrStmt::AssignListTakeField(slot, i) => {
+                let v = take_field(frame, *i)?;
+                self.assign_list(ir, ctx, *slot, v)?;
+                Ok(Flow::Continue)
+            }
+            IrStmt::Trace(e) => {
+                // Always evaluate — the expression may draw from the RNG
+                // (`trace(neighbor_random(..))`); only the formatting is
+                // gated on the trace threshold.
+                let v = self.eval(ctx, frame, e)?;
+                if ctx.trace_on(TraceLevel::Med) {
+                    ctx.trace(TraceLevel::Med, format!("{}: trace {v:?}", ir.name));
                 }
-                Ok(Flow::Continue)
-            }
-            Stmt::Trace(e) => {
-                let v = self.eval(ctx, frame, e)?;
-                ctx.trace(TraceLevel::Med, format!("{}: trace {v:?}", self.spec.name));
                 Ok(Flow::Continue)
             }
         }
     }
 
-    fn send_message(
+    /// Whole-list assignment (e.g. `brothers = field(sibs);`):
+    /// replaces contents; own id is filtered out.
+    fn assign_list(
+        &mut self,
+        ir: &IrSpec,
+        ctx: &mut Ctx,
+        slot: u16,
+        v: Value,
+    ) -> Result<(), String> {
+        let Value::List(mut ns) = v else {
+            return Err(format!(
+                "assigning non-list to neighbor list '{}'",
+                ir.lists[slot as usize].name
+            ));
+        };
+        ns.retain(|&n| n != ctx.me);
+        let decl = &ir.lists[slot as usize];
+        ns.truncate(decl.max);
+        let l = &mut self.lists[slot as usize];
+        if decl.fail_detect {
+            for n in l.iter() {
+                ctx.unmonitor(*n);
+            }
+            for n in &ns {
+                ctx.monitor(*n);
+            }
+        }
+        let old = std::mem::replace(l, ns);
+        self.pool_nodes(old);
+        Ok(())
+    }
+
+    /// Translate a lowered `downcall(<api>, args...)` into the engine
+    /// API call it names (value shapes checked here; name and arity were
+    /// resolved at lowering).
+    fn build_downcall(
         &mut self,
         ctx: &mut Ctx,
+        frame: &Frame,
+        down: &IrDown,
+    ) -> Result<DownCall, String> {
+        let api = down.api();
+        let as_key = |v: &Value| match v {
+            Value::Key(k) => Ok(*k),
+            Value::Node(n) => Ok(MacedonKey(n.0)),
+            other => Err(format!("downcall({api}, ..): expected key, got {other:?}")),
+        };
+        let as_payload = |v: Value| match v {
+            Value::Bytes(b) => Ok(b),
+            Value::Null => Ok(Bytes::new()),
+            other => Err(format!(
+                "downcall({api}, ..): expected payload, got {other:?}"
+            )),
+        };
+        Ok(match down {
+            IrDown::Join(g) => DownCall::Join {
+                group: as_key(&self.eval(ctx, frame, g)?)?,
+            },
+            IrDown::Leave(g) => DownCall::Leave {
+                group: as_key(&self.eval(ctx, frame, g)?)?,
+            },
+            IrDown::CreateGroup(g) => DownCall::CreateGroup {
+                group: as_key(&self.eval(ctx, frame, g)?)?,
+            },
+            IrDown::Multicast(g, p) => DownCall::Multicast {
+                group: as_key(&self.eval(ctx, frame, g)?)?,
+                payload: as_payload(self.eval(ctx, frame, p)?)?,
+                priority: DEFAULT_PRIORITY,
+            },
+            IrDown::Anycast(g, p) => DownCall::Anycast {
+                group: as_key(&self.eval(ctx, frame, g)?)?,
+                payload: as_payload(self.eval(ctx, frame, p)?)?,
+                priority: DEFAULT_PRIORITY,
+            },
+            IrDown::Collect(g, p) => DownCall::Collect {
+                group: as_key(&self.eval(ctx, frame, g)?)?,
+                payload: as_payload(self.eval(ctx, frame, p)?)?,
+                priority: DEFAULT_PRIORITY,
+            },
+            IrDown::Route(d, p) => DownCall::Route {
+                dest: as_key(&self.eval(ctx, frame, d)?)?,
+                payload: as_payload(self.eval(ctx, frame, p)?)?,
+                priority: DEFAULT_PRIORITY,
+            },
+            IrDown::RouteIp(d, p) => match self.eval(ctx, frame, d)? {
+                Value::Node(n) => DownCall::RouteIp {
+                    dest: n,
+                    payload: as_payload(self.eval(ctx, frame, p)?)?,
+                    priority: DEFAULT_PRIORITY,
+                },
+                other => {
+                    return Err(format!(
+                        "downcall(routeIP, ..): expected node, got {other:?}"
+                    ))
+                }
+            },
+        })
+    }
+
+    fn send_message(
+        &mut self,
+        ir: &IrSpec,
+        ctx: &mut Ctx,
         from: Option<NodeId>,
-        message: &str,
+        msg: u16,
         dest: Value,
         values: Vec<Value>,
     ) -> Result<(), String> {
-        let id = *self
-            .msg_ids
-            .get(message)
-            .ok_or_else(|| format!("message {message}?"))?;
-        let decl = self.spec.messages[id as usize].clone();
-        if values.len() != decl.fields.len() {
-            return Err(format!(
-                "message {message} takes {} fields, got {}",
-                decl.fields.len(),
-                values.len()
-            ));
-        }
+        let decl = &ir.messages[msg as usize];
+        debug_assert_eq!(values.len(), decl.fields.len(), "lowering checked arity");
         let mut w = WireWriter::new();
-        w.u16(self.proto).u16(id);
+        w.u16(self.proto).u16(msg);
         for (f, v) in decl.fields.iter().zip(&values) {
-            match (&f.ty, v) {
-                (TypeName::Int, v) => {
+            match (f.kind, v) {
+                (FieldKind::Int, v) => {
                     w.u64(v.as_int()? as u64);
                 }
-                (TypeName::Bool, v) => {
+                (FieldKind::Bool, v) => {
                     w.u8(v.truthy() as u8);
                 }
-                (TypeName::Node, Value::Node(n)) => {
+                (FieldKind::Node, Value::Node(n)) => {
                     w.node(*n);
                 }
-                (TypeName::Node, Value::Null) => {
+                (FieldKind::Node, Value::Null) => {
                     w.node(NodeId(u32::MAX));
                 }
-                (TypeName::Key, Value::Key(k)) => {
+                (FieldKind::Key, Value::Key(k)) => {
                     w.key(*k);
                 }
-                (TypeName::Key, Value::Node(n)) => {
+                (FieldKind::Key, Value::Node(n)) => {
                     w.key(MacedonKey(n.0));
                 }
-                (TypeName::Payload, Value::Bytes(b)) => {
+                (FieldKind::Payload, Value::Bytes(b)) => {
                     w.bytes(b);
                 }
-                (TypeName::Payload, Value::Null) => {
+                (FieldKind::Payload, Value::Null) => {
                     w.bytes(&[]);
                 }
-                (TypeName::Neighbor(_), Value::List(ns)) => {
+                (FieldKind::Nodes, Value::List(ns)) => {
                     w.nodes(ns);
                 }
-                (ty, v) => return Err(format!("field {}: cannot encode {v:?} as {ty:?}", f.name)),
+                (kind, v) => {
+                    return Err(format!("field {}: cannot encode {v:?} as {kind:?}", f.name))
+                }
             }
         }
         let bytes = w.finish();
 
-        // First key field, if any: the routing destination when the
-        // message addresses a key rather than a host.
-        let key_of = |fields: &[Field], values: &[Value]| {
-            fields
+        // First key field holding a key/node value, if any: the routing
+        // destination when the message addresses a key rather than a
+        // host. Candidate positions were precomputed at lowering.
+        let key_of = |decl: &IrMessage, values: &[Value]| {
+            decl.key_fields
                 .iter()
-                .zip(values)
-                .find_map(|(f, v)| match (&f.ty, v) {
-                    (TypeName::Key, Value::Key(k)) => Some(*k),
-                    (TypeName::Key, Value::Node(n)) => Some(MacedonKey(n.0)),
+                .find_map(|&i| match &values[i as usize] {
+                    Value::Key(k) => Some(*k),
+                    Value::Node(n) => Some(MacedonKey(n.0)),
                     _ => None,
                 })
         };
@@ -593,9 +711,10 @@ impl InterpretedAgent {
                     priority: DEFAULT_PRIORITY,
                 },
                 Value::Null => {
-                    let Some(k) = key_of(&decl.fields, &values) else {
+                    let Some(k) = key_of(decl, &values) else {
                         return Err(format!(
-                            "message {message}: null destination needs a key field to route toward"
+                            "message {}: null destination needs a key field to route toward",
+                            decl.name
                         ));
                     };
                     DownCall::Route {
@@ -615,23 +734,22 @@ impl InterpretedAgent {
             Value::Null => return Ok(()), // sending to nobody is a no-op
             other => return Err(format!("message dest must be a node, got {other:?}")),
         };
-        let ch = self.msg_channel[message];
+        let ch = decl.channel;
         // A send carrying tunneled upper-layer data is an in-transit
         // forwarding decision: when layers are stacked above, vet it
         // through the engine's forward query (they may redirect or
         // quash) and transmit in `forward_resolved`, as native routers
         // do. Single-layer stacks transmit directly.
         let tunneled = decl
-            .fields
+            .payload_fields
             .iter()
-            .zip(&values)
-            .find_map(|(f, v)| match (&f.ty, v) {
-                (TypeName::Payload, Value::Bytes(b)) if !b.is_empty() => Some(b.clone()),
+            .find_map(|&i| match &values[i as usize] {
+                Value::Bytes(b) if !b.is_empty() => Some(b.clone()),
                 _ => None,
             });
         match tunneled {
             Some(payload) if !ctx.is_top_layer() => {
-                let dest_key = key_of(&decl.fields, &values).unwrap_or(ctx.my_key);
+                let dest_key = key_of(decl, &values).unwrap_or(ctx.my_key);
                 self.pending_fwd.push_back((dest, ch, bytes));
                 ctx.forward_query(ForwardInfo {
                     src: ctx.my_key,
@@ -663,112 +781,91 @@ impl InterpretedAgent {
         ctx.send(dest, ChannelId(0), frame);
     }
 
-    /// If `bytes` is one of this protocol's messages, decode it;
-    /// otherwise (foreign protocol, malformed, truncated) `None`.
-    fn decode_own(&self, bytes: &Bytes) -> Option<(u16, HashMap<String, Value>)> {
-        let mut r = WireReader::new(bytes.clone());
+    /// If `bytes` is one of this protocol's messages, decode it into
+    /// slot-ordered field values (in a pooled buffer); otherwise
+    /// (foreign protocol, malformed, truncated) `None`. Borrows the
+    /// buffer — no clone.
+    fn decode_own(&mut self, ir: &IrSpec, bytes: &Bytes) -> Option<(u16, Vec<Value>)> {
+        let mut r = WireRef::new(bytes);
         let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else {
             return None;
         };
-        if proto != self.proto || id as usize >= self.spec.messages.len() {
+        if proto != self.proto || id as usize >= ir.messages.len() {
             return None;
         }
-        self.decode(id, &mut r).ok().map(|fields| (id, fields))
-    }
-
-    fn decode(&self, msg_id: u16, r: &mut WireReader) -> Result<HashMap<String, Value>, String> {
-        let decl = &self.spec.messages[msg_id as usize];
-        let mut out = HashMap::new();
-        for f in &decl.fields {
-            let v = match &f.ty {
-                TypeName::Int => Value::Int(r.u64().map_err(|e| e.to_string())? as i64),
-                TypeName::Bool => Value::Bool(r.u8().map_err(|e| e.to_string())? != 0),
-                TypeName::Node => {
-                    let n = r.node().map_err(|e| e.to_string())?;
-                    if n == NodeId(u32::MAX) {
-                        Value::Null
-                    } else {
-                        Value::Node(n)
-                    }
-                }
-                TypeName::Key => Value::Key(r.key().map_err(|e| e.to_string())?),
-                TypeName::Payload => Value::Bytes(r.bytes().map_err(|e| e.to_string())?),
-                TypeName::Neighbor(_) => Value::List(r.nodes().map_err(|e| e.to_string())?),
-            };
-            out.insert(f.name.clone(), v);
+        let mut fields = std::mem::take(&mut self.fields_pool);
+        match decode_fields_into(
+            &ir.messages[id as usize],
+            &mut r,
+            &mut fields,
+            &mut self.node_pool,
+        ) {
+            Ok(()) => Some((id, fields)),
+            Err(_) => {
+                fields.clear();
+                self.fields_pool = fields;
+                None
+            }
         }
-        Ok(out)
     }
 
-    fn eval(&self, ctx: &mut Ctx, frame: &Frame, e: &Expr) -> Result<Value, String> {
+    fn eval(&mut self, ctx: &mut Ctx, frame: &Frame, e: &IrExpr) -> Result<Value, String> {
         Ok(match e {
-            Expr::Int(v) => Value::Int(*v),
-            Expr::Var(name) => match name.as_str() {
-                "from" => frame.from.map(Value::Node).unwrap_or(Value::Null),
-                "me" => Value::Node(ctx.me),
-                "my_key" => Value::Key(ctx.my_key),
-                "bootstrap" => self.bootstrap.map(Value::Node).unwrap_or(Value::Null),
-                "payload" => frame
-                    .payload
+            IrExpr::Int(v) => Value::Int(*v),
+            IrExpr::From => frame.from.map(Value::Node).unwrap_or(Value::Null),
+            IrExpr::Me => Value::Node(ctx.me),
+            IrExpr::MyKey => Value::Key(ctx.my_key),
+            IrExpr::Bootstrap => self.bootstrap.map(Value::Node).unwrap_or(Value::Null),
+            IrExpr::Payload => frame
+                .payload
+                .clone()
+                .map(Value::Bytes)
+                .unwrap_or(Value::Null),
+            IrExpr::Null => Value::Null,
+            IrExpr::True => Value::Bool(true),
+            IrExpr::False => Value::Bool(false),
+            IrExpr::ApiArg { which, fallback } => {
+                let bound = match which {
+                    ApiArgKind::Dest => &frame.api_dest,
+                    ApiArgKind::Group => &frame.api_group,
+                };
+                bound
                     .clone()
-                    .map(Value::Bytes)
-                    .unwrap_or(Value::Null),
-                "null" => Value::Null,
-                "true" => Value::Bool(true),
-                "false" => Value::Bool(false),
-                "dest" | "group" => frame
-                    .api_args
-                    .get(name.as_str())
-                    .cloned()
-                    .or_else(|| self.vars.get(name).cloned())
-                    .unwrap_or(Value::Null),
-                other => {
-                    if let Some(v) = self.vars.get(other) {
-                        v.clone()
-                    } else if let Some(l) = self.lists.get(other) {
-                        Value::List(l.clone())
-                    } else {
-                        return Err(format!("unknown variable '{other}'"));
-                    }
-                }
-            },
-            Expr::Field(name) => frame
+                    .or_else(|| fallback.map(|s| self.vars[s as usize].clone()))
+                    .unwrap_or(Value::Null)
+            }
+            IrExpr::Var(slot) => self.vars[*slot as usize].clone(),
+            IrExpr::ListValue(slot) => {
+                let mut v = self.node_pool.pop().unwrap_or_default();
+                v.extend_from_slice(&self.lists[*slot as usize]);
+                Value::List(v)
+            }
+            IrExpr::Field(i) => frame
                 .fields
-                .get(name)
+                .get(*i as usize)
                 .cloned()
-                .ok_or_else(|| format!("unknown message field '{name}'"))?,
-            Expr::NeighborSize(list) => Value::Int(
-                self.lists
-                    .get(list)
-                    .ok_or_else(|| format!("list {list}?"))?
-                    .len() as i64,
-            ),
-            Expr::NeighborQuery(list, e) => {
+                .ok_or_else(|| format!("unknown message field #{i}"))?,
+            IrExpr::NeighborSize(slot) => Value::Int(self.lists[*slot as usize].len() as i64),
+            IrExpr::NeighborQuery(slot, e) => {
                 let n = self.eval(ctx, frame, e)?;
-                let l = self
-                    .lists
-                    .get(list)
-                    .ok_or_else(|| format!("list {list}?"))?;
+                let l = &self.lists[*slot as usize];
                 match n {
                     Value::Node(n) => Value::Bool(l.contains(&n)),
                     Value::Null => Value::Bool(false),
                     other => return Err(format!("neighbor_query needs node, got {other:?}")),
                 }
             }
-            Expr::NeighborRandom(list) => {
-                let l = self
-                    .lists
-                    .get(list)
-                    .ok_or_else(|| format!("list {list}?"))?;
+            IrExpr::NeighborRandom(slot) => {
+                let l = &self.lists[*slot as usize];
                 if l.is_empty() {
                     Value::Null
                 } else {
                     Value::Node(l[ctx.rng.index(l.len())])
                 }
             }
-            Expr::Not(e) => Value::Bool(!self.eval(ctx, frame, e)?.truthy()),
-            Expr::Neg(e) => Value::Int(-self.eval(ctx, frame, e)?.as_int()?),
-            Expr::Bin(op, a, b) => {
+            IrExpr::Not(e) => Value::Bool(!self.eval(ctx, frame, e)?.truthy()),
+            IrExpr::Neg(e) => Value::Int(-self.eval(ctx, frame, e)?.as_int()?),
+            IrExpr::Bin(op, a, b) => {
                 let a = self.eval(ctx, frame, a)?;
                 let b = self.eval(ctx, frame, b)?;
                 match op {
@@ -802,78 +899,50 @@ impl InterpretedAgent {
         })
     }
 }
-
-/// Translate a `downcall(<api>, args...)` statement into the engine API
-/// call it names. The name/arity contract is [`crate::ast::downcall_arity`]
-/// (shared with sema, which rejects violations at compile time); value
-/// shapes are checked here.
-fn build_downcall(api: &str, mut values: Vec<Value>) -> Result<DownCall, String> {
-    match crate::ast::downcall_arity(api) {
-        Some(arity) if arity == values.len() => {}
-        Some(arity) => {
-            return Err(format!(
-                "downcall({api}, ..): takes {arity} argument(s), got {}",
-                values.len()
-            ))
-        }
-        None => return Err(format!("unknown downcall API '{api}'")),
-    }
-    let as_key = |v: &Value| match v {
-        Value::Key(k) => Ok(*k),
-        Value::Node(n) => Ok(MacedonKey(n.0)),
-        other => Err(format!("downcall({api}, ..): expected key, got {other:?}")),
-    };
-    let as_payload = |v: Value| match v {
-        Value::Bytes(b) => Ok(b),
-        Value::Null => Ok(Bytes::new()),
-        other => Err(format!(
-            "downcall({api}, ..): expected payload, got {other:?}"
-        )),
-    };
-    Ok(match api {
-        "join" => DownCall::Join {
-            group: as_key(&values[0])?,
-        },
-        "leave" => DownCall::Leave {
-            group: as_key(&values[0])?,
-        },
-        "create_group" => DownCall::CreateGroup {
-            group: as_key(&values[0])?,
-        },
-        "multicast" => DownCall::Multicast {
-            group: as_key(&values[0])?,
-            payload: as_payload(values.remove(1))?,
-            priority: DEFAULT_PRIORITY,
-        },
-        "anycast" => DownCall::Anycast {
-            group: as_key(&values[0])?,
-            payload: as_payload(values.remove(1))?,
-            priority: DEFAULT_PRIORITY,
-        },
-        "collect" => DownCall::Collect {
-            group: as_key(&values[0])?,
-            payload: as_payload(values.remove(1))?,
-            priority: DEFAULT_PRIORITY,
-        },
-        "route" => DownCall::Route {
-            dest: as_key(&values[0])?,
-            payload: as_payload(values.remove(1))?,
-            priority: DEFAULT_PRIORITY,
-        },
-        "routeIP" => match &values[0] {
-            Value::Node(n) => DownCall::RouteIp {
-                dest: *n,
-                payload: as_payload(values.remove(1))?,
-                priority: DEFAULT_PRIORITY,
-            },
-            other => {
-                return Err(format!(
-                    "downcall(routeIP, ..): expected node, got {other:?}"
-                ))
+/// Decode one message's fields into a slot-ordered buffer (`out` must
+/// be empty; pooled by the caller), drawing node-list buffers from
+/// `node_pool`.
+fn decode_fields_into(
+    decl: &IrMessage,
+    r: &mut WireRef,
+    out: &mut Vec<Value>,
+    node_pool: &mut Vec<Vec<NodeId>>,
+) -> Result<(), String> {
+    debug_assert!(out.is_empty());
+    out.reserve(decl.fields.len());
+    for f in &decl.fields {
+        let v = match f.kind {
+            FieldKind::Int => Value::Int(r.u64().map_err(|e| e.to_string())? as i64),
+            FieldKind::Bool => Value::Bool(r.u8().map_err(|e| e.to_string())? != 0),
+            FieldKind::Node => {
+                let n = r.node().map_err(|e| e.to_string())?;
+                if n == NodeId(u32::MAX) {
+                    Value::Null
+                } else {
+                    Value::Node(n)
+                }
             }
-        },
-        other => return Err(format!("unknown downcall API '{other}'")),
-    })
+            FieldKind::Key => Value::Key(r.key().map_err(|e| e.to_string())?),
+            FieldKind::Payload => Value::Bytes(r.bytes().map_err(|e| e.to_string())?),
+            FieldKind::Nodes => {
+                let mut l = node_pool.pop().unwrap_or_default();
+                r.nodes_into(&mut l).map_err(|e| e.to_string())?;
+                Value::List(l)
+            }
+        };
+        out.push(v);
+    }
+    Ok(())
+}
+
+/// Move a single-use field value out of the frame (leaving `Null`; the
+/// lowering guarantees no later read).
+fn take_field(frame: &mut Frame, i: u16) -> Result<Value, String> {
+    frame
+        .fields
+        .get_mut(i as usize)
+        .map(|f| std::mem::replace(f, Value::Null))
+        .ok_or_else(|| format!("unknown message field #{i}"))
 }
 
 fn values_eq(a: &Value, b: &Value) -> bool {
@@ -887,7 +956,7 @@ fn values_eq(a: &Value, b: &Value) -> bool {
 
 impl Agent for InterpretedAgent {
     fn protocol_id(&self) -> ProtocolId {
-        self.proto
+        self.core.proto
     }
 
     fn name(&self) -> &'static str {
@@ -898,67 +967,61 @@ impl Agent for InterpretedAgent {
         // A layered spec at the bottom of a stack has nobody to tunnel
         // its sends through — every message would be silently dropped.
         debug_assert!(
-            !self.layered || ctx.layer > 0,
+            !self.core.layered || ctx.layer > 0,
             "'{}' uses '{}' and must be stacked above an agent serving that protocol \
              (see macedon_lang::registry::SpecRegistry)",
-            self.spec.name,
-            self.spec.uses.as_deref().unwrap_or_default()
+            self.ir.name,
+            self.ir.uses.as_deref().unwrap_or_default()
         );
-        // Auto-arm timers that declare a period.
-        let spec = self.spec.clone();
-        for v in &spec.state_vars {
-            if let StateVar::Timer {
-                name,
-                period_ms: Some(ms),
-            } = v
-            {
-                let id = self.timer_ids[name];
-                ctx.timer_periodic(id, Duration::from_millis(*ms as u64));
+        // Auto-arm timers that declare a period (slot = engine timer id).
+        for (id, t) in self.ir.timers.iter().enumerate() {
+            if let Some(ms) = t.period_ms {
+                ctx.timer_periodic(id as u16, Duration::from_millis(ms as u64));
             }
         }
-        self.fire(ctx, &Trigger::Api("init".to_string()), Frame::default());
+        self.fire(ctx, At::Api(ApiKind::Init), Frame::default());
     }
 
     fn downcall(&mut self, ctx: &mut Ctx, call: DownCall) {
-        let api = match &call {
-            DownCall::Route { .. } => "route",
-            DownCall::RouteIp { .. } => "routeIP",
-            DownCall::Multicast { .. } => "multicast",
-            DownCall::Anycast { .. } => "anycast",
-            DownCall::Collect { .. } => "collect",
-            DownCall::CreateGroup { .. } => "create_group",
-            DownCall::Join { .. } => "join",
-            DownCall::Leave { .. } => "leave",
-            DownCall::Ext { .. } => "downcall_ext",
+        let kind = match &call {
+            DownCall::Route { .. } => ApiKind::Route,
+            DownCall::RouteIp { .. } => ApiKind::RouteIp,
+            DownCall::Multicast { .. } => ApiKind::Multicast,
+            DownCall::Anycast { .. } => ApiKind::Anycast,
+            DownCall::Collect { .. } => ApiKind::Collect,
+            DownCall::CreateGroup { .. } => ApiKind::CreateGroup,
+            DownCall::Join { .. } => ApiKind::Join,
+            DownCall::Leave { .. } => ApiKind::Leave,
+            DownCall::Ext { .. } => ApiKind::Ext,
         };
-        if self.has_transition(&Trigger::Api(api.to_string())) {
+        if !self.ir.tables.api[kind as usize].is_empty() {
             let mut f = Frame::default();
             match call {
                 DownCall::Route { dest, payload, .. } => {
-                    f.api_args.insert("dest", Value::Key(dest));
+                    f.api_dest = Some(Value::Key(dest));
                     f.payload = Some(payload);
                 }
                 DownCall::RouteIp { dest, payload, .. } => {
-                    f.api_args.insert("dest", Value::Node(dest));
+                    f.api_dest = Some(Value::Node(dest));
                     f.payload = Some(payload);
                 }
                 DownCall::Multicast { group, payload, .. }
                 | DownCall::Anycast { group, payload, .. }
                 | DownCall::Collect { group, payload, .. } => {
-                    f.api_args.insert("group", Value::Key(group));
+                    f.api_group = Some(Value::Key(group));
                     f.payload = Some(payload);
                 }
                 DownCall::CreateGroup { group }
                 | DownCall::Join { group }
                 | DownCall::Leave { group } => {
-                    f.api_args.insert("group", Value::Key(group));
+                    f.api_group = Some(Value::Key(group));
                 }
                 DownCall::Ext { .. } => {}
             }
-            self.fire(ctx, &Trigger::Api(api.to_string()), f);
+            self.fire(ctx, At::Api(kind), f);
             return;
         }
-        if self.layered {
+        if self.core.layered {
             // Unhandled API calls fall through to the base layer — the
             // stack relaying every pass-through agent performs.
             ctx.down(call);
@@ -967,11 +1030,15 @@ impl Agent for InterpretedAgent {
         // Lowest layer: `routeIP` is an engine service (direct
         // transmission); everything else the spec chose not to handle.
         match call {
-            DownCall::RouteIp { dest, payload, .. } => self.tunnel_send(ctx, dest, payload),
-            other => ctx.trace(
-                TraceLevel::Low,
-                format!("{}: unhandled API call {other:?}", self.spec.name),
-            ),
+            DownCall::RouteIp { dest, payload, .. } => self.core.tunnel_send(ctx, dest, payload),
+            other => {
+                if ctx.trace_on(TraceLevel::Low) {
+                    ctx.trace(
+                        TraceLevel::Low,
+                        format!("{}: unhandled API call {other:?}", self.ir.name),
+                    );
+                }
+            }
         }
     }
 
@@ -980,14 +1047,13 @@ impl Agent for InterpretedAgent {
             UpCall::Deliver { src, from, payload } => {
                 // Demultiplex by protocol id: our own tunneled messages
                 // fire `recv` transitions, anything else continues up.
-                if let Some((id, fields)) = self.decode_own(&payload) {
-                    let name = self.spec.messages[id as usize].name.clone();
+                if let Some((id, fields)) = self.core.decode_own(&self.ir, &payload) {
                     let frame = Frame {
                         fields,
                         from: Some(from),
                         ..Default::default()
                     };
-                    self.fire(ctx, &Trigger::Recv(name), frame);
+                    self.fire(ctx, At::Recv(id), frame);
                 } else {
                     ctx.up(UpCall::Deliver { src, from, payload });
                 }
@@ -999,11 +1065,30 @@ impl Agent for InterpretedAgent {
     fn on_forward(&mut self, ctx: &mut Ctx, fwd: &mut ForwardInfo) {
         // An in-transit message of ours passing through the layer below:
         // fire the spec's `forward` transition, which may `quash();` it.
-        let Some((id, fields)) = self.decode_own(&fwd.payload) else {
+        // Peek only the 4-byte header first — most messages declare no
+        // forward transition, and the common case must not pay a field
+        // decode (or drop pooled buffers).
+        let mut r = WireRef::new(&fwd.payload);
+        let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else {
             return;
         };
-        let name = self.spec.messages[id as usize].name.clone();
-        if !self.has_transition(&Trigger::Forward(name.clone())) {
+        if proto != self.core.proto
+            || id as usize >= self.ir.messages.len()
+            || self.ir.tables.forward[id as usize].is_empty()
+        {
+            return;
+        }
+        let mut fields = std::mem::take(&mut self.core.fields_pool);
+        if decode_fields_into(
+            &self.ir.messages[id as usize],
+            &mut r,
+            &mut fields,
+            &mut self.core.node_pool,
+        )
+        .is_err()
+        {
+            fields.clear();
+            self.core.fields_pool = fields;
             return;
         }
         let frame = Frame {
@@ -1011,13 +1096,13 @@ impl Agent for InterpretedAgent {
             from: Some(fwd.prev_hop),
             ..Default::default()
         };
-        if self.fire(ctx, &Trigger::Forward(name), frame) {
+        if self.fire(ctx, At::Forward(id), frame) {
             fwd.quash = true;
         }
     }
 
     fn forward_resolved(&mut self, ctx: &mut Ctx, fwd: ForwardInfo) {
-        let Some((_dest, ch, bytes)) = self.pending_fwd.pop_front() else {
+        let Some((_dest, ch, bytes)) = self.core.pending_fwd.pop_front() else {
             debug_assert!(false, "forward_resolved without a pending send");
             return;
         };
@@ -1029,64 +1114,70 @@ impl Agent for InterpretedAgent {
 
     fn recv(&mut self, ctx: &mut Ctx, from: NodeId, msg: Bytes) {
         debug_assert!(
-            !self.layered,
+            !self.core.layered,
             "layered interpreted agents never touch the wire"
         );
-        let mut r = WireReader::new(msg);
+        let mut r = WireRef::new(&msg);
         let (Ok(proto), Ok(id)) = (r.u16(), r.u16()) else {
             return;
         };
         if proto == TUNNEL_PROTOCOL {
             // A `routeIP` frame tunneled on behalf of the layers above:
             // unwrap and deliver up.
-            let Ok((src, payload)) = macedon_core::wire::read_tunnel(&mut r) else {
+            let Ok((src, payload)) = read_tunnel_ref(&mut r) else {
                 return;
             };
             ctx.up(UpCall::Deliver { src, from, payload });
             return;
         }
-        if proto != self.proto || id as usize >= self.spec.messages.len() {
+        if proto != self.core.proto || id as usize >= self.ir.messages.len() {
             return;
         }
-        let fields = match self.decode(id, &mut r) {
-            Ok(f) => f,
-            Err(e) => {
+        let mut fields = std::mem::take(&mut self.core.fields_pool);
+        if let Err(e) = decode_fields_into(
+            &self.ir.messages[id as usize],
+            &mut r,
+            &mut fields,
+            &mut self.core.node_pool,
+        ) {
+            if ctx.trace_on(TraceLevel::Low) {
                 ctx.trace(
                     TraceLevel::Low,
-                    format!("{}: decode error: {e}", self.spec.name),
+                    format!("{}: decode error: {e}", self.ir.name),
                 );
-                return;
             }
-        };
-        let name = self.spec.messages[id as usize].name.clone();
+            fields.clear();
+            self.core.fields_pool = fields;
+            return;
+        }
         let frame = Frame {
             fields,
             from: Some(from),
             ..Default::default()
         };
-        self.fire(ctx, &Trigger::Recv(name), frame);
+        self.fire(ctx, At::Recv(id), frame);
     }
 
     fn timer(&mut self, ctx: &mut Ctx, timer: u16) {
-        let Some(name) = self.timer_names.get(timer as usize).cloned() else {
+        if (timer as usize) >= self.ir.timers.len() {
             return;
-        };
-        self.fire(ctx, &Trigger::Timer(name), Frame::default());
+        }
+        self.fire(ctx, At::Timer(timer), Frame::default());
     }
 
     fn neighbor_failed(&mut self, ctx: &mut Ctx, peer: NodeId) {
         // Engine convention: drop the peer from fail_detect lists, then
         // fire the error transition.
-        for name in self.fail_detect.clone() {
-            if let Some(l) = self.lists.get_mut(&name) {
-                l.retain(|&n| n != peer);
+        for (slot, decl) in self.ir.lists.iter().enumerate() {
+            if decl.fail_detect {
+                self.core.lists[slot].retain(|&n| n != peer);
             }
         }
         let frame = Frame {
             from: Some(peer),
             ..Default::default()
         };
-        self.fire(ctx, &Trigger::Error, frame);
+        self.fire(ctx, At::Error, frame);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -1193,6 +1284,18 @@ mod tests {
         // Joined members got exactly one welcome each (scoped transition
         // consumed it once).
         assert_eq!(a.list("members").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_ir_instance_across_agents() {
+        // The registry path: every node executes the same Arc<IrSpec>.
+        let spec = Arc::new(compile(STAR).unwrap());
+        let ir = Arc::new(IrSpec::lower(&spec).unwrap());
+        let a = InterpretedAgent::from_ir(ir.clone(), None);
+        let b = InterpretedAgent::from_ir(ir.clone(), Some(NodeId(1)));
+        assert!(Arc::ptr_eq(a.ir(), b.ir()));
+        assert_eq!(Arc::strong_count(&ir), 3);
+        assert_eq!(a.state(), "init");
     }
 
     #[test]
@@ -1347,5 +1450,54 @@ mod tests {
             panic!()
         };
         assert!((8..=10).contains(&n), "ticked ~10 times in 1s, got {n}");
+    }
+
+    #[test]
+    fn foreach_loop_variable_restores_outer_binding() {
+        // The loop variable shadows a declared scalar; after the loop,
+        // the scalar's own value is visible again (AST semantics, now
+        // expressed by dedicated slots).
+        const SHADOW: &str = r#"
+            protocol shadow;
+            addressing ip;
+            neighbor_types { kid 8 { } }
+            transports { TCP C; }
+            messages { C ping { } }
+            state_variables { kid kids; node n; int count; }
+            transitions {
+                any API init {
+                    n = me;
+                    neighbor_add(kids, me);
+                    foreach (n in kids) { count = count + 1; }
+                    if (n == me) { count = count + 100; }
+                }
+            }
+        "#;
+        let spec = Arc::new(compile(SHADOW).unwrap());
+        let topo = canned::star(2, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let cfg = WorldConfig {
+            channels: channel_table(&spec),
+            ..Default::default()
+        };
+        let mut w = World::new(topo, cfg);
+        w.spawn_at(
+            Time::ZERO,
+            hosts[1],
+            vec![Box::new(InterpretedAgent::new(spec, None))],
+            Box::new(NullApp),
+        );
+        w.run_until(Time::from_secs(1));
+        let a: &InterpretedAgent = w
+            .stack(hosts[1])
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        // `neighbor_add(kids, me)` filters nothing here (me is allowed
+        // in adds), so the loop ran once; afterwards `n` reads the
+        // declared scalar (me) again: 1 + 100.
+        assert_eq!(a.var("count"), Some(&Value::Int(101)));
     }
 }

@@ -1,0 +1,1072 @@
+//! Slot-indexed intermediate representation of a compiled [`Spec`].
+//!
+//! The interpreter used to walk the AST directly, resolving every
+//! variable, list, timer, message, and field *by string name* on every
+//! event — a `HashMap<String, Value>` lookup (and often a `String`
+//! allocation) per step of every transition. [`IrSpec::lower`] performs
+//! that name resolution **once per spec**: sema has already proven every
+//! name resolves, so each one collapses to a dense index — `u16` slots
+//! into plain `Vec`s for variables, neighbor lists, timers, messages,
+//! and message fields, and FSM states become indices checked against
+//! per-transition [`StateMask`] bitsets. Transition dispatch becomes a
+//! per-trigger jump table: `(trigger kind, id) → [(state mask, body)]`
+//! in declaration order, so firing an event is an array index plus a
+//! bitmask test instead of a linear scan with `String` comparisons.
+//!
+//! One `Arc<IrSpec>` is shared by every node interpreting the spec
+//! (see [`crate::registry::SpecRegistry`], which lowers each spec once
+//! at registration). Lowering is purely a change of representation:
+//! execution order, RNG draw points, wire bytes, and engine op order
+//! are identical to the AST-walking interpreter, which is what keeps
+//! the interpreted/generated exact-equality cross-validation intact.
+
+use crate::ast::*;
+use crate::interp::{protocol_id_of, Value};
+use macedon_core::{ChannelId, MacedonKey, ProtocolId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A spec that cannot be lowered — either it never passed
+/// [`crate::sema::analyze`] (unresolved names) or it exceeds an IR
+/// capacity bound (more than 128 FSM states).
+#[derive(Clone, Debug)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR lowering: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err(msg: impl Into<String>) -> LowerError {
+    LowerError(msg.into())
+}
+
+/// Set of FSM states (by index) a transition's scope admits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StateMask(u128);
+
+impl StateMask {
+    #[inline]
+    pub fn contains(self, state: u16) -> bool {
+        self.0 & (1u128 << state) != 0
+    }
+}
+
+/// One scalar variable slot (constants, declared scalars, and one
+/// dedicated slot per `foreach` binding site).
+#[derive(Clone, Debug)]
+pub struct IrVar {
+    pub name: String,
+    pub init: Value,
+}
+
+/// One neighbor-list slot.
+#[derive(Clone, Debug)]
+pub struct IrList {
+    pub name: String,
+    pub max: usize,
+    pub fail_detect: bool,
+}
+
+/// One timer slot; the slot index is the engine timer id (declaration
+/// order, exactly as the AST interpreter assigned them).
+#[derive(Clone, Debug)]
+pub struct IrTimer {
+    pub name: String,
+    pub period_ms: Option<i64>,
+}
+
+/// Wire shape of one message field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldKind {
+    Int,
+    Bool,
+    Node,
+    Key,
+    Payload,
+    Nodes,
+}
+
+impl FieldKind {
+    fn of(ty: &TypeName) -> FieldKind {
+        match ty {
+            TypeName::Int => FieldKind::Int,
+            TypeName::Bool => FieldKind::Bool,
+            TypeName::Node => FieldKind::Node,
+            TypeName::Key => FieldKind::Key,
+            TypeName::Payload => FieldKind::Payload,
+            TypeName::Neighbor(_) => FieldKind::Nodes,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct IrField {
+    pub name: String,
+    pub kind: FieldKind,
+}
+
+/// One message declaration, field order fixed; the message id is the
+/// slot index (declaration order — the wire id both back ends use).
+#[derive(Clone, Debug)]
+pub struct IrMessage {
+    pub name: String,
+    pub channel: ChannelId,
+    pub fields: Vec<IrField>,
+    /// Positions of `key`-typed fields (routing destination candidates
+    /// for `null`-destination layered sends).
+    pub key_fields: Vec<u16>,
+    /// Positions of `payload`-typed fields (tunneled-data candidates
+    /// for the forward-query vetting of lowest-layer sends).
+    pub payload_fields: Vec<u16>,
+}
+
+/// A lowered transition body.
+#[derive(Clone, Debug)]
+pub struct IrTransition {
+    pub read_locked: bool,
+    pub body: Vec<IrStmt>,
+}
+
+/// Per-trigger dispatch entries in declaration order: the first entry
+/// whose mask admits the current state fires.
+pub type Table = Vec<(StateMask, u16)>;
+
+/// The MACEDON API calls a transition can be keyed on. The fixed-arity
+/// `downcall(..)` surface plus `init` and the extension hook — the only
+/// API triggers the engine can ever deliver (a transition declared for
+/// any other API name is unreachable, in the AST interpreter too).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApiKind {
+    Init,
+    Route,
+    RouteIp,
+    Multicast,
+    Anycast,
+    Collect,
+    CreateGroup,
+    Join,
+    Leave,
+    Ext,
+}
+
+impl ApiKind {
+    pub const COUNT: usize = 10;
+
+    pub fn from_name(name: &str) -> Option<ApiKind> {
+        Some(match name {
+            "init" => ApiKind::Init,
+            "route" => ApiKind::Route,
+            "routeIP" => ApiKind::RouteIp,
+            "multicast" => ApiKind::Multicast,
+            "anycast" => ApiKind::Anycast,
+            "collect" => ApiKind::Collect,
+            "create_group" => ApiKind::CreateGroup,
+            "join" => ApiKind::Join,
+            "leave" => ApiKind::Leave,
+            "downcall_ext" => ApiKind::Ext,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ApiKind::Init => "init",
+            ApiKind::Route => "route",
+            ApiKind::RouteIp => "routeIP",
+            ApiKind::Multicast => "multicast",
+            ApiKind::Anycast => "anycast",
+            ApiKind::Collect => "collect",
+            ApiKind::CreateGroup => "create_group",
+            ApiKind::Join => "join",
+            ApiKind::Leave => "leave",
+            ApiKind::Ext => "downcall_ext",
+        }
+    }
+}
+
+/// The jump tables: trigger → ordered dispatch entries.
+#[derive(Clone, Debug)]
+pub struct Tables {
+    /// Indexed by message id.
+    pub recv: Vec<Table>,
+    /// Indexed by message id.
+    pub forward: Vec<Table>,
+    /// Indexed by timer id.
+    pub timer: Vec<Table>,
+    /// Indexed by `ApiKind as usize`.
+    pub api: [Table; ApiKind::COUNT],
+    pub error: Table,
+}
+
+/// Which API-argument binding an expression reads (`dest` / `group`),
+/// with the variable slot it falls back to outside an API transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApiArgKind {
+    Dest,
+    Group,
+}
+
+/// Lowered expression: every name is a slot.
+#[derive(Clone, Debug)]
+pub enum IrExpr {
+    Int(i64),
+    From,
+    Me,
+    MyKey,
+    Bootstrap,
+    Payload,
+    Null,
+    True,
+    False,
+    /// `dest` / `group`: the API-transition argument, else the variable
+    /// slot of that name, else null — the builtin fallback chain.
+    ApiArg {
+        which: ApiArgKind,
+        fallback: Option<u16>,
+    },
+    Var(u16),
+    /// A neighbor list read as a value (`Value::List` clone).
+    ListValue(u16),
+    /// Field of the triggering message, by position.
+    Field(u16),
+    NeighborSize(u16),
+    NeighborQuery(u16, Box<IrExpr>),
+    NeighborRandom(u16),
+    Not(Box<IrExpr>),
+    Neg(Box<IrExpr>),
+    Bin(BinOp, Box<IrExpr>, Box<IrExpr>),
+}
+
+/// Lowered `downcall(<api>, args..)` — name and arity resolved.
+#[derive(Clone, Debug)]
+pub enum IrDown {
+    Join(IrExpr),
+    Leave(IrExpr),
+    CreateGroup(IrExpr),
+    Multicast(IrExpr, IrExpr),
+    Anycast(IrExpr, IrExpr),
+    Collect(IrExpr, IrExpr),
+    Route(IrExpr, IrExpr),
+    RouteIp(IrExpr, IrExpr),
+}
+
+impl IrDown {
+    /// The API name, for runtime value-shape diagnostics.
+    pub fn api(&self) -> &'static str {
+        match self {
+            IrDown::Join(_) => "join",
+            IrDown::Leave(_) => "leave",
+            IrDown::CreateGroup(_) => "create_group",
+            IrDown::Multicast(..) => "multicast",
+            IrDown::Anycast(..) => "anycast",
+            IrDown::Collect(..) => "collect",
+            IrDown::Route(..) => "route",
+            IrDown::RouteIp(..) => "routeIP",
+        }
+    }
+}
+
+/// Lowered statement: every name is a slot.
+#[derive(Clone, Debug)]
+pub enum IrStmt {
+    If {
+        cond: IrExpr,
+        then: Vec<IrStmt>,
+        els: Vec<IrStmt>,
+    },
+    Return,
+    StateChange(u16),
+    TimerResched(u16, IrExpr),
+    TimerCancel(u16),
+    NeighborAdd(u16, IrExpr),
+    NeighborRemove(u16, IrExpr),
+    NeighborClear(u16),
+    Send {
+        msg: u16,
+        dest: IrExpr,
+        args: Vec<IrExpr>,
+    },
+    Quash,
+    DownCall(IrDown),
+    UpcallNotify(u16, IrExpr),
+    Deliver {
+        src: IrExpr,
+        payload: IrExpr,
+    },
+    Monitor(IrExpr),
+    Unmonitor(IrExpr),
+    ForEach {
+        var: u16,
+        list: u16,
+        body: Vec<IrStmt>,
+    },
+    AssignVar(u16, IrExpr),
+    AssignList(u16, IrExpr),
+    /// `x = field(f);` where the field is read exactly once in the
+    /// body: the decoded value is moved out of the frame instead of
+    /// cloned (for list fields that skips a whole `Vec` copy). Emitted
+    /// by the lowering's single-use analysis; never inside a `foreach`.
+    AssignVarTakeField(u16, u16),
+    /// `list = field(f);`, single-use — move instead of clone.
+    AssignListTakeField(u16, u16),
+    Trace(IrExpr),
+}
+
+/// A fully lowered specification, shared (`Arc`) by every interpreting
+/// node.
+#[derive(Clone, Debug)]
+pub struct IrSpec {
+    pub name: String,
+    pub uses: Option<String>,
+    pub proto: ProtocolId,
+    pub layered: bool,
+    /// State names; index 0 is the implicit `init`.
+    pub states: Vec<String>,
+    pub vars: Vec<IrVar>,
+    pub lists: Vec<IrList>,
+    pub timers: Vec<IrTimer>,
+    pub messages: Vec<IrMessage>,
+    pub transitions: Vec<IrTransition>,
+    pub tables: Tables,
+    /// Name → slot for declared constants and scalars (introspection;
+    /// `foreach` slots are deliberately absent, as the AST interpreter
+    /// removed those bindings after each loop).
+    var_index: HashMap<String, u16>,
+    list_index: HashMap<String, u16>,
+}
+
+impl IrSpec {
+    pub fn var_slot(&self, name: &str) -> Option<u16> {
+        self.var_index.get(name).copied()
+    }
+
+    pub fn list_slot(&self, name: &str) -> Option<u16> {
+        self.list_index.get(name).copied()
+    }
+
+    /// Index of a declared FSM state.
+    pub fn state_index(&self, name: &str) -> Option<u16> {
+        self.states.iter().position(|s| s == name).map(|i| i as u16)
+    }
+
+    /// Lower an analyzed spec. Fails only on specs that never passed
+    /// [`crate::sema::analyze`] (unresolved names) or that exceed the
+    /// 128-state capacity of [`StateMask`].
+    pub fn lower(spec: &Spec) -> Result<IrSpec, LowerError> {
+        Lowerer::new(spec)?.run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+struct Lowerer<'s> {
+    spec: &'s Spec,
+    states: Vec<String>,
+    vars: Vec<IrVar>,
+    var_index: HashMap<String, u16>,
+    lists: Vec<IrList>,
+    list_index: HashMap<String, u16>,
+    timers: Vec<IrTimer>,
+    timer_index: HashMap<String, u16>,
+    messages: Vec<IrMessage>,
+    msg_index: HashMap<String, u16>,
+    /// Active `foreach` bindings, innermost last: (name, var slot).
+    fe_stack: Vec<(String, u16)>,
+    /// Message supplying `field(..)` in the transition being lowered.
+    trigger_msg: Option<u16>,
+}
+
+impl<'s> Lowerer<'s> {
+    fn new(spec: &'s Spec) -> Result<Lowerer<'s>, LowerError> {
+        let mut states = Vec::with_capacity(spec.states.len() + 1);
+        states.push("init".to_string());
+        states.extend(spec.states.iter().cloned());
+        if states.len() > 128 {
+            return Err(err(format!(
+                "protocol '{}' declares {} states; the IR state mask holds at most 128",
+                spec.name,
+                states.len()
+            )));
+        }
+
+        // Variable slots: constants first, then declared scalars — the
+        // same insertion order the AST interpreter used for its map, so
+        // a name collision resolves identically (latest declaration
+        // shadows, both slots exist).
+        let mut vars = Vec::new();
+        let mut var_index = HashMap::new();
+        for (name, v) in &spec.constants {
+            var_index.insert(name.clone(), vars.len() as u16);
+            vars.push(IrVar {
+                name: name.clone(),
+                init: Value::Int(*v),
+            });
+        }
+        let mut lists = Vec::new();
+        let mut list_index = HashMap::new();
+        let mut timers = Vec::new();
+        let mut timer_index = HashMap::new();
+        for v in &spec.state_vars {
+            match v {
+                StateVar::Neighbor {
+                    ty,
+                    name,
+                    fail_detect,
+                } => {
+                    list_index.insert(name.clone(), lists.len() as u16);
+                    lists.push(IrList {
+                        name: name.clone(),
+                        max: spec.list_max(ty),
+                        fail_detect: *fail_detect,
+                    });
+                }
+                StateVar::Timer { name, period_ms } => {
+                    timer_index.insert(name.clone(), timers.len() as u16);
+                    timers.push(IrTimer {
+                        name: name.clone(),
+                        period_ms: *period_ms,
+                    });
+                }
+                StateVar::Scalar { ty, name } => {
+                    let init = match ty {
+                        TypeName::Int => Value::Int(0),
+                        TypeName::Bool => Value::Bool(false),
+                        TypeName::Node => Value::Null,
+                        TypeName::Key => Value::Key(MacedonKey(0)),
+                        TypeName::Payload => Value::Null,
+                        TypeName::Neighbor(_) => Value::Null,
+                    };
+                    var_index.insert(name.clone(), vars.len() as u16);
+                    vars.push(IrVar {
+                        name: name.clone(),
+                        init,
+                    });
+                }
+            }
+        }
+
+        let mut messages = Vec::new();
+        let mut msg_index = HashMap::new();
+        for m in &spec.messages {
+            let channel = m
+                .transport
+                .as_ref()
+                .and_then(|t| spec.transports.iter().position(|d| &d.name == t))
+                .unwrap_or(0);
+            let fields: Vec<IrField> = m
+                .fields
+                .iter()
+                .map(|f| IrField {
+                    name: f.name.clone(),
+                    kind: FieldKind::of(&f.ty),
+                })
+                .collect();
+            let pos_of = |k: FieldKind| {
+                fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.kind == k)
+                    .map(|(i, _)| i as u16)
+                    .collect::<Vec<u16>>()
+            };
+            msg_index.insert(m.name.clone(), messages.len() as u16);
+            messages.push(IrMessage {
+                name: m.name.clone(),
+                channel: ChannelId(channel as u16),
+                key_fields: pos_of(FieldKind::Key),
+                payload_fields: pos_of(FieldKind::Payload),
+                fields,
+            });
+        }
+
+        Ok(Lowerer {
+            spec,
+            states,
+            vars,
+            var_index,
+            lists,
+            list_index,
+            timers,
+            timer_index,
+            messages,
+            msg_index,
+            fe_stack: Vec::new(),
+            trigger_msg: None,
+        })
+    }
+
+    fn run(mut self) -> Result<IrSpec, LowerError> {
+        let mut tables = Tables {
+            recv: vec![Vec::new(); self.messages.len()],
+            forward: vec![Vec::new(); self.messages.len()],
+            timer: vec![Vec::new(); self.timers.len()],
+            api: Default::default(),
+            error: Vec::new(),
+        };
+        let mut transitions = Vec::with_capacity(self.spec.transitions.len());
+        for t in &self.spec.transitions {
+            let mask = self.scope_mask(&t.scope)?;
+            self.trigger_msg = match &t.trigger {
+                Trigger::Recv(m) | Trigger::Forward(m) => Some(self.msg(m)?),
+                _ => None,
+            };
+            let tidx = transitions.len() as u16;
+            let mut body = self.stmts(&t.body)?;
+            steal_single_use_fields(&mut body);
+            transitions.push(IrTransition {
+                read_locked: t.locking == LockingOpt::Read,
+                body,
+            });
+            match &t.trigger {
+                Trigger::Recv(m) => tables.recv[self.msg(m)? as usize].push((mask, tidx)),
+                Trigger::Forward(m) => tables.forward[self.msg(m)? as usize].push((mask, tidx)),
+                Trigger::Timer(name) => {
+                    let id = *self
+                        .timer_index
+                        .get(name)
+                        .ok_or_else(|| err(format!("unknown timer '{name}'")))?;
+                    tables.timer[id as usize].push((mask, tidx));
+                }
+                Trigger::Api(name) => {
+                    // An API name outside the engine surface can never be
+                    // delivered; the transition stays (declaration-order
+                    // indices) but no table reaches it — exactly as
+                    // unreachable as it was under AST dispatch.
+                    if let Some(kind) = ApiKind::from_name(name) {
+                        tables.api[kind as usize].push((mask, tidx));
+                    }
+                }
+                Trigger::Error => tables.error.push((mask, tidx)),
+            }
+        }
+        Ok(IrSpec {
+            name: self.spec.name.clone(),
+            uses: self.spec.uses.clone(),
+            proto: protocol_id_of(&self.spec.name),
+            layered: self.spec.uses.is_some(),
+            states: self.states,
+            vars: self.vars,
+            lists: self.lists,
+            timers: self.timers,
+            messages: self.messages,
+            transitions,
+            tables,
+            var_index: self.var_index,
+            list_index: self.list_index,
+        })
+    }
+
+    fn scope_mask(&self, scope: &StateExpr) -> Result<StateMask, LowerError> {
+        let mut bits = 0u128;
+        for (i, s) in self.states.iter().enumerate() {
+            if scope.matches(s) {
+                bits |= 1u128 << i;
+            }
+        }
+        Ok(StateMask(bits))
+    }
+
+    fn msg(&self, name: &str) -> Result<u16, LowerError> {
+        self.msg_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("unknown message '{name}'")))
+    }
+
+    fn list(&self, name: &str) -> Result<u16, LowerError> {
+        self.list_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("unknown neighbor list '{name}'")))
+    }
+
+    fn timer(&self, name: &str) -> Result<u16, LowerError> {
+        self.timer_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("unknown timer '{name}'")))
+    }
+
+    /// Resolve a value name through the lexical scope the AST
+    /// interpreter's mutable variable map produced: innermost `foreach`
+    /// binding first, then constants/scalars.
+    fn value_slot(&self, name: &str) -> Option<u16> {
+        self.fe_stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .or_else(|| self.var_index.get(name).copied())
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<IrStmt>, LowerError> {
+        stmts.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<IrStmt, LowerError> {
+        Ok(match s {
+            Stmt::If { cond, then, els } => IrStmt::If {
+                cond: self.expr(cond)?,
+                then: self.stmts(then)?,
+                els: self.stmts(els)?,
+            },
+            Stmt::Return => IrStmt::Return,
+            Stmt::StateChange(name) => {
+                let idx = self
+                    .states
+                    .iter()
+                    .position(|s| s == name)
+                    .ok_or_else(|| err(format!("state_change to unknown state '{name}'")))?;
+                IrStmt::StateChange(idx as u16)
+            }
+            Stmt::TimerResched(name, e) => IrStmt::TimerResched(self.timer(name)?, self.expr(e)?),
+            Stmt::TimerCancel(name) => IrStmt::TimerCancel(self.timer(name)?),
+            Stmt::NeighborAdd(l, e) => IrStmt::NeighborAdd(self.list(l)?, self.expr(e)?),
+            Stmt::NeighborRemove(l, e) => IrStmt::NeighborRemove(self.list(l)?, self.expr(e)?),
+            Stmt::NeighborClear(l) => IrStmt::NeighborClear(self.list(l)?),
+            Stmt::Send {
+                message,
+                dest,
+                args,
+            } => {
+                let msg = self.msg(message)?;
+                if args.len() != self.messages[msg as usize].fields.len() {
+                    return Err(err(format!(
+                        "message '{message}' takes {} field(s), got {}",
+                        self.messages[msg as usize].fields.len(),
+                        args.len()
+                    )));
+                }
+                IrStmt::Send {
+                    msg,
+                    dest: self.expr(dest)?,
+                    args: args
+                        .iter()
+                        .map(|a| self.expr(a))
+                        .collect::<Result<_, _>>()?,
+                }
+            }
+            Stmt::Quash => IrStmt::Quash,
+            Stmt::DownCallApi { api, args } => {
+                let mut lowered: Vec<IrExpr> = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?;
+                let arity = crate::ast::downcall_arity(api)
+                    .ok_or_else(|| err(format!("unknown downcall API '{api}'")))?;
+                if lowered.len() != arity {
+                    return Err(err(format!(
+                        "downcall({api}, ..) takes {arity} argument(s), got {}",
+                        lowered.len()
+                    )));
+                }
+                let two = |l: &mut Vec<IrExpr>| {
+                    let b = l.pop().expect("arity 2");
+                    let a = l.pop().expect("arity 2");
+                    (a, b)
+                };
+                IrStmt::DownCall(match api.as_str() {
+                    "join" => IrDown::Join(lowered.pop().expect("arity 1")),
+                    "leave" => IrDown::Leave(lowered.pop().expect("arity 1")),
+                    "create_group" => IrDown::CreateGroup(lowered.pop().expect("arity 1")),
+                    "multicast" => {
+                        let (a, b) = two(&mut lowered);
+                        IrDown::Multicast(a, b)
+                    }
+                    "anycast" => {
+                        let (a, b) = two(&mut lowered);
+                        IrDown::Anycast(a, b)
+                    }
+                    "collect" => {
+                        let (a, b) = two(&mut lowered);
+                        IrDown::Collect(a, b)
+                    }
+                    "route" => {
+                        let (a, b) = two(&mut lowered);
+                        IrDown::Route(a, b)
+                    }
+                    "routeIP" => {
+                        let (a, b) = two(&mut lowered);
+                        IrDown::RouteIp(a, b)
+                    }
+                    other => return Err(err(format!("unknown downcall API '{other}'"))),
+                })
+            }
+            Stmt::UpcallNotify(l, e) => IrStmt::UpcallNotify(self.list(l)?, self.expr(e)?),
+            Stmt::Deliver { src, payload } => IrStmt::Deliver {
+                src: self.expr(src)?,
+                payload: self.expr(payload)?,
+            },
+            Stmt::Monitor(e) => IrStmt::Monitor(self.expr(e)?),
+            Stmt::Unmonitor(e) => IrStmt::Unmonitor(self.expr(e)?),
+            Stmt::ForEach { var, list, body } => {
+                let list = self.list(list)?;
+                // A dedicated slot per binding site: lexical resolution
+                // replaces the AST interpreter's insert/save/restore
+                // dance over one shared map.
+                let slot = self.vars.len() as u16;
+                self.vars.push(IrVar {
+                    name: var.clone(),
+                    init: Value::Null,
+                });
+                self.fe_stack.push((var.clone(), slot));
+                let body = self.stmts(body);
+                self.fe_stack.pop();
+                IrStmt::ForEach {
+                    var: slot,
+                    list,
+                    body: body?,
+                }
+            }
+            Stmt::Assign(name, e) => {
+                let e = self.expr(e)?;
+                // Mirror the AST interpreter's order: a neighbor list
+                // wins over a scalar of the same name as an assignment
+                // target (while reads resolve scalar-first).
+                if let Some(slot) = self.list_index.get(name) {
+                    IrStmt::AssignList(*slot, e)
+                } else if let Some(slot) = self.var_index.get(name) {
+                    IrStmt::AssignVar(*slot, e)
+                } else {
+                    return Err(err(format!("assignment to undeclared variable '{name}'")));
+                }
+            }
+            Stmt::Trace(e) => IrStmt::Trace(self.expr(e)?),
+        })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<IrExpr, LowerError> {
+        Ok(match e {
+            Expr::Int(v) => IrExpr::Int(*v),
+            Expr::Var(name) => match name.as_str() {
+                // Builtins shadow everything — the AST interpreter
+                // matched these names before consulting its map.
+                "from" => IrExpr::From,
+                "me" => IrExpr::Me,
+                "my_key" => IrExpr::MyKey,
+                "bootstrap" => IrExpr::Bootstrap,
+                "payload" => IrExpr::Payload,
+                "null" => IrExpr::Null,
+                "true" => IrExpr::True,
+                "false" => IrExpr::False,
+                "dest" => IrExpr::ApiArg {
+                    which: ApiArgKind::Dest,
+                    fallback: self.value_slot(name),
+                },
+                "group" => IrExpr::ApiArg {
+                    which: ApiArgKind::Group,
+                    fallback: self.value_slot(name),
+                },
+                other => {
+                    if let Some(slot) = self.value_slot(other) {
+                        IrExpr::Var(slot)
+                    } else if let Some(slot) = self.list_index.get(other) {
+                        IrExpr::ListValue(*slot)
+                    } else {
+                        return Err(err(format!("unknown variable '{other}'")));
+                    }
+                }
+            },
+            Expr::Field(name) => {
+                let Some(msg) = self.trigger_msg else {
+                    return Err(err(format!(
+                        "field({name}) outside a recv/forward transition"
+                    )));
+                };
+                let decl = &self.messages[msg as usize];
+                let idx = decl
+                    .fields
+                    .iter()
+                    .position(|f| f.name == *name)
+                    .ok_or_else(|| err(format!("message '{}' has no field '{name}'", decl.name)))?;
+                IrExpr::Field(idx as u16)
+            }
+            Expr::NeighborSize(l) => IrExpr::NeighborSize(self.list(l)?),
+            Expr::NeighborQuery(l, e) => {
+                IrExpr::NeighborQuery(self.list(l)?, Box::new(self.expr(e)?))
+            }
+            Expr::NeighborRandom(l) => IrExpr::NeighborRandom(self.list(l)?),
+            Expr::Not(e) => IrExpr::Not(Box::new(self.expr(e)?)),
+            Expr::Neg(e) => IrExpr::Neg(Box::new(self.expr(e)?)),
+            Expr::Bin(op, a, b) => {
+                IrExpr::Bin(*op, Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-use field analysis
+// ---------------------------------------------------------------------------
+
+fn bump_field(counts: &mut Vec<u32>, idx: u16, weight: u32) {
+    let i = idx as usize;
+    if counts.len() <= i {
+        counts.resize(i + 1, 0);
+    }
+    counts[i] = counts[i].saturating_add(weight);
+}
+
+fn count_expr_fields(e: &IrExpr, weight: u32, counts: &mut Vec<u32>) {
+    match e {
+        IrExpr::Field(i) => bump_field(counts, *i, weight),
+        IrExpr::NeighborQuery(_, e) | IrExpr::Not(e) | IrExpr::Neg(e) => {
+            count_expr_fields(e, weight, counts)
+        }
+        IrExpr::Bin(_, a, b) => {
+            count_expr_fields(a, weight, counts);
+            count_expr_fields(b, weight, counts);
+        }
+        _ => {}
+    }
+}
+
+fn count_down_fields(d: &IrDown, weight: u32, counts: &mut Vec<u32>) {
+    match d {
+        IrDown::Join(a) | IrDown::Leave(a) | IrDown::CreateGroup(a) => {
+            count_expr_fields(a, weight, counts)
+        }
+        IrDown::Multicast(a, b)
+        | IrDown::Anycast(a, b)
+        | IrDown::Collect(a, b)
+        | IrDown::Route(a, b)
+        | IrDown::RouteIp(a, b) => {
+            count_expr_fields(a, weight, counts);
+            count_expr_fields(b, weight, counts);
+        }
+    }
+}
+
+fn count_stmt_fields(s: &IrStmt, weight: u32, counts: &mut Vec<u32>) {
+    match s {
+        IrStmt::If { cond, then, els } => {
+            count_expr_fields(cond, weight, counts);
+            for t in then.iter().chain(els) {
+                count_stmt_fields(t, weight, counts);
+            }
+        }
+        // A loop body re-reads its fields every iteration: weight 2
+        // disqualifies anything inside from the single-use rewrite.
+        IrStmt::ForEach { body, .. } => {
+            for t in body {
+                count_stmt_fields(t, 2, counts);
+            }
+        }
+        IrStmt::TimerResched(_, e)
+        | IrStmt::NeighborAdd(_, e)
+        | IrStmt::NeighborRemove(_, e)
+        | IrStmt::UpcallNotify(_, e)
+        | IrStmt::Monitor(e)
+        | IrStmt::Unmonitor(e)
+        | IrStmt::AssignVar(_, e)
+        | IrStmt::AssignList(_, e)
+        | IrStmt::Trace(e) => count_expr_fields(e, weight, counts),
+        IrStmt::Send { dest, args, .. } => {
+            count_expr_fields(dest, weight, counts);
+            for a in args {
+                count_expr_fields(a, weight, counts);
+            }
+        }
+        IrStmt::DownCall(d) => count_down_fields(d, weight, counts),
+        IrStmt::Deliver { src, payload } => {
+            count_expr_fields(src, weight, counts);
+            count_expr_fields(payload, weight, counts);
+        }
+        IrStmt::Return
+        | IrStmt::Quash
+        | IrStmt::StateChange(_)
+        | IrStmt::TimerCancel(_)
+        | IrStmt::NeighborClear(_)
+        | IrStmt::AssignVarTakeField(..)
+        | IrStmt::AssignListTakeField(..) => {}
+    }
+}
+
+fn apply_field_steals(stmts: &mut [IrStmt], counts: &[u32]) {
+    for s in stmts {
+        match s {
+            IrStmt::If { then, els, .. } => {
+                apply_field_steals(then, counts);
+                apply_field_steals(els, counts);
+            }
+            // Deliberately not descending into ForEach: a loop body
+            // executes repeatedly, so a steal there would null the
+            // field for later iterations.
+            IrStmt::AssignVar(slot, IrExpr::Field(i)) if counts.get(*i as usize) == Some(&1) => {
+                *s = IrStmt::AssignVarTakeField(*slot, *i);
+            }
+            IrStmt::AssignList(slot, IrExpr::Field(i)) if counts.get(*i as usize) == Some(&1) => {
+                *s = IrStmt::AssignListTakeField(*slot, *i);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rewrite `x = field(f);` into a move when `f` is read exactly once in
+/// the transition body — semantics identical, one clone (for list
+/// fields, one `Vec` allocation) cheaper per firing.
+fn steal_single_use_fields(body: &mut [IrStmt]) {
+    let mut counts = Vec::new();
+    for s in body.iter() {
+        count_stmt_fields(s, 1, &mut counts);
+    }
+    apply_field_steals(body, &counts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn lower(src: &str) -> IrSpec {
+        IrSpec::lower(&compile(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn slots_follow_declaration_order() {
+        let ir = lower(
+            "protocol p; addressing hash;
+             constants { K = 7; }
+             states { a; b; }
+             neighbor_types { kid 4 { } }
+             transports { TCP C; UDP D; }
+             messages { D ping { node who; } C pong { } }
+             state_variables { kid kids; timer t1; timer t2 100; int n; }
+             transitions { any timer t2 { n = K; } }",
+        );
+        assert_eq!(ir.states, ["init", "a", "b"]);
+        assert_eq!(ir.var_slot("K"), Some(0));
+        assert_eq!(ir.var_slot("n"), Some(1));
+        assert_eq!(ir.vars[0].init, Value::Int(7));
+        assert_eq!(ir.list_slot("kids"), Some(0));
+        assert_eq!(ir.lists[0].max, 4);
+        assert_eq!(ir.timers.len(), 2);
+        assert_eq!(ir.timers[1].name, "t2");
+        assert_eq!(ir.timers[1].period_ms, Some(100));
+        // ping rides the second declared transport; pong the first.
+        assert_eq!(ir.messages[0].channel, ChannelId(1));
+        assert_eq!(ir.messages[1].channel, ChannelId(0));
+        // The timer table keys t2 (slot 1) to the only transition.
+        assert_eq!(ir.tables.timer[1].len(), 1);
+        assert!(ir.tables.timer[0].is_empty());
+    }
+
+    #[test]
+    fn scope_masks_match_state_expressions() {
+        let ir = lower(
+            "protocol p; addressing hash;
+             states { joining; joined; }
+             transports { TCP C; }
+             messages { C m { } }
+             transitions {
+                !(joining|init) recv m { }
+                any recv m { }
+             }",
+        );
+        let table = &ir.tables.recv[0];
+        assert_eq!(table.len(), 2);
+        let (mask, first) = table[0];
+        assert_eq!(first, 0, "declaration order preserved");
+        assert!(!mask.contains(0), "init excluded");
+        assert!(!mask.contains(1), "joining excluded");
+        assert!(mask.contains(2), "joined admitted");
+        let (any, _) = table[1];
+        for s in 0..3 {
+            assert!(any.contains(s));
+        }
+    }
+
+    #[test]
+    fn foreach_gets_dedicated_shadow_slot() {
+        let ir = lower(
+            "protocol p; addressing hash;
+             neighbor_types { kid 4 { } }
+             transports { TCP C; }
+             messages { C ping { node who; } }
+             state_variables { kid kids; node n; }
+             transitions { any API init { foreach (n in kids) { ping(n, n); } n = null; } }",
+        );
+        // Declared scalar keeps slot 0; the loop binding gets its own.
+        assert_eq!(ir.var_slot("n"), Some(0));
+        assert_eq!(ir.vars.len(), 2);
+        let body = &ir.transitions[0].body;
+        let IrStmt::ForEach {
+            var, body: inner, ..
+        } = &body[0]
+        else {
+            panic!("expected foreach, got {body:?}");
+        };
+        assert_eq!(*var, 1, "loop variable shadows into a fresh slot");
+        let IrStmt::Send { dest, .. } = &inner[0] else {
+            panic!("expected send");
+        };
+        assert!(matches!(dest, IrExpr::Var(1)), "body reads the loop slot");
+        let IrStmt::AssignVar(slot, _) = &body[1] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(*slot, 0, "after the loop the declared scalar is back");
+    }
+
+    #[test]
+    fn key_and_payload_field_positions_precomputed() {
+        let ir = lower(
+            "protocol p uses base; addressing hash;
+             messages { m { int a; key g; payload d; key h; } }",
+        );
+        assert_eq!(ir.messages[0].key_fields, [1, 3]);
+        assert_eq!(ir.messages[0].payload_fields, [2]);
+        assert!(ir.layered);
+    }
+
+    #[test]
+    fn unreachable_api_names_get_no_table() {
+        let ir = lower(
+            "protocol p; addressing hash;
+             transitions { any API init { } }",
+        );
+        assert_eq!(ir.tables.api[ApiKind::Init as usize].len(), 1);
+        for kind in 1..ApiKind::COUNT {
+            assert!(ir.tables.api[kind].is_empty());
+        }
+    }
+
+    #[test]
+    fn all_bundled_specs_lower() {
+        for (name, src) in crate::bundled_specs() {
+            let spec = compile(src).unwrap();
+            let ir = IrSpec::lower(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(ir.name, name);
+            assert_eq!(ir.messages.len(), spec.messages.len());
+            assert_eq!(ir.transitions.len(), spec.transitions.len());
+        }
+    }
+
+    #[test]
+    fn unanalyzed_spec_diagnosed() {
+        let spec = crate::parse(
+            "protocol p; addressing hash;
+             transitions { any API init { ghost = 1; } }",
+        )
+        .unwrap();
+        let e = IrSpec::lower(&spec).unwrap_err();
+        assert!(e.to_string().contains("undeclared variable 'ghost'"));
+    }
+
+    #[test]
+    fn state_mask_capacity_guarded() {
+        let mut src = String::from("protocol p; addressing hash; states { ");
+        for i in 0..128 {
+            src.push_str(&format!("s{i}; "));
+        }
+        src.push('}');
+        let e = IrSpec::lower(&compile(&src).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("at most 128"));
+    }
+}

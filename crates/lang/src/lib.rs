@@ -44,6 +44,7 @@
 pub mod ast;
 pub mod codegen;
 pub mod interp;
+pub mod ir;
 pub mod lexer;
 pub mod loc;
 pub mod parser;
@@ -53,6 +54,7 @@ pub mod sema;
 
 pub use ast::Spec;
 pub use interp::InterpretedAgent;
+pub use ir::IrSpec;
 pub use lexer::{Lexer, ParseError, Token, TokenKind};
 pub use parser::parse;
 pub use registry::{ChainError, SpecRegistry};

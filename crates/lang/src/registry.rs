@@ -17,6 +17,7 @@
 
 use crate::ast::Spec;
 use crate::interp::{channel_table, InterpretedAgent};
+use crate::ir::IrSpec;
 use macedon_core::{Agent, ChannelSpec, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -53,9 +54,15 @@ impl fmt::Display for ChainError {
 impl std::error::Error for ChainError {}
 
 /// A set of compiled specifications addressable by protocol name.
+///
+/// Each spec is lowered to its slot-indexed [`IrSpec`] once, at
+/// registration; every stack the registry assembles shares that one
+/// `Arc<IrSpec>` across all nodes and layers (instead of re-deriving
+/// per-agent name tables, as the pre-IR interpreter did).
 #[derive(Default)]
 pub struct SpecRegistry {
     specs: HashMap<String, Arc<Spec>>,
+    irs: HashMap<String, Arc<IrSpec>>,
 }
 
 impl SpecRegistry {
@@ -74,13 +81,29 @@ impl SpecRegistry {
     }
 
     /// Register a compiled spec under its protocol name (replacing any
-    /// previous spec of the same name).
+    /// previous spec of the same name), lowering it to IR once for all
+    /// future stacks.
+    ///
+    /// Panics if the spec fails IR lowering — only possible when it
+    /// never passed [`crate::sema::analyze`] (use [`crate::compile`]).
     pub fn insert(&mut self, spec: Arc<Spec>) {
+        let ir = IrSpec::lower(&spec).unwrap_or_else(|e| {
+            panic!(
+                "spec '{}' cannot be registered: {e} (was it sema-analyzed?)",
+                spec.name
+            )
+        });
+        self.irs.insert(spec.name.clone(), Arc::new(ir));
         self.specs.insert(spec.name.clone(), spec);
     }
 
     pub fn get(&self, name: &str) -> Option<&Arc<Spec>> {
         self.specs.get(name)
+    }
+
+    /// The shared lowered form of a registered spec.
+    pub fn ir(&self, name: &str) -> Option<&Arc<IrSpec>> {
+        self.irs.get(name)
     }
 
     pub fn names(&self) -> impl Iterator<Item = &str> {
@@ -126,7 +149,9 @@ impl SpecRegistry {
 
     /// Assemble the all-interpreted stack for `name`, lowest layer
     /// first, ready for [`macedon_core::World::spawn_at`]. `bootstrap`
-    /// is handed to every layer (`None` for the designated root).
+    /// is handed to every layer (`None` for the designated root). Every
+    /// layer executes the registry's shared `Arc<IrSpec>` — spawning a
+    /// thousand nodes lowers nothing.
     pub fn build_stack(
         &self,
         name: &str,
@@ -135,7 +160,10 @@ impl SpecRegistry {
         Ok(self
             .resolve_chain(name)?
             .into_iter()
-            .map(|spec| Box::new(InterpretedAgent::new(spec, bootstrap)) as Box<dyn Agent>)
+            .map(|spec| {
+                let ir = self.irs[&spec.name].clone();
+                Box::new(InterpretedAgent::from_ir(ir, bootstrap)) as Box<dyn Agent>
+            })
             .collect())
     }
 
@@ -237,6 +265,22 @@ mod tests {
         // Channel table comes from the lowest layer.
         let table = r.channel_table_for("splitstream").unwrap();
         assert_eq!(table[0].name, "CTRL");
+    }
+
+    #[test]
+    fn stacks_share_one_ir_per_spec() {
+        let r = SpecRegistry::bundled();
+        let ir = r.ir("pastry").expect("lowered at registration").clone();
+        let base_refs = Arc::strong_count(&ir);
+        let stacks: Vec<_> = (0..4)
+            .map(|_| r.build_stack("scribe", None).unwrap())
+            .collect();
+        // Four stacks added four handles to the registry's single IR.
+        assert_eq!(Arc::strong_count(&ir), base_refs + stacks.len());
+        for s in &stacks {
+            let a: &InterpretedAgent = s[0].as_any().downcast_ref().unwrap();
+            assert!(Arc::ptr_eq(a.ir(), &ir));
+        }
     }
 
     #[test]

@@ -21,19 +21,23 @@ use crate::topology::{LinkId, NodeId, Topology};
 use macedon_sim::{Duration, SimRng, Time};
 
 /// Events the network schedules for itself.
+///
+/// The packet rides in a `Box`: one allocation when it enters the
+/// network, then every per-hop event (and the scheduler slab slot
+/// holding it) moves a pointer instead of the ~70-byte packet struct.
 #[derive(Debug)]
 pub enum NetEvent<P> {
     /// A packet reached `node` (either its destination or a forwarding hop).
     Arrive {
         node: NodeId,
-        pkt: Packet<P>,
+        pkt: Box<Packet<P>>,
         sent_at: Time,
     },
     /// A packet finished serializing onto `link` and leaves its queue.
     Depart {
         link: LinkId,
         wire: u32,
-        pkt: Packet<P>,
+        pkt: Box<Packet<P>>,
         sent_at: Time,
     },
 }
@@ -41,7 +45,7 @@ pub enum NetEvent<P> {
 /// A packet handed up to the layer above at its destination host.
 #[derive(Debug)]
 pub struct Delivery<P> {
-    pub pkt: Packet<P>,
+    pub pkt: Box<Packet<P>>,
     /// When the original `send` happened (for latency accounting).
     pub sent_at: Time,
     /// When it arrived.
@@ -190,6 +194,7 @@ impl<P> Network<P> {
             out.dropped.push((DropReason::NodeDown, pkt.src));
             return;
         }
+        let pkt = Box::new(pkt);
         if pkt.src == pkt.dst {
             // Loopback: deliver after a small constant delay.
             let cfg_delay = Duration::from_micros(50);
@@ -245,7 +250,14 @@ impl<P> Network<P> {
         }
     }
 
-    fn forward(&mut self, now: Time, at: NodeId, pkt: Packet<P>, sent_at: Time, out: &mut Sink<P>) {
+    fn forward(
+        &mut self,
+        now: Time,
+        at: NodeId,
+        pkt: Box<Packet<P>>,
+        sent_at: Time,
+        out: &mut Sink<P>,
+    ) {
         let Some(lid) = self.router.next_hop(&self.topo, at, pkt.dst) else {
             out.dropped.push((DropReason::NoRoute, at));
             return;

@@ -13,7 +13,8 @@
 
 use crate::topology::{LinkId, NodeId, Topology};
 use macedon_sim::Duration;
-use std::collections::{BinaryHeap, HashMap};
+use macedon_sim::FxHashMap;
+use std::collections::BinaryHeap;
 
 /// Per-destination routing state: for every node, the outgoing link on the
 /// shortest path toward `dst`, and the total path latency.
@@ -24,13 +25,13 @@ struct DestTree {
 
 /// Hop-by-hop router with lazy per-destination caches.
 pub struct Router {
-    trees: HashMap<NodeId, DestTree>,
+    trees: FxHashMap<NodeId, DestTree>,
 }
 
 impl Router {
     pub fn new() -> Router {
         Router {
-            trees: HashMap::new(),
+            trees: FxHashMap::default(),
         }
     }
 

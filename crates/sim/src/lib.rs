@@ -14,11 +14,13 @@
 //! keeps every experiment bit-reproducible for a given seed.
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, Scheduler};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::{Duration, Time};

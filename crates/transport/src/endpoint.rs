@@ -11,8 +11,7 @@ use crate::segment::{SegKind, Segment};
 use crate::udp::UdpConn;
 use bytes::Bytes;
 use macedon_net::{NodeId, Packet};
-use macedon_sim::Time;
-use std::collections::HashMap;
+use macedon_sim::{FxHashMap, Time};
 
 pub use crate::segment::ChannelId;
 
@@ -92,7 +91,11 @@ enum Conn {
 pub struct Endpoint {
     node: NodeId,
     channels: Vec<ChannelSpec>,
-    conns: HashMap<(NodeId, ChannelId), Conn>,
+    conns: FxHashMap<(NodeId, ChannelId), Conn>,
+    /// Reusable connection-output buffer (cleared between operations;
+    /// kept for its capacity so the per-segment hot path never
+    /// allocates).
+    scratch: ConnOut,
 }
 
 impl Endpoint {
@@ -104,7 +107,8 @@ impl Endpoint {
         Endpoint {
             node,
             channels,
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
+            scratch: ConnOut::default(),
         }
     }
 
@@ -134,19 +138,17 @@ impl Endpoint {
         out: &mut TransportSink,
     ) {
         let kind = self.kind_of(ch);
-        let conn = self.conn(dst, ch, kind);
-        match conn {
+        let mut co = std::mem::take(&mut self.scratch);
+        match self.conn(dst, ch, kind) {
             Conn::Udp(u) => {
-                let mut tx = Vec::new();
-                u.send(msg, &mut tx);
-                self.flush_tx(dst, ch, tx, out);
+                u.send(msg, &mut co.tx);
             }
             Conn::Reliable(r) => {
-                let mut co = ConnOut::default();
                 r.send(now, msg, &mut co);
-                self.flush_conn_out(dst, ch, co, out);
             }
         }
+        self.flush_conn_out(dst, ch, &mut co, out);
+        self.scratch = co;
     }
 
     /// Handle a segment delivered by the network from `from`.
@@ -156,6 +158,7 @@ impl Endpoint {
             return; // unknown channel: drop
         }
         let kind = self.kind_of(ch);
+        let mut co = std::mem::take(&mut self.scratch);
         match (seg.kind, self.conn(from, ch, kind)) {
             (
                 SegKind::Datagram {
@@ -180,29 +183,28 @@ impl Endpoint {
                 },
                 Conn::Reliable(r),
             ) => {
-                let mut co = ConnOut::default();
                 r.on_data(seq, msg, frag, frags, bytes, &mut co);
-                self.flush_conn_out(from, ch, co, out);
             }
             (SegKind::Ack { cum }, Conn::Reliable(r)) => {
-                let mut co = ConnOut::default();
                 r.on_ack(now, cum, &mut co);
-                self.flush_conn_out(from, ch, co, out);
             }
             _ => {
                 // Segment kind mismatched with channel kind: drop.
             }
         }
+        self.flush_conn_out(from, ch, &mut co, out);
+        self.scratch = co;
     }
 
     /// Handle an RTO timer previously emitted via [`TransportSink::timers`].
     pub fn on_timer(&mut self, now: Time, key: TimerKey, out: &mut TransportSink) {
         debug_assert_eq!(key.node, self.node);
+        let mut co = std::mem::take(&mut self.scratch);
         if let Some(Conn::Reliable(r)) = self.conns.get_mut(&(key.peer, key.channel)) {
-            let mut co = ConnOut::default();
             r.on_rto(now, key.gen, &mut co);
-            self.flush_conn_out(key.peer, key.channel, co, out);
+            self.flush_conn_out(key.peer, key.channel, &mut co, out);
         }
+        self.scratch = co;
     }
 
     /// Aggregate reliable-connection stats across peers of one channel.
@@ -249,18 +251,24 @@ impl Endpoint {
         })
     }
 
+    /// Drain a connection's outputs into the transport sink, leaving
+    /// `co` empty for reuse.
     fn flush_conn_out(
         &mut self,
         peer: NodeId,
         ch: ChannelId,
-        co: ConnOut,
+        co: &mut ConnOut,
         out: &mut TransportSink,
     ) {
-        self.flush_tx(peer, ch, co.tx, out);
-        for msg in co.delivered {
+        for mut seg in co.tx.drain(..) {
+            seg.channel = ch;
+            let size = seg.size();
+            out.packets.push(Packet::new(self.node, peer, size, seg));
+        }
+        for msg in co.delivered.drain(..) {
             out.delivered.push((peer, ch, msg));
         }
-        if let Some((at, gen)) = co.arm_timer {
+        if let Some((at, gen)) = co.arm_timer.take() {
             out.timers.push((
                 at,
                 TimerKey {
@@ -270,14 +278,6 @@ impl Endpoint {
                     gen,
                 },
             ));
-        }
-    }
-
-    fn flush_tx(&self, peer: NodeId, ch: ChannelId, tx: Vec<Segment>, out: &mut TransportSink) {
-        for mut seg in tx {
-            seg.channel = ch;
-            let size = seg.size();
-            out.packets.push(Packet::new(self.node, peer, size, seg));
         }
     }
 }

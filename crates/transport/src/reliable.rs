@@ -11,10 +11,10 @@
 //!   and **no** congestion response (reliable, congestion-*unfriendly*).
 
 use crate::rtt::RttEstimator;
-use crate::segment::{fragment, ChannelId, SegKind, Segment};
+use crate::segment::{ChannelId, SegKind, Segment};
 use bytes::Bytes;
 use macedon_sim::{Duration, Time};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Window policy for a reliable connection.
 #[derive(Clone, Copy, Debug)]
@@ -50,7 +50,10 @@ pub struct ConnStats {
 pub struct ReliableConn {
     policy: WindowPolicy,
     // --- sender ---
-    segs: BTreeMap<u64, SegBuf>,
+    /// Unacknowledged + unsent segments; `segs[i]` carries sequence
+    /// number `snd_una + i` (the sender range is always contiguous, so
+    /// a deque beats a tree: O(1) push, pop, and seek).
+    segs: VecDeque<SegBuf>,
     snd_una: u64,
     snd_nxt: u64,
     next_assign: u64,
@@ -92,7 +95,7 @@ impl ReliableConn {
     pub fn new(policy: WindowPolicy) -> ReliableConn {
         ReliableConn {
             policy,
-            segs: BTreeMap::new(),
+            segs: VecDeque::new(),
             snd_una: 0,
             snd_nxt: 0,
             next_assign: 0,
@@ -135,25 +138,22 @@ impl ReliableConn {
 
     /// Enqueue a message; transmits whatever the window allows.
     pub fn send(&mut self, now: Time, msg: Bytes, out: &mut ConnOut) {
-        let parts = fragment(&msg);
-        let frags = parts.len() as u16;
+        let frags = crate::segment::fragment_count(msg.len()) as u16;
         let msg_id = self.next_msg;
         self.next_msg += 1;
-        for (i, bytes) in parts.into_iter().enumerate() {
-            let seq = self.next_assign;
+        let mut i = 0u16;
+        crate::segment::for_each_fragment(&msg, |bytes| {
             self.next_assign += 1;
-            self.segs.insert(
-                seq,
-                SegBuf {
-                    msg: msg_id,
-                    frag: i as u16,
-                    frags,
-                    bytes,
-                    sent_at: None,
-                    retransmitted: false,
-                },
-            );
-        }
+            self.segs.push_back(SegBuf {
+                msg: msg_id,
+                frag: i,
+                frags,
+                bytes,
+                sent_at: None,
+                retransmitted: false,
+            });
+            i += 1;
+        });
         self.pump(now, out);
     }
 
@@ -203,31 +203,40 @@ impl ReliableConn {
         }
         self.partial.push(sb.bytes);
         if self.partial.len() == sb.frags as usize {
-            let total: usize = self.partial.iter().map(|b| b.len()).sum();
-            let mut buf = Vec::with_capacity(total);
-            for part in self.partial.drain(..) {
-                buf.extend_from_slice(&part);
-            }
             self.partial_msg = None;
             self.stats.messages_delivered += 1;
-            out.delivered.push(Bytes::from(buf));
+            let msg = if self.partial.len() == 1 {
+                // Single-fragment message: the fragment *is* the whole
+                // message (a zero-copy slice of the sender's buffer).
+                self.partial.pop().expect("one fragment")
+            } else {
+                let total: usize = self.partial.iter().map(|b| b.len()).sum();
+                let mut buf = Vec::with_capacity(total);
+                for part in self.partial.drain(..) {
+                    buf.extend_from_slice(&part);
+                }
+                Bytes::from(buf)
+            };
+            out.delivered.push(msg);
         }
     }
 
     /// Handle a cumulative ACK.
     pub fn on_ack(&mut self, now: Time, cum: u64, out: &mut ConnOut) {
         if cum > self.snd_una {
-            // New data acknowledged.
-            let acked: Vec<u64> = self.segs.range(..cum).map(|(&s, _)| s).collect();
+            // New data acknowledged: drop the front of the send buffer
+            // up to the cumulative point.
             let mut rtt_sample: Option<Duration> = None;
             let mut n_acked = 0u32;
-            for s in acked {
-                if let Some(sb) = self.segs.remove(&s) {
-                    n_acked += 1;
-                    if !sb.retransmitted {
-                        if let Some(at) = sb.sent_at {
-                            rtt_sample = Some(now.saturating_since(at));
-                        }
+            while self.snd_una < cum {
+                self.snd_una += 1;
+                let Some(sb) = self.segs.pop_front() else {
+                    continue;
+                };
+                n_acked += 1;
+                if !sb.retransmitted {
+                    if let Some(at) = sb.sent_at {
+                        rtt_sample = Some(now.saturating_since(at));
                     }
                 }
             }
@@ -236,7 +245,6 @@ impl ReliableConn {
             } else {
                 self.est.reset_backoff();
             }
-            self.snd_una = cum;
             self.snd_nxt = self.snd_nxt.max(cum);
             self.dup_acks = 0;
             if let WindowPolicy::Tcp = self.policy {
@@ -296,7 +304,8 @@ impl ReliableConn {
         let had_flight = self.in_flight() > 0;
         while self.snd_nxt < self.next_assign && self.in_flight() < window {
             let seq = self.snd_nxt;
-            let sb = self.segs.get_mut(&seq).expect("segment missing");
+            let i = (seq - self.snd_una) as usize;
+            let sb = self.segs.get_mut(i).expect("segment missing");
             sb.sent_at = Some(now);
             self.stats.segments_sent += 1;
             self.stats.bytes_sent += sb.bytes.len() as u64;
@@ -318,9 +327,9 @@ impl ReliableConn {
     }
 
     fn retransmit_window(&mut self, now: Time, out: &mut ConnOut) {
-        let seqs: Vec<u64> = (self.snd_una..self.snd_nxt).collect();
-        for seq in seqs {
-            if let Some(sb) = self.segs.get_mut(&seq) {
+        for i in 0..(self.snd_nxt - self.snd_una) as usize {
+            let seq = self.snd_una + i as u64;
+            if let Some(sb) = self.segs.get_mut(i) {
                 sb.retransmitted = true;
                 sb.sent_at = Some(now);
                 self.stats.segments_sent += 1;
@@ -342,7 +351,7 @@ impl ReliableConn {
 
     fn retransmit_front(&mut self, now: Time, out: &mut ConnOut) {
         let seq = self.snd_una;
-        if let Some(sb) = self.segs.get_mut(&seq) {
+        if let Some(sb) = self.segs.get_mut(0) {
             sb.retransmitted = true;
             sb.sent_at = Some(now);
             self.stats.segments_sent += 1;

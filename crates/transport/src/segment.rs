@@ -60,17 +60,30 @@ impl Segment {
 
 /// Split a message into MSS-sized fragments.
 pub fn fragment(msg: &Bytes) -> Vec<Bytes> {
+    let mut out = Vec::with_capacity(fragment_count(msg.len()));
+    for_each_fragment(msg, |b| out.push(b));
+    out
+}
+
+/// Number of fragments [`fragment`] produces for a message of `len`
+/// bytes (an empty message still rides one empty fragment).
+pub fn fragment_count(len: usize) -> usize {
+    len.div_ceil(MSS as usize).max(1)
+}
+
+/// Visit each MSS-sized fragment (zero-copy slices) without collecting
+/// them — the hot send path's allocation-free variant of [`fragment`].
+pub fn for_each_fragment(msg: &Bytes, mut f: impl FnMut(Bytes)) {
     if msg.is_empty() {
-        return vec![Bytes::new()];
+        f(Bytes::new());
+        return;
     }
-    let mut out = Vec::new();
     let mut off = 0usize;
     while off < msg.len() {
         let end = (off + MSS as usize).min(msg.len());
-        out.push(msg.slice(off..end));
+        f(msg.slice(off..end));
         off = end;
     }
-    out
 }
 
 #[cfg(test)]

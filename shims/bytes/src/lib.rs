@@ -9,20 +9,30 @@
 use std::borrow::Borrow;
 use std::fmt;
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply cloneable, immutable slice of bytes.
+///
+/// Backed by `Arc<Vec<u8>>` so `Bytes::from(Vec<u8>)` takes over the
+/// allocation without copying — the same zero-copy promise the real
+/// crate makes, and the construction path every wire message takes.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer. Does not allocate.
+    /// An empty buffer. Does not allocate (all empties share one
+    /// storage block, as in the real crate).
     pub fn new() -> Self {
-        Self::from_static(&[])
+        static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+        Bytes {
+            data: EMPTY.get_or_init(|| Arc::new(Vec::new())).clone(),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wraps a static byte slice (copied into shared storage here; the
@@ -37,8 +47,11 @@ impl Bytes {
     }
 
     fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.is_empty() {
+            return Bytes::new();
+        }
         Bytes {
-            data: Arc::from(bytes),
+            data: Arc::new(bytes.to_vec()),
             start: 0,
             end: bytes.len(),
         }
@@ -111,7 +124,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end: len,
         }

@@ -225,6 +225,172 @@ fn mixed_stack_native_pastry_under_interpreted_scribe() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Golden seeded runs: the interpreter's delivery behavior is pinned to
+// fixtures captured from the pre-IR AST-walking interpreter. The
+// slot-indexed IR back end must reproduce them bit-for-bit — delivery
+// logs (timestamps included), final FSM states, and neighbor lists.
+// Refresh (only for an *intentional* semantic change) with
+// `UPDATE_GOLDEN=1 cargo test --test integration_layered`.
+// ---------------------------------------------------------------------------
+
+/// Render a finished run as stable text: one `d` line per delivery in
+/// arrival order, then one `s` line per node with the layer-0 FSM state
+/// and every declared neighbor list.
+fn render_run(
+    w: &World,
+    hosts: &[NodeId],
+    sink: &macedon::core::app::SharedDeliveries,
+    spec: &macedon::lang::Spec,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for r in sink.lock().iter() {
+        writeln!(
+            out,
+            "d {} {} {} {} {} {}",
+            r.at.as_micros(),
+            r.node.0,
+            r.src.0,
+            r.from.0,
+            r.bytes,
+            r.seqno.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+        )
+        .unwrap();
+    }
+    let list_names: Vec<&str> = spec
+        .state_vars
+        .iter()
+        .filter_map(|v| match v {
+            macedon::lang::ast::StateVar::Neighbor { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for &h in hosts {
+        let a: &InterpretedAgent = w
+            .stack(h)
+            .unwrap()
+            .agent(0)
+            .as_any()
+            .downcast_ref()
+            .unwrap();
+        write!(out, "s {} {}", h.0, a.state()).unwrap();
+        for l in &list_names {
+            let ns: Vec<String> = a.list(l).unwrap().iter().map(|n| n.0.to_string()).collect();
+            write!(out, " {}={}", l, ns.join(",")).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.log"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with UPDATE_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "seeded interpreted run diverged from golden {name}.log — the \
+         interpreter's behavior must stay bit-for-bit stable"
+    );
+}
+
+/// Seeded single-layer run (overcast/randtree): multicast traffic from
+/// hosts[1] without explicit joins, the generated-twin scenario.
+fn golden_single_layer(proto: &str, seed: u64) {
+    let reg = SpecRegistry::bundled();
+    let spec = reg.resolve_chain(proto).unwrap()[0].clone();
+    let topo = star_topo(10);
+    let hosts = topo.hosts().to_vec();
+    let mut cfg = WorldConfig {
+        seed,
+        ..Default::default()
+    };
+    cfg.channels = reg.channel_table_for(proto).unwrap();
+    let mut w = World::new(topo, cfg);
+    let sink = shared_deliveries();
+    for (i, &h) in hosts.iter().enumerate() {
+        let stack = reg.build_stack(proto, (i > 0).then(|| hosts[0])).unwrap();
+        w.spawn_at(
+            Time::from_millis(i as u64 * 100),
+            h,
+            stack,
+            Box::new(CollectorApp::new(sink.clone())),
+        );
+    }
+    let group = MacedonKey::of_name("golden");
+    w.run_until(Time::from_secs(40));
+    w.run_until(Time::from_secs(80));
+    for i in 0..5u64 {
+        let mut p = vec![0u8; 128];
+        p[..8].copy_from_slice(&i.to_be_bytes());
+        w.api_at(
+            Time::from_secs(80) + Duration::from_millis(i * 200),
+            hosts[1],
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
+        );
+    }
+    w.run_until(Time::from_secs(120));
+    let rendered = render_run(&w, &hosts, &sink, &spec);
+    assert!(
+        rendered.lines().any(|l| l.starts_with('d')),
+        "{proto}: golden run delivered packets"
+    );
+    assert_matches_golden(proto, &rendered);
+}
+
+/// Seeded layered run (scribe/splitstream stacks): the join + multicast
+/// schedule of the cross-validation suite, logged against the top spec's
+/// base layer.
+fn golden_layered(proto: &str, seed: u64) {
+    let reg = SpecRegistry::bundled();
+    let lowest = reg.resolve_chain(proto).unwrap()[0].clone();
+    let (mut w, hosts, sink) = interpreted_world(proto, 12, seed);
+    let group = MacedonKey::of_name("golden");
+    drive_multicast(&mut w, &hosts, group, 5);
+    let rendered = render_run(&w, &hosts, &sink, &lowest);
+    assert!(
+        rendered.lines().any(|l| l.starts_with('d')),
+        "{proto}: golden run delivered packets"
+    );
+    assert_matches_golden(proto, &rendered);
+}
+
+#[test]
+fn golden_overcast_seeded_run() {
+    golden_single_layer("overcast", 31);
+}
+
+#[test]
+fn golden_randtree_seeded_run() {
+    golden_single_layer("randtree", 32);
+}
+
+#[test]
+fn golden_scribe_stack_seeded_run() {
+    golden_layered("scribe", 33);
+}
+
+#[test]
+fn golden_splitstream_stack_seeded_run() {
+    golden_layered("splitstream", 34);
+}
+
 #[test]
 fn interpreted_bullet_stack_instantiates_and_runs() {
     // Bullet-over-RandTree from specs: the stack spins up, the tree

@@ -32,6 +32,30 @@ fn all_nine_specs_compile_and_sema_check() {
 }
 
 #[test]
+fn all_nine_specs_lower_to_ir() {
+    // Every bundled spec lowers to the slot-indexed IR the interpreter
+    // executes, and the lowering preserves the declaration-order ids
+    // both back ends key their wire format and timers on.
+    let reg = SpecRegistry::bundled();
+    for (name, src) in bundled_specs() {
+        let spec = compile(src).unwrap();
+        let ir = macedon::lang::IrSpec::lower(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(ir.name, name);
+        assert_eq!(ir.proto, macedon::lang::interp::protocol_id_of(name));
+        assert_eq!(ir.messages.len(), spec.messages.len());
+        for (i, m) in spec.messages.iter().enumerate() {
+            assert_eq!(ir.messages[i].name, m.name, "{name}: message id order");
+            assert_eq!(ir.messages[i].fields.len(), m.fields.len());
+        }
+        assert_eq!(ir.transitions.len(), spec.transitions.len());
+        assert_eq!(ir.states[0], "init");
+        // The registry lowered the same spec once at registration and
+        // shares that instance with every stack it builds.
+        assert!(reg.ir(name).is_some(), "{name}: registry holds shared IR");
+    }
+}
+
+#[test]
 fn all_nine_specs_resolve_and_instantiate() {
     let reg = SpecRegistry::bundled();
     for &(name, depth) in ROSTER {
