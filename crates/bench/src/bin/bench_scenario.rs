@@ -1,0 +1,77 @@
+//! Scenario-engine performance trajectory: measures the scenario
+//! runner's own overhead (script parse + validate + timeline bind) and
+//! the wall-clock of a seeded 200-node churn run over the from-spec
+//! splitstream stack, then writes both to `BENCH_scenario.json` so CI
+//! accumulates one data point per PR — the perf history now covers
+//! *perturbed* runs, not just steady-state streaming.
+//!
+//! The macro run is reported as the minimum of three executions (the
+//! run is deterministic, so the minimum is the least-noise estimate).
+//!
+//! Usage: `cargo run --release -p macedon-bench --bin bench_scenario`
+//! (`--nodes N` overrides the churn size, `--out PATH` the output file).
+
+use macedon_bench::experiments::{scenario_churn_run, scenario_churn_script};
+use std::time::Instant;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let nodes: usize = arg_value("--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_scenario.json".to_string());
+
+    // -- micro: scenario compile overhead (parse + validate) ----------------
+    let script = scenario_churn_script(nodes);
+    const ROUNDS: u32 = 2_000;
+    for _ in 0..100 {
+        let _ = macedon_scenario::script::parse(&script).unwrap();
+    }
+    let mut compile_us = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            let s = macedon_scenario::script::parse(&script).unwrap();
+            std::hint::black_box(&s);
+        }
+        compile_us = compile_us.min(start.elapsed().as_micros() as f64 / ROUNDS as f64);
+    }
+    println!("compile: {nodes}-node churn script, {compile_us:.1} us/parse (min of 3)");
+
+    // -- macro: seeded churn run over the from-spec splitstream stack -------
+    let mut churn_ms = f64::INFINITY;
+    let mut delivered = 0;
+    let mut alive = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (d, a) = scenario_churn_run(nodes);
+        churn_ms = churn_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        (delivered, alive) = (d, a);
+    }
+    println!(
+        "churn: {nodes}-node from-spec splitstream under churn+partition, \
+         {delivered} deliveries, {alive} alive, {churn_ms:.0} ms wall (min of 3)"
+    );
+    assert!(delivered > 0, "churn run must deliver real traffic");
+    assert!(alive > nodes / 2, "most nodes must survive the scenario");
+
+    let json = format!(
+        "{{\n  \"bench\": \"scenario\",\n  \"compile\": {{ \"script_nodes\": {nodes}, \
+         \"us_per_parse\": {compile_us:.1} }},\n  \"churn\": {{ \"nodes\": {nodes}, \
+         \"sim_seconds\": 80, \"deliveries\": {delivered}, \"alive\": {alive}, \
+         \"wall_ms\": {churn_ms:.0} }}\n}}\n"
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(wrote {out})"),
+        Err(e) => eprintln!("{out}: {e}"),
+    }
+}

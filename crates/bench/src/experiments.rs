@@ -54,20 +54,23 @@ pub fn fig7() -> Vec<Fig7Row> {
         .filter(|(name, _)| paper.iter().any(|(n, _)| n == name))
         .map(|(name, src)| {
             let spec = macedon_lang::compile(src).expect("bundled spec compiles");
+            let chain = registry
+                .resolve_chain(name)
+                .expect("bundled chain resolves");
+            // The checked-in artifact of a layered spec is generated
+            // against its chain's base transport table.
+            let base = spec.uses.as_ref().map(|_| chain[0].transports.as_slice());
             Fig7Row {
                 name,
                 loc: macedon_lang::loc::spec_loc(src),
                 semicolons: macedon_lang::loc::semicolons(src),
-                generated_loc: macedon_lang::codegen::generated_loc(&spec),
+                generated_loc: macedon_lang::codegen::generated_loc(&spec, base),
                 paper_loc: paper
                     .iter()
                     .find(|(n, _)| *n == name)
                     .map(|&(_, l)| l)
                     .unwrap_or(0),
-                layers: registry
-                    .resolve_chain(name)
-                    .expect("bundled chain resolves")
-                    .len(),
+                layers: chain.len(),
             }
         })
         .collect()
@@ -566,59 +569,126 @@ fn bin_goodput(
 /// not comparable to the native series; what the mode demonstrates is
 /// the paper's spec → running-overlay → measurement loop with zero
 /// native protocol code.
+///
+/// The experiment itself is a scenario: a `ScenarioBuilder` declaration
+/// (staggered joins + one multicast stream) compiled by the scenario
+/// runner, instead of a bespoke spawn/api loop.
 pub fn fig12_from_spec(scale: Scale) -> Vec<(f64, f64)> {
     let (nodes, converge_s, stream_s, rate_bps) = match scale {
         Scale::Quick => (16usize, 60u64, 60u64, 200_000u64),
         Scale::Paper => (64, 120, 120, 200_000),
     };
     let registry = macedon_lang::SpecRegistry::bundled();
+    let scenario = macedon_scenario::ScenarioBuilder::new("fig12-from-spec", nodes)
+        .end(Time::from_secs(converge_s + stream_s + 10))
+        .join(
+            Time::ZERO,
+            0..nodes,
+            Duration::from_millis(nodes as u64 * 100),
+        )
+        .stream(
+            Time::from_secs(converge_s),
+            0,
+            rate_bps,
+            1_000,
+            Duration::from_secs(stream_s),
+            macedon_scenario::StreamShape::Multicast,
+        )
+        .build()
+        .expect("fig12 scenario validates");
     let topo = canned::star(
         nodes,
         LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
     );
-    let hosts = topo.hosts().to_vec();
-    let mut cfg = WorldConfig {
+    let cfg = WorldConfig {
         seed: 12,
+        channels: registry
+            .channel_table_for("splitstream")
+            .expect("bundled chain resolves"),
         ..Default::default()
     };
-    cfg.channels = registry
-        .channel_table_for("splitstream")
-        .expect("bundled chain resolves");
-    let mut w = World::new(topo, cfg);
-    let sink = shared_deliveries();
-    let group = MacedonKey::of_name("fig12-stream");
-    for (i, &h) in hosts.iter().enumerate() {
-        let stack = registry
-            .build_stack("splitstream", (i > 0).then(|| hosts[0]))
-            .expect("bundled stack builds");
-        if i == 0 {
-            let app = StreamerApp::new(
-                StreamKind::Multicast { group },
-                rate_bps,
-                1_000,
-                Time::from_secs(converge_s),
-                Time::from_secs(converge_s + stream_s),
-                sink.clone(),
-            );
-            w.spawn_at(Time::ZERO, h, stack, Box::new(app));
-        } else {
-            w.spawn_at(
-                Time::from_millis(i as u64 * 100),
-                h,
-                stack,
-                Box::new(CollectorApp::new(sink.clone())),
-            );
-        }
-    }
-    for (i, &h) in hosts.iter().enumerate() {
-        w.api_at(
-            Time::from_secs(6) + Duration::from_millis(i as u64 * 100),
-            h,
-            DownCall::Join { group },
-        );
-    }
-    w.run_until(Time::from_secs(converge_s + stream_s + 10));
-    bin_goodput(&sink, hosts[0], converge_s, stream_s, nodes - 1)
+    let runner = macedon_scenario::ScenarioRunner::new(
+        scenario,
+        topo,
+        cfg,
+        Box::new(|_idx, _host, bootstrap| {
+            registry
+                .build_stack("splitstream", bootstrap)
+                .expect("bundled stack builds")
+        }),
+    )
+    .expect("fig12 scenario binds");
+    let outcome = runner.run();
+    bin_goodput(
+        &outcome.deliveries,
+        outcome.hosts[0],
+        converge_s,
+        stream_s,
+        nodes - 1,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Scenario harness (bin/bench_scenario and the CI smoke test)
+// ---------------------------------------------------------------------------
+
+/// The benchmark churn script: staggered joins, one multicast stream,
+/// a crash wave with partial rejoin, and a partition that heals —
+/// every perturbation class the scenario engine supports, at `nodes`
+/// scale.
+pub fn scenario_churn_script(nodes: usize) -> String {
+    format!(
+        "scenario bench-churn\nnodes {nodes}\nend 80s\n\
+         at 0s join 0..{first} over 2s\n\
+         at 4s join {first}..{nodes} over 8s\n\
+         at 20s stream 0 rate 200kbps size 1000 for 50s multicast\n\
+         at 35s crash {c1} {c2}\n\
+         at 45s rejoin {c1}\n\
+         at 55s partition half {half}..{nodes}\n\
+         at 65s heal half\n",
+        first = nodes / 4,
+        c1 = nodes / 3,
+        c2 = nodes / 2,
+        half = nodes / 2,
+    )
+}
+
+/// One seeded churn-scenario run over the from-spec splitstream stack.
+/// Returns (deliveries, alive nodes at end) so callers can sanity-check
+/// real work happened; wall-clock is the caller's to measure.
+pub fn scenario_churn_run(nodes: usize) -> (usize, usize) {
+    let registry = macedon_lang::SpecRegistry::bundled();
+    let scenario =
+        macedon_scenario::script::parse(&scenario_churn_script(nodes)).expect("script parses");
+    let topo = canned::star(
+        nodes,
+        LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+    );
+    let cfg = WorldConfig {
+        seed: 77,
+        channels: registry
+            .channel_table_for("splitstream")
+            .expect("bundled chain resolves"),
+        fd_g: Duration::from_secs(2),
+        fd_f: Duration::from_secs(6),
+        ..Default::default()
+    };
+    let runner = macedon_scenario::ScenarioRunner::new(
+        scenario,
+        topo,
+        cfg,
+        Box::new(|_idx, _host, bootstrap| {
+            registry
+                .build_stack("splitstream", bootstrap)
+                .expect("bundled stack builds")
+        }),
+    )
+    .expect("scenario binds");
+    let outcome = runner.run();
+    (
+        outcome.report.total_delivered as usize,
+        outcome.report.alive,
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 
 use crate::api::{DownCall, ForwardInfo, ProtocolId, UpCall};
 use crate::key::MacedonKey;
+use crate::measure::MeasureLedger;
 use crate::trace::TraceLevel;
 use bytes::Bytes;
 use macedon_net::NodeId;
@@ -81,6 +82,9 @@ pub struct Ctx<'a> {
     pub layers: usize,
     /// Per-node deterministic RNG.
     pub rng: &'a mut SimRng,
+    /// This node's engine measurement ledger (smoothed RTT and inbound
+    /// goodput per peer — see [`crate::measure`]).
+    pub(crate) measures: &'a MeasureLedger,
     pub(crate) ops: &'a mut VecDeque<(usize, Op)>,
     pub(crate) locking: Locking,
     /// Verbosity threshold traces are collected at (the world's
@@ -184,6 +188,41 @@ impl<'a> Ctx<'a> {
     /// Is this the topmost protocol layer (only the application above)?
     pub fn is_top_layer(&self) -> bool {
         self.layer + 1 >= self.layers
+    }
+
+    /// Engine-measured smoothed round-trip time to `peer` (from
+    /// reliable-transport acknowledgements), if any sample exists.
+    pub fn rtt(&self, peer: NodeId) -> Option<Duration> {
+        self.measures.rtt(peer)
+    }
+
+    /// Engine-measured smoothed inbound goodput from `peer` in bits/s,
+    /// if at least one measurement window has closed.
+    pub fn goodput_bps(&self, peer: NodeId) -> Option<u64> {
+        self.measures.goodput_bps(peer)
+    }
+
+    /// [`Ctx::rtt`] in whole milliseconds, `0` when unmeasured — the
+    /// value surface of the spec language's `rtt(peer)` builtin (both
+    /// translator back ends call this one method, so they agree
+    /// bit-for-bit). Rounds *up*, so a measured sub-millisecond RTT
+    /// reads as `1`, never colliding with the unmeasured sentinel.
+    pub fn rtt_ms(&self, peer: NodeId) -> i64 {
+        self.measures
+            .rtt(peer)
+            .map(|d| d.as_micros().div_ceil(1_000).max(1) as i64)
+            .unwrap_or(0)
+    }
+
+    /// [`Ctx::goodput_bps`] in whole kilobits/s, `0` when unmeasured —
+    /// the value surface of the spec language's `goodput(peer)`
+    /// builtin. Rounds *up*, so a measured trickle below 1 kbit/s
+    /// reads as `1`, never colliding with the unmeasured sentinel.
+    pub fn goodput_kbps(&self, peer: NodeId) -> i64 {
+        self.measures
+            .goodput_bps(peer)
+            .map(|b| b.div_ceil(1_000).max(1) as i64)
+            .unwrap_or(0)
     }
 
     /// Declare this transition a data (read-locked) transition; the
@@ -291,6 +330,7 @@ mod tests {
     fn ctx_buffers_ops_with_layer_tags() {
         let mut ops = VecDeque::new();
         let mut rng = SimRng::new(1);
+        let measures = MeasureLedger::new();
         let mut ctx = Ctx {
             now: Time::ZERO,
             me: NodeId(0),
@@ -298,6 +338,7 @@ mod tests {
             layer: 2,
             layers: 3,
             rng: &mut rng,
+            measures: &measures,
             ops: &mut ops,
             locking: Locking::Write,
             trace_level: TraceLevel::High,
@@ -316,9 +357,41 @@ mod tests {
     }
 
     #[test]
+    fn measured_values_never_collide_with_unmeasured_sentinel() {
+        use crate::measure::MeasureLedger;
+        let mut ops = VecDeque::new();
+        let mut rng = SimRng::new(1);
+        let mut measures = MeasureLedger::new();
+        let peer = NodeId(9);
+        // Sub-millisecond RTT and a sub-kilobit goodput trickle.
+        measures.on_ack(Time::ZERO, peer, Some(Duration::from_micros(300)));
+        measures.on_bytes_in(Time::ZERO, peer, 10);
+        measures.on_bytes_in(Time::from_millis(200), peer, 10);
+        let ctx = Ctx {
+            now: Time::ZERO,
+            me: NodeId(0),
+            my_key: MacedonKey(0),
+            layer: 0,
+            layers: 1,
+            rng: &mut rng,
+            measures: &measures,
+            ops: &mut ops,
+            locking: Locking::Write,
+            trace_level: TraceLevel::High,
+        };
+        // Measured values round *up*: never 0, which is the
+        // unmeasured sentinel.
+        assert_eq!(ctx.rtt_ms(peer), 1);
+        assert_eq!(ctx.goodput_kbps(peer), 1);
+        assert_eq!(ctx.rtt_ms(NodeId(1)), 0, "unmeasured peer");
+        assert_eq!(ctx.goodput_kbps(NodeId(1)), 0, "unmeasured peer");
+    }
+
+    #[test]
     fn locking_defaults_to_write() {
         let mut ops = VecDeque::new();
         let mut rng = SimRng::new(1);
+        let measures = MeasureLedger::new();
         let mut ctx = Ctx {
             now: Time::ZERO,
             me: NodeId(0),
@@ -326,6 +399,7 @@ mod tests {
             layer: 0,
             layers: 1,
             rng: &mut rng,
+            measures: &measures,
             ops: &mut ops,
             locking: Locking::Write,
             trace_level: TraceLevel::High,

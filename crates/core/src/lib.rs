@@ -27,6 +27,7 @@ pub mod agent;
 pub mod api;
 pub mod app;
 pub mod key;
+pub mod measure;
 pub mod neighbors;
 pub mod report;
 pub mod sha1;
@@ -38,6 +39,7 @@ pub mod world;
 pub use agent::{Agent, AppHandler, Ctx, Locking, NullApp};
 pub use api::{DownCall, ForwardInfo, ProtocolId, UpCall, DEFAULT_PRIORITY, TUNNEL_PROTOCOL};
 pub use key::{Addressing, MacedonKey};
+pub use measure::MeasureLedger;
 pub use neighbors::NeighborList;
 pub use report::RunReport;
 pub use stack::{Stack, StackEffect};

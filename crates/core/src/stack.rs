@@ -11,6 +11,7 @@
 use crate::agent::{Agent, AppHandler, Ctx, Locking, Op};
 use crate::api::{DownCall, UpCall};
 use crate::key::MacedonKey;
+use crate::measure::MeasureLedger;
 use crate::trace::TraceLevel;
 use bytes::Bytes;
 use macedon_net::NodeId;
@@ -72,6 +73,11 @@ pub struct Stack {
     /// dispatches; kept for its capacity). Transitions push into it
     /// directly through [`Ctx`].
     queue: VecDeque<(usize, Op)>,
+    /// Engine measurements for this node (per-peer smoothed RTT and
+    /// inbound goodput), fed by the world from transport observations
+    /// and read by transitions through [`Ctx::rtt_ms`] /
+    /// [`Ctx::goodput_kbps`].
+    measures: MeasureLedger,
     /// Read/write transition counters (locking ablation).
     pub read_transitions: u64,
     pub write_transitions: u64,
@@ -98,6 +104,7 @@ impl Stack {
             rng,
             trace_level: TraceLevel::High,
             queue: VecDeque::new(),
+            measures: MeasureLedger::new(),
             read_transitions: 0,
             write_transitions: 0,
         }
@@ -136,6 +143,16 @@ impl Stack {
 
     pub fn app_mut(&mut self) -> &mut dyn AppHandler {
         self.app.as_mut()
+    }
+
+    /// This node's measurement ledger (read side).
+    pub fn measures(&self) -> &MeasureLedger {
+        &self.measures
+    }
+
+    /// This node's measurement ledger (the world feeds samples here).
+    pub fn measures_mut(&mut self) -> &mut MeasureLedger {
+        &mut self.measures
     }
 
     /// Fire all `init` transitions bottom-up, then the app's `start`.
@@ -315,6 +332,7 @@ impl Stack {
             layer,
             layers: self.agents.len(),
             rng: &mut self.rng,
+            measures: &self.measures,
             ops: queue,
             locking: Locking::Write,
             trace_level: self.trace_level,
@@ -341,6 +359,7 @@ impl Stack {
             layer,
             layers: self.agents.len(),
             rng: &mut self.rng,
+            measures: &self.measures,
             ops: queue,
             locking: Locking::Write,
             trace_level: self.trace_level,

@@ -115,6 +115,12 @@ pub struct World {
     trace: TraceSink,
     rng: SimRng,
     engine_ch: ChannelId,
+    /// Instant of the last failure-detector registration change
+    /// (monitor/unmonitor effects, crash cleanup). Fail-detect neighbor
+    /// lists register through these, so this timestamps the last
+    /// overlay-membership mutation — the convergence signal the
+    /// scenario runner reports after each perturbation.
+    last_membership_change: Time,
     /// Reusable network-sink buffers (the absorb chain nests, so more
     /// than one can be live at once; each level takes its own).
     nsink_pool: Vec<Sink<Segment>>,
@@ -146,6 +152,7 @@ impl World {
             trace,
             rng,
             engine_ch,
+            last_membership_change: Time::ZERO,
             nsink_pool: Vec::new(),
             tsink_pool: Vec::new(),
             fx_pool: Vec::new(),
@@ -189,6 +196,29 @@ impl World {
     /// Schedule a node crash (fail-stop).
     pub fn crash_at(&mut self, at: Time, node: NodeId) {
         self.sched.schedule(at, WorldEvent::Crash { node });
+    }
+
+    /// Remove a node's stack, endpoint, timers and monitors entirely, so
+    /// the host can be spawned again with a fresh stack (a *rejoin*
+    /// after a crash: protocol state is lost, as on a real reboot).
+    /// Scheduled timer/RTO events for the old incarnation become inert —
+    /// their generation slots are gone. Every peer's transport state
+    /// toward the node is reset too: the old incarnation's reliable
+    /// sequence numbers must not wedge the fresh endpoint (a peer
+    /// retransmitting at old sequence positions would sit in the new
+    /// receiver's out-of-order buffer forever).
+    pub fn despawn(&mut self, node: NodeId) {
+        self.alive.remove(&node);
+        self.stacks.remove(&node);
+        self.endpoints.remove(&node);
+        self.timers.retain(|&(n, _, _), _| n != node);
+        self.monitors.remove(&node);
+        for ep in self.endpoints.values_mut() {
+            ep.reset_peer(node);
+        }
+        for stack in self.stacks.values_mut() {
+            stack.measures_mut().forget(node);
+        }
     }
 
     // ---- observation ------------------------------------------------------
@@ -250,6 +280,13 @@ impl World {
     /// Uncongested IP latency oracle (stretch / RDP computations).
     pub fn oracle_latency(&mut self, a: NodeId, b: NodeId) -> Option<Duration> {
         self.net.oracle_latency(a, b)
+    }
+
+    /// Instant of the last overlay-membership mutation the engine
+    /// observed (failure-detector registrations changing, crashes).
+    /// "quiet since t" is the convergence signal scenario metrics use.
+    pub fn last_membership_change(&self) -> Time {
+        self.last_membership_change
     }
 
     /// Aggregate read/write transition counts across stacks (locking
@@ -334,6 +371,8 @@ impl World {
             WorldEvent::FdTick { node } => self.fd_sweep(now, node),
             WorldEvent::Spawn { node } => {
                 self.alive.insert(node);
+                // A respawn after a crash: the host is reachable again.
+                self.net.faults_mut().heal_node(node);
                 let mut fx = self.take_fx();
                 if let Some(stack) = self.stacks.get_mut(&node) {
                     stack.init(now, &mut fx);
@@ -356,6 +395,7 @@ impl World {
                 self.alive.remove(&node);
                 self.net.faults_mut().fail_node(node);
                 self.monitors.remove(&node);
+                self.last_membership_change = now;
             }
         }
     }
@@ -379,6 +419,7 @@ impl World {
         sink.packets.clear();
         sink.timers.clear();
         sink.delivered.clear();
+        sink.ack_samples.clear();
         self.tsink_pool.push(sink);
     }
 
@@ -411,6 +452,17 @@ impl World {
     }
 
     fn absorb_transport(&mut self, now: Time, node: NodeId, mut tsink: TransportSink) {
+        // Acknowledgement observations feed the node's measurement
+        // ledger (spec-readable `rtt(peer)`); purely passive — no
+        // events, no RNG draws.
+        if !tsink.ack_samples.is_empty() {
+            if let Some(stack) = self.stacks.get_mut(&node) {
+                let m = stack.measures_mut();
+                for (peer, rtt) in tsink.ack_samples.drain(..) {
+                    m.on_ack(now, peer, rtt);
+                }
+            }
+        }
         let mut nsink = self.take_nsink();
         for pkt in tsink.packets.drain(..) {
             self.net.send(now, pkt, &mut nsink);
@@ -453,6 +505,9 @@ impl World {
         }
         let mut fx = self.take_fx();
         if let Some(stack) = self.stacks.get_mut(&to) {
+            // Every delivered protocol byte counts toward the sender's
+            // inbound-goodput estimate (spec-readable `goodput(peer)`).
+            stack.measures_mut().on_bytes_in(now, from, msg.len());
             stack.recv(now, from, msg, &mut fx);
         }
         self.process_effects(now, to, fx);
@@ -503,6 +558,7 @@ impl World {
                     }
                 }
                 StackEffect::Monitor { layer, peer } => {
+                    self.last_membership_change = now;
                     let mon = self.monitors.entry(node).or_default();
                     let entry = mon.entry(peer).or_insert((
                         Vec::new(),
@@ -516,6 +572,7 @@ impl World {
                     }
                 }
                 StackEffect::Unmonitor { layer, peer } => {
+                    self.last_membership_change = now;
                     if let Some(mon) = self.monitors.get_mut(&node) {
                         if let Some(entry) = mon.get_mut(&peer) {
                             entry.0.retain(|&l| l != layer);
@@ -576,6 +633,11 @@ impl World {
             self.send_engine(now, node, peer, HB_REQ);
         }
         for (peer, layers) in failed {
+            // The peer's measurements describe a dead incarnation.
+            if let Some(stack) = self.stacks.get_mut(&node) {
+                stack.measures_mut().forget(peer);
+            }
+            self.last_membership_change = now;
             for layer in layers {
                 let mut fx = self.take_fx();
                 if let Some(stack) = self.stacks.get_mut(&node) {

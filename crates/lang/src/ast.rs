@@ -80,6 +80,39 @@ pub enum TransportKindDecl {
     Swp,
 }
 
+/// Resolve a layered spec's message class name (`HIGH`, `BEST_EFFORT`,
+/// …) against the base (tunneling) spec's transport table, returning
+/// the base channel index the class maps onto. Single source of truth
+/// for the interpreter's runtime mapping and the code generator's baked
+/// constants, so both back ends agree bit-for-bit.
+///
+/// Resolution order:
+/// 1. exact name match in the base table;
+/// 2. the conventional class ladder by transport kind — `BEST_EFFORT`
+///    prefers the base's first UDP channel, `HIGHEST` its first SWP,
+///    and `HIGH`/`MED`/`LOW` its first reliable (TCP, then SWP)
+///    channel, each falling back to any reliable/unreliable channel;
+/// 3. `None` — the send travels at the default priority (channel 0).
+pub fn map_class_to_channel(base: &[TransportDecl], class: &str) -> Option<u16> {
+    if let Some(i) = base.iter().position(|t| t.name == class) {
+        return Some(i as u16);
+    }
+    let first = |k: TransportKindDecl| base.iter().position(|t| t.kind == k);
+    let idx = match class {
+        "BEST_EFFORT" => first(TransportKindDecl::Udp)
+            .or_else(|| first(TransportKindDecl::Tcp))
+            .or_else(|| first(TransportKindDecl::Swp)),
+        "HIGHEST" => first(TransportKindDecl::Swp)
+            .or_else(|| first(TransportKindDecl::Tcp))
+            .or_else(|| first(TransportKindDecl::Udp)),
+        "HIGH" | "MED" | "LOW" => first(TransportKindDecl::Tcp)
+            .or_else(|| first(TransportKindDecl::Swp))
+            .or_else(|| first(TransportKindDecl::Udp)),
+        _ => None,
+    }?;
+    u16::try_from(idx).ok()
+}
+
 /// `messages { <transport>? <name> { fields } ... }`.
 #[derive(Clone, Debug)]
 pub struct MessageDecl {
@@ -264,6 +297,13 @@ pub enum Expr {
     NeighborQuery(String, Box<Expr>),
     /// `neighbor_random(list)`.
     NeighborRandom(String),
+    /// `rtt(node)` — engine-measured smoothed round-trip time to a peer
+    /// in whole milliseconds (`0` when unmeasured). Fed by the
+    /// transport's acknowledgement samples; see `macedon_core::measure`.
+    Rtt(Box<Expr>),
+    /// `goodput(node)` — engine-measured smoothed inbound goodput from
+    /// a peer in kilobits/s (`0` when unmeasured).
+    Goodput(Box<Expr>),
     /// Unary ops.
     Not(Box<Expr>),
     Neg(Box<Expr>),
@@ -278,7 +318,11 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::NeighborQuery(_, e) | Expr::Not(e) | Expr::Neg(e) => e.walk(f),
+            Expr::NeighborQuery(_, e)
+            | Expr::Rtt(e)
+            | Expr::Goodput(e)
+            | Expr::Not(e)
+            | Expr::Neg(e) => e.walk(f),
             Expr::Bin(_, a, b) => {
                 a.walk(f);
                 b.walk(f);
@@ -349,6 +393,31 @@ mod tests {
         assert!(!e.matches("init"));
         assert!(e.matches("joined"));
         assert!(StateExpr::Any.matches("anything"));
+    }
+
+    #[test]
+    fn class_mapping_prefers_exact_then_kind() {
+        let base = vec![
+            TransportDecl {
+                kind: TransportKindDecl::Tcp,
+                name: "CTRL".into(),
+            },
+            TransportDecl {
+                kind: TransportKindDecl::Udp,
+                name: "DATA".into(),
+            },
+        ];
+        // Exact name wins.
+        assert_eq!(map_class_to_channel(&base, "DATA"), Some(1));
+        // Conventional ladder by kind.
+        assert_eq!(map_class_to_channel(&base, "HIGH"), Some(0));
+        assert_eq!(map_class_to_channel(&base, "LOW"), Some(0));
+        assert_eq!(map_class_to_channel(&base, "BEST_EFFORT"), Some(1));
+        // HIGHEST prefers SWP but falls back to TCP here.
+        assert_eq!(map_class_to_channel(&base, "HIGHEST"), Some(0));
+        // Unknown class: unmapped (default priority).
+        assert_eq!(map_class_to_channel(&base, "WEIRD"), None);
+        assert_eq!(map_class_to_channel(&[], "HIGH"), None);
     }
 
     #[test]

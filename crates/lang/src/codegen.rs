@@ -70,17 +70,36 @@ const RUST_KEYWORDS: &[&str] = &[
     "where", "while", "async", "await", "box", "priv", "try", "union", "yield",
 ];
 
-/// Generate the Rust agent module for a compiled spec.
+/// Generate the Rust agent module for a compiled spec (no base-layer
+/// transport table: layered message classes stay at the default
+/// priority, as a standalone [`crate::interp::InterpretedAgent::new`]
+/// would run them).
 pub fn generate(spec: &Spec) -> Result<String, CodegenError> {
-    Gen::new(spec)?.file()
+    Gen::new(spec, None)?.file()
+}
+
+/// Generate with the base (tunneling) layer's transport table in hand:
+/// a layered spec's message class names (`HIGH`, `BEST_EFFORT`, …)
+/// resolve to baked-in channel priorities via
+/// [`crate::ast::map_class_to_channel`] — the codegen-time equivalent
+/// of [`crate::interp::InterpretedAgent::set_base_transports`]. The
+/// regen tool passes each bundled spec's resolved chain here.
+pub fn generate_with_base(
+    spec: &Spec,
+    base: Option<&[TransportDecl]>,
+) -> Result<String, CodegenError> {
+    Gen::new(spec, base)?.file()
 }
 
 /// Lines of generated code (the paper's "generated C++ is over 2500
 /// LoC" comparison, Figure 7). Counts the full compilable output — the
 /// same text `crates/generated` builds — and panics loudly if the spec
 /// stops being generatable (bundled specs are covered by tests).
-pub fn generated_loc(spec: &Spec) -> usize {
-    match generate(spec) {
+pub fn generated_loc(spec: &Spec, base: Option<&[TransportDecl]>) -> usize {
+    // Count the real artifact: pass the chain's base transport table
+    // for a layered spec (the caller usually has the registry in hand
+    // already), `None` for lowest-layer specs.
+    match generate_with_base(spec, base) {
         Ok(code) => code.lines().count(),
         Err(e) => panic!("{e}"),
     }
@@ -120,18 +139,33 @@ struct Gen<'a> {
     name: String,
     layered: bool,
     proto: u16,
+    /// The base (tunneling) layer's transport table, when known —
+    /// resolves layered message classes to baked channel priorities.
+    base: Option<&'a [TransportDecl]>,
 }
 
 impl<'a> Gen<'a> {
-    fn new(spec: &'a Spec) -> Result<Gen<'a>, CodegenError> {
+    fn new(spec: &'a Spec, base: Option<&'a [TransportDecl]>) -> Result<Gen<'a>, CodegenError> {
         let g = Gen {
             spec,
             name: camel(&spec.name),
             layered: spec.uses.is_some(),
             proto: crate::interp::protocol_id_of(&spec.name),
+            base,
         };
         g.preflight()?;
         Ok(g)
+    }
+
+    /// Priority a layered message's sends travel at: the base channel
+    /// its declared class maps onto, or the default (mirrors the
+    /// interpreter's `msg_prio`).
+    fn msg_priority(&self, decl: &MessageDecl) -> i8 {
+        self.base
+            .zip(decl.transport.as_deref())
+            .and_then(|(base, class)| crate::ast::map_class_to_channel(base, class))
+            .and_then(|ch| i8::try_from(ch).ok())
+            .unwrap_or(macedon_core::DEFAULT_PRIORITY)
     }
 
     fn err(&self, detail: impl Into<String>) -> CodegenError {
@@ -310,6 +344,36 @@ impl<'a> Gen<'a> {
                     ),
                     Ty::Node,
                 )
+            }
+            Expr::Rtt(inner) => {
+                // Mirrors the interpreter: node → engine measurement in
+                // ms, null → 0, anything else is a type error.
+                let (s, ty) = self.expr(cx, inner)?;
+                match ty {
+                    Ty::Node => (
+                        format!("(({s}).map_or(0i64, |__p| ctx.rtt_ms(__p)))"),
+                        Ty::Int,
+                    ),
+                    Ty::Null => (format!("{{ let _ = {s}; 0i64 }}"), Ty::Int),
+                    other => {
+                        return Err(self.err(format!("rtt(..) needs a node, got {other:?} ({s})")))
+                    }
+                }
+            }
+            Expr::Goodput(inner) => {
+                let (s, ty) = self.expr(cx, inner)?;
+                match ty {
+                    Ty::Node => (
+                        format!("(({s}).map_or(0i64, |__p| ctx.goodput_kbps(__p)))"),
+                        Ty::Int,
+                    ),
+                    Ty::Null => (format!("{{ let _ = {s}; 0i64 }}"), Ty::Int),
+                    other => {
+                        return Err(
+                            self.err(format!("goodput(..) needs a node, got {other:?} ({s})"))
+                        )
+                    }
+                }
             }
             Expr::Not(inner) => (format!("(!{})", self.as_bool(cx, inner)?), Ty::Bool),
             Expr::Neg(inner) => (format!("(-{})", self.as_int(cx, inner)?), Ty::Int),
@@ -1028,12 +1092,13 @@ impl<'a> Gen<'a> {
     ) -> Result<(), CodegenError> {
         let p = " ".repeat(ind);
         let message = &decl.name;
+        let prio = format!("PRIO_{}", message.to_uppercase());
         match dty {
             Ty::Key => {
                 let _ = writeln!(
                     out,
                     "{p}ctx.down(DownCall::Route {{ dest: __dest, payload: __bytes, priority: \
-                     DEFAULT_PRIORITY }});"
+                     {prio} }});"
                 );
                 Ok(())
             }
@@ -1043,7 +1108,7 @@ impl<'a> Gen<'a> {
                 let _ = writeln!(
                     out,
                     "{p}    Some(__d) => ctx.down(DownCall::RouteIp {{ dest: __d, payload: \
-                     __bytes, priority: DEFAULT_PRIORITY }}),"
+                     __bytes, priority: {prio} }}),"
                 );
                 let _ = writeln!(out, "{p}    None => {{");
                 if opts.is_empty() {
@@ -1059,7 +1124,7 @@ impl<'a> Gen<'a> {
                     let _ = writeln!(
                         out,
                         "{p}        ctx.down(DownCall::Route {{ dest: {inner}, payload: \
-                         __bytes, priority: DEFAULT_PRIORITY }});"
+                         __bytes, priority: {prio} }});"
                     );
                 } else {
                     let chain = opts.join(".or(");
@@ -1068,7 +1133,7 @@ impl<'a> Gen<'a> {
                     let _ = writeln!(
                         out,
                         "{p}            Some(__k) => ctx.down(DownCall::Route {{ dest: __k, \
-                         payload: __bytes, priority: DEFAULT_PRIORITY }}),"
+                         payload: __bytes, priority: {prio} }}),"
                     );
                     let _ = writeln!(out, "{p}            None => {}", self.bail(cx));
                     let _ = writeln!(out, "{p}        }}");
@@ -1412,6 +1477,29 @@ impl<'a> Gen<'a> {
         let _ = writeln!(w, "pub const PROTOCOL_ID: ProtocolId = {};", self.proto);
         for (i, m) in spec.messages.iter().enumerate() {
             let _ = writeln!(w, "const MSG_{}: u16 = {};", m.name.to_uppercase(), i);
+        }
+        if self.layered {
+            let _ = writeln!(
+                w,
+                "// Per-message transport priority: each declared class resolved\n\
+                 // against the base (tunneling) layer's channel table at generation\n\
+                 // time; -1 = default (tunnel channel 0)."
+            );
+            for m in &spec.messages {
+                let _ = writeln!(
+                    w,
+                    "const PRIO_{}: i8 = {};",
+                    m.name.to_uppercase(),
+                    self.msg_priority(m)
+                );
+            }
+        } else {
+            let _ = writeln!(
+                w,
+                "/// Declared transport channels (bounds the `priority` values the\n\
+                 /// engine-served `routeIP` tunnel honors)."
+            );
+            let _ = writeln!(w, "const NUM_CHANNELS: u16 = {};", spec.transports.len());
         }
         for (i, (t, _)) in spec.timer_decls().enumerate() {
             let _ = writeln!(w, "const TIMER_{}: u16 = {};", t.to_uppercase(), i);
@@ -1757,15 +1845,25 @@ impl<'a> Gen<'a> {
         } else {
             if !handled.contains(&"routeIP") {
                 // `routeIP` is an engine service on the lowest layer:
-                // tunnel the payload straight to the target host.
+                // tunnel the payload straight to the target host, on
+                // the channel a non-negative priority names (layered
+                // specs resolve their message classes to these).
                 let _ = writeln!(
                     w,
-                    "            DownCall::RouteIp {{ dest, payload, .. }} => {{"
+                    "            DownCall::RouteIp {{ dest, payload, priority }} => {{"
                 );
                 let _ = writeln!(
                     w,
-                    "                ctx.send(dest, ChannelId(0), tunnel_frame(ctx.my_key, \
-                     &payload));"
+                    "                let __ch = if priority >= 0 && (priority as u16) < \
+                     NUM_CHANNELS {{"
+                );
+                let _ = writeln!(w, "                    ChannelId(priority as u16)");
+                let _ = writeln!(w, "                }} else {{");
+                let _ = writeln!(w, "                    ChannelId(0)");
+                let _ = writeln!(w, "                }};");
+                let _ = writeln!(
+                    w,
+                    "                ctx.send(dest, __ch, tunnel_frame(ctx.my_key, &payload));"
                 );
                 let _ = writeln!(w, "            }}");
             }
@@ -2085,6 +2183,10 @@ fn camel(s: &str) -> String {
 /// any diff.
 pub fn generate_bundled_crate() -> Result<Vec<(String, String)>, CodegenError> {
     let reg = crate::registry::SpecRegistry::bundled();
+    let chain_err = |name: &str, e: crate::registry::ChainError| CodegenError {
+        spec: name.to_string(),
+        detail: format!("uses chain: {e}"),
+    };
     let mut files = Vec::new();
     let mut names = Vec::new();
     for (name, src) in crate::bundled_specs() {
@@ -2092,14 +2194,13 @@ pub fn generate_bundled_crate() -> Result<Vec<(String, String)>, CodegenError> {
             spec: name.to_string(),
             detail: format!("spec failed to compile: {e}"),
         })?;
-        files.push((format!("{name}.rs"), generate(&spec)?));
+        // Layered specs resolve their message classes against the
+        // chain's lowest (tunneling) layer at generation time.
+        let chain = reg.resolve_chain(name).map_err(|e| chain_err(name, e))?;
+        let base = spec.uses.as_ref().map(|_| chain[0].transports.as_slice());
+        files.push((format!("{name}.rs"), generate_with_base(&spec, base)?));
         names.push(name);
     }
-
-    let chain_err = |name: &str, e: crate::registry::ChainError| CodegenError {
-        spec: name.to_string(),
-        detail: format!("uses chain: {e}"),
-    };
     let mut w = String::new();
     let _ = writeln!(
         w,
@@ -2288,7 +2389,7 @@ mod tests {
         // The paper's point: a few hundred spec lines expand considerably.
         let spec = compile(SRC).unwrap();
         let spec_loc = SRC.lines().filter(|l| !l.trim().is_empty()).count();
-        assert!(generated_loc(&spec) > 3 * spec_loc);
+        assert!(generated_loc(&spec, None) > 3 * spec_loc);
     }
 
     #[test]
@@ -2316,6 +2417,33 @@ mod tests {
         assert!(lib.contains("pub mod overcast;"));
         assert!(lib.contains("\"splitstream\" => vec!["));
         assert!(lib.contains("scribe::Scribe::new(bootstrap)"));
+    }
+
+    #[test]
+    fn rtt_goodput_builtins_render_to_ctx_calls() {
+        let code = gen("protocol p; addressing hash; transports { TCP C; }
+             neighbor_types { kid 4 { } }
+             messages { C ping { } }
+             state_variables { kid kids; node papa; int r; int g; }
+             transitions { any API init {
+                r = rtt(papa);
+                g = goodput(neighbor_random(kids));
+             } }");
+        assert!(code.contains("ctx.rtt_ms(__p)"), "{code}");
+        assert!(code.contains("ctx.goodput_kbps(__p)"), "{code}");
+    }
+
+    #[test]
+    fn rtt_of_non_node_diagnosed() {
+        let spec = compile(
+            "protocol p; addressing hash; transports { TCP C; }
+             messages { C ping { } }
+             state_variables { int n; }
+             transitions { any API init { n = rtt(n); } }",
+        )
+        .unwrap();
+        let e = generate(&spec).unwrap_err();
+        assert!(e.to_string().contains("rtt(..) needs a node"), "{e}");
     }
 
     #[test]

@@ -207,6 +207,14 @@ struct Core {
     vars: Vec<Value>,
     /// Neighbor-list slots.
     lists: Vec<Vec<NodeId>>,
+    /// Number of transport channels of this spec (lowest layers only;
+    /// bounds the `priority` values the `routeIP` tunnel honors).
+    num_channels: u16,
+    /// Per-message transport priority for layered sends: the base
+    /// (tunneling) layer's channel index the message's declared class
+    /// maps onto, or [`DEFAULT_PRIORITY`] when unresolved. Populated by
+    /// [`InterpretedAgent::set_base_transports`]; indexed by message id.
+    msg_prio: Vec<i8>,
     /// Encoded sends awaiting their forward-query verdict, FIFO (the
     /// dispatcher resolves queries in emission order).
     pending_fwd: VecDeque<(NodeId, ChannelId, Bytes)>,
@@ -256,6 +264,8 @@ impl InterpretedAgent {
                 state: 0,
                 vars,
                 lists,
+                num_channels: ir.num_channels,
+                msg_prio: vec![DEFAULT_PRIORITY; ir.messages.len()],
                 pending_fwd: VecDeque::new(),
                 fields_pool: Vec::new(),
                 node_pool: Vec::new(),
@@ -268,6 +278,31 @@ impl InterpretedAgent {
     /// The shared lowered spec this agent executes.
     pub fn ir(&self) -> &Arc<IrSpec> {
         &self.ir
+    }
+
+    /// Resolve this layered spec's message class names (`HIGH`,
+    /// `BEST_EFFORT`, …) against the base (tunneling) layer's transport
+    /// table, so sends carry a transport priority instead of
+    /// [`DEFAULT_PRIORITY`]. [`crate::registry::SpecRegistry::build_stack`]
+    /// calls this with the chain's lowest spec; standalone agents keep
+    /// default priorities (channel 0 at the tunnel).
+    ///
+    /// The priority is honored by the engine-served `routeIP` tunnel —
+    /// i.e. for node-addressed sends. A key-addressed send becomes a
+    /// `Route` downcall served by the base spec's own `route`
+    /// transition, which sends its *own* declared message on that
+    /// message's class; the priority cannot override a spec-level
+    /// transport choice (see ROADMAP).
+    pub fn set_base_transports(&mut self, base: &[crate::ast::TransportDecl]) {
+        for (i, m) in self.ir.messages.iter().enumerate() {
+            if let Some(class) = &m.transport {
+                if let Some(ch) = crate::ast::map_class_to_channel(base, class) {
+                    if let Ok(p) = i8::try_from(ch) {
+                        self.core.msg_prio[i] = p;
+                    }
+                }
+            }
+        }
     }
 
     pub fn state(&self) -> &str {
@@ -698,17 +733,20 @@ impl Core {
             // Layered specs never touch the wire: sends tunnel through
             // the base layer's API. A node destination is a direct
             // `routeIP`; `null` routes toward the message's first key
-            // field (Scribe's `subscribe(null, group, me)` idiom).
+            // field (Scribe's `subscribe(null, group, me)` idiom). The
+            // priority carries the base channel the message's declared
+            // transport class maps onto (see `set_base_transports`).
+            let priority = self.msg_prio[msg as usize];
             let call = match dest {
                 Value::Node(n) => DownCall::RouteIp {
                     dest: n,
                     payload: bytes,
-                    priority: DEFAULT_PRIORITY,
+                    priority,
                 },
                 Value::Key(k) => DownCall::Route {
                     dest: k,
                     payload: bytes,
-                    priority: DEFAULT_PRIORITY,
+                    priority,
                 },
                 Value::Null => {
                     let Some(k) = key_of(decl, &values) else {
@@ -720,7 +758,7 @@ impl Core {
                     DownCall::Route {
                         dest: k,
                         payload: bytes,
-                        priority: DEFAULT_PRIORITY,
+                        priority,
                     }
                 }
                 other => return Err(format!("message dest must be node/key, got {other:?}")),
@@ -769,16 +807,21 @@ impl Core {
     /// the payload and transmit it straight to the target host (the
     /// engine service the paper's `macedon_routeIP` provides).
     ///
-    /// The frame rides the spec's first declared transport (channel 0 —
-    /// reliable in every bundled spec), because a `RouteIp` call carries
-    /// no transport class; this mirrors the native agents, which also
-    /// pin `routeIP` traffic to one configured channel and send layered
-    /// messages at `DEFAULT_PRIORITY`. Mapping an upper layer's declared
-    /// message classes onto base-layer channels is future work (see
-    /// ROADMAP).
-    fn tunnel_send(&mut self, ctx: &mut Ctx, dest: NodeId, payload: Bytes) {
+    /// A non-negative `priority` names one of this spec's transport
+    /// channels (the layers above resolve their message class names
+    /// against this table — see
+    /// [`InterpretedAgent::set_base_transports`]); the default priority
+    /// or an out-of-range value pins the frame to the first declared
+    /// transport (channel 0 — reliable in every bundled spec), as the
+    /// native agents do.
+    fn tunnel_send(&mut self, ctx: &mut Ctx, dest: NodeId, payload: Bytes, priority: i8) {
+        let ch = if priority >= 0 && (priority as u16) < self.num_channels {
+            ChannelId(priority as u16)
+        } else {
+            ChannelId(0)
+        };
         let frame = macedon_core::wire::tunnel_frame(ctx.my_key, &payload);
-        ctx.send(dest, ChannelId(0), frame);
+        ctx.send(dest, ch, frame);
     }
 
     /// If `bytes` is one of this protocol's messages, decode it into
@@ -863,6 +906,16 @@ impl Core {
                     Value::Node(l[ctx.rng.index(l.len())])
                 }
             }
+            IrExpr::Rtt(e) => match self.eval(ctx, frame, e)? {
+                Value::Node(n) => Value::Int(ctx.rtt_ms(n)),
+                Value::Null => Value::Int(0),
+                other => return Err(format!("rtt(..) needs a node, got {other:?}")),
+            },
+            IrExpr::Goodput(e) => match self.eval(ctx, frame, e)? {
+                Value::Node(n) => Value::Int(ctx.goodput_kbps(n)),
+                Value::Null => Value::Int(0),
+                other => return Err(format!("goodput(..) needs a node, got {other:?}")),
+            },
             IrExpr::Not(e) => Value::Bool(!self.eval(ctx, frame, e)?.truthy()),
             IrExpr::Neg(e) => Value::Int(-self.eval(ctx, frame, e)?.as_int()?),
             IrExpr::Bin(op, a, b) => {
@@ -1030,7 +1083,11 @@ impl Agent for InterpretedAgent {
         // Lowest layer: `routeIP` is an engine service (direct
         // transmission); everything else the spec chose not to handle.
         match call {
-            DownCall::RouteIp { dest, payload, .. } => self.core.tunnel_send(ctx, dest, payload),
+            DownCall::RouteIp {
+                dest,
+                payload,
+                priority,
+            } => self.core.tunnel_send(ctx, dest, payload, priority),
             other => {
                 if ctx.trace_on(TraceLevel::Low) {
                     ctx.trace(
@@ -1450,6 +1507,87 @@ mod tests {
             panic!()
         };
         assert!((8..=10).contains(&n), "ticked ~10 times in 1s, got {n}");
+    }
+
+    /// Peers blast traffic at each other; a timer snapshots the engine
+    /// measurements through the `rtt()`/`goodput()` builtins.
+    const METERED: &str = r#"
+        protocol metered;
+        addressing hash;
+        states { running; }
+        neighbor_types { peer 4 { } }
+        transports { TCP CTRL; }
+        messages { CTRL blast { int pad1; int pad2; int pad3; } }
+        state_variables {
+            peer peers;
+            timer tick 100;
+            timer snap 2000;
+            node target;
+            int last_rtt;
+            int last_goodput;
+        }
+        transitions {
+            init API init {
+                if (bootstrap != null) { target = bootstrap; }
+                state_change(running);
+            }
+            running timer tick {
+                if (target != null) { blast(target, 1, 2, 3); }
+            }
+            any recv blast { }
+            running timer snap {
+                last_rtt = rtt(target);
+                last_goodput = goodput(from);
+                if (target != null) { last_goodput = goodput(target); }
+            }
+        }
+    "#;
+
+    #[test]
+    fn rtt_and_goodput_builtins_read_engine_measurements() {
+        let spec = Arc::new(compile(METERED).unwrap());
+        let topo = canned::two_hosts(LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let cfg = WorldConfig {
+            seed: 77,
+            channels: channel_table(&spec),
+            ..Default::default()
+        };
+        let mut w = World::new(topo, cfg);
+        // hosts[1] blasts at hosts[0]; hosts[0] (bootstrap-less) idles.
+        w.spawn_at(
+            Time::ZERO,
+            hosts[0],
+            vec![Box::new(InterpretedAgent::new(
+                spec.clone(),
+                Some(hosts[1]),
+            ))],
+            Box::new(NullApp),
+        );
+        w.spawn_at(
+            Time::ZERO,
+            hosts[1],
+            vec![Box::new(InterpretedAgent::new(
+                spec.clone(),
+                Some(hosts[0]),
+            ))],
+            Box::new(NullApp),
+        );
+        w.run_until(Time::from_secs(10));
+        let a = agent_of(&w, hosts[0]);
+        // The sender sees a sub-5ms LAN RTT (>= 1 ms after rounding may
+        // floor to 0, so only assert the goodput side is positive and
+        // the rtt is small).
+        let Some(&Value::Int(rtt)) = a.var("last_rtt") else {
+            panic!()
+        };
+        assert!((0..50).contains(&rtt), "LAN rtt_ms, got {rtt}");
+        let Some(&Value::Int(gp)) = a.var("last_goodput") else {
+            panic!()
+        };
+        // 28-byte messages every 100 ms ≈ 2.2 kbit/s inbound.
+        assert!(gp > 0, "goodput measured, got {gp}");
+        assert!(gp < 1_000, "sane kbps magnitude, got {gp}");
     }
 
     #[test]

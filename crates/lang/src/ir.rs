@@ -115,6 +115,11 @@ pub struct IrField {
 pub struct IrMessage {
     pub name: String,
     pub channel: ChannelId,
+    /// Declared transport class name, as written in the spec. For
+    /// layered specs this names a class of the base (tunneling) layer's
+    /// table — resolved per stack by
+    /// [`crate::interp::InterpretedAgent::set_base_transports`].
+    pub transport: Option<String>,
     pub fields: Vec<IrField>,
     /// Positions of `key`-typed fields (routing destination candidates
     /// for `null`-destination layered sends).
@@ -236,6 +241,11 @@ pub enum IrExpr {
     NeighborSize(u16),
     NeighborQuery(u16, Box<IrExpr>),
     NeighborRandom(u16),
+    /// Engine-measured smoothed RTT to a peer, ms (0 = unmeasured).
+    Rtt(Box<IrExpr>),
+    /// Engine-measured smoothed inbound goodput from a peer, kbit/s
+    /// (0 = unmeasured).
+    Goodput(Box<IrExpr>),
     Not(Box<IrExpr>),
     Neg(Box<IrExpr>),
     Bin(BinOp, Box<IrExpr>, Box<IrExpr>),
@@ -326,6 +336,10 @@ pub struct IrSpec {
     pub layered: bool,
     /// State names; index 0 is the implicit `init`.
     pub states: Vec<String>,
+    /// Number of transport channels this spec declares (a lowest
+    /// layer's channel-table size; `0` for layered specs). Bounds the
+    /// `priority` values the engine-served `routeIP` tunnel honors.
+    pub num_channels: u16,
     pub vars: Vec<IrVar>,
     pub lists: Vec<IrList>,
     pub timers: Vec<IrTimer>,
@@ -479,6 +493,7 @@ impl<'s> Lowerer<'s> {
             messages.push(IrMessage {
                 name: m.name.clone(),
                 channel: ChannelId(channel as u16),
+                transport: m.transport.clone(),
                 key_fields: pos_of(FieldKind::Key),
                 payload_fields: pos_of(FieldKind::Payload),
                 fields,
@@ -550,6 +565,7 @@ impl<'s> Lowerer<'s> {
             uses: self.spec.uses.clone(),
             proto: protocol_id_of(&self.spec.name),
             layered: self.spec.uses.is_some(),
+            num_channels: self.spec.transports.len() as u16,
             states: self.states,
             vars: self.vars,
             lists: self.lists,
@@ -792,6 +808,8 @@ impl<'s> Lowerer<'s> {
                 IrExpr::NeighborQuery(self.list(l)?, Box::new(self.expr(e)?))
             }
             Expr::NeighborRandom(l) => IrExpr::NeighborRandom(self.list(l)?),
+            Expr::Rtt(e) => IrExpr::Rtt(Box::new(self.expr(e)?)),
+            Expr::Goodput(e) => IrExpr::Goodput(Box::new(self.expr(e)?)),
             Expr::Not(e) => IrExpr::Not(Box::new(self.expr(e)?)),
             Expr::Neg(e) => IrExpr::Neg(Box::new(self.expr(e)?)),
             Expr::Bin(op, a, b) => {
@@ -816,9 +834,11 @@ fn bump_field(counts: &mut Vec<u32>, idx: u16, weight: u32) {
 fn count_expr_fields(e: &IrExpr, weight: u32, counts: &mut Vec<u32>) {
     match e {
         IrExpr::Field(i) => bump_field(counts, *i, weight),
-        IrExpr::NeighborQuery(_, e) | IrExpr::Not(e) | IrExpr::Neg(e) => {
-            count_expr_fields(e, weight, counts)
-        }
+        IrExpr::NeighborQuery(_, e)
+        | IrExpr::Rtt(e)
+        | IrExpr::Goodput(e)
+        | IrExpr::Not(e)
+        | IrExpr::Neg(e) => count_expr_fields(e, weight, counts),
         IrExpr::Bin(_, a, b) => {
             count_expr_fields(a, weight, counts);
             count_expr_fields(b, weight, counts);

@@ -675,6 +675,18 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(Expr::NeighborRandom(l))
             }
+            "rtt" => {
+                self.expect(TokenKind::LParen)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Rtt(Box::new(e)))
+            }
+            "goodput" => {
+                self.expect(TokenKind::LParen)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Goodput(Box::new(e)))
+            }
             _ => Ok(Expr::Var(name)),
         }
     }
@@ -866,6 +878,21 @@ mod tests {
             &s.transitions[1].body[1],
             Stmt::DownCallApi { api, args } if api == "multicast" && args.len() == 2
         ));
+    }
+
+    #[test]
+    fn rtt_goodput_builtin_expressions() {
+        let s = parse(
+            "protocol p; addressing ip;
+             state_variables { node papa; int x; }
+             transitions { any API init { x = rtt(papa) + goodput(papa); } }",
+        )
+        .unwrap();
+        let Stmt::Assign(_, Expr::Bin(BinOp::Add, lhs, rhs)) = &s.transitions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(&**lhs, Expr::Rtt(_)));
+        assert!(matches!(&**rhs, Expr::Goodput(_)));
     }
 
     #[test]

@@ -248,6 +248,8 @@ fn expr(e: &Expr) -> String {
         Expr::NeighborSize(l) => format!("neighbor_size({l})"),
         Expr::NeighborQuery(l, e) => format!("neighbor_query({l}, {})", expr(e)),
         Expr::NeighborRandom(l) => format!("neighbor_random({l})"),
+        Expr::Rtt(e) => format!("rtt({})", expr(e)),
+        Expr::Goodput(e) => format!("goodput({})", expr(e)),
         Expr::Not(e) => format!("!({})", expr(e)),
         Expr::Neg(e) => format!("-({})", expr(e)),
         Expr::Bin(op, a, b) => {

@@ -157,12 +157,19 @@ impl SpecRegistry {
         name: &str,
         bootstrap: Option<NodeId>,
     ) -> Result<Vec<Box<dyn Agent>>, ChainError> {
-        Ok(self
-            .resolve_chain(name)?
+        let chain = self.resolve_chain(name)?;
+        let base_transports = chain[0].transports.clone();
+        Ok(chain
             .into_iter()
             .map(|spec| {
                 let ir = self.irs[&spec.name].clone();
-                Box::new(InterpretedAgent::from_ir(ir, bootstrap)) as Box<dyn Agent>
+                let mut agent = InterpretedAgent::from_ir(ir, bootstrap);
+                if spec.uses.is_some() {
+                    // Layered message classes resolve against the
+                    // lowest (tunneling) layer's transport table.
+                    agent.set_base_transports(&base_transports);
+                }
+                Box::new(agent) as Box<dyn Agent>
             })
             .collect())
     }

@@ -10,7 +10,7 @@
 //! cargo run -p macedon-bench --bin regen
 //! ```
 
-use macedon_lang::{bundled_specs, codegen, compile};
+use macedon_lang::{bundled_specs, codegen, compile, SpecRegistry};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -34,9 +34,14 @@ fn first_diff(want: &str, got: &str) -> String {
 #[test]
 fn generated_code_matches_golden_snapshots() {
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let reg = SpecRegistry::bundled();
     for (name, src) in bundled_specs() {
         let spec = compile(src).expect("bundled spec compiles");
-        let got = codegen::generate(&spec).expect("bundled spec generates");
+        // Same generation path as `regen`: layered specs resolve their
+        // message classes against the chain's base transport table.
+        let chain = reg.resolve_chain(name).expect("bundled chain resolves");
+        let base = spec.uses.as_ref().map(|_| chain[0].transports.as_slice());
+        let got = codegen::generate_with_base(&spec, base).expect("bundled spec generates");
         let path = golden_path(name);
         if update {
             std::fs::write(&path, &got).expect("write golden");

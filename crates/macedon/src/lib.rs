@@ -30,6 +30,7 @@ pub use macedon_core as core;
 pub use macedon_lang as lang;
 pub use macedon_net as net;
 pub use macedon_overlays as overlays;
+pub use macedon_scenario as scenario;
 pub use macedon_sim as sim;
 pub use macedon_transport as transport;
 
@@ -60,5 +61,9 @@ pub mod prelude {
         Ammo, AmmoConfig, Bullet, BulletConfig, Chord, ChordConfig, Nice, NiceConfig, Overcast,
         OvercastConfig, Pastry, PastryConfig, RandTree, RandTreeConfig, Scribe, ScribeConfig,
         SplitStream, SplitStreamConfig,
+    };
+    pub use macedon_scenario::{
+        MetricsReport, Scenario, ScenarioBuilder, ScenarioError, ScenarioOutcome, ScenarioRunner,
+        StreamShape,
     };
 }

@@ -15,6 +15,11 @@ pub struct Faults {
     drop_probability: f64,
     links_down: HashSet<u32>,
     nodes_down: HashSet<NodeId>,
+    /// Active network partition: one side's node set (the other side is
+    /// the complement). Packets whose endpoints straddle the cut are
+    /// dropped at every hop. At most one partition is active at a time —
+    /// scenario validation rejects overlapping partitions.
+    partition: Option<HashSet<NodeId>>,
 }
 
 impl Faults {
@@ -63,6 +68,29 @@ impl Faults {
     pub fn should_drop(&self, rng: &mut SimRng) -> bool {
         self.drop_probability > 0.0 && rng.chance(self.drop_probability)
     }
+
+    /// Install a network partition: `side` vs everyone else. Replaces
+    /// any previous partition.
+    pub fn set_partition(&mut self, side: HashSet<NodeId>) {
+        self.partition = Some(side);
+    }
+
+    /// Remove the active partition (heal).
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    pub fn has_partition(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Do `a` and `b` sit on opposite sides of the active partition?
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            Some(side) => side.contains(&a) != side.contains(&b),
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +137,20 @@ mod tests {
     #[should_panic]
     fn invalid_probability_panics() {
         Faults::default().set_drop_probability(1.5);
+    }
+
+    #[test]
+    fn partition_lifecycle() {
+        let mut f = Faults::default();
+        let (a, b, c) = (NodeId(1), NodeId(2), NodeId(3));
+        assert!(!f.partitioned(a, b));
+        f.set_partition([a].into_iter().collect());
+        assert!(f.has_partition());
+        assert!(f.partitioned(a, b));
+        assert!(f.partitioned(b, a));
+        assert!(!f.partitioned(b, c), "same side stays connected");
+        assert!(!f.partitioned(a, a));
+        f.heal_partition();
+        assert!(!f.partitioned(a, b));
     }
 }

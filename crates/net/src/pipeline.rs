@@ -60,6 +60,9 @@ pub enum DropReason {
     LinkDown,
     NodeDown,
     NoRoute,
+    /// Source and destination sit on opposite sides of an active
+    /// network partition.
+    Partitioned,
 }
 
 /// Output buffer filled by [`Network`] methods.
@@ -129,6 +132,9 @@ pub struct Network<P> {
     links: Vec<LinkState>,
     faults: Faults,
     rng: SimRng,
+    /// Packets dropped anywhere, for any reason (link counters only see
+    /// link-attributable drops; partitions and dead nodes land here too).
+    dropped: u64,
     _marker: std::marker::PhantomData<P>,
 }
 
@@ -141,6 +147,7 @@ impl<P> Network<P> {
             links,
             faults: Faults::default(),
             rng: SimRng::new(cfg.seed),
+            dropped: 0,
             _marker: std::marker::PhantomData,
         }
     }
@@ -151,6 +158,24 @@ impl<P> Network<P> {
 
     pub fn faults_mut(&mut self) -> &mut Faults {
         &mut self.faults
+    }
+
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// Mutate a physical link's bandwidth and/or delay at runtime (the
+    /// scenario engine's degradation primitive). Routing trees and the
+    /// latency oracle are recomputed lazily — a big delay change can
+    /// re-route, exactly as an IGP would eventually do.
+    pub fn set_phys_link(
+        &mut self,
+        phys: u32,
+        bandwidth_bps: Option<u64>,
+        delay: Option<Duration>,
+    ) {
+        self.topo.set_phys_link(phys, bandwidth_bps, delay);
+        self.router.invalidate();
     }
 
     /// Uncongested one-way IP latency between two nodes (the latency
@@ -178,9 +203,10 @@ impl<P> Network<P> {
         out
     }
 
-    /// Total packets dropped anywhere in the network.
+    /// Total packets dropped anywhere in the network, for any reason
+    /// (queue overflow, random loss, dead links/nodes, partitions).
     pub fn total_drops(&self) -> u64 {
-        self.links.iter().map(|l| l.drops).sum()
+        self.dropped
     }
 
     /// Inject a packet at its source host.
@@ -191,7 +217,13 @@ impl<P> Network<P> {
             pkt.src
         );
         if self.faults.node_is_down(pkt.src) || self.faults.node_is_down(pkt.dst) {
+            self.dropped += 1;
             out.dropped.push((DropReason::NodeDown, pkt.src));
+            return;
+        }
+        if self.faults.partitioned(pkt.src, pkt.dst) {
+            self.dropped += 1;
+            out.dropped.push((DropReason::Partitioned, pkt.src));
             return;
         }
         let pkt = Box::new(pkt);
@@ -216,7 +248,13 @@ impl<P> Network<P> {
         match ev {
             NetEvent::Arrive { node, pkt, sent_at } => {
                 if self.faults.node_is_down(node) {
+                    self.dropped += 1;
                     out.dropped.push((DropReason::NodeDown, node));
+                    return;
+                }
+                if self.faults.partitioned(pkt.src, pkt.dst) {
+                    self.dropped += 1;
+                    out.dropped.push((DropReason::Partitioned, node));
                     return;
                 }
                 if node == pkt.dst {
@@ -259,17 +297,20 @@ impl<P> Network<P> {
         out: &mut Sink<P>,
     ) {
         let Some(lid) = self.router.next_hop(&self.topo, at, pkt.dst) else {
+            self.dropped += 1;
             out.dropped.push((DropReason::NoRoute, at));
             return;
         };
         let link = *self.topo.link(lid);
         if self.faults.link_is_down(link.phys) {
             self.links[lid.index()].drops += 1;
+            self.dropped += 1;
             out.dropped.push((DropReason::LinkDown, at));
             return;
         }
         if self.faults.should_drop(&mut self.rng) {
             self.links[lid.index()].drops += 1;
+            self.dropped += 1;
             out.dropped.push((DropReason::RandomLoss, at));
             return;
         }
@@ -277,6 +318,7 @@ impl<P> Network<P> {
         let st = &mut self.links[lid.index()];
         if st.queued_bytes.saturating_add(wire) > link.queue_bytes {
             st.drops += 1;
+            self.dropped += 1;
             out.dropped.push((DropReason::QueueFull, at));
             return;
         }
@@ -482,6 +524,88 @@ mod tests {
         net.send(Time::ZERO, Packet::new(hs[0], hs[2], 100, 2), &mut out);
         run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
         assert_eq!(out.delivered.len(), 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let t = canned::star(3, LinkSpec::lan());
+        let hs = t.hosts().to_vec();
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        net.faults_mut()
+            .set_partition([hs[0]].into_iter().collect());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(hs[0], hs[1], 100, 1), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.dropped[0].0, DropReason::Partitioned);
+        // Same-side traffic flows.
+        net.send(Time::ZERO, Packet::new(hs[1], hs[2], 100, 2), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert_eq!(out.delivered.len(), 1);
+        // Heal and retry across the old cut.
+        net.faults_mut().heal_partition();
+        net.send(
+            Time::from_secs(1),
+            Packet::new(hs[0], hs[1], 100, 3),
+            &mut out,
+        );
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(2));
+        assert_eq!(out.delivered.len(), 2);
+    }
+
+    #[test]
+    fn partition_cuts_packets_in_flight() {
+        // A packet already past its first hop is dropped at the next
+        // hop once the cut lands.
+        let t = canned::two_hosts(LinkSpec::wan(ms(50)));
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(a, b, 100, 1), &mut out);
+        // Drain events up to 60 ms (packet is at the router), then cut.
+        for (t, ev) in out.schedule.drain(..) {
+            sched.schedule(t, ev);
+        }
+        while let Some((now, ev)) = sched.pop_before(Time::from_millis(60)) {
+            net.handle(now, ev, &mut out);
+            for (t, ev) in out.schedule.drain(..) {
+                sched.schedule(t, ev);
+            }
+        }
+        net.faults_mut().set_partition([a].into_iter().collect());
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        assert!(out.delivered.is_empty());
+        assert!(out
+            .dropped
+            .iter()
+            .any(|(r, _)| *r == DropReason::Partitioned));
+    }
+
+    #[test]
+    fn runtime_link_mutation_changes_timing() {
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let phys = t.link(t.outgoing(a)[0]).phys;
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        net.send(Time::ZERO, Packet::new(a, b, 1000, 1), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(1));
+        let fast = out.delivered[0].at;
+        // Degrade the access link to 10 kbps and 20 ms delay.
+        net.set_phys_link(phys, Some(10_000), Some(ms(20)));
+        assert_eq!(net.topology().phys_link_props(phys), Some((ms(20), 10_000)));
+        net.send(Time::from_secs(1), Packet::new(a, b, 1000, 2), &mut out);
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(10));
+        let slow_lat = out.delivered[1]
+            .at
+            .saturating_since(out.delivered[1].sent_at);
+        let fast_lat = fast.saturating_since(Time::ZERO);
+        // 1040 B at 10 kbps = 832 ms serialization on the first hop alone.
+        assert!(slow_lat.as_micros() > 10 * fast_lat.as_micros());
+        assert!(slow_lat >= Duration::from_millis(800));
     }
 
     #[test]

@@ -105,6 +105,48 @@ impl Topology {
     pub fn degree(&self, n: NodeId) -> usize {
         self.adj[n.index()].len()
     }
+
+    /// Physical (undirected) link ids incident to a node — e.g. a
+    /// host's access link(s), the usual target of runtime degradation.
+    pub fn phys_links_of(&self, n: NodeId) -> Vec<u32> {
+        let mut out: Vec<u32> = self.adj[n.index()]
+            .iter()
+            .map(|&l| self.links[l.index()].phys)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Current `(delay, bandwidth)` of a physical link (both directed
+    /// halves always agree).
+    pub fn phys_link_props(&self, phys: u32) -> Option<(Duration, u64)> {
+        self.links
+            .iter()
+            .find(|l| l.phys == phys)
+            .map(|l| (l.delay, l.bandwidth_bps))
+    }
+
+    /// Mutate a physical link's properties at runtime (both directed
+    /// halves): `None` leaves a property unchanged. This is the
+    /// perturbation primitive behind scenario-scripted link
+    /// degradation; topologies are otherwise immutable.
+    pub fn set_phys_link(
+        &mut self,
+        phys: u32,
+        bandwidth_bps: Option<u64>,
+        delay: Option<Duration>,
+    ) {
+        for l in self.links.iter_mut().filter(|l| l.phys == phys) {
+            if let Some(bw) = bandwidth_bps {
+                assert!(bw > 0, "zero-bandwidth link");
+                l.bandwidth_bps = bw;
+            }
+            if let Some(d) = delay {
+                l.delay = d;
+            }
+        }
+    }
 }
 
 /// Mutable builder for [`Topology`].

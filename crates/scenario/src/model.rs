@@ -1,0 +1,657 @@
+//! The scenario model: timed perturbation events, validation, and the
+//! Rust builder API.
+//!
+//! A [`Scenario`] is a declarative description of one experiment run —
+//! who joins when (including staggered flash crowds), who crashes and
+//! rejoins, which partitions open and heal, which links degrade, and
+//! what traffic streams. It is *data*: the
+//! [`crate::runner::ScenarioRunner`] compiles it into scheduled world
+//! actions. Scripts parse into this model
+//! ([`crate::script::parse`]), and [`ScenarioBuilder`] constructs it
+//! programmatically; both funnel through [`Scenario::validate`], so a
+//! malformed experiment is a spanned diagnostic, never a mid-run panic.
+
+use macedon_sim::{Duration, Time};
+use std::fmt;
+
+/// Source position of an event (line/column in a script; `0:0` for
+/// builder-constructed scenarios).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A scenario that cannot run, with the script position that caused it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScenarioError {
+    pub line: u32,
+    pub col: u32,
+    pub msg: String,
+}
+
+impl ScenarioError {
+    pub fn at(span: Span, msg: impl Into<String>) -> ScenarioError {
+        ScenarioError {
+            line: span.line,
+            col: span.col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario:{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Workload shape of a scripted stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamShape {
+    /// Multicast to the scenario's group (joins are issued for every
+    /// node shortly after it spawns).
+    Multicast,
+    /// Route each packet toward a uniformly random key.
+    RandomRoute,
+}
+
+/// One scenario event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Event {
+    /// Spawn these nodes, staggered evenly across `over` (zero = all at
+    /// the event instant — a flash crowd).
+    Join { nodes: Vec<usize>, over: Duration },
+    /// Fail-stop these nodes.
+    Crash { nodes: Vec<usize> },
+    /// Respawn previously crashed nodes with fresh stacks, staggered
+    /// across `over`.
+    Rejoin { nodes: Vec<usize>, over: Duration },
+    /// Open a network partition: `side` vs everyone else.
+    Partition { name: String, side: Vec<usize> },
+    /// Heal the named partition.
+    Heal { name: String },
+    /// Degrade every access link of these nodes.
+    Degrade {
+        nodes: Vec<usize>,
+        bandwidth_bps: Option<u64>,
+        delay: Option<Duration>,
+    },
+    /// Restore previously degraded nodes to their original link
+    /// properties.
+    Restore { nodes: Vec<usize> },
+    /// Set the network-wide per-hop random-loss probability.
+    Drop { probability: f64 },
+    /// Node starts streaming `packet_bytes`-sized packets at `rate_bps`
+    /// for `duration`.
+    Stream {
+        node: usize,
+        rate_bps: u64,
+        packet_bytes: usize,
+        duration: Duration,
+        shape: StreamShape,
+    },
+}
+
+impl Event {
+    /// Short human label (metrics report rows).
+    pub fn label(&self) -> String {
+        match self {
+            Event::Join { nodes, .. } => format!("join x{}", nodes.len()),
+            Event::Crash { nodes } => format!("crash {nodes:?}"),
+            Event::Rejoin { nodes, .. } => format!("rejoin {nodes:?}"),
+            Event::Partition { name, side } => format!("partition {name} (x{})", side.len()),
+            Event::Heal { name } => format!("heal {name}"),
+            Event::Degrade {
+                nodes,
+                bandwidth_bps,
+                delay,
+            } => {
+                let mut s = format!("degrade {nodes:?}");
+                if let Some(bw) = bandwidth_bps {
+                    s.push_str(&format!(" bw={bw}bps"));
+                }
+                if let Some(d) = delay {
+                    s.push_str(&format!(" delay={}ms", d.as_millis()));
+                }
+                s
+            }
+            Event::Restore { nodes } => format!("restore {nodes:?}"),
+            Event::Drop { probability } => format!("drop p={probability}"),
+            Event::Stream { node, rate_bps, .. } => format!("stream n{node} @{rate_bps}bps"),
+        }
+    }
+
+    /// Is this a perturbation the metrics report tracks convergence
+    /// for? (Joins and streams are workload, not perturbation.)
+    pub fn is_perturbation(&self) -> bool {
+        !matches!(self, Event::Join { .. } | Event::Stream { .. })
+    }
+}
+
+/// An event pinned to a virtual instant, carrying its script position.
+#[derive(Clone, Debug)]
+pub struct TimedEvent {
+    pub at: Time,
+    pub event: Event,
+    pub span: Span,
+}
+
+/// A complete validated experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub name: String,
+    /// Number of overlay nodes (indices `0..nodes`; index 0 is the
+    /// bootstrap/root by convention).
+    pub nodes: usize,
+    /// Run end; the world executes until exactly this instant.
+    pub end: Time,
+    /// Events sorted by time (stable: script order breaks ties).
+    pub events: Vec<TimedEvent>,
+}
+
+/// Per-node lifecycle tracked during validation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Never,
+    Alive,
+    Crashed,
+}
+
+impl Scenario {
+    /// Semantic validation: every event references known nodes, the
+    /// join/crash/rejoin lifecycle is consistent, partitions never
+    /// overlap, and every parameter is in range. Both the script parser
+    /// and the builder call this; errors carry the event's span.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let top = Span::default();
+        if self.nodes == 0 {
+            return Err(ScenarioError::at(top, "scenario declares zero nodes"));
+        }
+        if self.end == Time::ZERO {
+            return Err(ScenarioError::at(top, "scenario end must be after t=0"));
+        }
+        // The lifecycle/partition checks below (and the runner's
+        // convergence accounting) walk events in time order; a
+        // hand-constructed Scenario with an unsorted vec would pass
+        // them vacuously, so ordering is a hard validation error.
+        if let Some(w) = self.events.windows(2).find(|w| w[0].at > w[1].at) {
+            return Err(ScenarioError::at(
+                w[1].span,
+                format!(
+                    "events are not sorted by time ({}s after {}s); \
+                     sort them or use ScenarioBuilder::build",
+                    w[1].at.as_secs_f64(),
+                    w[0].at.as_secs_f64()
+                ),
+            ));
+        }
+        let mut phase = vec![Phase::Never; self.nodes];
+        let mut open_partition: Option<&str> = None;
+        let mut streams: Vec<(usize, Time, Time)> = Vec::new();
+        for te in &self.events {
+            let span = te.span;
+            let err = |msg: String| Err(ScenarioError::at(span, msg));
+            if te.at > self.end {
+                return err(format!(
+                    "event at {}s is after the scenario end ({}s)",
+                    te.at.as_secs_f64(),
+                    self.end.as_secs_f64()
+                ));
+            }
+            let check_nodes = |ns: &[usize]| -> Result<(), ScenarioError> {
+                if ns.is_empty() {
+                    return Err(ScenarioError::at(span, "empty node set"));
+                }
+                for &n in ns {
+                    if n >= self.nodes {
+                        return Err(ScenarioError::at(
+                            span,
+                            format!("unknown node {n} (scenario declares {})", self.nodes),
+                        ));
+                    }
+                }
+                Ok(())
+            };
+            // A staggered join/rejoin or a stream must finish inside
+            // the run — the runner would otherwise simulate past the
+            // declared end and skew every windowed metric.
+            let check_extent = |over: Duration, what: &str| -> Result<(), ScenarioError> {
+                if te.at + over > self.end {
+                    return Err(ScenarioError::at(
+                        span,
+                        format!(
+                            "{what} extends to {}s, past the scenario end ({}s)",
+                            (te.at + over).as_secs_f64(),
+                            self.end.as_secs_f64()
+                        ),
+                    ));
+                }
+                Ok(())
+            };
+            match &te.event {
+                Event::Join { nodes, over } => {
+                    check_nodes(nodes)?;
+                    check_extent(*over, "staggered join")?;
+                    for &n in nodes {
+                        match phase[n] {
+                            Phase::Never => phase[n] = Phase::Alive,
+                            Phase::Alive => return err(format!("node {n} joins twice")),
+                            Phase::Crashed => {
+                                return err(format!("node {n} is crashed; use rejoin"))
+                            }
+                        }
+                    }
+                }
+                Event::Crash { nodes } => {
+                    check_nodes(nodes)?;
+                    for &n in nodes {
+                        if phase[n] != Phase::Alive {
+                            return err(format!("node {n} crashes but is not alive"));
+                        }
+                        if streams
+                            .iter()
+                            .any(|&(s, from, to)| s == n && te.at >= from && te.at <= to)
+                        {
+                            return err(format!("node {n} crashes during its own stream"));
+                        }
+                        phase[n] = Phase::Crashed;
+                    }
+                }
+                Event::Rejoin { nodes, over } => {
+                    check_nodes(nodes)?;
+                    check_extent(*over, "staggered rejoin")?;
+                    for &n in nodes {
+                        if phase[n] != Phase::Crashed {
+                            return err(format!("node {n} rejoins but never crashed"));
+                        }
+                        phase[n] = Phase::Alive;
+                    }
+                }
+                Event::Partition { name, side } => {
+                    check_nodes(side)?;
+                    // Count *distinct* side members — a duplicated
+                    // index must not masquerade as a bigger side.
+                    let mut distinct = side.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    if distinct.len() >= self.nodes {
+                        return err(format!("partition '{name}' isolates every node"));
+                    }
+                    if let Some(open) = open_partition {
+                        return err(format!(
+                            "partition '{name}' overlaps still-open partition '{open}'"
+                        ));
+                    }
+                    open_partition = Some(name);
+                }
+                Event::Heal { name } => match open_partition {
+                    Some(open) if open == name => open_partition = None,
+                    Some(open) => {
+                        return err(format!(
+                            "heal '{name}' does not match open partition '{open}'"
+                        ))
+                    }
+                    None => return err(format!("heal '{name}' with no open partition")),
+                },
+                Event::Degrade {
+                    nodes,
+                    bandwidth_bps,
+                    delay,
+                } => {
+                    check_nodes(nodes)?;
+                    if bandwidth_bps.is_none() && delay.is_none() {
+                        return err("degrade changes neither bandwidth nor delay".into());
+                    }
+                    if bandwidth_bps == &Some(0) {
+                        return err("degrade to zero bandwidth (crash the node instead)".into());
+                    }
+                }
+                Event::Restore { nodes } => check_nodes(nodes)?,
+                Event::Drop { probability } => {
+                    if !(0.0..=1.0).contains(probability) {
+                        return err(format!("drop probability {probability} out of [0,1]"));
+                    }
+                }
+                Event::Stream {
+                    node,
+                    rate_bps,
+                    packet_bytes,
+                    duration,
+                    ..
+                } => {
+                    check_nodes(std::slice::from_ref(node))?;
+                    // The runner installs one StreamerApp per node at
+                    // spawn time; a second stream would silently
+                    // shadow the first.
+                    if streams.iter().any(|&(s, _, _)| s == *node) {
+                        return err(format!("node {node} streams twice (one stream per node)"));
+                    }
+                    if phase[*node] != Phase::Alive {
+                        return err(format!("node {node} streams before joining"));
+                    }
+                    if *rate_bps == 0 {
+                        return err("stream rate must be positive".into());
+                    }
+                    if *packet_bytes < 8 {
+                        return err("stream packets need >= 8 bytes (sequence stamp)".into());
+                    }
+                    if *duration == Duration::ZERO {
+                        return err("stream duration must be positive".into());
+                    }
+                    check_extent(*duration, "stream")?;
+                    streams.push((*node, te.at, te.at + *duration));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Node indices with a `Stream` event, with the stream parameters.
+    pub fn streams(&self) -> Vec<(usize, Time, &Event)> {
+        self.events
+            .iter()
+            .filter_map(|te| match &te.event {
+                Event::Stream { node, .. } => Some((*node, te.at, &te.event)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Fluent construction of a [`Scenario`] from Rust (the experiment
+/// harness path; scripts cover the declarative path).
+pub struct ScenarioBuilder {
+    name: String,
+    nodes: usize,
+    end: Time,
+    events: Vec<TimedEvent>,
+}
+
+impl ScenarioBuilder {
+    pub fn new(name: impl Into<String>, nodes: usize) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            nodes,
+            end: Time::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// Set the run end (required).
+    pub fn end(mut self, end: Time) -> Self {
+        self.end = end;
+        self
+    }
+
+    /// Add a raw event.
+    pub fn event(mut self, at: Time, event: Event) -> Self {
+        self.events.push(TimedEvent {
+            at,
+            event,
+            span: Span::default(),
+        });
+        self
+    }
+
+    /// Spawn `nodes` at `at`, staggered across `over`.
+    pub fn join(self, at: Time, nodes: impl IntoIterator<Item = usize>, over: Duration) -> Self {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        self.event(at, Event::Join { nodes, over })
+    }
+
+    pub fn crash(self, at: Time, nodes: impl IntoIterator<Item = usize>) -> Self {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        self.event(at, Event::Crash { nodes })
+    }
+
+    pub fn rejoin(self, at: Time, nodes: impl IntoIterator<Item = usize>, over: Duration) -> Self {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        self.event(at, Event::Rejoin { nodes, over })
+    }
+
+    pub fn partition(
+        self,
+        at: Time,
+        name: impl Into<String>,
+        side: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let side: Vec<usize> = side.into_iter().collect();
+        self.event(
+            at,
+            Event::Partition {
+                name: name.into(),
+                side,
+            },
+        )
+    }
+
+    pub fn heal(self, at: Time, name: impl Into<String>) -> Self {
+        self.event(at, Event::Heal { name: name.into() })
+    }
+
+    pub fn degrade(
+        self,
+        at: Time,
+        nodes: impl IntoIterator<Item = usize>,
+        bandwidth_bps: Option<u64>,
+        delay: Option<Duration>,
+    ) -> Self {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        self.event(
+            at,
+            Event::Degrade {
+                nodes,
+                bandwidth_bps,
+                delay,
+            },
+        )
+    }
+
+    pub fn restore(self, at: Time, nodes: impl IntoIterator<Item = usize>) -> Self {
+        let nodes: Vec<usize> = nodes.into_iter().collect();
+        self.event(at, Event::Restore { nodes })
+    }
+
+    pub fn drop_probability(self, at: Time, probability: f64) -> Self {
+        self.event(at, Event::Drop { probability })
+    }
+
+    pub fn stream(
+        self,
+        at: Time,
+        node: usize,
+        rate_bps: u64,
+        packet_bytes: usize,
+        duration: Duration,
+        shape: StreamShape,
+    ) -> Self {
+        self.event(
+            at,
+            Event::Stream {
+                node,
+                rate_bps,
+                packet_bytes,
+                duration,
+                shape,
+            },
+        )
+    }
+
+    /// Sort, validate, and hand back the scenario.
+    pub fn build(mut self) -> Result<Scenario, ScenarioError> {
+        self.events.sort_by_key(|te| te.at);
+        let s = Scenario {
+            name: self.name,
+            nodes: self.nodes,
+            end: self.end,
+            events: self.events,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> Time {
+        Time::from_secs(secs)
+    }
+
+    #[test]
+    fn builder_produces_sorted_valid_scenario() {
+        let sc = ScenarioBuilder::new("t", 10)
+            .end(s(60))
+            .crash(s(30), [3])
+            .join(s(0), 0..10, Duration::from_secs(5))
+            .rejoin(s(40), [3], Duration::ZERO)
+            .partition(s(45), "cut", 0..5)
+            .heal(s(50), "cut")
+            .build()
+            .unwrap();
+        assert_eq!(sc.events.len(), 5);
+        assert!(sc.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn lifecycle_violations_diagnosed() {
+        let e = ScenarioBuilder::new("t", 4)
+            .end(s(10))
+            .crash(s(1), [0])
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("not alive"), "{e}");
+
+        let e = ScenarioBuilder::new("t", 4)
+            .end(s(10))
+            .join(s(0), 0..4, Duration::ZERO)
+            .join(s(2), [1], Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("joins twice"), "{e}");
+
+        let e = ScenarioBuilder::new("t", 4)
+            .end(s(10))
+            .join(s(0), 0..4, Duration::ZERO)
+            .rejoin(s(2), [1], Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("never crashed"), "{e}");
+    }
+
+    #[test]
+    fn unknown_node_diagnosed() {
+        let e = ScenarioBuilder::new("t", 4)
+            .end(s(10))
+            .join(s(0), [7], Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("unknown node 7"), "{e}");
+    }
+
+    #[test]
+    fn overlapping_partitions_diagnosed() {
+        let e = ScenarioBuilder::new("t", 6)
+            .end(s(20))
+            .join(s(0), 0..6, Duration::ZERO)
+            .partition(s(5), "a", [0, 1])
+            .partition(s(8), "b", [2])
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("overlaps"), "{e}");
+
+        let e = ScenarioBuilder::new("t", 6)
+            .end(s(20))
+            .join(s(0), 0..6, Duration::ZERO)
+            .heal(s(5), "ghost")
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("no open partition"), "{e}");
+    }
+
+    #[test]
+    fn event_after_end_diagnosed() {
+        let e = ScenarioBuilder::new("t", 2)
+            .end(s(10))
+            .join(s(11), [0], Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("after the scenario end"), "{e}");
+    }
+
+    #[test]
+    fn unsorted_events_rejected() {
+        // Hand-constructed scenarios bypass the builder's sort; the
+        // validator must catch them (the lifecycle and partition
+        // checks assume time order).
+        let s = Scenario {
+            name: "unsorted".into(),
+            nodes: 4,
+            end: s(60),
+            events: vec![
+                TimedEvent {
+                    at: s(10),
+                    event: Event::Join {
+                        nodes: vec![0, 1, 2, 3],
+                        over: Duration::ZERO,
+                    },
+                    span: Span::default(),
+                },
+                TimedEvent {
+                    at: s(5),
+                    event: Event::Crash { nodes: vec![1] },
+                    span: Span::default(),
+                },
+            ],
+        };
+        let e = s.validate().unwrap_err();
+        assert!(e.msg.contains("not sorted"), "{e}");
+    }
+
+    #[test]
+    fn second_stream_on_one_node_rejected() {
+        let e = ScenarioBuilder::new("t", 2)
+            .end(s(60))
+            .join(s(0), 0..2, Duration::ZERO)
+            .stream(
+                s(5),
+                0,
+                100_000,
+                1000,
+                Duration::from_secs(5),
+                StreamShape::Multicast,
+            )
+            .stream(
+                s(20),
+                0,
+                100_000,
+                1000,
+                Duration::from_secs(5),
+                StreamShape::Multicast,
+            )
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("streams twice"), "{e}");
+    }
+
+    #[test]
+    fn stream_requires_live_node() {
+        let e = ScenarioBuilder::new("t", 2)
+            .end(s(30))
+            .stream(
+                s(5),
+                0,
+                100_000,
+                1000,
+                Duration::from_secs(5),
+                StreamShape::Multicast,
+            )
+            .build()
+            .unwrap_err();
+        assert!(e.msg.contains("before joining"), "{e}");
+    }
+}

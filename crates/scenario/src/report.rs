@@ -1,0 +1,163 @@
+//! Engine-measured results of one scenario run.
+//!
+//! Everything in here is derived from engine observations — the
+//! delivery log ([`macedon_core::app::DeliveryRecord`]s with virtual
+//! timestamps), per-channel transport counters, network drop counters,
+//! and the world's membership-change clock — never from protocol
+//! internals, so the same report shape works for interpreted, generated
+//! and native stacks alike.
+
+use macedon_core::{Duration, NodeId, Time};
+use std::fmt::Write as _;
+
+/// Per-node delivery metrics.
+#[derive(Clone, Debug)]
+pub struct NodeMetrics {
+    pub index: usize,
+    pub node: NodeId,
+    /// Alive at scenario end (crashed-and-not-rejoined nodes are not).
+    pub alive: bool,
+    /// Application-level deliveries observed at this node.
+    pub delivered: u64,
+    pub bytes: u64,
+    /// Mean/maximum delivery latency against the stream schedule (only
+    /// for deliveries attributable to a scripted stream).
+    pub mean_latency: Option<Duration>,
+    pub max_latency: Option<Duration>,
+    /// Received application bytes over the stream window, bits/s.
+    pub goodput_bps: u64,
+}
+
+/// One perturbation event with its observed aftermath.
+#[derive(Clone, Debug)]
+pub struct PerturbationReport {
+    pub at: Time,
+    pub what: String,
+    /// How long after the perturbation the overlay kept churning
+    /// (last failure-detector registration change before the next
+    /// perturbation), `None` when no membership change was observed.
+    pub convergence: Option<Duration>,
+    /// Application deliveries between this perturbation and the next.
+    pub deliveries_during: u64,
+}
+
+/// Aggregate transport counters for one named channel (control-message
+/// overhead).
+#[derive(Clone, Debug)]
+pub struct ChannelReport {
+    pub channel: String,
+    pub segments: u64,
+    pub retransmissions: u64,
+    pub acks: u64,
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// The complete engine-measured report of a scenario run.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    pub scenario: String,
+    pub end: Time,
+    /// Nodes alive at scenario end.
+    pub alive: usize,
+    pub total_delivered: u64,
+    pub total_bytes: u64,
+    /// Packets dropped anywhere in the emulated network (queue
+    /// overflow, loss, partitions, dead links/nodes).
+    pub net_drops: u64,
+    pub nodes: Vec<NodeMetrics>,
+    pub perturbations: Vec<PerturbationReport>,
+    pub channels: Vec<ChannelReport>,
+}
+
+impl MetricsReport {
+    /// Mean per-node goodput across nodes that received anything.
+    pub fn mean_goodput_bps(&self) -> u64 {
+        let xs: Vec<u64> = self
+            .nodes
+            .iter()
+            .filter(|n| n.delivered > 0)
+            .map(|n| n.goodput_bps)
+            .collect();
+        if xs.is_empty() {
+            0
+        } else {
+            xs.iter().sum::<u64>() / xs.len() as u64
+        }
+    }
+
+    /// Render as an aligned text table (the `examples/churn.rs`
+    /// output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario '{}' — {}s simulated, {} nodes alive, {} deliveries ({} bytes), {} net drops",
+            self.scenario,
+            self.end.as_secs_f64(),
+            self.alive,
+            self.total_delivered,
+            self.total_bytes,
+            self.net_drops,
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} {:>9} {:>10} {:>10} {:>10} {:>11}",
+            "node", "alive", "delivered", "bytes", "mean-lat", "max-lat", "goodput"
+        );
+        for n in &self.nodes {
+            let fmt_lat = |l: Option<Duration>| match l {
+                Some(d) => format!("{:.1}ms", d.as_micros() as f64 / 1_000.0),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                out,
+                "{:>5} {:>6} {:>9} {:>10} {:>10} {:>10} {:>9}bps",
+                n.index,
+                if n.alive { "yes" } else { "no" },
+                n.delivered,
+                n.bytes,
+                fmt_lat(n.mean_latency),
+                fmt_lat(n.max_latency),
+                n.goodput_bps,
+            );
+        }
+        if !self.perturbations.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:>8} {:<34} {:>12} {:>10}",
+                "t", "perturbation", "convergence", "deliveries"
+            );
+            for p in &self.perturbations {
+                let conv = match p.convergence {
+                    Some(d) => format!("{:.2}s", d.as_secs_f64()),
+                    None => "quiet".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>7.1}s {:<34} {:>12} {:>10}",
+                    p.at.as_secs_f64(),
+                    p.what,
+                    conv,
+                    p.deliveries_during,
+                );
+            }
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>8} {:>9} {:>9} {:>11}",
+            "channel", "segments", "retrans", "acks", "messages", "bytes"
+        );
+        for c in &self.channels {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>9} {:>8} {:>9} {:>9} {:>11}",
+                c.channel, c.segments, c.retransmissions, c.acks, c.messages, c.bytes
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests on the scenario script parser: malformed scripts are
+//! spanned diagnostics, never panics.
+
+use macedon_scenario::script::parse;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary printable soup (with newlines) never panics the
+    /// parser; it either parses or produces a spanned error.
+    #[test]
+    fn arbitrary_text_never_panics(src in "[ -~\n]{0,256}") {
+        match parse(&src) {
+            Ok(s) => prop_assert!(s.nodes > 0),
+            Err(e) => prop_assert!(e.line >= 1 || e.msg.contains("missing")),
+        }
+    }
+
+    /// Events before t=0 are rejected with a spanned diagnostic.
+    #[test]
+    fn negative_times_rejected(n in 1usize..64, t in 1u64..10_000) {
+        let src = format!("nodes {n}\nend 100s\nat -{t}ms join 0..{n}\n");
+        let e = parse(&src).unwrap_err();
+        prop_assert!(e.msg.contains("before t=0"), "{}", e);
+        prop_assert_eq!(e.line, 3);
+    }
+
+    /// References to undeclared nodes are rejected, whatever the verb.
+    #[test]
+    fn unknown_nodes_rejected(n in 1usize..32, extra in 0usize..100, verb_i in 0usize..3) {
+        let bad = n + extra; // >= n, always out of range
+        let verb = ["join", "crash", "degrade"][verb_i];
+        let tail = if verb == "degrade" { " bw 1kbps" } else { "" };
+        let src = format!(
+            "nodes {n}\nend 100s\nat 0s join 0..{n}\nat 5s {verb} {bad}{tail}\n"
+        );
+        let e = parse(&src).unwrap_err();
+        prop_assert!(
+            e.msg.contains("unknown node") || e.msg.contains("joins twice"),
+            "{}", e
+        );
+    }
+
+    /// Two partitions overlapping in time are rejected; sequential
+    /// partition/heal pairs are fine.
+    #[test]
+    fn overlapping_partitions_rejected(gap in 0u64..30) {
+        let overlapping = format!(
+            "nodes 8\nend 200s\nat 0s join 0..8\n\
+             at 10s partition a 0 1\nat {}s partition b 2 3\nat 90s heal b\n",
+            11 + gap
+        );
+        let e = parse(&overlapping).unwrap_err();
+        prop_assert!(e.msg.contains("overlaps"), "{}", e);
+
+        let sequential = format!(
+            "nodes 8\nend 200s\nat 0s join 0..8\n\
+             at 10s partition a 0 1\nat {}s heal a\nat {}s partition b 2 3\nat 90s heal b\n",
+            12 + gap, 13 + gap
+        );
+        prop_assert!(parse(&sequential).is_ok());
+    }
+
+    /// Structurally valid generated scripts round-trip through
+    /// parse + validate.
+    #[test]
+    fn generated_valid_scripts_parse(
+        n in 2usize..64,
+        stagger_ms in 0u64..5_000,
+        crash in 1usize..8,
+        end_s in 50u64..500,
+    ) {
+        let crash = crash.min(n - 1);
+        let src = format!(
+            "scenario gen\nnodes {n}\nend {end_s}s\n\
+             at 0s join 0..{n} over {stagger_ms}ms\n\
+             at 20s crash {crash}\nat 30s rejoin {crash}\n"
+        );
+        let s = parse(&src).unwrap();
+        prop_assert_eq!(s.nodes, n);
+        prop_assert_eq!(s.events.len(), 3);
+    }
+}

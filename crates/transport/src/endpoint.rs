@@ -11,7 +11,7 @@ use crate::segment::{SegKind, Segment};
 use crate::udp::UdpConn;
 use bytes::Bytes;
 use macedon_net::{NodeId, Packet};
-use macedon_sim::{FxHashMap, Time};
+use macedon_sim::{Duration, FxHashMap, Time};
 
 pub use crate::segment::ChannelId;
 
@@ -74,6 +74,11 @@ pub struct TransportSink {
     /// Fully reassembled messages handed to the layer above:
     /// (source host, channel, message bytes).
     pub delivered: Vec<(NodeId, ChannelId, Bytes)>,
+    /// Acknowledgements that advanced a send window, with their
+    /// Karn-filtered RTT sample (None when only retransmitted segments
+    /// were acked). The world feeds these into the node's measurement
+    /// ledger.
+    pub ack_samples: Vec<(NodeId, Option<Duration>)>,
 }
 
 impl TransportSink {
@@ -196,6 +201,16 @@ impl Endpoint {
         self.scratch = co;
     }
 
+    /// Drop all connection state toward `peer` (sequence numbers,
+    /// send/receive buffers, RTT estimates). The world calls this on
+    /// every endpoint when `peer` is despawned for a rejoin: the next
+    /// incarnation is a different host as far as transport state goes,
+    /// and stale sequence numbers would otherwise wedge the fresh
+    /// endpoint's reliable channels forever.
+    pub fn reset_peer(&mut self, peer: NodeId) {
+        self.conns.retain(|&(p, _), _| p != peer);
+    }
+
     /// Handle an RTO timer previously emitted via [`TransportSink::timers`].
     pub fn on_timer(&mut self, now: Time, key: TimerKey, out: &mut TransportSink) {
         debug_assert_eq!(key.node, self.node);
@@ -267,6 +282,9 @@ impl Endpoint {
         }
         for msg in co.delivered.drain(..) {
             out.delivered.push((peer, ch, msg));
+        }
+        if let Some(rtt) = co.ack_rtt.take() {
+            out.ack_samples.push((peer, rtt));
         }
         if let Some((at, gen)) = co.arm_timer.take() {
             out.timers.push((

@@ -83,6 +83,10 @@ pub struct ConnOut {
     /// Re-arm the RTO timer at the given absolute time with this
     /// generation (at most one per call).
     pub arm_timer: Option<(Time, u64)>,
+    /// An acknowledgement advanced the send window: the Karn-filtered
+    /// RTT sample taken from it, if any (at most one per call). Feeds
+    /// the engine's per-peer measurement ledger.
+    pub ack_rtt: Option<Option<Duration>>,
 }
 
 const INITIAL_CWND: f64 = 2.0;
@@ -245,6 +249,7 @@ impl ReliableConn {
             } else {
                 self.est.reset_backoff();
             }
+            out.ack_rtt = Some(rtt_sample);
             self.snd_nxt = self.snd_nxt.max(cum);
             self.dup_acks = 0;
             if let WindowPolicy::Tcp = self.policy {
