@@ -15,7 +15,7 @@
 //! gives deterministic cross-layer ordering.
 
 use crate::api::{DownCall, ForwardInfo, ProtocolId, UpCall};
-use crate::key::MacedonKey;
+use crate::key::{Addressing, MacedonKey};
 use crate::measure::MeasureLedger;
 use crate::trace::TraceLevel;
 use bytes::Bytes;
@@ -74,6 +74,9 @@ pub struct Ctx<'a> {
     pub me: NodeId,
     /// This node's key under the world's addressing mode.
     pub my_key: MacedonKey,
+    /// The world's addressing mode — how `my_key` (and every peer's
+    /// key) derives from a node id.
+    pub addressing: Addressing,
     /// Index of the executing layer (0 = lowest).
     pub layer: usize,
     /// Total protocol layers in this stack (the application sits at
@@ -335,6 +338,7 @@ mod tests {
             now: Time::ZERO,
             me: NodeId(0),
             my_key: MacedonKey(0),
+            addressing: Addressing::Hash,
             layer: 2,
             layers: 3,
             rng: &mut rng,
@@ -371,6 +375,7 @@ mod tests {
             now: Time::ZERO,
             me: NodeId(0),
             my_key: MacedonKey(0),
+            addressing: Addressing::Hash,
             layer: 0,
             layers: 1,
             rng: &mut rng,
@@ -396,6 +401,7 @@ mod tests {
             now: Time::ZERO,
             me: NodeId(0),
             my_key: MacedonKey(0),
+            addressing: Addressing::Hash,
             layer: 0,
             layers: 1,
             rng: &mut rng,

@@ -94,6 +94,85 @@ impl MacedonKey {
     }
 }
 
+// ---------------------------------------------------------------------------
+// DSL builtin semantics — shared by the IR interpreter and the generated
+// Rust back end so `ring_dist(...)` and friends evaluate bit-for-bit
+// identically under both translators. All are total: a null operand
+// yields the documented sentinel instead of a runtime error, so specs
+// may call them before their neighbor state is populated.
+// ---------------------------------------------------------------------------
+
+/// `ring_dist(a, b)`: symmetric ring distance between two keys. A null
+/// operand yields `RING` (2^32) — larger than any real distance, so a
+/// null candidate loses every "closest" comparison.
+pub fn dsl_ring_dist(a: Option<MacedonKey>, b: Option<MacedonKey>) -> i64 {
+    match (a, b) {
+        (Some(a), Some(b)) => a.ring_distance(b) as i64,
+        _ => RING as i64,
+    }
+}
+
+/// `ring_between(x, lo, hi)`: true iff `x` lies in the half-open
+/// clockwise interval `(lo, hi]`. Any null operand yields false.
+pub fn dsl_ring_between(
+    x: Option<MacedonKey>,
+    lo: Option<MacedonKey>,
+    hi: Option<MacedonKey>,
+) -> bool {
+    match (x, lo, hi) {
+        (Some(x), Some(lo), Some(hi)) => x.in_open_closed(lo, hi),
+        _ => false,
+    }
+}
+
+/// `digit(key, i, base)`: digit `i` (0 = most significant) of the key
+/// written in `base`, which must be a power-of-two radix whose bit width
+/// divides 32 (2, 4, 16, 256, 65536). A null key, an unusable base or an
+/// out-of-range index yields 0.
+pub fn dsl_digit(key: Option<MacedonKey>, i: i64, base: i64) -> i64 {
+    let Some(k) = key else { return 0 };
+    if !(2..=65536).contains(&base) {
+        return 0;
+    }
+    let base = base as u32;
+    if !base.is_power_of_two() {
+        return 0;
+    }
+    let bits = base.trailing_zeros();
+    if 32 % bits != 0 || i < 0 || i as u32 >= 32 / bits {
+        return 0;
+    }
+    k.digit(i as u32, bits) as i64
+}
+
+/// `prefix_len(a, b)`: length of the shared hex-digit prefix (bits = 4,
+/// the Pastry default radix). A null operand yields 0.
+pub fn dsl_prefix_len(a: Option<MacedonKey>, b: Option<MacedonKey>) -> i64 {
+    match (a, b) {
+        (Some(a), Some(b)) => a.shared_prefix_len(b, 4) as i64,
+        _ => 0,
+    }
+}
+
+/// `key + signed offset`, wrapping on the 2^32 ring — the DSL's
+/// `my_key + pow2` finger targets. i64 wrapping is mod 2^64 and 2^32
+/// divides 2^64, so the final `rem_euclid` still yields the true sum
+/// mod 2^32.
+pub fn dsl_key_add(k: MacedonKey, off: i64) -> MacedonKey {
+    MacedonKey((k.0 as i64).wrapping_add(off).rem_euclid(RING as i64) as u32)
+}
+
+/// `owner_of(key, list)`: the list member that owns `key` — the node
+/// whose key is clockwise-nearest at-or-after `key`, ties broken by node
+/// id so the choice is deterministic. A null key or an empty list yields
+/// null.
+pub fn dsl_owner_of(key: Option<MacedonKey>, list: &[NodeId], mode: Addressing) -> Option<NodeId> {
+    let key = key?;
+    list.iter()
+        .copied()
+        .min_by_key(|&n| (key.distance_to(MacedonKey::of_node(n, mode)), n.0))
+}
+
 impl fmt::Debug for MacedonKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "k{:08x}", self.0)
@@ -203,5 +282,46 @@ mod tests {
         let k1 = MacedonKey::of_name("group-1");
         let k2 = MacedonKey::of_name("group-2");
         assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn dsl_helpers_null_sentinels() {
+        let k = Some(MacedonKey(7));
+        assert_eq!(dsl_ring_dist(None, k), RING as i64);
+        assert_eq!(dsl_ring_dist(k, None), RING as i64);
+        assert!(!dsl_ring_between(None, k, k));
+        assert!(!dsl_ring_between(k, None, k));
+        assert!(!dsl_ring_between(k, k, None));
+        assert_eq!(dsl_digit(None, 0, 16), 0);
+        assert_eq!(dsl_prefix_len(None, k), 0);
+        assert_eq!(dsl_owner_of(None, &[NodeId(1)], Addressing::Ip), None);
+        assert_eq!(dsl_owner_of(k, &[], Addressing::Ip), None);
+    }
+
+    #[test]
+    fn dsl_digit_rejects_bad_radix() {
+        let k = Some(MacedonKey(0x1234_ABCD));
+        assert_eq!(dsl_digit(k, 0, 0), 0);
+        assert_eq!(dsl_digit(k, 0, 1), 0);
+        assert_eq!(dsl_digit(k, 0, 3), 0);
+        assert_eq!(dsl_digit(k, 0, 8), 0); // 3 bits does not divide 32
+        assert_eq!(dsl_digit(k, -1, 16), 0);
+        assert_eq!(dsl_digit(k, 8, 16), 0);
+        assert_eq!(dsl_digit(k, 0, 16), 0x1);
+        assert_eq!(dsl_digit(k, 7, 16), 0xD);
+        assert_eq!(dsl_digit(k, 1, 256), 0x34);
+    }
+
+    #[test]
+    fn dsl_owner_of_clockwise_at_or_after() {
+        // Ip addressing: node id is the key. Owner of 10 among
+        // {5, 10, 20} is 10 itself (distance 0); owner of 11 is 20.
+        let list = [NodeId(5), NodeId(10), NodeId(20)];
+        let own = |k: u32| dsl_owner_of(Some(MacedonKey(k)), &list, Addressing::Ip);
+        assert_eq!(own(10), Some(NodeId(10)));
+        assert_eq!(own(11), Some(NodeId(20)));
+        // Wraps past the top of the ring back to the smallest id.
+        assert_eq!(own(21), Some(NodeId(5)));
+        assert_eq!(own(u32::MAX), Some(NodeId(5)));
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::agent::{Agent, AppHandler, Ctx, Locking, Op};
 use crate::api::{DownCall, UpCall};
-use crate::key::MacedonKey;
+use crate::key::{Addressing, MacedonKey};
 use crate::measure::MeasureLedger;
 use crate::trace::TraceLevel;
 use bytes::Bytes;
@@ -60,6 +60,9 @@ pub enum StackEffect {
 pub struct Stack {
     node: NodeId,
     key: MacedonKey,
+    /// Addressing mode `key` was derived under, handed to every [`Ctx`]
+    /// so agents derive peer keys the same way the world derived `key`.
+    addressing: Addressing,
     agents: Vec<Box<dyn Agent>>,
     app: Box<dyn AppHandler>,
     rng: SimRng,
@@ -99,6 +102,7 @@ impl Stack {
         Stack {
             node,
             key,
+            addressing: Addressing::Hash,
             agents,
             app,
             rng,
@@ -114,6 +118,12 @@ impl Stack {
     /// [`Ctx::trace_on`] (the world sets its configured level here).
     pub fn set_trace_level(&mut self, level: TraceLevel) {
         self.trace_level = level;
+    }
+
+    /// Set the addressing mode the node's key was derived under (the
+    /// world sets its configured mode here at spawn).
+    pub fn set_addressing(&mut self, mode: Addressing) {
+        self.addressing = mode;
     }
 
     pub fn node(&self) -> NodeId {
@@ -329,6 +339,7 @@ impl Stack {
             now,
             me: self.node,
             my_key: self.key,
+            addressing: self.addressing,
             layer,
             layers: self.agents.len(),
             rng: &mut self.rng,
@@ -356,6 +367,7 @@ impl Stack {
             now,
             me: self.node,
             my_key: self.key,
+            addressing: self.addressing,
             layer,
             layers: self.agents.len(),
             rng: &mut self.rng,

@@ -182,6 +182,7 @@ impl World {
         // Agents may skip building trace records the sink would filter
         // out anyway (Ctx::trace_on).
         stack.set_trace_level(self.cfg.trace_level);
+        stack.set_addressing(self.cfg.addressing);
         self.stacks.insert(node, stack);
         self.endpoints
             .insert(node, Endpoint::new(node, self.cfg.channels.clone()));

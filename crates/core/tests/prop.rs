@@ -1,8 +1,10 @@
 //! Property tests on keys, SHA-1 and the wire codec.
 
-use macedon_core::key::RING;
+use macedon_core::key::{
+    dsl_digit, dsl_owner_of, dsl_prefix_len, dsl_ring_between, dsl_ring_dist, RING,
+};
 use macedon_core::sha1::sha1;
-use macedon_core::{MacedonKey, NodeId, WireReader, WireWriter};
+use macedon_core::{Addressing, MacedonKey, NodeId, WireReader, WireWriter};
 use proptest::prelude::*;
 
 proptest! {
@@ -63,6 +65,73 @@ proptest! {
         prop_assert_eq!(ka.ring_distance(kb), kb.ring_distance(ka));
         prop_assert_eq!(ka.ring_distance(kb) == 0, a == b);
         prop_assert!(ka.ring_distance(kb) <= RING / 2);
+    }
+
+    /// The `ring_dist` builtin is symmetric and bounded by half the ring.
+    #[test]
+    fn dsl_ring_dist_symmetry(a in any::<u32>(), b in any::<u32>()) {
+        let (ka, kb) = (Some(MacedonKey(a)), Some(MacedonKey(b)));
+        prop_assert_eq!(dsl_ring_dist(ka, kb), dsl_ring_dist(kb, ka));
+        prop_assert!(dsl_ring_dist(ka, kb) <= (RING / 2) as i64);
+        prop_assert_eq!(dsl_ring_dist(ka, kb) == 0, a == b);
+        // Null loses every "closest" comparison against a real key.
+        prop_assert!(dsl_ring_dist(None, kb) > dsl_ring_dist(ka, kb));
+    }
+
+    /// The `ring_between` builtin is the half-open clockwise interval
+    /// `(lo, hi]`: for distinct endpoints, `(lo, hi]` and `(hi, lo]`
+    /// partition the ring exactly (wraparound included), `hi` is in and
+    /// `lo` is out.
+    #[test]
+    fn dsl_ring_between_half_open(x in any::<u32>(), lo in any::<u32>(), hi in any::<u32>()) {
+        let (kx, klo, khi) = (Some(MacedonKey(x)), Some(MacedonKey(lo)), Some(MacedonKey(hi)));
+        prop_assume!(lo != hi);
+        prop_assert!(dsl_ring_between(kx, klo, khi) ^ dsl_ring_between(kx, khi, klo));
+        prop_assert!(dsl_ring_between(khi, klo, khi));
+        prop_assert!(!dsl_ring_between(klo, klo, khi));
+    }
+
+    /// `digit` round-trips against sha1-derived keys: the hex digits
+    /// reassemble to the key, and `prefix_len` equals the index of the
+    /// first differing digit.
+    #[test]
+    fn dsl_digit_prefix_roundtrip(name in "[a-z]{1,12}", other in "[a-z]{1,12}") {
+        let a = MacedonKey::of_name(&name);
+        let b = MacedonKey::of_name(&other);
+        let mut v: i64 = 0;
+        for i in 0..8 {
+            v = (v << 4) | dsl_digit(Some(a), i, 16);
+        }
+        prop_assert_eq!(v as u32, a.0);
+        let plen = dsl_prefix_len(Some(a), Some(b));
+        prop_assert_eq!(plen, dsl_prefix_len(Some(b), Some(a)));
+        for i in 0..plen {
+            prop_assert_eq!(dsl_digit(Some(a), i, 16), dsl_digit(Some(b), i, 16));
+        }
+        if plen < 8 {
+            prop_assert_ne!(dsl_digit(Some(a), plen, 16), dsl_digit(Some(b), plen, 16));
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// `owner_of` picks a list member, is order-independent, and no other
+    /// member sits strictly between the key and the chosen owner.
+    #[test]
+    fn dsl_owner_of_is_clockwise_min(key in any::<u32>(), ids in proptest::collection::vec(any::<u32>(), 1..12)) {
+        let list: Vec<NodeId> = ids.iter().map(|&n| NodeId(n)).collect();
+        let k = MacedonKey(key);
+        for mode in [Addressing::Ip, Addressing::Hash] {
+            let owner = dsl_owner_of(Some(k), &list, mode).expect("non-empty list");
+            prop_assert!(list.contains(&owner));
+            let mut rev = list.clone();
+            rev.reverse();
+            prop_assert_eq!(dsl_owner_of(Some(k), &rev, mode), Some(owner));
+            let od = k.distance_to(MacedonKey::of_node(owner, mode));
+            for &n in &list {
+                prop_assert!(k.distance_to(MacedonKey::of_node(n, mode)) >= od);
+            }
+        }
     }
 
     /// SHA-1 is deterministic and length-sensitive.

@@ -304,6 +304,23 @@ pub enum Expr {
     /// `goodput(node)` — engine-measured smoothed inbound goodput from
     /// a peer in kilobits/s (`0` when unmeasured).
     Goodput(Box<Expr>),
+    /// `ring_dist(a, b)` — symmetric distance between two keys on the
+    /// 2^32 identifier ring; `RING` (2^32) when either operand is null.
+    RingDist(Box<Expr>, Box<Expr>),
+    /// `ring_between(x, lo, hi)` — true iff `x` lies in the half-open
+    /// clockwise interval `(lo, hi]`; false when any operand is null.
+    RingBetween(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `digit(key, i, base)` — digit `i` (0 = most significant) of the
+    /// key written in `base`; 0 when the key is null or the base/index
+    /// is unusable.
+    Digit(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `prefix_len(a, b)` — shared hex-digit prefix length of two keys
+    /// (Pastry's radix-16 metric); 0 when either operand is null.
+    PrefixLen(Box<Expr>, Box<Expr>),
+    /// `owner_of(key, list)` — the list member whose key is
+    /// clockwise-nearest at-or-after `key` (ties by node id); null when
+    /// the key is null or the list empty.
+    OwnerOf(Box<Expr>, String),
     /// Unary ops.
     Not(Box<Expr>),
     Neg(Box<Expr>),
@@ -321,11 +338,17 @@ impl Expr {
             Expr::NeighborQuery(_, e)
             | Expr::Rtt(e)
             | Expr::Goodput(e)
+            | Expr::OwnerOf(e, _)
             | Expr::Not(e)
             | Expr::Neg(e) => e.walk(f),
-            Expr::Bin(_, a, b) => {
+            Expr::Bin(_, a, b) | Expr::RingDist(a, b) | Expr::PrefixLen(a, b) => {
                 a.walk(f);
                 b.walk(f);
+            }
+            Expr::RingBetween(a, b, c) | Expr::Digit(a, b, c) => {
+                a.walk(f);
+                b.walk(f);
+                c.walk(f);
             }
             Expr::Int(_)
             | Expr::Var(_)

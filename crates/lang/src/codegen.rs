@@ -375,10 +375,71 @@ impl<'a> Gen<'a> {
                     }
                 }
             }
+            Expr::RingDist(a, b) => (
+                format!(
+                    "key::dsl_ring_dist({}, {})",
+                    self.key_opt(cx, a)?,
+                    self.key_opt(cx, b)?
+                ),
+                Ty::Int,
+            ),
+            Expr::RingBetween(x, lo, hi) => (
+                format!(
+                    "key::dsl_ring_between({}, {}, {})",
+                    self.key_opt(cx, x)?,
+                    self.key_opt(cx, lo)?,
+                    self.key_opt(cx, hi)?
+                ),
+                Ty::Bool,
+            ),
+            Expr::Digit(k, i, base) => (
+                format!(
+                    "key::dsl_digit({}, {}, {})",
+                    self.key_opt(cx, k)?,
+                    self.as_int(cx, i)?,
+                    self.as_int(cx, base)?
+                ),
+                Ty::Int,
+            ),
+            Expr::PrefixLen(a, b) => (
+                format!(
+                    "key::dsl_prefix_len({}, {})",
+                    self.key_opt(cx, a)?,
+                    self.key_opt(cx, b)?
+                ),
+                Ty::Int,
+            ),
+            Expr::OwnerOf(k, l) => {
+                self.known_list(l)?;
+                (
+                    format!(
+                        "key::dsl_owner_of({}, &self.{l}, ctx.addressing)",
+                        self.key_opt(cx, k)?
+                    ),
+                    Ty::Node,
+                )
+            }
             Expr::Not(inner) => (format!("(!{})", self.as_bool(cx, inner)?), Ty::Bool),
             Expr::Neg(inner) => (format!("(-{})", self.as_int(cx, inner)?), Ty::Int),
             Expr::Bin(op, a, b) => self.bin_expr(cx, *op, a, b)?,
         })
+    }
+
+    /// Render as an `Option<MacedonKey>`, the key builtins' operand
+    /// coercion (the interpreter's `Value::as_key_opt`): keys pass
+    /// through, nodes hash under the world's addressing mode, ints
+    /// truncate onto the ring, null stays null.
+    fn key_opt(&self, cx: &Cx, e: &Expr) -> Result<String, CodegenError> {
+        let (s, ty) = self.expr(cx, e)?;
+        match ty {
+            Ty::Key => Ok(format!("Some({s})")),
+            Ty::Node => Ok(format!(
+                "({s}).map(|__n| MacedonKey::of_node(__n, ctx.addressing))"
+            )),
+            Ty::Int => Ok(format!("Some(MacedonKey(({s}) as u32))")),
+            Ty::Null => Ok(format!("{{ let _ = {s}; None::<MacedonKey> }}")),
+            other => Err(self.err(format!("expected key, got {other:?} ({s})"))),
+        }
     }
 
     fn known_list(&self, l: &str) -> Result<(), CodegenError> {
@@ -479,6 +540,20 @@ impl<'a> Gen<'a> {
     ) -> Result<(String, Ty), CodegenError> {
         Ok(match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                // Key ± int wraps on the 2^32 ring (the interpreter's
+                // `dsl_key_add` arm for Chord's `my_key + pow2`).
+                if op != BinOp::Mul {
+                    let (sa, ta) = self.expr(cx, a)?;
+                    if ta == Ty::Key {
+                        let off = self.as_int(cx, b)?;
+                        let signed = if op == BinOp::Add {
+                            off
+                        } else {
+                            format!("-({off})")
+                        };
+                        return Ok((format!("key::dsl_key_add({sa}, {signed})"), Ty::Key));
+                    }
+                }
                 let sym = match op {
                     BinOp::Add => "+",
                     BinOp::Sub => "-",
@@ -1462,6 +1537,7 @@ impl<'a> Gen<'a> {
         );
         let _ = writeln!(w, "    DEFAULT_PRIORITY, TUNNEL_PROTOCOL,");
         let _ = writeln!(w, "}};");
+        let _ = writeln!(w, "use macedon_core::key;");
         let _ = writeln!(w, "use macedon_core::wire::{{read_tunnel, tunnel_frame}};");
         let _ = writeln!(w, "use std::any::Any;");
         let _ = writeln!(w, "use std::collections::VecDeque;");

@@ -49,10 +49,12 @@
 
 use crate::ast::{Spec, TransportKindDecl};
 use crate::ir::{ApiArgKind, ApiKind, FieldKind, IrDown, IrExpr, IrMessage, IrSpec, IrStmt, Table};
+use macedon_core::key;
 use macedon_core::wire::{read_tunnel_ref, WireRef};
 use macedon_core::{
-    Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, ForwardInfo, MacedonKey, NodeId,
-    ProtocolId, TraceLevel, TransportKind, UpCall, WireWriter, DEFAULT_PRIORITY,
+    Addressing, Agent, Bytes, ChannelId, ChannelSpec, Ctx, DownCall, Duration, ForwardInfo,
+    MacedonKey, NodeId, ProtocolId, TraceLevel, TransportKind, UpCall, WireWriter,
+    DEFAULT_PRIORITY,
 };
 use std::any::Any;
 use std::collections::VecDeque;
@@ -102,6 +104,20 @@ impl Value {
         match self {
             Value::Node(n) => Ok(*n),
             other => Err(format!("expected node, got {other:?}")),
+        }
+    }
+
+    /// Coerce to an optional key, the way every key-typed position does
+    /// (message key fields, `route` destinations, the key builtins):
+    /// keys pass through, nodes hash under the world's addressing mode,
+    /// ints truncate onto the ring, null stays null.
+    fn as_key_opt(&self, mode: Addressing) -> Result<Option<MacedonKey>, String> {
+        match self {
+            Value::Key(k) => Ok(Some(*k)),
+            Value::Node(n) => Ok(Some(MacedonKey::of_node(*n, mode))),
+            Value::Int(v) => Ok(Some(MacedonKey(*v as u32))),
+            Value::Null => Ok(None),
+            other => Err(format!("expected key, got {other:?}")),
         }
     }
 }
@@ -916,6 +932,35 @@ impl Core {
                 Value::Null => Value::Int(0),
                 other => return Err(format!("goodput(..) needs a node, got {other:?}")),
             },
+            IrExpr::RingDist(a, b) => {
+                let a = self.eval(ctx, frame, a)?.as_key_opt(ctx.addressing)?;
+                let b = self.eval(ctx, frame, b)?.as_key_opt(ctx.addressing)?;
+                Value::Int(key::dsl_ring_dist(a, b))
+            }
+            IrExpr::RingBetween(x, lo, hi) => {
+                let x = self.eval(ctx, frame, x)?.as_key_opt(ctx.addressing)?;
+                let lo = self.eval(ctx, frame, lo)?.as_key_opt(ctx.addressing)?;
+                let hi = self.eval(ctx, frame, hi)?.as_key_opt(ctx.addressing)?;
+                Value::Bool(key::dsl_ring_between(x, lo, hi))
+            }
+            IrExpr::Digit(k, i, base) => {
+                let k = self.eval(ctx, frame, k)?.as_key_opt(ctx.addressing)?;
+                let i = self.eval(ctx, frame, i)?.as_int()?;
+                let base = self.eval(ctx, frame, base)?.as_int()?;
+                Value::Int(key::dsl_digit(k, i, base))
+            }
+            IrExpr::PrefixLen(a, b) => {
+                let a = self.eval(ctx, frame, a)?.as_key_opt(ctx.addressing)?;
+                let b = self.eval(ctx, frame, b)?.as_key_opt(ctx.addressing)?;
+                Value::Int(key::dsl_prefix_len(a, b))
+            }
+            IrExpr::OwnerOf(k, slot) => {
+                let k = self.eval(ctx, frame, k)?.as_key_opt(ctx.addressing)?;
+                match key::dsl_owner_of(k, &self.lists[*slot as usize], ctx.addressing) {
+                    Some(n) => Value::Node(n),
+                    None => Value::Null,
+                }
+            }
             IrExpr::Not(e) => Value::Bool(!self.eval(ctx, frame, e)?.truthy()),
             IrExpr::Neg(e) => Value::Int(-self.eval(ctx, frame, e)?.as_int()?),
             IrExpr::Bin(op, a, b) => {
@@ -930,8 +975,16 @@ impl Core {
                     BinOp::Gt => Value::Bool(a.as_int()? > b.as_int()?),
                     BinOp::Le => Value::Bool(a.as_int()? <= b.as_int()?),
                     BinOp::Ge => Value::Bool(a.as_int()? >= b.as_int()?),
-                    BinOp::Add => Value::Int(a.as_int()? + b.as_int()?),
-                    BinOp::Sub => Value::Int(a.as_int()? - b.as_int()?),
+                    // Key ± int wraps on the 2^32 ring (Chord's
+                    // `my_key + pow2` finger targets).
+                    BinOp::Add => match &a {
+                        Value::Key(k) => Value::Key(key::dsl_key_add(*k, b.as_int()?)),
+                        _ => Value::Int(a.as_int()? + b.as_int()?),
+                    },
+                    BinOp::Sub => match &a {
+                        Value::Key(k) => Value::Key(key::dsl_key_add(*k, -b.as_int()?)),
+                        _ => Value::Int(a.as_int()? - b.as_int()?),
+                    },
                     BinOp::Mul => Value::Int(a.as_int()? * b.as_int()?),
                     BinOp::Div => {
                         let d = b.as_int()?;
@@ -1637,5 +1690,78 @@ mod tests {
         // in adds), so the loop ran once; afterwards `n` reads the
         // declared scalar (me) again: 1 + 100.
         assert_eq!(a.var("count"), Some(&Value::Int(101)));
+    }
+
+    #[test]
+    fn key_builtins_evaluate_via_shared_helpers() {
+        // Ip addressing makes keys the raw node ids, so every expected
+        // value is computable from the host list with the same
+        // macedon_core::key helpers the interpreter calls.
+        const KEYS: &str = r#"
+            protocol keys;
+            addressing ip;
+            neighbor_types { succ 4 { } }
+            transports { TCP C; }
+            messages { C nop { } }
+            state_variables {
+                succ ring;
+                key target;
+                int dist; bool between; int dig; int plen; node owner;
+            }
+            transitions {
+                any API init {
+                    if (bootstrap != null) { neighbor_add(ring, bootstrap); }
+                    target = my_key + 10;
+                    dist = ring_dist(me, bootstrap);
+                    between = ring_between(bootstrap, my_key, my_key);
+                    dig = digit(my_key, 7, 16);
+                    plen = prefix_len(my_key, target);
+                    owner = owner_of(target, ring);
+                }
+            }
+        "#;
+        let spec = Arc::new(compile(KEYS).unwrap());
+        let topo = canned::star(3, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let cfg = WorldConfig {
+            addressing: Addressing::Ip,
+            channels: channel_table(&spec),
+            ..Default::default()
+        };
+        let mut w = World::new(topo, cfg);
+        for (i, &h) in hosts.iter().enumerate() {
+            let agent = InterpretedAgent::new(spec.clone(), (i > 0).then(|| hosts[0]));
+            w.spawn_at(Time::ZERO, h, vec![Box::new(agent)], Box::new(NullApp));
+        }
+        w.run_until(Time::from_secs(1));
+
+        let boot_key = MacedonKey(hosts[0].0);
+        let a = agent_of(&w, hosts[1]);
+        let me_key = MacedonKey(hosts[1].0);
+        let target = key::dsl_key_add(me_key, 10);
+        assert_eq!(
+            a.var("dist"),
+            Some(&Value::Int(key::dsl_ring_dist(
+                Some(me_key),
+                Some(boot_key)
+            )))
+        );
+        // Degenerate interval (lo == hi) is the full ring.
+        assert_eq!(a.var("between"), Some(&Value::Bool(true)));
+        assert_eq!(a.var("dig"), Some(&Value::Int((hosts[1].0 & 0xF) as i64)));
+        assert_eq!(
+            a.var("plen"),
+            Some(&Value::Int(key::dsl_prefix_len(Some(me_key), Some(target))))
+        );
+        assert_eq!(a.var("target"), Some(&Value::Key(target)));
+        // The only ring member is the bootstrap, so it owns everything.
+        assert_eq!(a.var("owner"), Some(&Value::Node(hosts[0])));
+
+        // Without a bootstrap the null-operand sentinels apply: RING
+        // distance, false interval test, null owner.
+        let b = agent_of(&w, hosts[0]);
+        assert_eq!(b.var("dist"), Some(&Value::Int(key::RING as i64)));
+        assert_eq!(b.var("between"), Some(&Value::Bool(false)));
+        assert_eq!(b.var("owner"), Some(&Value::Null));
     }
 }

@@ -246,6 +246,19 @@ pub enum IrExpr {
     /// Engine-measured smoothed inbound goodput from a peer, kbit/s
     /// (0 = unmeasured).
     Goodput(Box<IrExpr>),
+    /// `ring_dist(a, b)` — symmetric ring distance; RING when either
+    /// operand is null.
+    RingDist(Box<IrExpr>, Box<IrExpr>),
+    /// `ring_between(x, lo, hi)` — x ∈ (lo, hi] clockwise; false on
+    /// null operands.
+    RingBetween(Box<IrExpr>, Box<IrExpr>, Box<IrExpr>),
+    /// `digit(key, i, base)` — radix digit of a key; 0 on null/invalid.
+    Digit(Box<IrExpr>, Box<IrExpr>, Box<IrExpr>),
+    /// `prefix_len(a, b)` — shared hex-digit prefix length; 0 on null.
+    PrefixLen(Box<IrExpr>, Box<IrExpr>),
+    /// `owner_of(key, list)` — clockwise at-or-after owner within a
+    /// neighbor list; null on a null key or empty list.
+    OwnerOf(Box<IrExpr>, u16),
     Not(Box<IrExpr>),
     Neg(Box<IrExpr>),
     Bin(BinOp, Box<IrExpr>, Box<IrExpr>),
@@ -810,6 +823,23 @@ impl<'s> Lowerer<'s> {
             Expr::NeighborRandom(l) => IrExpr::NeighborRandom(self.list(l)?),
             Expr::Rtt(e) => IrExpr::Rtt(Box::new(self.expr(e)?)),
             Expr::Goodput(e) => IrExpr::Goodput(Box::new(self.expr(e)?)),
+            Expr::RingDist(a, b) => {
+                IrExpr::RingDist(Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            Expr::RingBetween(x, lo, hi) => IrExpr::RingBetween(
+                Box::new(self.expr(x)?),
+                Box::new(self.expr(lo)?),
+                Box::new(self.expr(hi)?),
+            ),
+            Expr::Digit(k, i, base) => IrExpr::Digit(
+                Box::new(self.expr(k)?),
+                Box::new(self.expr(i)?),
+                Box::new(self.expr(base)?),
+            ),
+            Expr::PrefixLen(a, b) => {
+                IrExpr::PrefixLen(Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            Expr::OwnerOf(k, l) => IrExpr::OwnerOf(Box::new(self.expr(k)?), self.list(l)?),
             Expr::Not(e) => IrExpr::Not(Box::new(self.expr(e)?)),
             Expr::Neg(e) => IrExpr::Neg(Box::new(self.expr(e)?)),
             Expr::Bin(op, a, b) => {
@@ -837,11 +867,17 @@ fn count_expr_fields(e: &IrExpr, weight: u32, counts: &mut Vec<u32>) {
         IrExpr::NeighborQuery(_, e)
         | IrExpr::Rtt(e)
         | IrExpr::Goodput(e)
+        | IrExpr::OwnerOf(e, _)
         | IrExpr::Not(e)
         | IrExpr::Neg(e) => count_expr_fields(e, weight, counts),
-        IrExpr::Bin(_, a, b) => {
+        IrExpr::Bin(_, a, b) | IrExpr::RingDist(a, b) | IrExpr::PrefixLen(a, b) => {
             count_expr_fields(a, weight, counts);
             count_expr_fields(b, weight, counts);
+        }
+        IrExpr::RingBetween(a, b, c) | IrExpr::Digit(a, b, c) => {
+            count_expr_fields(a, weight, counts);
+            count_expr_fields(b, weight, counts);
+            count_expr_fields(c, weight, counts);
         }
         _ => {}
     }

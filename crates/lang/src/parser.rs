@@ -687,6 +687,50 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(Expr::Goodput(Box::new(e)))
             }
+            "ring_dist" => {
+                self.expect(TokenKind::LParen)?;
+                let a = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::RingDist(Box::new(a), Box::new(b)))
+            }
+            "ring_between" => {
+                self.expect(TokenKind::LParen)?;
+                let x = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let hi = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::RingBetween(Box::new(x), Box::new(lo), Box::new(hi)))
+            }
+            "digit" => {
+                self.expect(TokenKind::LParen)?;
+                let k = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let i = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let base = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Digit(Box::new(k), Box::new(i), Box::new(base)))
+            }
+            "prefix_len" => {
+                self.expect(TokenKind::LParen)?;
+                let a = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::PrefixLen(Box::new(a), Box::new(b)))
+            }
+            "owner_of" => {
+                self.expect(TokenKind::LParen)?;
+                let k = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let l = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::OwnerOf(Box::new(k), l))
+            }
             _ => Ok(Expr::Var(name)),
         }
     }
@@ -893,6 +937,38 @@ mod tests {
         };
         assert!(matches!(&**lhs, Expr::Rtt(_)));
         assert!(matches!(&**rhs, Expr::Goodput(_)));
+    }
+
+    #[test]
+    fn key_builtin_expressions() {
+        let s = parse(
+            "protocol p; addressing hash;
+             neighbor_types { succs 4 { } }
+             state_variables { key target; int x; bool b; node n; }
+             transitions { any API init {
+                 x = ring_dist(my_key, target);
+                 b = ring_between(target, my_key, target);
+                 x = digit(target, 0, 16) + prefix_len(my_key, target);
+                 n = owner_of(target, succs);
+                 target = my_key + 1024;
+             } }",
+        )
+        .unwrap();
+        let body = &s.transitions[0].body;
+        assert!(matches!(&body[0], Stmt::Assign(_, Expr::RingDist(_, _))));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign(_, Expr::RingBetween(_, _, _))
+        ));
+        let Stmt::Assign(_, Expr::Bin(BinOp::Add, lhs, rhs)) = &body[2] else {
+            panic!()
+        };
+        assert!(matches!(&**lhs, Expr::Digit(_, _, _)));
+        assert!(matches!(&**rhs, Expr::PrefixLen(_, _)));
+        assert!(matches!(
+            &body[3],
+            Stmt::Assign(_, Expr::OwnerOf(_, l)) if l == "succs"
+        ));
     }
 
     #[test]

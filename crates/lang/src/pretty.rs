@@ -250,6 +250,13 @@ fn expr(e: &Expr) -> String {
         Expr::NeighborRandom(l) => format!("neighbor_random({l})"),
         Expr::Rtt(e) => format!("rtt({})", expr(e)),
         Expr::Goodput(e) => format!("goodput({})", expr(e)),
+        Expr::RingDist(a, b) => format!("ring_dist({}, {})", expr(a), expr(b)),
+        Expr::RingBetween(x, lo, hi) => {
+            format!("ring_between({}, {}, {})", expr(x), expr(lo), expr(hi))
+        }
+        Expr::Digit(k, i, base) => format!("digit({}, {}, {})", expr(k), expr(i), expr(base)),
+        Expr::PrefixLen(a, b) => format!("prefix_len({}, {})", expr(a), expr(b)),
+        Expr::OwnerOf(k, l) => format!("owner_of({}, {l})", expr(k)),
         Expr::Not(e) => format!("!({})", expr(e)),
         Expr::Neg(e) => format!("-({})", expr(e)),
         Expr::Bin(op, a, b) => {

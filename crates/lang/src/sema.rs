@@ -380,7 +380,10 @@ impl Checker<'_> {
                     )));
                 }
             }
-            Expr::NeighborSize(l) | Expr::NeighborQuery(l, _) | Expr::NeighborRandom(l)
+            Expr::NeighborSize(l)
+            | Expr::NeighborQuery(l, _)
+            | Expr::NeighborRandom(l)
+            | Expr::OwnerOf(_, l)
                 if !self.lists.contains(l) =>
             {
                 return Err(err(format!(
@@ -400,6 +403,17 @@ mod tests {
 
     fn check(src: &str) -> Result<(), ParseError> {
         analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn owner_of_unknown_list_rejected() {
+        let e = check(
+            "protocol p; addressing ip;
+             state_variables { node n; }
+             transitions { any API init { n = owner_of(my_key, ghosts); } }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown neighbor list 'ghosts'"));
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub mod prelude {
         SplitStream, SplitStreamConfig,
     };
     pub use macedon_scenario::{
-        MetricsReport, Scenario, ScenarioBuilder, ScenarioError, ScenarioOutcome, ScenarioRunner,
-        StreamShape,
+        AgentView, ChordOracle, ConvergenceOracle, MetricsReport, OracleCheckReport,
+        PastryRouteOracle, Scenario, ScenarioBuilder, ScenarioError, ScenarioOutcome,
+        ScenarioRunner, ScribeTreeOracle, Snapshot, StreamShape, Violation,
     };
 }

@@ -16,7 +16,12 @@
 //!   mutation) and installs the workload applications;
 //! * [`report`] — the engine-measured [`MetricsReport`]: per-node
 //!   delivery latency and goodput, control-message overhead per
-//!   transport channel, and post-perturbation convergence times.
+//!   transport channel, and post-perturbation convergence times;
+//! * [`oracle`] — convergence oracles: global structural invariants
+//!   (Chord ring correctness, Pastry route optimality, Scribe tree
+//!   shape) evaluated on engine snapshots at scripted
+//!   `assert converged <oracle>` checkpoints, gating runs on overlay
+//!   correctness rather than delivery counts alone.
 //!
 //! ```no_run
 //! use macedon_scenario::{script, ScenarioRunner};
@@ -40,11 +45,18 @@
 //! ```
 
 pub mod model;
+pub mod oracle;
 pub mod report;
 pub mod runner;
 pub mod script;
 
 pub use model::{Event, Scenario, ScenarioBuilder, ScenarioError, Span, StreamShape, TimedEvent};
-pub use report::{ChannelReport, MetricsReport, NodeMetrics, PerturbationReport};
+pub use oracle::{
+    AgentView, ChordOracle, ConvergenceOracle, NodeSnapshot, PastryRouteOracle, ScribeTreeOracle,
+    Snapshot, StateProbe, Violation,
+};
+pub use report::{
+    ChannelReport, MetricsReport, NodeMetrics, OracleCheckReport, PerturbationReport,
+};
 pub use runner::{ScenarioOutcome, ScenarioRunner, StackFactory};
 pub use script::parse;

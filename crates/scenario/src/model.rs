@@ -93,6 +93,11 @@ pub enum Event {
         duration: Duration,
         shape: StreamShape,
     },
+    /// Checkpoint: evaluate the named convergence oracle against an
+    /// engine snapshot. `converged` asserts no violations; `!converged`
+    /// asserts at least one (the perturbation-instant check of a
+    /// fail-then-recover experiment).
+    Assert { oracle: String, converged: bool },
 }
 
 impl Event {
@@ -121,13 +126,21 @@ impl Event {
             Event::Restore { nodes } => format!("restore {nodes:?}"),
             Event::Drop { probability } => format!("drop p={probability}"),
             Event::Stream { node, rate_bps, .. } => format!("stream n{node} @{rate_bps}bps"),
+            Event::Assert { oracle, converged } => format!(
+                "assert {} {oracle}",
+                if *converged { "converged" } else { "diverged" }
+            ),
         }
     }
 
     /// Is this a perturbation the metrics report tracks convergence
-    /// for? (Joins and streams are workload, not perturbation.)
+    /// for? (Joins and streams are workload, asserts are observations —
+    /// neither perturbs the overlay.)
     pub fn is_perturbation(&self) -> bool {
-        !matches!(self, Event::Join { .. } | Event::Stream { .. })
+        !matches!(
+            self,
+            Event::Join { .. } | Event::Stream { .. } | Event::Assert { .. }
+        )
     }
 }
 
@@ -344,6 +357,11 @@ impl Scenario {
                     check_extent(*duration, "stream")?;
                     streams.push((*node, te.at, te.at + *duration));
                 }
+                Event::Assert { oracle, .. } => {
+                    if oracle.is_empty() {
+                        return err("assert names no oracle".into());
+                    }
+                }
             }
         }
         Ok(())
@@ -476,6 +494,29 @@ impl ScenarioBuilder {
                 packet_bytes,
                 duration,
                 shape,
+            },
+        )
+    }
+
+    /// Checkpoint: assert the named oracle reports zero violations.
+    pub fn assert_converged(self, at: Time, oracle: impl Into<String>) -> Self {
+        self.event(
+            at,
+            Event::Assert {
+                oracle: oracle.into(),
+                converged: true,
+            },
+        )
+    }
+
+    /// Checkpoint: assert the named oracle reports at least one
+    /// violation (the overlay is demonstrably *not* converged here).
+    pub fn assert_diverged(self, at: Time, oracle: impl Into<String>) -> Self {
+        self.event(
+            at,
+            Event::Assert {
+                oracle: oracle.into(),
+                converged: false,
             },
         )
     }

@@ -53,6 +53,22 @@ pub struct ChannelReport {
     pub bytes: u64,
 }
 
+/// One scripted `assert converged|diverged <oracle>` checkpoint with
+/// its outcome.
+#[derive(Clone, Debug)]
+pub struct OracleCheckReport {
+    pub at: Time,
+    pub oracle: String,
+    /// What the script asserted.
+    pub expect_converged: bool,
+    /// What the oracle observed (zero violations).
+    pub converged: bool,
+    /// Rendered [`crate::oracle::Violation`]s — the offending snapshot
+    /// rows, so a CI failure is debuggable from the log alone.
+    pub violations: Vec<String>,
+    pub passed: bool,
+}
+
 /// The complete engine-measured report of a scenario run.
 #[derive(Clone, Debug)]
 pub struct MetricsReport {
@@ -68,6 +84,8 @@ pub struct MetricsReport {
     pub nodes: Vec<NodeMetrics>,
     pub perturbations: Vec<PerturbationReport>,
     pub channels: Vec<ChannelReport>,
+    /// Oracle checkpoints, in script order.
+    pub oracle_checks: Vec<OracleCheckReport>,
 }
 
 impl MetricsReport {
@@ -84,6 +102,23 @@ impl MetricsReport {
         } else {
             xs.iter().sum::<u64>() / xs.len() as u64
         }
+    }
+
+    /// Did every scripted oracle checkpoint come out as asserted? A run
+    /// with no checkpoints trivially passes.
+    pub fn asserts_passed(&self) -> bool {
+        self.oracle_checks.iter().all(|c| c.passed)
+    }
+
+    /// Time-to-first-convergence: the earliest checkpoint at which the
+    /// named oracle observed zero violations. `None` when it never
+    /// converged (or was never checked).
+    pub fn first_convergence(&self, oracle: &str) -> Option<Time> {
+        self.oracle_checks
+            .iter()
+            .filter(|c| c.oracle == oracle && c.converged)
+            .map(|c| c.at)
+            .min()
     }
 
     /// Render as an aligned text table (the `examples/churn.rs`
@@ -143,6 +178,56 @@ impl MetricsReport {
                     conv,
                     p.deliveries_during,
                 );
+            }
+        }
+        if !self.oracle_checks.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:>8} {:<10} {:>10} {:>10} {:>8}",
+                "t", "oracle", "asserted", "observed", "result"
+            );
+            let word = |converged: bool| if converged { "converged" } else { "diverged" };
+            for c in &self.oracle_checks {
+                let _ = writeln!(
+                    out,
+                    "{:>7.1}s {:<10} {:>10} {:>10} {:>8}",
+                    c.at.as_secs_f64(),
+                    c.oracle,
+                    word(c.expect_converged),
+                    word(c.converged),
+                    if c.passed { "ok" } else { "FAIL" },
+                );
+                if !c.passed {
+                    const SHOWN: usize = 5;
+                    for v in c.violations.iter().take(SHOWN) {
+                        let _ = writeln!(out, "         ! {v}");
+                    }
+                    if c.violations.len() > SHOWN {
+                        let _ =
+                            writeln!(out, "         ! … and {} more", c.violations.len() - SHOWN);
+                    }
+                }
+            }
+            let mut seen: Vec<&str> = Vec::new();
+            for c in &self.oracle_checks {
+                if !seen.contains(&c.oracle.as_str()) {
+                    seen.push(&c.oracle);
+                }
+            }
+            for oracle in seen {
+                match self.first_convergence(oracle) {
+                    Some(t) => {
+                        let _ = writeln!(
+                            out,
+                            "first convergence of '{oracle}' at {:.1}s",
+                            t.as_secs_f64()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "'{oracle}' never observed converged");
+                    }
+                }
             }
         }
         let _ = writeln!(out);

@@ -12,7 +12,10 @@
 //! delivery log the metrics derive from.
 
 use crate::model::{Event, Scenario, ScenarioError, Span, StreamShape};
-use crate::report::{ChannelReport, MetricsReport, NodeMetrics, PerturbationReport};
+use crate::oracle::{ConvergenceOracle, NodeSnapshot, Snapshot, StateProbe};
+use crate::report::{
+    ChannelReport, MetricsReport, NodeMetrics, OracleCheckReport, PerturbationReport,
+};
 use macedon_core::app::{
     shared_deliveries, CollectorApp, SharedDeliveries, StreamKind, StreamerApp,
 };
@@ -64,6 +67,10 @@ enum Action {
     Drop {
         probability: f64,
     },
+    OracleCheck {
+        oracle: String,
+        expect_converged: bool,
+    },
 }
 
 struct StreamPlan {
@@ -84,6 +91,11 @@ pub struct ScenarioRunner<'a> {
     /// Original `(delay, bandwidth)` of degraded physical links, keyed
     /// by phys id — what `restore` puts back.
     originals: FxHashMap<u32, (Duration, u64)>,
+    /// Convergence oracles by registration order; `assert` checkpoints
+    /// resolve them by [`ConvergenceOracle::name`].
+    oracles: Vec<Box<dyn ConvergenceOracle + 'a>>,
+    /// How to read protocol state out of a stack for the oracles.
+    probe: Option<StateProbe<'a>>,
 }
 
 impl<'a> ScenarioRunner<'a> {
@@ -116,12 +128,51 @@ impl<'a> ScenarioRunner<'a> {
             factory,
             group,
             originals: FxHashMap::default(),
+            oracles: Vec::new(),
+            probe: None,
         })
     }
 
     /// The multicast group scripted streams publish to.
     pub fn group(&self) -> MacedonKey {
         self.group
+    }
+
+    /// Register a convergence oracle for `assert` checkpoints.
+    pub fn register_oracle(&mut self, oracle: Box<dyn ConvergenceOracle + 'a>) {
+        self.oracles.push(oracle);
+    }
+
+    /// Install the state probe the oracles' snapshots are built with.
+    pub fn set_probe(&mut self, probe: StateProbe<'a>) {
+        self.probe = Some(probe);
+    }
+
+    /// Freeze the oracle-visible world state at `at`.
+    fn snapshot(&self, at: Time) -> Snapshot {
+        let addressing = self.world.config().addressing;
+        let nodes = (0..self.scenario.nodes)
+            .map(|index| {
+                let host = self.hosts[index];
+                let alive = self.world.is_alive(host);
+                let layers = match (alive, self.world.stack(host), &self.probe) {
+                    (true, Some(stack), Some(probe)) => probe(stack),
+                    _ => Vec::new(),
+                };
+                NodeSnapshot {
+                    index,
+                    node: host,
+                    key: self.world.key_of(host),
+                    alive,
+                    layers,
+                }
+            })
+            .collect();
+        Snapshot {
+            at,
+            addressing,
+            nodes,
+        }
     }
 
     /// Expand the scenario into `(time, Action)` pairs, stable-sorted.
@@ -181,6 +232,14 @@ impl<'a> ScenarioRunner<'a> {
                     &mut seq,
                 ),
                 Event::Stream { .. } => {} // installed at spawn time
+                Event::Assert { oracle, converged } => push(
+                    te.at,
+                    Action::OracleCheck {
+                        oracle: oracle.clone(),
+                        expect_converged: *converged,
+                    },
+                    &mut seq,
+                ),
             }
         }
         let mut out: Vec<(Time, u64, Action)> = out;
@@ -247,6 +306,7 @@ impl<'a> ScenarioRunner<'a> {
             .map(|te| (te.at, te.event.label()))
             .collect();
         let mut next_perturbation = 0usize;
+        let mut checks: Vec<OracleCheckReport> = Vec::new();
 
         for (at, action) in actions {
             self.world.run_until(at);
@@ -266,7 +326,15 @@ impl<'a> ScenarioRunner<'a> {
                 open_perturbation = Some(perturbations.len() - 1);
                 next_perturbation += 1;
             }
-            self.apply(at, action, &sink, &plans, multicast_anywhere, group);
+            if let Action::OracleCheck {
+                oracle,
+                expect_converged,
+            } = action
+            {
+                checks.push(self.oracle_check(at, oracle, expect_converged));
+            } else {
+                self.apply(at, action, &sink, &plans, multicast_anywhere, group);
+            }
         }
         self.world.run_until(self.scenario.end);
         close_open(&self.world, &mut perturbations, &mut open_perturbation);
@@ -285,12 +353,41 @@ impl<'a> ScenarioRunner<'a> {
             }
         }
 
-        let report = self.build_report(&sink, &plans, perturbations);
+        let report = self.build_report(&sink, &plans, perturbations, checks);
         ScenarioOutcome {
             world: self.world,
             hosts: self.hosts,
             deliveries: sink,
             report,
+        }
+    }
+
+    /// Evaluate one `assert` checkpoint against a fresh snapshot. An
+    /// unregistered oracle name is a failed check, never a silent pass.
+    fn oracle_check(&self, at: Time, oracle: String, expect_converged: bool) -> OracleCheckReport {
+        let Some(o) = self.oracles.iter().find(|o| o.name() == oracle) else {
+            return OracleCheckReport {
+                at,
+                oracle: oracle.clone(),
+                expect_converged,
+                converged: false,
+                violations: vec![format!("no oracle registered under the name '{oracle}'")],
+                passed: false,
+            };
+        };
+        let violations: Vec<String> = o
+            .check(&self.snapshot(at))
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let converged = violations.is_empty();
+        OracleCheckReport {
+            at,
+            oracle,
+            expect_converged,
+            converged,
+            violations,
+            passed: converged == expect_converged,
         }
     }
 
@@ -378,6 +475,7 @@ impl<'a> ScenarioRunner<'a> {
                 .net_mut()
                 .faults_mut()
                 .set_drop_probability(probability),
+            Action::OracleCheck { .. } => unreachable!("handled in run()"),
         }
     }
 
@@ -386,6 +484,7 @@ impl<'a> ScenarioRunner<'a> {
         sink: &SharedDeliveries,
         plans: &FxHashMap<usize, StreamPlan>,
         perturbations: Vec<PerturbationReport>,
+        oracle_checks: Vec<OracleCheckReport>,
     ) -> MetricsReport {
         let log = sink.lock();
         // Stream source keys → plan, for latency reconstruction.
@@ -509,6 +608,7 @@ impl<'a> ScenarioRunner<'a> {
             nodes,
             perturbations,
             channels,
+            oracle_checks,
         }
     }
 }

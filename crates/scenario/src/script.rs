@@ -313,7 +313,7 @@ pub fn parse(source: &str) -> Result<Scenario, ScenarioError> {
                 };
                 let at = Time::ZERO + parse_duration(&c, &tok)?;
                 let verb = c.expect(
-                    "an event (join/crash/rejoin/partition/heal/degrade/restore/drop/stream)",
+                    "an event (join/crash/rejoin/partition/heal/degrade/restore/drop/stream/assert)",
                 )?;
                 let (verb_text, verb_col) = (verb.text, verb.col);
                 let verb_span = Span {
@@ -449,6 +449,22 @@ pub fn parse(source: &str) -> Result<Scenario, ScenarioError> {
                             shape,
                         }
                     }
+                    "assert" => {
+                        let t = c.expect("'converged' or 'diverged'")?;
+                        let (text, col) = (t.text, t.col);
+                        let converged = match text {
+                            "converged" => true,
+                            "diverged" => false,
+                            other => {
+                                return Err(ScenarioError::at(
+                                    Span { line: c.line, col },
+                                    format!("expected 'converged' or 'diverged', got '{other}'"),
+                                ))
+                            }
+                        };
+                        let oracle = c.expect("an oracle name")?.text.to_string();
+                        Event::Assert { oracle, converged }
+                    }
                     other => {
                         return Err(ScenarioError::at(
                             verb_span,
@@ -581,6 +597,31 @@ at 90s   drop 0.01
     fn trailing_garbage_rejected() {
         let e = parse("nodes 4\nend 10s\nat 0s join 0..4 frobnicate\n").unwrap_err();
         assert!(e.msg.contains("bad node index"), "{e}");
+    }
+
+    #[test]
+    fn assert_checkpoints_parse() {
+        let s = parse(
+            "nodes 4\nend 30s\nat 0s join 0..4\nat 10s assert diverged chord\nat 25s assert converged chord\n",
+        )
+        .unwrap();
+        assert_eq!(s.events.len(), 3);
+        let Event::Assert { oracle, converged } = &s.events[1].event else {
+            panic!("{:?}", s.events[1].event);
+        };
+        assert_eq!(oracle, "chord");
+        assert!(!converged);
+        assert!(matches!(
+            &s.events[2].event,
+            Event::Assert {
+                converged: true,
+                ..
+            }
+        ));
+
+        let e =
+            parse("nodes 4\nend 30s\nat 0s join 0..4\nat 10s assert sideways chord\n").unwrap_err();
+        assert!(e.msg.contains("'converged' or 'diverged'"), "{e}");
     }
 
     #[test]

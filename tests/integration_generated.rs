@@ -99,6 +99,39 @@ fn drive_multicast(w: &mut World, hosts: &[NodeId], group: MacedonKey, n_pkts: u
     w.run_until(Time::from_secs(120));
 }
 
+/// Issue `n_pkts` key-routed packets from rotating origins after a
+/// join+settle phase — the driver for route-serving overlays (chord,
+/// pastry), which `drive_multicast` cannot exercise.
+fn drive_routes(w: &mut World, hosts: &[NodeId], n_pkts: u64) {
+    w.run_until(Time::from_secs(60));
+    for i in 0..n_pkts {
+        let mut p = vec![0u8; 64];
+        p[..8].copy_from_slice(&i.to_be_bytes());
+        w.api_at(
+            Time::from_secs(60) + Duration::from_millis(i * 250),
+            hosts[i as usize % hosts.len()],
+            DownCall::Route {
+                dest: MacedonKey((i as u32).wrapping_mul(0x85EB_CA6B)),
+                payload: Bytes::from(p),
+                priority: -1,
+            },
+        );
+    }
+    w.run_until(Time::from_secs(100));
+}
+
+/// Route-driven analogue of [`run_twins`].
+fn run_route_twins(proto: &str, n: usize, seed: u64, n_pkts: u64) -> ((World, Log), (World, Log)) {
+    let (mut iw, ihosts, isink) = world_of(&Kind::Interpreted, proto, n, seed);
+    drive_routes(&mut iw, &ihosts, n_pkts);
+    let ilog = log_of(&isink);
+    let (mut gw, ghosts, gsink) = world_of(&Kind::Generated, proto, n, seed);
+    assert_eq!(ihosts, ghosts);
+    drive_routes(&mut gw, &ghosts, n_pkts);
+    let glog = log_of(&gsink);
+    ((iw, ilog), (gw, glog))
+}
+
 /// Run both twins of `proto` under the same schedule and return their
 /// logs plus the finished worlds for state inspection.
 fn run_twins(proto: &str, n: usize, seed: u64, join: bool) -> ((World, Log), (World, Log)) {
@@ -143,8 +176,12 @@ fn assert_layer0_state_eq(iw: &World, gw: &World, hosts: &[NodeId], lists: &[&st
                 }
             };
         }
-        let (gstate, glists): (&str, Vec<Vec<NodeId>>) =
-            introspect!(gen::overcast::Overcast, gen::randtree::Randtree);
+        let (gstate, glists): (&str, Vec<Vec<NodeId>>) = introspect!(
+            gen::overcast::Overcast,
+            gen::randtree::Randtree,
+            gen::chord::Chord,
+            gen::pastry::Pastry
+        );
         assert_eq!(ia.state(), gstate, "FSM state diverged on {h:?}");
         for (l, gl) in lists.iter().zip(glists) {
             assert_eq!(
@@ -172,6 +209,33 @@ fn generated_randtree_matches_interpreted_exactly() {
     assert_eq!(ilog, glog, "delivery logs diverged (randtree)");
     let hosts: Vec<NodeId> = star_topo(10).hosts().to_vec();
     assert_layer0_state_eq(&iw, &gw, &hosts, &["papa", "kids"]);
+}
+
+#[test]
+fn generated_chord_matches_interpreted_exactly() {
+    // Paper-faithful Chord serves `route`, not `multicast`: key-routed
+    // packets from rotating origins, then exact ring-state equality —
+    // successor lists, predecessor, and every finger.
+    let ((iw, ilog), (gw, glog)) = run_route_twins("chord", 12, 16, 8);
+    assert!(
+        !ilog.is_empty(),
+        "interpreted chord delivered routed packets"
+    );
+    assert_eq!(ilog, glog, "delivery logs diverged (chord)");
+    let hosts: Vec<NodeId> = star_topo(12).hosts().to_vec();
+    assert_layer0_state_eq(&iw, &gw, &hosts, &["succs", "pred", "fingers"]);
+}
+
+#[test]
+fn generated_pastry_matches_interpreted_exactly() {
+    let ((iw, ilog), (gw, glog)) = run_route_twins("pastry", 12, 17, 8);
+    assert!(
+        !ilog.is_empty(),
+        "interpreted pastry delivered routed packets"
+    );
+    assert_eq!(ilog, glog, "delivery logs diverged (pastry)");
+    let hosts: Vec<NodeId> = star_topo(12).hosts().to_vec();
+    assert_layer0_state_eq(&iw, &gw, &hosts, &["leaves", "rows", "near"]);
 }
 
 #[test]

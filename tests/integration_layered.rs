@@ -11,6 +11,7 @@ use macedon::overlays::pastry::{Pastry, PastryConfig};
 use macedon::overlays::scribe::{Scribe, ScribeConfig};
 use macedon::overlays::splitstream::{SplitStream, SplitStreamConfig};
 use macedon::prelude::*;
+use macedon_generated as gen;
 use std::collections::HashSet;
 
 fn star_topo(n: usize) -> macedon::net::Topology {
@@ -389,6 +390,94 @@ fn golden_scribe_stack_seeded_run() {
 #[test]
 fn golden_splitstream_stack_seeded_run() {
     golden_layered("splitstream", 34);
+}
+
+#[test]
+fn route_transition_honors_declared_transport_class() {
+    // chord.mac declares its `route_data` message DATA (UDP): payloads
+    // served by the spec's own `route` transition must ride the
+    // unreliable data channel, never the reliable TCP CTRL channel.
+    // `Endpoint::channel_stats` aggregates reliable-connection counters
+    // only, so the check is sharp: two identically seeded runs — one
+    // issuing routes, one idle — must show *identical* per-node CTRL
+    // stats, while the routed run demonstrably delivers. A back end
+    // that misrouted `route_data` onto CTRL would inflate messages and
+    // bytes there immediately. Asserted for both translator back ends.
+    for backend in ["interpreted", "generated"] {
+        let run = |routes: bool| {
+            let topo = star_topo(10);
+            let hosts = topo.hosts().to_vec();
+            let mut cfg = WorldConfig {
+                seed: 27,
+                ..Default::default()
+            };
+            cfg.channels = match backend {
+                "interpreted" => SpecRegistry::bundled().channel_table_for("chord").unwrap(),
+                _ => gen::channel_table("chord").unwrap(),
+            };
+            let ctrl =
+                ChannelId(cfg.channels.iter().position(|c| c.name == "CTRL").unwrap() as u16);
+            let mut w = World::new(topo, cfg);
+            let sink = shared_deliveries();
+            for (i, &h) in hosts.iter().enumerate() {
+                let bootstrap = (i > 0).then(|| hosts[0]);
+                let stack = match backend {
+                    "interpreted" => SpecRegistry::bundled()
+                        .build_stack("chord", bootstrap)
+                        .unwrap(),
+                    _ => gen::build_stack("chord", bootstrap).unwrap(),
+                };
+                w.spawn_at(
+                    Time::from_millis(i as u64 * 100),
+                    h,
+                    stack,
+                    Box::new(CollectorApp::new(sink.clone())),
+                );
+            }
+            w.run_until(Time::from_secs(60));
+            if routes {
+                for i in 0..6u64 {
+                    let mut p = vec![0u8; 64];
+                    p[..8].copy_from_slice(&i.to_be_bytes());
+                    w.api_at(
+                        Time::from_secs(60) + Duration::from_millis(i * 250),
+                        hosts[i as usize % hosts.len()],
+                        DownCall::Route {
+                            dest: MacedonKey((i as u32).wrapping_mul(0x85EB_CA6B)),
+                            payload: Bytes::from(p),
+                            priority: -1,
+                        },
+                    );
+                }
+            }
+            w.run_until(Time::from_secs(90));
+            let ctrl_stats: Vec<(u64, u64)> = hosts
+                .iter()
+                .map(|&h| {
+                    let st = w.endpoint(h).unwrap().channel_stats(ctrl);
+                    (st.messages_delivered, st.bytes_sent)
+                })
+                .collect();
+            let delivered = sink.lock().len();
+            (ctrl_stats, delivered)
+        };
+        let (idle_ctrl, idle_deliveries) = run(false);
+        let (routed_ctrl, routed_deliveries) = run(true);
+        assert_eq!(idle_deliveries, 0, "{backend}: idle run must not deliver");
+        assert!(
+            routed_deliveries > 0,
+            "{backend}: routed packets must reach their key owners"
+        );
+        assert!(
+            idle_ctrl.iter().any(|&(m, b)| m > 0 && b > 0),
+            "{backend}: ring maintenance rides CTRL"
+        );
+        assert_eq!(
+            idle_ctrl, routed_ctrl,
+            "{backend}: route traffic leaked onto the reliable CTRL \
+             channel — route_data is declared DATA (UDP)"
+        );
+    }
 }
 
 #[test]
