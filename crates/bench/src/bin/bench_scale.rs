@@ -1,0 +1,132 @@
+//! Scheduler scaling curve + event-efficiency gate.
+//!
+//! Two measurements, written together to `BENCH_scale.json`:
+//!
+//! 1. **Efficiency** — the seeded 200-node splitstream churn run
+//!    (the same run `bench_scenario` times), reported as *scheduler
+//!    events fired per delivered application packet*. The growth seed
+//!    measured 32.33 events/delivered on this exact run (752044 events,
+//!    23260 deliveries); the event-machinery rework (fused one-event
+//!    packet transit, timer wheel, adaptive delayed acks) must hold at
+//!    least a 3x reduction, i.e. <= 10.78. The run aborts if it slips.
+//!
+//! 2. **Scaling curve** — one seeded run of the `bench-scale` scenario
+//!    (staggered full-population join, random-route stream, crash wave)
+//!    at 1k/10k/100k nodes, reporting events fired, events/sec, and
+//!    wall time. The stream is `route`-shaped so deliveries stay O(1)
+//!    in node count and the curve isolates scheduler cost. The 10k run
+//!    must finish under a generous wall-time ceiling (60 s) — a
+//!    regression tripwire, not a tight bound.
+//!
+//! All runs are seeded and deterministic; wall time for the efficiency
+//! run is the minimum of three executions.
+//!
+//! Usage: `cargo run --release -p macedon-bench --bin bench_scale`
+//! (`--sizes 1000,10000,100000` overrides the curve, `--out PATH` the
+//! output file).
+
+use macedon_bench::experiments::{scenario_churn_run, scenario_scale_run};
+use std::time::Instant;
+
+/// Seed-measured efficiency on the 200-node churn run, fixed at the
+/// growth seed (752044 events / 23260 deliveries).
+const BASELINE_EVENTS_PER_DELIVERED: f64 = 32.33;
+/// Required improvement over the seed.
+const REQUIRED_REDUCTION: f64 = 3.0;
+/// Generous ceiling for the 10k-node curve point, seconds.
+const CEILING_10K_SECS: f64 = 60.0;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let sizes: Vec<usize> = arg_value("--sizes")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--sizes takes n,n,n"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1_000, 10_000, 100_000]);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    // -- efficiency: events per delivered packet on the churn run -----------
+    let mut wall_ms = f64::INFINITY;
+    let mut stats = scenario_churn_run(200);
+    for _ in 0..2 {
+        let start = Instant::now();
+        stats = scenario_churn_run(200);
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let epd = stats.events_per_delivered();
+    let reduction = BASELINE_EVENTS_PER_DELIVERED / epd;
+    let b = &stats.breakdown;
+    println!(
+        "efficiency: 200-node churn, {} events / {} delivered = {epd:.2} events/delivered \
+         ({reduction:.2}x vs seed {BASELINE_EVENTS_PER_DELIVERED})",
+        stats.events, stats.delivered
+    );
+    println!(
+        "  breakdown: net {} | conn timers {} | agent timers {} | fd ticks {} | control {}",
+        b.net, b.conn_timer, b.agent_timer, b.fd_tick, b.control
+    );
+    assert!(stats.delivered > 0, "churn run must deliver real traffic");
+    assert!(
+        reduction >= REQUIRED_REDUCTION,
+        "events/delivered regressed: {epd:.2} needs >= {REQUIRED_REDUCTION}x \
+         under the seed's {BASELINE_EVENTS_PER_DELIVERED}"
+    );
+
+    // -- scaling curve: events/sec at each population -----------------------
+    let mut curve = Vec::new();
+    for &n in &sizes {
+        let start = Instant::now();
+        let s = scenario_scale_run(n);
+        let secs = start.elapsed().as_secs_f64();
+        let eps = s.events as f64 / secs;
+        println!(
+            "scale: {n} nodes, {} events, {} delivered, {} alive, \
+             {secs:.2} s wall, {eps:.0} events/sec",
+            s.events, s.delivered, s.alive
+        );
+        assert!(s.delivered > 0, "{n}-node scale run must deliver traffic");
+        if n == 10_000 {
+            assert!(
+                secs < CEILING_10K_SECS,
+                "10k-node run took {secs:.1} s, ceiling is {CEILING_10K_SECS} s"
+            );
+        }
+        curve.push(format!(
+            "    {{ \"nodes\": {n}, \"events\": {}, \"delivered\": {}, \"alive\": {}, \
+             \"wall_secs\": {secs:.2}, \"events_per_sec\": {eps:.0} }}",
+            s.events, s.delivered, s.alive
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"efficiency\": {{\n    \"nodes\": 200, \
+         \"events\": {}, \"delivered\": {}, \"events_per_delivered\": {epd:.2},\n    \
+         \"baseline_events_per_delivered\": {BASELINE_EVENTS_PER_DELIVERED}, \
+         \"reduction\": {reduction:.2}, \"wall_ms\": {wall_ms:.0},\n    \
+         \"breakdown\": {{ \"net\": {}, \"conn_timer\": {}, \"agent_timer\": {}, \
+         \"fd_tick\": {}, \"control\": {} }}\n  }},\n  \"curve\": [\n{}\n  ]\n}}\n",
+        stats.events,
+        stats.delivered,
+        b.net,
+        b.conn_timer,
+        b.agent_timer,
+        b.fd_tick,
+        b.control,
+        curve.join(",\n"),
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(wrote {out})"),
+        Err(e) => eprintln!("{out}: {e}"),
+    }
+}

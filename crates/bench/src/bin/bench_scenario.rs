@@ -51,15 +51,18 @@ fn main() {
     let mut churn_ms = f64::INFINITY;
     let mut delivered = 0;
     let mut alive = 0;
+    let mut events = 0u64;
     for _ in 0..3 {
         let start = Instant::now();
-        let (d, a) = scenario_churn_run(nodes);
+        let stats = scenario_churn_run(nodes);
         churn_ms = churn_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        (delivered, alive) = (d, a);
+        (delivered, alive, events) = (stats.delivered, stats.alive, stats.events);
     }
+    let us_per_event = churn_ms * 1e3 / events as f64;
     println!(
         "churn: {nodes}-node from-spec splitstream under churn+partition, \
-         {delivered} deliveries, {alive} alive, {churn_ms:.0} ms wall (min of 3)"
+         {delivered} deliveries, {alive} alive, {events} events, \
+         {churn_ms:.0} ms wall (min of 3, {us_per_event:.2} us/event)"
     );
     assert!(delivered > 0, "churn run must deliver real traffic");
     assert!(alive > nodes / 2, "most nodes must survive the scenario");
@@ -68,7 +71,8 @@ fn main() {
         "{{\n  \"bench\": \"scenario\",\n  \"compile\": {{ \"script_nodes\": {nodes}, \
          \"us_per_parse\": {compile_us:.1} }},\n  \"churn\": {{ \"nodes\": {nodes}, \
          \"sim_seconds\": 80, \"deliveries\": {delivered}, \"alive\": {alive}, \
-         \"wall_ms\": {churn_ms:.0} }}\n}}\n"
+         \"events\": {events}, \"wall_ms\": {churn_ms:.0}, \
+         \"us_per_event\": {us_per_event:.2} }}\n}}\n"
     );
     match std::fs::write(&out, &json) {
         Ok(()) => println!("(wrote {out})"),

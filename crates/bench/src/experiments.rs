@@ -653,17 +653,89 @@ pub fn scenario_churn_script(nodes: usize) -> String {
     )
 }
 
+/// Engine-level counters from one scenario run: what the run delivered
+/// and what the scheduler had to do to deliver it, so benchmarks can
+/// report per-event and per-packet cost rather than wall time alone.
+pub struct ChurnRunStats {
+    /// Application-level deliveries observed across all nodes.
+    pub delivered: usize,
+    /// Nodes alive at scenario end.
+    pub alive: usize,
+    /// Total scheduler events fired over the run (packet motion and
+    /// timers combined).
+    pub events: u64,
+    /// The same total broken down by event class.
+    pub breakdown: macedon_core::EventClassCounts,
+}
+
+impl ChurnRunStats {
+    /// Scheduler events fired per delivered application packet — the
+    /// headline efficiency number of the event-machinery rework.
+    pub fn events_per_delivered(&self) -> f64 {
+        if self.delivered == 0 {
+            f64::INFINITY
+        } else {
+            self.events as f64 / self.delivered as f64
+        }
+    }
+}
+
 /// One seeded churn-scenario run over the from-spec splitstream stack.
-/// Returns (deliveries, alive nodes at end) so callers can sanity-check
-/// real work happened; wall-clock is the caller's to measure.
-pub fn scenario_churn_run(nodes: usize) -> (usize, usize) {
-    let registry = macedon_lang::SpecRegistry::bundled();
-    let scenario =
-        macedon_scenario::script::parse(&scenario_churn_script(nodes)).expect("script parses");
-    let topo = canned::star(
+/// Returns delivered/alive/events-fired so callers can sanity-check
+/// real work happened and report per-event cost; wall-clock is the
+/// caller's to measure.
+pub fn scenario_churn_run(nodes: usize) -> ChurnRunStats {
+    run_scenario_script(&scenario_churn_script(nodes), nodes)
+}
+
+/// The `bench_scale` scenario: staggered joins of every node, a
+/// fixed-total-rate *random-route* stream, and a small crash wave with
+/// rejoin. Unlike [`scenario_churn_script`]'s multicast stream — whose
+/// delivery count multiplies with the receiver population — the route
+/// stream keeps application deliveries O(1) in `nodes`, so the
+/// 1k/10k/100k curve isolates what actually grows with scale: the
+/// scheduler's pending set (per-node failure-detector and protocol
+/// timers) and the join/maintenance traffic.
+pub fn scenario_scale_script(nodes: usize) -> String {
+    format!(
+        "scenario bench-scale\nnodes {nodes}\nend 40s\n\
+         at 0s join 0..{first} over 2s\n\
+         at 4s join {first}..{nodes} over 10s\n\
+         at 20s stream 0 rate 200kbps size 1000 for 15s route\n\
+         at 25s crash {c1} {c2}\n\
+         at 30s rejoin {c1}\n",
+        first = nodes / 4,
+        c1 = nodes / 3,
+        c2 = nodes / 2,
+    )
+}
+
+/// One seeded scale-scenario run (see [`scenario_scale_script`]).
+///
+/// Unlike the churn run, the links are fat (100 Mbps, 1 MiB queues):
+/// at 10k+ nodes the star hub would otherwise collapse under the join
+/// storm and the overlay would never converge. The curve is meant to
+/// measure the *scheduler* under population growth, not hub congestion.
+pub fn scenario_scale_run(nodes: usize) -> ChurnRunStats {
+    run_scenario_script_on(
+        &scenario_scale_script(nodes),
+        nodes,
+        LinkSpec::new(Duration::from_millis(2), 100_000_000, 1024 * 1024),
+    )
+}
+
+fn run_scenario_script(script: &str, nodes: usize) -> ChurnRunStats {
+    run_scenario_script_on(
+        script,
         nodes,
         LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
-    );
+    )
+}
+
+fn run_scenario_script_on(script: &str, nodes: usize, link: LinkSpec) -> ChurnRunStats {
+    let registry = macedon_lang::SpecRegistry::bundled();
+    let scenario = macedon_scenario::script::parse(script).expect("script parses");
+    let topo = canned::star(nodes, link);
     let cfg = WorldConfig {
         seed: 77,
         channels: registry
@@ -685,10 +757,12 @@ pub fn scenario_churn_run(nodes: usize) -> (usize, usize) {
     )
     .expect("scenario binds");
     let outcome = runner.run();
-    (
-        outcome.report.total_delivered as usize,
-        outcome.report.alive,
-    )
+    ChurnRunStats {
+        delivered: outcome.report.total_delivered as usize,
+        alive: outcome.report.alive,
+        events: outcome.world.sched.events_fired(),
+        breakdown: outcome.world.event_counts(),
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -45,7 +45,7 @@ pub use report::RunReport;
 pub use stack::{Stack, StackEffect};
 pub use trace::{TraceLevel, TraceSink};
 pub use wire::{DecodeError, WireReader, WireRef, WireWriter};
-pub use world::{proto_header, World, WorldConfig, WorldEvent};
+pub use world::{proto_header, EventClassCounts, World, WorldConfig, WorldEvent};
 
 // Re-export the identifiers agents constantly need.
 pub use bytes::Bytes;

@@ -23,10 +23,14 @@ use crate::trace::{TraceLevel, TraceSink};
 use crate::wire::{WireRef, WireWriter};
 use bytes::Bytes;
 use macedon_net::{NetEvent, Network, NetworkConfig, NodeId, Sink, Topology};
-use macedon_sim::{Duration, FxHashMap, FxHashSet, Scheduler, SimRng, Time};
+use macedon_sim::{Duration, EventId, FxHashMap, FxHashSet, Scheduler, SimRng, Time};
 use macedon_transport::{
-    ChannelId, ChannelSpec, Endpoint, Segment, TimerKey, TransportKind, TransportSink,
+    ChannelId, ChannelSpec, Endpoint, Segment, TimerKey, TimerKind, TransportKind, TransportSink,
 };
+
+/// Map key for the one live scheduler entry a connection timer class may
+/// have (RTO or delayed-ack, per (owner, peer, channel)).
+type ConnTimerSlot = (NodeId, NodeId, ChannelId, TimerKind);
 
 /// Engine heartbeat message types.
 const HB_REQ: u16 = 1;
@@ -67,8 +71,9 @@ impl Default for WorldConfig {
 
 /// Events of the combined world loop.
 pub enum WorldEvent {
-    Net(NetEvent<Segment>),
-    Rto(TimerKey),
+    Net(NetEvent),
+    /// A transport connection timer (RTO or delayed ack) expired.
+    ConnTimer(TimerKey),
     AgentTimer {
         node: NodeId,
         layer: u16,
@@ -90,9 +95,31 @@ pub enum WorldEvent {
     },
 }
 
+/// Cumulative fired-event counts by [`WorldEvent`] class — where the
+/// scheduler's work actually goes, for benchmark breakdowns
+/// (`bench_scale` reports these next to events/sec).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventClassCounts {
+    /// Packet motion through the emulated network.
+    pub net: u64,
+    /// Transport connection timers that actually expired (RTO fires,
+    /// delayed-ack flushes) — cancelled rearms never fire.
+    pub conn_timer: u64,
+    /// Protocol timers declared by agents.
+    pub agent_timer: u64,
+    /// Failure-detector sweep ticks.
+    pub fd_tick: u64,
+    /// Scripted spawns/API calls/crashes.
+    pub control: u64,
+}
+
 struct TimerSlot {
     gen: u32,
     period: Option<Duration>,
+    /// The pending scheduler entry; cancelled outright on supersede or
+    /// cancel so stale firings never reach the queue (the generation
+    /// check stays as defense in depth).
+    event: EventId,
 }
 
 #[derive(Clone, Copy)]
@@ -110,6 +137,10 @@ pub struct World {
     stacks: FxHashMap<NodeId, Stack>,
     alive: FxHashSet<NodeId>,
     timers: FxHashMap<(NodeId, u16, u16), TimerSlot>,
+    /// Live scheduler entry per connection timer class. Re-arms cancel
+    /// the superseded entry instead of tombstoning it, so the timer
+    /// wheel never accumulates dead RTO events.
+    conn_timers: FxHashMap<ConnTimerSlot, EventId>,
     /// node → peer → (monitoring layers, state)
     monitors: FxHashMap<NodeId, FxHashMap<NodeId, (Vec<usize>, MonitorState)>>,
     trace: TraceSink,
@@ -121,6 +152,9 @@ pub struct World {
     /// overlay-membership mutation — the convergence signal the
     /// scenario runner reports after each perturbation.
     last_membership_change: Time,
+    /// Fired events by class (benchmark breakdowns; see
+    /// [`World::event_counts`]).
+    event_counts: EventClassCounts,
     /// Reusable network-sink buffers (the absorb chain nests, so more
     /// than one can be live at once; each level takes its own).
     nsink_pool: Vec<Sink<Segment>>,
@@ -148,11 +182,13 @@ impl World {
             stacks: FxHashMap::default(),
             alive: FxHashSet::default(),
             timers: FxHashMap::default(),
+            conn_timers: FxHashMap::default(),
             monitors: FxHashMap::default(),
             trace,
             rng,
             engine_ch,
             last_membership_change: Time::ZERO,
+            event_counts: EventClassCounts::default(),
             nsink_pool: Vec::new(),
             tsink_pool: Vec::new(),
             fx_pool: Vec::new(),
@@ -212,6 +248,7 @@ impl World {
         self.alive.remove(&node);
         self.stacks.remove(&node);
         self.endpoints.remove(&node);
+        self.cancel_node_timers(node);
         self.timers.retain(|&(n, _, _), _| n != node);
         self.monitors.remove(&node);
         for ep in self.endpoints.values_mut() {
@@ -319,14 +356,29 @@ impl World {
         }
     }
 
+    /// Fired-event counts by class since construction.
+    pub fn event_counts(&self) -> EventClassCounts {
+        self.event_counts
+    }
+
     fn handle(&mut self, now: Time, ev: WorldEvent) {
+        match &ev {
+            WorldEvent::Net(_) => self.event_counts.net += 1,
+            WorldEvent::ConnTimer(_) => self.event_counts.conn_timer += 1,
+            WorldEvent::AgentTimer { .. } => self.event_counts.agent_timer += 1,
+            WorldEvent::FdTick { .. } => self.event_counts.fd_tick += 1,
+            _ => self.event_counts.control += 1,
+        }
         match ev {
             WorldEvent::Net(nev) => {
                 let mut sink = self.take_nsink();
                 self.net.handle(now, nev, &mut sink);
                 self.absorb_net(now, sink);
             }
-            WorldEvent::Rto(key) => {
+            WorldEvent::ConnTimer(key) => {
+                // The entry just fired; drop it from the live-timer map
+                // whether or not the node still exists.
+                self.conn_timers.remove(&key.slot());
                 if !self.alive.contains(&key.node) {
                     return;
                 }
@@ -346,14 +398,14 @@ impl World {
                     return;
                 }
                 let slot_key = (node, layer, timer);
-                let Some(slot) = self.timers.get(&slot_key) else {
+                let Some(slot) = self.timers.get_mut(&slot_key) else {
                     return;
                 };
                 if slot.gen != gen {
                     return; // superseded or cancelled
                 }
                 if let Some(period) = slot.period {
-                    self.sched.schedule(
+                    slot.event = self.sched.schedule_timer(
                         now + period,
                         WorldEvent::AgentTimer {
                             node,
@@ -380,7 +432,7 @@ impl World {
                 }
                 self.process_effects(now, node, fx);
                 self.sched
-                    .schedule(now + self.cfg.fd_tick, WorldEvent::FdTick { node });
+                    .schedule_timer(now + self.cfg.fd_tick, WorldEvent::FdTick { node });
             }
             WorldEvent::Api { node, call } => {
                 if !self.alive.contains(&node) {
@@ -396,12 +448,37 @@ impl World {
                 self.alive.remove(&node);
                 self.net.faults_mut().fail_node(node);
                 self.monitors.remove(&node);
+                // A dead node's pending timers would all pop as no-ops;
+                // cancel them so churn doesn't leave event backlog.
+                self.cancel_node_timers(node);
                 self.last_membership_change = now;
             }
         }
     }
 
     // ---- plumbing ----------------------------------------------------------
+
+    /// Cancel every pending connection and agent timer owned by `node`
+    /// (crash/despawn cleanup). Connection-timer map entries are
+    /// removed; agent-timer slots stay (despawn drops them, a respawn
+    /// after a crash supersedes them by generation).
+    fn cancel_node_timers(&mut self, node: NodeId) {
+        let sched = &mut self.sched;
+        self.conn_timers.retain(|&(n, _, _, _), &mut ev| {
+            if n == node {
+                sched.cancel(ev);
+                false
+            } else {
+                true
+            }
+        });
+        for (&(n, _, _), slot) in self.timers.iter_mut() {
+            if n == node {
+                sched.cancel(slot.event);
+                slot.period = None;
+            }
+        }
+    }
 
     fn take_nsink(&mut self) -> Sink<Segment> {
         self.nsink_pool.pop().unwrap_or_default()
@@ -419,6 +496,7 @@ impl World {
     fn put_tsink(&mut self, mut sink: TransportSink) {
         sink.packets.clear();
         sink.timers.clear();
+        sink.cancel_timers.clear();
         sink.delivered.clear();
         sink.ack_samples.clear();
         self.tsink_pool.push(sink);
@@ -468,8 +546,19 @@ impl World {
         for pkt in tsink.packets.drain(..) {
             self.net.send(now, pkt, &mut nsink);
         }
+        for key in tsink.cancel_timers.drain(..) {
+            if let Some(ev) = self.conn_timers.remove(&key.slot()) {
+                self.sched.cancel(ev);
+            }
+        }
         for (at, key) in tsink.timers.drain(..) {
-            self.sched.schedule(at, WorldEvent::Rto(key));
+            let slot = key.slot();
+            let ev = self.sched.schedule_timer(at, WorldEvent::ConnTimer(key));
+            if let Some(old) = self.conn_timers.insert(slot, ev) {
+                // Re-arm: the superseded entry dies here instead of
+                // tombstoning the queue.
+                self.sched.cancel(old);
+            }
         }
         // Net absorption precedes message delivery (event-order contract
         // of the original non-pooled implementation).
@@ -538,11 +627,14 @@ impl World {
                     let slot = self.timers.entry(key).or_insert(TimerSlot {
                         gen: 0,
                         period: None,
+                        event: EventId::NONE,
                     });
+                    // Supersede: the old pending firing dies now.
+                    self.sched.cancel(slot.event);
                     slot.gen += 1;
                     slot.period = periodic.then_some(delay);
                     let gen = slot.gen;
-                    self.sched.schedule(
+                    slot.event = self.sched.schedule_timer(
                         now + delay,
                         WorldEvent::AgentTimer {
                             node,
@@ -554,6 +646,7 @@ impl World {
                 }
                 StackEffect::TimerCancel { layer, timer } => {
                     if let Some(slot) = self.timers.get_mut(&(node, layer as u16, timer)) {
+                        self.sched.cancel(slot.event);
                         slot.gen += 1;
                         slot.period = None;
                     }

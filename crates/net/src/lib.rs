@@ -30,7 +30,7 @@ pub mod pipeline;
 pub mod routing;
 pub mod topology;
 
-pub use packet::Packet;
+pub use packet::{Packet, PacketArena, PacketRef};
 pub use pipeline::{Delivery, DropReason, NetEvent, Network, NetworkConfig, Sink};
 pub use routing::Router;
 pub use topology::{LinkId, NodeId, NodeKind, Topology, TopologyBuilder};

@@ -38,6 +38,76 @@ impl<P> Packet<P> {
     }
 }
 
+/// Index of a packet parked in a [`PacketArena`] while it is in flight.
+///
+/// Per-hop events re-schedule this 4-byte handle instead of moving the
+/// packet struct (or a box around it) through the scheduler, and the
+/// world's event enum loses the payload type parameter entirely.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketRef(pub(crate) u32);
+
+/// Slab of in-flight packets owned by the network. A packet enters at
+/// `send`, its slot is reused (LIFO free list) as soon as it is
+/// delivered or dropped, so capacity tracks the high-water mark of
+/// simultaneously in-flight packets — not traffic volume.
+pub struct PacketArena<P> {
+    slots: Vec<Option<Packet<P>>>,
+    free: Vec<u32>,
+}
+
+impl<P> Default for PacketArena<P> {
+    fn default() -> Self {
+        PacketArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<P> PacketArena<P> {
+    /// Park a packet; returns its in-flight handle.
+    pub fn alloc(&mut self, pkt: Packet<P>) -> PacketRef {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(pkt);
+                PacketRef(i)
+            }
+            None => {
+                self.slots.push(Some(pkt));
+                PacketRef((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Borrow a parked packet (header peeks on forwarding decisions).
+    pub fn get(&self, r: PacketRef) -> &Packet<P> {
+        self.slots[r.0 as usize].as_ref().expect("stale PacketRef")
+    }
+
+    /// Remove a packet, freeing its slot (delivery).
+    pub fn take(&mut self, r: PacketRef) -> Packet<P> {
+        let pkt = self.slots[r.0 as usize].take().expect("stale PacketRef");
+        self.free.push(r.0);
+        pkt
+    }
+
+    /// Drop a parked packet (loss), freeing its slot.
+    pub fn release(&mut self, r: PacketRef) {
+        self.take(r);
+    }
+
+    /// Packets currently parked.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Slots ever allocated (in-flight high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

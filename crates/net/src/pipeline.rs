@@ -15,29 +15,29 @@
 //! embed network events inside its own world-event enum.
 
 use crate::fault::Faults;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketArena, PacketRef};
 use crate::routing::Router;
 use crate::topology::{LinkId, NodeId, Topology};
 use macedon_sim::{Duration, SimRng, Time};
+use std::collections::VecDeque;
 
 /// Events the network schedules for itself.
 ///
-/// The packet rides in a `Box`: one allocation when it enters the
-/// network, then every per-hop event (and the scheduler slab slot
-/// holding it) moves a pointer instead of the ~70-byte packet struct.
-#[derive(Debug)]
-pub enum NetEvent<P> {
-    /// A packet reached `node` (either its destination or a forwarding hop).
+/// The packet itself is parked in the network's [`PacketArena`]; events
+/// carry a 4-byte [`PacketRef`] (and the enum needs no payload type
+/// parameter, shrinking every embedding world-event enum).
+///
+/// A packet's entire route is walked analytically at send time
+/// (`Network::transit`), so one `Arrive` at the destination is the
+/// *only* event a packet ever schedules — no per-hop departure or
+/// forwarding events.
+#[derive(Clone, Copy, Debug)]
+pub enum NetEvent {
+    /// A packet reached `node` (normally its destination; a forwarding
+    /// hop only in the loopback-free degenerate case of rerouting).
     Arrive {
         node: NodeId,
-        pkt: Box<Packet<P>>,
-        sent_at: Time,
-    },
-    /// A packet finished serializing onto `link` and leaves its queue.
-    Depart {
-        link: LinkId,
-        wire: u32,
-        pkt: Box<Packet<P>>,
+        pkt: PacketRef,
         sent_at: Time,
     },
 }
@@ -45,7 +45,7 @@ pub enum NetEvent<P> {
 /// A packet handed up to the layer above at its destination host.
 #[derive(Debug)]
 pub struct Delivery<P> {
-    pub pkt: Box<Packet<P>>,
+    pub pkt: Packet<P>,
     /// When the original `send` happened (for latency accounting).
     pub sent_at: Time,
     /// When it arrived.
@@ -68,7 +68,7 @@ pub enum DropReason {
 /// Output buffer filled by [`Network`] methods.
 pub struct Sink<P> {
     /// Events to insert into the caller's scheduler.
-    pub schedule: Vec<(Time, NetEvent<P>)>,
+    pub schedule: Vec<(Time, NetEvent)>,
     /// Packets delivered to destination hosts.
     pub delivered: Vec<Delivery<P>>,
     /// Packets dropped, with reasons (observability / tests).
@@ -115,14 +115,57 @@ impl Default for NetworkConfig {
     }
 }
 
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct LinkState {
-    busy_until: Time,
-    queued_bytes: u32,
+    /// Future serialization reservations `(start, end)`, sorted by
+    /// start, non-overlapping. Links are charged in *send* order, so a
+    /// packet can be charged after one that reaches the link later;
+    /// placing each packet in the earliest idle gap at or after its
+    /// arrival (instead of chaining behind a scalar `busy_until`)
+    /// keeps late-charged-but-early-arriving packets from queueing
+    /// behind traffic that is not actually there yet. For in-order
+    /// charges this degenerates to exact FIFO serialization chaining.
+    /// Expired reservations are pruned against the sender's `now`,
+    /// which is monotone across `transit` calls.
+    resv: VecDeque<(Time, Time)>,
     // Counters for link-stress metrics.
     pkts: u64,
     bytes: u64,
     drops: u64,
+}
+
+impl LinkState {
+    /// Reserve `ser` of serialization time at or after `t`, in the
+    /// earliest gap that fits. Returns the reserved start time. The
+    /// wait `start - t` is the packet's queueing delay: everything
+    /// serializing between its arrival and its own slot is ahead of it
+    /// in the queue.
+    ///
+    /// Expired reservations are pruned against the sender's `now`, but
+    /// only beyond a generous keep-depth: the engine charges links in
+    /// monotone time order (pruning is exact there), while tests that
+    /// batch `send` calls out of order stay exact as long as a link
+    /// holds fewer than `PRUNE_KEEP` live reservations.
+    fn reserve(&mut self, now: Time, t: Time, ser: Duration) -> Time {
+        const PRUNE_KEEP: usize = 256;
+        while self.resv.len() > PRUNE_KEEP {
+            match self.resv.front() {
+                Some(&(_, end)) if end <= now => self.resv.pop_front(),
+                _ => break,
+            };
+        }
+        let mut start = t;
+        let mut at = self.resv.len();
+        for (i, &(s, e)) in self.resv.iter().enumerate() {
+            if start + ser <= s {
+                at = i;
+                break;
+            }
+            start = start.max(e);
+        }
+        self.resv.insert(at, (start, start + ser));
+        start
+    }
 }
 
 /// The emulated network.
@@ -132,10 +175,11 @@ pub struct Network<P> {
     links: Vec<LinkState>,
     faults: Faults,
     rng: SimRng,
+    /// In-flight packet storage; events carry indices into this.
+    arena: PacketArena<P>,
     /// Packets dropped anywhere, for any reason (link counters only see
     /// link-attributable drops; partitions and dead nodes land here too).
     dropped: u64,
-    _marker: std::marker::PhantomData<P>,
 }
 
 impl<P> Network<P> {
@@ -147,9 +191,15 @@ impl<P> Network<P> {
             links,
             faults: Faults::default(),
             rng: SimRng::new(cfg.seed),
+            arena: PacketArena::default(),
             dropped: 0,
-            _marker: std::marker::PhantomData,
         }
+    }
+
+    /// The in-flight packet arena (capacity is the high-water mark of
+    /// simultaneously in-flight packets).
+    pub fn packet_arena(&self) -> &PacketArena<P> {
+        &self.arena
     }
 
     pub fn topology(&self) -> &Topology {
@@ -226,119 +276,133 @@ impl<P> Network<P> {
             out.dropped.push((DropReason::Partitioned, pkt.src));
             return;
         }
-        let pkt = Box::new(pkt);
-        if pkt.src == pkt.dst {
+        let (src, dst) = (pkt.src, pkt.dst);
+        let pkt = self.arena.alloc(pkt);
+        if src == dst {
             // Loopback: deliver after a small constant delay.
             let cfg_delay = Duration::from_micros(50);
             out.schedule.push((
                 now + cfg_delay,
                 NetEvent::Arrive {
-                    node: pkt.dst,
+                    node: dst,
                     pkt,
                     sent_at: now,
                 },
             ));
             return;
         }
-        self.forward(now, pkt.src, pkt, now, out);
+        self.transit(now, src, pkt, now, out);
     }
 
     /// Process one of our own events.
-    pub fn handle(&mut self, now: Time, ev: NetEvent<P>, out: &mut Sink<P>) {
+    pub fn handle(&mut self, now: Time, ev: NetEvent, out: &mut Sink<P>) {
         match ev {
             NetEvent::Arrive { node, pkt, sent_at } => {
+                let (src, dst) = {
+                    let p = self.arena.get(pkt);
+                    (p.src, p.dst)
+                };
+                // Faults are re-checked at arrival so a partition or
+                // crash that landed while the packet was in flight
+                // still cuts it, exactly as per-hop checks used to.
                 if self.faults.node_is_down(node) {
+                    self.arena.release(pkt);
                     self.dropped += 1;
                     out.dropped.push((DropReason::NodeDown, node));
                     return;
                 }
-                if self.faults.partitioned(pkt.src, pkt.dst) {
+                if self.faults.partitioned(src, dst) {
+                    self.arena.release(pkt);
                     self.dropped += 1;
                     out.dropped.push((DropReason::Partitioned, node));
                     return;
                 }
-                if node == pkt.dst {
+                if node == dst {
                     out.delivered.push(Delivery {
-                        pkt,
+                        pkt: self.arena.take(pkt),
                         sent_at,
                         at: now,
                     });
                 } else {
-                    self.forward(now, node, pkt, sent_at, out);
+                    self.transit(now, node, pkt, sent_at, out);
                 }
-            }
-            NetEvent::Depart {
-                link,
-                wire,
-                pkt,
-                sent_at,
-            } => {
-                let st = &mut self.links[link.index()];
-                st.queued_bytes = st.queued_bytes.saturating_sub(wire);
-                let l = self.topo.link(link);
-                out.schedule.push((
-                    now + l.delay,
-                    NetEvent::Arrive {
-                        node: l.to,
-                        pkt,
-                        sent_at,
-                    },
-                ));
             }
         }
     }
 
-    fn forward(
-        &mut self,
-        now: Time,
-        at: NodeId,
-        pkt: Box<Packet<P>>,
-        sent_at: Time,
-        out: &mut Sink<P>,
-    ) {
-        let Some(lid) = self.router.next_hop(&self.topo, at, pkt.dst) else {
-            self.dropped += 1;
-            out.dropped.push((DropReason::NoRoute, at));
-            return;
+    /// Walk the packet's whole route at send time, charging each link's
+    /// queue occupancy and serialization slot as the packet would reach
+    /// it, and schedule a single arrival event at the destination. Per
+    /// hop this costs a routing lookup and a couple of adds instead of
+    /// a departure event plus an arrival event through the scheduler.
+    fn transit(&mut self, now: Time, at: NodeId, pkt: PacketRef, sent_at: Time, out: &mut Sink<P>) {
+        let (dst, wire) = {
+            let p = self.arena.get(pkt);
+            (p.dst, p.wire_size())
         };
-        let link = *self.topo.link(lid);
-        if self.faults.link_is_down(link.phys) {
-            self.links[lid.index()].drops += 1;
-            self.dropped += 1;
-            out.dropped.push((DropReason::LinkDown, at));
-            return;
+        let mut node = at;
+        let mut t = now;
+        loop {
+            let Some(lid) = self.router.next_hop(&self.topo, node, dst) else {
+                self.arena.release(pkt);
+                self.dropped += 1;
+                out.dropped.push((DropReason::NoRoute, node));
+                return;
+            };
+            let link = *self.topo.link(lid);
+            if self.faults.link_is_down(link.phys) {
+                self.arena.release(pkt);
+                self.links[lid.index()].drops += 1;
+                self.dropped += 1;
+                out.dropped.push((DropReason::LinkDown, node));
+                return;
+            }
+            if self.faults.should_drop(&mut self.rng) {
+                self.arena.release(pkt);
+                self.links[lid.index()].drops += 1;
+                self.dropped += 1;
+                out.dropped.push((DropReason::RandomLoss, node));
+                return;
+            }
+            let st = &mut self.links[lid.index()];
+            let ser = serialization_time(wire, link.bandwidth_bps);
+            let start = st.reserve(now, t, ser);
+            // Drop-tail: the packet's wait before its own serialization
+            // slot is exactly the traffic ahead of it in the queue,
+            // converted back to bytes at line rate.
+            if backlog_bytes(start, t, link.bandwidth_bps) + wire as u64 > link.queue_bytes as u64 {
+                st.resv.retain(|&r| r != (start, start + ser));
+                self.arena.release(pkt);
+                st.drops += 1;
+                self.dropped += 1;
+                out.dropped.push((DropReason::QueueFull, node));
+                return;
+            }
+            st.pkts += 1;
+            st.bytes += wire as u64;
+            t = start + ser + link.delay;
+            node = link.to;
+            if node == dst {
+                break;
+            }
         }
-        if self.faults.should_drop(&mut self.rng) {
-            self.links[lid.index()].drops += 1;
-            self.dropped += 1;
-            out.dropped.push((DropReason::RandomLoss, at));
-            return;
-        }
-        let wire = pkt.wire_size();
-        let st = &mut self.links[lid.index()];
-        if st.queued_bytes.saturating_add(wire) > link.queue_bytes {
-            st.drops += 1;
-            self.dropped += 1;
-            out.dropped.push((DropReason::QueueFull, at));
-            return;
-        }
-        st.queued_bytes += wire;
-        st.pkts += 1;
-        st.bytes += wire as u64;
-        let ser = serialization_time(wire, link.bandwidth_bps);
-        let start = st.busy_until.max(now);
-        let finish = start + ser;
-        st.busy_until = finish;
         out.schedule.push((
-            finish,
-            NetEvent::Depart {
-                link: lid,
-                wire,
+            t,
+            NetEvent::Arrive {
+                node: dst,
                 pkt,
                 sent_at,
             },
         ));
     }
+}
+
+/// Bytes queued ahead of a packet that arrives at `arrival` and starts
+/// serializing at `start`: its wait converted back to bytes at line
+/// rate.
+fn backlog_bytes(start: Time, arrival: Time, bandwidth_bps: u64) -> u64 {
+    let left = start.saturating_since(arrival);
+    (left.as_micros() as u128 * bandwidth_bps as u128 / 8_000_000) as u64
 }
 
 /// Time to clock `wire` bytes onto a link of the given capacity.
@@ -358,7 +422,7 @@ mod tests {
     /// Drive a network's own events until quiescent or the deadline.
     fn run_until<P>(
         net: &mut Network<P>,
-        sched: &mut Scheduler<NetEvent<P>>,
+        sched: &mut Scheduler<NetEvent>,
         out: &mut Sink<P>,
         deadline: Time,
     ) {
@@ -623,6 +687,30 @@ mod tests {
         // Both physical links saw 5 packets each (one direction used).
         assert_eq!(counters.len(), 2);
         assert!(counters.iter().all(|&(p, by, _)| p == 5 && by == 5 * 1040));
+    }
+
+    #[test]
+    fn arena_slots_are_reused_not_leaked() {
+        // Sequential traffic keeps the arena at its in-flight high-water
+        // mark: delivered and dropped packets must both free their slot.
+        let t = canned::two_hosts(LinkSpec::lan());
+        let (a, b) = (t.hosts()[0], t.hosts()[1]);
+        let mut net: Network<u32> = Network::new(t, NetworkConfig::default());
+        net.faults_mut().set_drop_probability(0.2);
+        let mut sched = Scheduler::new();
+        let mut out = Sink::new();
+        for i in 0..200 {
+            let at = Time::from_millis(i as u64);
+            run_until(&mut net, &mut sched, &mut out, at);
+            net.send(at.max(sched.now()), Packet::new(a, b, 100, i), &mut out);
+        }
+        run_until(&mut net, &mut sched, &mut out, Time::from_secs(100));
+        assert_eq!(net.packet_arena().live(), 0, "every packet left the arena");
+        assert!(
+            net.packet_arena().capacity() <= 8,
+            "capacity {} tracks in-flight high-water, not volume",
+            net.packet_arena().capacity()
+        );
     }
 
     #[test]

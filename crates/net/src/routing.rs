@@ -3,9 +3,25 @@
 //! Packets are forwarded hop-by-hop: at each node the router consults a
 //! per-destination next-hop table. Tables are computed lazily by running
 //! Dijkstra *from the destination* over reversed edges (link delays are
-//! symmetric here, so forward and reverse trees coincide), then cached —
-//! the paper's experiments involve at most ~1000 distinct overlay hosts on
-//! a 20k-router graph, so per-destination trees are the right trade-off.
+//! symmetric here, so forward and reverse trees coincide), then cached.
+//!
+//! Per-destination trees cost O(nodes) memory each, which stops scaling
+//! once the overlay reaches 10⁴–10⁵ hosts, so two structural fast paths
+//! keep leaf traffic out of the cache entirely:
+//!
+//! * **degree-1 source**: a host with a single access link has exactly
+//!   one way out — no table lookup at all;
+//! * **leaf destination**: every path to a degree-1 node enters through
+//!   its sole neighbor (its *gateway*), so routing toward the leaf is
+//!   routing toward the gateway plus the final access hop
+//!   ([`Topology::reverse`] of the leaf's uplink — O(1) by the
+//!   half-link layout invariant). Trees are therefore only ever built
+//!   for multi-degree *anchor* nodes (routers), of which a star keeps
+//!   exactly zero and a transit-stub graph a handful.
+//!
+//! A lazily built connected-components labelling answers reachability in
+//! O(1) so the degree-1 shortcut can never bounce a packet destined to
+//! another component.
 //!
 //! The same machinery doubles as the **latency oracle** used by the
 //! evaluation framework to compute stretch and RDP: `dist(src, dst)` is
@@ -26,22 +42,57 @@ struct DestTree {
 /// Hop-by-hop router with lazy per-destination caches.
 pub struct Router {
     trees: FxHashMap<NodeId, DestTree>,
+    /// Connected-component label per node, built lazily (None = stale).
+    comps: Option<Vec<u32>>,
 }
 
 impl Router {
     pub fn new() -> Router {
         Router {
             trees: FxHashMap::default(),
+            comps: None,
+        }
+    }
+
+    /// Are two nodes in the same connected component? O(1) after a lazy
+    /// O(nodes + links) labelling pass.
+    fn connected(&mut self, topo: &Topology, a: NodeId, b: NodeId) -> bool {
+        let comps = self.comps.get_or_insert_with(|| components(topo));
+        comps[a.index()] == comps[b.index()]
+    }
+
+    /// Resolve a leaf destination to its anchor: `(anchor, final hop,
+    /// access delay)`. A degree-1 node is entered through its gateway;
+    /// multi-degree nodes are their own anchor.
+    fn anchor(topo: &Topology, dst: NodeId) -> Option<(NodeId, Option<LinkId>, u64)> {
+        match *topo.outgoing(dst) {
+            [up] => {
+                let l = topo.link(up);
+                Some((l.to, Some(topo.reverse(up)), l.delay.as_micros()))
+            }
+            [] => None, // isolated: unreachable unless src == dst
+            _ => Some((dst, None, 0)),
         }
     }
 
     /// Next outgoing link from `at` toward `dst`, or `None` if unreachable
     /// (or already there).
     pub fn next_hop(&mut self, topo: &Topology, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        if at == dst {
+        if at == dst || !self.connected(topo, at, dst) {
             return None;
         }
-        self.tree(topo, dst).next_hop[at.index()]
+        // Degree-1 host: the only way out. (The reachability check above
+        // guarantees this can't bounce an undeliverable packet forever.)
+        if topo.is_host(at) {
+            if let [only] = *topo.outgoing(at) {
+                return Some(only);
+            }
+        }
+        let (anchor, last_hop, _) = Self::anchor(topo, dst)?;
+        if at == anchor {
+            return last_hop;
+        }
+        self.tree(topo, anchor).next_hop[at.index()]
     }
 
     /// Uncongested one-way latency of the IP shortest path, or `None` if
@@ -50,11 +101,15 @@ impl Router {
         if src == dst {
             return Some(Duration::ZERO);
         }
-        let d = self.tree(topo, dst).dist_us[src.index()];
+        let (anchor, _, tail_us) = Self::anchor(topo, dst)?;
+        if src == anchor {
+            return Some(Duration::from_micros(tail_us));
+        }
+        let d = self.tree(topo, anchor).dist_us[src.index()];
         if d == u64::MAX {
             None
         } else {
-            Some(Duration::from_micros(d))
+            Some(Duration::from_micros(d + tail_us))
         }
     }
 
@@ -85,6 +140,7 @@ impl Router {
     /// Drop all cached trees (call after topology faults change routing).
     pub fn invalidate(&mut self) {
         self.trees.clear();
+        self.comps = None;
     }
 
     pub fn cached_destinations(&self) -> usize {
@@ -128,18 +184,40 @@ fn dijkstra_to(topo: &Topology, dst: NodeId) -> DestTree {
             if nd < dist_us[v.index()] {
                 dist_us[v.index()] = nd;
                 // The next hop from v toward dst is the reverse of `lid`:
-                // the half-link from v to u. Find it on v's adjacency.
-                next_hop[v.index()] = topo.outgoing(v).iter().copied().find(|&back| {
-                    let bl = topo.link(back);
-                    bl.to == u && bl.phys == link.phys
-                });
-                debug_assert!(next_hop[v.index()].is_some(), "missing reverse half-link");
+                // the half-link from v to u — O(1) by layout invariant.
+                next_hop[v.index()] = Some(topo.reverse(lid));
                 heap.push((std::cmp::Reverse(nd), v.0));
             }
         }
     }
 
     DestTree { next_hop, dist_us }
+}
+
+/// Label connected components with an iterative flood fill.
+fn components(topo: &Topology) -> Vec<u32> {
+    let n = topo.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(NodeId(start as u32));
+        while let Some(u) = stack.pop() {
+            for &lid in topo.outgoing(u) {
+                let v = topo.link(lid).to;
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
 }
 
 #[cfg(test)]
@@ -253,10 +331,49 @@ mod tests {
         let hs = t.hosts().to_vec();
         r.dist(&t, hs[0], hs[1]);
         assert_eq!(r.cached_destinations(), 1);
+        // Every leaf destination resolves to the same hub anchor — the
+        // cache must NOT grow per host.
         r.dist(&t, hs[0], hs[2]);
-        assert_eq!(r.cached_destinations(), 2);
+        assert_eq!(r.cached_destinations(), 1);
         r.invalidate();
         assert_eq!(r.cached_destinations(), 0);
+    }
+
+    #[test]
+    fn star_routing_builds_no_trees() {
+        // Forwarding between leaves of a star touches only the degree-1
+        // fast path (at the host) and the anchor's final hop (at the
+        // hub): no Dijkstra tree at all, at any scale.
+        let t = canned::star(50, LinkSpec::lan());
+        let hs = t.hosts().to_vec();
+        let mut r = Router::new();
+        for i in 0..50 {
+            let p = r.path(&t, hs[i], hs[(i + 7) % 50]).unwrap();
+            assert_eq!(p.len(), 2);
+        }
+        assert_eq!(r.cached_destinations(), 0, "leaf-to-leaf needs no trees");
+    }
+
+    #[test]
+    fn cross_component_is_unreachable_without_bouncing() {
+        // Two disjoint star islands; a leaf-to-other-island packet must
+        // report no route (the degree-1 shortcut must not loop it).
+        let mut b = TopologyBuilder::new();
+        let a1 = b.add_host();
+        let a2 = b.add_host();
+        let ra = b.add_router();
+        b.add_link(a1, ra, LinkSpec::lan());
+        b.add_link(a2, ra, LinkSpec::lan());
+        let z1 = b.add_host();
+        let rz = b.add_router();
+        b.add_link(z1, rz, LinkSpec::lan());
+        let t = b.build();
+        let mut r = Router::new();
+        assert!(r.next_hop(&t, a1, z1).is_none());
+        assert!(r.path(&t, a1, z1).is_none());
+        assert!(r.dist(&t, a1, z1).is_none());
+        // Same-island traffic unaffected.
+        assert_eq!(r.path(&t, a1, a2).unwrap().len(), 2);
     }
 
     /// Cross-check Dijkstra against Floyd-Warshall on small random graphs.

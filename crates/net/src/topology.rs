@@ -92,6 +92,16 @@ impl Topology {
         &self.adj[n.index()]
     }
 
+    /// The opposite-direction half of the same physical link. The
+    /// builder pushes both halves consecutively, so this is a bit flip —
+    /// O(1), no adjacency scan.
+    pub fn reverse(&self, l: LinkId) -> LinkId {
+        let r = LinkId(l.0 ^ 1);
+        debug_assert_eq!(self.links[r.index()].phys, self.links[l.index()].phys);
+        debug_assert_eq!(self.links[r.index()].to, self.links[l.index()].from);
+        r
+    }
+
     /// All end hosts, in creation order.
     pub fn hosts(&self) -> &[NodeId] {
         &self.hosts

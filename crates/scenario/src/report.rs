@@ -121,6 +121,98 @@ impl MetricsReport {
             .min()
     }
 
+    /// Render as a JSON object (the `examples/churn.rs --json` output
+    /// and the first slice of the exportable-reports roadmap item).
+    ///
+    /// The schema is pinned by `tests::json_schema_is_pinned`; times
+    /// are emitted as integer microseconds so the output is exact and
+    /// locale-independent, and optional latencies/convergences render
+    /// as `null`.
+    pub fn to_json(&self) -> String {
+        let opt_us = |d: Option<Duration>| match d {
+            Some(d) => d.as_micros().to_string(),
+            None => "null".into(),
+        };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"scenario\": {},\n  \"end_us\": {},\n  \"alive\": {},\n  \
+             \"total_delivered\": {},\n  \"total_bytes\": {},\n  \"net_drops\": {},\n  \
+             \"mean_goodput_bps\": {},\n  \"asserts_passed\": {},\n  \"nodes\": [",
+            json_string(&self.scenario),
+            self.end.as_micros(),
+            self.alive,
+            self.total_delivered,
+            self.total_bytes,
+            self.net_drops,
+            self.mean_goodput_bps(),
+            self.asserts_passed(),
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"index\": {}, \"node\": {}, \"alive\": {}, \"delivered\": {}, \
+                 \"bytes\": {}, \"mean_latency_us\": {}, \"max_latency_us\": {}, \
+                 \"goodput_bps\": {}}}",
+                if i == 0 { "" } else { "," },
+                n.index,
+                n.node.0,
+                n.alive,
+                n.delivered,
+                n.bytes,
+                opt_us(n.mean_latency),
+                opt_us(n.max_latency),
+                n.goodput_bps,
+            );
+        }
+        let _ = write!(out, "\n  ],\n  \"perturbations\": [");
+        for (i, p) in self.perturbations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"at_us\": {}, \"what\": {}, \"convergence_us\": {}, \
+                 \"deliveries_during\": {}}}",
+                if i == 0 { "" } else { "," },
+                p.at.as_micros(),
+                json_string(&p.what),
+                opt_us(p.convergence),
+                p.deliveries_during,
+            );
+        }
+        let _ = write!(out, "\n  ],\n  \"channels\": [");
+        for (i, c) in self.channels.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"channel\": {}, \"segments\": {}, \"retransmissions\": {}, \
+                 \"acks\": {}, \"messages\": {}, \"bytes\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_string(&c.channel),
+                c.segments,
+                c.retransmissions,
+                c.acks,
+                c.messages,
+                c.bytes,
+            );
+        }
+        let _ = write!(out, "\n  ],\n  \"oracle_checks\": [");
+        for (i, c) in self.oracle_checks.iter().enumerate() {
+            let violations: Vec<String> = c.violations.iter().map(|v| json_string(v)).collect();
+            let _ = write!(
+                out,
+                "{}\n    {{\"at_us\": {}, \"oracle\": {}, \"expect_converged\": {}, \
+                 \"converged\": {}, \"passed\": {}, \"violations\": [{}]}}",
+                if i == 0 { "" } else { "," },
+                c.at.as_micros(),
+                json_string(&c.oracle),
+                c.expect_converged,
+                c.converged,
+                c.passed,
+                violations.join(", "),
+            );
+        }
+        let _ = write!(out, "\n  ]\n}}\n");
+        out
+    }
+
     /// Render as an aligned text table (the `examples/churn.rs`
     /// output).
     pub fn render(&self) -> String {
@@ -244,5 +336,125 @@ impl MetricsReport {
             );
         }
         out
+    }
+}
+
+/// Quote and escape a string for JSON output (control characters,
+/// quotes and backslashes; everything else passes through as UTF-8).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        MetricsReport {
+            scenario: "pin \"quotes\"".into(),
+            end: Time::from_secs(80),
+            alive: 2,
+            total_delivered: 7,
+            total_bytes: 7_000,
+            net_drops: 3,
+            nodes: vec![
+                NodeMetrics {
+                    index: 0,
+                    node: NodeId(4),
+                    alive: true,
+                    delivered: 7,
+                    bytes: 7_000,
+                    mean_latency: Some(Duration::from_micros(1_500)),
+                    max_latency: Some(Duration::from_micros(9_000)),
+                    goodput_bps: 800,
+                },
+                NodeMetrics {
+                    index: 1,
+                    node: NodeId(5),
+                    alive: false,
+                    delivered: 0,
+                    bytes: 0,
+                    mean_latency: None,
+                    max_latency: None,
+                    goodput_bps: 0,
+                },
+            ],
+            perturbations: vec![PerturbationReport {
+                at: Time::from_secs(35),
+                what: "crash 11 17".into(),
+                convergence: None,
+                deliveries_during: 41,
+            }],
+            channels: vec![ChannelReport {
+                channel: "CTRL".into(),
+                segments: 10,
+                retransmissions: 1,
+                acks: 6,
+                messages: 9,
+                bytes: 4_321,
+            }],
+            oracle_checks: vec![OracleCheckReport {
+                at: Time::from_secs(60),
+                oracle: "ring".into(),
+                expect_converged: true,
+                converged: false,
+                violations: vec!["node 5: successor\tmissing".into()],
+                passed: false,
+            }],
+        }
+    }
+
+    /// Pins the full JSON schema: key names, nesting, null encoding for
+    /// optional latencies/convergence, and string escaping. A change to
+    /// the exported shape must update this fixture deliberately.
+    #[test]
+    fn json_schema_is_pinned() {
+        let got = sample().to_json();
+        let want = r#"{
+  "scenario": "pin \"quotes\"",
+  "end_us": 80000000,
+  "alive": 2,
+  "total_delivered": 7,
+  "total_bytes": 7000,
+  "net_drops": 3,
+  "mean_goodput_bps": 800,
+  "asserts_passed": false,
+  "nodes": [
+    {"index": 0, "node": 4, "alive": true, "delivered": 7, "bytes": 7000, "mean_latency_us": 1500, "max_latency_us": 9000, "goodput_bps": 800},
+    {"index": 1, "node": 5, "alive": false, "delivered": 0, "bytes": 0, "mean_latency_us": null, "max_latency_us": null, "goodput_bps": 0}
+  ],
+  "perturbations": [
+    {"at_us": 35000000, "what": "crash 11 17", "convergence_us": null, "deliveries_during": 41}
+  ],
+  "channels": [
+    {"channel": "CTRL", "segments": 10, "retransmissions": 1, "acks": 6, "messages": 9, "bytes": 4321}
+  ],
+  "oracle_checks": [
+    {"at_us": 60000000, "oracle": "ring", "expect_converged": true, "converged": false, "passed": false, "violations": ["node 5: successor\tmissing"]}
+  ]
+}
+"#;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_string("a\"b\\c\nd\u{1}"), r#""a\"b\\c\nd\u0001""#);
     }
 }

@@ -1,29 +1,54 @@
-//! Cancellable discrete-event scheduler.
+//! Cancellable discrete-event scheduler with two event classes.
 //!
-//! The scheduler is a binary heap of `(time, sequence)`-ordered entries.
-//! Ties at the same instant fire in insertion order, which gives the
-//! deterministic FIFO semantics the MACEDON engine's timer subsystem
-//! relies on. Cancellation is lazy: a cancelled [`EventId`] is recorded in
-//! a tombstone set and skipped when popped (the classic approach for timer
-//! wheels backed by heaps; see the Tokio timer design).
+//! Events fire in exact `(time, sequence)` order: ties at the same
+//! instant fire in scheduling order, which gives the deterministic FIFO
+//! semantics the MACEDON engine's timer subsystem relies on. Both
+//! classes share one sequence counter, so the pop order is a pure
+//! function of the schedule calls — independent of which internal
+//! structure carries an event.
 //!
-//! Payloads live in a slab beside the heap, not inside it: heap entries
-//! are 24-byte `(time, seq, slot)` keys, so the sift-up/sift-down memory
-//! traffic of a large world (one entry per in-flight packet hop, RTO,
-//! and timer) moves keys, not whole event payloads. Pop order is a pure
-//! function of the unique `(time, seq)` keys, so the layout is
-//! unobservable — only faster.
+//! **Packet class** ([`Scheduler::schedule`]): a 4-ary min-heap of
+//! 16-byte `(time, seq, slot)` keys. Packet motion (link departures and
+//! arrivals) is schedule-once/fire-once, so a heap is the right shape.
+//!
+//! **Timer class** ([`Scheduler::schedule_timer`]): a hierarchical
+//! timer wheel (64-slot levels, 1.024 ms ticks). RTO re-arms,
+//! failure-detector sweeps, and spec timers are cancelled or re-armed
+//! far more often than they fire; the wheel gives O(1) insert and keeps
+//! that churn out of the heap's sift paths. Expired wheel slots drain
+//! into a small staging heap ordered by exact `(time, seq)`, so wheel
+//! bucketing is unobservable.
+//!
+//! **Cancellation** is O(1) and exact for both classes: the payload
+//! slab stores each slot's owning sequence number, [`Scheduler::cancel`]
+//! frees the slab slot immediately, and the structures drop the stale
+//! 24-byte key when they next meet it (heap: skipped during pop; wheel:
+//! dropped during cascade). There is no tombstone side-set to purge —
+//! a long run with steady cancellations reclaims everything amortized
+//! during pop and holds no high-water memory.
 
-use crate::hash::FxHashSet;
 use crate::time::Time;
 
 /// Opaque handle to a scheduled event, used for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    seq: u64,
+    slot: u32,
+}
 
-/// Heap key: payload stays in the slab at `slot`. `(at, seq)` is
+impl EventId {
+    /// Sentinel that never names a live event; [`Scheduler::cancel`] on
+    /// it is a no-op returning `false`. Useful as an initializer for
+    /// "no pending event" slots.
+    pub const NONE: EventId = EventId {
+        seq: u64::MAX,
+        slot: u32::MAX,
+    };
+}
+
+/// Heap/wheel key: payload stays in the slab at `slot`. `(at, seq)` is
 /// unique and totally ordered, so the pop sequence is independent of
-/// the heap implementation; the comparison is written branchless for
+/// the carrying structure; the comparison is written branchless for
 /// the sift loops.
 #[derive(Clone, Copy)]
 struct Entry {
@@ -48,11 +73,6 @@ impl Entry {
     }
 
     #[inline]
-    fn seq(&self) -> u64 {
-        self.seq
-    }
-
-    #[inline]
     fn before(&self, other: &Entry) -> bool {
         // Bitwise (non-short-circuit) combination keeps the comparison
         // branchless in the sift loops.
@@ -63,18 +83,13 @@ impl Entry {
 /// 4-ary min-heap over [`Entry`] keys: half the levels of a binary
 /// heap, and each sift-down touches four children sitting in at most
 /// two cache lines — measurably cheaper pops on the large heaps a
-/// many-node world builds (one entry per in-flight packet hop, RTO,
-/// and timer).
+/// many-node world builds (one entry per in-flight packet hop).
 #[derive(Default)]
 struct MinHeap {
     v: Vec<Entry>,
 }
 
 impl MinHeap {
-    fn len(&self) -> usize {
-        self.v.len()
-    }
-
     #[inline]
     fn peek(&self) -> Option<&Entry> {
         self.v.first()
@@ -134,20 +149,66 @@ impl MinHeap {
     }
 }
 
-/// Tombstone-set capacity above which a drained scheduler returns the
-/// memory: long failure-injection runs cancel millions of timers, and
-/// the high-water capacity would otherwise stick around for the rest
-/// of the run.
-const TOMBSTONE_SHRINK: usize = 1024;
+/// log2 of the wheel tick: 1024 µs ≈ 1 ms, fine enough that transport
+/// timers (RTO ≥ 50 ms, delayed acks ~10 ms, FD sweeps ~1 s) span many
+/// ticks. Bucketing granularity never affects fire order — expired
+/// slots drain through an exact `(time, seq)` staging heap.
+const TICK_SHIFT: u32 = 10;
+/// log2 of the slots per wheel level.
+const WHEEL_BITS: u32 = 6;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Levels: 64^6 ticks × 1.024 ms ≈ 2.2 years of virtual time before a
+/// timer must clamp into the top level and re-cascade.
+const WHEEL_LEVELS: usize = 6;
+/// Ticks spanned by the whole wheel; farther timers clamp to the edge.
+const WHEEL_SPAN: u64 = 1 << (WHEEL_BITS * WHEEL_LEVELS as u32);
+
+/// One wheel level: 64 slots of unordered entries plus an occupancy
+/// bitmap so cursor jumps skip empty slots in O(1).
+struct WheelLevel {
+    slots: Vec<Vec<Entry>>,
+    occupied: u64,
+}
+
+impl WheelLevel {
+    fn new() -> WheelLevel {
+        WheelLevel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+        }
+    }
+}
+
+/// Payload slab cell. `seq` identifies the owning event; a heap/wheel
+/// key whose seq no longer matches (or whose payload is gone) is
+/// stale — its event was cancelled — and is dropped on contact.
+struct Slot<E> {
+    seq: u64,
+    payload: Option<E>,
+}
 
 /// A virtual-time event queue generic over the event payload type.
 pub struct Scheduler<E> {
+    /// Packet-class events.
     heap: MinHeap,
-    /// Payload slab indexed by `Entry::slot`; `None` marks a free slot.
-    slab: Vec<Option<E>>,
+    /// Timer-class events, bucketed by tick.
+    wheel: Vec<WheelLevel>,
+    /// Wheel entries whose slot the cursor passed, in exact order.
+    expired: MinHeap,
+    /// First tick the wheel has not yet drained. Inserts behind it go
+    /// straight to `expired` (they are already due or nearly so).
+    cursor: u64,
+    /// Exact start time (µs) of the earliest occupied wheel slot, or
+    /// `u64::MAX` — lets packet pops skip the level scan entirely.
+    wheel_soonest_us: u64,
+    /// Entries currently bucketed in the wheel (incl. stale ones).
+    wheel_len: usize,
+    /// Payload slab indexed by `Entry::slot`.
+    slab: Vec<Slot<E>>,
     /// Free slots available for reuse.
     free: Vec<u32>,
-    cancelled: FxHashSet<u64>,
+    /// Live (scheduled, neither fired nor cancelled) events.
+    live: usize,
     now: Time,
     next_seq: u64,
     fired: u64,
@@ -163,9 +224,14 @@ impl<E> Scheduler<E> {
     pub fn new() -> Scheduler<E> {
         Scheduler {
             heap: MinHeap::default(),
+            wheel: (0..WHEEL_LEVELS).map(|_| WheelLevel::new()).collect(),
+            expired: MinHeap::default(),
+            cursor: 0,
+            wheel_soonest_us: u64::MAX,
+            wheel_len: 0,
             slab: Vec::new(),
             free: Vec::new(),
-            cancelled: FxHashSet::default(),
+            live: 0,
             now: Time::ZERO,
             next_seq: 0,
             fired: 0,
@@ -185,14 +251,34 @@ impl<E> Scheduler<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.pending() == 0
+        self.live == 0
     }
 
-    /// Schedule `payload` to fire at absolute time `at`.
+    /// Allocate a slab slot for `payload`, owned by `seq`.
+    fn alloc(&mut self, seq: u64, payload: E) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                let cell = &mut self.slab[s as usize];
+                debug_assert!(cell.payload.is_none());
+                cell.seq = seq;
+                cell.payload = Some(payload);
+                s
+            }
+            None => {
+                self.slab.push(Slot {
+                    seq,
+                    payload: Some(payload),
+                });
+                (self.slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Schedule a packet-class event at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error; it panics in debug builds
     /// and clamps to `now` in release builds.
@@ -205,57 +291,106 @@ impl<E> Scheduler<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(s) => {
-                debug_assert!(self.slab[s as usize].is_none());
-                self.slab[s as usize] = Some(payload);
-                s
-            }
-            None => {
-                self.slab.push(Some(payload));
-                (self.slab.len() - 1) as u32
-            }
-        };
+        let slot = self.alloc(seq, payload);
         self.heap.push(Entry::new(at, seq, slot));
-        EventId(seq)
+        self.live += 1;
+        EventId { seq, slot }
     }
 
-    /// Schedule `payload` to fire `delay` after the current time.
+    /// Schedule a packet-class event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: crate::time::Duration, payload: E) -> EventId {
         let at = self.now + delay;
         self.schedule(at, payload)
     }
 
+    /// Schedule a timer-class event at absolute time `at`. Identical
+    /// fire semantics to [`Scheduler::schedule`] — same clock, same
+    /// global FIFO tie-break — but carried by the timer wheel, which
+    /// keeps cancellation-heavy traffic (RTO re-arms, periodic sweeps)
+    /// out of the packet heap.
+    pub fn schedule_timer(&mut self, at: Time, payload: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.alloc(seq, payload);
+        self.wheel_insert(Entry::new(at, seq, slot));
+        self.live += 1;
+        EventId { seq, slot }
+    }
+
+    /// Schedule a timer-class event `delay` after the current time.
+    pub fn schedule_timer_in(&mut self, delay: crate::time::Duration, payload: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule_timer(at, payload)
+    }
+
     /// Cancel a scheduled event. Returns `true` if the event had not yet
-    /// fired (or been cancelled).
+    /// fired (or been cancelled). O(1): the payload is freed here; the
+    /// stale key is dropped when its structure next touches it.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        match self.slab.get_mut(id.slot as usize) {
+            Some(cell) if cell.seq == id.seq && cell.payload.is_some() => {
+                cell.payload = None;
+                self.free.push(id.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
-        // We cannot tell "already fired" from "never existed" cheaply, so
-        // insert and let pop-time filtering handle it. To keep the
-        // tombstone set bounded we only count it as cancelled if the heap
-        // can still contain it.
-        self.cancelled.insert(id.0)
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<Time> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.at())
+        self.settle(u64::MAX);
+        match (self.expired.peek(), self.heap.peek()) {
+            (Some(a), Some(b)) => Some(if a.before(b) { a.at() } else { b.at() }),
+            (Some(a), None) => Some(a.at()),
+            (None, Some(b)) => Some(b.at()),
+            (None, None) => None,
+        }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.skip_cancelled();
-        let entry = self.heap.pop()?;
-        if !self.cancelled.is_empty() {
-            self.cancelled.remove(&entry.seq());
+        self.pop_bounded(u64::MAX)
+    }
+
+    /// Pop the next event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: Time) -> Option<(Time, E)> {
+        self.pop_bounded(deadline.0)
+    }
+
+    fn pop_bounded(&mut self, limit_us: u64) -> Option<(Time, E)> {
+        self.settle(limit_us);
+        let take_expired = match (self.expired.peek(), self.heap.peek()) {
+            (Some(a), Some(b)) => a.before(b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let head = if take_expired {
+            *self.expired.peek().expect("peeked")
+        } else {
+            *self.heap.peek().expect("peeked")
+        };
+        if head.at_us > limit_us {
+            return None;
         }
+        let entry = if take_expired {
+            self.expired.pop().expect("peeked")
+        } else {
+            self.heap.pop().expect("peeked")
+        };
         let at = entry.at();
         debug_assert!(at >= self.now);
         self.now = at;
         self.fired += 1;
+        self.live -= 1;
         let payload = self.reclaim(entry.slot);
         Some((at, payload))
     }
@@ -263,55 +398,156 @@ impl<E> Scheduler<E> {
     /// Take a slot's payload and return the slot to the freelist.
     fn reclaim(&mut self, slot: u32) -> E {
         let payload = self.slab[slot as usize]
+            .payload
             .take()
-            .expect("heap entry always owns its slot");
+            .expect("entry that survives staleness checks owns its slot");
         self.free.push(slot);
         payload
     }
 
-    /// Pop the next event only if it fires at or before `deadline`.
-    pub fn pop_before(&mut self, deadline: Time) -> Option<(Time, E)> {
-        self.skip_cancelled();
-        if self.heap.peek()?.at() > deadline {
-            return None;
-        }
-        // One pop implementation: the re-run of skip_cancelled inside
-        // pop() exits immediately (nothing cancelled sits at the top).
-        self.pop()
-    }
-
     /// Advance the clock to `t` without firing anything (used when a run
-    /// ends before the queue drains). Panics if events earlier than `t`
-    /// are still pending in debug builds.
+    /// ends before the queue drains).
     pub fn fast_forward(&mut self, t: Time) {
         if t > self.now {
             self.now = t;
         }
     }
 
-    fn skip_cancelled(&mut self) {
-        if self.cancelled.is_empty() {
-            return;
-        }
+    /// Is this key's event gone (cancelled, slot freed or reused)?
+    #[inline]
+    fn stale(&self, e: &Entry) -> bool {
+        let cell = &self.slab[e.slot as usize];
+        cell.seq != e.seq || cell.payload.is_none()
+    }
+
+    /// Establish that the exact earliest pending event (if it fires at
+    /// or before `limit_us`) sits at the top of `heap` or `expired`:
+    /// drop stale heads, then drain every wheel slot whose start could
+    /// precede the current candidate.
+    fn settle(&mut self, limit_us: u64) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq()) {
-                let entry = self.heap.pop().expect("peeked");
-                self.reclaim(entry.slot);
+            if self.stale(top) {
+                self.heap.pop();
             } else {
                 break;
             }
         }
-        // A drained heap proves every remaining tombstone is dead — a
-        // cancellation of an id that already fired (indistinguishable
-        // from live at cancel time). Purge them so long runs with
-        // pathological cancel traffic don't grow the set without bound,
-        // and return the memory once it has ballooned.
-        if self.heap.len() == 0 && !self.cancelled.is_empty() {
-            self.cancelled.clear();
-            if self.cancelled.capacity() > TOMBSTONE_SHRINK {
-                self.cancelled.shrink_to_fit();
+        while let Some(top) = self.expired.peek() {
+            if self.stale(top) {
+                self.expired.pop();
+            } else {
+                break;
             }
         }
+        if self.wheel_len == 0 {
+            return;
+        }
+        let mut bound = limit_us;
+        if let Some(e) = self.heap.peek() {
+            bound = bound.min(e.at_us);
+        }
+        if let Some(e) = self.expired.peek() {
+            bound = bound.min(e.at_us);
+        }
+        // Any slot with start ≤ bound may hold an entry earlier than the
+        // candidate; slots with start > bound cannot (entries fire no
+        // earlier than their slot start). Draining can only move the true
+        // minimum into `expired`, never past it. The `wheel_len` guard
+        // terminates the `bound == u64::MAX` case once the wheel empties
+        // (`wheel_soonest_us` parks at `u64::MAX` then).
+        while self.wheel_len > 0 && self.wheel_soonest_us <= bound {
+            self.drain_next_slot();
+        }
+    }
+
+    /// Bucket one wheel entry relative to the cursor.
+    fn wheel_insert(&mut self, e: Entry) {
+        let tick = e.at_us >> TICK_SHIFT;
+        if tick < self.cursor {
+            // The cursor already passed this tick; the exact staging
+            // heap restores precise ordering.
+            self.expired.push(e);
+            return;
+        }
+        // Clamp far-future ticks to the wheel edge; they re-cascade.
+        let tick = tick.min(self.cursor + (WHEEL_SPAN - 1));
+        let masked = tick ^ self.cursor;
+        let level = if masked == 0 {
+            0
+        } else {
+            ((63 - masked.leading_zeros()) / WHEEL_BITS) as usize
+        };
+        let shift = WHEEL_BITS * level as u32;
+        let idx = ((tick >> shift) & (WHEEL_SLOTS as u64 - 1)) as usize;
+        let lvl = &mut self.wheel[level];
+        lvl.slots[idx].push(e);
+        lvl.occupied |= 1 << idx;
+        self.wheel_len += 1;
+        let start_us = self.slot_start_tick(level, idx) << TICK_SHIFT;
+        self.wheel_soonest_us = self.wheel_soonest_us.min(start_us);
+    }
+
+    /// First tick covered by `(level, idx)` relative to the cursor's
+    /// position (replace the cursor's level digit, zero the lower ones).
+    fn slot_start_tick(&self, level: usize, idx: usize) -> u64 {
+        let shift = WHEEL_BITS * level as u32;
+        let upper = self.cursor >> (shift + WHEEL_BITS);
+        ((upper << WHEEL_BITS) | idx as u64) << shift
+    }
+
+    /// `(level, idx)` of the earliest occupied slot. Occupied slots at
+    /// level 0 are at or after the cursor's slot within the current
+    /// window; at higher levels strictly after it (the current slot
+    /// cascades on entry) — so the lowest occupied level is earliest.
+    fn wheel_next(&self) -> Option<(usize, usize)> {
+        for (l, lvl) in self.wheel.iter().enumerate() {
+            if lvl.occupied == 0 {
+                continue;
+            }
+            let shift = WHEEL_BITS * l as u32;
+            let cl = ((self.cursor >> shift) & (WHEEL_SLOTS as u64 - 1)) as u32;
+            let from = if l == 0 { cl } else { cl + 1 };
+            let mask = (!0u64).checked_shl(from).unwrap_or(0);
+            let hit = lvl.occupied & mask;
+            if hit != 0 {
+                return Some((l, hit.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Drain the earliest occupied wheel slot: level 0 expires into the
+    /// staging heap; higher levels cascade down. Stale (cancelled)
+    /// entries are dropped here — this is where timer-cancellation
+    /// memory is reclaimed, amortized into normal popping.
+    fn drain_next_slot(&mut self) {
+        let Some((level, idx)) = self.wheel_next() else {
+            self.wheel_soonest_us = u64::MAX;
+            return;
+        };
+        let start_tick = self.slot_start_tick(level, idx);
+        // Jump the cursor to the slot being drained. Skipped slots are
+        // empty (this was the earliest), and slot starts never collide
+        // across levels, so no higher-level slot is entered unseen.
+        self.cursor = start_tick;
+        let lvl = &mut self.wheel[level];
+        lvl.occupied &= !(1 << idx);
+        let entries = std::mem::take(&mut lvl.slots[idx]);
+        self.wheel_len -= entries.len();
+        for e in entries {
+            if self.stale(&e) {
+                continue;
+            }
+            if level == 0 {
+                self.expired.push(e);
+            } else {
+                self.wheel_insert(e);
+            }
+        }
+        self.wheel_soonest_us = match self.wheel_next() {
+            Some((l, i)) => self.slot_start_tick(l, i) << TICK_SHIFT,
+            None => u64::MAX,
+        };
     }
 }
 
@@ -345,6 +581,28 @@ mod tests {
     }
 
     #[test]
+    fn ties_across_classes_fire_in_insertion_order() {
+        let mut s = Scheduler::new();
+        s.schedule(t(5), 0);
+        s.schedule_timer(t(5), 1);
+        s.schedule(t(5), 2);
+        s.schedule_timer(t(5), 3);
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timer_and_packet_classes_interleave_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_timer(t(50), "rto");
+        s.schedule(t(10), "depart");
+        s.schedule_timer(t(20), "sweep");
+        s.schedule(t(30), "arrive");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["depart", "sweep", "arrive", "rto"]);
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut s = Scheduler::new();
         s.schedule(t(10), ());
@@ -369,16 +627,33 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_noop() {
-        let mut s: Scheduler<()> = Scheduler::new();
-        assert!(!s.cancel(EventId(999)));
+    fn timer_cancellation() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_timer(t(10), "a");
+        s.schedule_timer(t(20), "b");
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double cancel reports false");
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(1), "a");
+        let b = s.schedule_timer(t(2), "b");
+        assert!(s.pop().is_some());
+        assert!(s.pop().is_some());
+        assert!(!s.cancel(a), "fired packet event cannot be cancelled");
+        assert!(!s.cancel(b), "fired timer event cannot be cancelled");
     }
 
     #[test]
     fn pending_accounts_for_cancelled() {
         let mut s = Scheduler::new();
         let a = s.schedule(t(1), ());
-        s.schedule(t(2), ());
+        s.schedule_timer(t(2), ());
         assert_eq!(s.pending(), 2);
         s.cancel(a);
         assert_eq!(s.pending(), 1);
@@ -398,10 +673,30 @@ mod tests {
     }
 
     #[test]
+    fn schedule_timer_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule(t(100), "base");
+        s.pop();
+        s.schedule_timer_in(Duration::from_millis(50), "later");
+        let (at, _) = s.pop().unwrap();
+        assert_eq!(at, t(150));
+    }
+
+    #[test]
     fn pop_before_respects_deadline() {
         let mut s = Scheduler::new();
         s.schedule(t(10), "a");
         s.schedule(t(30), "b");
+        assert!(s.pop_before(t(20)).is_some());
+        assert!(s.pop_before(t(20)).is_none());
+        assert!(s.pop_before(t(30)).is_some());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_for_timers() {
+        let mut s = Scheduler::new();
+        s.schedule_timer(t(10), "a");
+        s.schedule_timer(t(30), "b");
         assert!(s.pop_before(t(20)).is_some());
         assert!(s.pop_before(t(20)).is_none());
         assert!(s.pop_before(t(30)).is_some());
@@ -414,6 +709,14 @@ mod tests {
         s.schedule(t(9), "b");
         s.cancel(a);
         assert_eq!(s.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn peek_sees_earliest_across_classes() {
+        let mut s = Scheduler::new();
+        s.schedule(t(9), "pkt");
+        s.schedule_timer(t(5), "tmr");
+        assert_eq!(s.peek_time(), Some(t(5)));
     }
 
     #[test]
@@ -434,47 +737,89 @@ mod tests {
     }
 
     #[test]
-    fn tombstones_purged_when_heap_drains() {
+    fn steady_cancellation_reclaims_memory_incrementally() {
+        // The old tombstone set only purged when the heap fully
+        // drained; a long scenario with steady cancel traffic grew it
+        // without bound. Cancellation now frees payloads immediately
+        // and stale keys are dropped on contact, so memory stays
+        // bounded by the peak *live* population even though the
+        // structures never drain.
         let mut s = Scheduler::new();
-        // Cancel ids of events that already fired: the tombstones are
-        // unremovable by pop-filtering, but a drained heap proves them
-        // dead and purges the set.
-        let mut ids = Vec::new();
-        for i in 0..2000u64 {
-            ids.push(s.schedule(t(i), i));
+        for round in 0..10_000u64 {
+            // One long-lived event keeps the queue permanently
+            // non-empty; per round, schedule a timer and a packet and
+            // cancel both.
+            if round == 0 {
+                s.schedule(t(10_000_000), 0);
+            }
+            let a = s.schedule_timer(t(round + 1_000), 1);
+            let b = s.schedule(t(round + 1_000), 2);
+            s.cancel(a);
+            s.cancel(b);
+            if round % 7 == 0 {
+                // Pops amortize the stale-key cleanup.
+                let _ = s.peek_time();
+            }
         }
-        while s.pop().is_some() {}
-        for id in &ids {
-            s.cancel(*id);
-        }
-        assert_eq!(s.cancelled.len(), ids.len(), "tombstones accumulated");
-        // Any scheduling + drain cycle purges them.
-        s.schedule(t(5000), 0);
-        while s.pop().is_some() {}
-        assert!(s.cancelled.is_empty(), "drained heap purged tombstones");
+        assert_eq!(s.pending(), 1);
         assert!(
-            s.cancelled.capacity() <= TOMBSTONE_SHRINK,
-            "high-water capacity returned (got {})",
-            s.cancelled.capacity()
+            s.slab.len() <= 8,
+            "slab bounded by live population, got {}",
+            s.slab.len()
         );
-        // The scheduler still works normally afterwards.
-        s.schedule(t(6000), 7);
-        assert_eq!(s.pop().unwrap().1, 7);
     }
 
     #[test]
-    fn cancellation_correct_across_purges() {
+    fn cancellation_correct_across_slot_reuse() {
         let mut s = Scheduler::new();
         let a = s.schedule(t(1), "a");
         s.cancel(a);
         assert!(s.pop().is_none(), "cancelled event never fires");
-        // Heap drained; tombstone purged. New events are unaffected.
+        // Slot reused by a fresh event; the old id must not kill it.
         let b = s.schedule(t(2), "b");
-        let c = s.schedule(t(3), "c");
-        s.cancel(b);
+        assert!(!s.cancel(a), "stale id is inert after slot reuse");
         let fired: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        assert_eq!(fired, vec!["c"]);
-        let _ = c;
+        assert_eq!(fired, vec!["b"]);
+        let _ = b;
+    }
+
+    #[test]
+    fn timer_wheel_cascades_across_levels() {
+        let mut s = Scheduler::new();
+        // Spread timers across wheel levels: sub-tick, one slot, one
+        // level-1 window, one level-2 window, plus a far-future clamp.
+        let times = [
+            3u64,           // 3 ms: level 0
+            200,            // level 1
+            7_000,          // level 2 (> 64 * 64 ticks ≈ 4.2 s)
+            500_000,        // level 3
+            40_000_000,     // deep wheel
+            10_000_000_000, // beyond everything sane
+        ];
+        for (i, &ms) in times.iter().enumerate() {
+            s.schedule_timer(t(ms), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
+        let expect: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| (t(ms), i))
+            .collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn timer_scheduled_behind_cursor_still_fires_in_order() {
+        let mut s = Scheduler::new();
+        s.schedule_timer(t(100), "far");
+        // Advance deep into the wheel.
+        s.schedule(t(50), "pkt");
+        assert_eq!(s.pop().unwrap().1, "pkt");
+        // now = 50 ms; the cursor sits at 50 ms's tick. A timer at
+        // now lands at/behind the cursor and must still beat "far".
+        s.schedule_timer(s.now(), "immediate");
+        assert_eq!(s.pop().unwrap().1, "immediate");
+        assert_eq!(s.pop().unwrap().1, "far");
     }
 
     #[test]
@@ -485,6 +830,19 @@ mod tests {
         }
         while s.pop().is_some() {}
         assert_eq!(s.events_fired(), 10);
+    }
+
+    #[test]
+    fn cancelled_events_never_count_as_fired() {
+        let mut s = Scheduler::new();
+        for i in 0..10u64 {
+            let id = s.schedule_timer(t(i + 1), i);
+            if i % 2 == 0 {
+                s.cancel(id);
+            }
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.events_fired(), 5);
     }
 
     #[test]

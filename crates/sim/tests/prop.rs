@@ -51,6 +51,72 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// Random interleavings of schedule/schedule_timer/cancel/pop agree
+    /// with a naive sorted-vec model: exact (time, seq) order across
+    /// both event classes, stable FIFO tie-break, no resurrection of
+    /// cancelled ids, exact `pending()` accounting.
+    #[test]
+    fn scheduler_matches_sorted_vec_model(
+        ops in proptest::collection::vec((0u8..8, 0u64..50_000, any::<usize>()), 1..400),
+    ) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        // Model: (fire_at, seq) of every still-pending event, plus the
+        // payload keyed by seq. seq is the op index that scheduled it.
+        let mut model: Vec<(u64, usize)> = Vec::new();
+        let mut ids: Vec<(usize, macedon_sim::EventId)> = Vec::new();
+        let mut now = 0u64;
+        for (i, &(kind, dt, pick)) in ops.iter().enumerate() {
+            match kind {
+                // Both classes must behave identically w.r.t. order, so
+                // the model doesn't distinguish them.
+                0..=2 => {
+                    let at = now + dt;
+                    let id = s.schedule(Time::from_micros(at), i);
+                    model.push((at, i));
+                    ids.push((i, id));
+                }
+                3..=5 => {
+                    let at = now + dt;
+                    let id = s.schedule_timer(Time::from_micros(at), i);
+                    model.push((at, i));
+                    ids.push((i, id));
+                }
+                6 => {
+                    if !ids.is_empty() {
+                        let (seq, id) = ids[pick % ids.len()];
+                        let was_pending = model.iter().any(|&(_, q)| q == seq);
+                        prop_assert_eq!(s.cancel(id), was_pending, "cancel exactness");
+                        model.retain(|&(_, q)| q != seq);
+                        // A second cancel must be a no-op.
+                        prop_assert!(!s.cancel(id), "no double cancel");
+                    }
+                }
+                _ => {
+                    let expect = model.iter().copied().min();
+                    match s.pop() {
+                        Some((at, seq)) => {
+                            let (mat, mseq) = expect.expect("model empty but scheduler popped");
+                            prop_assert_eq!((at.as_micros(), seq), (mat, mseq), "exact (time, seq) order");
+                            model.retain(|&(_, q)| q != seq);
+                            now = at.as_micros();
+                        }
+                        None => prop_assert!(expect.is_none(), "scheduler empty but model has events"),
+                    }
+                }
+            }
+            prop_assert_eq!(s.pending(), model.len(), "pending() exact");
+        }
+        // Drain: remainder comes out in exact model order.
+        let mut rest: Vec<(u64, usize)> = model.clone();
+        rest.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((at, seq)) = s.pop() {
+            got.push((at.as_micros(), seq));
+        }
+        prop_assert_eq!(got, rest);
+        prop_assert!(s.is_empty());
+    }
+
     /// gen_range stays in bounds and hits every residue eventually.
     #[test]
     fn rng_range_in_bounds(seed in any::<u64>(), bound in 1u64..1000) {

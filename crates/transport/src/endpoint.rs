@@ -54,14 +54,35 @@ impl ChannelSpec {
     }
 }
 
-/// Identifies a pending RTO for one connection; carried through the
-/// caller's scheduler and handed back to [`Endpoint::on_timer`].
+/// Which per-connection timer a [`TimerKey`] names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimerKind {
+    /// Retransmission timeout (sender side).
+    Rto,
+    /// Delayed-ack flush (receiver side).
+    DelayedAck,
+}
+
+/// Identifies a pending connection timer; carried through the caller's
+/// scheduler and handed back to [`Endpoint::on_timer`]. At most one
+/// timer per `(node, peer, channel, kind)` is live at a time: arming
+/// again supersedes (the caller cancels the previous scheduler entry),
+/// and `gen` stays as a defense-in-depth stale filter for RTOs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerKey {
     pub node: NodeId,
     pub peer: NodeId,
     pub channel: ChannelId,
+    pub kind: TimerKind,
     pub gen: u64,
+}
+
+impl TimerKey {
+    /// The scheduler-map key: everything but the generation (one live
+    /// timer per connection and kind).
+    pub fn slot(&self) -> (NodeId, NodeId, ChannelId, TimerKind) {
+        (self.node, self.peer, self.channel, self.kind)
+    }
 }
 
 /// Output buffer of endpoint operations.
@@ -69,8 +90,12 @@ pub struct TimerKey {
 pub struct TransportSink {
     /// Packets to inject into the emulated network.
     pub packets: Vec<Packet<Segment>>,
-    /// RTO timers to schedule.
+    /// Connection timers to schedule (superseding any live timer with
+    /// the same [`TimerKey::slot`]).
     pub timers: Vec<(Time, TimerKey)>,
+    /// Connection timers now known dead; the caller should cancel the
+    /// scheduler entry rather than let it fire stale.
+    pub cancel_timers: Vec<TimerKey>,
     /// Fully reassembled messages handed to the layer above:
     /// (source host, channel, message bytes).
     pub delivered: Vec<(NodeId, ChannelId, Bytes)>,
@@ -188,7 +213,7 @@ impl Endpoint {
                 },
                 Conn::Reliable(r),
             ) => {
-                r.on_data(seq, msg, frag, frags, bytes, &mut co);
+                r.on_data(now, seq, msg, frag, frags, bytes, &mut co);
             }
             (SegKind::Ack { cum }, Conn::Reliable(r)) => {
                 r.on_ack(now, cum, &mut co);
@@ -211,12 +236,16 @@ impl Endpoint {
         self.conns.retain(|&(p, _), _| p != peer);
     }
 
-    /// Handle an RTO timer previously emitted via [`TransportSink::timers`].
+    /// Handle a connection timer previously emitted via
+    /// [`TransportSink::timers`].
     pub fn on_timer(&mut self, now: Time, key: TimerKey, out: &mut TransportSink) {
         debug_assert_eq!(key.node, self.node);
         let mut co = std::mem::take(&mut self.scratch);
         if let Some(Conn::Reliable(r)) = self.conns.get_mut(&(key.peer, key.channel)) {
-            r.on_rto(now, key.gen, &mut co);
+            match key.kind {
+                TimerKind::Rto => r.on_rto(now, key.gen, &mut co),
+                TimerKind::DelayedAck => r.on_ack_timeout(&mut co),
+            }
             self.flush_conn_out(key.peer, key.channel, &mut co, out);
         }
         self.scratch = co;
@@ -286,16 +315,24 @@ impl Endpoint {
         if let Some(rtt) = co.ack_rtt.take() {
             out.ack_samples.push((peer, rtt));
         }
+        let key = |kind, gen| TimerKey {
+            node: self.node,
+            peer,
+            channel: ch,
+            kind,
+            gen,
+        };
         if let Some((at, gen)) = co.arm_timer.take() {
-            out.timers.push((
-                at,
-                TimerKey {
-                    node: self.node,
-                    peer,
-                    channel: ch,
-                    gen,
-                },
-            ));
+            out.timers.push((at, key(TimerKind::Rto, gen)));
+        } else if std::mem::take(&mut co.cancel_rto) {
+            out.cancel_timers.push(key(TimerKind::Rto, 0));
+        }
+        co.cancel_rto = false;
+        if let Some(at) = co.arm_ack_timer.take() {
+            out.timers.push((at, key(TimerKind::DelayedAck, 0)));
+        }
+        if std::mem::take(&mut co.cancel_ack_timer) {
+            out.cancel_timers.push(key(TimerKind::DelayedAck, 0));
         }
     }
 }
@@ -375,13 +412,30 @@ mod tests {
         }
         assert_eq!(out_b.delivered.len(), 1);
         assert_eq!(&out_b.delivered[0].2[..], b"payload");
+        // A lone segment on a quiet connection acks immediately — no
+        // delayed-ack timer, so the sparse case costs zero timer events.
+        assert_eq!(out_b.packets.len(), 1);
+        assert!(
+            !out_b
+                .timers
+                .iter()
+                .any(|(_, k)| k.kind == TimerKind::DelayedAck),
+            "sparse arrival must not arm the delayed-ack timer"
+        );
         // b's ACK back to a clears the backlog.
         let mut out_a2 = TransportSink::new();
         for pkt in out_b.packets.drain(..) {
-            a.on_packet(Time::from_millis(10), pkt.src, pkt.payload, &mut out_a2);
+            a.on_packet(Time::from_millis(16), pkt.src, pkt.payload, &mut out_a2);
         }
         assert_eq!(a.channel_stats(ch).segments_sent, 1);
         assert_eq!(a.channel_stats(ch).retransmissions, 0);
+        assert!(
+            out_a2
+                .cancel_timers
+                .iter()
+                .any(|k| k.kind == TimerKind::Rto),
+            "drained window cancels a's RTO"
+        );
     }
 
     #[test]

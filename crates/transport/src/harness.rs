@@ -4,16 +4,16 @@
 //! its own richer world; this one exists so the transport layer can be
 //! exercised and measured in isolation.)
 
-use crate::endpoint::{ChannelId, ChannelSpec, Endpoint, TimerKey, TransportSink};
+use crate::endpoint::{ChannelId, ChannelSpec, Endpoint, TimerKey, TimerKind, TransportSink};
 use crate::segment::Segment;
 use bytes::Bytes;
 use macedon_net::{NetEvent, Network, NetworkConfig, NodeId, Sink, Topology};
-use macedon_sim::{Scheduler, Time};
+use macedon_sim::{EventId, Scheduler, Time};
 use std::collections::HashMap;
 
 /// Events in the transport test world.
 pub enum Ev {
-    Net(NetEvent<Segment>),
+    Net(NetEvent),
     Rto(TimerKey),
 }
 
@@ -22,6 +22,9 @@ pub struct TransportWorld {
     pub net: Network<Segment>,
     pub sched: Scheduler<Ev>,
     pub endpoints: HashMap<NodeId, Endpoint>,
+    /// Live scheduler entry per connection timer class; re-arms cancel
+    /// the superseded entry (mirrors the full engine's bookkeeping).
+    timers: HashMap<(NodeId, NodeId, ChannelId, TimerKind), EventId>,
     /// Everything delivered to application level: (at, to, from, channel, bytes).
     pub inbox: Vec<(Time, NodeId, NodeId, ChannelId, Bytes)>,
 }
@@ -38,7 +41,23 @@ impl TransportWorld {
             net,
             sched: Scheduler::new(),
             endpoints,
+            timers: HashMap::new(),
             inbox: Vec::new(),
+        }
+    }
+
+    fn absorb_timers(&mut self, tout: &mut TransportSink) {
+        for key in tout.cancel_timers.drain(..) {
+            if let Some(ev) = self.timers.remove(&key.slot()) {
+                self.sched.cancel(ev);
+            }
+        }
+        for (at, key) in tout.timers.drain(..) {
+            let slot = key.slot();
+            let ev = self.sched.schedule_timer(at, Ev::Rto(key));
+            if let Some(old) = self.timers.insert(slot, ev) {
+                self.sched.cancel(old);
+            }
         }
     }
 
@@ -68,6 +87,7 @@ impl TransportWorld {
                     self.absorb_net(now, nout);
                 }
                 Ev::Rto(key) => {
+                    self.timers.remove(&key.slot());
                     let mut tout = TransportSink::new();
                     if let Some(ep) = self.endpoints.get_mut(&key.node) {
                         ep.on_timer(now, key, &mut tout);
@@ -84,9 +104,7 @@ impl TransportWorld {
         for pkt in tout.packets.drain(..) {
             self.net.send(now, pkt, &mut nout);
         }
-        for (at, key) in tout.timers.drain(..) {
-            self.sched.schedule(at, Ev::Rto(key));
-        }
+        self.absorb_timers(&mut tout);
         for (from, ch, msg) in tout.delivered.drain(..) {
             // Delivered synchronously during absorb (e.g. loopback).
             self.inbox.push((now, NodeId(u32::MAX), from, ch, msg));
@@ -105,9 +123,7 @@ impl TransportWorld {
             if let Some(ep) = self.endpoints.get_mut(&to) {
                 ep.on_packet(d.at, from, d.pkt.payload, &mut tout);
             }
-            for (at, key) in tout.timers.drain(..) {
-                self.sched.schedule(at, Ev::Rto(key));
-            }
+            self.absorb_timers(&mut tout);
             let mut nout2 = Sink::new();
             for pkt in tout.packets.drain(..) {
                 self.net.send(d.at, pkt, &mut nout2);

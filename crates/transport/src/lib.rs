@@ -39,5 +39,7 @@ pub mod rtt;
 pub mod segment;
 pub mod udp;
 
-pub use endpoint::{ChannelId, ChannelSpec, Endpoint, TimerKey, TransportKind, TransportSink};
+pub use endpoint::{
+    ChannelId, ChannelSpec, Endpoint, TimerKey, TimerKind, TransportKind, TransportSink,
+};
 pub use segment::{SegKind, Segment};

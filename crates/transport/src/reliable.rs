@@ -68,6 +68,14 @@ pub struct ReliableConn {
     ooo: BTreeMap<u64, SegBuf>,
     partial: Vec<Bytes>,
     partial_msg: Option<u64>,
+    /// In-order data segments received but not yet acknowledged
+    /// (delayed-ack state).
+    ack_pending: u32,
+    /// A delayed-ack timer is outstanding at the endpoint.
+    ack_timer_armed: bool,
+    /// Arrival time of the previous data segment (burst detector for
+    /// the adaptive delayed ack).
+    last_data_at: Option<Time>,
     // --- stats ---
     pub stats: ConnStats,
 }
@@ -81,8 +89,19 @@ pub struct ConnOut {
     /// Fully reassembled inbound messages, in order.
     pub delivered: Vec<Bytes>,
     /// Re-arm the RTO timer at the given absolute time with this
-    /// generation (at most one per call).
+    /// generation (at most one per call). Supersedes any outstanding
+    /// RTO for this connection.
     pub arm_timer: Option<(Time, u64)>,
+    /// The send window fully drained: the outstanding RTO (if any) is
+    /// dead and the caller should cancel it rather than let it fire
+    /// stale.
+    pub cancel_rto: bool,
+    /// Arm the delayed-ack timer at the given absolute time (at most
+    /// one outstanding per connection).
+    pub arm_ack_timer: Option<Time>,
+    /// A pending delayed ack was flushed by other traffic: cancel the
+    /// outstanding delayed-ack timer.
+    pub cancel_ack_timer: bool,
     /// An acknowledgement advanced the send window: the Karn-filtered
     /// RTT sample taken from it, if any (at most one per call). Feeds
     /// the engine's per-peer measurement ledger.
@@ -94,6 +113,13 @@ const INITIAL_SSTHRESH: f64 = 64.0;
 /// Cap on out-of-order buffering at the receiver (segments); beyond this
 /// the receiver drops (sender will retransmit).
 const OOO_CAP: usize = 1024;
+/// Cumulative-ack cap: acknowledge at latest every `ACK_EVERY`-th
+/// in-order data segment (TCP's delayed-ack "every second segment").
+pub const ACK_EVERY: u32 = 2;
+/// Delayed-ack timeout for in-order data below the cap. Must stay well
+/// under [`crate::rtt::MIN_RTO`] (50 ms) so a coalesced ack never races
+/// the sender's retransmission timer.
+pub const DELAYED_ACK: Duration = Duration(10_000);
 
 impl ReliableConn {
     pub fn new(policy: WindowPolicy) -> ReliableConn {
@@ -113,6 +139,9 @@ impl ReliableConn {
             ooo: BTreeMap::new(),
             partial: Vec::new(),
             partial_msg: None,
+            ack_pending: 0,
+            ack_timer_armed: false,
+            last_data_at: None,
             stats: ConnStats::default(),
         }
     }
@@ -161,10 +190,24 @@ impl ReliableConn {
         self.pump(now, out);
     }
 
-    /// Handle an inbound data segment; emits ACKs and any completed
-    /// messages.
+    /// Handle an inbound data segment; emits ACKs (coalesced for
+    /// in-order traffic) and any completed messages.
+    ///
+    /// Ack policy, mirroring TCP delayed acks: a segment that arrives
+    /// out of order, duplicates, or leaves a sequence gap is
+    /// acknowledged **immediately** — those acks are the sender's loss
+    /// signal (three duplicates trigger fast retransmit). Clean
+    /// in-order arrivals are acknowledged every [`ACK_EVERY`]-th
+    /// segment; below the cap the ack is deferred by [`DELAYED_ACK`]
+    /// **only when a companion segment is plausibly imminent** (the
+    /// segment is a non-final fragment of its message, or the previous
+    /// segment arrived within the delayed-ack window). On a sparse
+    /// stream deferring cannot coalesce anything — it just adds a timer
+    /// fire on top of the same ack packet — so the ack goes out at once.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_data(
         &mut self,
+        now: Time,
         seq: u64,
         msg: u64,
         frag: u16,
@@ -172,6 +215,7 @@ impl ReliableConn {
         bytes: Bytes,
         out: &mut ConnOut,
     ) {
+        let before = self.rcv_nxt;
         if seq >= self.rcv_nxt && self.ooo.len() < OOO_CAP {
             self.ooo.entry(seq).or_insert(SegBuf {
                 msg,
@@ -187,11 +231,53 @@ impl ReliableConn {
                 self.accept_in_order(sb, out);
             }
         }
+        let advanced = (self.rcv_nxt - before) as u32;
+        let clean = advanced > 0 && self.ooo.is_empty();
+        let burst = frag + 1 < frags
+            || self
+                .last_data_at
+                .is_some_and(|prev| now.saturating_since(prev) <= DELAYED_ACK);
+        self.last_data_at = Some(now);
+        if !clean {
+            // Duplicate, out-of-order, or still-gapped: ack now so the
+            // sender sees duplicates and can fast-retransmit.
+            self.flush_ack(out);
+        } else {
+            self.ack_pending += advanced;
+            if self.ack_pending >= ACK_EVERY || !burst {
+                self.flush_ack(out);
+            } else if !self.ack_timer_armed {
+                self.ack_timer_armed = true;
+                out.arm_ack_timer = Some(now + DELAYED_ACK);
+            }
+        }
+    }
+
+    /// Emit a cumulative ack now, clearing delayed-ack state.
+    fn flush_ack(&mut self, out: &mut ConnOut) {
+        self.ack_pending = 0;
+        if self.ack_timer_armed {
+            self.ack_timer_armed = false;
+            out.cancel_ack_timer = true;
+        }
         self.stats.acks_sent += 1;
         out.tx.push(Segment {
             channel: ChannelId(0), // endpoint rewrites
             kind: SegKind::Ack { cum: self.rcv_nxt },
         });
+    }
+
+    /// The delayed-ack timer fired: flush whatever is pending.
+    pub fn on_ack_timeout(&mut self, out: &mut ConnOut) {
+        self.ack_timer_armed = false;
+        if self.ack_pending > 0 {
+            self.ack_pending = 0;
+            self.stats.acks_sent += 1;
+            out.tx.push(Segment {
+                channel: ChannelId(0),
+                kind: SegKind::Ack { cum: self.rcv_nxt },
+            });
+        }
     }
 
     fn accept_in_order(&mut self, sb: SegBuf, out: &mut ConnOut) {
@@ -377,10 +463,13 @@ impl ReliableConn {
 
     fn rearm(&mut self, now: Time, out: &mut ConnOut) {
         if self.in_flight() == 0 {
+            // Window drained: the outstanding RTO has nothing to guard.
+            out.cancel_rto = true;
             return;
         }
         self.timer_gen += 1;
         out.arm_timer = Some((now + self.est.rto(), self.timer_gen));
+        out.cancel_rto = false;
     }
 }
 
@@ -414,18 +503,22 @@ mod tests {
         assert_eq!(out.tx.len(), 1);
         let (seq, msg, frag, frags, bytes) = data_fields(&out.tx[0]);
         let mut out_b = ConnOut::default();
-        b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_data(t(5), seq, msg, frag, frags, bytes, &mut out_b);
         assert_eq!(out_b.delivered.len(), 1);
         assert_eq!(&out_b.delivered[0][..], b"hello");
-        // ACK flows back.
+        // A lone segment on a quiet connection acks at once: there is
+        // nothing to coalesce with, so deferring would only add a timer.
+        assert_eq!(out_b.tx.len(), 1, "sparse arrival acks immediately");
+        assert!(out_b.arm_ack_timer.is_none());
         let SegKind::Ack { cum } = out_b.tx[0].kind else {
             panic!()
         };
         assert_eq!(cum, 1);
         let mut out_a = ConnOut::default();
-        a.on_ack(t(10), cum, &mut out_a);
+        a.on_ack(t(16), cum, &mut out_a);
         assert_eq!(a.backlog(), 0);
-        assert_eq!(a.srtt(), Some(Duration::from_millis(10)));
+        assert_eq!(a.srtt(), Some(Duration::from_millis(16)));
+        assert!(out_a.cancel_rto, "drained window cancels the RTO");
     }
 
     #[test]
@@ -439,10 +532,21 @@ mod tests {
         let mut out_b = ConnOut::default();
         for seg in &out.tx {
             let (seq, msg, frag, frags, bytes) = data_fields(seg);
-            b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
         }
         assert_eq!(out_b.delivered.len(), 1);
         assert_eq!(&out_b.delivered[0][..], &payload[..]);
+        // In-order stream: one coalesced ack per ACK_EVERY segments.
+        let acks = out_b
+            .tx
+            .iter()
+            .filter(|s| matches!(s.kind, SegKind::Ack { .. }))
+            .count();
+        assert!(
+            acks <= out.tx.len().div_ceil(ACK_EVERY as usize),
+            "{acks} acks for {} segments",
+            out.tx.len()
+        );
     }
 
     #[test]
@@ -457,7 +561,7 @@ mod tests {
         segs.reverse(); // deliver in reverse order
         let mut out_b = ConnOut::default();
         for (seq, msg, frag, frags, bytes) in segs {
-            b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
         }
         let got: Vec<&[u8]> = out_b.delivered.iter().map(|b| &b[..]).collect();
         assert_eq!(
@@ -474,10 +578,122 @@ mod tests {
         a.send(t(0), Bytes::from_static(b"dup"), &mut out);
         let (seq, msg, frag, frags, bytes) = data_fields(&out.tx[0]);
         let mut out_b = ConnOut::default();
-        b.on_data(seq, msg, frag, frags, bytes.clone(), &mut out_b);
-        b.on_data(seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_data(t(1), seq, msg, frag, frags, bytes.clone(), &mut out_b);
+        assert_eq!(out_b.tx.len(), 1, "sparse in-order segment acks at once");
+        b.on_data(t(2), seq, msg, frag, frags, bytes, &mut out_b);
         assert_eq!(out_b.delivered.len(), 1);
-        assert_eq!(out_b.tx.len(), 2, "every data segment is acked");
+        assert_eq!(out_b.tx.len(), 2, "duplicate forces an immediate ack");
+    }
+
+    #[test]
+    fn dense_stream_defers_then_duplicate_cancels_timer() {
+        let mut a = ReliableConn::new(WindowPolicy::Tcp);
+        let mut b = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        for i in 0..3u8 {
+            a.send(t(0), Bytes::from(vec![i]), &mut out);
+        }
+        let segs: Vec<_> = out.tx.iter().map(data_fields).collect();
+        let mut out_b = ConnOut::default();
+        // Seg 0 on a quiet conn: immediate ack. Seg 1 arrives 1 ms later
+        // (dense): deferred, timer armed.
+        let (seq, msg, frag, frags, bytes) = segs[0].clone();
+        b.on_data(t(1), seq, msg, frag, frags, bytes.clone(), &mut out_b);
+        assert_eq!(out_b.tx.len(), 1);
+        let (seq1, msg1, frag1, frags1, bytes1) = segs[1].clone();
+        b.on_data(t(2), seq1, msg1, frag1, frags1, bytes1, &mut out_b);
+        assert_eq!(out_b.tx.len(), 1, "dense arrival defers its ack");
+        assert!(out_b.arm_ack_timer.is_some());
+        // A duplicate of seg 0 flushes immediately and cancels the timer.
+        b.on_data(t(3), seq, msg, frag, frags, bytes, &mut out_b);
+        assert_eq!(out_b.tx.len(), 2);
+        assert!(
+            out_b.cancel_ack_timer,
+            "immediate ack cancels the delayed-ack timer"
+        );
+    }
+
+    #[test]
+    fn in_order_stream_coalesces_acks() {
+        let mut a = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut out = ConnOut::default();
+        for i in 0..8u8 {
+            a.send(t(0), Bytes::from(vec![i]), &mut out);
+        }
+        let mut out_b = ConnOut::default();
+        for seg in &out.tx {
+            let (seq, msg, frag, frags, bytes) = data_fields(seg);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+        }
+        let acks: Vec<u64> = out_b
+            .tx
+            .iter()
+            .filter_map(|s| match s.kind {
+                SegKind::Ack { cum } => Some(cum),
+                _ => None,
+            })
+            .collect();
+        // The first segment (quiet conn) acks at once; from then on the
+        // dense stream coalesces one cumulative ack per ACK_EVERY.
+        assert_eq!(acks, vec![1, 3, 5, 7], "one cumulative ack per {ACK_EVERY}");
+        assert_eq!(b.stats.acks_sent, 4);
+        // Segment 8 is still pending under the armed delayed-ack timer.
+        assert!(out_b.arm_ack_timer.is_some());
+        b.on_ack_timeout(&mut out_b);
+        let SegKind::Ack { cum } = out_b.tx.last().unwrap().kind else {
+            panic!()
+        };
+        assert_eq!(cum, 8);
+    }
+
+    #[test]
+    fn out_of_order_acks_immediately_for_fast_retransmit() {
+        let mut a = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
+        let mut out = ConnOut::default();
+        for i in 0..5u8 {
+            a.send(t(0), Bytes::from(vec![i]), &mut out);
+        }
+        let segs: Vec<_> = out.tx.iter().map(data_fields).collect();
+        let mut out_b = ConnOut::default();
+        // Deliver 0, then skip 1: every gapped arrival duplicates cum=1.
+        let (seq, msg, frag, frags, bytes) = segs[0].clone();
+        b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_ack_timeout(&mut out_b); // flush the delayed ack for seg 0
+        for s in &segs[2..] {
+            let (seq, msg, frag, frags, bytes) = s.clone();
+            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+        }
+        let acks: Vec<u64> = out_b
+            .tx
+            .iter()
+            .filter_map(|s| match s.kind {
+                SegKind::Ack { cum } => Some(cum),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            acks,
+            vec![1, 1, 1, 1],
+            "gapped arrivals each ack immediately (dup-ack signal)"
+        );
+    }
+
+    #[test]
+    fn delayed_ack_timer_flushes_pending() {
+        let mut b = ReliableConn::new(WindowPolicy::Tcp);
+        let mut out = ConnOut::default();
+        // Mid-message fragment: more of the burst is coming, so the ack
+        // defers under the timer.
+        b.on_data(t(1), 0, 0, 0, 2, Bytes::from_static(b"x"), &mut out);
+        assert!(out.tx.is_empty());
+        assert!(out.arm_ack_timer.is_some());
+        b.on_ack_timeout(&mut out);
+        assert_eq!(out.tx.len(), 1);
+        // A spurious second timeout emits nothing.
+        b.on_ack_timeout(&mut out);
+        assert_eq!(out.tx.len(), 1);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! engine-measured metrics report printed at the end.
 //!
 //! Run with: `cargo run --release --example churn`
+//!
+//! Pass `--json` (optionally `--json path.json`) to emit the report as
+//! machine-readable JSON instead of the text table.
 
 use macedon::lang::SpecRegistry;
 use macedon::prelude::*;
@@ -27,6 +30,12 @@ at 110s  restore 5
 ";
 
 fn main() {
+    // `--json` prints the report as JSON; `--json <path>` writes it to
+    // a file instead (and keeps stdout to the one-line run banner).
+    let argv: Vec<String> = std::env::args().collect();
+    let json_mode = argv.iter().position(|a| a == "--json");
+    let json_path = json_mode.and_then(|i| argv.get(i + 1)).cloned();
+
     let scenario = script::parse(SCRIPT).expect("script parses");
     println!(
         "scenario '{}': {} nodes, {} events, {}s simulated",
@@ -58,9 +67,13 @@ fn main() {
 
     let start = std::time::Instant::now();
     let outcome = runner.run();
-    println!(
-        "ran in {:.2}s wall\n\n{}",
-        start.elapsed().as_secs_f64(),
-        outcome.report.render()
-    );
+    println!("ran in {:.2}s wall", start.elapsed().as_secs_f64());
+    match (json_mode, json_path) {
+        (Some(_), Some(path)) => {
+            std::fs::write(&path, outcome.report.to_json()).expect("write json report");
+            println!("wrote {path}");
+        }
+        (Some(_), None) => print!("{}", outcome.report.to_json()),
+        (None, _) => print!("\n{}", outcome.report.render()),
+    }
 }
