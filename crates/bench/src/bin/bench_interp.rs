@@ -23,6 +23,14 @@ use std::time::Instant;
 const BASELINE_DISPATCH_NS: f64 = 411.3;
 const BASELINE_MACRO_MS: f64 = 807.0;
 
+/// Self-asserted regression ceilings (the `bench_scale` pattern: the
+/// bin aborts, so CI fails on a perf regression instead of silently
+/// flattening the artifact curve). Committed `BENCH_interp.json`
+/// measured 186.4 ns/event and 566 ms; the ceilings leave ~2x headroom
+/// for runner noise while staying below the pre-IR baselines above.
+const CEILING_DISPATCH_NS: f64 = 350.0;
+const CEILING_MACRO_MS: f64 = 1_500.0;
+
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -66,6 +74,11 @@ fn main() {
         dispatch_ns = dispatch_ns.min(start.elapsed().as_nanos() as f64 / events as f64);
     }
     println!("dispatch: {events} events, {dispatch_ns:.1} ns/event (min of 3)");
+    assert!(
+        dispatch_ns < CEILING_DISPATCH_NS,
+        "interpreter dispatch regressed: {dispatch_ns:.1} ns/event, \
+         ceiling is {CEILING_DISPATCH_NS} ns (committed baseline 186.4)"
+    );
 
     // -- macro: seeded from-spec splitstream world ---------------------------
     let mut macro_ms = f64::INFINITY;
@@ -82,6 +95,13 @@ fn main() {
          {transitions} transitions, {macro_ms:.0} ms wall (min of 3)"
     );
     assert!(delivered > 0, "macro run must do real work");
+    if nodes == 200 {
+        assert!(
+            macro_ms < CEILING_MACRO_MS,
+            "macro splitstream run regressed: {macro_ms:.0} ms, \
+             ceiling is {CEILING_MACRO_MS} ms (committed baseline 566)"
+        );
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"interp\",\n  \"dispatch\": {{ \"events\": {events}, \

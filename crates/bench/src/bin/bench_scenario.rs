@@ -14,6 +14,14 @@
 use macedon_bench::experiments::{scenario_churn_run, scenario_churn_script};
 use std::time::Instant;
 
+/// Self-asserted regression ceilings (the `bench_scale` pattern: abort
+/// so CI fails on a perf regression instead of silently flattening the
+/// artifact curve). Committed `BENCH_scenario.json` measured
+/// 2.1 us/parse and 3.41 us/event on the default 200-node run; the
+/// ceilings leave wide headroom for runner noise.
+const CEILING_COMPILE_US: f64 = 25.0;
+const CEILING_US_PER_EVENT: f64 = 10.0;
+
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -46,6 +54,13 @@ fn main() {
         compile_us = compile_us.min(start.elapsed().as_micros() as f64 / ROUNDS as f64);
     }
     println!("compile: {nodes}-node churn script, {compile_us:.1} us/parse (min of 3)");
+    if nodes == 200 {
+        assert!(
+            compile_us < CEILING_COMPILE_US,
+            "scenario compile regressed: {compile_us:.1} us/parse, \
+             ceiling is {CEILING_COMPILE_US} us (committed baseline 2.1)"
+        );
+    }
 
     // -- macro: seeded churn run over the from-spec splitstream stack -------
     let mut churn_ms = f64::INFINITY;
@@ -66,6 +81,13 @@ fn main() {
     );
     assert!(delivered > 0, "churn run must deliver real traffic");
     assert!(alive > nodes / 2, "most nodes must survive the scenario");
+    if nodes == 200 {
+        assert!(
+            us_per_event < CEILING_US_PER_EVENT,
+            "churn run regressed: {us_per_event:.2} us/event, \
+             ceiling is {CEILING_US_PER_EVENT} us (committed baseline 3.41)"
+        );
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"scenario\",\n  \"compile\": {{ \"script_nodes\": {nodes}, \

@@ -766,6 +766,78 @@ fn run_scenario_script_on(script: &str, nodes: usize, link: LinkSpec) -> ChurnRu
 }
 
 // ---------------------------------------------------------------------------
+// Sweep harness (bin/bench_sweep and the churn example's `sweep` command)
+// ---------------------------------------------------------------------------
+
+/// The benchmark sweep template: the churn scenario of
+/// [`scenario_churn_script`] made scale-generic with `{nodes}`
+/// arithmetic, plus a `{loss}` grid axis injecting network-wide packet
+/// loss before the stream starts.
+pub const SWEEP_CHURN_TEMPLATE: &str = "scenario sweep-churn\nnodes {nodes}\nend 80s\n\
+     at 0s join 0..{nodes/4} over 2s\n\
+     at 4s join {nodes/4}..{nodes} over 8s\n\
+     at 10s drop {loss}\n\
+     at 20s stream 0 rate 200kbps size 1000 for 50s multicast\n\
+     at 35s crash {nodes/3} {nodes/2}\n\
+     at 45s rejoin {nodes/3}\n\
+     at 55s partition half {nodes/2}..{nodes}\n\
+     at 65s heal half\n";
+
+/// The benchmark sweep: [`SWEEP_CHURN_TEMPLATE`] × seeds × node counts
+/// × a loss-rate axis.
+pub fn sweep_churn_spec(
+    seeds: Vec<u64>,
+    node_counts: Vec<usize>,
+    losses: &[&str],
+    workers: Option<usize>,
+) -> macedon_scenario::SweepSpec {
+    macedon_scenario::SweepSpec {
+        name: "churn-loss".into(),
+        template: SWEEP_CHURN_TEMPLATE.into(),
+        seeds,
+        node_counts,
+        grid: vec![macedon_scenario::GridAxis::new(
+            "loss",
+            losses.iter().copied(),
+        )],
+        workers,
+    }
+}
+
+/// Run one sweep cell: the from-spec splitstream stack on a star
+/// topology (the churn benchmark's constrained links), world seeded
+/// with the cell's derived seed. `Sync`-safe — each call builds its own
+/// [`macedon_lang::SpecRegistry`], so workers share nothing.
+pub fn sweep_churn_cell(cell: &macedon_scenario::SweepCell) -> macedon_scenario::MetricsReport {
+    let registry = macedon_lang::SpecRegistry::bundled();
+    let topo = canned::star(
+        cell.nodes,
+        LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+    );
+    let cfg = WorldConfig {
+        seed: cell.derived_seed,
+        channels: registry
+            .channel_table_for("splitstream")
+            .expect("bundled chain resolves"),
+        fd_g: Duration::from_secs(2),
+        fd_f: Duration::from_secs(6),
+        ..Default::default()
+    };
+    let runner = macedon_scenario::ScenarioRunner::new(
+        cell.scenario.clone(),
+        topo,
+        cfg,
+        Box::new(|_idx, _host, bootstrap| {
+            registry
+                .build_stack("splitstream", bootstrap)
+                .expect("bundled stack builds")
+        }),
+    )
+    .expect("sweep cell binds");
+    runner.run().report
+}
+
+// ---------------------------------------------------------------------------
 // Interpreter dispatch harness (benches/interp.rs and bin/bench_interp)
 // ---------------------------------------------------------------------------
 

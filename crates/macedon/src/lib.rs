@@ -63,8 +63,9 @@ pub mod prelude {
         SplitStream, SplitStreamConfig,
     };
     pub use macedon_scenario::{
-        AgentView, ChordOracle, ConvergenceOracle, MetricsReport, OracleCheckReport,
-        PastryRouteOracle, Scenario, ScenarioBuilder, ScenarioError, ScenarioOutcome,
-        ScenarioRunner, ScribeTreeOracle, Snapshot, StreamShape, Violation,
+        run_sweep, AgentView, ChordOracle, ConvergenceOracle, GridAxis, LatencySummary,
+        MetricsReport, OracleCheckReport, PastryRouteOracle, Scenario, ScenarioBuilder,
+        ScenarioError, ScenarioOutcome, ScenarioRunner, ScribeTreeOracle, Snapshot, StreamShape,
+        SweepCell, SweepReport, SweepSpec, Violation,
     };
 }

@@ -21,7 +21,11 @@
 //!   (Chord ring correctness, Pastry route optimality, Scribe tree
 //!   shape) evaluated on engine snapshots at scripted
 //!   `assert converged <oracle>` checkpoints, gating runs on overlay
-//!   correctness rather than delivery counts alone.
+//!   correctness rather than delivery counts alone;
+//! * [`sweep`] — the parallel sweep driver: a [`sweep::SweepSpec`]
+//!   (template × seeds × node counts × parameter grid) expanded into
+//!   independent cells, run on a worker pool, and merged in cell order
+//!   into a byte-identical [`sweep::SweepReport`] (JSON and CSV).
 //!
 //! ```no_run
 //! use macedon_scenario::{script, ScenarioRunner};
@@ -49,6 +53,7 @@ pub mod oracle;
 pub mod report;
 pub mod runner;
 pub mod script;
+pub mod sweep;
 
 pub use model::{Event, Scenario, ScenarioBuilder, ScenarioError, Span, StreamShape, TimedEvent};
 pub use oracle::{
@@ -56,7 +61,9 @@ pub use oracle::{
     Snapshot, StateProbe, Violation,
 };
 pub use report::{
-    ChannelReport, MetricsReport, NodeMetrics, OracleCheckReport, PerturbationReport,
+    ChannelReport, LatencySummary, MetricsReport, NodeMetrics, OracleCheckReport,
+    PerturbationReport,
 };
 pub use runner::{ScenarioOutcome, ScenarioRunner, StackFactory};
 pub use script::parse;
+pub use sweep::{run_sweep, GridAxis, SweepCell, SweepReport, SweepSpec};

@@ -53,6 +53,47 @@ pub struct ChannelReport {
     pub bytes: u64,
 }
 
+/// Distribution summary of the run's stream-attributable delivery
+/// latencies (every node's samples pooled), percentiles by nearest
+/// rank. `None` on [`MetricsReport::latency`] when the run had no
+/// attributable deliveries (no scripted stream, or nothing arrived).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencySummary {
+    pub samples: u64,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarize a set of latency samples (microseconds, any order).
+    /// Returns `None` for an empty set — a report never carries a
+    /// zero-sample summary.
+    pub fn from_samples_us(samples: &[u64]) -> Option<LatencySummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(LatencySummary {
+            samples: sorted.len() as u64,
+            p50: Duration(percentile_us(&sorted, 50)),
+            p95: Duration(percentile_us(&sorted, 95)),
+            p99: Duration(percentile_us(&sorted, 99)),
+            max: Duration(*sorted.last().unwrap()),
+        })
+    }
+}
+
+/// Nearest-rank percentile of a *sorted* sample set: the smallest value
+/// with at least `q`% of the samples at or below it.
+pub fn percentile_us(sorted: &[u64], q: u64) -> u64 {
+    assert!(!sorted.is_empty() && (1..=100).contains(&q));
+    let rank = (sorted.len() as u64 * q).div_ceil(100);
+    sorted[rank as usize - 1]
+}
+
 /// One scripted `assert converged|diverged <oracle>` checkpoint with
 /// its outcome.
 #[derive(Clone, Debug)]
@@ -81,6 +122,9 @@ pub struct MetricsReport {
     /// Packets dropped anywhere in the emulated network (queue
     /// overflow, loss, partitions, dead links/nodes).
     pub net_drops: u64,
+    /// Pooled delivery-latency distribution across all nodes (only
+    /// stream-attributable deliveries carry a latency sample).
+    pub latency: Option<LatencySummary>,
     pub nodes: Vec<NodeMetrics>,
     pub perturbations: Vec<PerturbationReport>,
     pub channels: Vec<ChannelReport>,
@@ -133,12 +177,25 @@ impl MetricsReport {
             Some(d) => d.as_micros().to_string(),
             None => "null".into(),
         };
+        let latency = match &self.latency {
+            Some(l) => format!(
+                "{{\"samples\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+                 \"max_us\": {}}}",
+                l.samples,
+                l.p50.as_micros(),
+                l.p95.as_micros(),
+                l.p99.as_micros(),
+                l.max.as_micros(),
+            ),
+            None => "null".into(),
+        };
         let mut out = String::new();
         let _ = write!(
             out,
             "{{\n  \"scenario\": {},\n  \"end_us\": {},\n  \"alive\": {},\n  \
              \"total_delivered\": {},\n  \"total_bytes\": {},\n  \"net_drops\": {},\n  \
-             \"mean_goodput_bps\": {},\n  \"asserts_passed\": {},\n  \"nodes\": [",
+             \"mean_goodput_bps\": {},\n  \"asserts_passed\": {},\n  \"latency\": {},\n  \
+             \"nodes\": [",
             json_string(&self.scenario),
             self.end.as_micros(),
             self.alive,
@@ -147,6 +204,7 @@ impl MetricsReport {
             self.net_drops,
             self.mean_goodput_bps(),
             self.asserts_passed(),
+            latency,
         );
         for (i, n) in self.nodes.iter().enumerate() {
             let _ = write!(
@@ -210,6 +268,34 @@ impl MetricsReport {
             );
         }
         let _ = write!(out, "\n  ]\n}}\n");
+        out
+    }
+
+    /// Render the per-node metrics as CSV (one row per node, header
+    /// first) for figure pipelines. Optional latencies render as empty
+    /// cells; the schema is pinned by `tests::csv_schema_is_pinned`.
+    pub fn to_csv(&self) -> String {
+        let opt_us = |d: Option<Duration>| match d {
+            Some(d) => d.as_micros().to_string(),
+            None => String::new(),
+        };
+        let mut out = String::from(
+            "index,node,alive,delivered,bytes,mean_latency_us,max_latency_us,goodput_bps\n",
+        );
+        for n in &self.nodes {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                n.index,
+                n.node.0,
+                n.alive,
+                n.delivered,
+                n.bytes,
+                opt_us(n.mean_latency),
+                opt_us(n.max_latency),
+                n.goodput_bps,
+            );
+        }
         out
     }
 
@@ -373,6 +459,13 @@ mod tests {
             total_delivered: 7,
             total_bytes: 7_000,
             net_drops: 3,
+            latency: Some(LatencySummary {
+                samples: 7,
+                p50: Duration::from_micros(1_500),
+                p95: Duration::from_micros(8_200),
+                p99: Duration::from_micros(9_000),
+                max: Duration::from_micros(9_000),
+            }),
             nodes: vec![
                 NodeMetrics {
                     index: 0,
@@ -435,6 +528,7 @@ mod tests {
   "net_drops": 3,
   "mean_goodput_bps": 800,
   "asserts_passed": false,
+  "latency": {"samples": 7, "p50_us": 1500, "p95_us": 8200, "p99_us": 9000, "max_us": 9000},
   "nodes": [
     {"index": 0, "node": 4, "alive": true, "delivered": 7, "bytes": 7000, "mean_latency_us": 1500, "max_latency_us": 9000, "goodput_bps": 800},
     {"index": 1, "node": 5, "alive": false, "delivered": 0, "bytes": 0, "mean_latency_us": null, "max_latency_us": null, "goodput_bps": 0}
@@ -456,5 +550,30 @@ mod tests {
     #[test]
     fn json_escapes_control_chars() {
         assert_eq!(json_string("a\"b\\c\nd\u{1}"), r#""a\"b\\c\nd\u0001""#);
+    }
+    /// Pins the per-node CSV schema: header, row order, empty cells for
+    /// missing latencies.
+    #[test]
+    fn csv_schema_is_pinned() {
+        let got = sample().to_csv();
+        let want = "\
+index,node,alive,delivered,bytes,mean_latency_us,max_latency_us,goodput_bps
+0,4,true,7,7000,1500,9000,800
+1,5,false,0,0,,,0
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 50), 50);
+        assert_eq!(percentile_us(&sorted, 95), 95);
+        assert_eq!(percentile_us(&sorted, 99), 99);
+        assert_eq!(percentile_us(&sorted, 100), 100);
+        assert_eq!(percentile_us(&[7], 50), 7);
+        let s = LatencySummary::from_samples_us(&[5, 1, 3]).unwrap();
+        assert_eq!((s.samples, s.p50.0, s.max.0), (3, 3, 5));
+        assert_eq!(LatencySummary::from_samples_us(&[]), None);
     }
 }

@@ -14,7 +14,8 @@
 use crate::model::{Event, Scenario, ScenarioError, Span, StreamShape};
 use crate::oracle::{ConvergenceOracle, NodeSnapshot, Snapshot, StateProbe};
 use crate::report::{
-    ChannelReport, MetricsReport, NodeMetrics, OracleCheckReport, PerturbationReport,
+    ChannelReport, LatencySummary, MetricsReport, NodeMetrics, OracleCheckReport,
+    PerturbationReport,
 };
 use macedon_core::app::{
     shared_deliveries, CollectorApp, SharedDeliveries, StreamKind, StreamerApp,
@@ -514,6 +515,7 @@ impl<'a> ScenarioRunner<'a> {
             .map(|(i, &h)| (h, i))
             .collect();
         let mut accs = vec![Acc::default(); self.scenario.nodes];
+        let mut lat_samples: Vec<u64> = Vec::new();
         for r in log.iter() {
             let Some(&idx) = idx_of.get(&r.node) else {
                 continue;
@@ -533,6 +535,7 @@ impl<'a> ScenarioRunner<'a> {
                     a.lat_sum += lat;
                     a.lat_n += 1;
                     a.lat_max = a.lat_max.max(lat);
+                    lat_samples.push(lat.as_micros());
                 }
             }
         }
@@ -605,6 +608,7 @@ impl<'a> ScenarioRunner<'a> {
             net_drops: self.world.net().total_drops(),
             total_delivered,
             total_bytes,
+            latency: LatencySummary::from_samples_us(&lat_samples),
             nodes,
             perturbations,
             channels,

@@ -7,7 +7,19 @@
 //! Run with: `cargo run --release --example churn`
 //!
 //! Pass `--json` (optionally `--json path.json`) to emit the report as
-//! machine-readable JSON instead of the text table.
+//! machine-readable JSON instead of the text table, or `--csv path.csv`
+//! to write the per-node rows as CSV alongside either.
+//!
+//! `sweep` switches to the parallel sweep driver: the same churn shape
+//! templated over `{nodes}` with a `{loss}` grid axis, fanned across
+//! seeds × node counts on all cores, and aggregated into one
+//! deterministic `SweepReport`:
+//!
+//! ```text
+//! cargo run --release --example churn -- sweep \
+//!     --seeds 1,2,3 --nodes 50,100,200 --loss 0,0.02 \
+//!     --json sweep.json --csv sweep.csv
+//! ```
 
 use macedon::lang::SpecRegistry;
 use macedon::prelude::*;
@@ -29,12 +41,48 @@ at 95s   degrade 5 bw 64kbps delay 30ms
 at 110s  restore 5
 ";
 
-fn main() {
-    // `--json` prints the report as JSON; `--json <path>` writes it to
-    // a file instead (and keeps stdout to the one-line run banner).
-    let argv: Vec<String> = std::env::args().collect();
+/// The sweep template: the same churn shape, scale-generic via
+/// `{nodes}` arithmetic, with scripted loss as the grid axis.
+const SWEEP_TEMPLATE: &str = "
+scenario churn-sweep
+nodes {nodes}
+end 80s
+
+at 0s  join 0..{nodes/4} over 2s
+at 4s  join {nodes/4}..{nodes} over 8s
+at 10s drop {loss}
+at 20s stream 0 rate 200kbps size 1000 for 50s multicast
+at 35s crash {nodes/3} {nodes/2}
+at 45s rejoin {nodes/3}
+at 55s partition half {nodes/2}..{nodes}
+at 65s heal half
+";
+
+fn arg_value(argv: &[String], name: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == name)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+fn list_arg<T: std::str::FromStr + Clone>(argv: &[String], name: &str, default: &[T]) -> Vec<T> {
+    arg_value(argv, name)
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("{name} takes a comma-separated list"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn run_single(argv: &[String]) {
     let json_mode = argv.iter().position(|a| a == "--json");
     let json_path = json_mode.and_then(|i| argv.get(i + 1)).cloned();
+    let csv_path = arg_value(argv, "--csv");
 
     let scenario = script::parse(SCRIPT).expect("script parses");
     println!(
@@ -68,6 +116,10 @@ fn main() {
     let start = std::time::Instant::now();
     let outcome = runner.run();
     println!("ran in {:.2}s wall", start.elapsed().as_secs_f64());
+    if let Some(path) = csv_path {
+        std::fs::write(&path, outcome.report.to_csv()).expect("write csv report");
+        println!("wrote {path}");
+    }
     match (json_mode, json_path) {
         (Some(_), Some(path)) => {
             std::fs::write(&path, outcome.report.to_json()).expect("write json report");
@@ -75,5 +127,77 @@ fn main() {
         }
         (Some(_), None) => print!("{}", outcome.report.to_json()),
         (None, _) => print!("\n{}", outcome.report.render()),
+    }
+}
+
+fn run_sweep_cmd(argv: &[String]) {
+    let seeds: Vec<u64> = list_arg(argv, "--seeds", &[1, 2, 3]);
+    let node_counts: Vec<usize> = list_arg(argv, "--nodes", &[50, 100]);
+    let loss = arg_value(argv, "--loss").unwrap_or_else(|| "0,0.02".to_string());
+    let losses: Vec<String> = loss.split(',').map(|s| s.trim().to_string()).collect();
+    let workers: Option<usize> = arg_value(argv, "--workers").and_then(|v| v.parse().ok());
+
+    let spec = SweepSpec {
+        name: "churn-sweep".into(),
+        template: SWEEP_TEMPLATE.into(),
+        seeds,
+        node_counts,
+        grid: vec![GridAxis::new("loss", losses)],
+        workers,
+    };
+    println!(
+        "sweep '{}': {} cells on {} workers",
+        spec.name,
+        spec.cell_count(),
+        spec.workers
+            .unwrap_or_else(|| std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)),
+    );
+
+    let start = std::time::Instant::now();
+    let report = run_sweep(&spec, |cell| {
+        let reg = SpecRegistry::bundled();
+        let topo = macedon::net::topology::canned::star(
+            cell.nodes,
+            macedon::net::topology::LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+        );
+        let cfg = WorldConfig {
+            seed: cell.derived_seed,
+            channels: reg.channel_table_for("splitstream").unwrap(),
+            fd_g: Duration::from_secs(2),
+            fd_f: Duration::from_secs(6),
+            ..Default::default()
+        };
+        ScenarioRunner::new(
+            cell.scenario.clone(),
+            topo,
+            cfg,
+            Box::new(|_idx, _host, bootstrap| reg.build_stack("splitstream", bootstrap).unwrap()),
+        )
+        .expect("cell binds")
+        .run()
+        .report
+    })
+    .expect("sweep runs");
+    println!("ran in {:.2}s wall", start.elapsed().as_secs_f64());
+
+    if let Some(path) = arg_value(argv, "--json") {
+        std::fs::write(&path, report.to_json()).expect("write sweep json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = arg_value(argv, "--csv") {
+        std::fs::write(&path, report.to_csv()).expect("write sweep csv");
+        println!("wrote {path}");
+    }
+    print!("\n{}", report.render());
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "sweep") {
+        run_sweep_cmd(&argv);
+    } else {
+        run_single(&argv);
     }
 }
