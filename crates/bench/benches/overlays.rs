@@ -34,7 +34,7 @@ fn bench_chord_convergence(c: &mut Criterion) {
                 );
             }
             w.run_until(Time::from_secs(60));
-            w.sched.events_fired()
+            w.events_fired()
         })
     });
 }

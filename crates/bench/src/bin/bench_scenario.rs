@@ -11,7 +11,7 @@
 //! Usage: `cargo run --release -p macedon-bench --bin bench_scenario`
 //! (`--nodes N` overrides the churn size, `--out PATH` the output file).
 
-use macedon_bench::experiments::{scenario_churn_run, scenario_churn_script};
+use macedon_bench::experiments::{scenario_churn_run_workers, scenario_churn_script};
 use std::time::Instant;
 
 /// Self-asserted regression ceilings (the `bench_scale` pattern: abort
@@ -36,6 +36,9 @@ fn main() {
     let nodes: usize = arg_value("--nodes")
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let workers: usize = arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_scenario.json".to_string());
 
     // -- micro: scenario compile overhead (parse + validate) ----------------
@@ -69,19 +72,21 @@ fn main() {
     let mut events = 0u64;
     for _ in 0..3 {
         let start = Instant::now();
-        let stats = scenario_churn_run(nodes);
+        let stats = scenario_churn_run_workers(nodes, workers);
         churn_ms = churn_ms.min(start.elapsed().as_secs_f64() * 1e3);
         (delivered, alive, events) = (stats.delivered, stats.alive, stats.events);
     }
     let us_per_event = churn_ms * 1e3 / events as f64;
+    let ev_per_sec = events as f64 / (churn_ms / 1e3);
     println!(
         "churn: {nodes}-node from-spec splitstream under churn+partition, \
          {delivered} deliveries, {alive} alive, {events} events, \
-         {churn_ms:.0} ms wall (min of 3, {us_per_event:.2} us/event)"
+         {churn_ms:.0} ms wall on {workers} worker(s) \
+         (min of 3, {us_per_event:.2} us/event, {ev_per_sec:.0} events/sec)"
     );
     assert!(delivered > 0, "churn run must deliver real traffic");
     assert!(alive > nodes / 2, "most nodes must survive the scenario");
-    if nodes == 200 {
+    if nodes == 200 && workers == 1 {
         assert!(
             us_per_event < CEILING_US_PER_EVENT,
             "churn run regressed: {us_per_event:.2} us/event, \

@@ -2,14 +2,35 @@
 //! location-cache policies (no eviction vs 1 s lifetime). With
 //! `--from-spec`, the same streaming scenario additionally runs over
 //! the fully interpreted `splitstream.mac` → `scribe.mac` →
-//! `pastry.mac` stack.
-use macedon_bench::experiments::{fig12, fig12_from_spec};
+//! `pastry.mac` stack. `--workers N` runs both policy worlds sharded
+//! N ways on the windowed parallel engine and reports events/sec.
+use macedon_bench::experiments::{fig12_from_spec, fig12_workers};
 use macedon_bench::table::{f1, maybe_write_csv, print_table};
 use macedon_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    let s = fig12(scale);
+    let workers: usize = {
+        let mut args = std::env::args();
+        let mut w = 1;
+        while let Some(a) = args.next() {
+            if a == "--workers" {
+                w = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a count");
+            }
+        }
+        w
+    };
+    let start = std::time::Instant::now();
+    let s = fig12_workers(scale, workers);
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "fig12: {} events in {secs:.2}s wall on {workers} worker(s) ({:.0} events/sec)",
+        s.events,
+        s.events as f64 / secs
+    );
     let cells: Vec<Vec<String>> = s
         .no_eviction
         .iter()

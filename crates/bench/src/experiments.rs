@@ -445,14 +445,22 @@ pub struct Fig12Series {
     /// (seconds since stream start, mean per-node goodput in Kbps).
     pub no_eviction: Vec<(f64, f64)>,
     pub with_eviction: Vec<(f64, f64)>,
+    /// Scheduler events fired across both runs (for events/sec).
+    pub events: u64,
 }
 
 pub fn fig12(scale: Scale) -> Fig12Series {
+    fig12_workers(scale, 1)
+}
+
+/// [`fig12`] on the sharded windowed engine: `workers` shards driven
+/// by `workers` threads (1 = the sequential engine).
+pub fn fig12_workers(scale: Scale, workers: usize) -> Fig12Series {
     let (nodes, converge_s, stream_s, rate_bps) = match scale {
         Scale::Quick => (32usize, 60u64, 90u64, 600_000u64),
         Scale::Paper => (300, 300, 300, 600_000),
     };
-    let run = |cache_lifetime: Option<Duration>| -> Vec<(f64, f64)> {
+    let run = |cache_lifetime: Option<Duration>| -> (Vec<(f64, f64)>, u64) {
         // Paper-era constrained access links: the stream plus forwarding
         // load runs close to capacity, so the extra bandwidth consumed
         // re-establishing evicted cache entries costs real goodput.
@@ -465,9 +473,11 @@ pub fn fig12(scale: Scale) -> Fig12Series {
             topo,
             WorldConfig {
                 seed: 12,
+                shards: workers,
                 ..Default::default()
             },
         );
+        w.set_workers(workers);
         let sink = shared_deliveries();
         let group = MacedonKey::of_name("fig12-stream");
         for (i, &h) in hosts.iter().enumerate() {
@@ -517,11 +527,15 @@ pub fn fig12(scale: Scale) -> Fig12Series {
             );
         }
         w.run_until(Time::from_secs(converge_s + stream_s + 10));
-        bin_goodput(&sink, hosts[0], converge_s, stream_s, nodes - 1)
+        let series = bin_goodput(&sink, hosts[0], converge_s, stream_s, nodes - 1);
+        (series, w.events_fired())
     };
+    let (no_eviction, ev_a) = run(None);
+    let (with_eviction, ev_b) = run(Some(Duration::from_secs(1)));
     Fig12Series {
-        no_eviction: run(None),
-        with_eviction: run(Some(Duration::from_secs(1))),
+        no_eviction,
+        with_eviction,
+        events: ev_a + ev_b,
     }
 }
 
@@ -688,6 +702,17 @@ pub fn scenario_churn_run(nodes: usize) -> ChurnRunStats {
     run_scenario_script(&scenario_churn_script(nodes), nodes)
 }
 
+/// The churn run sharded across `workers` cores (windowed parallel
+/// execution; `1` is the classic sequential engine).
+pub fn scenario_churn_run_workers(nodes: usize, workers: usize) -> ChurnRunStats {
+    run_scenario_script_on(
+        &scenario_churn_script(nodes),
+        nodes,
+        LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+        workers,
+    )
+}
+
 /// The `bench_scale` scenario: staggered joins of every node, a
 /// fixed-total-rate *random-route* stream, and a small crash wave with
 /// rejoin. Unlike [`scenario_churn_script`]'s multicast stream — whose
@@ -717,10 +742,21 @@ pub fn scenario_scale_script(nodes: usize) -> String {
 /// storm and the overlay would never converge. The curve is meant to
 /// measure the *scheduler* under population growth, not hub congestion.
 pub fn scenario_scale_run(nodes: usize) -> ChurnRunStats {
+    scenario_scale_run_workers(nodes, 1)
+}
+
+/// The scale-scenario run sharded across `workers` cores (windowed
+/// parallel execution; `1` is the classic sequential engine). The
+/// shard count follows the worker count, so rows of the threads axis
+/// may differ in same-microsecond tie ordering (the star here is
+/// symmetric); at a *fixed* shard count results are identical for
+/// every worker count (see `tests/prop.rs`).
+pub fn scenario_scale_run_workers(nodes: usize, workers: usize) -> ChurnRunStats {
     run_scenario_script_on(
         &scenario_scale_script(nodes),
         nodes,
         LinkSpec::new(Duration::from_millis(2), 100_000_000, 1024 * 1024),
+        workers,
     )
 }
 
@@ -729,10 +765,16 @@ fn run_scenario_script(script: &str, nodes: usize) -> ChurnRunStats {
         script,
         nodes,
         LinkSpec::new(Duration::from_millis(2), 2_000_000, 64 * 1024),
+        1,
     )
 }
 
-fn run_scenario_script_on(script: &str, nodes: usize, link: LinkSpec) -> ChurnRunStats {
+fn run_scenario_script_on(
+    script: &str,
+    nodes: usize,
+    link: LinkSpec,
+    workers: usize,
+) -> ChurnRunStats {
     let registry = macedon_lang::SpecRegistry::bundled();
     let scenario = macedon_scenario::script::parse(script).expect("script parses");
     let topo = canned::star(nodes, link);
@@ -743,9 +785,10 @@ fn run_scenario_script_on(script: &str, nodes: usize, link: LinkSpec) -> ChurnRu
             .expect("bundled chain resolves"),
         fd_g: Duration::from_secs(2),
         fd_f: Duration::from_secs(6),
+        shards: workers,
         ..Default::default()
     };
-    let runner = macedon_scenario::ScenarioRunner::new(
+    let mut runner = macedon_scenario::ScenarioRunner::new(
         scenario,
         topo,
         cfg,
@@ -756,11 +799,12 @@ fn run_scenario_script_on(script: &str, nodes: usize, link: LinkSpec) -> ChurnRu
         }),
     )
     .expect("scenario binds");
+    runner.set_workers(workers);
     let outcome = runner.run();
     ChurnRunStats {
         delivered: outcome.report.total_delivered as usize,
         alive: outcome.report.alive,
-        events: outcome.world.sched.events_fired(),
+        events: outcome.world.events_fired(),
         breakdown: outcome.world.event_counts(),
     }
 }

@@ -244,7 +244,7 @@ impl<'a> Ctx<'a> {
 /// All methods receive the [`Ctx`] for buffering effects. Default bodies
 /// make pass-through layering painless: an agent that doesn't understand
 /// an upcall forwards it up the stack.
-pub trait Agent: Any {
+pub trait Agent: Any + Send {
     /// Well-known protocol value.
     fn protocol_id(&self) -> ProtocolId;
 
@@ -289,7 +289,7 @@ pub trait Agent: Any {
 
 /// The application atop a stack: registered handlers (Figure 3's
 /// `macedon_register_handlers`) plus timers for workload generation.
-pub trait AppHandler: Any {
+pub trait AppHandler: Any + Send {
     /// Called once when the node spawns (after all layers' `init`).
     fn start(&mut self, _ctx: &mut Ctx) {}
 

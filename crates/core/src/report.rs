@@ -71,14 +71,14 @@ impl RunReport {
                 transitions: (stack.read_transitions, stack.write_transitions),
             });
         }
-        let counters = world.net().link_counters();
+        let counters = world.link_counters();
         let links_used = counters.iter().filter(|&&(p, _, _)| p > 0).count();
         let total = reads + writes;
         RunReport {
             virtual_seconds: world.now().as_secs_f64(),
-            events_fired: world.sched.events_fired(),
+            events_fired: world.events_fired(),
             nodes,
-            network_drops: world.net().total_drops(),
+            network_drops: world.total_net_drops(),
             links_used,
             read_share: if total == 0 {
                 0.0

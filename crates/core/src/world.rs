@@ -1,11 +1,11 @@
-//! The world: one deterministic event loop that couples the network
+//! The world: a deterministic event loop that couples the network
 //! emulator, the transport subsystem and every node's protocol stack —
 //! the equivalent of the paper's "MACEDON code engine" plus the ModelNet
 //! harness around it.
 //!
 //! Responsibilities:
 //!
-//! * owning the global [`Scheduler`] and virtual clock,
+//! * owning the [`Scheduler`]s and virtual clock,
 //! * delivering transport messages into stacks and stack effects back out,
 //! * the **timer subsystem** (named per-layer timers with cancellation and
 //!   periodic re-arming),
@@ -14,6 +14,30 @@
 //!   request/response is solicited first,
 //! * node lifecycle: staggered spawns, crashes,
 //! * world-level tracing and metric oracles.
+//!
+//! # Sharded execution
+//!
+//! With `WorldConfig::shards > 1` the world is partitioned into
+//! [`Shard`]s — each owns a contiguous chunk of the hosts (see
+//! [`ShardMap`]) together with its own scheduler, packet arena and
+//! link-state replica. Shards advance independently inside a
+//! *conservative time window* `[T, W]` where
+//! `W = T + min_link_delay − 1µs`: the first link out of any source is
+//! charged by the sender's shard (the [`ShardMap::owner_of_link`]
+//! invariant), so every cross-shard packet departure carries a
+//! timestamp strictly greater than `W` and can be merged at the window
+//! barrier without ever rewinding a peer's clock. Departures accumulate
+//! in per-shard outboxes and are injected at the next window start in
+//! `(sent_at, source shard, sequence)` order — a total order independent
+//! of thread scheduling, which is what makes
+//! `run_parallel(n)` ≡ `run_parallel(m)` bit-for-bit for any worker
+//! counts `n, m`.
+//!
+//! Scripted faults (crash/spawn) mutate *every* shard's fault replica,
+//! so they are registered in a control-time registry and windows are
+//! clipped to never span a control instant: all replicas apply the
+//! mutation at exactly the scripted virtual time, just as the
+//! sequential engine does when the control event pops.
 
 use crate::agent::{Agent, AppHandler};
 use crate::api::{DownCall, ProtocolId, ENGINE_PROTOCOL};
@@ -22,11 +46,15 @@ use crate::stack::{Stack, StackEffect};
 use crate::trace::{TraceLevel, TraceSink};
 use crate::wire::{WireRef, WireWriter};
 use bytes::Bytes;
-use macedon_net::{NetEvent, Network, NetworkConfig, NodeId, Sink, Topology};
-use macedon_sim::{Duration, EventId, FxHashMap, FxHashSet, Scheduler, SimRng, Time};
+use macedon_net::fault::Faults;
+use macedon_net::{Handoff, NetEvent, Network, NetworkConfig, NodeId, ShardMap, Sink, Topology};
+use macedon_sim::{Duration, EventId, FxHashMap, Scheduler, SimRng, Time};
 use macedon_transport::{
     ChannelId, ChannelSpec, Endpoint, Segment, TimerKey, TimerKind, TransportKind, TransportSink,
 };
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// Map key for the one live scheduler entry a connection timer class may
 /// have (RTO or delayed-ack, per (owner, peer, channel)).
@@ -52,6 +80,12 @@ pub struct WorldConfig {
     /// Failure-detector sweep period.
     pub fd_tick: Duration,
     pub net: NetworkConfig,
+    /// Number of shards the world is partitioned into (clamped to the
+    /// host count). `1` is the classic sequential engine; `> 1` enables
+    /// windowed execution, which [`World::run_parallel_until`] can then
+    /// drive with any number of worker threads without changing the
+    /// result.
+    pub shards: usize,
 }
 
 impl Default for WorldConfig {
@@ -65,6 +99,7 @@ impl Default for WorldConfig {
             fd_f: Duration::from_secs(15),
             fd_tick: Duration::from_secs(1),
             net: NetworkConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -113,6 +148,16 @@ pub struct EventClassCounts {
     pub control: u64,
 }
 
+impl EventClassCounts {
+    fn add(&mut self, o: &EventClassCounts) {
+        self.net += o.net;
+        self.conn_timer += o.conn_timer;
+        self.agent_timer += o.agent_timer;
+        self.fd_tick += o.fd_tick;
+        self.control += o.control;
+    }
+}
+
 struct TimerSlot {
     gen: u32,
     period: Option<Duration>,
@@ -128,33 +173,63 @@ struct MonitorState {
     hb_pending: bool,
 }
 
-/// The complete simulated deployment.
-pub struct World {
-    cfg: WorldConfig,
-    pub sched: Scheduler<WorldEvent>,
-    net: Network<Segment>,
-    endpoints: FxHashMap<NodeId, Endpoint>,
-    stacks: FxHashMap<NodeId, Stack>,
-    alive: FxHashSet<NodeId>,
-    timers: FxHashMap<(NodeId, u16, u16), TimerSlot>,
+/// Everything the engine tracks for one spawned node, boxed and stored
+/// densely by node index. One pointer chase reaches the stack, the
+/// transport endpoint and every timer/monitor table — at 100k nodes
+/// this replaces six global hash maps whose per-event probe misses
+/// dominated the sequential profile.
+struct NodeState {
+    stack: Stack,
+    endpoint: Endpoint,
+    alive: bool,
+    timers: FxHashMap<(u16, u16), TimerSlot>,
     /// Live scheduler entry per connection timer class. Re-arms cancel
     /// the superseded entry instead of tombstoning it, so the timer
     /// wheel never accumulates dead RTO events.
     conn_timers: FxHashMap<ConnTimerSlot, EventId>,
-    /// node → peer → (monitoring layers, state)
-    monitors: FxHashMap<NodeId, FxHashMap<NodeId, (Vec<usize>, MonitorState)>>,
-    trace: TraceSink,
-    rng: SimRng,
+    /// peer → (monitoring layers, state)
+    monitors: FxHashMap<NodeId, (Vec<usize>, MonitorState)>,
+}
+
+/// A scripted fault mutation every shard's replica must apply at the
+/// same virtual instant.
+#[derive(Clone, Copy)]
+enum ControlOp {
+    Fail(NodeId),
+    Heal(NodeId),
+}
+
+/// A cross-shard packet departure queued for the barrier merge,
+/// stamped with the total order `(sent_at, source shard, sequence)`
+/// that makes the merge independent of thread scheduling.
+struct OutHandoff {
+    dest: u16,
+    sent_at_us: u64,
+    src_shard: u16,
+    seq: u64,
+    h: Handoff<Segment>,
+}
+
+/// One slice of the world: a scheduler, a network replica and the
+/// nodes this shard owns. With `shards = 1` this *is* the classic
+/// sequential engine.
+struct Shard {
+    id: u16,
+    cfg: Arc<WorldConfig>,
     engine_ch: ChannelId,
+    sched: Scheduler<WorldEvent>,
+    net: Network<Segment>,
+    /// Dense by node index; `Some` exactly for spawned nodes this shard
+    /// owns.
+    nodes: Vec<Option<Box<NodeState>>>,
+    trace: TraceSink,
     /// Instant of the last failure-detector registration change
-    /// (monitor/unmonitor effects, crash cleanup). Fail-detect neighbor
-    /// lists register through these, so this timestamps the last
-    /// overlay-membership mutation — the convergence signal the
-    /// scenario runner reports after each perturbation.
+    /// (monitor/unmonitor effects, crash cleanup) on this shard.
     last_membership_change: Time,
-    /// Fired events by class (benchmark breakdowns; see
-    /// [`World::event_counts`]).
     event_counts: EventClassCounts,
+    /// Cross-shard departures accumulated during the current window.
+    outbox: Vec<OutHandoff>,
+    handoff_seq: u64,
     /// Reusable network-sink buffers (the absorb chain nests, so more
     /// than one can be live at once; each level takes its own).
     nsink_pool: Vec<Sink<Segment>>,
@@ -164,201 +239,21 @@ pub struct World {
     fx_pool: Vec<Vec<StackEffect>>,
 }
 
-impl World {
-    pub fn new(topo: Topology, cfg: WorldConfig) -> World {
-        let mut channels = cfg.channels.clone();
-        let engine_ch = ChannelId(channels.len() as u16);
-        channels.push(ChannelSpec::new("__ENGINE_HB", TransportKind::Udp));
-        let mut net_cfg = cfg.net.clone();
-        net_cfg.seed = cfg.seed ^ 0x6e65_7477;
-        let net = Network::new(topo, net_cfg);
-        let trace = TraceSink::new(cfg.trace_level);
-        let rng = SimRng::new(cfg.seed);
-        let mut w = World {
-            cfg,
-            sched: Scheduler::new(),
-            net,
-            endpoints: FxHashMap::default(),
-            stacks: FxHashMap::default(),
-            alive: FxHashSet::default(),
-            timers: FxHashMap::default(),
-            conn_timers: FxHashMap::default(),
-            monitors: FxHashMap::default(),
-            trace,
-            rng,
-            engine_ch,
-            last_membership_change: Time::ZERO,
-            event_counts: EventClassCounts::default(),
-            nsink_pool: Vec::new(),
-            tsink_pool: Vec::new(),
-            fx_pool: Vec::new(),
-        };
-        w.cfg.channels = channels;
-        w
-    }
-
-    // ---- construction -----------------------------------------------------
-
-    /// Register a node's stack and schedule its `init` at `at`.
-    pub fn spawn_at(
-        &mut self,
-        at: Time,
-        node: NodeId,
-        agents: Vec<Box<dyn Agent>>,
-        app: Box<dyn AppHandler>,
-    ) {
-        assert!(
-            self.net.topology().is_host(node),
-            "spawn on non-host {node:?}"
-        );
-        assert!(!self.stacks.contains_key(&node), "{node:?} already spawned");
-        let key = MacedonKey::of_node(node, self.cfg.addressing);
-        let rng = self.rng.fork(node.0 as u64);
-        let mut stack = Stack::new(node, key, agents, app, rng);
-        // Agents may skip building trace records the sink would filter
-        // out anyway (Ctx::trace_on).
-        stack.set_trace_level(self.cfg.trace_level);
-        stack.set_addressing(self.cfg.addressing);
-        self.stacks.insert(node, stack);
-        self.endpoints
-            .insert(node, Endpoint::new(node, self.cfg.channels.clone()));
-        self.sched.schedule(at, WorldEvent::Spawn { node });
-    }
-
-    /// Schedule an application-level API call on a node.
-    pub fn api_at(&mut self, at: Time, node: NodeId, call: DownCall) {
-        self.sched.schedule(at, WorldEvent::Api { node, call });
-    }
-
-    /// Schedule a node crash (fail-stop).
-    pub fn crash_at(&mut self, at: Time, node: NodeId) {
-        self.sched.schedule(at, WorldEvent::Crash { node });
-    }
-
-    /// Remove a node's stack, endpoint, timers and monitors entirely, so
-    /// the host can be spawned again with a fresh stack (a *rejoin*
-    /// after a crash: protocol state is lost, as on a real reboot).
-    /// Scheduled timer/RTO events for the old incarnation become inert —
-    /// their generation slots are gone. Every peer's transport state
-    /// toward the node is reset too: the old incarnation's reliable
-    /// sequence numbers must not wedge the fresh endpoint (a peer
-    /// retransmitting at old sequence positions would sit in the new
-    /// receiver's out-of-order buffer forever).
-    pub fn despawn(&mut self, node: NodeId) {
-        self.alive.remove(&node);
-        self.stacks.remove(&node);
-        self.endpoints.remove(&node);
-        self.cancel_node_timers(node);
-        self.timers.retain(|&(n, _, _), _| n != node);
-        self.monitors.remove(&node);
-        for ep in self.endpoints.values_mut() {
-            ep.reset_peer(node);
-        }
-        for stack in self.stacks.values_mut() {
-            stack.measures_mut().forget(node);
+impl Shard {
+    #[inline]
+    fn ns(&self, n: NodeId) -> Option<&NodeState> {
+        match self.nodes.get(n.index()) {
+            Some(Some(b)) => Some(b),
+            _ => None,
         }
     }
 
-    // ---- observation ------------------------------------------------------
-
-    pub fn now(&self) -> Time {
-        self.sched.now()
-    }
-
-    pub fn config(&self) -> &WorldConfig {
-        &self.cfg
-    }
-
-    pub fn net(&self) -> &Network<Segment> {
-        &self.net
-    }
-
-    pub fn net_mut(&mut self) -> &mut Network<Segment> {
-        &mut self.net
-    }
-
-    pub fn stack(&self, node: NodeId) -> Option<&Stack> {
-        self.stacks.get(&node)
-    }
-
-    pub fn stack_mut(&mut self, node: NodeId) -> Option<&mut Stack> {
-        self.stacks.get_mut(&node)
-    }
-
-    pub fn endpoint(&self, node: NodeId) -> Option<&Endpoint> {
-        self.endpoints.get(&node)
-    }
-
-    pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive.contains(&node)
-    }
-
-    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.alive.iter().copied()
-    }
-
-    pub fn trace(&self) -> &TraceSink {
-        &self.trace
-    }
-
-    /// Key of a node under this world's addressing mode.
-    pub fn key_of(&self, node: NodeId) -> MacedonKey {
-        MacedonKey::of_node(node, self.cfg.addressing)
-    }
-
-    /// Resolve a named transport instance.
-    pub fn channel(&self, name: &str) -> Option<ChannelId> {
-        self.cfg
-            .channels
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| ChannelId(i as u16))
-    }
-
-    /// Uncongested IP latency oracle (stretch / RDP computations).
-    pub fn oracle_latency(&mut self, a: NodeId, b: NodeId) -> Option<Duration> {
-        self.net.oracle_latency(a, b)
-    }
-
-    /// Instant of the last overlay-membership mutation the engine
-    /// observed (failure-detector registrations changing, crashes).
-    /// "quiet since t" is the convergence signal scenario metrics use.
-    pub fn last_membership_change(&self) -> Time {
-        self.last_membership_change
-    }
-
-    /// Aggregate read/write transition counts across stacks (locking
-    /// ablation data).
-    pub fn transition_counts(&self) -> (u64, u64) {
-        let mut r = 0;
-        let mut w = 0;
-        for s in self.stacks.values() {
-            r += s.read_transitions;
-            w += s.write_transitions;
+    #[inline]
+    fn ns_mut(&mut self, n: NodeId) -> Option<&mut NodeState> {
+        match self.nodes.get_mut(n.index()) {
+            Some(Some(b)) => Some(&mut **b),
+            _ => None,
         }
-        (r, w)
-    }
-
-    // ---- running ----------------------------------------------------------
-
-    /// Process events until `deadline`; the clock lands exactly on it.
-    pub fn run_until(&mut self, deadline: Time) {
-        while let Some((now, ev)) = self.sched.pop_before(deadline) {
-            self.handle(now, ev);
-        }
-        self.sched.fast_forward(deadline);
-    }
-
-    /// Process every remaining event (tests on quiescent protocols).
-    pub fn run_to_quiescence(&mut self) {
-        while let Some((now, ev)) = self.sched.pop() {
-            self.handle(now, ev);
-        }
-    }
-
-    /// Fired-event counts by class since construction.
-    pub fn event_counts(&self) -> EventClassCounts {
-        self.event_counts
     }
 
     fn handle(&mut self, now: Time, ev: WorldEvent) {
@@ -377,14 +272,20 @@ impl World {
             }
             WorldEvent::ConnTimer(key) => {
                 // The entry just fired; drop it from the live-timer map
-                // whether or not the node still exists.
-                self.conn_timers.remove(&key.slot());
-                if !self.alive.contains(&key.node) {
+                // whether or not the node is still alive.
+                let alive = match self.nodes.get_mut(key.node.index()) {
+                    Some(Some(ns)) => {
+                        ns.conn_timers.remove(&key.slot());
+                        ns.alive
+                    }
+                    _ => return,
+                };
+                if !alive {
                     return;
                 }
                 let mut tsink = self.take_tsink();
-                if let Some(ep) = self.endpoints.get_mut(&key.node) {
-                    ep.on_timer(now, key, &mut tsink);
+                if let Some(ns) = self.ns_mut(key.node) {
+                    ns.endpoint.on_timer(now, key, &mut tsink);
                 }
                 self.absorb_transport(now, key.node, tsink);
             }
@@ -394,60 +295,68 @@ impl World {
                 timer,
                 gen,
             } => {
-                if !self.alive.contains(&node) {
-                    return;
-                }
-                let slot_key = (node, layer, timer);
-                let Some(slot) = self.timers.get_mut(&slot_key) else {
-                    return;
-                };
-                if slot.gen != gen {
-                    return; // superseded or cancelled
-                }
-                if let Some(period) = slot.period {
-                    slot.event = self.sched.schedule_timer(
-                        now + period,
-                        WorldEvent::AgentTimer {
-                            node,
-                            layer,
-                            timer,
-                            gen,
-                        },
-                    );
+                {
+                    let sched = &mut self.sched;
+                    let Some(Some(ns)) = self.nodes.get_mut(node.index()) else {
+                        return;
+                    };
+                    if !ns.alive {
+                        return;
+                    }
+                    let Some(slot) = ns.timers.get_mut(&(layer, timer)) else {
+                        return;
+                    };
+                    if slot.gen != gen {
+                        return; // superseded or cancelled
+                    }
+                    if let Some(period) = slot.period {
+                        slot.event = sched.schedule_timer(
+                            now + period,
+                            WorldEvent::AgentTimer {
+                                node,
+                                layer,
+                                timer,
+                                gen,
+                            },
+                        );
+                    }
                 }
                 let mut fx = self.take_fx();
-                if let Some(stack) = self.stacks.get_mut(&node) {
-                    stack.timer(now, layer as usize, timer, &mut fx);
+                if let Some(ns) = self.ns_mut(node) {
+                    ns.stack.timer(now, layer as usize, timer, &mut fx);
                 }
                 self.process_effects(now, node, fx);
             }
             WorldEvent::FdTick { node } => self.fd_sweep(now, node),
             WorldEvent::Spawn { node } => {
-                self.alive.insert(node);
                 // A respawn after a crash: the host is reachable again.
                 self.net.faults_mut().heal_node(node);
                 let mut fx = self.take_fx();
-                if let Some(stack) = self.stacks.get_mut(&node) {
-                    stack.init(now, &mut fx);
+                if let Some(ns) = self.ns_mut(node) {
+                    ns.alive = true;
+                    ns.stack.init(now, &mut fx);
                 }
                 self.process_effects(now, node, fx);
                 self.sched
                     .schedule_timer(now + self.cfg.fd_tick, WorldEvent::FdTick { node });
             }
             WorldEvent::Api { node, call } => {
-                if !self.alive.contains(&node) {
-                    return;
-                }
                 let mut fx = self.take_fx();
-                if let Some(stack) = self.stacks.get_mut(&node) {
-                    stack.api(now, call, &mut fx);
+                match self.ns_mut(node) {
+                    Some(ns) if ns.alive => ns.stack.api(now, call, &mut fx),
+                    _ => {
+                        self.put_fx(fx);
+                        return;
+                    }
                 }
                 self.process_effects(now, node, fx);
             }
             WorldEvent::Crash { node } => {
-                self.alive.remove(&node);
                 self.net.faults_mut().fail_node(node);
-                self.monitors.remove(&node);
+                if let Some(ns) = self.ns_mut(node) {
+                    ns.alive = false;
+                    ns.monitors.clear();
+                }
                 // A dead node's pending timers would all pop as no-ops;
                 // cancel them so churn doesn't leave event backlog.
                 self.cancel_node_timers(node);
@@ -456,7 +365,29 @@ impl World {
         }
     }
 
-    // ---- plumbing ----------------------------------------------------------
+    fn apply_control(&mut self, op: ControlOp) {
+        match op {
+            ControlOp::Fail(n) => self.net.faults_mut().fail_node(n),
+            ControlOp::Heal(n) => self.net.faults_mut().heal_node(n),
+        }
+    }
+
+    /// Merge a batch of cross-shard arrivals at a window start, in the
+    /// deterministic total order.
+    fn inject(&mut self, mut batch: Vec<OutHandoff>) {
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_unstable_by_key(|o| (o.sent_at_us, o.src_shard, o.seq));
+        let now = self.sched.now();
+        for o in batch {
+            let mut sink = self.take_nsink();
+            self.net.resume(now, o.h, &mut sink);
+            self.absorb_net(now, sink);
+        }
+    }
+
+    // ---- plumbing ---------------------------------------------------------
 
     /// Cancel every pending connection and agent timer owned by `node`
     /// (crash/despawn cleanup). Connection-timer map entries are
@@ -464,16 +395,12 @@ impl World {
     /// after a crash supersedes them by generation).
     fn cancel_node_timers(&mut self, node: NodeId) {
         let sched = &mut self.sched;
-        self.conn_timers.retain(|&(n, _, _, _), &mut ev| {
-            if n == node {
+        if let Some(Some(ns)) = self.nodes.get_mut(node.index()) {
+            ns.conn_timers.retain(|_, &mut ev| {
                 sched.cancel(ev);
                 false
-            } else {
-                true
-            }
-        });
-        for (&(n, _, _), slot) in self.timers.iter_mut() {
-            if n == node {
+            });
+            for slot in ns.timers.values_mut() {
                 sched.cancel(slot.event);
                 slot.period = None;
             }
@@ -515,17 +442,32 @@ impl World {
         for (t, ev) in sink.schedule.drain(..) {
             self.sched.schedule(t, WorldEvent::Net(ev));
         }
+        for h in sink.handoffs.drain(..) {
+            self.handoff_seq += 1;
+            self.outbox.push(OutHandoff {
+                dest: h.dest_shard,
+                sent_at_us: h.sent_at.as_micros(),
+                src_shard: self.id,
+                seq: self.handoff_seq,
+                h,
+            });
+        }
         for d in sink.delivered.drain(..) {
             let to = d.pkt.dst;
             let from = d.pkt.src;
-            if !self.alive.contains(&to) {
-                continue;
-            }
             let mut tsink = self.take_tsink();
-            if let Some(ep) = self.endpoints.get_mut(&to) {
-                ep.on_packet(d.at, from, d.pkt.payload, &mut tsink);
+            let delivered = match self.ns_mut(to) {
+                Some(ns) if ns.alive => {
+                    ns.endpoint.on_packet(d.at, from, d.pkt.payload, &mut tsink);
+                    true
+                }
+                _ => false,
+            };
+            if delivered {
+                self.absorb_transport(d.at, to, tsink);
+            } else {
+                self.put_tsink(tsink);
             }
-            self.absorb_transport(d.at, to, tsink);
         }
         self.put_nsink(sink);
     }
@@ -535,8 +477,8 @@ impl World {
         // ledger (spec-readable `rtt(peer)`); purely passive — no
         // events, no RNG draws.
         if !tsink.ack_samples.is_empty() {
-            if let Some(stack) = self.stacks.get_mut(&node) {
-                let m = stack.measures_mut();
+            if let Some(ns) = self.ns_mut(node) {
+                let m = ns.stack.measures_mut();
                 for (peer, rtt) in tsink.ack_samples.drain(..) {
                     m.on_ack(now, peer, rtt);
                 }
@@ -546,18 +488,23 @@ impl World {
         for pkt in tsink.packets.drain(..) {
             self.net.send(now, pkt, &mut nsink);
         }
-        for key in tsink.cancel_timers.drain(..) {
-            if let Some(ev) = self.conn_timers.remove(&key.slot()) {
-                self.sched.cancel(ev);
-            }
-        }
-        for (at, key) in tsink.timers.drain(..) {
-            let slot = key.slot();
-            let ev = self.sched.schedule_timer(at, WorldEvent::ConnTimer(key));
-            if let Some(old) = self.conn_timers.insert(slot, ev) {
-                // Re-arm: the superseded entry dies here instead of
-                // tombstoning the queue.
-                self.sched.cancel(old);
+        {
+            let sched = &mut self.sched;
+            if let Some(Some(ns)) = self.nodes.get_mut(node.index()) {
+                for key in tsink.cancel_timers.drain(..) {
+                    if let Some(ev) = ns.conn_timers.remove(&key.slot()) {
+                        sched.cancel(ev);
+                    }
+                }
+                for (at, key) in tsink.timers.drain(..) {
+                    let slot = key.slot();
+                    let ev = sched.schedule_timer(at, WorldEvent::ConnTimer(key));
+                    if let Some(old) = ns.conn_timers.insert(slot, ev) {
+                        // Re-arm: the superseded entry dies here instead
+                        // of tombstoning the queue.
+                        sched.cancel(old);
+                    }
+                }
             }
         }
         // Net absorption precedes message delivery (event-order contract
@@ -572,8 +519,8 @@ impl World {
     /// A complete message reached `to`'s stack (or the engine).
     fn deliver_msg(&mut self, now: Time, to: NodeId, from: NodeId, _ch: ChannelId, msg: Bytes) {
         // Any traffic from a peer counts as liveness evidence.
-        if let Some(mon) = self.monitors.get_mut(&to) {
-            if let Some((_, st)) = mon.get_mut(&from) {
+        if let Some(ns) = self.ns_mut(to) {
+            if let Some((_, st)) = ns.monitors.get_mut(&from) {
                 st.last_heard = now;
                 st.hb_pending = false;
             }
@@ -590,15 +537,19 @@ impl World {
                 return;
             }
         }
-        if !self.alive.contains(&to) {
-            return;
-        }
         let mut fx = self.take_fx();
-        if let Some(stack) = self.stacks.get_mut(&to) {
-            // Every delivered protocol byte counts toward the sender's
-            // inbound-goodput estimate (spec-readable `goodput(peer)`).
-            stack.measures_mut().on_bytes_in(now, from, msg.len());
-            stack.recv(now, from, msg, &mut fx);
+        match self.ns_mut(to) {
+            Some(ns) if ns.alive => {
+                // Every delivered protocol byte counts toward the
+                // sender's inbound-goodput estimate (spec-readable
+                // `goodput(peer)`).
+                ns.stack.measures_mut().on_bytes_in(now, from, msg.len());
+                ns.stack.recv(now, from, msg, &mut fx);
+            }
+            _ => {
+                self.put_fx(fx);
+                return;
+            }
         }
         self.process_effects(now, to, fx);
     }
@@ -612,8 +563,8 @@ impl World {
                     bytes,
                 } => {
                     let mut tsink = self.take_tsink();
-                    if let Some(ep) = self.endpoints.get_mut(&node) {
-                        ep.send(now, dst, channel, bytes, &mut tsink);
+                    if let Some(ns) = self.ns_mut(node) {
+                        ns.endpoint.send(now, dst, channel, bytes, &mut tsink);
                     }
                     self.absorb_transport(now, node, tsink);
                 }
@@ -623,55 +574,61 @@ impl World {
                     delay,
                     periodic,
                 } => {
-                    let key = (node, layer as u16, timer);
-                    let slot = self.timers.entry(key).or_insert(TimerSlot {
-                        gen: 0,
-                        period: None,
-                        event: EventId::NONE,
-                    });
-                    // Supersede: the old pending firing dies now.
-                    self.sched.cancel(slot.event);
-                    slot.gen += 1;
-                    slot.period = periodic.then_some(delay);
-                    let gen = slot.gen;
-                    slot.event = self.sched.schedule_timer(
-                        now + delay,
-                        WorldEvent::AgentTimer {
-                            node,
-                            layer: layer as u16,
-                            timer,
-                            gen,
-                        },
-                    );
+                    let sched = &mut self.sched;
+                    if let Some(Some(ns)) = self.nodes.get_mut(node.index()) {
+                        let slot = ns.timers.entry((layer as u16, timer)).or_insert(TimerSlot {
+                            gen: 0,
+                            period: None,
+                            event: EventId::NONE,
+                        });
+                        // Supersede: the old pending firing dies now.
+                        sched.cancel(slot.event);
+                        slot.gen += 1;
+                        slot.period = periodic.then_some(delay);
+                        let gen = slot.gen;
+                        slot.event = sched.schedule_timer(
+                            now + delay,
+                            WorldEvent::AgentTimer {
+                                node,
+                                layer: layer as u16,
+                                timer,
+                                gen,
+                            },
+                        );
+                    }
                 }
                 StackEffect::TimerCancel { layer, timer } => {
-                    if let Some(slot) = self.timers.get_mut(&(node, layer as u16, timer)) {
-                        self.sched.cancel(slot.event);
-                        slot.gen += 1;
-                        slot.period = None;
+                    let sched = &mut self.sched;
+                    if let Some(Some(ns)) = self.nodes.get_mut(node.index()) {
+                        if let Some(slot) = ns.timers.get_mut(&(layer as u16, timer)) {
+                            sched.cancel(slot.event);
+                            slot.gen += 1;
+                            slot.period = None;
+                        }
                     }
                 }
                 StackEffect::Monitor { layer, peer } => {
                     self.last_membership_change = now;
-                    let mon = self.monitors.entry(node).or_default();
-                    let entry = mon.entry(peer).or_insert((
-                        Vec::new(),
-                        MonitorState {
-                            last_heard: now,
-                            hb_pending: false,
-                        },
-                    ));
-                    if !entry.0.contains(&layer) {
-                        entry.0.push(layer);
+                    if let Some(ns) = self.ns_mut(node) {
+                        let entry = ns.monitors.entry(peer).or_insert((
+                            Vec::new(),
+                            MonitorState {
+                                last_heard: now,
+                                hb_pending: false,
+                            },
+                        ));
+                        if !entry.0.contains(&layer) {
+                            entry.0.push(layer);
+                        }
                     }
                 }
                 StackEffect::Unmonitor { layer, peer } => {
                     self.last_membership_change = now;
-                    if let Some(mon) = self.monitors.get_mut(&node) {
-                        if let Some(entry) = mon.get_mut(&peer) {
+                    if let Some(ns) = self.ns_mut(node) {
+                        if let Some(entry) = ns.monitors.get_mut(&peer) {
                             entry.0.retain(|&l| l != layer);
                             if entry.0.is_empty() {
-                                mon.remove(&peer);
+                                ns.monitors.remove(&peer);
                             }
                         }
                     }
@@ -689,59 +646,591 @@ impl World {
         w.u16(ENGINE_PROTOCOL).u16(kind);
         let mut tsink = self.take_tsink();
         let ch = self.engine_ch;
-        if let Some(ep) = self.endpoints.get_mut(&from_node) {
-            ep.send(now, to, ch, w.finish(), &mut tsink);
+        if let Some(ns) = self.ns_mut(from_node) {
+            ns.endpoint.send(now, to, ch, w.finish(), &mut tsink);
         }
         self.absorb_transport(now, from_node, tsink);
     }
 
     fn fd_sweep(&mut self, now: Time, node: NodeId) {
-        if !self.alive.contains(&node) {
-            return;
-        }
+        let (g, f, tick) = (self.cfg.fd_g, self.cfg.fd_f, self.cfg.fd_tick);
         let mut failed: Vec<(NodeId, Vec<usize>)> = Vec::new();
         let mut probe: Vec<NodeId> = Vec::new();
-        if let Some(mon) = self.monitors.get_mut(&node) {
-            // Walk peers in id order, not map order: probe and failure
-            // events must not depend on hasher state, or seeded runs
-            // stop being reproducible across builds.
-            let mut peers: Vec<NodeId> = mon.keys().copied().collect();
-            peers.sort_unstable_by_key(|p| p.0);
-            let mut dead: Vec<NodeId> = Vec::new();
-            for peer in peers {
-                let (layers, st) = mon.get_mut(&peer).expect("collected above");
-                let silent = now.saturating_since(st.last_heard);
-                if silent >= self.cfg.fd_f {
-                    failed.push((peer, layers.clone()));
-                    dead.push(peer);
-                } else if silent >= self.cfg.fd_g && !st.hb_pending {
-                    st.hb_pending = true;
-                    probe.push(peer);
+        match self.ns_mut(node) {
+            Some(ns) if ns.alive => {
+                let mon = &mut ns.monitors;
+                // Walk peers in id order, not map order: probe and
+                // failure events must not depend on hasher state, or
+                // seeded runs stop being reproducible across builds.
+                let mut peers: Vec<NodeId> = mon.keys().copied().collect();
+                peers.sort_unstable_by_key(|p| p.0);
+                let mut dead: Vec<NodeId> = Vec::new();
+                for peer in peers {
+                    let (layers, st) = mon.get_mut(&peer).expect("collected above");
+                    let silent = now.saturating_since(st.last_heard);
+                    if silent >= f {
+                        failed.push((peer, layers.clone()));
+                        dead.push(peer);
+                    } else if silent >= g && !st.hb_pending {
+                        st.hb_pending = true;
+                        probe.push(peer);
+                    }
+                }
+                for peer in dead {
+                    mon.remove(&peer);
                 }
             }
-            for peer in dead {
-                mon.remove(&peer);
-            }
+            _ => return,
         }
         for peer in probe {
             self.send_engine(now, node, peer, HB_REQ);
         }
         for (peer, layers) in failed {
             // The peer's measurements describe a dead incarnation.
-            if let Some(stack) = self.stacks.get_mut(&node) {
-                stack.measures_mut().forget(peer);
+            if let Some(ns) = self.ns_mut(node) {
+                ns.stack.measures_mut().forget(peer);
             }
             self.last_membership_change = now;
             for layer in layers {
                 let mut fx = self.take_fx();
-                if let Some(stack) = self.stacks.get_mut(&node) {
-                    stack.peer_failed(now, layer, peer, &mut fx);
+                if let Some(ns) = self.ns_mut(node) {
+                    ns.stack.peer_failed(now, layer, peer, &mut fx);
                 }
                 self.process_effects(now, node, fx);
             }
         }
-        self.sched
-            .schedule(now + self.cfg.fd_tick, WorldEvent::FdTick { node });
+        self.sched.schedule(now + tick, WorldEvent::FdTick { node });
+    }
+}
+
+/// The windowed parallel executor driving one worker's chunk of shards.
+///
+/// Two barriers per window. Phase A injects the previous window's
+/// cross-shard departures (sorted into the canonical order), B
+/// publishes the chunk's earliest pending event time, C computes the
+/// identical global window on every worker (applying scripted fault
+/// ops when the window starts on a control instant, and clipping it so
+/// no window ever spans one), D drains the window, E routes departures
+/// into destination mailboxes.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker(
+    chunk: &mut [Shard],
+    wi: usize,
+    barrier: &Barrier,
+    next_times: &[AtomicU64],
+    mailboxes: &[Mutex<Vec<OutHandoff>>],
+    ctrl: &[(u64, Vec<ControlOp>)],
+    la_us: u64,
+    deadline_us: u64,
+) {
+    let mut cursor = 0usize;
+    loop {
+        // A: merge cross-shard arrivals from the previous window.
+        for s in chunk.iter_mut() {
+            let batch = {
+                let mut mb = mailboxes[s.id as usize].lock().unwrap();
+                std::mem::take(&mut *mb)
+            };
+            s.inject(batch);
+        }
+        // B: publish the chunk's earliest pending event time.
+        let mine = chunk
+            .iter_mut()
+            .filter_map(|s| s.sched.peek_time())
+            .map(|t| t.as_micros())
+            .min()
+            .unwrap_or(u64::MAX);
+        next_times[wi].store(mine, Ordering::SeqCst);
+        barrier.wait();
+        // C: every worker computes the same global window.
+        let next = next_times
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        if next == u64::MAX || next > deadline_us {
+            break;
+        }
+        while cursor < ctrl.len() && ctrl[cursor].0 < next {
+            cursor += 1;
+        }
+        let mut w_end = next.saturating_add(la_us - 1).min(deadline_us);
+        if cursor < ctrl.len() && ctrl[cursor].0 == next {
+            // The window starts on a control instant: every replica
+            // applies the scripted fault ops before any event at `next`
+            // runs — exactly when the sequential engine's control event
+            // would have popped.
+            for s in chunk.iter_mut() {
+                for op in &ctrl[cursor].1 {
+                    s.apply_control(*op);
+                }
+            }
+            cursor += 1;
+        }
+        if cursor < ctrl.len() {
+            // Never span the next control instant.
+            w_end = w_end.min(ctrl[cursor].0.saturating_sub(1));
+        }
+        // D: drain the window.
+        let w = Time::from_micros(w_end);
+        for s in chunk.iter_mut() {
+            while let Some((now, ev)) = s.sched.pop_before(w) {
+                s.handle(now, ev);
+            }
+        }
+        // E: route departures to their destination mailboxes.
+        for s in chunk.iter_mut() {
+            for o in s.outbox.drain(..) {
+                mailboxes[o.dest as usize].lock().unwrap().push(o);
+            }
+        }
+        barrier.wait();
+    }
+}
+
+/// The complete simulated deployment.
+pub struct World {
+    cfg: Arc<WorldConfig>,
+    smap: Arc<ShardMap>,
+    shards: Vec<Shard>,
+    rng: SimRng,
+    /// Worker threads `run_until` drives windowed execution with when
+    /// the world is sharded (never affects results, only wall clock).
+    workers: usize,
+    /// Scripted fault mutations by virtual microsecond; windows are
+    /// clipped so every shard's replica applies them at exactly the
+    /// scripted instant. Only consulted when `shards > 1`.
+    control: BTreeMap<u64, Vec<ControlOp>>,
+}
+
+impl World {
+    pub fn new(topo: Topology, cfg: WorldConfig) -> World {
+        let mut cfg = cfg;
+        let mut channels = std::mem::take(&mut cfg.channels);
+        let engine_ch = ChannelId(channels.len() as u16);
+        channels.push(ChannelSpec::new("__ENGINE_HB", TransportKind::Udp));
+        cfg.channels = channels;
+        let smap = Arc::new(ShardMap::partition_hosts(&topo, cfg.shards.max(1)));
+        let p = smap.shards() as usize;
+        let mut net_cfg = cfg.net.clone();
+        net_cfg.seed = cfg.seed ^ 0x6e65_7477;
+        let rng = SimRng::new(cfg.seed);
+        let cfg = Arc::new(cfg);
+        let num_nodes = topo.num_nodes();
+        let mut topo = Some(topo);
+        let mut shards = Vec::with_capacity(p);
+        for sid in 0..p {
+            let t = if sid + 1 == p {
+                topo.take().expect("consumed once")
+            } else {
+                topo.as_ref().expect("still present").clone()
+            };
+            let mut net = Network::new(t, net_cfg.clone());
+            if p > 1 {
+                net.set_sharding(smap.clone(), sid as u16);
+            }
+            shards.push(Shard {
+                id: sid as u16,
+                cfg: cfg.clone(),
+                engine_ch,
+                sched: Scheduler::new(),
+                net,
+                nodes: (0..num_nodes).map(|_| None).collect(),
+                trace: TraceSink::new(cfg.trace_level),
+                last_membership_change: Time::ZERO,
+                event_counts: EventClassCounts::default(),
+                outbox: Vec::new(),
+                handoff_seq: 0,
+                nsink_pool: Vec::new(),
+                tsink_pool: Vec::new(),
+                fx_pool: Vec::new(),
+            });
+        }
+        World {
+            cfg,
+            smap,
+            shards,
+            rng,
+            workers: 1,
+            control: BTreeMap::new(),
+        }
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    /// Register a node's stack and schedule its `init` at `at`.
+    pub fn spawn_at(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        agents: Vec<Box<dyn Agent>>,
+        app: Box<dyn AppHandler>,
+    ) {
+        assert!(
+            self.shards[0].net.topology().is_host(node),
+            "spawn on non-host {node:?}"
+        );
+        let sid = self.smap.shard_of(node) as usize;
+        assert!(
+            self.shards[sid].nodes[node.index()].is_none(),
+            "{node:?} already spawned"
+        );
+        let key = MacedonKey::of_node(node, self.cfg.addressing);
+        let rng = self.rng.fork(node.0 as u64);
+        let mut stack = Stack::new(node, key, agents, app, rng);
+        // Agents may skip building trace records the sink would filter
+        // out anyway (Ctx::trace_on).
+        stack.set_trace_level(self.cfg.trace_level);
+        stack.set_addressing(self.cfg.addressing);
+        let ns = NodeState {
+            stack,
+            endpoint: Endpoint::new(node, self.cfg.channels.clone()),
+            alive: false,
+            timers: FxHashMap::default(),
+            conn_timers: FxHashMap::default(),
+            monitors: FxHashMap::default(),
+        };
+        self.shards[sid].nodes[node.index()] = Some(Box::new(ns));
+        self.shards[sid]
+            .sched
+            .schedule(at, WorldEvent::Spawn { node });
+        if self.shards.len() > 1 {
+            self.control
+                .entry(at.as_micros())
+                .or_default()
+                .push(ControlOp::Heal(node));
+        }
+    }
+
+    /// Schedule an application-level API call on a node.
+    pub fn api_at(&mut self, at: Time, node: NodeId, call: DownCall) {
+        let sid = self.smap.shard_of(node) as usize;
+        self.shards[sid]
+            .sched
+            .schedule(at, WorldEvent::Api { node, call });
+    }
+
+    /// Schedule a node crash (fail-stop).
+    pub fn crash_at(&mut self, at: Time, node: NodeId) {
+        let sid = self.smap.shard_of(node) as usize;
+        self.shards[sid]
+            .sched
+            .schedule(at, WorldEvent::Crash { node });
+        if self.shards.len() > 1 {
+            self.control
+                .entry(at.as_micros())
+                .or_default()
+                .push(ControlOp::Fail(node));
+        }
+    }
+
+    /// Remove a node's stack, endpoint, timers and monitors entirely, so
+    /// the host can be spawned again with a fresh stack (a *rejoin*
+    /// after a crash: protocol state is lost, as on a real reboot).
+    /// Scheduled timer/RTO events for the old incarnation become inert —
+    /// their generation slots are gone. Every peer's transport state
+    /// toward the node is reset too: the old incarnation's reliable
+    /// sequence numbers must not wedge the fresh endpoint (a peer
+    /// retransmitting at old sequence positions would sit in the new
+    /// receiver's out-of-order buffer forever).
+    pub fn despawn(&mut self, node: NodeId) {
+        let sid = self.smap.shard_of(node) as usize;
+        self.shards[sid].cancel_node_timers(node);
+        self.shards[sid].nodes[node.index()] = None;
+        for sh in &mut self.shards {
+            for ns in sh.nodes.iter_mut().flatten() {
+                ns.endpoint.reset_peer(node);
+                ns.stack.measures_mut().forget(node);
+            }
+        }
+    }
+
+    // ---- observation ------------------------------------------------------
+
+    pub fn now(&self) -> Time {
+        self.shards
+            .iter()
+            .map(|s| s.sched.now())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// Number of shards the world was partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads `run_until` uses for windowed execution.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Shard 0's network replica. On a sharded world, per-replica
+    /// counters only describe the links that replica owns — use
+    /// [`World::link_counters`] / [`World::total_net_drops`] /
+    /// [`World::faults_each`] for whole-network reads and mutations.
+    pub fn net(&self) -> &Network<Segment> {
+        &self.shards[0].net
+    }
+
+    pub fn net_mut(&mut self) -> &mut Network<Segment> {
+        &mut self.shards[0].net
+    }
+
+    /// Apply a fault mutation to every shard's replica (partitions,
+    /// loss rates, link failures scripted between runs).
+    pub fn faults_each(&mut self, mut f: impl FnMut(&mut Faults)) {
+        for s in &mut self.shards {
+            f(s.net.faults_mut());
+        }
+    }
+
+    /// Mutate a physical link's bandwidth and/or delay on every shard's
+    /// replica.
+    pub fn set_phys_link(
+        &mut self,
+        phys: u32,
+        bandwidth_bps: Option<u64>,
+        delay: Option<Duration>,
+    ) {
+        for s in &mut self.shards {
+            s.net.set_phys_link(phys, bandwidth_bps, delay);
+        }
+    }
+
+    /// Per-physical-link (packets, bytes, drops) counters summed across
+    /// every shard's replica (each directed link is charged by exactly
+    /// one replica, so the sum is the whole-network count).
+    pub fn link_counters(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = self.shards[0].net.link_counters();
+        for s in &self.shards[1..] {
+            for (acc, c) in out.iter_mut().zip(s.net.link_counters()) {
+                acc.0 += c.0;
+                acc.1 += c.1;
+                acc.2 += c.2;
+            }
+        }
+        out
+    }
+
+    /// Total packets dropped anywhere in the network, across all shard
+    /// replicas.
+    pub fn total_net_drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.net.total_drops()).sum()
+    }
+
+    pub fn stack(&self, node: NodeId) -> Option<&Stack> {
+        self.shards[self.smap.shard_of(node) as usize]
+            .ns(node)
+            .map(|ns| &ns.stack)
+    }
+
+    pub fn stack_mut(&mut self, node: NodeId) -> Option<&mut Stack> {
+        let sid = self.smap.shard_of(node) as usize;
+        self.shards[sid].ns_mut(node).map(|ns| &mut ns.stack)
+    }
+
+    pub fn endpoint(&self, node: NodeId) -> Option<&Endpoint> {
+        self.shards[self.smap.shard_of(node) as usize]
+            .ns(node)
+            .map(|ns| &ns.endpoint)
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.shards[self.smap.shard_of(node) as usize]
+            .ns(node)
+            .is_some_and(|ns| ns.alive)
+    }
+
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.shards.iter().flat_map(|s| {
+            s.nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, ns)| ns.as_ref().filter(|ns| ns.alive).map(|_| NodeId(i as u32)))
+        })
+    }
+
+    /// Shard 0's trace sink (on a sharded world each shard records its
+    /// own nodes' traces; sequential worlds have exactly one shard).
+    pub fn trace(&self) -> &TraceSink {
+        &self.shards[0].trace
+    }
+
+    /// Key of a node under this world's addressing mode.
+    pub fn key_of(&self, node: NodeId) -> MacedonKey {
+        MacedonKey::of_node(node, self.cfg.addressing)
+    }
+
+    /// Resolve a named transport instance.
+    pub fn channel(&self, name: &str) -> Option<ChannelId> {
+        self.cfg
+            .channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChannelId(i as u16))
+    }
+
+    /// Uncongested IP latency oracle (stretch / RDP computations).
+    pub fn oracle_latency(&mut self, a: NodeId, b: NodeId) -> Option<Duration> {
+        self.shards[0].net.oracle_latency(a, b)
+    }
+
+    /// Instant of the last overlay-membership mutation the engine
+    /// observed (failure-detector registrations changing, crashes).
+    /// "quiet since t" is the convergence signal scenario metrics use.
+    pub fn last_membership_change(&self) -> Time {
+        self.shards
+            .iter()
+            .map(|s| s.last_membership_change)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Aggregate read/write transition counts across stacks (locking
+    /// ablation data).
+    pub fn transition_counts(&self) -> (u64, u64) {
+        let mut r = 0;
+        let mut w = 0;
+        for sh in &self.shards {
+            for ns in sh.nodes.iter().flatten() {
+                r += ns.stack.read_transitions;
+                w += ns.stack.write_transitions;
+            }
+        }
+        (r, w)
+    }
+
+    /// Total events fired across every shard's scheduler.
+    pub fn events_fired(&self) -> u64 {
+        self.shards.iter().map(|s| s.sched.events_fired()).sum()
+    }
+
+    /// Fired-event counts by class since construction, summed across
+    /// shards.
+    pub fn event_counts(&self) -> EventClassCounts {
+        let mut acc = EventClassCounts::default();
+        for s in &self.shards {
+            acc.add(&s.event_counts);
+        }
+        acc
+    }
+
+    // ---- running ----------------------------------------------------------
+
+    /// Process events until `deadline`; the clock lands exactly on it.
+    /// A sharded world runs windowed with [`World::set_workers`]
+    /// threads; the result is identical for every worker count.
+    pub fn run_until(&mut self, deadline: Time) {
+        if self.shards.len() == 1 {
+            let s = &mut self.shards[0];
+            while let Some((now, ev)) = s.sched.pop_before(deadline) {
+                s.handle(now, ev);
+            }
+            s.sched.fast_forward(deadline);
+        } else {
+            self.run_windows(Some(deadline), self.workers);
+        }
+    }
+
+    /// Process every remaining event (tests on quiescent protocols).
+    pub fn run_to_quiescence(&mut self) {
+        if self.shards.len() == 1 {
+            let s = &mut self.shards[0];
+            while let Some((now, ev)) = s.sched.pop() {
+                s.handle(now, ev);
+            }
+        } else {
+            self.run_windows(None, self.workers);
+        }
+    }
+
+    /// Windowed run to `deadline` on `workers` threads. On a world with
+    /// one shard this is plain sequential execution; with `P` shards the
+    /// result is bit-for-bit identical for every `workers` value
+    /// (threads only decide which core executes a shard, never the
+    /// merge order).
+    pub fn run_parallel_until(&mut self, deadline: Time, workers: usize) {
+        if self.shards.len() == 1 {
+            self.run_until(deadline);
+        } else {
+            self.run_windows(Some(deadline), workers);
+        }
+    }
+
+    fn run_windows(&mut self, deadline: Option<Time>, workers: usize) {
+        let p = self.shards.len();
+        let la = self.shards[0]
+            .net
+            .min_link_delay()
+            .expect("windowed execution needs at least one link");
+        let la_us = la.as_micros();
+        assert!(
+            la_us > 0,
+            "windowed execution requires a nonzero minimum link delay; use shards = 1"
+        );
+        let deadline_us = deadline.map(|d| d.as_micros());
+        let dl_us = deadline_us.unwrap_or(u64::MAX);
+        let ctrl: Vec<(u64, Vec<ControlOp>)> = match deadline_us {
+            Some(d) => self
+                .control
+                .range(..=d)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            None => self.control.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        };
+        let workers_eff = workers.clamp(1, p);
+        let chunk = p.div_ceil(workers_eff);
+        let nchunks = p.div_ceil(chunk);
+        let next_times: Vec<AtomicU64> = (0..nchunks).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mailboxes: Vec<Mutex<Vec<OutHandoff>>> =
+            (0..p).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(nchunks);
+        {
+            let mut chunks: Vec<&mut [Shard]> = self.shards.chunks_mut(chunk).collect();
+            let rest = chunks.split_off(1);
+            let first = chunks.pop().expect("at least one chunk");
+            std::thread::scope(|scope| {
+                for (i, ch) in rest.into_iter().enumerate() {
+                    let (b, nt, mb, cs) = (&barrier, &next_times, &mailboxes, &ctrl);
+                    scope.spawn(move || shard_worker(ch, i + 1, b, nt, mb, cs, la_us, dl_us));
+                }
+                shard_worker(
+                    first,
+                    0,
+                    &barrier,
+                    &next_times,
+                    &mailboxes,
+                    &ctrl,
+                    la_us,
+                    dl_us,
+                );
+            });
+        }
+        match deadline {
+            Some(d) => {
+                for s in &mut self.shards {
+                    s.sched.fast_forward(d);
+                }
+                self.control = self.control.split_off(&dl_us.saturating_add(1));
+            }
+            None => {
+                let m = self
+                    .shards
+                    .iter()
+                    .map(|s| s.sched.now())
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                for s in &mut self.shards {
+                    s.sched.fast_forward(m);
+                }
+                self.control.clear();
+            }
+        }
     }
 }
 
@@ -1107,7 +1596,7 @@ mod tests {
                 Box::new(NullApp),
             );
             w.run_until(Time::from_secs(10));
-            w.sched.events_fired()
+            w.events_fired()
         };
         assert_eq!(run(), run());
     }
@@ -1118,5 +1607,177 @@ mod tests {
         assert!(w.channel("HIGH").is_some());
         assert!(w.channel("__ENGINE_HB").is_some());
         assert!(w.channel("NONE").is_none());
+    }
+
+    // ---- sharded engine ---------------------------------------------------
+
+    /// Build an all-pairs ping world on a star: every host pings its
+    /// successor, timers and the failure detector run throughout —
+    /// traffic constantly crosses shard boundaries.
+    fn ring_ping_world(n: usize, shards: usize) -> World {
+        let topo = canned::star(n, LinkSpec::lan());
+        let hosts = topo.hosts().to_vec();
+        let mut w = World::new(
+            topo,
+            WorldConfig {
+                shards,
+                ..WorldConfig::default()
+            },
+        );
+        for (i, &h) in hosts.iter().enumerate() {
+            let peer = hosts[(i + 1) % hosts.len()];
+            w.spawn_at(
+                Time::from_millis(i as u64),
+                h,
+                vec![pp(Some(peer))],
+                Box::new(NullApp),
+            );
+        }
+        w
+    }
+
+    fn fingerprint(w: &World, n: usize) -> (u64, u64, u64, Vec<(u32, u32)>) {
+        let topo_hosts: Vec<NodeId> = w.alive_nodes().collect();
+        assert_eq!(topo_hosts.len(), n);
+        let mut per_node = Vec::new();
+        let mut hosts = topo_hosts.clone();
+        hosts.sort_unstable_by_key(|h| h.0);
+        for h in hosts {
+            let p: &PingPong = w
+                .stack(h)
+                .unwrap()
+                .agent(0)
+                .as_any()
+                .downcast_ref()
+                .unwrap();
+            per_node.push((p.pings, p.pongs));
+        }
+        let (r, wr) = w.transition_counts();
+        (w.events_fired(), r, wr, per_node)
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let n = 12;
+        let mut seq = ring_ping_world(n, 1);
+        seq.run_until(Time::from_secs(5));
+        let want = fingerprint(&seq, n);
+
+        for shards in [2, 4] {
+            let mut par = ring_ping_world(n, shards);
+            par.run_until(Time::from_secs(5));
+            assert_eq!(
+                fingerprint(&par, n),
+                want,
+                "{shards}-shard run diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let n = 12;
+        let mut one = ring_ping_world(n, 4);
+        one.run_parallel_until(Time::from_secs(5), 1);
+        let want = fingerprint(&one, n);
+        for workers in [2, 3, 4, 8] {
+            let mut many = ring_ping_world(n, 4);
+            many.run_parallel_until(Time::from_secs(5), workers);
+            assert_eq!(fingerprint(&many, n), want, "{workers}-worker run diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_crash_detection_matches_sequential() {
+        let n = 8;
+        let run = |shards: usize| {
+            let topo = canned::star(n, LinkSpec::lan());
+            let hosts = topo.hosts().to_vec();
+            let mut w = World::new(
+                topo,
+                WorldConfig {
+                    shards,
+                    ..WorldConfig::default()
+                },
+            );
+            // Every node watches the last host, which crashes at t=2s —
+            // watchers on every shard must agree on the detection.
+            let victim = hosts[n - 1];
+            for &h in hosts.iter().take(n - 1) {
+                w.spawn_at(
+                    Time::ZERO,
+                    h,
+                    vec![Box::new(Watcher {
+                        peer: victim,
+                        ch: ChannelId(1),
+                        failures: vec![],
+                    })],
+                    Box::new(NullApp),
+                );
+            }
+            w.spawn_at(
+                Time::ZERO,
+                victim,
+                vec![Box::new(Watcher {
+                    peer: hosts[0],
+                    ch: ChannelId(1),
+                    failures: vec![],
+                })],
+                Box::new(NullApp),
+            );
+            w.crash_at(Time::from_secs(2), victim);
+            w.run_until(Time::from_secs(30));
+            let mut failures = Vec::new();
+            for &h in hosts.iter().take(n - 1) {
+                let watcher: &Watcher = w
+                    .stack(h)
+                    .unwrap()
+                    .agent(0)
+                    .as_any()
+                    .downcast_ref()
+                    .unwrap();
+                failures.push(watcher.failures.clone());
+            }
+            (w.events_fired(), failures)
+        };
+        let (_, seq_failures) = run(1);
+        assert!(
+            seq_failures.iter().all(|f| f == &vec![NodeId(n as u32)]),
+            "all watchers detect the crash sequentially: {seq_failures:?}"
+        );
+        assert_eq!(run(4), run(1), "4-shard crash run diverged");
+    }
+
+    #[test]
+    fn run_to_quiescence_sharded_matches_sequential() {
+        let n = 10;
+        // No FD traffic keeps the event set finite: ping once, done.
+        let build = |shards: usize| {
+            let topo = canned::star(n, LinkSpec::lan());
+            let hosts = topo.hosts().to_vec();
+            let mut w = World::new(
+                topo,
+                WorldConfig {
+                    shards,
+                    fd_tick: Duration::from_secs(3600),
+                    ..WorldConfig::default()
+                },
+            );
+            for (i, &h) in hosts.iter().enumerate() {
+                let peer = hosts[(i + 1) % hosts.len()];
+                w.spawn_at(
+                    Time::from_millis(i as u64),
+                    h,
+                    vec![pp(Some(peer))],
+                    Box::new(NullApp),
+                );
+            }
+            w
+        };
+        let mut seq = build(1);
+        seq.run_until(Time::from_secs(2));
+        let mut par = build(3);
+        par.run_until(Time::from_secs(2));
+        assert_eq!(fingerprint(&par, n), fingerprint(&seq, n));
     }
 }

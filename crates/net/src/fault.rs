@@ -6,7 +6,7 @@
 //! board for that.
 
 use crate::topology::NodeId;
-use macedon_sim::SimRng;
+use macedon_sim::mix64;
 use std::collections::HashSet;
 
 /// Mutable fault state consulted by the packet pipeline.
@@ -64,9 +64,31 @@ impl Faults {
         self.nodes_down.iter().copied()
     }
 
-    /// Loss coin-flip for one hop.
-    pub fn should_drop(&self, rng: &mut SimRng) -> bool {
-        self.drop_probability > 0.0 && rng.chance(self.drop_probability)
+    /// Loss decision for one hop, keyed by packet/hop identity instead
+    /// of drawn from a mutable RNG stream. The same `(probability, key)`
+    /// pair always yields the same verdict, no matter when or on which
+    /// shard the hop is evaluated — the property that keeps sharded
+    /// route walks bit-identical to the sequential engine. Callers
+    /// build `key` from the loss seed, the packet's send identity and
+    /// the hop index (see `pipeline`).
+    pub fn drops_hop(&self, key: u64) -> bool {
+        Self::hop_drops_at(self.drop_probability, key)
+    }
+
+    /// The stateless core of [`Faults::drops_hop`], usable with a loss
+    /// probability captured at send time (packets in flight across a
+    /// shard boundary keep the probability they were sent under).
+    pub fn hop_drops_at(p: f64, key: u64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare the mixed key against p scaled to the full u64 range;
+        // mix64 output is uniform, so P(mixed < p·2⁶⁴) = p.
+        let threshold = (p * (u64::MAX as f64)) as u64;
+        mix64(key) < threshold
     }
 
     /// Install a network partition: `side` vs everyone else. Replaces
@@ -121,16 +143,25 @@ mod tests {
     #[test]
     fn drop_probability_zero_never_drops() {
         let f = Faults::default();
-        let mut rng = SimRng::new(1);
-        assert!(!(0..1000).any(|_| f.should_drop(&mut rng)));
+        assert!(!(0..1000u64).any(|k| f.drops_hop(k)));
     }
 
     #[test]
     fn drop_probability_one_always_drops() {
         let mut f = Faults::default();
         f.set_drop_probability(1.0);
-        let mut rng = SimRng::new(1);
-        assert!((0..1000).all(|_| f.should_drop(&mut rng)));
+        assert!((0..1000u64).all(|k| f.drops_hop(k)));
+    }
+
+    #[test]
+    fn keyed_drop_is_a_pure_function_of_key() {
+        let mut f = Faults::default();
+        f.set_drop_probability(0.3);
+        let first: Vec<bool> = (0..64u64).map(|k| f.drops_hop(k)).collect();
+        let again: Vec<bool> = (0..64u64).map(|k| f.drops_hop(k)).collect();
+        assert_eq!(first, again, "verdicts do not depend on call order");
+        let hits = first.iter().filter(|&&d| d).count();
+        assert!((5..=30).contains(&hits), "roughly p of keys drop: {hits}");
     }
 
     #[test]

@@ -17,9 +17,11 @@
 use crate::fault::Faults;
 use crate::packet::{Packet, PacketArena, PacketRef};
 use crate::routing::Router;
+use crate::shard::ShardMap;
 use crate::topology::{LinkId, NodeId, Topology};
-use macedon_sim::{Duration, SimRng, Time};
+use macedon_sim::{mix64, Duration, Time};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Events the network schedules for itself.
 ///
@@ -65,6 +67,39 @@ pub enum DropReason {
     Partitioned,
 }
 
+/// A route walk suspended at a shard boundary: the packet has been
+/// charged across every link owned by the emitting shard and must
+/// continue (or arrive) on `at_node`'s side. Handoffs accumulate in the
+/// sink during a time window and are injected into the owning shard at
+/// the next barrier, in deterministic `(sent_at, shard, seq)` order —
+/// the world layer stamps the order key.
+///
+/// `t` is the virtual time the packet reaches `at_node`; the
+/// window-safety invariant (`t` is at least one link delay after the
+/// emitting event, hence past the window end) is guaranteed by
+/// [`ShardMap::owner_of_link`]'s sender-side rule.
+#[derive(Debug)]
+pub struct Handoff<P> {
+    pub pkt: Packet<P>,
+    /// Node the walk resumes from; equal to `pkt.dst` when the walk is
+    /// complete and only the arrival event remains to be scheduled.
+    pub at_node: NodeId,
+    /// Time the packet is at `at_node`.
+    pub t: Time,
+    pub sent_at: Time,
+    /// Hops already traversed (loss-key continuity across shards).
+    pub hops: u32,
+    /// Per-packet loss key fixed at send time.
+    pub loss_key: u64,
+    /// Loss probability captured at send time; the resuming shard uses
+    /// this, not its live setting, so a loss-rate change that lands at
+    /// a barrier never re-decides hops of packets already in flight.
+    pub loss_p: f64,
+    /// Shard whose replica must resume the walk (owner of the next link,
+    /// or the destination's shard for a completed walk).
+    pub dest_shard: u16,
+}
+
 /// Output buffer filled by [`Network`] methods.
 pub struct Sink<P> {
     /// Events to insert into the caller's scheduler.
@@ -73,6 +108,8 @@ pub struct Sink<P> {
     pub delivered: Vec<Delivery<P>>,
     /// Packets dropped, with reasons (observability / tests).
     pub dropped: Vec<(DropReason, NodeId)>,
+    /// Route walks suspended at a shard boundary (empty unless sharded).
+    pub handoffs: Vec<Handoff<P>>,
 }
 
 impl<P> Sink<P> {
@@ -81,6 +118,7 @@ impl<P> Sink<P> {
             schedule: Vec::new(),
             delivered: Vec::new(),
             dropped: Vec::new(),
+            handoffs: Vec::new(),
         }
     }
 
@@ -88,6 +126,7 @@ impl<P> Sink<P> {
         self.schedule.clear();
         self.delivered.clear();
         self.dropped.clear();
+        self.handoffs.clear();
     }
 }
 
@@ -174,7 +213,20 @@ pub struct Network<P> {
     router: Router,
     links: Vec<LinkState>,
     faults: Faults,
-    rng: SimRng,
+    /// Seed for keyed per-hop loss decisions (order-free, unlike an RNG
+    /// stream: every shard replica computes identical verdicts).
+    loss_seed: u64,
+    /// Per-source send counter feeding the loss key. Only advanced while
+    /// loss is enabled; a node's sends are always processed by its own
+    /// shard in source-local order, so replicas agree with the
+    /// sequential engine on every counter value.
+    send_seq: Vec<u64>,
+    /// When sharded: the global node/link ownership map and this
+    /// replica's shard id. `None` runs the exact sequential fast path.
+    sharding: Option<(Arc<ShardMap>, u16)>,
+    /// Cached global minimum link delay (the conservative lookahead);
+    /// invalidated by `set_phys_link`.
+    min_delay: Option<Option<Duration>>,
     /// In-flight packet storage; events carry indices into this.
     arena: PacketArena<P>,
     /// Packets dropped anywhere, for any reason (link counters only see
@@ -190,10 +242,34 @@ impl<P> Network<P> {
             router: Router::new(),
             links,
             faults: Faults::default(),
-            rng: SimRng::new(cfg.seed),
+            loss_seed: cfg.seed,
+            send_seq: Vec::new(),
+            sharding: None,
+            min_delay: None,
             arena: PacketArena::default(),
             dropped: 0,
         }
+    }
+
+    /// Make this instance one shard's replica: route walks stop at links
+    /// owned by other shards and surface as [`Handoff`]s in the sink.
+    pub fn set_sharding(&mut self, smap: Arc<ShardMap>, me: u16) {
+        self.sharding = Some((smap, me));
+    }
+
+    /// Minimum propagation delay over all links — the conservative
+    /// lookahead for windowed parallel execution. Cached; recomputed
+    /// after [`Network::set_phys_link`].
+    pub fn min_link_delay(&mut self) -> Option<Duration> {
+        *self
+            .min_delay
+            .get_or_insert_with(|| crate::routing::min_link_delay(&self.topo))
+    }
+
+    /// Minimum delay over links crossing `smap`'s shard boundaries (see
+    /// [`crate::routing::min_cross_shard_delay`]).
+    pub fn min_cross_shard_delay(&self, smap: &ShardMap) -> Option<Duration> {
+        crate::routing::min_cross_shard_delay(&self.topo, smap)
     }
 
     /// The in-flight packet arena (capacity is the high-water mark of
@@ -226,6 +302,7 @@ impl<P> Network<P> {
     ) {
         self.topo.set_phys_link(phys, bandwidth_bps, delay);
         self.router.invalidate();
+        self.min_delay = None;
     }
 
     /// Uncongested one-way IP latency between two nodes (the latency
@@ -276,11 +353,14 @@ impl<P> Network<P> {
             out.dropped.push((DropReason::Partitioned, pkt.src));
             return;
         }
+        let loss_p = self.faults.drop_probability();
+        let loss_key = self.next_loss_key(now, &pkt, loss_p);
         let (src, dst) = (pkt.src, pkt.dst);
-        let pkt = self.arena.alloc(pkt);
         if src == dst {
-            // Loopback: deliver after a small constant delay.
+            // Loopback: deliver after a small constant delay (touches
+            // no link state, so it never needs the deferred path).
             let cfg_delay = Duration::from_micros(50);
+            let pkt = self.arena.alloc(pkt);
             out.schedule.push((
                 now + cfg_delay,
                 NetEvent::Arrive {
@@ -291,7 +371,49 @@ impl<P> Network<P> {
             ));
             return;
         }
-        self.transit(now, src, pkt, now, out);
+        let pkt = self.arena.alloc(pkt);
+        self.transit(now, src, now, pkt, now, 0, loss_key, loss_p, out);
+    }
+
+    /// Per-packet loss key: a pure function of the loss seed, the send
+    /// identity `(src, dst, time, per-source sequence)` — never of
+    /// evaluation order. Zero (and no counter advance) while loss is
+    /// off, so the lossless hot path pays nothing.
+    fn next_loss_key(&mut self, now: Time, pkt: &Packet<P>, loss_p: f64) -> u64 {
+        if loss_p <= 0.0 {
+            return 0;
+        }
+        let idx = pkt.src.index();
+        if self.send_seq.len() <= idx {
+            self.send_seq.resize(idx + 1, 0);
+        }
+        let ctr = self.send_seq[idx];
+        self.send_seq[idx] += 1;
+        let mut k = mix64(self.loss_seed ^ pkt.src.0 as u64 ^ ((pkt.dst.0 as u64) << 32));
+        k = mix64(k ^ now.as_micros());
+        mix64(k ^ ctr)
+    }
+
+    /// Resume a route walk suspended at this shard's boundary. `now` is
+    /// the barrier time (a safe monotone lower bound for reservation
+    /// pruning); the walk itself continues at `h.t`.
+    pub fn resume(&mut self, now: Time, h: Handoff<P>, out: &mut Sink<P>) {
+        let done = h.at_node == h.pkt.dst;
+        let pkt = self.arena.alloc(h.pkt);
+        if done {
+            out.schedule.push((
+                h.t,
+                NetEvent::Arrive {
+                    node: h.at_node,
+                    pkt,
+                    sent_at: h.sent_at,
+                },
+            ));
+        } else {
+            self.transit(
+                now, h.at_node, h.t, pkt, h.sent_at, h.hops, h.loss_key, h.loss_p, out,
+            );
+        }
     }
 
     /// Process one of our own events.
@@ -324,7 +446,17 @@ impl<P> Network<P> {
                         at: now,
                     });
                 } else {
-                    self.transit(now, node, pkt, sent_at, out);
+                    // Degenerate rerouting case: the original loss key
+                    // is gone, so derive a fresh one from the re-transit
+                    // identity (identical on every engine).
+                    let loss_p = self.faults.drop_probability();
+                    let key = if loss_p > 0.0 {
+                        let k = mix64(self.loss_seed ^ src.0 as u64 ^ ((dst.0 as u64) << 32));
+                        mix64(k ^ now.as_micros() ^ 0x7265_7478)
+                    } else {
+                        0
+                    };
+                    self.transit(now, node, now, pkt, sent_at, 0, key, loss_p, out);
                 }
             }
         }
@@ -335,13 +467,32 @@ impl<P> Network<P> {
     /// it, and schedule a single arrival event at the destination. Per
     /// hop this costs a routing lookup and a couple of adds instead of
     /// a departure event plus an arrival event through the scheduler.
-    fn transit(&mut self, now: Time, at: NodeId, pkt: PacketRef, sent_at: Time, out: &mut Sink<P>) {
+    ///
+    /// When sharded, the walk stops at the first link owned by another
+    /// shard (or at a destination owned by another shard) and emits a
+    /// [`Handoff`] instead — no fault checks are performed for the
+    /// foreign portion here; the owning shard runs exactly the checks
+    /// the sequential walk would, in `resume`.
+    #[allow(clippy::too_many_arguments)]
+    fn transit(
+        &mut self,
+        now: Time,
+        at: NodeId,
+        start_t: Time,
+        pkt: PacketRef,
+        sent_at: Time,
+        hop0: u32,
+        loss_key: u64,
+        loss_p: f64,
+        out: &mut Sink<P>,
+    ) {
         let (dst, wire) = {
             let p = self.arena.get(pkt);
             (p.dst, p.wire_size())
         };
         let mut node = at;
-        let mut t = now;
+        let mut t = start_t;
+        let mut hop = hop0;
         loop {
             let Some(lid) = self.router.next_hop(&self.topo, node, dst) else {
                 self.arena.release(pkt);
@@ -350,6 +501,22 @@ impl<P> Network<P> {
                 return;
             };
             let link = *self.topo.link(lid);
+            if let Some((smap, me)) = &self.sharding {
+                let owner = smap.owner_of_link(&link);
+                if owner != *me {
+                    out.handoffs.push(Handoff {
+                        pkt: self.arena.take(pkt),
+                        at_node: node,
+                        t,
+                        sent_at,
+                        hops: hop,
+                        loss_key,
+                        loss_p,
+                        dest_shard: owner,
+                    });
+                    return;
+                }
+            }
             if self.faults.link_is_down(link.phys) {
                 self.arena.release(pkt);
                 self.links[lid.index()].drops += 1;
@@ -357,7 +524,7 @@ impl<P> Network<P> {
                 out.dropped.push((DropReason::LinkDown, node));
                 return;
             }
-            if self.faults.should_drop(&mut self.rng) {
+            if loss_p > 0.0 && Faults::hop_drops_at(loss_p, loss_key ^ hop as u64) {
                 self.arena.release(pkt);
                 self.links[lid.index()].drops += 1;
                 self.dropped += 1;
@@ -382,8 +549,27 @@ impl<P> Network<P> {
             st.bytes += wire as u64;
             t = start + ser + link.delay;
             node = link.to;
+            hop += 1;
             if node == dst {
                 break;
+            }
+        }
+        if let Some((smap, me)) = &self.sharding {
+            let owner = smap.shard_of(dst);
+            if owner != *me {
+                // Walk complete, but the arrival event belongs to the
+                // destination's shard.
+                out.handoffs.push(Handoff {
+                    pkt: self.arena.take(pkt),
+                    at_node: dst,
+                    t,
+                    sent_at,
+                    hops: hop,
+                    loss_key,
+                    loss_p,
+                    dest_shard: owner,
+                });
+                return;
             }
         }
         out.schedule.push((

@@ -21,6 +21,6 @@ pub mod time;
 
 pub use event::{EventId, Scheduler};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use rng::SimRng;
+pub use rng::{mix64, SimRng};
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::{Duration, Time};

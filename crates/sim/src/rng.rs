@@ -14,6 +14,17 @@ pub struct SimRng {
     s: [u64; 4],
 }
 
+/// One SplitMix64 round as a stateless mixer: a high-quality 64-bit
+/// hash for *order-free* stochastic decisions (e.g. per-hop packet loss
+/// keyed by packet identity instead of drawn from a stream, so the
+/// outcome does not depend on the order in which the engine evaluates
+/// hops — a requirement for sharded execution).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut state = x;
+    splitmix64(&mut state)
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;

@@ -8,7 +8,9 @@
 //!
 //! Pass `--json` (optionally `--json path.json`) to emit the report as
 //! machine-readable JSON instead of the text table, or `--csv path.csv`
-//! to write the per-node rows as CSV alongside either.
+//! to write the per-node rows as CSV alongside either. `--workers N`
+//! runs the world sharded N ways on the windowed parallel engine and
+//! prints events/sec alongside wall time.
 //!
 //! `sweep` switches to the parallel sweep driver: the same churn shape
 //! templated over `{nodes}` with a `{loss}` grid axis, fanned across
@@ -83,6 +85,9 @@ fn run_single(argv: &[String]) {
     let json_mode = argv.iter().position(|a| a == "--json");
     let json_path = json_mode.and_then(|i| argv.get(i + 1)).cloned();
     let csv_path = arg_value(argv, "--csv");
+    let workers: usize = arg_value(argv, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     let scenario = script::parse(SCRIPT).expect("script parses");
     println!(
@@ -103,19 +108,27 @@ fn run_single(argv: &[String]) {
         channels: reg.channel_table_for("splitstream").unwrap(),
         fd_g: Duration::from_secs(2),
         fd_f: Duration::from_secs(6),
+        shards: workers,
         ..Default::default()
     };
-    let runner = ScenarioRunner::new(
+    let mut runner = ScenarioRunner::new(
         scenario,
         topo,
         cfg,
         Box::new(|_idx, _host, bootstrap| reg.build_stack("splitstream", bootstrap).unwrap()),
     )
     .expect("runner binds");
+    runner.set_workers(workers);
 
     let start = std::time::Instant::now();
     let outcome = runner.run();
-    println!("ran in {:.2}s wall", start.elapsed().as_secs_f64());
+    let secs = start.elapsed().as_secs_f64();
+    let events = outcome.world.events_fired();
+    println!(
+        "ran in {secs:.2}s wall on {workers} worker(s) \
+         ({events} events, {:.0} events/sec)",
+        events as f64 / secs
+    );
     if let Some(path) = csv_path {
         std::fs::write(&path, outcome.report.to_csv()).expect("write csv report");
         println!("wrote {path}");

@@ -64,7 +64,7 @@ fn main() {
     println!(
         "virtual time: {}s, events: {}",
         world.now(),
-        world.sched.events_fired()
+        world.events_fired()
     );
     for rec in sink.lock().iter() {
         println!(

@@ -1,0 +1,172 @@
+//! Determinism properties of the sharded windowed engine.
+//!
+//! Two separate contracts are exercised, both over real scenario runs
+//! of the from-spec splitstream stack (transport, failure detector,
+//! overlay maintenance and scripted perturbations all active):
+//!
+//! 1. **Worker invariance** — for a world partitioned into `P` shards,
+//!    the worker count driving the windows is pure wall-clock policy:
+//!    every `MetricsReport` (JSON *and* rendered log) is byte-identical
+//!    for workers 1..=8. This holds by construction — the barrier merge
+//!    orders cross-shard traffic by `(sent_at, shard, seq)`, never by
+//!    thread arrival — and must hold for *every* scenario.
+//! 2. **Sharded ≡ sequential** — a sharded run reproduces the
+//!    sequential engine byte-for-byte on the tested scenarios. The
+//!    documented caveat (ARCHITECTURE.md, "The sharded windowed
+//!    engine"): equality is exact while no link queue holds traffic
+//!    from two shards at once within a lookahead window. Uncontended
+//!    reservations commute; under cross-shard contention the
+//!    sequential engine's send-instant whole-path charging cannot be
+//!    reproduced by any windowed schedule, and same-microsecond ties
+//!    serialize by `(sent_at, shard, seq)` instead of global insertion
+//!    order. The scenarios here (staggered joins, route streams,
+//!    crashes, rejoins, partitions on a jittered star) stay inside
+//!    that contract.
+
+use macedon_core::WorldConfig;
+use macedon_lang::SpecRegistry;
+use macedon_net::topology::{LinkSpec, TopologyBuilder};
+use macedon_scenario::ScenarioRunner;
+use macedon_sim::Duration;
+
+/// A star whose spoke delays are all distinct (2ms + 137µs·i). A
+/// perfectly symmetric star makes every failure-detector fan-out
+/// collide in the same microsecond on the monitor's downlink — the
+/// exact tie class the equality contract excludes — so the property
+/// tests use distinct delays to keep every reservation order-free.
+fn jittered_star(nodes: usize) -> macedon_net::topology::Topology {
+    let mut b = TopologyBuilder::new();
+    let hub = b.add_router();
+    for i in 0..nodes {
+        let h = b.add_host();
+        b.add_link(
+            h,
+            hub,
+            LinkSpec::new(
+                Duration::from_micros(2_000 + 137 * i as u64),
+                10_000_000,
+                256 * 1024,
+            ),
+        );
+    }
+    b.build()
+}
+
+/// One seeded scenario run; returns the full metrics JSON and the
+/// rendered human log (the "golden log" surface).
+fn run_report(
+    script: &str,
+    nodes: usize,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+) -> (String, String) {
+    let registry = SpecRegistry::bundled();
+    let scenario = macedon_scenario::script::parse(script).expect("script parses");
+    let topo = jittered_star(nodes);
+    let cfg = WorldConfig {
+        seed,
+        channels: registry
+            .channel_table_for("splitstream")
+            .expect("bundled chain resolves"),
+        fd_g: Duration::from_secs(2),
+        fd_f: Duration::from_secs(6),
+        shards,
+        ..Default::default()
+    };
+    let mut runner = ScenarioRunner::new(
+        scenario,
+        topo,
+        cfg,
+        Box::new(|_idx, _host, bootstrap| {
+            registry
+                .build_stack("splitstream", bootstrap)
+                .expect("bundled stack builds")
+        }),
+    )
+    .expect("scenario binds");
+    runner.set_workers(workers);
+    let outcome = runner.run();
+    (outcome.report.to_json(), outcome.report.render())
+}
+
+/// Staggered joins, a route stream, a crash wave and a rejoin — the
+/// `bench_scale` shape scaled down.
+fn scale_script(nodes: usize) -> String {
+    format!(
+        "scenario prop-scale\nnodes {nodes}\nend 30s\n\
+         at 0s join 0..{first} over 2s\n\
+         at 3s join {first}..{nodes} over 4s\n\
+         at 12s stream 0 rate 100kbps size 800 for 10s route\n\
+         at 15s crash {c1} {c2}\n\
+         at 20s rejoin {c1}\n",
+        first = nodes / 4,
+        c1 = nodes / 3,
+        c2 = nodes / 2,
+    )
+}
+
+/// Despawn/rejoin *under* a partition whose cut crosses every shard
+/// boundary (the partition splits the host range in half; contiguous
+/// shard chunks each straddle traffic to the far side).
+fn partition_rejoin_script(nodes: usize) -> String {
+    format!(
+        "scenario prop-partition\nnodes {nodes}\nend 30s\n\
+         at 0s join 0..{nodes} over 3s\n\
+         at 8s partition half {half}..{nodes}\n\
+         at 10s crash {c1}\n\
+         at 14s rejoin {c1}\n\
+         at 20s heal half\n",
+        half = nodes / 2,
+        c1 = nodes / 2 + 1,
+    )
+}
+
+#[test]
+fn worker_count_is_pure_policy() {
+    // Fixed 4-shard partition; workers 1..=8 must agree byte-for-byte.
+    for (script, nodes) in [(scale_script(12), 12), (partition_rejoin_script(12), 12)] {
+        for seed in [7u64, 77] {
+            let want = run_report(&script, nodes, seed, 4, 1);
+            for workers in 2..=8usize {
+                let got = run_report(&script, nodes, seed, 4, workers);
+                assert_eq!(
+                    got, want,
+                    "seed {seed} workers {workers} diverged from 1-worker run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_scale_run_matches_sequential() {
+    for seed in [7u64, 77, 4242] {
+        let script = scale_script(12);
+        let want = run_report(&script, 12, seed, 1, 1);
+        for shards in [2usize, 4] {
+            let got = run_report(&script, 12, seed, shards, shards);
+            assert_eq!(
+                got, want,
+                "seed {seed}: {shards}-shard run diverged from the sequential engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn despawn_rejoin_under_partition_crosses_shards() {
+    // The crash victim sits just past the partition cut; with 2 shards
+    // the cut coincides with the shard boundary, with 3 it crosses it.
+    for seed in [7u64, 77] {
+        let script = partition_rejoin_script(12);
+        let want = run_report(&script, 12, seed, 1, 1);
+        for shards in [2usize, 3, 4] {
+            let got = run_report(&script, 12, seed, shards, shards.min(4));
+            assert_eq!(
+                got, want,
+                "seed {seed}: {shards}-shard partition/rejoin run diverged"
+            );
+        }
+    }
+}
