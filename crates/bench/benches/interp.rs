@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use macedon_bench::experiments::{dispatch_frames, dispatch_stack, DISPATCH_SPEC};
-use macedon_core::Time;
+use macedon_core::{SpanId, Time};
 
 fn bench_recv_dispatch(c: &mut Criterion) {
     let frames = dispatch_frames();
@@ -18,7 +18,7 @@ fn bench_recv_dispatch(c: &mut Criterion) {
     c.bench_function("interp/recv dispatch (3 msgs)", |b| {
         b.iter(|| {
             for (from, frame) in &frames {
-                stack.recv(Time::ZERO, *from, frame.clone(), &mut fx);
+                stack.recv(Time::ZERO, *from, frame.clone(), SpanId::NONE, &mut fx);
             }
             fx.clear();
         })

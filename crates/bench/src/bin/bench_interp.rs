@@ -13,7 +13,7 @@
 //! file).
 
 use macedon_bench::experiments::{dispatch_frames, dispatch_stack, interp_macro_run};
-use macedon_core::Time;
+use macedon_core::{SpanId, Time, TraceLevel};
 use std::time::Instant;
 
 /// Pre-IR baseline: the AST-walking interpreter at commit 563bfbb with
@@ -49,35 +49,67 @@ fn main() {
 
     // -- micro: per-event dispatch through a compiled spec ------------------
     let frames = dispatch_frames();
+    // Three configurations share one harness: the production default
+    // (trace Off, observability machinery present), the machinery
+    // hard-disabled, and trace High with effects discarded.
     let mut stack = dispatch_stack();
+    let mut stack_disabled = dispatch_stack();
+    stack_disabled.set_observability(false);
+    let mut stack_traced = dispatch_stack();
+    stack_traced.set_trace_level(TraceLevel::High);
     let mut fx = Vec::new();
     // Warm up, then time ROUNDS passes of 3 recvs + 1 timer each.
     const ROUNDS: u64 = 200_000;
-    for _ in 0..1_000 {
+    let pass = |stack: &mut macedon_core::Stack, fx: &mut Vec<_>| {
         for (from, frame) in &frames {
-            stack.recv(Time::ZERO, *from, frame.clone(), &mut fx);
+            stack.recv(Time::ZERO, *from, frame.clone(), SpanId::NONE, fx);
         }
-        stack.timer(Time::ZERO, 0, 0, &mut fx);
+        stack.timer(Time::ZERO, 0, 0, fx);
         fx.clear();
+    };
+    for _ in 0..1_000 {
+        pass(&mut stack, &mut fx);
+        pass(&mut stack_disabled, &mut fx);
+        pass(&mut stack_traced, &mut fx);
     }
     let events = ROUNDS * (frames.len() as u64 + 1);
     let mut dispatch_ns = f64::INFINITY;
+    let mut disabled_ns = f64::INFINITY;
+    let mut traced_ns = f64::INFINITY;
+    // Interleave the A/B/C timings so drift (thermal, scheduler) hits
+    // all three configurations alike.
     for _ in 0..3 {
         let start = Instant::now();
         for _ in 0..ROUNDS {
-            for (from, frame) in &frames {
-                stack.recv(Time::ZERO, *from, frame.clone(), &mut fx);
-            }
-            stack.timer(Time::ZERO, 0, 0, &mut fx);
-            fx.clear();
+            pass(&mut stack, &mut fx);
         }
         dispatch_ns = dispatch_ns.min(start.elapsed().as_nanos() as f64 / events as f64);
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            pass(&mut stack_disabled, &mut fx);
+        }
+        disabled_ns = disabled_ns.min(start.elapsed().as_nanos() as f64 / events as f64);
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            pass(&mut stack_traced, &mut fx);
+        }
+        traced_ns = traced_ns.min(start.elapsed().as_nanos() as f64 / events as f64);
     }
+    let overhead_pct = (dispatch_ns / disabled_ns - 1.0) * 100.0;
     println!("dispatch: {events} events, {dispatch_ns:.1} ns/event (min of 3)");
+    println!(
+        "tracing:  off {dispatch_ns:.1} vs disabled {disabled_ns:.1} ns/event \
+         ({overhead_pct:+.2}%), traced-High {traced_ns:.1} ns/event"
+    );
     assert!(
         dispatch_ns < CEILING_DISPATCH_NS,
         "interpreter dispatch regressed: {dispatch_ns:.1} ns/event, \
          ceiling is {CEILING_DISPATCH_NS} ns (committed baseline 186.4)"
+    );
+    assert!(
+        dispatch_ns <= disabled_ns * 1.02,
+        "tracing-off dispatch overhead above 2%: off {dispatch_ns:.1} vs \
+         machinery-disabled {disabled_ns:.1} ns/event ({overhead_pct:+.2}%)"
     );
 
     // -- macro: seeded from-spec splitstream world ---------------------------
@@ -105,7 +137,10 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"interp\",\n  \"dispatch\": {{ \"events\": {events}, \
-         \"ns_per_event\": {dispatch_ns:.1} }},\n  \"macro_splitstream\": {{ \
+         \"ns_per_event\": {dispatch_ns:.1}, \
+         \"ns_per_event_tracing_disabled\": {disabled_ns:.1}, \
+         \"ns_per_event_traced_high\": {traced_ns:.1}, \
+         \"tracing_off_overhead_pct\": {overhead_pct:.2} }},\n  \"macro_splitstream\": {{ \
          \"nodes\": {nodes}, \"sim_seconds\": 70, \"deliveries\": {delivered}, \
          \"transitions\": {transitions}, \"wall_ms\": {macro_ms:.0} }},\n  \
          \"baseline_pre_ir\": {{ \"ns_per_event\": {BASELINE_DISPATCH_NS:.1}, \

@@ -1,0 +1,253 @@
+//! Acceptance gate for the causal trace stream: a seeded 200-node
+//! from-spec splitstream run traced at High must produce
+//!
+//! 1. a trace stream byte-identical between the interpreted and the
+//!    generated back end,
+//! 2. a trace stream byte-identical between 1 and 4 worker threads on
+//!    the same shard partition,
+//! 3. a span forest (unique mints, every context minted strictly
+//!    earlier) that reconstructs at least one complete multi-hop
+//!    cross-layer delivery path: application send at the origin,
+//!    a forwarding hop that minted a child span under the inbound
+//!    context, and a top-layer deliver at the destination,
+//! 4. a Perfetto-loadable export (pass `--out trace.json` to keep it).
+//!
+//! Exits non-zero on any violation. Scale down with `--nodes N` for
+//! quick local runs; CI runs the full 200.
+
+use macedon_core::app::{shared_deliveries, CollectorApp};
+use macedon_core::{
+    perfetto_json, Bytes, DownCall, Duration, MacedonKey, SpanId, Time, TraceEvent, TraceLevel,
+    TraceRecord, World, WorldConfig,
+};
+use macedon_lang::SpecRegistry;
+use macedon_net::topology::{canned, LinkSpec};
+use std::collections::HashMap;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+enum Kind {
+    Interpreted,
+    Generated,
+}
+
+fn build_world(kind: &Kind, n: usize, seed: u64, shards: usize, workers: usize) -> World {
+    let topo = canned::star(n, LinkSpec::lan());
+    let hosts = topo.hosts().to_vec();
+    let reg = SpecRegistry::bundled();
+    let mut cfg = WorldConfig {
+        seed,
+        shards,
+        fd_g: Duration::from_secs(2),
+        fd_f: Duration::from_secs(6),
+        ..Default::default()
+    };
+    cfg.channels = match kind {
+        Kind::Interpreted => reg.channel_table_for("splitstream").unwrap(),
+        Kind::Generated => macedon_generated::channel_table("splitstream").unwrap(),
+    };
+    let mut w = World::new(topo, cfg);
+    w.set_workers(workers);
+    w.set_trace_capacity(1 << 22);
+    let sink = shared_deliveries();
+    for (i, &h) in hosts.iter().enumerate() {
+        let bootstrap = (i > 0).then(|| hosts[0]);
+        let stack = match kind {
+            Kind::Interpreted => reg.build_stack("splitstream", bootstrap).unwrap(),
+            Kind::Generated => macedon_generated::build_stack("splitstream", bootstrap).unwrap(),
+        };
+        w.spawn_at_traced(
+            Time::from_millis(i as u64 * 50),
+            h,
+            stack,
+            Box::new(CollectorApp::new(sink.clone())),
+            TraceLevel::High,
+        );
+    }
+    // Join, settle, stream five multicast packets from hosts[1].
+    let group = MacedonKey::of_name("trace-eq");
+    w.run_until(Time::from_secs(40));
+    for &h in &hosts[1..] {
+        w.api_at(Time::from_secs(40), h, DownCall::Join { group });
+    }
+    w.run_until(Time::from_secs(80));
+    for i in 0..5u64 {
+        let mut p = vec![0u8; 256];
+        p[..8].copy_from_slice(&i.to_be_bytes());
+        w.api_at(
+            Time::from_secs(80) + Duration::from_millis(i * 200),
+            hosts[1],
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
+        );
+    }
+    w.run_until(Time::from_secs(95));
+    w
+}
+
+fn stream(w: &World) -> String {
+    let records = w.merged_trace();
+    let mut out = String::with_capacity(records.len() * 64);
+    for r in records {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Walk the forest and reconstruct one multi-hop cross-layer delivery
+/// path; returns its description or an error.
+fn find_delivery_path(records: &[&TraceRecord]) -> Result<String, String> {
+    // span -> (minting record index, parent context at mint time)
+    let mut mints: HashMap<u64, (usize, SpanId)> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        if !r.span.is_none() && !mints.contains_key(&r.span.0) {
+            return Err(format!(
+                "context {:016x} referenced before mint at index {i}",
+                r.span.0
+            ));
+        }
+        if let TraceEvent::Send { span, .. } = &r.event {
+            if mints.insert(span.0, (i, r.span)).is_some() {
+                return Err(format!("span {:016x} minted twice", span.0));
+            }
+        }
+    }
+    // A complete path: a Deliver above the transport layer whose context
+    // chains through at least one forwarding Send back to a root
+    // application send, crossing at least three distinct nodes.
+    for r in records {
+        let TraceEvent::Deliver { .. } = &r.event else {
+            continue;
+        };
+        if r.layer == 0 || r.span.is_none() {
+            continue;
+        }
+        // Walk mint parentage back to the root.
+        let mut hops = Vec::new(); // (record, minted span) oldest-last
+        let mut cur = r.span;
+        while !cur.is_none() {
+            let &(idx, parent) = mints.get(&cur.0).unwrap();
+            hops.push((records[idx], cur));
+            cur = parent;
+        }
+        if hops.len() < 2 {
+            continue; // single-hop: delivered straight from the origin
+        }
+        let mut nodes: Vec<u32> = hops.iter().map(|(m, _)| m.node.0).collect();
+        nodes.push(r.node.0);
+        nodes.dedup();
+        let distinct = {
+            let mut s = nodes.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        };
+        if distinct < 3 {
+            continue;
+        }
+        hops.reverse();
+        let mut path = String::new();
+        for (m, span) in &hops {
+            path.push_str(&format!(
+                "n{} send span={:016x} (t={}us, L{}) -> ",
+                m.node.0,
+                span.0,
+                m.at.as_micros(),
+                m.layer
+            ));
+        }
+        path.push_str(&format!(
+            "n{} deliver (t={}us, L{})",
+            r.node.0,
+            r.at.as_micros(),
+            r.layer
+        ));
+        return Ok(path);
+    }
+    Err("no multi-hop cross-layer delivery path found".into())
+}
+
+fn main() {
+    let nodes: usize = arg_value("--nodes")
+        .map(|v| v.parse().expect("--nodes takes a count"))
+        .unwrap_or(200);
+    let seed = 42u64;
+    let mut failed = false;
+
+    let t0 = std::time::Instant::now();
+    let interp_1w = build_world(&Kind::Interpreted, nodes, seed, 4, 1);
+    let want = stream(&interp_1w);
+    println!(
+        "interpreted 4-shard/1-worker: {} records ({} dropped) in {:.2}s",
+        interp_1w.trace_records_total(),
+        interp_1w.trace_dropped_total(),
+        t0.elapsed().as_secs_f64()
+    );
+    if interp_1w.trace_dropped_total() > 0 {
+        println!("FAIL: ring evicted records; raise the capacity");
+        failed = true;
+    }
+
+    for (label, kind, workers) in [
+        ("interpreted 4-shard/4-worker", Kind::Interpreted, 4usize),
+        ("generated   4-shard/1-worker", Kind::Generated, 1),
+    ] {
+        let t = std::time::Instant::now();
+        let w = build_world(&kind, nodes, seed, 4, workers);
+        let got = stream(&w);
+        let ok = got == want;
+        println!(
+            "{label}: {} records in {:.2}s -> {}",
+            w.trace_records_total(),
+            t.elapsed().as_secs_f64(),
+            if ok { "byte-identical" } else { "DIVERGED" }
+        );
+        if !ok {
+            for (i, (a, b)) in want.lines().zip(got.lines()).enumerate() {
+                if a != b {
+                    println!("  first divergence at line {i}:\n  - {a}\n  + {b}");
+                    break;
+                }
+            }
+            failed = true;
+        }
+    }
+
+    match find_delivery_path(&interp_1w.merged_trace()) {
+        Ok(path) => println!("delivery path: {path}"),
+        Err(e) => {
+            println!("FAIL: {e}");
+            failed = true;
+        }
+    }
+
+    let json = perfetto_json(&interp_1w.merged_trace(), &interp_1w.profile());
+    if !(json.starts_with("{\"traceEvents\":[") && json.ends_with("]}\n")) {
+        println!("FAIL: perfetto export malformed");
+        failed = true;
+    }
+    if let Some(path) = arg_value("--out") {
+        std::fs::write(&path, &json).expect("write perfetto trace");
+        println!(
+            "wrote {path} ({} bytes; open at https://ui.perfetto.dev)",
+            json.len()
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("trace_eq: all checks passed");
+}

@@ -7,7 +7,8 @@ use crate::Scale;
 use macedon_baselines::{lsd_chord_config, FreePastry, RmiModel};
 use macedon_core::app::{shared_deliveries, CollectorApp, StreamKind, StreamerApp};
 use macedon_core::{
-    Agent, Bytes, DownCall, Duration, MacedonKey, NodeId, Time, World, WorldConfig,
+    Agent, Bytes, DownCall, Duration, MacedonKey, NodeId, TelemetryReport, Time, TraceLevel, World,
+    WorldConfig,
 };
 use macedon_net::topology::{canned, inet, InetParams, LinkSpec};
 use macedon_overlays::chord::{Chord, ChordConfig};
@@ -588,6 +589,28 @@ fn bin_goodput(
 /// (staggered joins + one multicast stream) compiled by the scenario
 /// runner, instead of a bespoke spawn/api loop.
 pub fn fig12_from_spec(scale: Scale) -> Vec<(f64, f64)> {
+    fig12_from_spec_observed(scale, false, None).series
+}
+
+/// Observability artifacts riding along a [`fig12_from_spec`] run.
+pub struct Fig12Observed {
+    pub series: Vec<(f64, f64)>,
+    /// Chrome/Perfetto trace-event JSON, when tracing was requested.
+    pub perfetto: Option<String>,
+    /// The sampled engine time series, when a sampler was requested.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// [`fig12_from_spec`] with the observability stack switched on: the
+/// stacks run at the trace level `splitstream.mac`'s `trace_` header
+/// asks for — raised to High when `trace` is set, so the exported
+/// timeline carries the full causal span forest — and `sample_every`
+/// snapshots engine counters on that virtual-time cadence.
+pub fn fig12_from_spec_observed(
+    scale: Scale,
+    trace: bool,
+    sample_every: Option<Duration>,
+) -> Fig12Observed {
     let (nodes, converge_s, stream_s, rate_bps) = match scale {
         Scale::Quick => (16usize, 60u64, 60u64, 200_000u64),
         Scale::Paper => (64, 120, 120, 200_000),
@@ -619,9 +642,10 @@ pub fn fig12_from_spec(scale: Scale) -> Vec<(f64, f64)> {
         channels: registry
             .channel_table_for("splitstream")
             .expect("bundled chain resolves"),
+        profile: trace,
         ..Default::default()
     };
-    let runner = macedon_scenario::ScenarioRunner::new(
+    let mut runner = macedon_scenario::ScenarioRunner::new(
         scenario,
         topo,
         cfg,
@@ -632,14 +656,35 @@ pub fn fig12_from_spec(scale: Scale) -> Vec<(f64, f64)> {
         }),
     )
     .expect("fig12 scenario binds");
+    // Honor the spec's own `trace_` header (satisfying the declaration
+    // instead of a world-wide default); an explicit trace request
+    // raises it to High for the full causal timeline.
+    let header = registry
+        .trace_level_for("splitstream")
+        .expect("bundled spec registered");
+    runner.set_trace_level(if trace {
+        header.max(TraceLevel::High)
+    } else {
+        header
+    });
+    if let Some(every) = sample_every {
+        runner.enable_telemetry(every);
+    }
     let outcome = runner.run();
-    bin_goodput(
+    let series = bin_goodput(
         &outcome.deliveries,
         outcome.hosts[0],
         converge_s,
         stream_s,
         nodes - 1,
-    )
+    );
+    Fig12Observed {
+        series,
+        perfetto: trace.then(|| {
+            macedon_core::perfetto_json(&outcome.world.merged_trace(), &outcome.world.profile())
+        }),
+        telemetry: outcome.report.telemetry,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -867,7 +912,7 @@ pub fn sweep_churn_cell(cell: &macedon_scenario::SweepCell) -> macedon_scenario:
         fd_f: Duration::from_secs(6),
         ..Default::default()
     };
-    let runner = macedon_scenario::ScenarioRunner::new(
+    let mut runner = macedon_scenario::ScenarioRunner::new(
         cell.scenario.clone(),
         topo,
         cfg,
@@ -878,6 +923,10 @@ pub fn sweep_churn_cell(cell: &macedon_scenario::SweepCell) -> macedon_scenario:
         }),
     )
     .expect("sweep cell binds");
+    // Sample engine counters once per simulated second — feeds the
+    // sweep's telemetry_samples / peak_pending_events columns (and is
+    // read-only, so cell results are unchanged).
+    runner.enable_telemetry(Duration::from_secs(1));
     runner.run().report
 }
 

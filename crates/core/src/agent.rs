@@ -17,7 +17,7 @@
 use crate::api::{DownCall, ForwardInfo, ProtocolId, UpCall};
 use crate::key::{Addressing, MacedonKey};
 use crate::measure::MeasureLedger;
-use crate::trace::TraceLevel;
+use crate::trace::{TraceEvent, TraceLevel};
 use bytes::Bytes;
 use macedon_net::NodeId;
 use macedon_sim::{Duration, SimRng, Time};
@@ -63,7 +63,10 @@ pub enum Op {
     /// Stop monitoring a peer.
     Unmonitor { peer: NodeId },
     /// Emit a trace record.
-    Trace { level: TraceLevel, msg: String },
+    Trace {
+        level: TraceLevel,
+        event: TraceEvent,
+    },
 }
 
 /// Everything a transition may observe and request.
@@ -177,15 +180,34 @@ impl<'a> Ctx<'a> {
         level != TraceLevel::Off && level <= self.trace_level
     }
 
-    /// Emit a trace record at the given level.
+    /// Emit a free-form trace record at the given level (wrapped as a
+    /// [`TraceEvent::Custom`]).
     pub fn trace(&mut self, level: TraceLevel, msg: impl Into<String>) {
         self.ops.push_back((
             self.layer,
             Op::Trace {
                 level,
-                msg: msg.into(),
+                event: TraceEvent::Custom { msg: msg.into() },
             },
         ));
+    }
+
+    /// Emit a structured FSM state-change event (High level). Both
+    /// translator back ends call this with the IR's state-name strings,
+    /// so the trace streams agree byte-for-byte.
+    pub fn trace_fsm(&mut self, from: &str, to: &str) {
+        if self.trace_on(TraceLevel::High) {
+            self.ops.push_back((
+                self.layer,
+                Op::Trace {
+                    level: TraceLevel::High,
+                    event: TraceEvent::FsmTransition {
+                        from: from.to_string(),
+                        to: to.to_string(),
+                    },
+                },
+            ));
+        }
     }
 
     /// Is this the topmost protocol layer (only the application above)?

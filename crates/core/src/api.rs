@@ -80,6 +80,23 @@ pub enum DownCall {
     Ext { op: u32, payload: Bytes },
 }
 
+impl DownCall {
+    /// Stable API name for trace events (the paper's `macedon_*` verbs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DownCall::Route { .. } => "route",
+            DownCall::RouteIp { .. } => "route_ip",
+            DownCall::Multicast { .. } => "multicast",
+            DownCall::Anycast { .. } => "anycast",
+            DownCall::Collect { .. } => "collect",
+            DownCall::CreateGroup { .. } => "create_group",
+            DownCall::Join { .. } => "join",
+            DownCall::Leave { .. } => "leave",
+            DownCall::Ext { .. } => "ext",
+        }
+    }
+}
+
 /// A notification to the layer above.
 #[derive(Clone, Debug)]
 pub enum UpCall {

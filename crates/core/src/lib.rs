@@ -26,26 +26,33 @@
 pub mod agent;
 pub mod api;
 pub mod app;
+pub mod export;
 pub mod key;
 pub mod measure;
 pub mod neighbors;
 pub mod report;
 pub mod sha1;
 pub mod stack;
+pub mod telemetry;
 pub mod trace;
 pub mod wire;
 pub mod world;
 
 pub use agent::{Agent, AppHandler, Ctx, Locking, NullApp};
 pub use api::{DownCall, ForwardInfo, ProtocolId, UpCall, DEFAULT_PRIORITY, TUNNEL_PROTOCOL};
+pub use export::perfetto_json;
 pub use key::{Addressing, MacedonKey};
-pub use measure::MeasureLedger;
+pub use measure::{MeasureLedger, MeasureSummary};
 pub use neighbors::NeighborList;
 pub use report::RunReport;
 pub use stack::{Stack, StackEffect};
-pub use trace::{TraceLevel, TraceSink};
+pub use telemetry::{Telemetry, TelemetryReport, TelemetrySample, TELEMETRY_COLUMNS};
+pub use trace::{SpanId, TraceEvent, TraceLevel, TraceRecord, TraceSink};
 pub use wire::{DecodeError, WireReader, WireRef, WireWriter};
-pub use world::{proto_header, EventClassCounts, World, WorldConfig, WorldEvent};
+pub use world::{
+    proto_header, EventClassCounts, ShardProfile, World, WorldConfig, WorldEvent,
+    PROFILE_SAMPLE_CAP,
+};
 
 // Re-export the identifiers agents constantly need.
 pub use bytes::Bytes;

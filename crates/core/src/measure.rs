@@ -55,6 +55,42 @@ pub struct MeasureLedger {
     peers: FxHashMap<NodeId, PeerMeasure>,
 }
 
+/// Integer aggregate of one ledger's estimates (see
+/// [`MeasureLedger::summary`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeasureSummary {
+    /// Peers with an RTT estimate.
+    pub rtt_peers: u64,
+    /// Sum of smoothed RTTs over those peers, µs.
+    pub srtt_us_sum: u64,
+    /// Peers with a goodput estimate.
+    pub goodput_peers: u64,
+    /// Sum of smoothed goodputs over those peers, bits/s.
+    pub goodput_bps_sum: u64,
+}
+
+impl MeasureSummary {
+    /// Fold another summary in (cross-node aggregation).
+    pub fn add(&mut self, o: &MeasureSummary) {
+        self.rtt_peers += o.rtt_peers;
+        self.srtt_us_sum += o.srtt_us_sum;
+        self.goodput_peers += o.goodput_peers;
+        self.goodput_bps_sum += o.goodput_bps_sum;
+    }
+
+    /// Mean smoothed RTT in µs (0 when no estimates exist).
+    pub fn mean_rtt_us(&self) -> u64 {
+        self.srtt_us_sum.checked_div(self.rtt_peers).unwrap_or(0)
+    }
+
+    /// Mean smoothed goodput in bits/s (0 when no estimates exist).
+    pub fn mean_goodput_bps(&self) -> u64 {
+        self.goodput_bps_sum
+            .checked_div(self.goodput_peers)
+            .unwrap_or(0)
+    }
+}
+
 impl MeasureLedger {
     pub fn new() -> MeasureLedger {
         MeasureLedger::default()
@@ -119,6 +155,24 @@ impl MeasureLedger {
     /// incarnation after a crash).
     pub fn forget(&mut self, peer: NodeId) {
         self.peers.remove(&peer);
+    }
+
+    /// Order-independent aggregate over all peers (integer sums, so the
+    /// result is identical whatever the hash-map iteration order) — the
+    /// telemetry sampler's per-node RTT/goodput gauges.
+    pub fn summary(&self) -> MeasureSummary {
+        let mut s = MeasureSummary::default();
+        for m in self.peers.values() {
+            if m.srtt_us > 0 {
+                s.rtt_peers += 1;
+                s.srtt_us_sum += m.srtt_us;
+            }
+            if m.has_goodput {
+                s.goodput_peers += 1;
+                s.goodput_bps_sum += m.goodput_bps;
+            }
+        }
+        s
     }
 
     /// Number of peers with any measurement state.

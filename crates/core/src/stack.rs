@@ -12,7 +12,7 @@ use crate::agent::{Agent, AppHandler, Ctx, Locking, Op};
 use crate::api::{DownCall, UpCall};
 use crate::key::{Addressing, MacedonKey};
 use crate::measure::MeasureLedger;
-use crate::trace::TraceLevel;
+use crate::trace::{SpanId, TraceEvent, TraceLevel};
 use bytes::Bytes;
 use macedon_net::NodeId;
 use macedon_sim::{Duration, SimRng, Time};
@@ -30,6 +30,9 @@ pub enum StackEffect {
         dst: NodeId,
         channel: ChannelId,
         bytes: Bytes,
+        /// Causal span minted for this message; rides with it through
+        /// transport and network out-of-band (never in wire bytes).
+        span: SpanId,
     },
     TimerSet {
         layer: usize,
@@ -52,7 +55,9 @@ pub enum StackEffect {
     Trace {
         layer: usize,
         level: TraceLevel,
-        msg: String,
+        /// Causal context active when the record was emitted.
+        span: SpanId,
+        event: TraceEvent,
     },
 }
 
@@ -72,6 +77,16 @@ pub struct Stack {
     /// configured collection level, letting agents skip building
     /// records the sink would drop.
     trace_level: TraceLevel,
+    /// Master observability switch: when false every engine emission
+    /// branch is skipped and transitions observe `trace_on == false`
+    /// regardless of `trace_level` — the honest untraced baseline the
+    /// bench overhead gate compares against.
+    observability: bool,
+    /// Causal context of the event currently dispatching: the span of
+    /// the inbound message, or `NONE` for timers/API/engine entries.
+    current_span: SpanId,
+    /// Per-stack send counter; the low 32 bits of every minted span.
+    sends_minted: u32,
     /// Scratch op queue reused across events (drained empty between
     /// dispatches; kept for its capacity). Transitions push into it
     /// directly through [`Ctx`].
@@ -107,6 +122,9 @@ impl Stack {
             app,
             rng,
             trace_level: TraceLevel::High,
+            observability: true,
+            current_span: SpanId::NONE,
+            sends_minted: 0,
             queue: VecDeque::new(),
             measures: MeasureLedger::new(),
             read_transitions: 0,
@@ -120,10 +138,34 @@ impl Stack {
         self.trace_level = level;
     }
 
+    /// Disable (or re-enable) the whole observability machinery for
+    /// this stack. Span minting stays on — spans are part of message
+    /// identity and must not depend on trace settings — but no trace
+    /// effects are emitted and transitions observe `trace_on == false`.
+    pub fn set_observability(&mut self, on: bool) {
+        self.observability = on;
+    }
+
     /// Set the addressing mode the node's key was derived under (the
     /// world sets its configured mode here at spawn).
     pub fn set_addressing(&mut self, mode: Addressing) {
         self.addressing = mode;
+    }
+
+    /// How many spans this stack has minted so far (the low 32 bits of
+    /// the last minted [`SpanId`]).
+    pub fn sends_minted(&self) -> u32 {
+        self.sends_minted
+    }
+
+    /// Resume span minting from `base` instead of 0. The world calls
+    /// this when respawning a previously despawned node so the new
+    /// incarnation's spans never collide with the historical ones —
+    /// span ids must stay unique per node across reboots for the trace
+    /// parentage to remain a forest.
+    pub fn resume_span_counter(&mut self, base: u32) {
+        debug_assert_eq!(self.sends_minted, 0, "resume before any send");
+        self.sends_minted = base;
     }
 
     pub fn node(&self) -> NodeId {
@@ -165,8 +207,30 @@ impl Stack {
         &mut self.measures
     }
 
+    /// Push an engine trace event if observability is on and `level`
+    /// clears the stack's verbosity threshold (the [`Ctx::trace_on`]
+    /// predicate, evaluated engine-side).
+    #[inline]
+    fn emit(&self, fx: &mut Vec<StackEffect>, layer: usize, level: TraceLevel, event: TraceEvent) {
+        if self.observability && level != TraceLevel::Off && level <= self.trace_level {
+            fx.push(StackEffect::Trace {
+                layer,
+                level,
+                span: self.current_span,
+                event,
+            });
+        }
+    }
+
     /// Fire all `init` transitions bottom-up, then the app's `start`.
     pub fn init(&mut self, now: Time, fx: &mut Vec<StackEffect>) {
+        self.current_span = SpanId::NONE;
+        self.emit(
+            fx,
+            self.agents.len(),
+            TraceLevel::Med,
+            TraceEvent::ApiCall { call: "init" },
+        );
         let mut queue = std::mem::take(&mut self.queue);
         for layer in 0..self.agents.len() {
             self.step_agent(now, layer, &mut queue, fx, |a, ctx| a.init(ctx));
@@ -176,8 +240,26 @@ impl Stack {
         self.queue = queue;
     }
 
-    /// A transport message arrived for the lowest layer.
-    pub fn recv(&mut self, now: Time, from: NodeId, msg: Bytes, fx: &mut Vec<StackEffect>) {
+    /// A transport message arrived for the lowest layer; `span` is the
+    /// causal span that rode with it (NONE for engine traffic).
+    pub fn recv(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        msg: Bytes,
+        span: SpanId,
+        fx: &mut Vec<StackEffect>,
+    ) {
+        self.current_span = span;
+        self.emit(
+            fx,
+            0,
+            TraceLevel::High,
+            TraceEvent::Dispatch {
+                from,
+                bytes: msg.len(),
+            },
+        );
         let mut queue = std::mem::take(&mut self.queue);
         self.step_agent(now, 0, &mut queue, fx, |a, ctx| a.recv(ctx, from, msg));
         self.drain(now, &mut queue, fx);
@@ -187,6 +269,8 @@ impl Stack {
     /// A named timer fired for `layer` (or the app when
     /// `layer == num_layers()`).
     pub fn timer(&mut self, now: Time, layer: usize, timer: u16, fx: &mut Vec<StackEffect>) {
+        self.current_span = SpanId::NONE;
+        self.emit(fx, layer, TraceLevel::High, TraceEvent::TimerFire { timer });
         let mut queue = std::mem::take(&mut self.queue);
         if layer == self.agents.len() {
             self.step_app(now, &mut queue, fx, |app, ctx| app.on_timer(ctx, timer));
@@ -199,6 +283,13 @@ impl Stack {
 
     /// The application invokes the top layer's API.
     pub fn api(&mut self, now: Time, call: DownCall, fx: &mut Vec<StackEffect>) {
+        self.current_span = SpanId::NONE;
+        self.emit(
+            fx,
+            self.agents.len(),
+            TraceLevel::Med,
+            TraceEvent::ApiCall { call: call.name() },
+        );
         let mut queue = std::mem::take(&mut self.queue);
         queue.push_back((self.agents.len(), Op::Down(call)));
         self.drain(now, &mut queue, fx);
@@ -213,6 +304,13 @@ impl Stack {
         peer: NodeId,
         fx: &mut Vec<StackEffect>,
     ) {
+        self.current_span = SpanId::NONE;
+        self.emit(
+            fx,
+            layer,
+            TraceLevel::Med,
+            TraceEvent::ApiCall { call: "error" },
+        );
         let mut queue = std::mem::take(&mut self.queue);
         if layer < self.agents.len() {
             self.step_agent(now, layer, &mut queue, fx, |a, ctx| {
@@ -237,11 +335,14 @@ impl Stack {
             match op {
                 Op::Down(call) => {
                     if origin == 0 {
-                        fx.push(StackEffect::Trace {
-                            layer: 0,
-                            level: TraceLevel::Low,
-                            msg: format!("dropped downcall below lowest layer: {call:?}"),
-                        });
+                        self.emit(
+                            fx,
+                            0,
+                            TraceLevel::Low,
+                            TraceEvent::Custom {
+                                msg: format!("dropped downcall below lowest layer: {call:?}"),
+                            },
+                        );
                     } else {
                         let target = origin - 1;
                         self.step_agent(now, target, queue, fx, |a, ctx| a.downcall(ctx, call));
@@ -254,6 +355,20 @@ impl Stack {
                         continue;
                     }
                     if target == self.agents.len() {
+                        if let UpCall::Deliver {
+                            from, ref payload, ..
+                        } = up
+                        {
+                            self.emit(
+                                fx,
+                                target,
+                                TraceLevel::Med,
+                                TraceEvent::Deliver {
+                                    from,
+                                    bytes: payload.len(),
+                                },
+                            );
+                        }
                         self.step_app(now, queue, fx, |app, ctx| match up {
                             UpCall::Deliver { src, from, payload } => {
                                 app.on_deliver(ctx, src, from, payload)
@@ -276,6 +391,19 @@ impl Stack {
                         });
                     }
                     self.step_app(now, queue, fx, |app, ctx| app.on_forward(ctx, &mut fwd));
+                    if fwd.quash {
+                        self.emit(fx, origin, TraceLevel::Med, TraceEvent::Quash);
+                    } else {
+                        self.emit(
+                            fx,
+                            origin,
+                            TraceLevel::Med,
+                            TraceEvent::Forward {
+                                next_hop: fwd.next_hop,
+                                bytes: fwd.payload.len(),
+                            },
+                        );
+                    }
                     self.step_agent(now, origin, queue, fx, |a, ctx| {
                         a.forward_resolved(ctx, fwd)
                     });
@@ -286,10 +414,26 @@ impl Stack {
                     bytes,
                 } => {
                     debug_assert_eq!(origin, 0, "non-lowest layer tried a raw send");
+                    // Mint the causal span unconditionally: spans are part
+                    // of message identity and never depend on trace config.
+                    self.sends_minted += 1;
+                    let span = SpanId::mint(self.node, self.sends_minted);
+                    self.emit(
+                        fx,
+                        origin,
+                        TraceLevel::Med,
+                        TraceEvent::Send {
+                            span,
+                            dst,
+                            channel,
+                            bytes: bytes.len(),
+                        },
+                    );
                     fx.push(StackEffect::Send {
                         dst,
                         channel,
                         bytes,
+                        span,
                     });
                 }
                 Op::TimerSet {
@@ -318,11 +462,7 @@ impl Stack {
                     layer: origin,
                     peer,
                 }),
-                Op::Trace { level, msg } => fx.push(StackEffect::Trace {
-                    layer: origin,
-                    level,
-                    msg,
-                }),
+                Op::Trace { level, event } => self.emit(fx, origin, level, event),
             }
         }
     }
@@ -346,7 +486,11 @@ impl Stack {
             measures: &self.measures,
             ops: queue,
             locking: Locking::Write,
-            trace_level: self.trace_level,
+            trace_level: if self.observability {
+                self.trace_level
+            } else {
+                TraceLevel::Off
+            },
         };
         f(self.agents[layer].as_mut(), &mut ctx);
         match ctx.locking() {
@@ -374,7 +518,11 @@ impl Stack {
             measures: &self.measures,
             ops: queue,
             locking: Locking::Write,
-            trace_level: self.trace_level,
+            trace_level: if self.observability {
+                self.trace_level
+            } else {
+                TraceLevel::Off
+            },
         };
         f(self.app.as_mut(), &mut ctx);
         match ctx.locking() {
@@ -389,6 +537,14 @@ mod tests {
     use super::*;
     use crate::api::{DownCall, ForwardInfo, UpCall};
     use std::any::Any;
+
+    /// Non-trace effects (bare stacks default to High verbosity, so
+    /// engine trace events interleave with the effects under test).
+    fn sans_trace(fx: &[StackEffect]) -> Vec<&StackEffect> {
+        fx.iter()
+            .filter(|e| !matches!(e, StackEffect::Trace { .. }))
+            .collect()
+    }
 
     /// Lowest layer: answers Route downcalls with a raw Send; delivers
     /// received messages up.
@@ -513,7 +669,7 @@ mod tests {
         let pass: &PassThrough = s.agent(1).as_any().downcast_ref().unwrap();
         assert_eq!(pass.downs, 1);
         assert!(matches!(
-            &fx[..],
+            &sans_trace(&fx)[..],
             [StackEffect::Send { dst, .. }] if *dst == NodeId(9)
         ));
     }
@@ -522,7 +678,13 @@ mod tests {
     fn recv_travels_up_to_app() {
         let mut s = make_stack();
         let mut fx = Vec::new();
-        s.recv(Time::ZERO, NodeId(5), Bytes::from_static(b"hello"), &mut fx);
+        s.recv(
+            Time::ZERO,
+            NodeId(5),
+            Bytes::from_static(b"hello"),
+            SpanId::NONE,
+            &mut fx,
+        );
         let pass: &PassThrough = s.agent(1).as_any().downcast_ref().unwrap();
         assert_eq!(pass.ups, 1);
         let app: &RecordingApp = s.app().as_any().downcast_ref().unwrap();
@@ -565,7 +727,7 @@ mod tests {
         let mut fx = Vec::new();
         s.init(Time::ZERO, &mut fx);
         assert!(matches!(
-            &fx[..],
+            &sans_trace(&fx)[..],
             [StackEffect::TimerSet {
                 layer: 0,
                 timer: 3,
@@ -575,7 +737,7 @@ mod tests {
         fx.clear();
         s.timer(Time::from_secs(1), 0, 3, &mut fx);
         assert!(matches!(
-            &fx[..],
+            &sans_trace(&fx)[..],
             [StackEffect::TimerCancel { layer: 0, timer: 3 }]
         ));
     }
@@ -667,7 +829,9 @@ mod tests {
             &mut fx,
         );
         // Upper layer redirected the hop; router then sent there.
-        assert!(matches!(&fx[..], [StackEffect::Send { dst, .. }] if *dst == NodeId(200)));
+        assert!(
+            matches!(&sans_trace(&fx)[..], [StackEffect::Send { dst, .. }] if *dst == NodeId(200))
+        );
         let qr: &QueryRouter = s.agent(0).as_any().downcast_ref().unwrap();
         assert_eq!(qr.resolved.as_ref().unwrap().next_hop, NodeId(200));
     }
@@ -760,7 +924,119 @@ mod tests {
         s.init(Time::ZERO, &mut fx);
         let w0 = s.write_transitions;
         assert!(w0 >= 3, "init counted for two agents and the app");
-        s.recv(Time::ZERO, NodeId(2), Bytes::new(), &mut fx);
+        s.recv(Time::ZERO, NodeId(2), Bytes::new(), SpanId::NONE, &mut fx);
         assert!(s.write_transitions > w0);
+    }
+
+    #[test]
+    fn sends_mint_unique_spans_and_emit_events() {
+        let mut s = make_stack();
+        let mut fx = Vec::new();
+        for _ in 0..2 {
+            s.api(
+                Time::ZERO,
+                DownCall::Route {
+                    dest: MacedonKey(9),
+                    payload: Bytes::from_static(b"data"),
+                    priority: -1,
+                },
+                &mut fx,
+            );
+        }
+        let minted: Vec<SpanId> = fx
+            .iter()
+            .filter_map(|e| match e {
+                StackEffect::Send { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            minted,
+            vec![SpanId::mint(NodeId(1), 1), SpanId::mint(NodeId(1), 2)]
+        );
+        // The Send trace event carries the same minted span.
+        let traced: Vec<SpanId> = fx
+            .iter()
+            .filter_map(|e| match e {
+                StackEffect::Trace {
+                    event: TraceEvent::Send { span, .. },
+                    ..
+                } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(traced, minted);
+        // And each entry produced an ApiCall event.
+        assert_eq!(
+            fx.iter()
+                .filter(|e| matches!(
+                    e,
+                    StackEffect::Trace {
+                        event: TraceEvent::ApiCall { call: "route" },
+                        ..
+                    }
+                ))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn dispatch_context_span_propagates_to_emitted_records() {
+        let mut s = make_stack();
+        let mut fx = Vec::new();
+        let inbound = SpanId::mint(NodeId(7), 3);
+        s.recv(
+            Time::ZERO,
+            NodeId(5),
+            Bytes::from_static(b"hi"),
+            inbound,
+            &mut fx,
+        );
+        // Every record emitted inside this dispatch carries the inbound
+        // span as causal context — including the Dispatch event itself.
+        let spans: Vec<SpanId> = fx
+            .iter()
+            .filter_map(|e| match e {
+                StackEffect::Trace { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        assert!(!spans.is_empty());
+        assert!(spans.iter().all(|s| *s == inbound));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            StackEffect::Trace {
+                event: TraceEvent::Dispatch {
+                    from: NodeId(5),
+                    bytes: 2
+                },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn observability_off_emits_nothing_but_still_mints_spans() {
+        let mut s = make_stack();
+        s.set_observability(false);
+        let mut fx = Vec::new();
+        s.api(
+            Time::ZERO,
+            DownCall::Route {
+                dest: MacedonKey(9),
+                payload: Bytes::from_static(b"data"),
+                priority: -1,
+            },
+            &mut fx,
+        );
+        assert!(
+            fx.iter().all(|e| !matches!(e, StackEffect::Trace { .. })),
+            "no trace effects with observability off"
+        );
+        assert!(matches!(
+            &fx[..],
+            [StackEffect::Send { span, .. }] if *span == SpanId::mint(NodeId(1), 1)
+        ));
     }
 }

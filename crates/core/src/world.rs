@@ -18,7 +18,7 @@
 //! # Sharded execution
 //!
 //! With `WorldConfig::shards > 1` the world is partitioned into
-//! [`Shard`]s — each owns a contiguous chunk of the hosts (see
+//! `Shard`s — each owns a contiguous chunk of the hosts (see
 //! [`ShardMap`]) together with its own scheduler, packet arena and
 //! link-state replica. Shards advance independently inside a
 //! *conservative time window* `[T, W]` where
@@ -42,8 +42,9 @@
 use crate::agent::{Agent, AppHandler};
 use crate::api::{DownCall, ProtocolId, ENGINE_PROTOCOL};
 use crate::key::{Addressing, MacedonKey};
+use crate::measure::MeasureSummary;
 use crate::stack::{Stack, StackEffect};
-use crate::trace::{TraceLevel, TraceSink};
+use crate::trace::{SpanId, TraceEvent, TraceLevel, TraceRecord, TraceSink};
 use crate::wire::{WireRef, WireWriter};
 use bytes::Bytes;
 use macedon_net::fault::Faults;
@@ -86,6 +87,12 @@ pub struct WorldConfig {
     /// drive with any number of worker threads without changing the
     /// result.
     pub shards: usize,
+    /// Collect wall-clock self-profiling counters per shard worker
+    /// (see [`ShardProfile`]). Wall time is nondeterministic, so the
+    /// counters never feed back into simulation state — they exist to
+    /// explain where engine wall clock goes (e.g. the 100k-node
+    /// events/sec dip) via the Perfetto export's worker lanes.
+    pub profile: bool,
 }
 
 impl Default for WorldConfig {
@@ -100,9 +107,34 @@ impl Default for WorldConfig {
             fd_tick: Duration::from_secs(1),
             net: NetworkConfig::default(),
             shards: 1,
+            profile: false,
         }
     }
 }
+
+/// Wall-clock self-profiling counters for one shard's worker loop,
+/// populated by windowed execution (`shards > 1`) when
+/// [`WorldConfig::profile`] is set. All nanosecond fields are host wall
+/// time: nondeterministic, observation-only, never part of results.
+#[derive(Clone, Debug, Default)]
+pub struct ShardProfile {
+    /// Windows this shard participated in.
+    pub windows: u64,
+    /// Wall nanos merging cross-shard arrivals (phase A).
+    pub inject_ns: u64,
+    /// Wall nanos this shard's chunk spent blocked on window barriers.
+    pub barrier_ns: u64,
+    /// Wall nanos draining window events (packet walks + dispatch).
+    pub drain_ns: u64,
+    /// Wall nanos routing departures to destination mailboxes.
+    pub route_ns: u64,
+    /// Per-window `(window_start_us, drain_ns)` samples (capped at
+    /// [`PROFILE_SAMPLE_CAP`]) — the Perfetto wall-clock worker lanes.
+    pub samples: Vec<(u64, u64)>,
+}
+
+/// Bound on per-window profile samples kept per shard.
+pub const PROFILE_SAMPLE_CAP: usize = 4096;
 
 /// Events of the combined world loop.
 pub enum WorldEvent {
@@ -237,6 +269,8 @@ struct Shard {
     tsink_pool: Vec<TransportSink>,
     /// Reusable stack-effect buffers.
     fx_pool: Vec<Vec<StackEffect>>,
+    /// Self-profiling counters (only touched when `cfg.profile`).
+    profile: ShardProfile,
 }
 
 impl Shard {
@@ -438,9 +472,21 @@ impl Shard {
         self.fx_pool.push(fx);
     }
 
-    fn absorb_net(&mut self, _now: Time, mut sink: Sink<Segment>) {
+    fn absorb_net(&mut self, now: Time, mut sink: Sink<Segment>) {
         for (t, ev) in sink.schedule.drain(..) {
             self.sched.schedule(t, WorldEvent::Net(ev));
+        }
+        // Packet drops become trace events at the drop site. The span is
+        // unknown here (the packet is gone), so records carry no context.
+        for (reason, at_node) in sink.dropped.drain(..) {
+            self.trace.record(
+                now,
+                at_node,
+                0,
+                TraceLevel::Low,
+                SpanId::NONE,
+                TraceEvent::Drop { reason },
+            );
         }
         for h in sink.handoffs.drain(..) {
             self.handoff_seq += 1;
@@ -510,14 +556,22 @@ impl Shard {
         // Net absorption precedes message delivery (event-order contract
         // of the original non-pooled implementation).
         self.absorb_net(now, nsink);
-        for (from, ch, msg) in tsink.delivered.drain(..) {
-            self.deliver_msg(now, node, from, ch, msg);
+        for (from, ch, msg, span) in tsink.delivered.drain(..) {
+            self.deliver_msg(now, node, from, ch, msg, SpanId(span));
         }
         self.put_tsink(tsink);
     }
 
     /// A complete message reached `to`'s stack (or the engine).
-    fn deliver_msg(&mut self, now: Time, to: NodeId, from: NodeId, _ch: ChannelId, msg: Bytes) {
+    fn deliver_msg(
+        &mut self,
+        now: Time,
+        to: NodeId,
+        from: NodeId,
+        _ch: ChannelId,
+        msg: Bytes,
+        span: SpanId,
+    ) {
         // Any traffic from a peer counts as liveness evidence.
         if let Some(ns) = self.ns_mut(to) {
             if let Some((_, st)) = ns.monitors.get_mut(&from) {
@@ -544,7 +598,7 @@ impl Shard {
                 // sender's inbound-goodput estimate (spec-readable
                 // `goodput(peer)`).
                 ns.stack.measures_mut().on_bytes_in(now, from, msg.len());
-                ns.stack.recv(now, from, msg, &mut fx);
+                ns.stack.recv(now, from, msg, span, &mut fx);
             }
             _ => {
                 self.put_fx(fx);
@@ -561,10 +615,12 @@ impl Shard {
                     dst,
                     channel,
                     bytes,
+                    span,
                 } => {
                     let mut tsink = self.take_tsink();
                     if let Some(ns) = self.ns_mut(node) {
-                        ns.endpoint.send(now, dst, channel, bytes, &mut tsink);
+                        ns.endpoint
+                            .send(now, dst, channel, bytes, span.0, &mut tsink);
                     }
                     self.absorb_transport(now, node, tsink);
                 }
@@ -633,8 +689,13 @@ impl Shard {
                         }
                     }
                 }
-                StackEffect::Trace { layer, level, msg } => {
-                    self.trace.record(now, node, layer, level, msg);
+                StackEffect::Trace {
+                    layer,
+                    level,
+                    span,
+                    event,
+                } => {
+                    self.trace.record(now, node, layer, level, span, event);
                 }
             }
         }
@@ -647,7 +708,9 @@ impl Shard {
         let mut tsink = self.take_tsink();
         let ch = self.engine_ch;
         if let Some(ns) = self.ns_mut(from_node) {
-            ns.endpoint.send(now, to, ch, w.finish(), &mut tsink);
+            // Engine heartbeats are infrastructure, not causal protocol
+            // traffic: they ride span zero.
+            ns.endpoint.send(now, to, ch, w.finish(), 0, &mut tsink);
         }
         self.absorb_transport(now, from_node, tsink);
     }
@@ -724,14 +787,19 @@ fn shard_worker(
     deadline_us: u64,
 ) {
     let mut cursor = 0usize;
+    let profiling = chunk.first().is_some_and(|s| s.cfg.profile);
     loop {
         // A: merge cross-shard arrivals from the previous window.
         for s in chunk.iter_mut() {
+            let t0 = profiling.then(std::time::Instant::now);
             let batch = {
                 let mut mb = mailboxes[s.id as usize].lock().unwrap();
                 std::mem::take(&mut *mb)
             };
             s.inject(batch);
+            if let Some(t0) = t0 {
+                s.profile.inject_ns += t0.elapsed().as_nanos() as u64;
+            }
         }
         // B: publish the chunk's earliest pending event time.
         let mine = chunk
@@ -741,7 +809,14 @@ fn shard_worker(
             .min()
             .unwrap_or(u64::MAX);
         next_times[wi].store(mine, Ordering::SeqCst);
+        let tb = profiling.then(std::time::Instant::now);
         barrier.wait();
+        if let Some(tb) = tb {
+            let ns = tb.elapsed().as_nanos() as u64;
+            for s in chunk.iter_mut() {
+                s.profile.barrier_ns += ns;
+            }
+        }
         // C: every worker computes the same global window.
         let next = next_times
             .iter()
@@ -774,17 +849,37 @@ fn shard_worker(
         // D: drain the window.
         let w = Time::from_micros(w_end);
         for s in chunk.iter_mut() {
+            let t0 = profiling.then(std::time::Instant::now);
             while let Some((now, ev)) = s.sched.pop_before(w) {
                 s.handle(now, ev);
+            }
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                s.profile.windows += 1;
+                s.profile.drain_ns += ns;
+                if s.profile.samples.len() < PROFILE_SAMPLE_CAP {
+                    s.profile.samples.push((next, ns));
+                }
             }
         }
         // E: route departures to their destination mailboxes.
         for s in chunk.iter_mut() {
+            let t0 = profiling.then(std::time::Instant::now);
             for o in s.outbox.drain(..) {
                 mailboxes[o.dest as usize].lock().unwrap().push(o);
             }
+            if let Some(t0) = t0 {
+                s.profile.route_ns += t0.elapsed().as_nanos() as u64;
+            }
         }
+        let tb = profiling.then(std::time::Instant::now);
         barrier.wait();
+        if let Some(tb) = tb {
+            let ns = tb.elapsed().as_nanos() as u64;
+            for s in chunk.iter_mut() {
+                s.profile.barrier_ns += ns;
+            }
+        }
     }
 }
 
@@ -801,6 +896,10 @@ pub struct World {
     /// clipped so every shard's replica applies them at exactly the
     /// scripted instant. Only consulted when `shards > 1`.
     control: BTreeMap<u64, Vec<ControlOp>>,
+    /// Span counters banked from despawned stacks, keyed by node. A
+    /// respawn resumes minting from here so span ids stay unique per
+    /// node across incarnations (the trace forest invariant).
+    span_bases: FxHashMap<NodeId, u32>,
 }
 
 impl World {
@@ -844,6 +943,7 @@ impl World {
                 nsink_pool: Vec::new(),
                 tsink_pool: Vec::new(),
                 fx_pool: Vec::new(),
+                profile: ShardProfile::default(),
             });
         }
         World {
@@ -853,18 +953,35 @@ impl World {
             rng,
             workers: 1,
             control: BTreeMap::new(),
+            span_bases: FxHashMap::default(),
         }
     }
 
     // ---- construction -----------------------------------------------------
 
-    /// Register a node's stack and schedule its `init` at `at`.
+    /// Register a node's stack and schedule its `init` at `at`, tracing
+    /// at the world-wide [`WorldConfig::trace_level`].
     pub fn spawn_at(
         &mut self,
         at: Time,
         node: NodeId,
         agents: Vec<Box<dyn Agent>>,
         app: Box<dyn AppHandler>,
+    ) {
+        let level = self.cfg.trace_level;
+        self.spawn_at_traced(at, node, agents, app, level);
+    }
+
+    /// [`World::spawn_at`] with a per-node trace level — how spec
+    /// `trace_` headers land on individual stacks without forcing the
+    /// whole world to the same verbosity.
+    pub fn spawn_at_traced(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        agents: Vec<Box<dyn Agent>>,
+        app: Box<dyn AppHandler>,
+        trace_level: TraceLevel,
     ) {
         assert!(
             self.shards[0].net.topology().is_host(node),
@@ -878,10 +995,19 @@ impl World {
         let key = MacedonKey::of_node(node, self.cfg.addressing);
         let rng = self.rng.fork(node.0 as u64);
         let mut stack = Stack::new(node, key, agents, app, rng);
+        if let Some(&base) = self.span_bases.get(&node) {
+            stack.resume_span_counter(base);
+        }
         // Agents may skip building trace records the sink would filter
         // out anyway (Ctx::trace_on).
-        stack.set_trace_level(self.cfg.trace_level);
+        stack.set_trace_level(trace_level);
         stack.set_addressing(self.cfg.addressing);
+        // A node more verbose than the world default needs the shard
+        // sink opened up; quieter nodes already self-filter at the
+        // stack, so this never amplifies anyone else.
+        if trace_level > self.shards[sid].trace.level() {
+            self.shards[sid].trace.set_level(trace_level);
+        }
         let ns = NodeState {
             stack,
             endpoint: Endpoint::new(node, self.cfg.channels.clone()),
@@ -936,7 +1062,11 @@ impl World {
     pub fn despawn(&mut self, node: NodeId) {
         let sid = self.smap.shard_of(node) as usize;
         self.shards[sid].cancel_node_timers(node);
-        self.shards[sid].nodes[node.index()] = None;
+        if let Some(ns) = self.shards[sid].nodes[node.index()].take() {
+            // Bank the incarnation's span counter: a respawned stack
+            // resumes minting from here, never reusing a span id.
+            self.span_bases.insert(node, ns.stack.sends_minted());
+        }
         for sh in &mut self.shards {
             for ns in sh.nodes.iter_mut().flatten() {
                 ns.endpoint.reset_peer(node);
@@ -1059,6 +1189,69 @@ impl World {
     /// own nodes' traces; sequential worlds have exactly one shard).
     pub fn trace(&self) -> &TraceSink {
         &self.shards[0].trace
+    }
+
+    /// All trace records across every shard, merged in the
+    /// deterministic total order `(virtual time, shard, per-shard
+    /// sequence)` — the same order a one-shard world would have
+    /// recorded them, so the merged stream is byte-identical across
+    /// shard layouts' worker counts.
+    pub fn merged_trace(&self) -> Vec<&TraceRecord> {
+        let mut out: Vec<(u64, u16, u64, &TraceRecord)> = Vec::new();
+        for s in &self.shards {
+            out.extend(
+                s.trace
+                    .records()
+                    .map(|r| (r.at.as_micros(), s.id, r.seq, r)),
+            );
+        }
+        out.sort_unstable_by_key(|&(at, sh, seq, _)| (at, sh, seq));
+        out.into_iter().map(|(_, _, _, r)| r).collect()
+    }
+
+    /// Records evicted from trace rings across all shards (ring
+    /// overflow — raise the capacity if nonzero and completeness
+    /// matters).
+    pub fn trace_dropped_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.trace.dropped).sum()
+    }
+
+    /// Resize every shard's bounded trace ring.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        for s in &mut self.shards {
+            s.trace.set_capacity(capacity);
+        }
+    }
+
+    /// Events currently pending across every shard's scheduler (the
+    /// telemetry sampler's queue-depth gauge).
+    pub fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.sched.pending()).sum()
+    }
+
+    /// Trace records currently held across every shard's ring.
+    pub fn trace_records_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.trace.len() as u64).sum()
+    }
+
+    /// Aggregate of every alive node's measurement ledger (integer
+    /// sums — independent of node iteration order).
+    pub fn measure_summary(&self) -> MeasureSummary {
+        let mut acc = MeasureSummary::default();
+        for sh in &self.shards {
+            for ns in sh.nodes.iter().flatten() {
+                if ns.alive {
+                    acc.add(&ns.stack.measures().summary());
+                }
+            }
+        }
+        acc
+    }
+
+    /// Per-shard self-profiling counters (empty sums unless
+    /// [`WorldConfig::profile`] was set and windowed execution ran).
+    pub fn profile(&self) -> Vec<ShardProfile> {
+        self.shards.iter().map(|s| s.profile.clone()).collect()
     }
 
     /// Key of a node under this world's addressing mode.

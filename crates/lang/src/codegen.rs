@@ -747,6 +747,9 @@ impl<'a> Gen<'a> {
                 } else {
                     camel(st)
                 };
+                // Mirror the interpreter: record the FSM edge before the
+                // assignment so both back ends trace identical streams.
+                let _ = writeln!(out, "{p}ctx.trace_fsm(self.state_name(), \"{st}\");");
                 let _ = writeln!(out, "{p}self.state = {}::{variant};", self.state_enum());
             }
             Stmt::TimerResched(name, e) => {

@@ -160,18 +160,6 @@ fn table_of(ir: &IrSpec, at: At) -> &Table {
     }
 }
 
-/// Render the trigger the way `Trigger`'s `Debug` did, for the
-/// no-transition trace record.
-fn trigger_label(ir: &IrSpec, at: At) -> String {
-    match at {
-        At::Api(k) => format!("Api({:?})", k.name()),
-        At::Timer(i) => format!("Timer({:?})", ir.timers[i as usize].name),
-        At::Recv(i) => format!("Recv({:?})", ir.messages[i as usize].name),
-        At::Forward(i) => format!("Forward({:?})", ir.messages[i as usize].name),
-        At::Error => "Error".to_string(),
-    }
-}
-
 /// Derive the channel table a world must be built with to host this spec.
 pub fn channel_table(spec: &Spec) -> Vec<ChannelSpec> {
     spec.transports
@@ -347,17 +335,9 @@ impl InterpretedAgent {
             .iter()
             .find(|(mask, _)| mask.contains(core.state));
         let Some(&(_, tidx)) = hit else {
-            if ctx.trace_on(TraceLevel::High) {
-                ctx.trace(
-                    TraceLevel::High,
-                    format!(
-                        "{}: no transition for {} in state {}",
-                        ir.name,
-                        trigger_label(ir, at),
-                        ir.states[core.state as usize]
-                    ),
-                );
-            }
+            // No trace here: the generated back end cannot observe a
+            // missed dispatch either, and the two trace streams must
+            // stay byte-identical.
             core.recycle(frame);
             return false;
         };
@@ -433,15 +413,7 @@ impl Core {
             }
             IrStmt::Return => Ok(Flow::Return),
             IrStmt::StateChange(s) => {
-                if ctx.trace_on(TraceLevel::High) {
-                    ctx.trace(
-                        TraceLevel::High,
-                        format!(
-                            "{}: {} -> {}",
-                            ir.name, ir.states[self.state as usize], ir.states[*s as usize]
-                        ),
-                    );
-                }
+                ctx.trace_fsm(&ir.states[self.state as usize], &ir.states[*s as usize]);
                 self.state = *s;
                 Ok(Flow::Continue)
             }

@@ -15,10 +15,10 @@
 //! while [`SpecRegistry::build_stack`] is the all-interpreted
 //! convenience path.
 
-use crate::ast::Spec;
+use crate::ast::{Spec, TraceMode};
 use crate::interp::{channel_table, InterpretedAgent};
 use crate::ir::IrSpec;
-use macedon_core::{Agent, ChannelSpec, NodeId};
+use macedon_core::{Agent, ChannelSpec, NodeId, TraceLevel};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -180,6 +180,22 @@ impl SpecRegistry {
     pub fn channel_table_for(&self, name: &str) -> Result<Vec<ChannelSpec>, ChainError> {
         let chain = self.resolve_chain(name)?;
         Ok(channel_table(&chain[0]))
+    }
+
+    /// The engine trace level the spec's `trace_` header asks for —
+    /// the **top** spec of the chain decides (it names the deployment;
+    /// its bases keep whatever verbosity the stack runs at).
+    pub fn trace_level_for(&self, name: &str) -> Result<TraceLevel, ChainError> {
+        let spec = self
+            .specs
+            .get(name)
+            .ok_or_else(|| ChainError::UnknownSpec(name.to_string()))?;
+        Ok(match spec.trace {
+            TraceMode::Off => TraceLevel::Off,
+            TraceMode::Low => TraceLevel::Low,
+            TraceMode::Med => TraceLevel::Med,
+            TraceMode::High => TraceLevel::High,
+        })
     }
 }
 

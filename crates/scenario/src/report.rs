@@ -7,7 +7,7 @@
 //! internals, so the same report shape works for interpreted, generated
 //! and native stacks alike.
 
-use macedon_core::{Duration, NodeId, Time};
+use macedon_core::{Duration, NodeId, TelemetryReport, Time};
 use std::fmt::Write as _;
 
 /// Per-node delivery metrics.
@@ -130,6 +130,9 @@ pub struct MetricsReport {
     pub channels: Vec<ChannelReport>,
     /// Oracle checkpoints, in script order.
     pub oracle_checks: Vec<OracleCheckReport>,
+    /// The engine time series, when the runner sampled one
+    /// ([`crate::ScenarioRunner::enable_telemetry`]).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl MetricsReport {
@@ -267,7 +270,27 @@ impl MetricsReport {
                 violations.join(", "),
             );
         }
-        let _ = write!(out, "\n  ]\n}}\n");
+        match &self.telemetry {
+            None => {
+                let _ = write!(out, "\n  ],\n  \"telemetry\": null\n}}\n");
+            }
+            Some(t) => {
+                let _ = write!(
+                    out,
+                    "\n  ],\n  \"telemetry\": {{\"every_us\": {}, \"samples\": [",
+                    t.every_us
+                );
+                for (i, s) in t.samples.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}\n    {}",
+                        if i == 0 { "" } else { "," },
+                        s.to_json()
+                    );
+                }
+                let _ = write!(out, "\n  ]}}\n}}\n");
+            }
+        }
         out
     }
 
@@ -510,6 +533,7 @@ mod tests {
                 violations: vec!["node 5: successor\tmissing".into()],
                 passed: false,
             }],
+            telemetry: None,
         }
     }
 
@@ -541,10 +565,32 @@ mod tests {
   ],
   "oracle_checks": [
     {"at_us": 60000000, "oracle": "ring", "expect_converged": true, "converged": false, "passed": false, "violations": ["node 5: successor\tmissing"]}
-  ]
+  ],
+  "telemetry": null
 }
 "#;
         assert_eq!(got, want);
+    }
+
+    /// A sampled run inlines the time series with the pinned
+    /// [`macedon_core::TELEMETRY_COLUMNS`] keys.
+    #[test]
+    fn json_inlines_telemetry_when_sampled() {
+        use macedon_core::TelemetrySample;
+        let mut r = sample();
+        r.telemetry = Some(TelemetryReport {
+            every_us: 1_000_000,
+            samples: vec![TelemetrySample {
+                at_us: 1_000_000,
+                events_net: 5,
+                alive_nodes: 2,
+                ..Default::default()
+            }],
+        });
+        let got = r.to_json();
+        assert!(got.contains("\"telemetry\": {\"every_us\": 1000000, \"samples\": ["));
+        assert!(got.contains("{\"at_us\":1000000,\"events_net\":5,"));
+        assert!(got.ends_with("  ]}\n}\n"));
     }
 
     #[test]

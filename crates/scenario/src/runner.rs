@@ -20,7 +20,9 @@ use crate::report::{
 use macedon_core::app::{
     shared_deliveries, CollectorApp, SharedDeliveries, StreamKind, StreamerApp,
 };
-use macedon_core::{Agent, DownCall, MacedonKey, NodeId, Time, World, WorldConfig};
+use macedon_core::{
+    Agent, DownCall, MacedonKey, NodeId, Telemetry, Time, TraceLevel, World, WorldConfig,
+};
 use macedon_net::Topology;
 use macedon_sim::{Duration, FxHashMap};
 use std::collections::HashSet;
@@ -97,6 +99,12 @@ pub struct ScenarioRunner<'a> {
     oracles: Vec<Box<dyn ConvergenceOracle + 'a>>,
     /// How to read protocol state out of a stack for the oracles.
     probe: Option<StateProbe<'a>>,
+    /// Engine-wide time-series sampler ([`Self::enable_telemetry`]);
+    /// `run` slices the world's advance at its sampling boundaries.
+    telemetry: Option<Telemetry>,
+    /// Trace level every spawned node's stack runs at
+    /// ([`Self::set_trace_level`]); `None` keeps the world default.
+    trace_level: Option<TraceLevel>,
 }
 
 impl<'a> ScenarioRunner<'a> {
@@ -131,6 +139,8 @@ impl<'a> ScenarioRunner<'a> {
             originals: FxHashMap::default(),
             oracles: Vec::new(),
             probe: None,
+            telemetry: None,
+            trace_level: None,
         })
     }
 
@@ -154,6 +164,36 @@ impl<'a> ScenarioRunner<'a> {
     /// Install the state probe the oracles' snapshots are built with.
     pub fn set_probe(&mut self, probe: StateProbe<'a>) {
         self.probe = Some(probe);
+    }
+
+    /// Snapshot engine counters every `every` of virtual time; the
+    /// series lands on [`MetricsReport::telemetry`]. Sampling is
+    /// read-only, so enabling it never changes run results.
+    pub fn enable_telemetry(&mut self, every: Duration) {
+        self.telemetry = Some(Telemetry::new(every));
+    }
+
+    /// Run every spawned stack at `level` (instead of the bound
+    /// [`WorldConfig`]'s default) — e.g. the level a spec's `trace_`
+    /// header asks for, via `SpecRegistry::trace_level_for`.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace_level = Some(level);
+    }
+
+    /// Advance the world to `to`, pausing at every telemetry sampling
+    /// boundary on the way. With no sampler this is `run_until`.
+    fn advance(&mut self, to: Time) {
+        if let Some(tel) = &mut self.telemetry {
+            loop {
+                let due = tel.next_due(Time::ZERO);
+                if due > to {
+                    break;
+                }
+                self.world.run_until(due);
+                tel.sample(&self.world);
+            }
+        }
+        self.world.run_until(to);
     }
 
     /// Freeze the oracle-visible world state at `at`.
@@ -317,7 +357,7 @@ impl<'a> ScenarioRunner<'a> {
         let mut checks: Vec<OracleCheckReport> = Vec::new();
 
         for (at, action) in actions {
-            self.world.run_until(at);
+            self.advance(at);
             // Close any perturbation window that ends at or before this
             // instant.
             while next_perturbation < perturbation_times.len()
@@ -344,7 +384,7 @@ impl<'a> ScenarioRunner<'a> {
                 self.apply(at, action, &sink, &plans, multicast_anywhere, group);
             }
         }
-        self.world.run_until(self.scenario.end);
+        self.advance(self.scenario.end);
         close_open(&self.world, &mut perturbations, &mut open_perturbation);
 
         // Deliveries per perturbation window (until the next one / end).
@@ -433,7 +473,10 @@ impl<'a> ScenarioRunner<'a> {
                     }
                     None => Box::new(CollectorApp::new(sink.clone())),
                 };
-                self.world.spawn_at(now, host, stack, app);
+                match self.trace_level {
+                    Some(level) => self.world.spawn_at_traced(now, host, stack, app, level),
+                    None => self.world.spawn_at(now, host, stack, app),
+                }
                 if multicast_anywhere {
                     // Group membership for the scripted multicast
                     // streams: every node joins shortly after spawning.
@@ -618,6 +661,7 @@ impl<'a> ScenarioRunner<'a> {
             perturbations,
             channels,
             oracle_checks,
+            telemetry: self.telemetry.take().map(Telemetry::into_report),
         }
     }
 }

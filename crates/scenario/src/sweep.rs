@@ -407,6 +407,11 @@ pub struct CellReport {
     /// Post-perturbation convergence times (µs), in perturbation order.
     pub convergences_us: Vec<u64>,
     pub asserts_passed: bool,
+    /// Telemetry snapshots the cell's run took (0 without a sampler).
+    pub telemetry_samples: u64,
+    /// Peak scheduler queue depth across those snapshots — the sweep's
+    /// cheap backlog indicator (0 without a sampler).
+    pub peak_pending_events: u64,
 }
 
 impl CellReport {
@@ -430,6 +435,16 @@ impl CellReport {
                 .filter_map(|p| p.convergence.map(|d| d.as_micros()))
                 .collect(),
             asserts_passed: report.asserts_passed(),
+            telemetry_samples: report
+                .telemetry
+                .as_ref()
+                .map(|t| t.samples.len() as u64)
+                .unwrap_or(0),
+            peak_pending_events: report
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.samples.iter().map(|s| s.pending_events).max())
+                .unwrap_or(0),
         }
     }
 }
@@ -604,7 +619,8 @@ impl SweepReport {
                 "{}\n    {{\"cell\": {}, \"nodes\": {}, \"seed\": {}, \"derived_seed\": {}, \
                  \"params\": {}, \"alive\": {}, \"delivered\": {}, \"bytes\": {}, \
                  \"net_drops\": {}, \"mean_goodput_bps\": {}, \"latency\": {}, \
-                 \"convergences_us\": {:?}, \"asserts_passed\": {}}}",
+                 \"convergences_us\": {:?}, \"asserts_passed\": {}, \
+                 \"telemetry_samples\": {}, \"peak_pending_events\": {}}}",
                 if i == 0 { "" } else { "," },
                 c.index,
                 c.nodes,
@@ -619,6 +635,8 @@ impl SweepReport {
                 latency,
                 c.convergences_us,
                 c.asserts_passed,
+                c.telemetry_samples,
+                c.peak_pending_events,
             );
         }
         let _ = write!(out, "\n  ],\n  \"configs\": [");
@@ -664,7 +682,8 @@ impl SweepReport {
         out.push_str(
             ",alive,delivered,bytes,net_drops,mean_goodput_bps,latency_samples,\
              latency_p50_us,latency_p95_us,latency_p99_us,latency_max_us,\
-             convergences,convergence_p50_us,asserts_passed\n",
+             convergences,convergence_p50_us,asserts_passed,telemetry_samples,\
+             peak_pending_events\n",
         );
         for c in &self.cells {
             let _ = write!(out, "{},{},{},{}", c.index, c.nodes, c.seed, c.derived_seed);
@@ -697,7 +716,11 @@ impl SweepReport {
                 conv.sort_unstable();
                 let _ = write!(out, ",{},{}", conv.len(), percentile_us(&conv, 50));
             }
-            let _ = writeln!(out, ",{}", c.asserts_passed);
+            let _ = writeln!(
+                out,
+                ",{},{},{}",
+                c.asserts_passed, c.telemetry_samples, c.peak_pending_events
+            );
         }
         out
     }

@@ -7,7 +7,7 @@
 //! anything; `real_stack_sweep_runs` then closes the loop on the actual
 //! engine.
 
-use macedon_core::{Duration, Time, WorldConfig};
+use macedon_core::{Duration, TelemetryReport, TelemetrySample, Time, WorldConfig};
 use macedon_lang::SpecRegistry;
 use macedon_net::topology::{canned, LinkSpec};
 use macedon_scenario::sweep::derive_seed;
@@ -67,6 +67,23 @@ fn synth(cell: &SweepCell) -> MetricsReport {
         },
         channels: Vec::new(),
         oracle_checks: Vec::new(),
+        // Cell 0 carries a sampled time series so the pinned schemas
+        // cover both the sampled and unsampled columns.
+        telemetry: (cell.index == 0).then(|| TelemetryReport {
+            every_us: 1_000_000,
+            samples: vec![
+                TelemetrySample {
+                    at_us: 1_000_000,
+                    pending_events: 3,
+                    ..Default::default()
+                },
+                TelemetrySample {
+                    at_us: 2_000_000,
+                    pending_events: 7,
+                    ..Default::default()
+                },
+            ],
+        }),
     }
 }
 
@@ -84,10 +101,10 @@ fn sweep_json_schema_is_pinned() {
     {{"name": "loss", "values": ["0", "0.5"]}}
   ],
   "cells": [
-    {{"cell": 0, "nodes": 3, "seed": 1, "derived_seed": {d0}, "params": {{"loss": "0"}}, "alive": 3, "delivered": 10, "bytes": 10000, "net_drops": 1, "mean_goodput_bps": 0, "latency": {{"samples": 4, "p50_us": 2000, "p95_us": 9000, "p99_us": 9000, "max_us": 9000}}, "convergences_us": [], "asserts_passed": true}},
-    {{"cell": 1, "nodes": 3, "seed": 2, "derived_seed": {d1}, "params": {{"loss": "0"}}, "alive": 3, "delivered": 20, "bytes": 20000, "net_drops": 2, "mean_goodput_bps": 0, "latency": null, "convergences_us": [100000, 200000], "asserts_passed": true}},
-    {{"cell": 2, "nodes": 3, "seed": 1, "derived_seed": {d2}, "params": {{"loss": "0.5"}}, "alive": 3, "delivered": 30, "bytes": 30000, "net_drops": 1, "mean_goodput_bps": 0, "latency": {{"samples": 4, "p50_us": 2000, "p95_us": 9002, "p99_us": 9002, "max_us": 9002}}, "convergences_us": [200000, 200000], "asserts_passed": true}},
-    {{"cell": 3, "nodes": 3, "seed": 2, "derived_seed": {d3}, "params": {{"loss": "0.5"}}, "alive": 3, "delivered": 40, "bytes": 40000, "net_drops": 2, "mean_goodput_bps": 0, "latency": null, "convergences_us": [300000, 200000], "asserts_passed": true}}
+    {{"cell": 0, "nodes": 3, "seed": 1, "derived_seed": {d0}, "params": {{"loss": "0"}}, "alive": 3, "delivered": 10, "bytes": 10000, "net_drops": 1, "mean_goodput_bps": 0, "latency": {{"samples": 4, "p50_us": 2000, "p95_us": 9000, "p99_us": 9000, "max_us": 9000}}, "convergences_us": [], "asserts_passed": true, "telemetry_samples": 2, "peak_pending_events": 7}},
+    {{"cell": 1, "nodes": 3, "seed": 2, "derived_seed": {d1}, "params": {{"loss": "0"}}, "alive": 3, "delivered": 20, "bytes": 20000, "net_drops": 2, "mean_goodput_bps": 0, "latency": null, "convergences_us": [100000, 200000], "asserts_passed": true, "telemetry_samples": 0, "peak_pending_events": 0}},
+    {{"cell": 2, "nodes": 3, "seed": 1, "derived_seed": {d2}, "params": {{"loss": "0.5"}}, "alive": 3, "delivered": 30, "bytes": 30000, "net_drops": 1, "mean_goodput_bps": 0, "latency": {{"samples": 4, "p50_us": 2000, "p95_us": 9002, "p99_us": 9002, "max_us": 9002}}, "convergences_us": [200000, 200000], "asserts_passed": true, "telemetry_samples": 0, "peak_pending_events": 0}},
+    {{"cell": 3, "nodes": 3, "seed": 2, "derived_seed": {d3}, "params": {{"loss": "0.5"}}, "alive": 3, "delivered": 40, "bytes": 40000, "net_drops": 2, "mean_goodput_bps": 0, "latency": null, "convergences_us": [300000, 200000], "asserts_passed": true, "telemetry_samples": 0, "peak_pending_events": 0}}
   ],
   "configs": [
     {{"nodes": 3, "params": {{"loss": "0"}}, "cells": 2, "delivered": {{"min": 10, "mean": 15, "max": 20}}, "net_drops": {{"min": 1, "mean": 1, "max": 2}}, "goodput_bps": {{"min": 0, "mean": 0, "max": 0}}, "latency_p50_us": {{"min": 2000, "mean": 2000, "max": 2000}}, "latency_p95_us": {{"min": 9000, "mean": 9000, "max": 9000}}, "latency_p99_us": {{"min": 9000, "mean": 9000, "max": 9000}}, "convergence": {{"samples": 2, "p50_us": 100000, "p95_us": 200000, "max_us": 200000}}, "all_asserts_passed": true}},
@@ -106,11 +123,12 @@ fn sweep_csv_schema_is_pinned() {
     let expected = format!(
         "cell,nodes,seed,derived_seed,loss,alive,delivered,bytes,net_drops,\
          mean_goodput_bps,latency_samples,latency_p50_us,latency_p95_us,\
-         latency_p99_us,latency_max_us,convergences,convergence_p50_us,asserts_passed\n\
-         0,3,1,{},0,3,10,10000,1,0,4,2000,9000,9000,9000,0,,true\n\
-         1,3,2,{},0,3,20,20000,2,0,,,,,,2,100000,true\n\
-         2,3,1,{},0.5,3,30,30000,1,0,4,2000,9002,9002,9002,2,200000,true\n\
-         3,3,2,{},0.5,3,40,40000,2,0,,,,,,2,200000,true\n",
+         latency_p99_us,latency_max_us,convergences,convergence_p50_us,asserts_passed,\
+         telemetry_samples,peak_pending_events\n\
+         0,3,1,{},0,3,10,10000,1,0,4,2000,9000,9000,9000,0,,true,2,7\n\
+         1,3,2,{},0,3,20,20000,2,0,,,,,,2,100000,true,0,0\n\
+         2,3,1,{},0.5,3,30,30000,1,0,4,2000,9002,9002,9002,2,200000,true,0,0\n\
+         3,3,2,{},0.5,3,40,40000,2,0,,,,,,2,200000,true,0,0\n",
         d(1, "0"),
         d(2, "0"),
         d(1, "0.5"),

@@ -97,8 +97,8 @@ pub struct TransportSink {
     /// scheduler entry rather than let it fire stale.
     pub cancel_timers: Vec<TimerKey>,
     /// Fully reassembled messages handed to the layer above:
-    /// (source host, channel, message bytes).
-    pub delivered: Vec<(NodeId, ChannelId, Bytes)>,
+    /// (source host, channel, message bytes, causal trace span).
+    pub delivered: Vec<(NodeId, ChannelId, Bytes, u64)>,
     /// Acknowledgements that advanced a send window, with their
     /// Karn-filtered RTT sample (None when only retransmitted segments
     /// were acked). The world feeds these into the node's measurement
@@ -158,23 +158,26 @@ impl Endpoint {
             .map(|i| ChannelId(i as u16))
     }
 
-    /// Send one message to `dst` on the given channel.
+    /// Send one message to `dst` on the given channel. `span` is the
+    /// causal trace span riding out-of-band with the message (zero when
+    /// untraced).
     pub fn send(
         &mut self,
         now: Time,
         dst: NodeId,
         ch: ChannelId,
         msg: Bytes,
+        span: u64,
         out: &mut TransportSink,
     ) {
         let kind = self.kind_of(ch);
         let mut co = std::mem::take(&mut self.scratch);
         match self.conn(dst, ch, kind) {
             Conn::Udp(u) => {
-                u.send(msg, &mut co.tx);
+                u.send(msg, span, &mut co.tx);
             }
             Conn::Reliable(r) => {
-                r.send(now, msg, &mut co);
+                r.send(now, msg, span, &mut co);
             }
         }
         self.flush_conn_out(dst, ch, &mut co, out);
@@ -188,6 +191,7 @@ impl Endpoint {
             return; // unknown channel: drop
         }
         let kind = self.kind_of(ch);
+        let span = seg.span;
         let mut co = std::mem::take(&mut self.scratch);
         match (seg.kind, self.conn(from, ch, kind)) {
             (
@@ -199,8 +203,8 @@ impl Endpoint {
                 },
                 Conn::Udp(u),
             ) => {
-                if let Some(full) = u.on_datagram(msg, frag, frags, bytes) {
-                    out.delivered.push((from, ch, full));
+                if let Some((full, sp)) = u.on_datagram(msg, frag, frags, bytes, span) {
+                    out.delivered.push((from, ch, full, sp));
                 }
             }
             (
@@ -213,7 +217,7 @@ impl Endpoint {
                 },
                 Conn::Reliable(r),
             ) => {
-                r.on_data(now, seq, msg, frag, frags, bytes, &mut co);
+                r.on_data(now, seq, msg, frag, frags, bytes, span, &mut co);
             }
             (SegKind::Ack { cum }, Conn::Reliable(r)) => {
                 r.on_ack(now, cum, &mut co);
@@ -309,8 +313,8 @@ impl Endpoint {
             let size = seg.size();
             out.packets.push(Packet::new(self.node, peer, size, seg));
         }
-        for msg in co.delivered.drain(..) {
-            out.delivered.push((peer, ch, msg));
+        for (msg, span) in co.delivered.drain(..) {
+            out.delivered.push((peer, ch, msg, span));
         }
         if let Some(rtt) = co.ack_rtt.take() {
             out.ack_samples.push((peer, rtt));
@@ -363,6 +367,7 @@ mod tests {
             NodeId(1),
             ch,
             Bytes::from_static(b"hi"),
+            0,
             &mut out,
         );
         assert_eq!(out.packets.len(), 1);
@@ -383,6 +388,7 @@ mod tests {
             NodeId(1),
             ch,
             Bytes::from_static(b"hi"),
+            0,
             &mut out,
         );
         assert_eq!(out.packets.len(), 1);
@@ -403,6 +409,7 @@ mod tests {
             NodeId(1),
             ch,
             Bytes::from_static(b"payload"),
+            42,
             &mut out_a,
         );
         // Hand a's packets to b.
@@ -412,6 +419,7 @@ mod tests {
         }
         assert_eq!(out_b.delivered.len(), 1);
         assert_eq!(&out_b.delivered[0].2[..], b"payload");
+        assert_eq!(out_b.delivered[0].3, 42, "span survives the endpoint mux");
         // A lone segment on a quiet connection acks immediately — no
         // delayed-ack timer, so the sparse case costs zero timer events.
         assert_eq!(out_b.packets.len(), 1);
@@ -449,6 +457,7 @@ mod tests {
             NodeId(1),
             hi,
             Bytes::from_static(b"h"),
+            0,
             &mut out,
         );
         a.send(
@@ -456,6 +465,7 @@ mod tests {
             NodeId(1),
             lo,
             Bytes::from_static(b"l"),
+            0,
             &mut out,
         );
         assert_eq!(a.channel_stats(hi).segments_sent, 1);
@@ -471,6 +481,7 @@ mod tests {
         let mut out = TransportSink::new();
         let seg = Segment {
             channel: ChannelId(99),
+            span: 0,
             kind: SegKind::Ack { cum: 0 },
         };
         a.on_packet(Time::ZERO, NodeId(1), seg, &mut out);
@@ -486,6 +497,7 @@ mod tests {
         // Reliable data on a UDP channel: dropped.
         let seg = Segment {
             channel: udp,
+            span: 0,
             kind: SegKind::Data {
                 seq: 0,
                 msg: 0,

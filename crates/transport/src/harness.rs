@@ -73,7 +73,7 @@ impl TransportWorld {
         self.endpoints
             .get_mut(&src)
             .expect("unknown src host")
-            .send(now, dst, ch, msg, &mut tout);
+            .send(now, dst, ch, msg, 0, &mut tout);
         self.absorb(now, tout);
     }
 
@@ -105,7 +105,7 @@ impl TransportWorld {
             self.net.send(now, pkt, &mut nout);
         }
         self.absorb_timers(&mut tout);
-        for (from, ch, msg) in tout.delivered.drain(..) {
+        for (from, ch, msg, _span) in tout.delivered.drain(..) {
             // Delivered synchronously during absorb (e.g. loopback).
             self.inbox.push((now, NodeId(u32::MAX), from, ch, msg));
         }
@@ -128,7 +128,7 @@ impl TransportWorld {
             for pkt in tout.packets.drain(..) {
                 self.net.send(d.at, pkt, &mut nout2);
             }
-            for (src, ch, msg) in tout.delivered.drain(..) {
+            for (src, ch, msg, _span) in tout.delivered.drain(..) {
                 self.inbox.push((d.at, to, src, ch, msg));
             }
             for (t, ev) in nout2.schedule.drain(..) {

@@ -31,6 +31,9 @@ struct SegBuf {
     frag: u16,
     frags: u16,
     bytes: Bytes,
+    /// Causal trace span of the message (out-of-band metadata;
+    /// retransmissions reuse it).
+    span: u64,
     sent_at: Option<Time>,
     retransmitted: bool,
 }
@@ -68,6 +71,8 @@ pub struct ReliableConn {
     ooo: BTreeMap<u64, SegBuf>,
     partial: Vec<Bytes>,
     partial_msg: Option<u64>,
+    /// Span of the message currently reassembling in `partial`.
+    partial_span: u64,
     /// In-order data segments received but not yet acknowledged
     /// (delayed-ack state).
     ack_pending: u32,
@@ -86,8 +91,9 @@ pub struct ReliableConn {
 pub struct ConnOut {
     /// Segments to transmit to the peer.
     pub tx: Vec<Segment>,
-    /// Fully reassembled inbound messages, in order.
-    pub delivered: Vec<Bytes>,
+    /// Fully reassembled inbound messages, in order, each with the
+    /// causal span that rode with it.
+    pub delivered: Vec<(Bytes, u64)>,
     /// Re-arm the RTO timer at the given absolute time with this
     /// generation (at most one per call). Supersedes any outstanding
     /// RTO for this connection.
@@ -139,6 +145,7 @@ impl ReliableConn {
             ooo: BTreeMap::new(),
             partial: Vec::new(),
             partial_msg: None,
+            partial_span: 0,
             ack_pending: 0,
             ack_timer_armed: false,
             last_data_at: None,
@@ -169,8 +176,10 @@ impl ReliableConn {
         self.est.srtt()
     }
 
-    /// Enqueue a message; transmits whatever the window allows.
-    pub fn send(&mut self, now: Time, msg: Bytes, out: &mut ConnOut) {
+    /// Enqueue a message; transmits whatever the window allows. `span`
+    /// is the causal trace span riding with the message (zero when
+    /// untraced).
+    pub fn send(&mut self, now: Time, msg: Bytes, span: u64, out: &mut ConnOut) {
         let frags = crate::segment::fragment_count(msg.len()) as u16;
         let msg_id = self.next_msg;
         self.next_msg += 1;
@@ -182,6 +191,7 @@ impl ReliableConn {
                 frag: i,
                 frags,
                 bytes,
+                span,
                 sent_at: None,
                 retransmitted: false,
             });
@@ -213,6 +223,7 @@ impl ReliableConn {
         frag: u16,
         frags: u16,
         bytes: Bytes,
+        span: u64,
         out: &mut ConnOut,
     ) {
         let before = self.rcv_nxt;
@@ -222,6 +233,7 @@ impl ReliableConn {
                 frag,
                 frags,
                 bytes,
+                span,
                 sent_at: None,
                 retransmitted: false,
             });
@@ -263,6 +275,7 @@ impl ReliableConn {
         self.stats.acks_sent += 1;
         out.tx.push(Segment {
             channel: ChannelId(0), // endpoint rewrites
+            span: 0,
             kind: SegKind::Ack { cum: self.rcv_nxt },
         });
     }
@@ -275,6 +288,7 @@ impl ReliableConn {
             self.stats.acks_sent += 1;
             out.tx.push(Segment {
                 channel: ChannelId(0),
+                span: 0,
                 kind: SegKind::Ack { cum: self.rcv_nxt },
             });
         }
@@ -290,6 +304,7 @@ impl ReliableConn {
             );
             self.partial.clear();
             self.partial_msg = Some(sb.msg);
+            self.partial_span = sb.span;
         }
         self.partial.push(sb.bytes);
         if self.partial.len() == sb.frags as usize {
@@ -307,7 +322,7 @@ impl ReliableConn {
                 }
                 Bytes::from(buf)
             };
-            out.delivered.push(msg);
+            out.delivered.push((msg, self.partial_span));
         }
     }
 
@@ -402,6 +417,7 @@ impl ReliableConn {
             self.stats.bytes_sent += sb.bytes.len() as u64;
             out.tx.push(Segment {
                 channel: ChannelId(0),
+                span: sb.span,
                 kind: SegKind::Data {
                     seq,
                     msg: sb.msg,
@@ -428,6 +444,7 @@ impl ReliableConn {
                 self.stats.bytes_sent += sb.bytes.len() as u64;
                 out.tx.push(Segment {
                     channel: ChannelId(0),
+                    span: sb.span,
                     kind: SegKind::Data {
                         seq,
                         msg: sb.msg,
@@ -450,6 +467,7 @@ impl ReliableConn {
             self.stats.bytes_sent += sb.bytes.len() as u64;
             out.tx.push(Segment {
                 channel: ChannelId(0),
+                span: sb.span,
                 kind: SegKind::Data {
                     seq,
                     msg: sb.msg,
@@ -499,13 +517,23 @@ mod tests {
         let mut a = ReliableConn::new(WindowPolicy::Tcp);
         let mut b = ReliableConn::new(WindowPolicy::Tcp);
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from_static(b"hello"), &mut out);
+        a.send(t(0), Bytes::from_static(b"hello"), 7, &mut out);
         assert_eq!(out.tx.len(), 1);
         let (seq, msg, frag, frags, bytes) = data_fields(&out.tx[0]);
         let mut out_b = ConnOut::default();
-        b.on_data(t(5), seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_data(
+            t(5),
+            seq,
+            msg,
+            frag,
+            frags,
+            bytes,
+            out.tx[0].span,
+            &mut out_b,
+        );
         assert_eq!(out_b.delivered.len(), 1);
-        assert_eq!(&out_b.delivered[0][..], b"hello");
+        assert_eq!(&out_b.delivered[0].0[..], b"hello");
+        assert_eq!(out_b.delivered[0].1, 7, "span rides to delivery");
         // A lone segment on a quiet connection acks at once: there is
         // nothing to coalesce with, so deferring would only add a timer.
         assert_eq!(out_b.tx.len(), 1, "sparse arrival acks immediately");
@@ -527,15 +555,15 @@ mod tests {
         let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
         let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from(payload.clone()), &mut out);
+        a.send(t(0), Bytes::from(payload.clone()), 0, &mut out);
         assert!(out.tx.len() >= 4);
         let mut out_b = ConnOut::default();
         for seg in &out.tx {
             let (seq, msg, frag, frags, bytes) = data_fields(seg);
-            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, 0, &mut out_b);
         }
         assert_eq!(out_b.delivered.len(), 1);
-        assert_eq!(&out_b.delivered[0][..], &payload[..]);
+        assert_eq!(&out_b.delivered[0].0[..], &payload[..]);
         // In-order stream: one coalesced ack per ACK_EVERY segments.
         let acks = out_b
             .tx
@@ -555,15 +583,15 @@ mod tests {
         let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
         let mut out = ConnOut::default();
         for m in ["one", "two", "three"] {
-            a.send(t(0), Bytes::from(m.as_bytes().to_vec()), &mut out);
+            a.send(t(0), Bytes::from(m.as_bytes().to_vec()), 0, &mut out);
         }
         let mut segs: Vec<_> = out.tx.iter().map(data_fields).collect();
         segs.reverse(); // deliver in reverse order
         let mut out_b = ConnOut::default();
         for (seq, msg, frag, frags, bytes) in segs {
-            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, 0, &mut out_b);
         }
-        let got: Vec<&[u8]> = out_b.delivered.iter().map(|b| &b[..]).collect();
+        let got: Vec<&[u8]> = out_b.delivered.iter().map(|(b, _)| &b[..]).collect();
         assert_eq!(
             got,
             vec![b"one".as_ref(), b"two".as_ref(), b"three".as_ref()]
@@ -575,12 +603,12 @@ mod tests {
         let mut a = ReliableConn::new(WindowPolicy::Tcp);
         let mut b = ReliableConn::new(WindowPolicy::Tcp);
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from_static(b"dup"), &mut out);
+        a.send(t(0), Bytes::from_static(b"dup"), 0, &mut out);
         let (seq, msg, frag, frags, bytes) = data_fields(&out.tx[0]);
         let mut out_b = ConnOut::default();
-        b.on_data(t(1), seq, msg, frag, frags, bytes.clone(), &mut out_b);
+        b.on_data(t(1), seq, msg, frag, frags, bytes.clone(), 0, &mut out_b);
         assert_eq!(out_b.tx.len(), 1, "sparse in-order segment acks at once");
-        b.on_data(t(2), seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_data(t(2), seq, msg, frag, frags, bytes, 0, &mut out_b);
         assert_eq!(out_b.delivered.len(), 1);
         assert_eq!(out_b.tx.len(), 2, "duplicate forces an immediate ack");
     }
@@ -591,21 +619,21 @@ mod tests {
         let mut b = ReliableConn::new(WindowPolicy::Tcp);
         let mut out = ConnOut::default();
         for i in 0..3u8 {
-            a.send(t(0), Bytes::from(vec![i]), &mut out);
+            a.send(t(0), Bytes::from(vec![i]), 0, &mut out);
         }
         let segs: Vec<_> = out.tx.iter().map(data_fields).collect();
         let mut out_b = ConnOut::default();
         // Seg 0 on a quiet conn: immediate ack. Seg 1 arrives 1 ms later
         // (dense): deferred, timer armed.
         let (seq, msg, frag, frags, bytes) = segs[0].clone();
-        b.on_data(t(1), seq, msg, frag, frags, bytes.clone(), &mut out_b);
+        b.on_data(t(1), seq, msg, frag, frags, bytes.clone(), 0, &mut out_b);
         assert_eq!(out_b.tx.len(), 1);
         let (seq1, msg1, frag1, frags1, bytes1) = segs[1].clone();
-        b.on_data(t(2), seq1, msg1, frag1, frags1, bytes1, &mut out_b);
+        b.on_data(t(2), seq1, msg1, frag1, frags1, bytes1, 0, &mut out_b);
         assert_eq!(out_b.tx.len(), 1, "dense arrival defers its ack");
         assert!(out_b.arm_ack_timer.is_some());
         // A duplicate of seg 0 flushes immediately and cancels the timer.
-        b.on_data(t(3), seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_data(t(3), seq, msg, frag, frags, bytes, 0, &mut out_b);
         assert_eq!(out_b.tx.len(), 2);
         assert!(
             out_b.cancel_ack_timer,
@@ -619,12 +647,12 @@ mod tests {
         let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
         let mut out = ConnOut::default();
         for i in 0..8u8 {
-            a.send(t(0), Bytes::from(vec![i]), &mut out);
+            a.send(t(0), Bytes::from(vec![i]), 0, &mut out);
         }
         let mut out_b = ConnOut::default();
         for seg in &out.tx {
             let (seq, msg, frag, frags, bytes) = data_fields(seg);
-            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, 0, &mut out_b);
         }
         let acks: Vec<u64> = out_b
             .tx
@@ -653,17 +681,17 @@ mod tests {
         let mut b = ReliableConn::new(WindowPolicy::Swp { window: 100 });
         let mut out = ConnOut::default();
         for i in 0..5u8 {
-            a.send(t(0), Bytes::from(vec![i]), &mut out);
+            a.send(t(0), Bytes::from(vec![i]), 0, &mut out);
         }
         let segs: Vec<_> = out.tx.iter().map(data_fields).collect();
         let mut out_b = ConnOut::default();
         // Deliver 0, then skip 1: every gapped arrival duplicates cum=1.
         let (seq, msg, frag, frags, bytes) = segs[0].clone();
-        b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+        b.on_data(t(1), seq, msg, frag, frags, bytes, 0, &mut out_b);
         b.on_ack_timeout(&mut out_b); // flush the delayed ack for seg 0
         for s in &segs[2..] {
             let (seq, msg, frag, frags, bytes) = s.clone();
-            b.on_data(t(1), seq, msg, frag, frags, bytes, &mut out_b);
+            b.on_data(t(1), seq, msg, frag, frags, bytes, 0, &mut out_b);
         }
         let acks: Vec<u64> = out_b
             .tx
@@ -686,7 +714,7 @@ mod tests {
         let mut out = ConnOut::default();
         // Mid-message fragment: more of the burst is coming, so the ack
         // defers under the timer.
-        b.on_data(t(1), 0, 0, 0, 2, Bytes::from_static(b"x"), &mut out);
+        b.on_data(t(1), 0, 0, 0, 2, Bytes::from_static(b"x"), 0, &mut out);
         assert!(out.tx.is_empty());
         assert!(out.arm_ack_timer.is_some());
         b.on_ack_timeout(&mut out);
@@ -701,7 +729,7 @@ mod tests {
         let mut a = ReliableConn::new(WindowPolicy::Swp { window: 4 });
         let mut out = ConnOut::default();
         for i in 0..10u8 {
-            a.send(t(0), Bytes::from(vec![i]), &mut out);
+            a.send(t(0), Bytes::from(vec![i]), 0, &mut out);
         }
         assert_eq!(out.tx.len(), 4, "only window-many segments go out");
         // Ack two → two more flow.
@@ -716,7 +744,7 @@ mod tests {
         let mut out = ConnOut::default();
         let start = a.cwnd();
         for i in 0..8u8 {
-            a.send(t(0), Bytes::from(vec![i]), &mut out);
+            a.send(t(0), Bytes::from(vec![i]), 0, &mut out);
         }
         // Ack everything transmitted so far, repeatedly.
         for round in 1..5u64 {
@@ -731,11 +759,12 @@ mod tests {
     fn rto_retransmits_and_collapses_cwnd() {
         let mut a = ReliableConn::new(WindowPolicy::Tcp);
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from_static(b"lost"), &mut out);
+        a.send(t(0), Bytes::from_static(b"lost"), 5, &mut out);
         let (gen_time, gen) = out.arm_timer.expect("timer armed");
         let mut out2 = ConnOut::default();
         a.on_rto(gen_time, gen, &mut out2);
         assert_eq!(out2.tx.len(), 1, "front segment retransmitted");
+        assert_eq!(out2.tx[0].span, 5, "retransmission reuses the span");
         assert_eq!(a.stats.retransmissions, 1);
         assert_eq!(a.cwnd() as u32, 1);
         assert!(out2.arm_timer.is_some(), "timer re-armed with backoff");
@@ -745,7 +774,7 @@ mod tests {
     fn stale_rto_generation_ignored() {
         let mut a = ReliableConn::new(WindowPolicy::Tcp);
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from_static(b"x"), &mut out);
+        a.send(t(0), Bytes::from_static(b"x"), 0, &mut out);
         let (at, gen) = out.arm_timer.unwrap();
         // Ack arrives, which re-arms with a new generation...
         let mut o = ConnOut::default();
@@ -763,11 +792,11 @@ mod tests {
         let mut out = ConnOut::default();
         // Open the window, then send several segments.
         for i in 0..2u8 {
-            a.send(t(0), Bytes::from(vec![i]), &mut out);
+            a.send(t(0), Bytes::from(vec![i]), 0, &mut out);
         }
         a.on_ack(t(1), 2, &mut out); // cwnd grows to 4
         for i in 0..4u8 {
-            a.send(t(1), Bytes::from(vec![i]), &mut out);
+            a.send(t(1), Bytes::from(vec![i]), 0, &mut out);
         }
         assert!(a.in_flight() >= 4);
         let una = a.snd_una;
@@ -784,7 +813,7 @@ mod tests {
     fn swp_window_never_reacts_to_loss() {
         let mut a = ReliableConn::new(WindowPolicy::Swp { window: 8 });
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from_static(b"d"), &mut out);
+        a.send(t(0), Bytes::from_static(b"d"), 0, &mut out);
         let (at, gen) = out.arm_timer.unwrap();
         let mut o = ConnOut::default();
         a.on_rto(at, gen, &mut o);
@@ -795,7 +824,7 @@ mod tests {
     fn stats_track_bytes() {
         let mut a = ReliableConn::new(WindowPolicy::Tcp);
         let mut out = ConnOut::default();
-        a.send(t(0), Bytes::from(vec![0u8; 300]), &mut out);
+        a.send(t(0), Bytes::from(vec![0u8; 300]), 0, &mut out);
         assert_eq!(a.stats.bytes_sent, 300);
         assert_eq!(a.stats.segments_sent, 1);
     }

@@ -16,6 +16,12 @@ pub struct ChannelId(pub u16);
 #[derive(Clone, Debug)]
 pub struct Segment {
     pub channel: ChannelId,
+    /// Causal trace span riding with the message this segment belongs
+    /// to — out-of-band observability metadata, **not** wire bytes: it
+    /// is excluded from [`Segment::size`] so emulated timing, goldens
+    /// and interpreted ≡ generated equality are untouched. Zero for
+    /// ACKs and engine traffic.
+    pub span: u64,
     pub kind: SegKind,
 }
 
@@ -121,6 +127,7 @@ mod tests {
     fn segment_sizes() {
         let data = Segment {
             channel: ChannelId(0),
+            span: 0,
             kind: SegKind::Data {
                 seq: 0,
                 msg: 0,
@@ -132,9 +139,16 @@ mod tests {
         assert_eq!(data.size(), 112);
         let ack = Segment {
             channel: ChannelId(0),
+            span: 0,
             kind: SegKind::Ack { cum: 5 },
         };
         assert_eq!(ack.size(), 12);
+        // The span is observability metadata, never wire bytes.
+        let spanned = Segment {
+            span: u64::MAX,
+            ..data.clone()
+        };
+        assert_eq!(spanned.size(), data.size());
     }
 
     // Compile-time guarantee: a full payload segment fits the MTU.

@@ -27,6 +27,8 @@ pub struct UdpConn {
 struct PartialMsg {
     frags: u16,
     parts: HashMap<u16, Bytes>,
+    /// Causal trace span of the message (out-of-band metadata).
+    span: u64,
 }
 
 impl UdpConn {
@@ -34,8 +36,9 @@ impl UdpConn {
         UdpConn::default()
     }
 
-    /// Emit the fragments of one datagram.
-    pub fn send(&mut self, msg: Bytes, tx: &mut Vec<Segment>) {
+    /// Emit the fragments of one datagram. `span` is the causal trace
+    /// span riding with the message (zero when untraced).
+    pub fn send(&mut self, msg: Bytes, span: u64, tx: &mut Vec<Segment>) {
         let parts = fragment(&msg);
         let frags = parts.len() as u16;
         let id = self.next_msg;
@@ -44,6 +47,7 @@ impl UdpConn {
             self.frags_sent += 1;
             tx.push(Segment {
                 channel: ChannelId(0), // endpoint rewrites
+                span,
                 kind: SegKind::Datagram {
                     msg: id,
                     frag: i as u16,
@@ -54,16 +58,24 @@ impl UdpConn {
         }
     }
 
-    /// Accept an inbound fragment; returns a complete message when the
-    /// last fragment arrives.
-    pub fn on_datagram(&mut self, msg: u64, frag: u16, frags: u16, bytes: Bytes) -> Option<Bytes> {
+    /// Accept an inbound fragment; returns a complete message (with its
+    /// causal span) when the last fragment arrives.
+    pub fn on_datagram(
+        &mut self,
+        msg: u64,
+        frag: u16,
+        frags: u16,
+        bytes: Bytes,
+        span: u64,
+    ) -> Option<(Bytes, u64)> {
         if frags == 1 {
             self.messages_delivered += 1;
-            return Some(bytes);
+            return Some((bytes, span));
         }
         let entry = self.partial.entry(msg).or_insert_with(|| PartialMsg {
             frags,
             parts: HashMap::new(),
+            span,
         });
         if self.insertion.last() != Some(&msg) && !self.insertion.contains(&msg) {
             self.insertion.push(msg);
@@ -77,7 +89,7 @@ impl UdpConn {
                 buf.extend_from_slice(&done.parts[&i]);
             }
             self.messages_delivered += 1;
-            return Some(Bytes::from(buf));
+            return Some((Bytes::from(buf), done.span));
         }
         // Evict oldest partials beyond the cap.
         while self.partial.len() > REASSEMBLY_CAP {
@@ -109,12 +121,14 @@ mod tests {
     fn small_datagram_single_fragment() {
         let mut a = UdpConn::new();
         let mut tx = Vec::new();
-        a.send(Bytes::from_static(b"ping"), &mut tx);
+        a.send(Bytes::from_static(b"ping"), 9, &mut tx);
         assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].span, 9);
         let mut b = UdpConn::new();
         let (m, f, fs, by) = dg(&tx[0]);
-        let got = b.on_datagram(m, f, fs, by).unwrap();
+        let (got, span) = b.on_datagram(m, f, fs, by, tx[0].span).unwrap();
         assert_eq!(&got[..], b"ping");
+        assert_eq!(span, 9, "span rides to delivery");
     }
 
     #[test]
@@ -124,17 +138,19 @@ mod tests {
             .collect();
         let mut a = UdpConn::new();
         let mut tx = Vec::new();
-        a.send(Bytes::from(payload.clone()), &mut tx);
+        a.send(Bytes::from(payload.clone()), 3, &mut tx);
         assert_eq!(tx.len(), 4);
         let mut b = UdpConn::new();
         let mut got = None;
         for seg in &tx {
             let (m, f, fs, by) = dg(seg);
-            if let Some(full) = b.on_datagram(m, f, fs, by) {
+            if let Some(full) = b.on_datagram(m, f, fs, by, seg.span) {
                 got = Some(full);
             }
         }
-        assert_eq!(&got.unwrap()[..], &payload[..]);
+        let (full, span) = got.unwrap();
+        assert_eq!(&full[..], &payload[..]);
+        assert_eq!(span, 3, "multi-fragment reassembly keeps the span");
     }
 
     #[test]
@@ -142,17 +158,17 @@ mod tests {
         let payload = vec![9u8; MSS as usize * 2];
         let mut a = UdpConn::new();
         let mut tx = Vec::new();
-        a.send(Bytes::from(payload.clone()), &mut tx);
+        a.send(Bytes::from(payload.clone()), 0, &mut tx);
         tx.reverse();
         let mut b = UdpConn::new();
         let mut got = None;
         for seg in &tx {
             let (m, f, fs, by) = dg(seg);
-            if let Some(full) = b.on_datagram(m, f, fs, by) {
+            if let Some(full) = b.on_datagram(m, f, fs, by, seg.span) {
                 got = Some(full);
             }
         }
-        assert_eq!(got.unwrap().len(), payload.len());
+        assert_eq!(got.unwrap().0.len(), payload.len());
     }
 
     #[test]
@@ -160,11 +176,11 @@ mod tests {
         let payload = vec![1u8; MSS as usize * 2];
         let mut a = UdpConn::new();
         let mut tx = Vec::new();
-        a.send(Bytes::from(payload), &mut tx);
+        a.send(Bytes::from(payload), 0, &mut tx);
         let mut b = UdpConn::new();
         // Deliver only the first fragment.
         let (m, f, fs, by) = dg(&tx[0]);
-        assert!(b.on_datagram(m, f, fs, by).is_none());
+        assert!(b.on_datagram(m, f, fs, by, 0).is_none());
         assert_eq!(b.messages_delivered, 0);
     }
 
@@ -173,23 +189,31 @@ mod tests {
         let mut b = UdpConn::new();
         // Feed first fragments of many two-fragment messages.
         for m in 0..(REASSEMBLY_CAP as u64 + 10) {
-            assert!(b.on_datagram(m, 0, 2, Bytes::from_static(b"a")).is_none());
+            assert!(b
+                .on_datagram(m, 0, 2, Bytes::from_static(b"a"), 0)
+                .is_none());
         }
         // Completing an evicted early message must not complete (its
         // first fragment was dropped by the cap) and must not panic.
-        assert!(b.on_datagram(0, 1, 2, Bytes::from_static(b"b")).is_none());
+        assert!(b
+            .on_datagram(0, 1, 2, Bytes::from_static(b"b"), 0)
+            .is_none());
         // ...but a recent one completes.
         let recent = REASSEMBLY_CAP as u64 + 9;
-        let got = b.on_datagram(recent, 1, 2, Bytes::from_static(b"b"));
+        let got = b.on_datagram(recent, 1, 2, Bytes::from_static(b"b"), 0);
         assert!(got.is_some());
     }
 
     #[test]
     fn duplicate_fragment_ignored() {
         let mut b = UdpConn::new();
-        assert!(b.on_datagram(5, 0, 2, Bytes::from_static(b"x")).is_none());
-        assert!(b.on_datagram(5, 0, 2, Bytes::from_static(b"x")).is_none());
-        let got = b.on_datagram(5, 1, 2, Bytes::from_static(b"y")).unwrap();
+        assert!(b
+            .on_datagram(5, 0, 2, Bytes::from_static(b"x"), 0)
+            .is_none());
+        assert!(b
+            .on_datagram(5, 0, 2, Bytes::from_static(b"x"), 0)
+            .is_none());
+        let (got, _) = b.on_datagram(5, 1, 2, Bytes::from_static(b"y"), 0).unwrap();
         assert_eq!(&got[..], b"xy");
     }
 }

@@ -12,6 +12,13 @@
 //! runs the world sharded N ways on the windowed parallel engine and
 //! prints events/sec alongside wall time.
 //!
+//! Observability: `--trace-out trace.json` runs the stacks at trace
+//! level High and writes the causal trace as Chrome/Perfetto trace
+//! events (open the file at <https://ui.perfetto.dev>); `--sample-every
+//! 500` snapshots engine counters every 500 sim-ms, folds the series
+//! into the JSON report, and writes it as JSONL (`--telemetry-out`,
+//! default `telemetry.jsonl`).
+//!
 //! `sweep` switches to the parallel sweep driver: the same churn shape
 //! templated over `{nodes}` with a `{loss}` grid axis, fanned across
 //! seeds × node counts on all cores, and aggregated into one
@@ -88,6 +95,9 @@ fn run_single(argv: &[String]) {
     let workers: usize = arg_value(argv, "--workers")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let trace_out = arg_value(argv, "--trace-out");
+    let sample_every_ms: Option<u64> = arg_value(argv, "--sample-every")
+        .map(|v| v.parse().expect("--sample-every takes milliseconds"));
 
     let scenario = script::parse(SCRIPT).expect("script parses");
     println!(
@@ -109,6 +119,8 @@ fn run_single(argv: &[String]) {
         fd_g: Duration::from_secs(2),
         fd_f: Duration::from_secs(6),
         shards: workers,
+        // Wall-clock shard lanes for the Perfetto export.
+        profile: trace_out.is_some(),
         ..Default::default()
     };
     let mut runner = ScenarioRunner::new(
@@ -119,6 +131,16 @@ fn run_single(argv: &[String]) {
     )
     .expect("runner binds");
     runner.set_workers(workers);
+    // Every stack runs at the level `splitstream.mac`'s `trace_` header
+    // declares; an explicit `--trace-out` raises it to High so the
+    // exported timeline carries the full causal span forest.
+    runner.set_trace_level(match &trace_out {
+        Some(_) => TraceLevel::High,
+        None => reg.trace_level_for("splitstream").unwrap(),
+    });
+    if let Some(ms) = sample_every_ms {
+        runner.enable_telemetry(Duration::from_millis(ms));
+    }
 
     let start = std::time::Instant::now();
     let outcome = runner.run();
@@ -129,6 +151,24 @@ fn run_single(argv: &[String]) {
          ({events} events, {:.0} events/sec)",
         events as f64 / secs
     );
+    if let Some(path) = trace_out {
+        let trace = outcome.world.merged_trace();
+        let json = macedon::core::perfetto_json(&trace, &outcome.world.profile());
+        std::fs::write(&path, json).expect("write perfetto trace");
+        println!(
+            "wrote {path} ({} trace records, {} dropped; open it at https://ui.perfetto.dev)",
+            trace.len(),
+            outcome.world.trace_dropped_total(),
+        );
+    }
+    if sample_every_ms.is_some() {
+        if let Some(t) = &outcome.report.telemetry {
+            let path =
+                arg_value(argv, "--telemetry-out").unwrap_or_else(|| "telemetry.jsonl".into());
+            std::fs::write(&path, t.to_jsonl()).expect("write telemetry jsonl");
+            println!("wrote {path} ({} samples)", t.samples.len());
+        }
+    }
     if let Some(path) = csv_path {
         std::fs::write(&path, outcome.report.to_csv()).expect("write csv report");
         println!("wrote {path}");

@@ -23,7 +23,7 @@
 //!    crashes, rejoins, partitions on a jittered star) stay inside
 //!    that contract.
 
-use macedon_core::WorldConfig;
+use macedon_core::{SpanId, TraceEvent, TraceLevel, WorldConfig};
 use macedon_lang::SpecRegistry;
 use macedon_net::topology::{LinkSpec, TopologyBuilder};
 use macedon_scenario::ScenarioRunner;
@@ -150,6 +150,67 @@ fn sharded_scale_run_matches_sequential() {
                 got, want,
                 "seed {seed}: {shards}-shard run diverged from the sequential engine"
             );
+        }
+    }
+}
+
+#[test]
+fn span_parentage_is_a_forest_across_scenarios() {
+    // Property over real scenario runs (churn, partitions, rejoins, all
+    // shard counts): walking the merged trace in `(at, shard, seq)`
+    // order, every causal context a record carries was minted by a
+    // strictly earlier `Send`, and no span is minted twice. Crashes and
+    // partitions must not orphan contexts — a span delivered after its
+    // origin crashed still resolves to the historical mint.
+    for (script, nodes) in [
+        (scale_script(12), 12usize),
+        (partition_rejoin_script(12), 12),
+    ] {
+        for (seed, shards, workers) in [(7u64, 1usize, 1usize), (77, 4, 4)] {
+            let registry = SpecRegistry::bundled();
+            let scenario = macedon_scenario::script::parse(&script).expect("script parses");
+            let topo = jittered_star(nodes);
+            let cfg = WorldConfig {
+                seed,
+                channels: registry.channel_table_for("splitstream").unwrap(),
+                fd_g: Duration::from_secs(2),
+                fd_f: Duration::from_secs(6),
+                shards,
+                ..Default::default()
+            };
+            let mut runner = ScenarioRunner::new(
+                scenario,
+                topo,
+                cfg,
+                Box::new(|_idx, _host, bootstrap| {
+                    registry.build_stack("splitstream", bootstrap).unwrap()
+                }),
+            )
+            .expect("scenario binds");
+            runner.set_workers(workers);
+            runner.set_trace_level(TraceLevel::High);
+            let outcome = runner.run();
+
+            let mut minted = std::collections::HashSet::new();
+            let mut sends = 0u64;
+            for r in outcome.world.merged_trace() {
+                if r.span != SpanId::NONE {
+                    assert!(
+                        minted.contains(&r.span.0),
+                        "seed {seed} shards {shards}: span {:016x} referenced before mint",
+                        r.span.0
+                    );
+                }
+                if let TraceEvent::Send { span, .. } = &r.event {
+                    sends += 1;
+                    assert!(
+                        minted.insert(span.0),
+                        "seed {seed} shards {shards}: span {:016x} minted twice",
+                        span.0
+                    );
+                }
+            }
+            assert!(sends > 0, "seed {seed} shards {shards}: no spans minted");
         }
     }
 }

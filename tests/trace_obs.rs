@@ -1,0 +1,247 @@
+//! Observability contracts of the causal trace stream.
+//!
+//! The trace is an *observation*, never an input: a seeded run traced
+//! at High must produce the same deliveries as an untraced one, and
+//! the rendered stream itself is deterministic along two independent
+//! axes —
+//!
+//! 1. **Back-end invariance** — the interpreted and generated stacks
+//!    emit byte-identical trace streams on identically seeded runs
+//!    (same dispatches, same FSM edge names, same minted spans), the
+//!    tracing analogue of the delivery-log cross-validation in
+//!    `integration_generated.rs`.
+//! 2. **Worker invariance** — for a fixed shard partition, the merged
+//!    `(at, shard, seq)` stream is byte-identical for any worker
+//!    count, because per-shard rings record in shard-local virtual
+//!    order and the merge never looks at thread arrival.
+//!
+//! Plus the structural span property: parentage forms a forest — every
+//! record's causal context is either `NONE` (a root: timer, API call,
+//! engine traffic) or a span some strictly earlier `Send` record
+//! minted, and no span is minted twice.
+
+use macedon::core::{SpanId, TraceEvent};
+use macedon::lang::SpecRegistry;
+use macedon::prelude::*;
+use macedon_generated as gen;
+use std::collections::HashSet;
+
+fn star_topo(n: usize) -> macedon::net::Topology {
+    macedon::net::topology::canned::star(n, macedon::net::topology::LinkSpec::lan())
+}
+
+enum Kind {
+    Interpreted,
+    Generated,
+}
+
+/// Build a world running `proto` with every stack traced at `level`,
+/// partitioned into `shards` and driven by `workers` threads.
+fn traced_world(
+    kind: &Kind,
+    proto: &str,
+    n: usize,
+    seed: u64,
+    level: TraceLevel,
+    shards: usize,
+    workers: usize,
+) -> (World, Vec<NodeId>) {
+    let topo = star_topo(n);
+    let hosts = topo.hosts().to_vec();
+    let reg = SpecRegistry::bundled();
+    let mut cfg = WorldConfig {
+        seed,
+        shards,
+        ..Default::default()
+    };
+    cfg.channels = match kind {
+        Kind::Interpreted => reg.channel_table_for(proto).expect("chain resolves"),
+        Kind::Generated => gen::channel_table(proto).expect("generated table"),
+    };
+    let mut w = World::new(topo, cfg);
+    w.set_workers(workers);
+    let sink = macedon::core::app::shared_deliveries();
+    for (i, &h) in hosts.iter().enumerate() {
+        let bootstrap = (i > 0).then(|| hosts[0]);
+        let stack = match kind {
+            Kind::Interpreted => reg.build_stack(proto, bootstrap).expect("stack builds"),
+            Kind::Generated => gen::build_stack(proto, bootstrap).expect("generated stack"),
+        };
+        w.spawn_at_traced(
+            Time::from_millis(i as u64 * 100),
+            h,
+            stack,
+            Box::new(CollectorApp::new(sink.clone())),
+            level,
+        );
+    }
+    (w, hosts)
+}
+
+/// The multicast schedule the cross-validation suite uses: join, settle,
+/// stream five packets from `hosts[1]`.
+fn drive(w: &mut World, hosts: &[NodeId], group: MacedonKey) {
+    w.run_until(Time::from_secs(40));
+    for &h in &hosts[1..] {
+        w.api_at(Time::from_secs(40), h, DownCall::Join { group });
+    }
+    w.run_until(Time::from_secs(80));
+    for i in 0..5u64 {
+        let mut p = vec![0u8; 128];
+        p[..8].copy_from_slice(&i.to_be_bytes());
+        w.api_at(
+            Time::from_secs(80) + Duration::from_millis(i * 200),
+            hosts[1],
+            DownCall::Multicast {
+                group,
+                payload: Bytes::from(p),
+                priority: -1,
+            },
+        );
+    }
+    w.run_until(Time::from_secs(100));
+}
+
+/// The byte-equality surface: every merged record's canonical render.
+fn trace_stream(w: &World) -> String {
+    let records = w.merged_trace();
+    let mut out = String::with_capacity(records.len() * 64);
+    for r in records {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Walk the merged stream asserting the span forest: unique mints, and
+/// every causal context resolved by a strictly earlier `Send`.
+fn assert_span_forest(w: &World) -> (usize, usize) {
+    let mut minted: HashSet<u64> = HashSet::new();
+    let (mut sends, mut contextual) = (0usize, 0usize);
+    for r in w.merged_trace() {
+        // The record's own context must already exist (for a Send, the
+        // parent context — checked before the mint below).
+        if r.span != SpanId::NONE {
+            contextual += 1;
+            assert!(
+                minted.contains(&r.span.0),
+                "record at {} on n{} references span {:016x} before any Send minted it",
+                r.at.as_micros(),
+                r.node.0,
+                r.span.0
+            );
+        }
+        if let TraceEvent::Send { span, .. } = &r.event {
+            sends += 1;
+            assert!(
+                minted.insert(span.0),
+                "span {:016x} minted twice — parentage would be a DAG, not a forest",
+                span.0
+            );
+        }
+    }
+    (sends, contextual)
+}
+
+#[test]
+fn trace_stream_identical_across_backends() {
+    let group = MacedonKey::of_name("xval");
+    let (mut iw, ihosts) = traced_world(
+        &Kind::Interpreted,
+        "splitstream",
+        10,
+        13,
+        TraceLevel::High,
+        1,
+        1,
+    );
+    drive(&mut iw, &ihosts, group);
+    let (mut gw, ghosts) = traced_world(
+        &Kind::Generated,
+        "splitstream",
+        10,
+        13,
+        TraceLevel::High,
+        1,
+        1,
+    );
+    assert_eq!(ihosts, ghosts);
+    drive(&mut gw, &ghosts, group);
+
+    let want = trace_stream(&iw);
+    let got = trace_stream(&gw);
+    assert!(
+        want.lines().count() > 100,
+        "traced splitstream run produced a real stream"
+    );
+    assert_eq!(
+        want, got,
+        "interpreted and generated trace streams diverged"
+    );
+    // Both carry causal deliveries, not just uncontexted housekeeping.
+    assert!(want.contains("deliver from="));
+    assert!(want.contains("send span="));
+}
+
+#[test]
+fn trace_stream_identical_across_worker_counts() {
+    let group = MacedonKey::of_name("xval");
+    let mut streams = Vec::new();
+    for workers in [1usize, 4] {
+        let (mut w, hosts) = traced_world(
+            &Kind::Interpreted,
+            "splitstream",
+            12,
+            7,
+            TraceLevel::High,
+            4,
+            workers,
+        );
+        drive(&mut w, &hosts, group);
+        streams.push(trace_stream(&w));
+    }
+    assert!(streams[0].lines().count() > 100);
+    assert_eq!(
+        streams[0], streams[1],
+        "4-worker merged trace diverged from the 1-worker stream"
+    );
+}
+
+#[test]
+fn span_parentage_forms_a_forest() {
+    let group = MacedonKey::of_name("xval");
+    for (shards, workers) in [(1usize, 1usize), (4, 4)] {
+        let (mut w, hosts) = traced_world(
+            &Kind::Interpreted,
+            "splitstream",
+            10,
+            13,
+            TraceLevel::High,
+            shards,
+            workers,
+        );
+        drive(&mut w, &hosts, group);
+        let (sends, contextual) = assert_span_forest(&w);
+        assert!(sends > 0, "run minted spans");
+        assert!(
+            contextual > 0,
+            "run emitted records inside a causal context"
+        );
+    }
+}
+
+#[test]
+fn tracing_is_pure_observation() {
+    // Deliveries of a High-traced run match the untraced twin exactly.
+    let group = MacedonKey::of_name("xval");
+    let mut logs = Vec::new();
+    for level in [TraceLevel::Off, TraceLevel::High] {
+        let (mut w, hosts) = traced_world(&Kind::Interpreted, "splitstream", 10, 13, level, 1, 1);
+        drive(&mut w, &hosts, group);
+        logs.push((w.events_fired(), w.total_net_drops()));
+        if level == TraceLevel::Off {
+            assert_eq!(w.merged_trace().len(), 0, "Off records nothing");
+        }
+    }
+    assert_eq!(logs[0], logs[1], "tracing changed the run");
+}
